@@ -1,0 +1,457 @@
+//! Whole-program points-to analysis.
+//!
+//! Modeled on the analysis the paper built (after Ruf): whole-program,
+//! context-insensitive, heap split by allocation site, explicit names for
+//! non-local memory, recursion approximated by collapsing an addressed
+//! local of a recursive function onto one name (which our tag scheme does
+//! by construction — one tag names every activation's instance, so strong
+//! updates are never performed).
+//!
+//! Where the paper converts each function to SSA form and propagates over
+//! SSA names, we propagate over virtual registers with an
+//! inclusion-constraint (Andersen-style) worklist; for the pointer
+//! variables our front end produces, register granularity loses no
+//! precision that the paper's experiments depend on — the substitution is
+//! recorded in `DESIGN.md`.
+
+use ir::{Callee, FuncId, Instr, Module, Reg, TagId};
+use std::collections::BTreeSet;
+
+/// An abstract pointer target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Target {
+    /// The storage named by a tag.
+    Tag(TagId),
+    /// A function (for function pointers / indirect calls).
+    Func(FuncId),
+}
+
+/// The result of points-to analysis.
+#[derive(Debug, Clone)]
+pub struct PointsTo {
+    /// Per function, per register: the set of targets the register may
+    /// point to.
+    pub reg_pts: Vec<Vec<BTreeSet<Target>>>,
+    /// Per tag: the targets that pointers *stored in* that storage may
+    /// point to.
+    pub tag_pts: Vec<BTreeSet<Target>>,
+}
+
+impl PointsTo {
+    /// The tags register `r` of function `f` may address.
+    pub fn reg_tags(&self, f: FuncId, r: Reg) -> BTreeSet<TagId> {
+        self.reg_pts[f.index()][r.index()]
+            .iter()
+            .filter_map(|t| match t {
+                Target::Tag(t) => Some(*t),
+                Target::Func(_) => None,
+            })
+            .collect()
+    }
+
+    /// The functions register `r` of function `f` may target.
+    pub fn reg_funcs(&self, f: FuncId, r: Reg) -> BTreeSet<FuncId> {
+        self.reg_pts[f.index()][r.index()]
+            .iter()
+            .filter_map(|t| match t {
+                Target::Func(g) => Some(*g),
+                Target::Tag(_) => None,
+            })
+            .collect()
+    }
+
+    /// Per-call-site indirect targets, keyed by `(caller index, target
+    /// register)` — the precision MOD/REF installation needs.
+    pub fn site_targets(&self, module: &Module) -> crate::SiteTargets {
+        let mut out = crate::SiteTargets::new();
+        for (fi, func) in module.funcs.iter().enumerate() {
+            for block in &func.blocks {
+                for instr in &block.instrs {
+                    if let Instr::Call { callee: Callee::Indirect(r), .. } = instr {
+                        out.insert((fi as u32, *r), self.reg_funcs(FuncId(fi as u32), *r));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Indirect-call target sets per function (union over that function's
+    /// indirect call sites), for rebuilding a sharper call graph.
+    pub fn indirect_targets(&self, module: &Module) -> Vec<BTreeSet<FuncId>> {
+        let mut out = vec![BTreeSet::new(); module.funcs.len()];
+        for (fi, func) in module.funcs.iter().enumerate() {
+            for block in &func.blocks {
+                for instr in &block.instrs {
+                    if let Instr::Call { callee: Callee::Indirect(r), .. } = instr {
+                        out[fi].extend(self.reg_funcs(FuncId(fi as u32), *r));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs the analysis to a fixpoint.
+pub fn analyze(module: &Module) -> PointsTo {
+    let nf = module.funcs.len();
+    let nt = module.tags.len();
+    let mut pt = PointsTo {
+        reg_pts: module
+            .funcs
+            .iter()
+            .map(|f| vec![BTreeSet::new(); f.next_reg as usize])
+            .collect(),
+        tag_pts: vec![BTreeSet::new(); nt],
+    };
+    // Iterate to fixpoint. The constraint graph is small (registers +
+    // tags); a round-robin sweep converges quickly and keeps the code
+    // simple and obviously monotone.
+    let mut changed = true;
+    let mut guard = 0usize;
+    while changed {
+        changed = false;
+        guard += 1;
+        assert!(guard <= 10_000, "points-to failed to converge");
+        for fi in 0..nf {
+            let func = &module.funcs[fi];
+            for block in &func.blocks {
+                for instr in &block.instrs {
+                    changed |= flow(module, &mut pt, fi, instr);
+                }
+            }
+        }
+    }
+    pt
+}
+
+/// Applies one instruction's transfer function; returns true if anything
+/// grew.
+fn flow(module: &Module, pt: &mut PointsTo, fi: usize, instr: &Instr) -> bool {
+    fn add(dst: &mut BTreeSet<Target>, items: &BTreeSet<Target>) -> bool {
+        let before = dst.len();
+        dst.extend(items.iter().copied());
+        dst.len() != before
+    }
+    fn add_one(dst: &mut BTreeSet<Target>, t: Target) -> bool {
+        dst.insert(t)
+    }
+    let regs = |pt: &PointsTo, r: Reg| pt.reg_pts[fi][r.index()].clone();
+    match instr {
+        Instr::Lea { dst, tag } => add_one(&mut pt.reg_pts[fi][dst.index()], Target::Tag(*tag)),
+        Instr::Alloc { dst, site, .. } => {
+            add_one(&mut pt.reg_pts[fi][dst.index()], Target::Tag(*site))
+        }
+        Instr::FuncAddr { dst, func } => {
+            add_one(&mut pt.reg_pts[fi][dst.index()], Target::Func(*func))
+        }
+        Instr::Copy { dst, src } | Instr::Unary { dst, src, .. } => {
+            let s = regs(pt, *src);
+            add(&mut pt.reg_pts[fi][dst.index()], &s)
+        }
+        Instr::PtrAdd { dst, base, .. } => {
+            let s = regs(pt, *base);
+            add(&mut pt.reg_pts[fi][dst.index()], &s)
+        }
+        Instr::Binary { dst, lhs, rhs, .. } => {
+            // Conservative: arithmetic may smuggle a pointer through int
+            // cells (MiniC permits pointer<->int flows).
+            let mut s = regs(pt, *lhs);
+            s.extend(regs(pt, *rhs));
+            add(&mut pt.reg_pts[fi][dst.index()], &s)
+        }
+        Instr::Phi { dst, args } => {
+            let mut s = BTreeSet::new();
+            for (_, r) in args {
+                s.extend(regs(pt, *r));
+            }
+            add(&mut pt.reg_pts[fi][dst.index()], &s)
+        }
+        Instr::SLoad { dst, tag } | Instr::CLoad { dst, tag } => {
+            let s = pt.tag_pts[tag.index()].clone();
+            add(&mut pt.reg_pts[fi][dst.index()], &s)
+        }
+        Instr::SStore { src, tag } => {
+            let s = regs(pt, *src);
+            add(&mut pt.tag_pts[tag.index()], &s)
+        }
+        Instr::Load { dst, addr, .. } => {
+            let mut s = BTreeSet::new();
+            for t in regs(pt, *addr) {
+                if let Target::Tag(t) = t {
+                    s.extend(pt.tag_pts[t.index()].iter().copied());
+                }
+            }
+            add(&mut pt.reg_pts[fi][dst.index()], &s)
+        }
+        Instr::Store { src, addr, .. } => {
+            let vals = regs(pt, *src);
+            let mut changed = false;
+            for t in regs(pt, *addr) {
+                if let Target::Tag(t) = t {
+                    changed |= add(&mut pt.tag_pts[t.index()], &vals);
+                }
+            }
+            changed
+        }
+        Instr::Call { dst, callee, args, .. } => {
+            // Parameter binding and result flow, context-insensitively.
+            let targets: Vec<FuncId> = match callee {
+                Callee::Direct(g) => vec![*g],
+                Callee::Indirect(r) => pt
+                    .reg_pts[fi][r.index()]
+                    .iter()
+                    .filter_map(|t| match t {
+                        Target::Func(g) => Some(*g),
+                        _ => None,
+                    })
+                    .collect(),
+                Callee::Intrinsic(_) => return false,
+            };
+            let mut changed = false;
+            for g in targets {
+                let callee_fn = module.func(g);
+                for (i, a) in args.iter().enumerate().take(callee_fn.arity) {
+                    let s = regs(pt, *a);
+                    changed |= add(&mut pt.reg_pts[g.index()][i], &s);
+                }
+                if let Some(d) = dst {
+                    // Union of all values returned by g.
+                    let mut rets = BTreeSet::new();
+                    for block in &callee_fn.blocks {
+                        if let Some(Instr::Ret { value: Some(r) }) = block.instrs.last() {
+                            rets.extend(pt.reg_pts[g.index()][r.index()].iter().copied());
+                        }
+                    }
+                    changed |= add(&mut pt.reg_pts[fi][d.index()], &rets);
+                }
+            }
+            changed
+        }
+        _ => false,
+    }
+}
+
+/// Uses points-to results to shrink pointer-op tag sets in place.
+///
+/// Each `load`/`store` through register `r` gets
+/// `pts(r) ∩ current tag set`; an empty points-to set (a pointer the
+/// analysis never saw created) conservatively keeps the current set.
+pub fn apply(module: &mut Module, pt: &PointsTo) {
+    for fi in 0..module.funcs.len() {
+        let f = FuncId(fi as u32);
+        for bi in 0..module.funcs[fi].blocks.len() {
+            for ii in 0..module.funcs[fi].blocks[bi].instrs.len() {
+                let instr = &module.funcs[fi].blocks[bi].instrs[ii];
+                let (addr, old) = match instr {
+                    Instr::Load { addr, tags, .. } | Instr::Store { addr, tags, .. } => {
+                        (*addr, tags.clone())
+                    }
+                    _ => continue,
+                };
+                let pts = pt.reg_tags(f, addr);
+                if pts.is_empty() {
+                    continue;
+                }
+                let new = old.intersect_universe(&pts);
+                match &mut module.funcs[fi].blocks[bi].instrs[ii] {
+                    Instr::Load { tags, .. } | Instr::Store { tags, .. } => *tags = new,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::TagSet;
+
+    fn compile(src: &str) -> Module {
+        minic::compile(src).expect("compile")
+    }
+
+    fn tag(m: &Module, name: &str) -> TagId {
+        m.tags.lookup(name).unwrap_or_else(|| panic!("tag {name}"))
+    }
+
+    /// Find the tag set of the first Store in a function.
+    fn first_store_tags(m: &Module, func: &str) -> TagSet {
+        let f = m.func(m.lookup_func(func).unwrap());
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .find_map(|i| match i {
+                Instr::Store { tags, .. } => Some(tags.clone()),
+                _ => None,
+            })
+            .expect("store")
+    }
+
+    #[test]
+    fn distinguishes_two_pointers() {
+        let mut m = compile(
+            r#"
+int main() {
+    int x = 0;
+    int y = 0;
+    int *p = &x;
+    int *q = &y;
+    *p = 1;
+    *q = 2;
+    return x + y;
+}
+"#,
+        );
+        let pt = analyze(&m);
+        apply(&mut m, &pt);
+        let x_tag = tag(&m, "main.x");
+        let y_tag = tag(&m, "main.y");
+        let main = m.func(m.main().unwrap());
+        let stores: Vec<TagSet> = main
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter_map(|i| match i {
+                Instr::Store { tags, .. } => Some(tags.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stores.len(), 2);
+        assert_eq!(stores[0].as_singleton(), Some(x_tag));
+        assert_eq!(stores[1].as_singleton(), Some(y_tag));
+    }
+
+    #[test]
+    fn merges_at_join_points() {
+        let mut m = compile(
+            r#"
+int pick;
+int main() {
+    int x = 0;
+    int y = 0;
+    int *p;
+    if (pick) { p = &x; } else { p = &y; }
+    *p = 1;
+    return x + y;
+}
+"#,
+        );
+        let pt = analyze(&m);
+        apply(&mut m, &pt);
+        let s = first_store_tags(&m, "main");
+        assert!(s.contains(tag(&m, "main.x")));
+        assert!(s.contains(tag(&m, "main.y")));
+        assert_eq!(s.len(), Some(2));
+    }
+
+    #[test]
+    fn flows_through_parameters() {
+        let mut m = compile(
+            r#"
+void set(int *p) { *p = 7; }
+int main() {
+    int a = 0;
+    set(&a);
+    return a;
+}
+"#,
+        );
+        let pt = analyze(&m);
+        apply(&mut m, &pt);
+        let s = first_store_tags(&m, "set");
+        assert_eq!(s.as_singleton(), Some(tag(&m, "main.a")));
+    }
+
+    #[test]
+    fn heap_sites_are_distinguished() {
+        let mut m = compile(
+            r#"
+int main() {
+    int *p = malloc(4);
+    int *q = malloc(4);
+    p[0] = 1;
+    q[0] = 2;
+    return p[0] + q[0];
+}
+"#,
+        );
+        let pt = analyze(&m);
+        apply(&mut m, &pt);
+        let main = m.func(m.main().unwrap());
+        let stores: Vec<TagSet> = main
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter_map(|i| match i {
+                Instr::Store { tags, .. } => Some(tags.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stores[0].as_singleton(), Some(tag(&m, "heap@0")));
+        assert_eq!(stores[1].as_singleton(), Some(tag(&m, "heap@1")));
+    }
+
+    #[test]
+    fn pointers_stored_in_memory_flow_back_out() {
+        let mut m = compile(
+            r#"
+int *cell;
+int target;
+int main() {
+    cell = &target;
+    int *p = cell;
+    *p = 3;
+    return target;
+}
+"#,
+        );
+        let pt = analyze(&m);
+        apply(&mut m, &pt);
+        let s = first_store_tags(&m, "main");
+        assert_eq!(s.as_singleton(), Some(tag(&m, "g:target")));
+    }
+
+    #[test]
+    fn function_pointers_resolve_indirect_calls() {
+        let m = compile(
+            r#"
+int f1(int x) { return x + 1; }
+int f2(int x) { return x + 2; }
+int main() {
+    func g = f1;
+    if (g(0)) { g = &f2; }
+    return g(1);
+}
+"#,
+        );
+        let pt = analyze(&m);
+        let targets = pt.indirect_targets(&m);
+        let main = m.main().unwrap();
+        let f1 = m.lookup_func("f1").unwrap();
+        let f2 = m.lookup_func("f2").unwrap();
+        assert!(targets[main.index()].contains(&f1));
+        assert!(targets[main.index()].contains(&f2));
+    }
+
+    #[test]
+    fn return_values_carry_pointers() {
+        let mut m = compile(
+            r#"
+int slot;
+int *give() { return &slot; }
+int main() {
+    int *p = give();
+    *p = 9;
+    return slot;
+}
+"#,
+        );
+        let pt = analyze(&m);
+        apply(&mut m, &pt);
+        let s = first_store_tags(&m, "main");
+        assert_eq!(s.as_singleton(), Some(tag(&m, "g:slot")));
+    }
+}

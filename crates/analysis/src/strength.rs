@@ -1,0 +1,54 @@
+//! Deciding when a singleton tag set pins down a unique run-time cell.
+//!
+//! A pointer-based operation whose tag set is the singleton `{t}` denotes
+//! the *same single cell* as the scalar opcodes `sload t`/`sstore t` only
+//! when `t` names exactly one live object: a global scalar always does; a
+//! scalar local of function `f` does inside `f` itself provided `f` is not
+//! recursive (otherwise one tag names a cell per live activation); heap
+//! tags never do (one allocation site names many objects).
+
+use ir::{FuncId, Module, TagId, TagKind};
+
+/// True if a singleton pointer reference to `tag` inside `func` provably
+/// addresses the unique cell that `sload`/`sstore` of `tag` would.
+pub fn singleton_is_unique_cell(
+    module: &Module,
+    func: FuncId,
+    func_is_recursive: bool,
+    tag: TagId,
+) -> bool {
+    let info = module.tags.info(tag);
+    if info.size != 1 {
+        return false;
+    }
+    match info.kind {
+        TagKind::Global => true,
+        TagKind::Local { owner } | TagKind::Param { owner } | TagKind::Spill { owner } => {
+            owner == func.0 && !func_is_recursive
+        }
+        TagKind::Heap { .. } => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{Function, TagKind};
+
+    #[test]
+    fn classification_matrix() {
+        let mut m = Module::new();
+        m.add_func(Function::new("f", 0));
+        let g = m.tags.intern("g", TagKind::Global, 1);
+        let ga = m.tags.intern("ga", TagKind::Global, 4);
+        let loc = m.tags.intern("f.x", TagKind::Local { owner: 0 }, 1);
+        let heap = m.tags.intern("heap@0", TagKind::Heap { site: 0 }, 1);
+        let f = FuncId(0);
+        assert!(singleton_is_unique_cell(&m, f, false, g));
+        assert!(!singleton_is_unique_cell(&m, f, false, ga), "arrays never qualify");
+        assert!(singleton_is_unique_cell(&m, f, false, loc));
+        assert!(!singleton_is_unique_cell(&m, f, true, loc), "recursion disqualifies");
+        assert!(!singleton_is_unique_cell(&m, FuncId(1), false, loc), "other function");
+        assert!(!singleton_is_unique_cell(&m, f, false, heap));
+    }
+}

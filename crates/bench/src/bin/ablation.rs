@@ -1,0 +1,14 @@
+//! Extension experiment: promotion benefit vs analysis precision, across
+//! four levels (address-taken only, Steensgaard unification, the paper's
+//! MOD/REF, the paper's points-to). The paper's conclusion — "MOD/REF
+//! analysis is a good basis" and extra precision rarely pays — shows up as
+//! near-identical modref and pointer columns except for bc/fft/gzip.
+//!
+//! Usage: `cargo run --release -p promo-bench --bin ablation [program]`
+
+use bench_harness::analysis_ablation;
+
+fn main() {
+    let only = std::env::args().nth(1);
+    println!("{}", analysis_ablation(only.as_deref()));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 5 of the paper.
+//!
+//! Usage: `cargo run --release -p promo-bench --bin figure5 [program]`
+
+use bench_harness::{figure_text, measure_suite};
+use driver::Metric;
+
+fn main() {
+    let only = std::env::args().nth(1);
+    let rows = measure_suite(only.as_deref());
+    println!("{}", figure_text(Metric::TotalOps, &rows));
+}

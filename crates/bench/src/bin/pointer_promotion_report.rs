@@ -1,0 +1,13 @@
+//! Regenerates the §3.3 comparison: what pointer-based promotion adds on
+//! top of scalar promotion. The paper found fft to be the only visible
+//! success.
+//!
+//! Usage: `cargo run --release -p promo-bench --bin pointer_promotion_report [program]`
+
+use bench_harness::{measure_pointer_promotion, pointer_promotion_text};
+
+fn main() {
+    let only = std::env::args().nth(1);
+    let rows = measure_pointer_promotion(only.as_deref());
+    println!("{}", pointer_promotion_text(&rows));
+}

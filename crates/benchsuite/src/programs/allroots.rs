@@ -1,0 +1,57 @@
+//! `allroots` — the polynomial root finder (215 lines; the smallest
+//! program in the paper's suite).
+//!
+//! The paper's counts for allroots are striking: **11 stores in the whole
+//! execution** and zero effect from promotion. Everything lives in
+//! unaliased locals; the only memory traffic is a handful of coefficient
+//! reads. This model keeps the same character: Newton iteration entirely
+//! in registers over a small coefficient array.
+
+/// MiniC source.
+pub const SRC: &str = r#"
+double coeff[5];
+
+double eval(double x) {
+    double y = 0.0;
+    int i;
+    for (i = 4; i >= 0; i--) {
+        y = y * x + coeff[i];
+    }
+    return y;
+}
+
+double eval_deriv(double x) {
+    double y = 0.0;
+    int i;
+    for (i = 4; i >= 1; i--) {
+        y = y * x + coeff[i] * i;
+    }
+    return y;
+}
+
+int main() {
+    // (x-1)(x-2)(x-3)(x-4) = x^4 - 10x^3 + 35x^2 - 50x + 24
+    coeff[4] = 1.0;
+    coeff[3] = -10.0;
+    coeff[2] = 35.0;
+    coeff[1] = -50.0;
+    coeff[0] = 24.0;
+    double guesses[4];
+    guesses[0] = 0.5;
+    guesses[1] = 2.4;
+    guesses[2] = 3.2;
+    guesses[3] = 5.0;
+    int g;
+    for (g = 0; g < 4; g++) {
+        double x = guesses[g];
+        int it;
+        for (it = 0; it < 40; it++) {
+            double d = eval_deriv(x);
+            if (fabs(d) < 0.000000001) break;
+            x = x - eval(x) / d;
+        }
+        print_float(x);
+    }
+    return 0;
+}
+"#;

@@ -1,0 +1,68 @@
+//! `bison` — the LR(1) parser generator (paper: essentially flat rows,
+//! 0.04% of loads; the text notes that in bison "values were promoted
+//! that were only accessed on an error condition" — a mild degradation
+//! mechanism).
+//!
+//! Modeled as a table-driven parse loop whose `error_count` global is
+//! referenced only on a path the input never takes. The promoter lifts it
+//! around the inner loop anyway, paying a load and a store per loop entry
+//! for a value the loop never touches.
+
+/// MiniC source.
+pub const SRC: &str = r#"
+int action[64][8];
+int goto_tab[64][8];
+int error_count;
+int reductions;
+int tokens[8192];
+int rng = 123321;
+
+int next_rand() {
+    rng = (rng * 1103515 + 12345) % 2147483647;
+    if (rng < 0) rng = -rng;
+    return rng;
+}
+
+// Owns `reductions`: the call pins it in the parse loop, keeping bison's
+// promotion opportunities confined to the dead error path.
+void note_reduction() {
+    reductions = reductions + 1;
+}
+
+int main() {
+    int s; int t;
+    for (s = 0; s < 64; s++) {
+        for (t = 0; t < 8; t++) {
+            // All actions are shifts/reduces; action 0 (error) never
+            // appears in a reachable table cell.
+            action[s][t] = 1 + (s * 3 + t) % 4;
+            goto_tab[s][t] = (s * 7 + t * 5 + 1) % 64;
+        }
+    }
+    for (t = 0; t < 8192; t++) tokens[t] = next_rand() % 8;
+    int run;
+    for (run = 0; run < 40; run++) {
+        int state = 0;
+        int i;
+        for (i = 0; i < 8192; i++) {
+            int tok = tokens[i];
+            int a = action[state][tok];
+            if (a == 0) {
+                // Never taken: the only references to error_count in the
+                // loop sit on this dead path, yet promotion still lifts
+                // the value around the loop.
+                error_count = error_count + 1;
+                if (error_count > 100) break;
+            } else if (a == 1) {
+                note_reduction();
+                state = goto_tab[state][tok];
+            } else {
+                state = (state + a) % 64;
+            }
+        }
+    }
+    print_int(reductions);
+    print_int(error_count);
+    return 0;
+}
+"#;

@@ -1,0 +1,59 @@
+//! `clean` — a game program from the SPEC benchmarks (paper row: 3.28% of
+//! stores removed under both analyses, with a smaller load reduction).
+//!
+//! Modeled as a board-sweeping game kernel whose store traffic is
+//! dominated by unpromotable array stores and call-pinned counters, with
+//! one promotable global (`parity`) updated on a sparse stride — yielding
+//! the paper's small-but-real single-digit store reduction.
+
+/// MiniC source.
+pub const SRC: &str = r#"
+int board[256];
+int moves;
+int captures;
+int score;
+int parity;
+int rng = 777;
+
+int next_rand() {
+    rng = (rng * 1103515 + 12345) % 2147483647;
+    if (rng < 0) rng = -rng;
+    return rng;
+}
+
+// Touches the counters, pinning them in the loops that call this.
+void reward(int amount) {
+    score = score + amount;
+    moves = moves + 1;
+    captures = captures + 1;
+}
+
+int main() {
+    int i;
+    for (i = 0; i < 256; i++) board[i] = next_rand() % 4;
+    int turn;
+    for (turn = 0; turn < 400; turn++) {
+        int pos;
+        for (pos = 0; pos < 256; pos++) {
+            int cell = board[pos];
+            if (cell == 3) {
+                board[pos] = 0;
+                reward(2);
+            } else {
+                board[pos] = cell + 1;
+            }
+            // `parity` is explicit-only in this nest and therefore
+            // promotable; it updates on a sparse stride so the win is
+            // small, like the paper's clean row.
+            if ((pos & 15) == 0) {
+                parity = parity ^ pos;
+            }
+        }
+    }
+    print_int(moves);
+    print_int(captures);
+    print_int(score);
+    print_int(parity);
+    return 0;
+}
+"#;

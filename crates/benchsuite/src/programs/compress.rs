@@ -1,0 +1,66 @@
+//! `compress` — the SPEC file-compression program.
+//!
+//! Modeled as an LZW-style coder over a synthetic byte stream: the hash
+//! table traffic is unpromotable array work, the output routine pins the
+//! counters it owns, and the per-symbol statistics (`in_count`,
+//! `checksum`) are explicit-only in the main loop — a moderate promotion
+//! win concentrated in loads and stores of those statistics.
+
+/// MiniC source.
+pub const SRC: &str = r#"
+int htab[1024];
+int codetab[1024];
+int out_count;
+int out_hash;
+int in_count;
+int checksum;
+int free_code;
+int rng = 31415;
+
+int next_byte() {
+    rng = (rng * 1103515 + 12345) % 2147483647;
+    if (rng < 0) rng = -rng;
+    // Skewed distribution so matches actually happen.
+    int b = rng % 256;
+    if (b > 128) b = b % 32;
+    return b;
+}
+
+// Owns the output counters: calls to this pin them.
+void put_code(int code) {
+    out_count = out_count + 1;
+    out_hash = (out_hash * 31 + code) % 1000003;
+}
+
+int main() {
+    int i;
+    for (i = 0; i < 1024; i++) { htab[i] = -1; codetab[i] = 0; }
+    free_code = 256;
+    int prefix = next_byte();
+    int n;
+    for (n = 0; n < 60000; n++) {
+        int c = next_byte();
+        in_count = in_count + 1;
+        checksum = (checksum + c) % 65536;
+        int key = (prefix * 256 + c) % 1024;
+        if (htab[key] == prefix * 256 + c) {
+            prefix = codetab[key];
+        } else {
+            put_code(prefix);
+            if (free_code < 4096) {
+                htab[key] = prefix * 256 + c;
+                codetab[key] = free_code % 1024;
+                free_code = free_code + 1;
+            }
+            prefix = c;
+        }
+    }
+    put_code(prefix);
+    print_int(in_count);
+    print_int(out_count);
+    print_int(out_hash);
+    print_int(checksum);
+    print_int(free_code);
+    return 0;
+}
+"#;

@@ -1,0 +1,48 @@
+//! `dhrystone` — the classic synthetic benchmark.
+//!
+//! The paper singles dhrystone out as a *degradation* case: "values were
+//! promoted in a loop that always executed once", so the landing-pad load
+//! and exit store (plus the copies) cost more than the references they
+//! replaced. This model embeds such a once-executing loop inside a
+//! frequently called procedure; the promoter dutifully promotes and pays
+//! the price on every call.
+
+/// MiniC source.
+pub const SRC: &str = r#"
+int int_glob;
+int bool_glob;
+int ch_glob;
+int array_glob[50];
+
+// The body loop "for (i = 0; i < 1; i++)" always executes exactly once --
+// dhrystone's Proc_8 shape. Promotion lifts int_glob/bool_glob around it
+// anyway.
+void proc_once(int base) {
+    int i;
+    for (i = 0; i < 1; i++) {
+        int_glob = int_glob + base;
+        bool_glob = !bool_glob;
+        array_glob[(base + i) % 50] = int_glob;
+    }
+}
+
+// Reads ch_glob, pinning it in the driver loop (dhrystone's comparison
+// routines read global state).
+int compare(int a, int b) {
+    if (a + ch_glob % 2 > b) return a - b;
+    return b - a;
+}
+
+int main() {
+    int run;
+    for (run = 0; run < 30000; run++) {
+        proc_once(run % 17);
+        ch_glob = compare(run % 9, run % 7) + ch_glob % 97;
+    }
+    print_int(int_glob);
+    print_int(bool_glob);
+    print_int(ch_glob);
+    print_int(array_glob[13]);
+    return 0;
+}
+"#;

@@ -1,0 +1,70 @@
+//! `fft` — fast Fourier transform (the paper's §5 case study).
+//!
+//! Two phenomena live here. First, the paper's code fragment where
+//! promotion of `T1` **requires pointer analysis**: `T1`'s address is
+//! taken elsewhere and `X2` is a pointer, so under MOD/REF alone the
+//! stores through `X2` might modify `T1` and promotion is blocked; the
+//! points-to analysis proves `X2` targets only its array and `T1` becomes
+//! promotable. Second, fft is the one program where **pointer-based
+//! promotion** (§3.3) paid off visibly — modeled by the accumulation loop
+//! through the loop-invariant pointer `acc`.
+
+/// MiniC source.
+pub const SRC: &str = r#"
+double X1[512];
+double X2[512];
+double X3[64];
+double T1;        // address taken below: aliased as far as MOD/REF knows
+int    KT = 3;
+int    N1 = 8;
+int    N3 = 4;
+
+void seed(double *slot, double v) {
+    *slot = v;
+}
+
+void setup() {
+    int i;
+    for (i = 0; i < 512; i++) {
+        X1[i] = (i % 17) * 0.25 + 1.0;
+        X2[i] = 0.0;
+    }
+    for (i = 0; i < 64; i++) X3[i] = 1.0 + (i % 5) * 0.125;
+    seed(&T1, 1.0);
+}
+
+int main() {
+    setup();
+    double *px1 = X1;
+    double *px2 = X2;
+    double *px3 = X3;
+    int I; int J; int K;
+    // The paper's kernel: T1 = pow(X3[index3], KT);
+    //                     X2[index1]    = T1 * X1[index1];
+    //                     X2[index1+N1] = T1 * X1[index1+N1];
+    for (I = 0; I < 8; I++) {
+        for (J = 0; J < N3; J++) {
+            for (K = 0; K < N1; K++) {
+                int index3 = (I * N3 + J) * 2 + K % 2;
+                int index1 = (I * N3 + J) * N1 * 2 + K;
+                T1 = pow(px3[index3 % 64], 1.0 * KT);
+                px2[index1 % 500] = T1 * px1[index1 % 500];
+                px2[(index1 + N1) % 500] = T1 * px1[(index1 + N1) % 500];
+            }
+        }
+    }
+    // Pointer-based promotion target: the address &X2[I] is invariant in
+    // the K loop and all accesses to X2 in that loop go through it.
+    double checksum = 0.0;
+    for (I = 0; I < 64; I++) {
+        double *acc = &X2[I];
+        for (K = 0; K < 48; K++) {
+            *acc = *acc + X1[(I + K) % 512] * X3[K % 64];
+        }
+    }
+    for (I = 0; I < 512; I++) checksum = checksum + X2[I];
+    print_float(checksum);
+    print_float(T1);
+    return 0;
+}
+"#;

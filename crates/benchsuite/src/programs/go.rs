@@ -1,0 +1,74 @@
+//! `go` — the SPEC game program (paper: one of the larger load
+//! reductions, ~15% of loads removed, with the benefit essentially equal
+//! under MOD/REF and pointer analysis).
+//!
+//! Modeled as a board-influence evaluator. The influence counters are
+//! pinned by helper calls (their traffic survives promotion), while the
+//! `bias` scalar is read at every point but written only rarely — LICM
+//! cannot hoist its loads (the loop does write it), but promotion keeps it
+//! in a register, which is what makes go a load-heavy, store-light win.
+
+/// MiniC source.
+pub const SRC: &str = r#"
+int board[361];
+int influence_black;
+int influence_white;
+int territory;
+int contested;
+int bias;
+int rng = 271828;
+
+int next_rand() {
+    rng = (rng * 1103515 + 12345) % 2147483647;
+    if (rng < 0) rng = -rng;
+    return rng;
+}
+
+// The influence bookkeeping goes through calls, pinning these globals in
+// the evaluation loops.
+void credit(int black, int white) {
+    influence_black = influence_black + black;
+    influence_white = influence_white + white;
+}
+
+void contest() {
+    contested = contested + 1;
+}
+
+int main() {
+    int i;
+    for (i = 0; i < 361; i++) board[i] = next_rand() % 3;
+    int pass;
+    for (pass = 0; pass < 300; pass++) {
+        int p;
+        for (p = 0; p < 361; p++) {
+            int stone = board[p];
+            // `bias` is read at every point but written only on a sparse
+            // stride: LICM cannot hoist the load (the loop writes it), but
+            // promotion keeps it in a register across the pass.
+            int swing = bias % 16 - 8;
+            if (stone == 1) {
+                credit(2, 0);
+                if (swing < 0) contest();
+            } else if (stone == 2) {
+                credit(0, 2);
+                if (swing > 0) contest();
+            } else {
+                if (swing > 4) territory = territory + 1;
+                if (swing < -4) territory = territory - 1;
+            }
+            if ((p & 15) == 0) {
+                bias = (bias * 5 + stone + 1) % 4093;
+            }
+        }
+        // Decay between passes.
+        credit(-influence_black / 2, -influence_white / 2);
+    }
+    print_int(influence_black);
+    print_int(influence_white);
+    print_int(territory);
+    print_int(contested);
+    print_int(bias);
+    return 0;
+}
+"#;

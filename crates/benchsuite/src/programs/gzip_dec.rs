@@ -1,0 +1,59 @@
+//! `gzip(dec)` — gzip decompression (paper: a *slight degradation* in
+//! total operations, −0.02% / −0.01%, alongside a small 1–2% load
+//! reduction: promotion's lift overhead on short-trip loops roughly
+//! cancels its wins).
+//!
+//! Modeled as a block decoder whose inner copy loops run for only a few
+//! iterations per entry: each entry pays the landing-pad load and exit
+//! store for the promoted CRC accumulator while saving only a handful of
+//! in-loop references.
+
+/// MiniC source.
+pub const SRC: &str = r#"
+int out_buf[8192];
+int crc;
+int out_len;
+int blocks;
+int trailer;
+int rng = 600613;
+
+int next_rand() {
+    rng = (rng * 1103515 + 12345) % 2147483647;
+    if (rng < 0) rng = -rng;
+    return rng;
+}
+
+// Reads the decoder state once per block, which keeps crc, out_len, and
+// blocks ambiguous in the outer loop: the only promotion left is crc
+// around the short inner copy loop, which barely breaks even.
+void emit_block() {
+    trailer = (trailer + crc + out_len % 7 + blocks % 3) % 65521;
+}
+
+int main() {
+    int block;
+    for (block = 0; block < 12000; block++) {
+        // Each "block" copies a very short match: 1..2 symbols. Promotion
+        // of crc around this short-trip loop barely breaks even: the
+        // landing-pad load and exit store cost almost exactly what the
+        // in-loop references did.
+        int len = 1;
+        if (next_rand() % 4 == 0) len = 2;
+        int src = next_rand() % 4096;
+        int k;
+        for (k = 0; k < len; k++) {
+            int sym = (src + k * 7) % 251;
+            out_buf[(out_len + k) % 8192] = sym;
+            crc = (crc * 2 + sym) % 65521;
+        }
+        emit_block();
+        out_len = out_len + len;
+        blocks = blocks + 1;
+    }
+    print_int(crc);
+    print_int(out_len % 8192);
+    print_int(blocks);
+    print_int(trailer);
+    return 0;
+}
+"#;

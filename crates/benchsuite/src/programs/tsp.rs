@@ -1,0 +1,65 @@
+//! `tsp` — "a traveling salesman problem" (760 lines in the paper).
+//!
+//! The paper measures **zero** effect from promotion on tsp (0.00% in all
+//! three figures): its hot state lives in unaliased locals and arrays, so
+//! the promoter finds nothing to do. This model keeps every scalar in
+//! registers and all array traffic unpromotable, reproducing the flat row.
+
+/// MiniC source.
+pub const SRC: &str = r#"
+// Nearest-neighbour tour over a synthetic distance matrix.
+int xs[48];
+int ys[48];
+int visited[48];
+int n_cities = 48;
+int rng = 12345;
+
+int next_rand() {
+    rng = (rng * 1103515 + 12345) % 2147483647;
+    if (rng < 0) rng = -rng;
+    return rng;
+}
+
+int dist2(int a, int b) {
+    int dx = xs[a] - xs[b];
+    int dy = ys[a] - ys[b];
+    return dx * dx + dy * dy;
+}
+
+int main() {
+    int i;
+    for (i = 0; i < n_cities; i++) {
+        xs[i] = next_rand() % 1000;
+        ys[i] = next_rand() % 1000;
+        visited[i] = 0;
+    }
+    int rounds;
+    int grand = 0;
+    for (rounds = 0; rounds < 60; rounds++) {
+        for (i = 0; i < n_cities; i++) visited[i] = 0;
+        int start = rounds % n_cities;
+        int current = start;
+        visited[current] = 1;
+        int total = 0;
+        int step;
+        for (step = 1; step < n_cities; step++) {
+            int best = -1;
+            int best_d = 2000000000;
+            int c;
+            for (c = 0; c < n_cities; c++) {
+                if (!visited[c]) {
+                    int d = dist2(current, c);
+                    if (d < best_d) { best_d = d; best = c; }
+                }
+            }
+            visited[best] = 1;
+            total = total + best_d;
+            current = best;
+        }
+        total = total + dist2(current, start);
+        grand = grand + total % 100000;
+    }
+    print_int(grand);
+    return 0;
+}
+"#;

@@ -1,0 +1,60 @@
+//! `water` — the SPEC molecular-dynamics benchmark.
+//!
+//! The paper's register-pressure anomaly: "register promotion was able to
+//! promote twenty-eight values for one loop nest. Unfortunately, this
+//! caused the register allocator to spill values which resulted in a
+//! performance loss compared to no register promotion." This model updates
+//! 28 global accumulators in one loop nest; with the default 32-register
+//! machine the promoted registers plus scratch exceed supply and the
+//! allocator spills — promotion's savings are (partly) given back as
+//! spill traffic, exactly the paper's story.
+
+/// MiniC source.
+pub const SRC: &str = r#"
+// 28 global accumulators live across the interaction loop.
+int vxx; int vxy; int vxz; int vyx; int vyy; int vyz;
+int vzx; int vzy; int vzz; int fxx; int fxy; int fxz;
+int fyx; int fyy; int fyz; int fzx; int fzy; int fzz;
+int pe1; int pe2; int pe3; int ke1; int ke2; int ke3;
+int virial1; int virial2; int virial3; int count;
+
+int mol[128];
+int rng = 161803;
+
+int next_rand() {
+    rng = (rng * 1103515 + 12345) % 2147483647;
+    if (rng < 0) rng = -rng;
+    return rng;
+}
+
+int main() {
+    int i;
+    for (i = 0; i < 128; i++) mol[i] = next_rand() % 64;
+    int step;
+    for (step = 0; step < 120; step++) {
+        int m;
+        for (m = 0; m < 128; m++) {
+            int q = mol[m];
+            int r = q * q + 1;
+            vxx = vxx + q;       vxy = vxy + r;       vxz = vxz + q * 2;
+            vyx = vyx + r % 7;   vyy = vyy + q % 5;   vyz = vyz + r % 3;
+            vzx = vzx + q + 1;   vzy = vzy + r + 2;   vzz = vzz + q - 1;
+            fxx = fxx + r / 3;   fxy = fxy + q / 2;   fxz = fxz + r / 5;
+            fyx = fyx + q * 3;   fyy = fyy + r * 2;   fyz = fyz + q * 5;
+            fzx = fzx + r - q;   fzy = fzy + q - r;   fzz = fzz + r * q % 11;
+            pe1 = pe1 + q;       pe2 = pe2 + r;       pe3 = pe3 + q + r;
+            ke1 = ke1 + q % 3;   ke2 = ke2 + r % 4;   ke3 = ke3 + q % 6;
+            virial1 = virial1 + r;
+            virial2 = virial2 + q;
+            virial3 = virial3 + r % 13;
+            count = count + 1;
+        }
+    }
+    print_int(vxx + vxy + vxz + vyx + vyy + vyz + vzx + vzy + vzz);
+    print_int(fxx + fxy + fxz + fyx + fyy + fyz + fzx + fzy + fzz);
+    print_int(pe1 + pe2 + pe3 + ke1 + ke2 + ke3);
+    print_int(virial1 + virial2 + virial3);
+    print_int(count);
+    return 0;
+}
+"#;

@@ -1,0 +1,373 @@
+//! Dominator analysis.
+//!
+//! Two algorithms are provided: the Lengauer–Tarjan algorithm the paper
+//! cites (near-linear, used by default) and the simple iterative algorithm
+//! of Cooper/Harvey/Kennedy (used as a cross-check in tests). Both produce a
+//! [`DomTree`].
+
+use crate::graph::Cfg;
+use ir::BlockId;
+
+/// The immediate-dominator tree of a CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomTree {
+    /// Immediate dominator per block; `None` for the entry and for
+    /// unreachable blocks.
+    pub idom: Vec<Option<BlockId>>,
+    /// Children in the dominator tree.
+    pub children: Vec<Vec<BlockId>>,
+    /// Entry block.
+    pub entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes dominators with the Lengauer–Tarjan algorithm.
+    pub fn lengauer_tarjan(cfg: &Cfg) -> DomTree {
+        LengauerTarjan::run(cfg)
+    }
+
+    /// Computes dominators with the iterative RPO data-flow algorithm.
+    pub fn iterative(cfg: &Cfg) -> DomTree {
+        iterative_doms(cfg)
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// True if `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Computes dominance frontiers (Cytron et al.), used for SSA
+    /// construction.
+    pub fn dominance_frontiers(&self, cfg: &Cfg) -> Vec<Vec<BlockId>> {
+        let n = cfg.len();
+        let mut df: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for &b in &cfg.rpo {
+            if cfg.preds[b.index()].len() >= 2 {
+                for &p in &cfg.preds[b.index()] {
+                    if !cfg.is_reachable(p) {
+                        continue;
+                    }
+                    let mut runner = p;
+                    while Some(runner) != self.idom[b.index()] {
+                        if !df[runner.index()].contains(&b) {
+                            df[runner.index()].push(b);
+                        }
+                        match self.idom[runner.index()] {
+                            Some(r) => runner = r,
+                            None => break,
+                        }
+                    }
+                }
+            }
+        }
+        df
+    }
+
+    fn from_idom(idom: Vec<Option<BlockId>>, entry: BlockId) -> DomTree {
+        let mut children = vec![Vec::new(); idom.len()];
+        for (i, p) in idom.iter().enumerate() {
+            if let Some(p) = p {
+                children[p.index()].push(BlockId(i as u32));
+            }
+        }
+        DomTree { idom, children, entry }
+    }
+}
+
+/// The iterative algorithm of Cooper, Harvey & Kennedy ("A Simple, Fast
+/// Dominance Algorithm").
+fn iterative_doms(cfg: &Cfg) -> DomTree {
+    let n = cfg.len();
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    idom[cfg.entry.index()] = Some(cfg.entry);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &cfg.rpo {
+            if b == cfg.entry {
+                continue;
+            }
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &cfg.preds[b.index()] {
+                if idom[p.index()].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &cfg.rpo_index, p, cur),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.index()] != Some(ni) {
+                    idom[b.index()] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Convert the self-idom convention to None for the entry.
+    idom[cfg.entry.index()] = None;
+    DomTree::from_idom(idom, cfg.entry)
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("processed");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("processed");
+        }
+    }
+    a
+}
+
+/// Lengauer–Tarjan with simple (non-balanced) path compression: the
+/// O(E·log V) variant, which the paper notes can be implemented to run in
+/// near-linear time.
+struct LengauerTarjan {
+    /// DFS number per block index (usize::MAX if unreachable).
+    dfnum: Vec<usize>,
+    /// Block at each DFS number.
+    vertex: Vec<BlockId>,
+    /// DFS-tree parent, by DFS number.
+    parent: Vec<usize>,
+    /// Semidominator, by DFS number.
+    semi: Vec<usize>,
+    /// Union-find ancestor, by DFS number.
+    ancestor: Vec<Option<usize>>,
+    /// Best (min-semi) vertex on the compressed path.
+    label: Vec<usize>,
+    /// Buckets of vertices whose semidominator is the key.
+    bucket: Vec<Vec<usize>>,
+    idom_num: Vec<usize>,
+}
+
+impl LengauerTarjan {
+    fn run(cfg: &Cfg) -> DomTree {
+        let n = cfg.len();
+        let mut lt = LengauerTarjan {
+            dfnum: vec![usize::MAX; n],
+            vertex: Vec::new(),
+            parent: Vec::new(),
+            semi: Vec::new(),
+            ancestor: Vec::new(),
+            label: Vec::new(),
+            bucket: Vec::new(),
+            idom_num: Vec::new(),
+        };
+        // DFS numbering (iterative).
+        let mut stack: Vec<(BlockId, Option<usize>)> = vec![(cfg.entry, None)];
+        while let Some((b, par)) = stack.pop() {
+            if lt.dfnum[b.index()] != usize::MAX {
+                continue;
+            }
+            let num = lt.vertex.len();
+            lt.dfnum[b.index()] = num;
+            lt.vertex.push(b);
+            lt.parent.push(par.unwrap_or(0));
+            lt.semi.push(num);
+            lt.ancestor.push(None);
+            lt.label.push(num);
+            lt.bucket.push(Vec::new());
+            lt.idom_num.push(num);
+            for &s in cfg.succs[b.index()].iter().rev() {
+                if lt.dfnum[s.index()] == usize::MAX {
+                    stack.push((s, Some(num)));
+                }
+            }
+        }
+        let count = lt.vertex.len();
+        // Main loop in reverse DFS order.
+        for w in (1..count).rev() {
+            let p = lt.parent[w];
+            // Step 2: compute semidominator.
+            let wb = lt.vertex[w];
+            let preds: Vec<usize> = cfg.preds[wb.index()]
+                .iter()
+                .filter(|v| lt.dfnum[v.index()] != usize::MAX)
+                .map(|v| lt.dfnum[v.index()])
+                .collect();
+            for v in preds {
+                let u = lt.eval(v);
+                if lt.semi[u] < lt.semi[w] {
+                    lt.semi[w] = lt.semi[u];
+                }
+            }
+            let s = lt.semi[w];
+            lt.bucket[s].push(w);
+            lt.link(p, w);
+            // Step 3: implicitly define idoms for p's bucket.
+            let drained: Vec<usize> = std::mem::take(&mut lt.bucket[p]);
+            for v in drained {
+                let u = lt.eval(v);
+                lt.idom_num[v] = if lt.semi[u] < lt.semi[v] { u } else { p };
+            }
+        }
+        // Step 4: finalize in DFS order.
+        for w in 1..count {
+            if lt.idom_num[w] != lt.semi[w] {
+                lt.idom_num[w] = lt.idom_num[lt.idom_num[w]];
+            }
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        for w in 1..count {
+            idom[lt.vertex[w].index()] = Some(lt.vertex[lt.idom_num[w]]);
+        }
+        DomTree::from_idom(idom, cfg.entry)
+    }
+
+    fn link(&mut self, parent: usize, child: usize) {
+        self.ancestor[child] = Some(parent);
+    }
+
+    /// Path-compressing eval: returns the vertex with minimal semi on the
+    /// path from the union-find root (exclusive) to `v` (inclusive).
+    fn eval(&mut self, v: usize) -> usize {
+        if self.ancestor[v].is_none() {
+            return self.label[v];
+        }
+        self.compress(v);
+        self.label[v]
+    }
+
+    fn compress(&mut self, v: usize) {
+        // Iterative path compression to avoid recursion depth limits.
+        let mut path = Vec::new();
+        let mut cur = v;
+        while let Some(a) = self.ancestor[cur] {
+            if self.ancestor[a].is_some() {
+                path.push(cur);
+                cur = a;
+            } else {
+                break;
+            }
+        }
+        for &u in path.iter().rev() {
+            let a = self.ancestor[u].expect("on path");
+            if self.semi[self.label[a]] < self.semi[self.label[u]] {
+                self.label[u] = self.label[a];
+            }
+            self.ancestor[u] = self.ancestor[a];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{FunctionBuilder, Function};
+
+    fn doms_of(f: &Function) -> (DomTree, DomTree) {
+        let cfg = Cfg::build(f);
+        (DomTree::lengauer_tarjan(&cfg), DomTree::iterative(&cfg))
+    }
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("f", 0);
+        let c = b.iconst(1);
+        let b1 = b.new_block();
+        let b2 = b.new_block();
+        let b3 = b.new_block();
+        b.branch(c, b1, b2);
+        b.switch_to(b1);
+        b.jump(b3);
+        b.switch_to(b2);
+        b.jump(b3);
+        b.switch_to(b3);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let f = diamond();
+        let (lt, it) = doms_of(&f);
+        assert_eq!(lt, it);
+        assert_eq!(lt.idom[0], None);
+        assert_eq!(lt.idom[1], Some(BlockId(0)));
+        assert_eq!(lt.idom[2], Some(BlockId(0)));
+        assert_eq!(lt.idom[3], Some(BlockId(0)));
+        assert!(lt.dominates(BlockId(0), BlockId(3)));
+        assert!(!lt.dominates(BlockId(1), BlockId(3)));
+        assert!(lt.dominates(BlockId(3), BlockId(3)));
+        assert!(!lt.strictly_dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn loop_idoms() {
+        // B0 -> B1 (header) -> B2 (body) -> B1; B1 -> B3 (exit)
+        let mut b = FunctionBuilder::new("f", 0);
+        let c = b.iconst(1);
+        let b1 = b.new_block();
+        let b2 = b.new_block();
+        let b3 = b.new_block();
+        b.jump(b1);
+        b.switch_to(b1);
+        b.branch(c, b2, b3);
+        b.switch_to(b2);
+        b.jump(b1);
+        b.switch_to(b3);
+        b.ret(None);
+        let f = b.finish();
+        let (lt, it) = doms_of(&f);
+        assert_eq!(lt, it);
+        assert_eq!(lt.idom[1], Some(BlockId(0)));
+        assert_eq!(lt.idom[2], Some(b1));
+        assert_eq!(lt.idom[3], Some(b1));
+    }
+
+    #[test]
+    fn dominance_frontier_of_diamond() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::lengauer_tarjan(&cfg);
+        let df = dom.dominance_frontiers(&cfg);
+        assert_eq!(df[1], vec![BlockId(3)]);
+        assert_eq!(df[2], vec![BlockId(3)]);
+        assert!(df[0].is_empty());
+        assert!(df[3].is_empty());
+    }
+
+    #[test]
+    fn irreducible_graph_agreement() {
+        // B0 -> B1, B0 -> B2, B1 -> B2, B2 -> B1, B1 -> B3 (irreducible-ish
+        // double entry into the {B1,B2} cycle).
+        let mut b = FunctionBuilder::new("f", 0);
+        let c = b.iconst(1);
+        let b1 = b.new_block();
+        let b2 = b.new_block();
+        let b3 = b.new_block();
+        b.branch(c, b1, b2);
+        b.switch_to(b1);
+        b.branch(c, b2, b3);
+        b.switch_to(b2);
+        b.jump(b1);
+        b.switch_to(b3);
+        b.ret(None);
+        let f = b.finish();
+        let (lt, it) = doms_of(&f);
+        assert_eq!(lt, it);
+        assert_eq!(lt.idom[1], Some(BlockId(0)));
+        assert_eq!(lt.idom[2], Some(BlockId(0)));
+    }
+}

@@ -1,0 +1,160 @@
+//! Control-flow graph extraction and traversal orders.
+
+use ir::{BlockId, Function};
+
+/// Explicit successor/predecessor lists plus traversal orders for one
+/// function.
+///
+/// The graph is a snapshot: it must be recomputed after any transformation
+/// that adds, removes, or retargets blocks.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successors per block index.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors per block index.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// Blocks in reverse postorder of the depth-first search from the entry.
+    /// Unreachable blocks are absent.
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo`, or `usize::MAX` if unreachable.
+    pub rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `func`.
+    pub fn build(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for id in func.block_ids() {
+            for s in func.block(id).successors() {
+                succs[id.index()].push(s);
+                preds[s.index()].push(id);
+            }
+        }
+        // Iterative DFS computing postorder.
+        let mut post = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
+        visited[func.entry.index()] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < succs[b.index()].len() {
+                let s = succs[b.index()][*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg { succs, preds, entry: func.entry, rpo, rpo_index }
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True if the function has no blocks (never the case for valid IL).
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()] != usize::MAX
+    }
+
+    /// Total number of edges between reachable blocks.
+    pub fn edge_count(&self) -> usize {
+        self.rpo
+            .iter()
+            .map(|b| self.succs[b.index()].len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{FunctionBuilder, Reg};
+
+    /// Diamond: B0 -> {B1, B2} -> B3.
+    pub(crate) fn diamond() -> ir::Function {
+        let mut b = FunctionBuilder::new("f", 0);
+        let c = b.iconst(1);
+        let b1 = b.new_block();
+        let b2 = b.new_block();
+        let b3 = b.new_block();
+        b.branch(c, b1, b2);
+        b.switch_to(b1);
+        b.jump(b3);
+        b.switch_to(b2);
+        b.jump(b3);
+        b.switch_to(b3);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn builds_diamond() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.succs[0].len(), 2);
+        assert_eq!(cfg.preds[3].len(), 2);
+        assert_eq!(cfg.rpo.first(), Some(&BlockId(0)));
+        assert_eq!(cfg.rpo.last(), Some(&BlockId(3)));
+        assert_eq!(cfg.edge_count(), 4);
+    }
+
+    #[test]
+    fn rpo_orders_before_successors_in_dag() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        // In a DAG, rpo is a topological order.
+        for b in &cfg.rpo {
+            for s in &cfg.succs[b.index()] {
+                assert!(cfg.rpo_index[b.index()] < cfg.rpo_index[s.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let dead = b.new_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        assert!(cfg.is_reachable(BlockId(0)));
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo.len(), 1);
+    }
+
+    #[test]
+    fn self_loop() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let l = b.new_block();
+        b.jump(l);
+        b.switch_to(l);
+        let c = Reg(0); // uninitialized but structurally fine
+        b.branch(c, l, l);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        // branch with equal targets dedups to one successor
+        assert_eq!(cfg.succs[l.index()], vec![l]);
+        assert_eq!(cfg.preds[l.index()], vec![BlockId(0), l]);
+    }
+}

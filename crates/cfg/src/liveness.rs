@@ -1,0 +1,219 @@
+//! Backward liveness analysis over virtual registers.
+
+use crate::graph::Cfg;
+use ir::{Function, Instr, Reg};
+
+/// A dense bitset over virtual registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegSet {
+    bits: Vec<u64>,
+}
+
+impl RegSet {
+    /// An empty set sized for `n` registers.
+    pub fn new(n: usize) -> Self {
+        RegSet { bits: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Inserts `r`; returns true if newly inserted.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let w = r.index() / 64;
+        let m = 1u64 << (r.index() % 64);
+        let was = self.bits[w] & m != 0;
+        self.bits[w] |= m;
+        !was
+    }
+
+    /// Removes `r`.
+    pub fn remove(&mut self, r: Reg) {
+        let w = r.index() / 64;
+        self.bits[w] &= !(1u64 << (r.index() % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: Reg) -> bool {
+        self.bits[r.index() / 64] & (1u64 << (r.index() % 64)) != 0
+    }
+
+    /// In-place union; returns true if `self` grew.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut grew = false;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            let new = *a | *b;
+            grew |= new != *a;
+            *a = new;
+        }
+        grew
+    }
+
+    /// Iterates members.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64).filter_map(move |i| {
+                if bits & (1u64 << i) != 0 {
+                    Some(Reg((w * 64 + i) as u32))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&b| b == 0)
+    }
+}
+
+/// Per-block live-in/live-out sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Live-in per block.
+    pub live_in: Vec<RegSet>,
+    /// Live-out per block.
+    pub live_out: Vec<RegSet>,
+}
+
+/// Computes liveness for `func`.
+pub fn liveness(func: &Function, cfg: &Cfg) -> Liveness {
+    let n = func.blocks.len();
+    let nregs = func.next_reg as usize;
+    // Per-block use/def summaries (upward-exposed uses).
+    let mut use_s: Vec<RegSet> = Vec::with_capacity(n);
+    let mut def_s: Vec<RegSet> = Vec::with_capacity(n);
+    for block in &func.blocks {
+        let mut u = RegSet::new(nregs);
+        let mut d = RegSet::new(nregs);
+        for instr in &block.instrs {
+            instr.visit_uses(|r| {
+                if !d.contains(r) {
+                    u.insert(r);
+                }
+            });
+            if let Some(r) = instr.def() {
+                d.insert(r);
+            }
+        }
+        use_s.push(u);
+        def_s.push(d);
+    }
+    let mut live_in = vec![RegSet::new(nregs); n];
+    let mut live_out = vec![RegSet::new(nregs); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Reverse postorder backwards approximates postorder.
+        for &b in cfg.rpo.iter().rev() {
+            let bi = b.index();
+            let mut out = RegSet::new(nregs);
+            for s in &cfg.succs[bi] {
+                out.union_with(&live_in[s.index()]);
+            }
+            if out != live_out[bi] {
+                live_out[bi] = out;
+            }
+            // in = use ∪ (out − def)
+            let mut inn = live_out[bi].clone();
+            for r in def_s[bi].iter() {
+                inn.remove(r);
+            }
+            inn.union_with(&use_s[bi]);
+            if inn != live_in[bi] {
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+/// Walks a block backwards invoking `visit(instr_index, instr, live_after)`
+/// with the set of registers live *after* each instruction.
+pub fn for_each_instr_backwards(
+    func: &Function,
+    live: &Liveness,
+    block: ir::BlockId,
+    mut visit: impl FnMut(usize, &Instr, &RegSet),
+) {
+    let mut current = live.live_out[block.index()].clone();
+    for (i, instr) in func.block(block).instrs.iter().enumerate().rev() {
+        visit(i, instr, &current);
+        if let Some(d) = instr.def() {
+            current.remove(d);
+        }
+        instr.visit_uses(|r| {
+            current.insert(r);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{BinOp, FunctionBuilder};
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::new(130);
+        assert!(s.insert(Reg(0)));
+        assert!(s.insert(Reg(129)));
+        assert!(!s.insert(Reg(0)));
+        assert!(s.contains(Reg(129)));
+        assert_eq!(s.len(), 2);
+        s.remove(Reg(0));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Reg(129)]);
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        // r0 = 10; loop: r0 = r0 - r1; branch r0 loop, exit; exit: ret r0
+        let mut b = FunctionBuilder::new("f", 0);
+        let r0 = b.iconst(10);
+        let r1 = b.iconst(1);
+        let l = b.new_block();
+        let e = b.new_block();
+        b.jump(l);
+        b.switch_to(l);
+        b.emit(Instr::Binary { op: BinOp::Sub, dst: r0, lhs: r0, rhs: r1 });
+        b.branch(r0, l, e);
+        b.switch_to(e);
+        b.ret(Some(r0));
+        let mut f = b.finish();
+        f.has_result = true;
+        let cfg = Cfg::build(&f);
+        let live = liveness(&f, &cfg);
+        // r0 and r1 are live around the loop.
+        assert!(live.live_in[l.index()].contains(r0));
+        assert!(live.live_in[l.index()].contains(r1));
+        assert!(live.live_out[l.index()].contains(r1), "r1 needed next iteration");
+        assert!(!live.live_out[e.index()].contains(r0));
+    }
+
+    #[test]
+    fn backward_walk_reports_live_after() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let a = b.iconst(1);
+        let c = b.iconst(2);
+        let d = b.binary(BinOp::Add, a, c);
+        b.ret(Some(d));
+        let mut f = b.finish();
+        f.has_result = true;
+        let cfg = Cfg::build(&f);
+        let live = liveness(&f, &cfg);
+        let mut seen = Vec::new();
+        for_each_instr_backwards(&f, &live, ir::BlockId(0), |i, _, after| {
+            seen.push((i, after.len()));
+        });
+        // After the add, only d is live; after the first iconst, a is live
+        // (c not yet defined walking forward, but we're walking backward).
+        assert_eq!(seen[0], (3, 0)); // after ret
+        assert_eq!(seen[1], (2, 1)); // after add: {d}
+        assert_eq!(seen[2], (1, 2)); // after second iconst: {a, c}
+        assert_eq!(seen[3], (0, 1)); // after first iconst: {a}
+    }
+}

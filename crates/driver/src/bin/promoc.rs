@@ -1,0 +1,193 @@
+//! `promoc` — the register-promotion compiler, as a command-line tool.
+//!
+//! ```text
+//! promoc run     FILE [flags]      compile, optimize, execute, report counts
+//! promoc compile FILE [flags]      print the optimized IL
+//! promoc measure FILE              the paper's 2x2 experiment on one file
+//! promoc bench   NAME              the 2x2 experiment on a suite program
+//! promoc suite                     list the benchmark suite
+//!
+//! flags:
+//!   --analysis addrtaken|steens|modref|pointer|pointer-ssa   (default modref)
+//!   --no-promote          disable register promotion
+//!   --ptr-promote         enable §3.3 pointer-based promotion
+//!   --no-opt              disable the scalar optimizer
+//!   --no-regalloc         keep virtual registers
+//!   --regs K              machine registers (default 32)
+//!   --max-steps N         VM step budget
+//! ```
+
+use analysis::AnalysisLevel;
+use driver::{compile_and_run, compile_with, measure_program, Metric, PipelineConfig};
+use regalloc::AllocOptions;
+use std::process::ExitCode;
+use vm::VmOptions;
+
+fn usage() -> ! {
+    eprintln!("{}", HELP.trim());
+    std::process::exit(2);
+}
+
+const HELP: &str = r#"
+promoc — the register-promotion compiler (Cooper & Lu, PLDI 1997)
+
+usage:
+  promoc run     FILE [flags]   compile, optimize, execute, report counts
+  promoc compile FILE [flags]   print the optimized IL
+  promoc measure FILE           the paper's 2x2 experiment on one file
+  promoc bench   NAME           the 2x2 experiment on a suite program
+  promoc suite                  list the benchmark suite
+
+flags:
+  --analysis addrtaken|steens|modref|pointer|pointer-ssa   (default modref)
+  --no-promote      disable register promotion
+  --ptr-promote     enable §3.3 pointer-based promotion
+  --no-opt          disable the scalar optimizer
+  --no-regalloc     keep virtual registers
+  --regs K          machine registers (default 32)
+  --max-steps N     VM step budget
+"#;
+
+struct Options {
+    config: PipelineConfig,
+    vm: VmOptions,
+}
+
+fn parse_flags(args: &[String]) -> Result<Options, String> {
+    let mut config = PipelineConfig::default();
+    let mut vm = VmOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--analysis" => {
+                i += 1;
+                let level = args.get(i).ok_or("--analysis needs a value")?;
+                config.analysis = match level.as_str() {
+                    "addrtaken" => AnalysisLevel::AddressTaken,
+                    "steens" => AnalysisLevel::Steensgaard,
+                    "modref" => AnalysisLevel::ModRef,
+                    "pointer" => AnalysisLevel::PointsTo,
+                    "pointer-ssa" => AnalysisLevel::PointsToSsa,
+                    other => return Err(format!("unknown analysis level `{other}`")),
+                };
+            }
+            "--no-promote" => config.promote = false,
+            "--ptr-promote" => config.pointer_promote = true,
+            "--no-opt" => config.optimize = false,
+            "--no-regalloc" => config.regalloc = None,
+            "--regs" => {
+                i += 1;
+                let k: usize = args
+                    .get(i)
+                    .ok_or("--regs needs a value")?
+                    .parse()
+                    .map_err(|_| "--regs needs an integer")?;
+                config.regalloc = Some(AllocOptions { num_regs: k, ..Default::default() });
+            }
+            "--max-steps" => {
+                i += 1;
+                vm.max_steps = args
+                    .get(i)
+                    .ok_or("--max-steps needs a value")?
+                    .parse()
+                    .map_err(|_| "--max-steps needs an integer")?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(Options { config, vm })
+}
+
+fn cmd_run(path: &str, opts: Options) -> Result<(), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let (outcome, report) =
+        compile_and_run(&src, &opts.config, opts.vm).map_err(|e| e.to_string())?;
+    for line in &outcome.output {
+        println!("{line}");
+    }
+    eprintln!("; exit code  {}", outcome.exit_code);
+    eprintln!(
+        "; executed   total={} loads={} stores={} copies={} calls={}",
+        outcome.counts.total,
+        outcome.counts.loads,
+        outcome.counts.stores,
+        outcome.counts.copies,
+        outcome.counts.calls
+    );
+    eprintln!(
+        "; promotion  {} tags, {} refs rewritten, {} lift ops",
+        report.promotion.scalar.promoted_tags,
+        report.promotion.scalar.rewritten_refs,
+        report.promotion.scalar.lifts
+    );
+    if let Some(a) = &report.alloc {
+        eprintln!(
+            "; regalloc   {} coalesced, {} spilled, {} rematerialized",
+            a.coalesced, a.spilled, a.rematerialized
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compile(path: &str, opts: Options) -> Result<(), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let (module, _) = compile_with(&src, &opts.config).map_err(|e| e.to_string())?;
+    print!("{module}");
+    Ok(())
+}
+
+fn cmd_measure(name: &str, source: &str) -> Result<(), String> {
+    let rows = measure_program(name, source);
+    for metric in [Metric::TotalOps, Metric::Stores, Metric::Loads] {
+        println!("{}", driver::render_figure(metric, &rows));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let result = match cmd.as_str() {
+        "run" | "compile" => {
+            let Some(path) = args.get(1) else { usage() };
+            match parse_flags(&args[2..]) {
+                Ok(opts) if cmd == "run" => cmd_run(path, opts),
+                Ok(opts) => cmd_compile(path, opts),
+                Err(e) => Err(e),
+            }
+        }
+        "measure" => {
+            let Some(path) = args.get(1) else { usage() };
+            match std::fs::read_to_string(path) {
+                Ok(src) => cmd_measure(path, &src),
+                Err(e) => Err(format!("{path}: {e}")),
+            }
+        }
+        "bench" => {
+            let Some(name) = args.get(1) else { usage() };
+            match benchsuite::find(name) {
+                Some(b) => cmd_measure(b.name, b.source),
+                None => Err(format!("unknown benchmark `{name}`; try `promoc suite`")),
+            }
+        }
+        "suite" => {
+            for b in benchsuite::SUITE {
+                println!("{:<10} {}", b.name, b.description);
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{}", HELP.trim());
+            Ok(())
+        }
+        _ => usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("promoc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! The compiler driver: pass sequencing, experiment configurations, and
+//! figure-style reporting.
+//!
+//! The highest-level entry points of the whole system live here:
+//!
+//! ```
+//! use driver::{compile_and_run, PipelineConfig};
+//!
+//! let (outcome, report) = compile_and_run(
+//!     r#"
+//!     int counter;
+//!     int main() {
+//!         int i;
+//!         for (i = 0; i < 1000; i++) counter += 1;
+//!         print_int(counter);
+//!         return 0;
+//!     }
+//!     "#,
+//!     &PipelineConfig::default(),
+//!     vm::VmOptions::default(),
+//! )?;
+//! assert_eq!(outcome.output, vec!["1000"]);
+//! // Promotion moved the counter into a register for the whole loop.
+//! assert!(outcome.counts.stores < 10);
+//! assert!(report.promotion.scalar.promoted_tags >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod pipeline;
+mod report;
+
+pub use pipeline::{
+    compile_and_run, compile_with, run_pipeline, PipelineConfig, PipelineReport,
+};
+pub use report::{measure_program, render_figure, MeasurementRow, Metric};

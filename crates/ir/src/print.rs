@@ -1,0 +1,208 @@
+//! Textual form of the IL.
+//!
+//! The printer and [parser](crate::parse) round-trip: for any well-formed
+//! module `m`, `parse(&m.to_string())` reproduces `m` exactly. Tags are
+//! printed by name in double quotes, `{*}` denotes the conservative
+//! [`TagSet::All`](crate::TagSet::All), functions are `@name`, intrinsics
+//! `$name`, and indirect call targets `*reg`.
+
+use crate::function::{Function, Global, GlobalInit, Module};
+use crate::instr::{Callee, Instr};
+use crate::tag::{TagKind, TagSet, TagTable};
+use std::fmt::{self, Write as _};
+
+/// Prints a tag set using tag names from `tags`.
+pub fn tagset_to_string(set: &TagSet, tags: &TagTable) -> String {
+    match set {
+        TagSet::All => "{*}".to_string(),
+        TagSet::Set(s) => {
+            let mut out = String::from("{");
+            for (i, t) in s.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\"", tags.info(*t).name);
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+/// Prints one instruction using tag and function names from the module.
+pub fn instr_to_string(instr: &Instr, module: &Module) -> String {
+    let tags = &module.tags;
+    let tn = |t: &crate::tag::TagId| format!("\"{}\"", tags.info(*t).name);
+    match instr {
+        Instr::IConst { dst, value } => format!("{dst} = iconst {value}"),
+        Instr::FConst { dst, value } => format!("{dst} = fconst {value:?}"),
+        Instr::FuncAddr { dst, func } => {
+            format!("{dst} = funcaddr @{}", module.func(*func).name)
+        }
+        Instr::Copy { dst, src } => format!("{dst} = copy {src}"),
+        Instr::Unary { op, dst, src } => format!("{dst} = {} {src}", op.mnemonic()),
+        Instr::Binary { op, dst, lhs, rhs } => {
+            format!("{dst} = {} {lhs}, {rhs}", op.mnemonic())
+        }
+        Instr::Cmp { op, dst, lhs, rhs } => {
+            format!("{dst} = {} {lhs}, {rhs}", op.mnemonic())
+        }
+        Instr::CLoad { dst, tag } => format!("{dst} = cload {}", tn(tag)),
+        Instr::SLoad { dst, tag } => format!("{dst} = sload {}", tn(tag)),
+        Instr::SStore { src, tag } => format!("sstore {src}, {}", tn(tag)),
+        Instr::Load { dst, addr, tags: ts } => {
+            format!("{dst} = load [{addr}] {}", tagset_to_string(ts, tags))
+        }
+        Instr::Store { src, addr, tags: ts } => {
+            format!("store {src}, [{addr}] {}", tagset_to_string(ts, tags))
+        }
+        Instr::Lea { dst, tag } => format!("{dst} = lea {}", tn(tag)),
+        Instr::PtrAdd { dst, base, offset } => format!("{dst} = ptradd {base}, {offset}"),
+        Instr::Alloc { dst, size, site } => format!("{dst} = alloc {size}, {}", tn(site)),
+        Instr::Call { dst, callee, args, mods, refs } => {
+            let mut s = String::new();
+            if let Some(d) = dst {
+                let _ = write!(s, "{d} = ");
+            }
+            s.push_str("call ");
+            match callee {
+                Callee::Direct(f) => {
+                    let _ = write!(s, "@{}", module.func(*f).name);
+                }
+                Callee::Indirect(r) => {
+                    let _ = write!(s, "*{r}");
+                }
+                Callee::Intrinsic(i) => {
+                    let _ = write!(s, "${}", i.name());
+                }
+            }
+            s.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{a}");
+            }
+            s.push(')');
+            let _ = write!(
+                s,
+                " mods{} refs{}",
+                tagset_to_string(mods, tags),
+                tagset_to_string(refs, tags)
+            );
+            s
+        }
+        Instr::Phi { dst, args } => {
+            let mut s = format!("{dst} = phi [");
+            for (i, (b, r)) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{b}: {r}");
+            }
+            s.push(']');
+            s
+        }
+        Instr::Jump { target } => format!("jump {target}"),
+        Instr::Branch { cond, then_bb, else_bb } => {
+            format!("branch {cond}, {then_bb}, {else_bb}")
+        }
+        Instr::Ret { value: Some(r) } => format!("ret {r}"),
+        Instr::Ret { value: None } => "ret".to_string(),
+        Instr::Nop => "nop".to_string(),
+    }
+}
+
+fn write_function(out: &mut String, f: &Function, module: &Module) {
+    let result = if f.has_result { " result" } else { "" };
+    let _ = writeln!(out, "func @{}({}){} {{", f.name, f.arity, result);
+    for id in f.block_ids() {
+        let _ = writeln!(out, "{id}:");
+        for instr in &f.block(id).instrs {
+            let _ = writeln!(out, "  {}", instr_to_string(instr, module));
+        }
+    }
+    let _ = writeln!(out, "}}");
+}
+
+fn write_tag_decl(out: &mut String, table: &TagTable) {
+    for (_, info) in table.iter() {
+        let kind = match info.kind {
+            TagKind::Global => "global".to_string(),
+            TagKind::Local { owner } => format!("local owner={owner}"),
+            TagKind::Param { owner } => format!("param owner={owner}"),
+            TagKind::Heap { site } => format!("heap site={site}"),
+            TagKind::Spill { owner } => format!("spill owner={owner}"),
+        };
+        let addressed = if info.address_taken { " addressed" } else { "" };
+        let _ = writeln!(out, "tag \"{}\" {} size={}{}", info.name, kind, info.size, addressed);
+    }
+}
+
+fn write_global(out: &mut String, g: &Global, tags: &TagTable) {
+    let _ = write!(out, "global \"{}\" ", tags.info(g.tag).name);
+    match &g.init {
+        GlobalInit::Zero => {
+            let _ = writeln!(out, "zero");
+        }
+        GlobalInit::Ints(vs) => {
+            let _ = write!(out, "ints");
+            for v in vs {
+                let _ = write!(out, " {v}");
+            }
+            let _ = writeln!(out);
+        }
+        GlobalInit::Floats(vs) => {
+            let _ = write!(out, "floats");
+            for v in vs {
+                let _ = write!(out, " {v:?}");
+            }
+            let _ = writeln!(out);
+        }
+    }
+}
+
+/// Renders the whole module in the textual IL syntax.
+pub fn module_to_string(module: &Module) -> String {
+    let mut out = String::new();
+    write_tag_decl(&mut out, &module.tags);
+    for g in &module.globals {
+        write_global(&mut out, g, &module.tags);
+    }
+    for f in &module.funcs {
+        write_function(&mut out, f, module);
+    }
+    out
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&module_to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::function::{GlobalInit, Module};
+    use crate::instr::BinOp;
+
+    #[test]
+    fn prints_module() {
+        let mut m = Module::new();
+        let g = m.add_global("x", 1, GlobalInit::Zero);
+        let mut b = FunctionBuilder::new("main", 0);
+        let v = b.sload(g);
+        let one = b.iconst(1);
+        let s = b.binary(BinOp::Add, v, one);
+        b.sstore(s, g);
+        b.ret(None);
+        m.add_func(b.finish());
+        let text = m.to_string();
+        assert!(text.contains("tag \"g:x\" global size=1"));
+        assert!(text.contains("global \"g:x\" zero"));
+        assert!(text.contains("func @main(0) {"));
+        assert!(text.contains("r0 = sload \"g:x\""));
+        assert!(text.contains("sstore r2, \"g:x\""));
+    }
+}

@@ -1,0 +1,367 @@
+//! Memory tags and tag sets.
+//!
+//! A *tag* is a textual name for a memory location, exactly as in the paper:
+//! every memory operation in the IL carries a list of tags naming the
+//! locations it may use, and procedure calls carry MOD/REF tag lists
+//! summarizing their side effects. Tags are interned into a per-module
+//! [`TagTable`] and referenced by the lightweight [`TagId`] handle.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A handle to an interned memory tag.
+///
+/// `TagId`s are only meaningful relative to the [`TagTable`] of the module
+/// that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TagId(pub u32);
+
+impl TagId {
+    /// Returns the raw index of this tag.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// What kind of storage a tag names.
+///
+/// The distinction matters to the analyses: only [`TagKind::Global`] tags are
+/// visible everywhere, a local is visible only in its owning function and the
+/// call-graph descendants of that function, and heap tags name all objects
+/// created at one allocation site (the paper models "heap memory ... with a
+/// single name for each call-site that can generate a new heap address").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant payload fields are self-describing
+pub enum TagKind {
+    /// A global variable (or global array).
+    Global,
+    /// A local variable owned by the function with the given index.
+    ///
+    /// Only locals whose address is taken (or arrays) receive tags; other
+    /// locals live purely in virtual registers.
+    Local { owner: u32 },
+    /// A formal parameter whose address is taken, owned by a function.
+    Param { owner: u32 },
+    /// All heap objects allocated at one static allocation site.
+    Heap { site: u32 },
+    /// A compiler-introduced spill slot (from the register allocator).
+    Spill { owner: u32 },
+}
+
+impl TagKind {
+    /// True if this tag names storage local to a single activation.
+    pub fn is_local(&self) -> bool {
+        matches!(self, TagKind::Local { .. } | TagKind::Param { .. } | TagKind::Spill { .. })
+    }
+
+    /// The owning function index for local-ish tags.
+    pub fn owner(&self) -> Option<u32> {
+        match *self {
+            TagKind::Local { owner } | TagKind::Param { owner } | TagKind::Spill { owner } => {
+                Some(owner)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Interned information about a single tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagInfo {
+    /// Human-readable name, unique within the table (e.g. `"g:count"`,
+    /// `"main.buf"`, `"heap@3"`).
+    pub name: String,
+    /// The kind of storage named by the tag.
+    pub kind: TagKind,
+    /// Number of value cells in the object (1 for scalars).
+    pub size: usize,
+    /// Whether the program ever takes this location's address.
+    ///
+    /// Address-taken tags may be reached through pointers; tags that are not
+    /// address-taken can only be referenced explicitly by name, which is what
+    /// makes them trivially promotable.
+    pub address_taken: bool,
+}
+
+/// The per-module tag interner.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TagTable {
+    tags: Vec<TagInfo>,
+}
+
+impl TagTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a new tag and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tag with the same name already exists; tag names are
+    /// required to be unique so the textual IL round-trips.
+    pub fn intern(&mut self, name: impl Into<String>, kind: TagKind, size: usize) -> TagId {
+        let name = name.into();
+        assert!(
+            self.lookup(&name).is_none(),
+            "duplicate tag name: {name}"
+        );
+        let id = TagId(self.tags.len() as u32);
+        self.tags.push(TagInfo { name, kind, size, address_taken: false });
+        id
+    }
+
+    /// Looks a tag up by name.
+    pub fn lookup(&self, name: &str) -> Option<TagId> {
+        self.tags
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TagId(i as u32))
+    }
+
+    /// Returns the info for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this table.
+    pub fn info(&self, id: TagId) -> &TagInfo {
+        &self.tags[id.index()]
+    }
+
+    /// Marks `id` as address-taken.
+    pub fn mark_address_taken(&mut self, id: TagId) {
+        self.tags[id.index()].address_taken = true;
+    }
+
+    /// Number of interned tags.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// True if no tags have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Iterates over `(TagId, &TagInfo)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, &TagInfo)> {
+        self.tags
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TagId(i as u32), t))
+    }
+
+    /// All tags whose address is taken — the universe that a wild pointer may
+    /// reference. Heap tags are included unconditionally.
+    pub fn address_taken_set(&self) -> TagSet {
+        TagSet::from_iter(self.iter().filter_map(|(id, t)| {
+            if t.address_taken || matches!(t.kind, TagKind::Heap { .. }) {
+                Some(id)
+            } else {
+                None
+            }
+        }))
+    }
+
+    /// All global tags.
+    pub fn globals(&self) -> TagSet {
+        TagSet::from_iter(
+            self.iter()
+                .filter(|(_, t)| matches!(t.kind, TagKind::Global))
+                .map(|(id, _)| id),
+        )
+    }
+}
+
+/// A set of tags attached to a memory operation or call site.
+///
+/// `TagSet::All` is the conservative "may touch anything" value the front end
+/// uses before analysis has run; the analyses replace it with explicit sets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TagSet {
+    /// May reference every memory location (unknown).
+    All,
+    /// May reference exactly the listed locations.
+    Set(BTreeSet<TagId>),
+}
+
+impl Default for TagSet {
+    fn default() -> Self {
+        TagSet::empty()
+    }
+}
+
+impl TagSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        TagSet::Set(BTreeSet::new())
+    }
+
+    /// A singleton set.
+    pub fn single(tag: TagId) -> Self {
+        let mut s = BTreeSet::new();
+        s.insert(tag);
+        TagSet::Set(s)
+    }
+
+    /// True if this is the conservative universe.
+    pub fn is_all(&self) -> bool {
+        matches!(self, TagSet::All)
+    }
+
+    /// True if the set is known to be empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            TagSet::All => false,
+            TagSet::Set(s) => s.is_empty(),
+        }
+    }
+
+    /// Number of explicit tags, or `None` for [`TagSet::All`].
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            TagSet::All => None,
+            TagSet::Set(s) => Some(s.len()),
+        }
+    }
+
+    /// If the set contains exactly one tag, returns it.
+    pub fn as_singleton(&self) -> Option<TagId> {
+        match self {
+            TagSet::Set(s) if s.len() == 1 => s.iter().next().copied(),
+            _ => None,
+        }
+    }
+
+    /// True if `tag` may be in the set.
+    pub fn contains(&self, tag: TagId) -> bool {
+        match self {
+            TagSet::All => true,
+            TagSet::Set(s) => s.contains(&tag),
+        }
+    }
+
+    /// Inserts a tag (no-op on [`TagSet::All`]).
+    pub fn insert(&mut self, tag: TagId) {
+        if let TagSet::Set(s) = self {
+            s.insert(tag);
+        }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &TagSet) {
+        match (&mut *self, other) {
+            (TagSet::All, _) => {}
+            (_, TagSet::All) => *self = TagSet::All,
+            (TagSet::Set(a), TagSet::Set(b)) => a.extend(b.iter().copied()),
+        }
+    }
+
+    /// Intersection with an explicit universe, used to concretize
+    /// [`TagSet::All`] once the analysis knows the address-taken universe.
+    pub fn intersect_universe(&self, universe: &BTreeSet<TagId>) -> TagSet {
+        match self {
+            TagSet::All => TagSet::Set(universe.clone()),
+            TagSet::Set(s) => TagSet::Set(s.intersection(universe).copied().collect()),
+        }
+    }
+
+    /// Iterates explicit members (empty iterator for [`TagSet::All`]; callers
+    /// must check [`TagSet::is_all`] first when that distinction matters).
+    pub fn iter(&self) -> impl Iterator<Item = TagId> + '_ {
+        match self {
+            TagSet::All => None.into_iter().flatten(),
+            TagSet::Set(s) => Some(s.iter().copied()).into_iter().flatten(),
+        }
+    }
+}
+
+impl FromIterator<TagId> for TagSet {
+    fn from_iter<I: IntoIterator<Item = TagId>>(iter: I) -> Self {
+        TagSet::Set(iter.into_iter().collect())
+    }
+}
+
+impl Extend<TagId> for TagSet {
+    fn extend<I: IntoIterator<Item = TagId>>(&mut self, iter: I) {
+        if let TagSet::Set(s) = self {
+            s.extend(iter);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_and_lookup() {
+        let mut t = TagTable::new();
+        let a = t.intern("g:a", TagKind::Global, 1);
+        let b = t.intern("g:b", TagKind::Global, 4);
+        assert_ne!(a, b);
+        assert_eq!(t.lookup("g:a"), Some(a));
+        assert_eq!(t.lookup("g:c"), None);
+        assert_eq!(t.info(b).size, 4);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tag name")]
+    fn duplicate_names_panic() {
+        let mut t = TagTable::new();
+        t.intern("x", TagKind::Global, 1);
+        t.intern("x", TagKind::Global, 1);
+    }
+
+    #[test]
+    fn address_taken_universe_includes_heap() {
+        let mut t = TagTable::new();
+        let a = t.intern("a", TagKind::Global, 1);
+        let h = t.intern("heap@0", TagKind::Heap { site: 0 }, 1);
+        let b = t.intern("b", TagKind::Global, 1);
+        t.mark_address_taken(a);
+        let u = t.address_taken_set();
+        assert!(u.contains(a));
+        assert!(u.contains(h));
+        assert!(!u.contains(b));
+    }
+
+    #[test]
+    fn tagset_union_and_all() {
+        let a = TagId(0);
+        let b = TagId(1);
+        let mut s = TagSet::single(a);
+        s.union_with(&TagSet::single(b));
+        assert!(s.contains(a) && s.contains(b));
+        assert_eq!(s.len(), Some(2));
+        s.union_with(&TagSet::All);
+        assert!(s.is_all());
+        assert!(s.contains(TagId(99)));
+    }
+
+    #[test]
+    fn tagset_singleton() {
+        assert_eq!(TagSet::single(TagId(3)).as_singleton(), Some(TagId(3)));
+        assert_eq!(TagSet::empty().as_singleton(), None);
+        assert_eq!(TagSet::All.as_singleton(), None);
+    }
+
+    #[test]
+    fn intersect_universe_concretizes_all() {
+        let mut u = BTreeSet::new();
+        u.insert(TagId(1));
+        u.insert(TagId(2));
+        let s = TagSet::All.intersect_universe(&u);
+        assert_eq!(s.len(), Some(2));
+        let t = TagSet::single(TagId(1)).intersect_universe(&u);
+        assert_eq!(t.as_singleton(), Some(TagId(1)));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property test: the textual IL round-trips through print → parse for
+//! arbitrary generated modules.
+
+use ir::{
+    BinOp, CmpOp, FunctionBuilder, GlobalInit, Instr, Module, TagKind, TagSet, UnaryOp,
+};
+use proptest::prelude::*;
+
+fn build_module(
+    n_tags: usize,
+    instrs: &[(usize, usize, usize, i64)],
+    blocks: usize,
+) -> Module {
+    let mut m = Module::new();
+    let mut tags = Vec::new();
+    for i in 0..n_tags {
+        let t = m.add_global(&format!("v{i}"), 1 + i % 3, GlobalInit::Ints(vec![i as i64]));
+        tags.push(t);
+    }
+    if tags.is_empty() {
+        tags.push(m.add_global("only", 1, GlobalInit::Zero));
+    }
+    let mut b = FunctionBuilder::new("main", 0);
+    let mut regs = vec![b.iconst(1)];
+    let block_ids: Vec<_> = (1..blocks).map(|_| b.new_block()).collect();
+    for &(op, a, t, imm) in instrs {
+        let ra = regs[a % regs.len()];
+        let tag = tags[t % tags.len()];
+        let r = match op % 10 {
+            0 => b.iconst(imm),
+            1 => b.fconst(imm as f64 * 0.5),
+            2 => b.binary(BinOp::Add, ra, ra),
+            3 => b.cmp(CmpOp::Le, ra, ra),
+            4 => b.unary(UnaryOp::Neg, ra),
+            5 => b.sload(tag),
+            6 => {
+                b.sstore(ra, tag);
+                ra
+            }
+            7 => b.lea(tag),
+            8 => {
+                let addr = b.lea(tag);
+                let mut set = TagSet::single(tag);
+                if imm % 2 == 0 {
+                    set = TagSet::All;
+                }
+                b.load(addr, set)
+            }
+            _ => b.copy(ra),
+        };
+        regs.push(r);
+    }
+    // Wire the blocks into a chain so every one has a terminator.
+    for (i, &blk) in block_ids.iter().enumerate() {
+        if i == 0 {
+            b.jump(blk);
+        }
+        b.switch_to(blk);
+        if i + 1 < block_ids.len() {
+            let next = block_ids[i + 1];
+            b.branch(regs[0], next, next);
+        }
+    }
+    b.ret(None);
+    if block_ids.is_empty() {
+        // single-block function: terminator added above went to B0
+    }
+    m.add_func(b.finish());
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(
+        n_tags in 0usize..5,
+        instrs in proptest::collection::vec(
+            (0usize..10, 0usize..8, 0usize..5, -100i64..100),
+            0..25,
+        ),
+        blocks in 1usize..5,
+    ) {
+        let m = build_module(n_tags, &instrs, blocks);
+        prop_assume!(ir::validate(&m).is_ok());
+        let text = m.to_string();
+        let reparsed = ir::parse_module(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(&m, &reparsed, "round-trip changed the module:\n{}", text);
+        // And printing again is a fixpoint.
+        prop_assert_eq!(text, reparsed.to_string());
+    }
+}
+
+#[test]
+fn tag_kinds_roundtrip() {
+    let mut m = Module::new();
+    m.tags.intern("a", TagKind::Global, 4);
+    m.tags.intern("b", TagKind::Local { owner: 0 }, 1);
+    m.tags.intern("c", TagKind::Param { owner: 0 }, 1);
+    m.tags.intern("d", TagKind::Heap { site: 3 }, 1);
+    let s = m.tags.intern("e", TagKind::Spill { owner: 0 }, 1);
+    m.tags.mark_address_taken(s);
+    let mut b = FunctionBuilder::new("main", 0);
+    b.ret(None);
+    m.add_func(b.finish());
+    let text = m.to_string();
+    let m2 = ir::parse_module(&text).expect("parse");
+    assert_eq!(m, m2);
+}
+
+#[test]
+fn call_forms_roundtrip() {
+    let src = r#"
+tag "g" global size=1
+global "g" zero
+func @callee(2) result {
+B0:
+  r2 = add r0, r1
+  ret r2
+}
+func @main(0) {
+B0:
+  r0 = iconst 1
+  r1 = call @callee(r0, r0) mods{} refs{"g"}
+  r2 = funcaddr @callee
+  r3 = call *r2(r0, r1) mods{*} refs{*}
+  r4 = call $abs(r3) mods{} refs{}
+  call $print_int(r4) mods{} refs{}
+  ret
+}
+"#;
+    let m = ir::parse_module(src).expect("parse");
+    let m2 = ir::parse_module(&m.to_string()).expect("reparse");
+    assert_eq!(m, m2);
+    // Phis too.
+    let phi_src = r#"
+func @main(0) result {
+B0:
+  r0 = iconst 0
+  branch r0, B1, B2
+B1:
+  r1 = iconst 1
+  jump B3
+B2:
+  r2 = iconst 2
+  jump B3
+B3:
+  r3 = phi [B1: r1, B2: r2]
+  ret r3
+}
+"#;
+    let m = ir::parse_module(phi_src).expect("parse");
+    assert_eq!(m, ir::parse_module(&m.to_string()).expect("reparse"));
+}

@@ -1,0 +1,260 @@
+//! The MiniC abstract syntax tree.
+
+use crate::token::Pos;
+use std::fmt;
+
+/// A MiniC type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Double,
+    /// A function pointer (dynamically checked arity).
+    Func,
+    /// Pointer to `T`.
+    Ptr(Box<Type>),
+    /// Array of `n` elements of `T` (possibly itself an array).
+    Array(Box<Type>, usize),
+}
+
+impl Type {
+    /// Size in value cells.
+    pub fn size_cells(&self) -> usize {
+        match self {
+            Type::Array(elem, n) => elem.size_cells() * n,
+            _ => 1,
+        }
+    }
+
+    /// True for scalar (single-cell) types.
+    pub fn is_scalar(&self) -> bool {
+        !matches!(self, Type::Array(..))
+    }
+
+    /// True for arithmetic types.
+    pub fn is_arith(&self) -> bool {
+        matches!(self, Type::Int | Type::Double)
+    }
+
+    /// The type a value of this type has after array-to-pointer decay.
+    pub fn decayed(&self) -> Type {
+        match self {
+            Type::Array(elem, _) => Type::Ptr(elem.clone()),
+            other => other.clone(),
+        }
+    }
+
+    /// The pointee/element type for pointers and arrays.
+    pub fn element(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) | Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Double => write!(f, "double"),
+            Type::Func => write!(f, "func"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+            Type::Array(t, n) => write!(f, "{t}[{n}]"),
+        }
+    }
+}
+
+/// Binary operators (after desugaring compound assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+impl BinaryOp {
+    /// True for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// An expression with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression.
+    pub kind: ExprKind,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Variable or function name.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Assignment `lhs = rhs` (compound assignments are desugared by the
+    /// parser).
+    Assign(Box<Expr>, Box<Expr>),
+    /// Call; the callee is an expression (an identifier naming a function
+    /// or intrinsic, or a `func`-typed variable).
+    Call(Box<Expr>, Vec<Expr>),
+    /// Indexing `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Dereference `*e`.
+    Deref(Box<Expr>),
+    /// Address-of `&e` (of an identifier or an index expression).
+    AddrOf(Box<Expr>),
+    /// Heap allocation `malloc(n)` of `n` cells.
+    Malloc(Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field names mirror the surface syntax
+pub enum Stmt {
+    /// Local declaration with optional initializer.
+    Decl { name: String, ty: Type, init: Option<Expr>, pos: Pos },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if` with optional `else`.
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    /// `while` loop.
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `do { } while (cond);` loop.
+    DoWhile { body: Vec<Stmt>, cond: Expr },
+    /// `for` loop; all three headers optional.
+    For { init: Option<Box<Stmt>>, cond: Option<Expr>, step: Option<Expr>, body: Vec<Stmt> },
+    /// `return` with optional value.
+    Return { value: Option<Expr>, pos: Pos },
+    /// `break`.
+    Break(Pos),
+    /// `continue`.
+    Continue(Pos),
+    /// Nested block.
+    Block(Vec<Stmt>),
+}
+
+/// Initializer for a global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInitAst {
+    /// A single number.
+    Scalar(Expr),
+    /// `{ a, b, c }` for arrays.
+    List(Vec<Expr>),
+}
+
+/// A global variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional initializer (literals only).
+    pub init: Option<GlobalInitAst>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Name.
+    pub name: String,
+    /// Return type; `None` = `void`.
+    pub ret: Option<Type>,
+    /// Parameters.
+    pub params: Vec<(String, Type)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Global variables, in declaration order.
+    pub globals: Vec<GlobalDecl>,
+    /// Functions, in declaration order.
+    pub funcs: Vec<FuncDecl>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes() {
+        assert_eq!(Type::Int.size_cells(), 1);
+        assert_eq!(Type::Ptr(Box::new(Type::Double)).size_cells(), 1);
+        let row = Type::Array(Box::new(Type::Int), 20);
+        let mat = Type::Array(Box::new(row.clone()), 10);
+        assert_eq!(row.size_cells(), 20);
+        assert_eq!(mat.size_cells(), 200);
+        assert!(!mat.is_scalar());
+        assert_eq!(mat.decayed(), Type::Ptr(Box::new(row)));
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Ptr(Box::new(Type::Int)).to_string(), "int*");
+        assert_eq!(Type::Array(Box::new(Type::Double), 3).to_string(), "double[3]");
+    }
+}

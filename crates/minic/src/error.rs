@@ -1,0 +1,52 @@
+//! Front-end error type.
+
+use crate::token::Pos;
+use std::error::Error;
+use std::fmt;
+
+/// Which phase produced the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic analysis / type checking.
+    Sema,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Parse => write!(f, "parse"),
+            Phase::Sema => write!(f, "type"),
+        }
+    }
+}
+
+/// A MiniC front-end failure with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontError {
+    /// The phase that failed.
+    pub phase: Phase,
+    /// Position of the offending construct.
+    pub pos: Pos,
+    /// Description.
+    pub message: String,
+}
+
+impl FrontError {
+    /// Creates an error.
+    pub fn new(phase: Phase, pos: Pos, message: impl Into<String>) -> Self {
+        FrontError { phase, pos, message: message.into() }
+    }
+}
+
+impl fmt::Display for FrontError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.pos, self.message)
+    }
+}
+
+impl Error for FrontError {}

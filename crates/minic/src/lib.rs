@@ -1,0 +1,43 @@
+//! MiniC: the C-subset front end of the register-promotion compiler.
+//!
+//! MiniC covers the C features the paper's evaluation exercises: `int` and
+//! `double` scalars, pointers with arithmetic, 1-D and 2-D arrays, globals
+//! with initializers, address-of, `malloc`, recursion, and function
+//! pointers (spelled `func`). The front end lowers to the tagged IL of the
+//! [`ir`] crate, making the storage decisions the paper describes: values
+//! that may be aliased (globals, address-taken locals, arrays) live in
+//! memory behind *tags*; everything else lives in virtual registers.
+//!
+//! ```
+//! use vm::{Vm, VmOptions};
+//!
+//! let module = minic::compile(r#"
+//!     int counter;
+//!     int main() {
+//!         int i;
+//!         for (i = 0; i < 10; i++) { counter += i; }
+//!         print_int(counter);
+//!         return counter;
+//!     }
+//! "#)?;
+//! let out = Vm::run_main(&module, VmOptions::default())?;
+//! assert_eq!(out.output, vec!["45"]);
+//! // `counter` is a global: unpromoted code loads and stores it in the loop.
+//! assert!(out.counts.loads >= 10);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+mod token;
+
+pub use error::{FrontError, Phase};
+pub use lexer::lex;
+pub use lower::compile;
+pub use parser::parse;
+pub use token::{Pos, Tok, Token};

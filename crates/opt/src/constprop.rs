@@ -1,0 +1,328 @@
+//! Global constant propagation.
+//!
+//! A forward data-flow analysis over virtual registers with the classic
+//! three-level lattice (⊤ / constant / ⊥). Definitions whose operands are
+//! all constants are folded to `iconst`/`fconst`, and branches on constant
+//! conditions become jumps (which `clean` then exploits to delete dead
+//! arms).
+
+use cfg::Cfg;
+use ir::{BinOp, CmpOp, Function, Instr, Module, Reg, UnaryOp};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Lat {
+    Top,
+    Int(i64),
+    Float(f64),
+    Bottom,
+}
+
+impl Lat {
+    fn meet(self, other: Lat) -> Lat {
+        match (self, other) {
+            (Lat::Top, x) | (x, Lat::Top) => x,
+            (a, b) if a == b => a,
+            _ => Lat::Bottom,
+        }
+    }
+}
+
+fn transfer(instr: &Instr, state: &mut [Lat]) {
+    let get = |state: &[Lat], r: Reg| state[r.index()];
+    let val = match instr {
+        Instr::IConst { value, .. } => Lat::Int(*value),
+        Instr::FConst { value, .. } => Lat::Float(*value),
+        Instr::Copy { src, .. } => get(state, *src),
+        Instr::Unary { op, src, .. } => match (op, get(state, *src)) {
+            (UnaryOp::Neg, Lat::Int(a)) => Lat::Int(a.wrapping_neg()),
+            (UnaryOp::Neg, Lat::Float(a)) => Lat::Float(-a),
+            (UnaryOp::Not, Lat::Int(a)) => Lat::Int((a == 0) as i64),
+            (UnaryOp::IntToFloat, Lat::Int(a)) => Lat::Float(a as f64),
+            (UnaryOp::FloatToInt, Lat::Float(a)) => Lat::Int(a as i64),
+            (_, Lat::Top) => Lat::Top,
+            _ => Lat::Bottom,
+        },
+        Instr::Binary { op, lhs, rhs, .. } => match (get(state, *lhs), get(state, *rhs)) {
+            (Lat::Int(a), Lat::Int(b)) => {
+                match fold_int(*op, a, b) {
+                    Some(v) => Lat::Int(v),
+                    None => Lat::Bottom, // division by zero traps at run time
+                }
+            }
+            (Lat::Float(a), Lat::Float(b)) => match op {
+                BinOp::Add => Lat::Float(a + b),
+                BinOp::Sub => Lat::Float(a - b),
+                BinOp::Mul => Lat::Float(a * b),
+                BinOp::Div => Lat::Float(a / b),
+                _ => Lat::Bottom,
+            },
+            (Lat::Top, _) | (_, Lat::Top) => Lat::Top,
+            _ => Lat::Bottom,
+        },
+        Instr::Cmp { op, lhs, rhs, .. } => match (get(state, *lhs), get(state, *rhs)) {
+            (Lat::Int(a), Lat::Int(b)) => Lat::Int(fold_cmp(*op, a, b)),
+            (Lat::Top, _) | (_, Lat::Top) => Lat::Top,
+            _ => Lat::Bottom,
+        },
+        Instr::Phi { args, .. } => {
+            let mut v = Lat::Top;
+            for (_, r) in args {
+                v = v.meet(get(state, *r));
+            }
+            v
+        }
+        _ => Lat::Bottom,
+    };
+    if let Some(d) = instr.def() {
+        state[d.index()] = val;
+    }
+}
+
+fn fold_int(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+    })
+}
+
+fn fold_cmp(op: CmpOp, a: i64, b: i64) -> i64 {
+    (match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }) as i64
+}
+
+/// Runs constant propagation over one function. Returns rewrites made.
+pub fn constprop_function(func: &mut Function) -> usize {
+    let cfg = Cfg::build(func);
+    let nregs = func.next_reg as usize;
+    let mut input: Vec<Vec<Lat>> = vec![vec![Lat::Top; nregs]; func.blocks.len()];
+    // Parameters are unknown.
+    for p in 0..func.arity {
+        input[func.entry.index()][p] = Lat::Bottom;
+    }
+    // Iterate to fixpoint in reverse postorder.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &cfg.rpo {
+            let mut state = input[b.index()].clone();
+            for instr in &func.block(b).instrs {
+                transfer(instr, &mut state);
+            }
+            for s in cfg.succs[b.index()].iter() {
+                let succ_in = &mut input[s.index()];
+                for (i, v) in state.iter().enumerate() {
+                    let m = succ_in[i].meet(*v);
+                    if m != succ_in[i] {
+                        succ_in[i] = m;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    // Rewrite pass: fold definitions and branches.
+    let mut rewrites = 0;
+    for &b in &cfg.rpo {
+        let mut state = input[b.index()].clone();
+        for instr in &mut func.block_mut(b).instrs {
+            let folded: Option<Instr> = match instr {
+                Instr::Binary { dst, .. } | Instr::Cmp { dst, .. } | Instr::Unary { dst, .. } => {
+                    let dst = *dst;
+                    let mut probe = state.clone();
+                    transfer(instr, &mut probe);
+                    match probe[dst.index()] {
+                        Lat::Int(v) => Some(Instr::IConst { dst, value: v }),
+                        Lat::Float(v) => Some(Instr::FConst { dst, value: v }),
+                        _ => None,
+                    }
+                }
+                Instr::Branch { cond, then_bb, else_bb } => match state[cond.index()] {
+                    Lat::Int(c) => {
+                        Some(Instr::Jump { target: if c != 0 { *then_bb } else { *else_bb } })
+                    }
+                    _ => None,
+                },
+                _ => None,
+            };
+            transfer(instr, &mut state);
+            if let Some(new) = folded {
+                if *instr != new {
+                    *instr = new;
+                    rewrites += 1;
+                }
+            }
+        }
+    }
+    rewrites
+}
+
+/// Runs constant propagation over every function.
+pub fn constprop(module: &mut Module) -> usize {
+    let mut n = 0;
+    for func in &mut module.funcs {
+        n += constprop_function(func);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagates_across_blocks() {
+        let src = r#"
+func @main(0) result {
+B0:
+  r0 = iconst 21
+  jump B1
+B1:
+  r1 = add r0, r0
+  ret r1
+}
+"#;
+        let mut m = ir::parse_module(src).unwrap();
+        let n = constprop(&mut m);
+        assert_eq!(n, 1);
+        assert!(matches!(
+            m.funcs[0].blocks[1].instrs[0],
+            Instr::IConst { value: 42, .. }
+        ));
+    }
+
+    #[test]
+    fn merges_conflicting_paths_to_bottom() {
+        let src = r#"
+func @main(1) result {
+B0:
+  branch r0, B1, B2
+B1:
+  r1 = iconst 1
+  jump B3
+B2:
+  r1 = iconst 2
+  jump B3
+B3:
+  r2 = add r1, r1
+  ret r2
+}
+"#;
+        let mut m = ir::parse_module(src).unwrap();
+        let n = constprop(&mut m);
+        assert_eq!(n, 0, "r1 is not constant at the join");
+    }
+
+    #[test]
+    fn agreeing_paths_stay_constant() {
+        let src = r#"
+func @main(1) result {
+B0:
+  branch r0, B1, B2
+B1:
+  r1 = iconst 5
+  jump B3
+B2:
+  r1 = iconst 5
+  jump B3
+B3:
+  r2 = add r1, r1
+  ret r2
+}
+"#;
+        let mut m = ir::parse_module(src).unwrap();
+        let n = constprop(&mut m);
+        assert_eq!(n, 1);
+        assert!(matches!(
+            m.funcs[0].blocks[3].instrs[0],
+            Instr::IConst { value: 10, .. }
+        ));
+    }
+
+    #[test]
+    fn folds_constant_branches() {
+        let src = r#"
+func @main(0) result {
+B0:
+  r0 = iconst 0
+  branch r0, B1, B2
+B1:
+  r1 = iconst 111
+  ret r1
+B2:
+  r2 = iconst 222
+  ret r2
+}
+"#;
+        let mut m = ir::parse_module(src).unwrap();
+        constprop(&mut m);
+        assert!(matches!(
+            m.funcs[0].blocks[0].instrs[1],
+            Instr::Jump { target } if target == ir::BlockId(2)
+        ));
+    }
+
+    #[test]
+    fn loop_carried_values_are_bottom() {
+        let src = r#"
+func @main(0) result {
+B0:
+  r0 = iconst 10
+  jump B1
+B1:
+  r1 = iconst 1
+  r0 = sub r0, r1
+  branch r0, B1, B2
+B2:
+  ret r0
+}
+"#;
+        let mut m = ir::parse_module(src).unwrap();
+        let before = vm::Vm::run_main(&m, vm::VmOptions::default()).unwrap();
+        constprop(&mut m);
+        ir::validate(&m).unwrap();
+        let after = vm::Vm::run_main(&m, vm::VmOptions::default()).unwrap();
+        assert_eq!(before.exit_code, after.exit_code);
+        // The loop body subtraction must not be folded.
+        assert!(matches!(m.funcs[0].blocks[1].instrs[1], Instr::Binary { .. }));
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let src = r#"
+func @main(0) result {
+B0:
+  r0 = iconst 1
+  r1 = iconst 0
+  r2 = div r0, r1
+  ret r2
+}
+"#;
+        let mut m = ir::parse_module(src).unwrap();
+        constprop(&mut m);
+        assert!(matches!(m.funcs[0].blocks[0].instrs[2], Instr::Binary { .. }));
+    }
+}

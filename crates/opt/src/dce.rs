@@ -1,0 +1,131 @@
+//! Dead-code elimination.
+//!
+//! Classic mark-and-sweep over virtual registers: roots are the operands
+//! of side-effecting instructions (stores, calls, terminators); any pure
+//! instruction whose result is transitively unused is deleted. Loads count
+//! as pure — deleting a dead load is precisely the payoff of register
+//! promotion's rewrites.
+
+use ir::{Function, Module};
+
+/// Runs DCE on one function. Returns the number of instructions removed.
+pub fn dce_function(func: &mut Function) -> usize {
+    let nregs = func.next_reg as usize;
+    let mut live = vec![false; nregs];
+    // Seed with uses of side-effecting/control instructions.
+    for block in &func.blocks {
+        for instr in &block.instrs {
+            if instr.has_side_effects() {
+                instr.visit_uses(|r| live[r.index()] = true);
+            }
+        }
+    }
+    // Propagate: a live def makes its operands live. Iterate to fixpoint.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for block in &func.blocks {
+            for instr in &block.instrs {
+                if let Some(d) = instr.def() {
+                    if live[d.index()] && !instr.has_side_effects() {
+                        instr.visit_uses(|r| {
+                            if !live[r.index()] {
+                                live[r.index()] = true;
+                                changed = true;
+                            }
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Sweep.
+    let mut removed = 0;
+    for block in &mut func.blocks {
+        let before = block.instrs.len();
+        block.instrs.retain(|instr| {
+            if instr.has_side_effects() {
+                return true;
+            }
+            match instr.def() {
+                Some(d) => live[d.index()],
+                // Pure instructions without a def cannot exist, but keep
+                // anything unknown.
+                None => true,
+            }
+        });
+        removed += before - block.instrs.len();
+    }
+    removed
+}
+
+/// Runs DCE over every function.
+pub fn dce(module: &mut Module) -> usize {
+    let mut removed = 0;
+    for func in &mut module.funcs {
+        removed += dce_function(func);
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{BinOp, FunctionBuilder, Intrinsic};
+
+    #[test]
+    fn removes_dead_chains() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let a = b.iconst(1);
+        let c = b.iconst(2);
+        let _dead = b.binary(BinOp::Add, a, c); // unused
+        let live = b.binary(BinOp::Mul, a, c);
+        b.ret(Some(live));
+        let mut f = b.finish();
+        f.has_result = true;
+        assert_eq!(dce_function(&mut f), 1);
+        assert_eq!(f.instr_count(), 4);
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let a = b.iconst(7);
+        b.call_intrinsic(Intrinsic::PrintInt, vec![a]);
+        b.ret(None);
+        let mut f = b.finish();
+        assert_eq!(dce_function(&mut f), 0);
+    }
+
+    #[test]
+    fn removes_dead_loads_and_their_addressing() {
+        let src = r#"
+tag "g:a" global size=8 addressed
+global "g:a" zero
+func @main(0) {
+B0:
+  r0 = lea "g:a"
+  r1 = iconst 3
+  r2 = ptradd r0, r1
+  r3 = load [r2] {"g:a"}
+  ret
+}
+"#;
+        let mut m = ir::parse_module(src).unwrap();
+        let removed = dce(&mut m);
+        assert_eq!(removed, 4);
+        assert_eq!(m.funcs[0].instr_count(), 1);
+    }
+
+    #[test]
+    fn transitive_liveness_through_copies() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let a = b.iconst(1);
+        let c = b.copy(a);
+        let d = b.copy(c);
+        b.ret(Some(d));
+        let mut f = b.finish();
+        f.has_result = true;
+        assert_eq!(dce_function(&mut f), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! The supporting optimizer of the register-promotion compiler.
+//!
+//! The paper optimizes every program version with "value numbering,
+//! partial redundancy elimination, constant propagation, loop invariant
+//! code motion, dead code elimination, register allocation, and a basic
+//! block cleaning pass". This crate provides those scalar passes (register
+//! allocation lives in its own crate):
+//!
+//! * [`lvn`] — local value numbering with constant folding and tag-aware
+//!   scalar-memory forwarding;
+//! * [`loadelim`] — the tag-aware redundant-load core of PRE;
+//! * [`constprop`] — global constant propagation with branch folding;
+//! * [`licm`] — loop-invariant code motion (including loads of tags the
+//!   loop cannot modify);
+//! * [`dce`] — dead-code elimination;
+//! * [`clean`] — nop removal, jump threading, empty-block removal;
+//! * [`strengthen`] — Table-1 opcode strengthening after analysis.
+//!
+//! ```
+//! let mut module = minic::compile(r#"
+//!     int main() {
+//!         int x = 6 * 7;
+//!         return x;
+//!     }
+//! "#)?;
+//! opt::lvn(&mut module);
+//! opt::dce(&mut module);
+//! opt::clean(&mut module);
+//! ir::validate(&module)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod clean;
+mod constprop;
+mod dce;
+mod licm;
+mod loadelim;
+mod lvn;
+mod strengthen;
+
+pub use clean::{clean, clean_function};
+pub use constprop::{constprop, constprop_function};
+pub use dce::{dce, dce_function};
+pub use licm::{licm, licm_function};
+pub use loadelim::{loadelim, loadelim_function};
+pub use lvn::{lvn, lvn_function};
+pub use strengthen::strengthen;

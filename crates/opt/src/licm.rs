@@ -1,0 +1,328 @@
+//! Loop-invariant code motion.
+//!
+//! Hoists pure computations — and scalar loads of tags that nothing in the
+//! loop can modify — into the loop's landing pad. On the non-SSA IL a
+//! hoist is legal when the destination register has exactly one definition
+//! in the whole function and every operand is defined outside the loop (or
+//! by something already hoisted); faulting operations (`div`/`rem` by a
+//! non-constant) are never speculated.
+
+use cfg::LoopNest;
+use ir::{BinOp, Function, Instr, Module, Reg, TagSet};
+use std::collections::HashMap;
+
+/// Constants are never *moved* out of loops — on the paper's ILOC they
+/// would be immediate operands with no live range at all, so stretching
+/// them across a loop only manufactures register pressure. Instead, when a
+/// hoisted consumer needs one, the constant is *cloned* into the landing
+/// pad.
+fn constant_def(instr: &Instr) -> bool {
+    matches!(instr, Instr::IConst { .. } | Instr::FConst { .. })
+}
+
+/// True for instructions that may be executed speculatively.
+fn is_speculable(instr: &Instr, func: &Function) -> bool {
+    match instr {
+        Instr::FuncAddr { .. }
+        | Instr::Copy { .. }
+        | Instr::Unary { .. }
+        | Instr::Cmp { .. }
+        | Instr::Lea { .. }
+        | Instr::PtrAdd { .. } => true,
+        Instr::Binary { op: BinOp::Div | BinOp::Rem, rhs, .. } => {
+            // Only speculate division by a nonzero constant.
+            func.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+                matches!(i, Instr::IConst { dst, value } if dst == rhs && *value != 0)
+            })
+        }
+        Instr::Binary { .. } => true,
+        _ => false,
+    }
+}
+
+/// Tags possibly modified anywhere in the loop `li` of `func`.
+fn loop_mods(func: &Function, nest: &LoopNest, li: usize) -> TagSet {
+    let mut mods = TagSet::empty();
+    for &b in &nest.forest.loops[li].blocks {
+        for instr in &func.blocks[b.index()].instrs {
+            if let Some(m) = instr.mod_tags() {
+                mods.union_with(&m);
+            }
+        }
+    }
+    mods
+}
+
+/// Runs LICM over one (normalized) function. Returns instructions moved.
+pub fn licm_function(func: &mut Function) -> usize {
+    let nest = LoopNest::compute(func);
+    if nest.forest.is_empty() {
+        return 0;
+    }
+    // Whole-function definition counts (single-def requirement).
+    let mut def_count: HashMap<Reg, usize> = HashMap::new();
+    for block in &func.blocks {
+        for instr in &block.instrs {
+            if let Some(d) = instr.def() {
+                *def_count.entry(d).or_default() += 1;
+            }
+        }
+    }
+    // Per-loop in-loop definition counts, updated as hoists happen.
+    let mut defs_in_loop: Vec<HashMap<Reg, usize>> =
+        vec![HashMap::new(); nest.forest.len()];
+    for (li, l) in nest.forest.loops.iter().enumerate() {
+        for &b in &l.blocks {
+            for instr in &func.blocks[b.index()].instrs {
+                if let Some(d) = instr.def() {
+                    *defs_in_loop[li].entry(d).or_default() += 1;
+                }
+            }
+        }
+    }
+    // Single-definition constants, for pad cloning.
+    let mut const_of: HashMap<Reg, Instr> = HashMap::new();
+    for block in &func.blocks {
+        for instr in &block.instrs {
+            if let Some(d) = instr.def() {
+                if constant_def(instr) && def_count.get(&d) == Some(&1) {
+                    const_of.insert(d, instr.clone());
+                }
+            }
+        }
+    }
+    let mut moved = 0;
+    for li in nest.forest.inner_to_outer() {
+        let li = li.index();
+        let pad = nest.landing_pads[li];
+        let mods = loop_mods(func, &nest, li);
+        // Constants already cloned into this loop's pad: original -> clone.
+        let mut pad_clones: HashMap<Reg, Reg> = HashMap::new();
+        // Iterate to fixpoint so chains of invariant ops cascade out.
+        loop {
+            let mut hoisted_any = false;
+            let blocks: Vec<_> = nest.forest.loops[li]
+                .blocks
+                .iter()
+                .copied()
+                .filter(|b| nest.forest.block_loop[b.index()] == Some(cfg::LoopId(li as u32)))
+                .collect();
+            for b in blocks {
+                let mut i = 0;
+                while i < func.blocks[b.index()].instrs.len() {
+                    let instr = &func.blocks[b.index()].instrs[i];
+                    let hoistable = match instr {
+                        Instr::SLoad { tag, .. } | Instr::CLoad { tag, .. } => {
+                            !mods.contains(*tag)
+                        }
+                        other => is_speculable(other, func),
+                    };
+                    let single_def = instr
+                        .def()
+                        .map(|d| def_count.get(&d) == Some(&1))
+                        .unwrap_or(false);
+                    // An operand is invariant if it is not defined in the
+                    // loop, or is a single-def constant we can clone into
+                    // the pad.
+                    let mut operands_invariant = true;
+                    let mut const_operands: Vec<Reg> = Vec::new();
+                    instr.visit_uses(|r| {
+                        if defs_in_loop[li].get(&r).copied().unwrap_or(0) > 0 {
+                            if const_of.contains_key(&r) {
+                                const_operands.push(r);
+                            } else {
+                                operands_invariant = false;
+                            }
+                        }
+                    });
+                    if hoistable && single_def && operands_invariant && !instr.is_terminator()
+                    {
+                        let mut instr = func.blocks[b.index()].instrs.remove(i);
+                        // Clone any in-loop constant operands into the pad
+                        // and retarget the hoisted instruction to the
+                        // clones.
+                        for r in const_operands {
+                            let clone_reg = match pad_clones.get(&r) {
+                                Some(&c) => c,
+                                None => {
+                                    let nr = Reg(func.next_reg);
+                                    func.next_reg += 1;
+                                    let mut c = const_of[&r].clone();
+                                    if let Some(d) = c.def_mut() {
+                                        *d = nr;
+                                    }
+                                    func.blocks[pad.index()].insert_before_terminator(c);
+                                    pad_clones.insert(r, nr);
+                                    // The clone lives in this loop's pad,
+                                    // which sits inside every enclosing
+                                    // loop: record the definition there so
+                                    // outer-loop hoisting cannot float a
+                                    // consumer above it.
+                                    let mut anc = nest.forest.loops[li].parent;
+                                    while let Some(a) = anc {
+                                        *defs_in_loop[a.index()].entry(nr).or_default() += 1;
+                                        anc = nest.forest.loops[a.index()].parent;
+                                    }
+                                    nr
+                                }
+                            };
+                            instr.visit_uses_mut(|u| {
+                                if *u == r {
+                                    *u = clone_reg;
+                                }
+                            });
+                        }
+                        let d = instr.def().expect("hoistable instructions define");
+                        // The register is no longer defined in this loop;
+                        // enclosing loops still contain it (the pad is
+                        // inside the parent loop), so only this level
+                        // changes.
+                        if let Some(c) = defs_in_loop[li].get_mut(&d) {
+                            *c -= 1;
+                        }
+                        func.block_mut(pad).insert_before_terminator(instr);
+                        moved += 1;
+                        hoisted_any = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            if !hoisted_any {
+                break;
+            }
+        }
+    }
+    moved
+}
+
+/// Runs LICM over every function.
+pub fn licm(module: &mut Module) -> usize {
+    let mut moved = 0;
+    for func in &mut module.funcs {
+        cfg::normalize_loops(func);
+        moved += licm_function(func);
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm::{Vm, VmOptions};
+
+    fn check_behaviour(src: &str) -> (vm::Outcome, vm::Outcome, usize) {
+        let mut m = minic::compile(src).unwrap();
+        analysis::analyze(&mut m, analysis::AnalysisLevel::ModRef);
+        let before = Vm::run_main(&m, VmOptions::default()).unwrap();
+        let n = licm(&mut m);
+        ir::validate(&m).expect("valid after licm");
+        let after = Vm::run_main(&m, VmOptions::default()).unwrap();
+        assert_eq!(before.output, after.output);
+        (before, after, n)
+    }
+
+    #[test]
+    fn hoists_invariant_arithmetic() {
+        let (before, after, n) = check_behaviour(
+            r#"
+int main() {
+    int i;
+    int n = 40;
+    int s = 0;
+    for (i = 0; i < 1000; i++) {
+        s = s + (n * n + 2);
+    }
+    print_int(s);
+    return 0;
+}
+"#,
+        );
+        assert!(n >= 1, "hoisted something");
+        // n*n and +2 leave the loop: at least ~2000 ops saved.
+        assert!(after.counts.total + 1500 < before.counts.total);
+    }
+
+    #[test]
+    fn hoists_loads_of_unmodified_tags() {
+        let (before, after, n) = check_behaviour(
+            r#"
+int k = 17;
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 500; i++) {
+        s = s + k;
+    }
+    print_int(s);
+    return 0;
+}
+"#,
+        );
+        assert!(n >= 1);
+        // The 500 loads of k become 1.
+        assert!(after.counts.loads <= before.counts.loads - 499);
+    }
+
+    #[test]
+    fn does_not_hoist_loads_of_modified_tags() {
+        let (before, after, _) = check_behaviour(
+            r#"
+int k = 0;
+int main() {
+    int i;
+    for (i = 0; i < 100; i++) {
+        k = k + i;
+    }
+    print_int(k);
+    return 0;
+}
+"#,
+        );
+        // k is stored in the loop: its loads must stay put.
+        assert_eq!(after.counts.loads, before.counts.loads);
+    }
+
+    #[test]
+    fn does_not_speculate_division() {
+        let (_, _, _) = check_behaviour(
+            r#"
+int main() {
+    int i;
+    int d = 0;
+    int s = 0;
+    for (i = 1; i < 10; i++) {
+        if (i > 5) { d = i; }
+        if (d != 0) { s = s + 100 / d; }
+    }
+    print_int(s);
+    return 0;
+}
+"#,
+        );
+        // Reaching here means the guarded division was not hoisted into a
+        // path where d == 0 (the VM would have trapped).
+    }
+
+    #[test]
+    fn nested_loops_cascade_outward() {
+        let (before, after, _) = check_behaviour(
+            r#"
+int main() {
+    int i; int j;
+    int a = 3;
+    int s = 0;
+    for (i = 0; i < 50; i++) {
+        for (j = 0; j < 50; j++) {
+            s = s + a * a * a;
+        }
+    }
+    print_int(s);
+    return 0;
+}
+"#,
+        );
+        // a*a*a leaves both loops: ~2 ops × 2500 iterations saved.
+        assert!(after.counts.total + 4000 < before.counts.total);
+    }
+}

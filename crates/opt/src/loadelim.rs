@@ -1,0 +1,236 @@
+//! Global redundant-load elimination.
+//!
+//! The paper's compiler uses partial redundancy elimination with memory
+//! tags to "achieve most of the effects of promotion in straight-line
+//! code", chiefly by eliminating redundant loads (stores are treated
+//! conservatively). This pass implements that load-elimination core as a
+//! forward *available-scalar-values* data-flow problem: at each point, for
+//! each tag, which register is known to hold the tag's current value. A
+//! later `sload` of an available tag becomes a register copy.
+
+use cfg::Cfg;
+use ir::{Function, Instr, Module, Reg, TagId, TagSet};
+use std::collections::HashMap;
+
+/// The per-point fact: tag -> register holding its value. `None` is ⊤
+/// (unvisited).
+type Avail = Option<HashMap<TagId, Reg>>;
+
+fn meet(a: &Avail, b: &Avail) -> Avail {
+    match (a, b) {
+        (None, x) | (x, None) => x.clone(),
+        (Some(ma), Some(mb)) => Some(
+            ma.iter()
+                .filter(|(t, r)| mb.get(t) == Some(r))
+                .map(|(t, r)| (*t, *r))
+                .collect(),
+        ),
+    }
+}
+
+/// Applies one instruction to the fact map. When `rewrite` is true,
+/// redundant loads are rewritten; returns 1 for a rewrite.
+fn transfer(instr: &mut Instr, facts: &mut HashMap<TagId, Reg>, rewrite: bool) -> usize {
+    let mut changed = 0;
+    // A definition of register r invalidates any fact r was holding.
+    if let Some(d) = instr.def() {
+        facts.retain(|_, r| *r != d);
+    }
+    match instr {
+        Instr::SLoad { dst, tag } | Instr::CLoad { dst, tag } => {
+            if let Some(&r) = facts.get(tag) {
+                if rewrite {
+                    let d = *dst;
+                    *instr = Instr::Copy { dst: d, src: r };
+                    facts.retain(|_, h| *h != d);
+                    // d now also holds the value; keep the original home.
+                    changed = 1;
+                }
+            } else {
+                facts.insert(*tag, *dst);
+            }
+        }
+        Instr::SStore { src, tag } => {
+            facts.insert(*tag, *src);
+        }
+        Instr::Store { tags, .. } => match tags {
+            TagSet::All => facts.clear(),
+            TagSet::Set(s) => {
+                for t in s.iter() {
+                    facts.remove(t);
+                }
+            }
+        },
+        Instr::Call { mods, .. } => match mods {
+            TagSet::All => facts.clear(),
+            TagSet::Set(s) => {
+                for t in s.iter() {
+                    facts.remove(t);
+                }
+            }
+        },
+        _ => {}
+    }
+    changed
+}
+
+/// Runs redundant-load elimination on one function. Returns loads
+/// rewritten to copies.
+pub fn loadelim_function(func: &mut Function) -> usize {
+    let cfg = Cfg::build(func);
+    let mut input: Vec<Avail> = vec![None; func.blocks.len()];
+    input[func.entry.index()] = Some(HashMap::new());
+    // Fixpoint.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &cfg.rpo {
+            let Some(mut facts) = input[b.index()].clone() else { continue };
+            for instr in &mut func.block_mut(b).instrs {
+                transfer(instr, &mut facts, false);
+            }
+            let out = Some(facts);
+            for s in &cfg.succs[b.index()] {
+                let merged = meet(&input[s.index()], &out);
+                if merged != input[s.index()] {
+                    input[s.index()] = merged;
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Rewrite.
+    let mut rewrites = 0;
+    for &b in &cfg.rpo {
+        let Some(mut facts) = input[b.index()].clone() else { continue };
+        for instr in &mut func.block_mut(b).instrs {
+            rewrites += transfer(instr, &mut facts, true);
+        }
+    }
+    rewrites
+}
+
+/// Runs redundant-load elimination over every function.
+pub fn loadelim(module: &mut Module) -> usize {
+    let mut n = 0;
+    for func in &mut module.funcs {
+        n += loadelim_function(func);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm::{Vm, VmOptions};
+
+    fn run_pair(src: &str) -> (vm::Outcome, vm::Outcome, usize) {
+        let mut m = minic::compile(src).unwrap();
+        analysis::analyze(&mut m, analysis::AnalysisLevel::ModRef);
+        let before = Vm::run_main(&m, VmOptions::default()).unwrap();
+        let n = loadelim(&mut m);
+        ir::validate(&m).expect("valid");
+        let after = Vm::run_main(&m, VmOptions::default()).unwrap();
+        assert_eq!(before.output, after.output);
+        (before, after, n)
+    }
+
+    #[test]
+    fn straight_line_reloads_become_copies() {
+        let (before, after, n) = run_pair(
+            r#"
+int g;
+int main() {
+    g = 4;
+    int a = g + 1;
+    int b = g + 2;
+    int c = g + 3;
+    print_int(a + b + c);
+    return 0;
+}
+"#,
+        );
+        assert!(n >= 3, "all three loads forwarded from the store, got {n}");
+        assert!(after.counts.loads + 3 <= before.counts.loads);
+    }
+
+    #[test]
+    fn cross_block_availability() {
+        let (before, after, n) = run_pair(
+            r#"
+int g = 9;
+int pick;
+int main() {
+    int a = g;
+    int b;
+    if (pick) { b = g + 1; } else { b = g + 2; }
+    int c = g;
+    print_int(a + b + c);
+    return 0;
+}
+"#,
+        );
+        // Loads in both arms and after the join forward from the first
+        // (3 static rewrites; 2 of them execute on any one path).
+        assert!(n >= 3);
+        assert_eq!(after.counts.loads, before.counts.loads - 2);
+    }
+
+    #[test]
+    fn kills_across_calls_that_mod() {
+        let (before, after, _) = run_pair(
+            r#"
+int g = 1;
+void bump() { g = g + 1; }
+int main() {
+    int a = g;
+    bump();
+    int b = g;
+    print_int(a + b);
+    return 0;
+}
+"#,
+        );
+        // The second load of g must survive (bump mods g); bump's internal
+        // load of g forwards nothing.
+        assert_eq!(after.counts.loads, before.counts.loads);
+    }
+
+    #[test]
+    fn partial_availability_is_not_enough() {
+        let (before, after, _) = run_pair(
+            r#"
+int g = 3;
+int pick = 1;
+int main() {
+    int a = 0;
+    if (pick) { a = g; }
+    int b = g;
+    print_int(a + b);
+    return 0;
+}
+"#,
+        );
+        // g is available on only one path into the join: the must-analysis
+        // keeps the load.
+        assert_eq!(after.counts.loads, before.counts.loads);
+    }
+
+    #[test]
+    fn register_redefinition_kills_facts() {
+        let (_, after, _) = run_pair(
+            r#"
+int g = 5;
+int h = 7;
+int main() {
+    int a = g;
+    a = h;
+    int b = g;
+    print_int(a + b);
+    return 0;
+}
+"#,
+        );
+        assert_eq!(after.output, vec!["12"]);
+    }
+}

@@ -1,0 +1,362 @@
+//! The promotion data-flow equations (Figure 1 of the paper).
+//!
+//! For each block `b` the compiler gathers
+//!
+//! * `B_EXPLICIT(b)` — tags referenced by an explicit memory operation, and
+//! * `B_AMBIGUOUS(b)` — tags referenced ambiguously, through procedure
+//!   calls or pointer-based operations whose pointer carries multiple tags;
+//!
+//! then for each loop `l`
+//!
+//! ```text
+//! L_EXPLICIT(l)   = ⋃ B_EXPLICIT(b)   for b ∈ l          (1)
+//! L_AMBIGUOUS(l)  = ⋃ B_AMBIGUOUS(b)  for b ∈ l          (2)
+//! L_PROMOTABLE(l) = L_EXPLICIT(l) − L_AMBIGUOUS(l)       (3)
+//! L_LIFT(l)       = L_PROMOTABLE(l)                 if l is outermost
+//!                 = L_PROMOTABLE(l) − L_PROMOTABLE(parent(l))  otherwise (4)
+//! ```
+//!
+//! One extension beyond the paper's presentation: a pointer-based operation
+//! whose tag set is a *singleton scalar* is treated as an explicit
+//! reference when it provably denotes the same single location as the
+//! scalar opcodes would (a global, or a local of a non-recursive function
+//! inside that function), and as ambiguous otherwise. Without this, a tag
+//! accessed both explicitly and through a singleton pointer would satisfy
+//! equation (3) while the rewrite left the pointer access reading stale
+//! memory.
+
+use cfg::{LoopId, LoopNest};
+use ir::{FuncId, Function, Instr, Module, TagId, TagSet};
+use std::collections::BTreeSet;
+
+/// How a memory reference participates in the equations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefClass {
+    /// Counts into `B_EXPLICIT` and is rewritable to a register copy.
+    Explicit,
+    /// Counts into `B_AMBIGUOUS`.
+    Ambiguous,
+}
+
+/// Classifies a singleton pointer-based access to `tag` in `func`.
+pub fn classify_singleton(
+    module: &Module,
+    func: FuncId,
+    func_is_recursive: bool,
+    tag: TagId,
+) -> RefClass {
+    if analysis::singleton_is_unique_cell(module, func, func_is_recursive, tag) {
+        RefClass::Explicit
+    } else {
+        RefClass::Ambiguous
+    }
+}
+
+/// The per-block information of step 2 of the algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct BlockSets {
+    /// `B_EXPLICIT`: tags referenced by explicit operations.
+    pub explicit: BTreeSet<TagId>,
+    /// `B_AMBIGUOUS`: tags referenced ambiguously. `TagSet::All` when the
+    /// block contains an un-analyzed operation.
+    pub ambiguous: TagSet,
+}
+
+/// Computes `B_EXPLICIT` and `B_AMBIGUOUS` for every block of `func`.
+pub fn block_sets(
+    module: &Module,
+    func_id: FuncId,
+    func: &Function,
+    func_is_recursive: bool,
+) -> Vec<BlockSets> {
+    let mut out = Vec::with_capacity(func.blocks.len());
+    for block in &func.blocks {
+        let mut sets = BlockSets::default();
+        for instr in &block.instrs {
+            match instr {
+                Instr::SLoad { tag, .. } | Instr::SStore { tag, .. } | Instr::CLoad { tag, .. } => {
+                    sets.explicit.insert(*tag);
+                }
+                Instr::Load { tags, .. } | Instr::Store { tags, .. } => {
+                    match tags.as_singleton() {
+                        Some(t)
+                            if classify_singleton(module, func_id, func_is_recursive, t)
+                                == RefClass::Explicit =>
+                        {
+                            sets.explicit.insert(t);
+                        }
+                        _ => sets.ambiguous.union_with(tags),
+                    }
+                }
+                Instr::Call { mods, refs, .. } => {
+                    sets.ambiguous.union_with(mods);
+                    sets.ambiguous.union_with(refs);
+                }
+                _ => {}
+            }
+        }
+        out.push(sets);
+    }
+    out
+}
+
+/// The per-loop sets of Figure 1, indexed by [`LoopId`].
+#[derive(Debug, Clone)]
+pub struct LoopSets {
+    /// `L_EXPLICIT` per loop.
+    pub explicit: Vec<BTreeSet<TagId>>,
+    /// `L_AMBIGUOUS` per loop.
+    pub ambiguous: Vec<TagSet>,
+    /// `L_PROMOTABLE` per loop.
+    pub promotable: Vec<BTreeSet<TagId>>,
+    /// `L_LIFT` per loop.
+    pub lift: Vec<BTreeSet<TagId>>,
+}
+
+impl LoopSets {
+    /// Solves equations (1)–(4) over the loop nest.
+    pub fn solve(blocks: &[BlockSets], nest: &LoopNest) -> LoopSets {
+        let nloops = nest.forest.len();
+        let mut explicit = vec![BTreeSet::new(); nloops];
+        let mut ambiguous = vec![TagSet::empty(); nloops];
+        for (li, l) in nest.forest.loops.iter().enumerate() {
+            for &b in &l.blocks {
+                explicit[li].extend(blocks[b.index()].explicit.iter().copied());
+                ambiguous[li].union_with(&blocks[b.index()].ambiguous);
+            }
+        }
+        let mut promotable = vec![BTreeSet::new(); nloops];
+        for li in 0..nloops {
+            promotable[li] = explicit[li]
+                .iter()
+                .copied()
+                .filter(|t| !ambiguous[li].contains(*t))
+                .collect();
+        }
+        let mut lift = vec![BTreeSet::new(); nloops];
+        for li in 0..nloops {
+            lift[li] = match nest.forest.loops[li].parent {
+                None => promotable[li].clone(),
+                Some(p) => promotable[li]
+                    .difference(&promotable[p.index()])
+                    .copied()
+                    .collect(),
+            };
+        }
+        LoopSets { explicit, ambiguous, promotable, lift }
+    }
+
+    /// Union of `L_PROMOTABLE` over every loop containing `b`.
+    pub fn promotable_in_block(&self, nest: &LoopNest, b: ir::BlockId) -> BTreeSet<TagId> {
+        let mut out = BTreeSet::new();
+        let mut cur = nest.forest.block_loop[b.index()];
+        while let Some(l) = cur {
+            out.extend(self.promotable[l.index()].iter().copied());
+            cur = nest.forest.loops[l.index()].parent;
+        }
+        out
+    }
+
+    /// All tags promotable in at least one loop.
+    pub fn all_promotable(&self) -> BTreeSet<TagId> {
+        self.promotable.iter().flatten().copied().collect()
+    }
+
+    /// Loops (id order) where `t` must be lifted.
+    pub fn lift_loops(&self, t: TagId) -> Vec<LoopId> {
+        (0..self.lift.len() as u32)
+            .map(LoopId)
+            .filter(|l| self.lift[l.index()].contains(&t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-build the situation of the paper's Figure 2 and check every
+    /// set matches the figure. Loop structure (headers): B1 ⊃ B3 ⊃ B5.
+    ///
+    /// | block | B_EXPLICIT | B_AMBIGUOUS |
+    /// |-------|------------|-------------|
+    /// | B0    | C (sload)  |             |
+    /// | B1    | C (sstore) | A, B?      | — the JSR in B1 references A ambiguously
+    /// | B3    | B (sstore) | B (JSR)     |
+    /// | B5    | A (sload)  |             |
+    fn figure2_module() -> (Module, FuncId) {
+        let src = r#"
+tag "A" global size=1 addressed
+tag "B" global size=1 addressed
+tag "C" global size=1 addressed
+global "A" ints 1
+global "B" ints 2
+global "C" ints 3
+func @ext(0) {
+B0:
+  ret
+}
+func @main(0) {
+B0:
+  r0 = sload "C"
+  jump B1
+B1:
+  sstore r0, "C"
+  call @ext() mods{"A"} refs{"A"}
+  jump B2
+B2:
+  r1 = sload "A"
+  jump B3
+B3:
+  sstore r1, "B"
+  call @ext() mods{"B"} refs{"B"}
+  jump B4
+B4:
+  jump B5
+B5:
+  r2 = sload "A"
+  jump B6
+B6:
+  r3 = iconst 1
+  branch r3, B5, B7
+B7:
+  branch r3, B3, B8
+B8:
+  branch r3, B1, B9
+B9:
+  sstore r2, "C"
+  ret
+}
+"#;
+        let m = ir::parse_module(src).expect("parse");
+        let f = m.lookup_func("main").unwrap();
+        (m, f)
+    }
+
+    #[test]
+    fn figure2_sets() {
+        let (mut m, f) = figure2_module();
+        cfg::normalize_loops(&mut m.funcs[f.index()]);
+        let nest = LoopNest::compute(m.func(f));
+        assert_eq!(nest.forest.len(), 3);
+        let blocks = block_sets(&m, f, m.func(f), false);
+        let sets = LoopSets::solve(&blocks, &nest);
+        let a = m.tags.lookup("A").unwrap();
+        let b = m.tags.lookup("B").unwrap();
+        let c = m.tags.lookup("C").unwrap();
+        // Identify loops by nesting depth: outer (B1), middle (B3),
+        // inner (B5).
+        let order = nest.forest.outer_to_inner();
+        let (outer, middle, inner) = (order[0], order[1], order[2]);
+        assert_eq!(nest.forest.get(outer).depth, 1);
+        assert_eq!(nest.forest.get(inner).depth, 3);
+
+        // The paper's table: PROMOTABLE(B1) = {C}, PROMOTABLE(B3) = {A},
+        // PROMOTABLE(B5) = {A}; LIFT(B1) = {C}, LIFT(B3) = {A},
+        // LIFT(B5) = {}.
+        assert_eq!(sets.promotable[outer.index()], BTreeSet::from([c]));
+        assert_eq!(sets.promotable[middle.index()], BTreeSet::from([a]));
+        assert_eq!(sets.promotable[inner.index()], BTreeSet::from([a]));
+        assert_eq!(sets.lift[outer.index()], BTreeSet::from([c]));
+        assert_eq!(sets.lift[middle.index()], BTreeSet::from([a]));
+        assert!(sets.lift[inner.index()].is_empty());
+        // B is explicit in the middle loop but ambiguous there too.
+        assert!(sets.explicit[middle.index()].contains(&b));
+        assert!(sets.ambiguous[middle.index()].contains(b));
+    }
+
+    #[test]
+    fn singleton_scalar_pointer_ops_are_explicit_for_globals() {
+        let src = r#"
+tag "g" global size=1 addressed
+global "g" zero
+func @main(0) {
+B0:
+  r0 = lea "g"
+  r1 = load [r0] {"g"}
+  ret
+}
+"#;
+        let m = ir::parse_module(src).unwrap();
+        let f = m.lookup_func("main").unwrap();
+        let blocks = block_sets(&m, f, m.func(f), false);
+        let g = m.tags.lookup("g").unwrap();
+        assert!(blocks[0].explicit.contains(&g));
+        assert!(blocks[0].ambiguous.is_empty());
+    }
+
+    #[test]
+    fn singleton_array_pointer_ops_are_ambiguous() {
+        let src = r#"
+tag "a" global size=8 addressed
+global "a" zero
+func @main(0) {
+B0:
+  r0 = lea "a"
+  r1 = load [r0] {"a"}
+  ret
+}
+"#;
+        let m = ir::parse_module(src).unwrap();
+        let f = m.lookup_func("main").unwrap();
+        let blocks = block_sets(&m, f, m.func(f), false);
+        let a = m.tags.lookup("a").unwrap();
+        assert!(!blocks[0].explicit.contains(&a));
+        assert!(blocks[0].ambiguous.contains(a));
+    }
+
+    #[test]
+    fn recursion_blocks_singleton_local_classification() {
+        let src = r#"
+tag "f.x" local owner=0 size=1 addressed
+func @f(0) {
+B0:
+  r0 = lea "f.x"
+  r1 = load [r0] {"f.x"}
+  ret
+}
+"#;
+        let m = ir::parse_module(src).unwrap();
+        let f = m.lookup_func("f").unwrap();
+        let x = m.tags.lookup("f.x").unwrap();
+        // Non-recursive: explicit.
+        let blocks = block_sets(&m, f, m.func(f), false);
+        assert!(blocks[0].explicit.contains(&x));
+        // Recursive: ambiguous.
+        let blocks = block_sets(&m, f, m.func(f), true);
+        assert!(blocks[0].ambiguous.contains(x));
+    }
+
+    #[test]
+    fn all_tagset_poisons_ambiguity() {
+        let src = r#"
+tag "g" global size=1 addressed
+global "g" zero
+func @main(0) {
+B0:
+  r0 = sload "g"
+  r1 = lea "g"
+  store r0, [r1] {*}
+  jump B1
+B1:
+  r2 = sload "g"
+  r3 = iconst 0
+  branch r3, B1, B2
+B2:
+  ret
+}
+"#;
+        let mut m = ir::parse_module(src).unwrap();
+        let f = m.lookup_func("main").unwrap();
+        cfg::normalize_loops(&mut m.funcs[f.index()]);
+        let nest = LoopNest::compute(m.func(f));
+        let blocks = block_sets(&m, f, m.func(f), false);
+        let sets = LoopSets::solve(&blocks, &nest);
+        // g is explicit in the loop and the {*} store is outside it, so g
+        // is promotable in the loop.
+        let g = m.tags.lookup("g").unwrap();
+        assert_eq!(sets.promotable[0], BTreeSet::from([g]));
+        // But B0's ambiguity is total.
+        assert!(blocks[0].ambiguous.is_all());
+    }
+}

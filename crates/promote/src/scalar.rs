@@ -1,0 +1,532 @@
+//! Scalar register promotion: the rewrite half of §3.1.
+//!
+//! For every tag in some `L_PROMOTABLE`, a virtual register is created;
+//! references inside loops where the tag is promotable become register
+//! copies, the tag is loaded in the landing pad of every loop in whose
+//! `L_LIFT` it appears, and stored in each such loop's exit blocks.
+
+use crate::equations::{block_sets, classify_singleton, LoopSets, RefClass};
+use cfg::LoopNest;
+use ir::{FuncId, Instr, Module, Reg, TagId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What scalar promotion did to one function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScalarReport {
+    /// Number of loops examined.
+    pub loops: usize,
+    /// Distinct tags promoted somewhere in the function.
+    pub promoted_tags: usize,
+    /// Loads/stores inserted around loops (lift edges × tags).
+    pub lifts: usize,
+    /// Memory references rewritten to copies.
+    pub rewritten_refs: usize,
+}
+
+/// Runs scalar promotion on one (already loop-normalized) function.
+///
+/// `func_is_recursive` must say whether the function lies on a call-graph
+/// cycle; it gates the classification of singleton pointer references to
+/// the function's own locals.
+///
+/// `max_per_loop` is the paper's §7 proposal made concrete: "we may need
+/// to extend our promotion algorithm with an explicit decision-making
+/// process that considers register pressure and frequency of use before
+/// promoting a value" (Carr adopted "a bin-packing discipline to throttle
+/// the promotion process"). When set, each loop keeps only its
+/// `max_per_loop` most-referenced promotable tags; the rest stay in
+/// memory rather than risk being spilled back by the allocator.
+pub fn promote_scalars_in_func(
+    module: &mut Module,
+    func_id: FuncId,
+    func_is_recursive: bool,
+    max_per_loop: Option<usize>,
+) -> ScalarReport {
+    let nest = LoopNest::compute(module.func(func_id));
+    let mut report = ScalarReport { loops: nest.forest.len(), ..Default::default() };
+    if nest.forest.is_empty() {
+        return report;
+    }
+    let blocks = block_sets(module, func_id, module.func(func_id), func_is_recursive);
+    let mut sets = LoopSets::solve(&blocks, &nest);
+    if let Some(cap) = max_per_loop {
+        throttle(module, func_id, &nest, &mut sets, cap);
+    }
+    let promotable = sets.all_promotable();
+    if promotable.is_empty() {
+        return report;
+    }
+    report.promoted_tags = promotable.len();
+    // One virtual register per promoted tag.
+    let mut tag_reg: BTreeMap<TagId, Reg> = BTreeMap::new();
+    for &t in &promotable {
+        let r = module.func_mut(func_id).new_reg();
+        tag_reg.insert(t, r);
+    }
+    // Step 5: rewrite references inside loops where the tag is promotable.
+    let nblocks = module.func(func_id).blocks.len();
+    for bi in 0..nblocks {
+        let here = sets.promotable_in_block(&nest, ir::BlockId(bi as u32));
+        if here.is_empty() {
+            continue;
+        }
+        let func = module.func(func_id);
+        let mut rewritten: Vec<(usize, Instr)> = Vec::new();
+        for (ii, instr) in func.blocks[bi].instrs.iter().enumerate() {
+            let new = match instr {
+                Instr::SLoad { dst, tag } | Instr::CLoad { dst, tag } if here.contains(tag) => {
+                    Some(Instr::Copy { dst: *dst, src: tag_reg[tag] })
+                }
+                Instr::SStore { src, tag } if here.contains(tag) => {
+                    Some(Instr::Copy { dst: tag_reg[tag], src: *src })
+                }
+                Instr::Load { dst, tags, .. } => match tags.as_singleton() {
+                    Some(t)
+                        if here.contains(&t)
+                            && classify_singleton(module, func_id, func_is_recursive, t)
+                                == RefClass::Explicit =>
+                    {
+                        Some(Instr::Copy { dst: *dst, src: tag_reg[&t] })
+                    }
+                    _ => None,
+                },
+                Instr::Store { src, tags, .. } => match tags.as_singleton() {
+                    Some(t)
+                        if here.contains(&t)
+                            && classify_singleton(module, func_id, func_is_recursive, t)
+                                == RefClass::Explicit =>
+                    {
+                        Some(Instr::Copy { dst: tag_reg[&t], src: *src })
+                    }
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(n) = new {
+                rewritten.push((ii, n));
+            }
+        }
+        report.rewritten_refs += rewritten.len();
+        let func = module.func_mut(func_id);
+        for (ii, n) in rewritten {
+            func.blocks[bi].instrs[ii] = n;
+        }
+    }
+    // Step 6: lift — load in the landing pad of, and store at the exits
+    // of, every loop where the tag appears in L_LIFT.
+    //
+    // Refinement over the paper's presentation: a tag that is never
+    // *stored* anywhere in the loop cannot have changed, so the demotion
+    // stores are skipped (otherwise promotion would manufacture store
+    // traffic for read-only values, which the paper's flat rows — tsp,
+    // allroots — show its implementation did not do).
+    //
+    // Demotion stores are inserted at the *front* of exit blocks and
+    // promotion loads just before the landing pad's terminator, so a block
+    // serving as both (exit of one loop, pad of the next) stays correct.
+    let stored_in_loop: Vec<BTreeSet<TagId>> = {
+        let func = module.func(func_id);
+        nest.forest
+            .loops
+            .iter()
+            .map(|l| {
+                let mut stored = BTreeSet::new();
+                for &b in &l.blocks {
+                    for instr in &func.blocks[b.index()].instrs {
+                        match instr {
+                            Instr::SStore { tag, .. } => {
+                                stored.insert(*tag);
+                            }
+                            Instr::Store { tags, .. } => {
+                                if let Some(t) = tags.as_singleton() {
+                                    stored.insert(t);
+                                }
+                            }
+                            // Rewritten stores are already copies into the
+                            // promotion register; track them through it.
+                            Instr::Copy { dst, .. } => {
+                                if let Some((&t, _)) =
+                                    tag_reg.iter().find(|(_, v)| **v == *dst)
+                                {
+                                    stored.insert(t);
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                stored
+            })
+            .collect()
+    };
+    let mut exit_inserts: BTreeMap<usize, Vec<Instr>> = BTreeMap::new();
+    let mut pad_inserts: BTreeMap<usize, Vec<Instr>> = BTreeMap::new();
+    for li in 0..nest.forest.len() {
+        let l = cfg::LoopId(li as u32);
+        for &t in &sets.lift[li] {
+            let v = tag_reg[&t];
+            pad_inserts
+                .entry(nest.landing_pad(l).index())
+                .or_default()
+                .push(Instr::SLoad { dst: v, tag: t });
+            report.lifts += 1;
+            if stored_in_loop[li].contains(&t) {
+                for &e in nest.exits(l) {
+                    exit_inserts
+                        .entry(e.index())
+                        .or_default()
+                        .push(Instr::SStore { src: v, tag: t });
+                }
+                report.lifts += nest.exits(l).len();
+            }
+        }
+    }
+    let func = module.func_mut(func_id);
+    for (bi, instrs) in exit_inserts {
+        for (k, instr) in instrs.into_iter().enumerate() {
+            func.blocks[bi].instrs.insert(k, instr);
+        }
+    }
+    for (bi, instrs) in pad_inserts {
+        for instr in instrs {
+            func.blocks[bi].insert_before_terminator(instr);
+        }
+    }
+    report
+}
+
+/// Applies the pressure throttle: each loop keeps only its `cap`
+/// most-frequently-referenced promotable tags, and `L_LIFT` is re-derived
+/// from the trimmed sets (equation (4) of the paper).
+fn throttle(
+    module: &Module,
+    func_id: FuncId,
+    nest: &LoopNest,
+    sets: &mut LoopSets,
+    cap: usize,
+) {
+    let func = module.func(func_id);
+    for li in 0..nest.forest.len() {
+        if sets.promotable[li].len() <= cap {
+            continue;
+        }
+        // Frequency of use: explicit references within the loop.
+        let mut freq: BTreeMap<TagId, usize> = BTreeMap::new();
+        for &b in &nest.forest.loops[li].blocks {
+            for instr in &func.blocks[b.index()].instrs {
+                match instr {
+                    Instr::SLoad { tag, .. }
+                    | Instr::SStore { tag, .. }
+                    | Instr::CLoad { tag, .. } => {
+                        *freq.entry(*tag).or_default() += 1;
+                    }
+                    Instr::Load { tags, .. } | Instr::Store { tags, .. } => {
+                        if let Some(t) = tags.as_singleton() {
+                            *freq.entry(t).or_default() += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut ranked: Vec<TagId> = sets.promotable[li].iter().copied().collect();
+        ranked.sort_by_key(|t| std::cmp::Reverse(freq.get(t).copied().unwrap_or(0)));
+        sets.promotable[li] = ranked.into_iter().take(cap).collect();
+    }
+    // Re-derive L_LIFT (equation 4) from the throttled promotable sets.
+    for li in 0..nest.forest.len() {
+        sets.lift[li] = match nest.forest.loops[li].parent {
+            None => sets.promotable[li].clone(),
+            Some(p) => sets.promotable[li]
+                .difference(&sets.promotable[p.index()])
+                .copied()
+                .collect(),
+        };
+    }
+}
+
+/// Set of tags promotable anywhere in `func` — exposed for the driver's
+/// reporting and for tests.
+pub fn promotable_tags(
+    module: &Module,
+    func_id: FuncId,
+    func_is_recursive: bool,
+) -> BTreeSet<TagId> {
+    let nest = LoopNest::compute(module.func(func_id));
+    if nest.forest.is_empty() {
+        return BTreeSet::new();
+    }
+    let blocks = block_sets(module, func_id, module.func(func_id), func_is_recursive);
+    LoopSets::solve(&blocks, &nest).all_promotable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm::{Vm, VmOptions};
+
+    fn prepare(src: &str) -> Module {
+        let mut m = minic::compile(src).expect("compile");
+        for fi in 0..m.funcs.len() {
+            cfg::normalize_loops(&mut m.funcs[fi]);
+        }
+        analysis::analyze(&mut m, analysis::AnalysisLevel::ModRef);
+        m
+    }
+
+    fn promote_all(m: &mut Module) -> ScalarReport {
+        let graph = analysis::CallGraph::build(m, None);
+        let sccs = analysis::tarjan_sccs(&graph);
+        let mut total = ScalarReport::default();
+        for fi in 0..m.funcs.len() {
+            let f = FuncId(fi as u32);
+            let rec = graph.is_recursive(f, &sccs);
+            let r = promote_scalars_in_func(m, f, rec, None);
+            total.loops += r.loops;
+            total.promoted_tags += r.promoted_tags;
+            total.lifts += r.lifts;
+            total.rewritten_refs += r.rewritten_refs;
+        }
+        total
+    }
+
+    #[test]
+    fn promotes_global_in_hot_loop() {
+        let src = r#"
+int g;
+int main() {
+    int i;
+    for (i = 0; i < 1000; i++) { g = g + 1; }
+    print_int(g);
+    return 0;
+}
+"#;
+        let mut m = prepare(src);
+        let before = Vm::run_main(&m, VmOptions::default()).unwrap();
+        let report = promote_all(&mut m);
+        ir::validate(&m).expect("valid after promotion");
+        let after = Vm::run_main(&m, VmOptions::default()).unwrap();
+        assert_eq!(after.output, before.output);
+        assert!(report.promoted_tags >= 1);
+        // 1000 loads + 1000 stores collapse to 1 load + 1 store.
+        assert!(before.counts.loads >= 1000);
+        assert!(after.counts.loads <= before.counts.loads - 999);
+        assert!(after.counts.stores <= before.counts.stores - 999);
+    }
+
+    #[test]
+    fn call_in_loop_blocks_promotion() {
+        let src = r#"
+int g;
+void touch() { g = g + 1; }
+int main() {
+    int i;
+    for (i = 0; i < 100; i++) { g = g + 1; touch(); }
+    print_int(g);
+    return 0;
+}
+"#;
+        let mut m = prepare(src);
+        let before = Vm::run_main(&m, VmOptions::default()).unwrap();
+        promote_all(&mut m);
+        ir::validate(&m).unwrap();
+        let after = Vm::run_main(&m, VmOptions::default()).unwrap();
+        assert_eq!(after.output, before.output);
+        // g is ambiguous in the loop (the call mods it): no load removal.
+        assert_eq!(after.counts.loads, before.counts.loads);
+        assert_eq!(after.counts.stores, before.counts.stores);
+    }
+
+    #[test]
+    fn unrelated_call_does_not_block_with_modref() {
+        let src = r#"
+int g;
+int h;
+void touch_h() { h = h + 1; }
+int main() {
+    int i;
+    for (i = 0; i < 100; i++) { g = g + 1; touch_h(); }
+    print_int(g);
+    print_int(h);
+    return 0;
+}
+"#;
+        let mut m = prepare(src);
+        let before = Vm::run_main(&m, VmOptions::default()).unwrap();
+        promote_all(&mut m);
+        ir::validate(&m).unwrap();
+        let after = Vm::run_main(&m, VmOptions::default()).unwrap();
+        assert_eq!(after.output, before.output);
+        // g promoted even though the loop calls touch_h (MOD/REF shows the
+        // call cannot touch g).
+        assert!(after.counts.loads < before.counts.loads);
+    }
+
+    #[test]
+    fn pointer_alias_blocks_promotion() {
+        let src = r#"
+int g;
+int main() {
+    int i;
+    int *p = &g;
+    for (i = 0; i < 50; i++) {
+        g = g + 1;
+        *p = *p + 1;
+    }
+    print_int(g);
+    return 0;
+}
+"#;
+        // With ModRef, *p carries {g} (singleton!) so the accesses unify
+        // and promotion may legally promote g — both paths rewrite.
+        let mut m = prepare(src);
+        let before = Vm::run_main(&m, VmOptions::default()).unwrap();
+        promote_all(&mut m);
+        ir::validate(&m).unwrap();
+        let after = Vm::run_main(&m, VmOptions::default()).unwrap();
+        assert_eq!(after.output, before.output);
+        assert_eq!(after.output, vec!["100"]);
+    }
+
+    #[test]
+    fn multi_target_pointer_blocks_promotion() {
+        let src = r#"
+int g;
+int h;
+int pick;
+int main() {
+    int i;
+    int *p = &g;
+    if (pick) { p = &h; }
+    for (i = 0; i < 50; i++) {
+        g = g + 1;
+        *p = *p + 1;
+    }
+    print_int(g);
+    print_int(h);
+    return 0;
+}
+"#;
+        let mut m = minic::compile(src).unwrap();
+        for fi in 0..m.funcs.len() {
+            cfg::normalize_loops(&mut m.funcs[fi]);
+        }
+        analysis::analyze(&mut m, analysis::AnalysisLevel::PointsTo);
+        let before = Vm::run_main(&m, VmOptions::default()).unwrap();
+        promote_all(&mut m);
+        ir::validate(&m).unwrap();
+        let after = Vm::run_main(&m, VmOptions::default()).unwrap();
+        assert_eq!(after.output, before.output);
+        assert_eq!(after.output, vec!["100", "0"]);
+        // g must NOT have been promoted: *p = {g, h} is ambiguous.
+        assert_eq!(after.counts.loads, before.counts.loads);
+    }
+
+    #[test]
+    fn nested_loops_lift_to_outermost_safe_level() {
+        // The Figure 2 situation, source-level: C is promotable across the
+        // whole nest; A only in the middle loop.
+        let src = r#"
+int c;
+int a;
+void touch_a() { a = a + 1; }
+int main() {
+    int i; int j;
+    for (i = 0; i < 10; i++) {
+        c = c + 1;
+        touch_a();
+        for (j = 0; j < 10; j++) {
+            c = c + a;
+        }
+    }
+    print_int(c);
+    print_int(a);
+    return 0;
+}
+"#;
+        let mut m = prepare(src);
+        let before = Vm::run_main(&m, VmOptions::default()).unwrap();
+        promote_all(&mut m);
+        ir::validate(&m).unwrap();
+        let after = Vm::run_main(&m, VmOptions::default()).unwrap();
+        assert_eq!(after.output, before.output);
+        // c: ~220 memory refs before, 2 after. a: unpromotable in the
+        // outer loop (call), promotable in the inner (load only).
+        assert!(before.counts.loads > 200);
+        assert!(after.counts.loads < 60, "loads = {}", after.counts.loads);
+    }
+
+    #[test]
+    fn zero_trip_loop_is_still_correct() {
+        // The landing-pad load and exit store execute even when the loop
+        // body never does; the paper's dhrystone anomaly in miniature.
+        let src = r#"
+int g = 7;
+int main() {
+    int i;
+    for (i = 0; i < 0; i++) { g = g + 1; }
+    print_int(g);
+    return 0;
+}
+"#;
+        let mut m = prepare(src);
+        promote_all(&mut m);
+        ir::validate(&m).unwrap();
+        let after = Vm::run_main(&m, VmOptions::default()).unwrap();
+        assert_eq!(after.output, vec!["7"]);
+        // The lift itself costs one load and one store.
+        assert!(after.counts.loads >= 1);
+        assert!(after.counts.stores >= 1);
+    }
+
+    #[test]
+    fn break_paths_demote_correctly() {
+        let src = r#"
+int g;
+int limit = 5;
+int main() {
+    int i;
+    for (i = 0; i < 100; i++) {
+        g = g + 1;
+        if (g == limit) break;
+    }
+    print_int(g);
+    return 0;
+}
+"#;
+        let mut m = prepare(src);
+        let before = Vm::run_main(&m, VmOptions::default()).unwrap();
+        promote_all(&mut m);
+        ir::validate(&m).unwrap();
+        let after = Vm::run_main(&m, VmOptions::default()).unwrap();
+        assert_eq!(after.output, before.output);
+        assert_eq!(after.output, vec!["5"]);
+        assert!(after.counts.loads < before.counts.loads);
+    }
+
+    #[test]
+    fn addressed_local_promotes_when_unaliased_in_loop() {
+        let src = r#"
+int use_later(int *p) { return *p; }
+int main() {
+    int x = 0;
+    int i;
+    for (i = 0; i < 200; i++) { x = x + 2; }
+    print_int(use_later(&x));
+    return 0;
+}
+"#;
+        let mut m = minic::compile(src).unwrap();
+        for fi in 0..m.funcs.len() {
+            cfg::normalize_loops(&mut m.funcs[fi]);
+        }
+        analysis::analyze(&mut m, analysis::AnalysisLevel::PointsTo);
+        let before = Vm::run_main(&m, VmOptions::default()).unwrap();
+        promote_all(&mut m);
+        ir::validate(&m).unwrap();
+        let after = Vm::run_main(&m, VmOptions::default()).unwrap();
+        assert_eq!(after.output, before.output);
+        assert_eq!(after.output, vec!["400"]);
+        assert!(after.counts.loads < before.counts.loads);
+    }
+}

@@ -1,0 +1,646 @@
+//! Chaitin–Briggs graph-coloring register allocation.
+//!
+//! The paper's compiler uses "a graph-coloring allocator [Briggs, Cooper &
+//! Torczon]" whose copy coalescing "is quite effective at eliminating" the
+//! copies promotion introduces, and whose spilling can *undo* a promotion
+//! when demand exceeds supply (the `water` anomaly). This allocator
+//! reproduces both behaviours:
+//!
+//! * interference graph from backward liveness (copies interfere with all
+//!   of `live-after` except their source);
+//! * Briggs-conservative coalescing of register copies;
+//! * simplify/select with optimistic coloring and loop-depth-weighted
+//!   spill costs;
+//! * spill code through compiler-introduced **spill tags**, so spill
+//!   traffic shows up in the measured load/store counts exactly as it does
+//!   in the paper's figures.
+
+use cfg::{for_each_instr_backwards, liveness, RegSet};
+use cfg::{Cfg, DomTree, LoopForest};
+use ir::{FuncId, Instr, Module, Reg, TagKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Allocation parameters.
+#[derive(Debug, Clone)]
+pub struct AllocOptions {
+    /// Number of machine registers (colors).
+    pub num_regs: usize,
+    /// Safety bound on spill-and-retry rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for AllocOptions {
+    fn default() -> Self {
+        AllocOptions { num_regs: 32, max_rounds: 24 }
+    }
+}
+
+/// What allocation did to one function (or, summed, to a module).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllocReport {
+    /// Copies removed by coalescing.
+    pub coalesced: usize,
+    /// Virtual registers spilled to memory.
+    pub spilled: usize,
+    /// Virtual registers rematerialized instead of spilled (their single
+    /// definition is a constant-like instruction that is cheaper to
+    /// recompute than to reload).
+    pub rematerialized: usize,
+    /// Spill loads inserted (static count).
+    pub spill_loads: usize,
+    /// Spill stores inserted (static count).
+    pub spill_stores: usize,
+    /// Simplify/select rounds run.
+    pub rounds: usize,
+}
+
+struct Graph {
+    adj: Vec<BTreeSet<u32>>,
+    degree: Vec<usize>,
+}
+
+impl Graph {
+    fn new(n: usize) -> Self {
+        Graph { adj: vec![BTreeSet::new(); n], degree: vec![0; n] }
+    }
+
+    fn add_edge(&mut self, a: u32, b: u32) {
+        if a == b {
+            return;
+        }
+        if self.adj[a as usize].insert(b) {
+            self.degree[a as usize] += 1;
+        }
+        if self.adj[b as usize].insert(a) {
+            self.degree[b as usize] += 1;
+        }
+    }
+
+    fn interferes(&self, a: u32, b: u32) -> bool {
+        self.adj[a as usize].contains(&b)
+    }
+}
+
+fn build_graph(func: &ir::Function, cfg: &Cfg) -> Graph {
+    let n = func.next_reg as usize;
+    let live = liveness(func, cfg);
+    let mut g = Graph::new(n);
+    // Parameters all interfere pairwise (they hold distinct incoming
+    // values at entry).
+    for a in 0..func.arity as u32 {
+        for b in (a + 1)..func.arity as u32 {
+            g.add_edge(a, b);
+        }
+    }
+    for &b in &cfg.rpo {
+        for_each_instr_backwards(func, &live, b, |_, instr, live_after| {
+            if let Some(d) = instr.def() {
+                let skip = match instr {
+                    Instr::Copy { src, .. } => Some(*src),
+                    _ => None,
+                };
+                for r in live_after.iter() {
+                    if Some(r) != skip && r != d {
+                        g.add_edge(d.0, r.0);
+                    }
+                }
+            }
+        });
+    }
+    g
+}
+
+/// Per-register occurrence costs, weighted 10^loop-depth.
+fn spill_costs(func: &ir::Function, cfg: &Cfg) -> Vec<f64> {
+    let dom = DomTree::lengauer_tarjan(cfg);
+    let forest = LoopForest::build(cfg, &dom);
+    let mut cost = vec![0.0; func.next_reg as usize];
+    for bid in func.block_ids() {
+        if !cfg.is_reachable(bid) {
+            continue;
+        }
+        let depth = forest.block_loop[bid.index()]
+            .map(|l| forest.get(l).depth)
+            .unwrap_or(0);
+        let w = 10f64.powi(depth as i32);
+        for instr in &func.block(bid).instrs {
+            if let Some(d) = instr.def() {
+                cost[d.index()] += w;
+            }
+            instr.visit_uses(|r| cost[r.index()] += w);
+        }
+    }
+    cost
+}
+
+/// One conservative-coalescing sweep. Returns copies eliminated.
+fn coalesce_once(module: &mut Module, func_id: FuncId, k: usize) -> usize {
+    let func = module.func(func_id);
+    let cfg = Cfg::build(func);
+    let g = build_graph(func, &cfg);
+    let nregs = func.next_reg as usize;
+    let precolored = func.arity as u32;
+    // Union-find over registers.
+    let mut parent: Vec<u32> = (0..nregs as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let mut merged = 0;
+    // Collect copies.
+    let copies: Vec<(Reg, Reg)> = func
+        .blocks
+        .iter()
+        .flat_map(|b| &b.instrs)
+        .filter_map(|i| match i {
+            Instr::Copy { dst, src } => Some((*dst, *src)),
+            _ => None,
+        })
+        .collect();
+    // Track adjacency unions as we merge (approximation: recompute the
+    // union of original neighbor sets of the merged classes).
+    let mut class_adj: Vec<BTreeSet<u32>> = g.adj.clone();
+    for (dst, src) in copies {
+        let a = find(&mut parent, dst.0);
+        let b = find(&mut parent, src.0);
+        if a == b {
+            merged += 1; // already identical: the copy is removable
+            continue;
+        }
+        if a < precolored && b < precolored {
+            continue;
+        }
+        if class_adj[a as usize].contains(&b) || g.interferes(a, b) {
+            continue;
+        }
+        // Conservative-coalescing tests: Briggs (the merged node must have
+        // < k neighbors of significant degree) or George (every neighbor
+        // of one side either already interferes with the other side or is
+        // trivially colorable).
+        let briggs = {
+            let union: BTreeSet<u32> = class_adj[a as usize]
+                .union(&class_adj[b as usize])
+                .copied()
+                .collect();
+            union
+                .iter()
+                .filter(|&&n| class_adj[n as usize].len() >= k)
+                .count()
+                < k
+        };
+        let george = |x: u32, y: u32| {
+            class_adj[x as usize]
+                .iter()
+                .all(|&t| class_adj[t as usize].len() < k || class_adj[y as usize].contains(&t))
+        };
+        if !briggs && !george(a, b) && !george(b, a) {
+            continue;
+        }
+        // Merge b into a, preferring a precolored representative.
+        let (rep, other) = if b < precolored { (b, a) } else { (a, b) };
+        parent[other as usize] = rep;
+        let other_adj = class_adj[other as usize].clone();
+        for n in &other_adj {
+            class_adj[*n as usize].remove(&other);
+            class_adj[*n as usize].insert(rep);
+        }
+        class_adj[rep as usize].extend(other_adj);
+        merged += 1;
+    }
+    if merged == 0 {
+        return 0;
+    }
+    // Rewrite registers to representatives and drop identity copies.
+    let func = module.func_mut(func_id);
+    for block in &mut func.blocks {
+        for instr in &mut block.instrs {
+            if let Some(d) = instr.def_mut() {
+                *d = Reg(find(&mut parent, d.0));
+            }
+            instr.visit_uses_mut(|r| *r = Reg(find(&mut parent, r.0)));
+        }
+        block
+            .instrs
+            .retain(|i| !matches!(i, Instr::Copy { dst, src } if dst == src));
+    }
+    merged
+}
+
+/// A victim whose sole definition is constant-like is *rematerialized*:
+/// each use gets a fresh recomputation instead of a memory reload. This is
+/// the Chaitin/Briggs treatment of never-killed values and is essential
+/// for honest spill counts — most high-degree values in optimized code are
+/// loop-hoisted constants and addresses.
+fn try_rematerialize(
+    module: &mut Module,
+    func_id: FuncId,
+    victims: &mut BTreeSet<u32>,
+    temps: &mut BTreeSet<u32>,
+) -> usize {
+    // Map victim -> its defining instruction if it has exactly one def and
+    // that def is constant-like.
+    let func = module.func(func_id);
+    let mut def_count: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut def_instr: BTreeMap<u32, Instr> = BTreeMap::new();
+    for block in &func.blocks {
+        for instr in &block.instrs {
+            if let Some(d) = instr.def() {
+                if victims.contains(&d.0) {
+                    *def_count.entry(d.0).or_default() += 1;
+                    def_instr.insert(d.0, instr.clone());
+                }
+            }
+        }
+    }
+    let rematable: BTreeMap<u32, Instr> = def_instr
+        .into_iter()
+        .filter(|(v, i)| {
+            def_count.get(v) == Some(&1)
+                && matches!(
+                    i,
+                    Instr::IConst { .. }
+                        | Instr::FConst { .. }
+                        | Instr::FuncAddr { .. }
+                        | Instr::Lea { .. }
+                )
+        })
+        .collect();
+    if rematable.is_empty() {
+        return 0;
+    }
+    let func = module.func_mut(func_id);
+    for bi in 0..func.blocks.len() {
+        let mut i = 0;
+        while i < func.blocks[bi].instrs.len() {
+            let instr = &func.blocks[bi].instrs[i];
+            // Leave the original definitions alone (they become dead and
+            // are cheap).
+            if let Some(d) = instr.def() {
+                if rematable.contains_key(&d.0) && instr == &rematable[&d.0] {
+                    i += 1;
+                    continue;
+                }
+            }
+            let mut used: Vec<u32> = Vec::new();
+            instr.visit_uses(|r| {
+                if rematable.contains_key(&r.0) && !used.contains(&r.0) {
+                    used.push(r.0);
+                }
+            });
+            if used.is_empty() {
+                i += 1;
+                continue;
+            }
+            let mut remap: BTreeMap<u32, Reg> = BTreeMap::new();
+            for &v in &used {
+                let tmp = Reg(func.next_reg);
+                func.next_reg += 1;
+                temps.insert(tmp.0);
+                let mut clone = rematable[&v].clone();
+                if let Some(d) = clone.def_mut() {
+                    *d = tmp;
+                }
+                func.blocks[bi].instrs.insert(i, clone);
+                i += 1;
+                remap.insert(v, tmp);
+            }
+            let instr = &mut func.blocks[bi].instrs[i];
+            instr.visit_uses_mut(|r| {
+                if let Some(t) = remap.get(&r.0) {
+                    *r = *t;
+                }
+            });
+            i += 1;
+        }
+    }
+    let n = rematable.len();
+    for v in rematable.keys() {
+        victims.remove(v);
+    }
+    n
+}
+
+/// Inserts spill code for `victims`; returns (loads, stores) inserted and
+/// the short-range temporaries created (which must never be spill
+/// candidates themselves, or allocation would not terminate).
+fn insert_spill_code(
+    module: &mut Module,
+    func_id: FuncId,
+    victims: &BTreeSet<u32>,
+) -> (usize, usize, BTreeSet<u32>) {
+    // One spill tag per victim.
+    let mut tags = BTreeMap::new();
+    for &v in victims {
+        // Sequential naming over all spill tags this function has ever
+        // received (the count grows as we intern, so names stay unique
+        // across spill rounds).
+        let name = format!(
+            "{}.spill{}",
+            module.func(func_id).name,
+            module
+                .tags
+                .iter()
+                .filter(|(_, t)| matches!(t.kind, TagKind::Spill { owner } if owner == func_id.0))
+                .count()
+        );
+        let tag = module.tags.intern(name, TagKind::Spill { owner: func_id.0 }, 1);
+        tags.insert(v, tag);
+    }
+    let arity = module.func(func_id).arity as u32;
+    let mut loads = 0;
+    let mut stores = 0;
+    let mut temps: BTreeSet<u32> = BTreeSet::new();
+    let func = module.func_mut(func_id);
+    // Spilled parameters are stored once on entry.
+    let entry = func.entry;
+    for &v in victims {
+        if v < arity {
+            func.block_mut(entry)
+                .instrs
+                .insert(0, Instr::SStore { src: Reg(v), tag: tags[&v] });
+            stores += 1;
+        }
+    }
+    for bi in 0..func.blocks.len() {
+        let mut i = 0;
+        while i < func.blocks[bi].instrs.len() {
+            let instr = &func.blocks[bi].instrs[i];
+            // Skip the entry stores just inserted.
+            if let Instr::SStore { src, tag } = instr {
+                if tags.get(&src.0) == Some(tag) {
+                    i += 1;
+                    continue;
+                }
+            }
+            let mut used: Vec<u32> = Vec::new();
+            instr.visit_uses(|r| {
+                if victims.contains(&r.0) && !used.contains(&r.0) {
+                    used.push(r.0);
+                }
+            });
+            let def = instr.def().filter(|d| victims.contains(&d.0));
+            if used.is_empty() && def.is_none() {
+                i += 1;
+                continue;
+            }
+            // Loads before: one fresh temp per distinct spilled use.
+            let mut remap: BTreeMap<u32, Reg> = BTreeMap::new();
+            for &v in &used {
+                let tmp = Reg(func.next_reg);
+                func.next_reg += 1;
+                temps.insert(tmp.0);
+                remap.insert(v, tmp);
+            }
+            let mut insert_at = i;
+            for &v in &used {
+                func.blocks[bi]
+                    .instrs
+                    .insert(insert_at, Instr::SLoad { dst: remap[&v], tag: tags[&v] });
+                insert_at += 1;
+                loads += 1;
+            }
+            i = insert_at;
+            {
+                let instr = &mut func.blocks[bi].instrs[i];
+                instr.visit_uses_mut(|r| {
+                    if let Some(t) = remap.get(&r.0) {
+                        *r = *t;
+                    }
+                });
+                if let Some(d) = def {
+                    let tmp = Reg(func.next_reg);
+                    func.next_reg += 1;
+                    temps.insert(tmp.0);
+                    *instr.def_mut().expect("def checked") = tmp;
+                    let store = Instr::SStore { src: tmp, tag: tags[&d.0] };
+                    // A terminator cannot define a register, so inserting
+                    // after is always legal.
+                    func.blocks[bi].instrs.insert(i + 1, store);
+                    stores += 1;
+                    i += 1;
+                }
+            }
+            i += 1;
+        }
+    }
+    (loads, stores, temps)
+}
+
+/// Allocates one function onto `opts.num_regs` registers.
+///
+/// # Panics
+///
+/// Panics if the function's arity exceeds the register count or if
+/// allocation fails to converge within `opts.max_rounds`.
+pub fn allocate_function(module: &mut Module, func_id: FuncId, opts: &AllocOptions) -> AllocReport {
+    let mut report = AllocReport::default();
+    let k = opts.num_regs;
+    assert!(
+        module.func(func_id).arity <= k,
+        "@{}: arity {} exceeds {k} registers",
+        module.func(func_id).name,
+        module.func(func_id).arity
+    );
+    let mut no_spill: BTreeSet<u32> = BTreeSet::new();
+    loop {
+        report.rounds += 1;
+        // Decouple parameter values from their fixed incoming registers:
+        // each param is copied into a fresh allocatable vreg at entry and
+        // the body uses only the vreg. Under low pressure coalescing
+        // merges the pair back (zero cost); under high pressure the vreg
+        // can spill — leaving a precolored register live across the whole
+        // function would make tight functions uncolorable. This runs at
+        // the start of *every* round because pre-spill coalescing may
+        // legitimately undo it; once spilling starts, coalescing freezes
+        // and the decoupling sticks.
+        {
+            let func = module.func_mut(func_id);
+            let arity = func.arity as u32;
+            if arity > 0 {
+                let shadows: Vec<Reg> = (0..arity).map(|_| func.new_reg()).collect();
+                for block in &mut func.blocks {
+                    for instr in &mut block.instrs {
+                        if let Some(d) = instr.def_mut() {
+                            if d.0 < arity {
+                                *d = shadows[d.0 as usize];
+                            }
+                        }
+                        instr.visit_uses_mut(|r| {
+                            if r.0 < arity {
+                                *r = shadows[r.0 as usize];
+                            }
+                        });
+                    }
+                }
+                let entry = func.entry;
+                for (i, &v) in shadows.iter().enumerate().rev() {
+                    func.block_mut(entry)
+                        .instrs
+                        .insert(0, Instr::Copy { dst: v, src: Reg(i as u32) });
+                }
+            }
+        }
+        if std::env::var("REGALLOC_DEBUG").is_ok() {
+            eprintln!(
+                "round {}: instrs={} next_reg={}",
+                report.rounds,
+                module.func(func_id).instr_count(),
+                module.func(func_id).next_reg
+            );
+        }
+        assert!(
+            report.rounds <= opts.max_rounds,
+            "@{}: register allocation did not converge",
+            module.func(func_id).name
+        );
+        // Coalesce until stable — but only before any spill round.
+        // Iterating coalescing against spilling can oscillate (a merge
+        // makes the graph uncolorable, spill code re-enables the merge,
+        // ...), so once spill code exists, coalescing is frozen: the
+        // classic iterated-coalescing discipline.
+        if report.spilled == 0 {
+            loop {
+                let c = coalesce_once(module, func_id, k);
+                report.coalesced += c;
+                if c == 0 {
+                    break;
+                }
+            }
+        }
+        let func = module.func(func_id);
+        let cfg = Cfg::build(func);
+        let g = build_graph(func, &cfg);
+        let costs = spill_costs(func, &cfg);
+        let precolored = func.arity as u32;
+        let nregs = func.next_reg as usize;
+        // Registers that actually occur.
+        let mut occurs = RegSet::new(nregs);
+        for block in &func.blocks {
+            for instr in &block.instrs {
+                if let Some(d) = instr.def() {
+                    occurs.insert(d);
+                }
+                instr.visit_uses(|r| {
+                    occurs.insert(r);
+                });
+            }
+        }
+        for p in 0..precolored {
+            occurs.insert(Reg(p));
+        }
+        // Simplify.
+        let mut degree = g.degree.clone();
+        let mut removed = vec![false; nregs];
+        let mut stack: Vec<u32> = Vec::new();
+        let work: Vec<u32> = occurs.iter().map(|r| r.0).filter(|&r| r >= precolored).collect();
+        let mut remaining = work.len();
+        while remaining > 0 {
+            // Prefer a trivially colorable node.
+            let pick = work
+                .iter()
+                .copied()
+                .filter(|&r| !removed[r as usize])
+                .find(|&r| degree[r as usize] < k)
+                .or_else(|| {
+                    // Potential spill: cheapest cost/degree among regs that
+                    // are not themselves spill temporaries, pushed
+                    // optimistically; fall back to any node if only temps
+                    // remain.
+                    let candidate = |rs: &mut dyn Iterator<Item = u32>| {
+                        rs.min_by(|&a, &b| {
+                            let ca = costs[a as usize] / (degree[a as usize].max(1) as f64);
+                            let cb = costs[b as usize] / (degree[b as usize].max(1) as f64);
+                            ca.partial_cmp(&cb).expect("costs are finite")
+                        })
+                    };
+                    candidate(
+                        &mut work
+                            .iter()
+                            .copied()
+                            .filter(|&r| !removed[r as usize] && !no_spill.contains(&r)),
+                    )
+                    .or_else(|| {
+                        candidate(&mut work.iter().copied().filter(|&r| !removed[r as usize]))
+                    })
+                });
+            let r = pick.expect("remaining > 0 implies a node exists");
+            removed[r as usize] = true;
+            stack.push(r);
+            remaining -= 1;
+            for &n in &g.adj[r as usize] {
+                degree[n as usize] = degree[n as usize].saturating_sub(1);
+            }
+        }
+        // Select.
+        let mut color: Vec<Option<u32>> = vec![None; nregs];
+        for p in 0..precolored {
+            color[p as usize] = Some(p);
+        }
+        let mut spilled: BTreeSet<u32> = BTreeSet::new();
+        while let Some(r) = stack.pop() {
+            let mut used: BTreeSet<u32> = BTreeSet::new();
+            for &n in &g.adj[r as usize] {
+                if let Some(c) = color[n as usize] {
+                    used.insert(c);
+                }
+            }
+            match (0..k as u32).find(|c| !used.contains(c)) {
+                Some(c) => color[r as usize] = Some(c),
+                None => {
+                    spilled.insert(r);
+                }
+            }
+        }
+        if std::env::var("REGALLOC_DEBUG").is_ok() {
+            eprintln!("  spilled this round: {spilled:?}");
+        }
+        if spilled.is_empty() {
+            // Rewrite to physical registers.
+            let func = module.func_mut(func_id);
+            for block in &mut func.blocks {
+                for instr in &mut block.instrs {
+                    if let Some(d) = instr.def_mut() {
+                        *d = Reg(color[d.index()].expect("colored def"));
+                    }
+                    instr.visit_uses_mut(|r| {
+                        *r = Reg(color[r.index()].expect("colored use"));
+                    });
+                }
+                // Coloring can introduce identity copies; drop them.
+                block
+                    .instrs
+                    .retain(|i| !matches!(i, Instr::Copy { dst, src } if dst == src));
+            }
+            func.next_reg = k as u32;
+            return report;
+        }
+        let mut spilled = spilled;
+        let mut temps = BTreeSet::new();
+        report.rematerialized += try_rematerialize(module, func_id, &mut spilled, &mut temps);
+        report.spilled += spilled.len();
+        let (l, s, spill_temps) = insert_spill_code(module, func_id, &spilled);
+        temps.extend(spill_temps);
+        no_spill.extend(temps);
+        report.spill_loads += l;
+        report.spill_stores += s;
+    }
+}
+
+/// Allocates every function in the module.
+pub fn allocate(module: &mut Module, opts: &AllocOptions) -> AllocReport {
+    let mut total = AllocReport::default();
+    for fi in 0..module.funcs.len() {
+        let r = allocate_function(module, FuncId(fi as u32), opts);
+        total.coalesced += r.coalesced;
+        total.spilled += r.spilled;
+        total.rematerialized += r.rematerialized;
+        total.spill_loads += r.spill_loads;
+        total.spill_stores += r.spill_stores;
+        total.rounds += r.rounds;
+    }
+    debug_assert!(ir::validate(module).is_ok(), "allocation produced invalid IL");
+    total
+}

@@ -1,0 +1,100 @@
+//! Dynamic instruction counters — the paper's measurement apparatus.
+//!
+//! The evaluation in the paper reports, per program version, the dynamic
+//! number of **total operations**, **stores**, and **loads** executed
+//! (Figures 5–7). [`ExecCounts`] collects exactly those, plus a finer
+//! per-class breakdown used by the ablation reports.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Dynamic instruction counts for one execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecCounts {
+    /// All executed operations (φ-nodes and `nop`s excluded).
+    pub total: u64,
+    /// Executed loads: `cload` + `sload` + `load`.
+    pub loads: u64,
+    /// Executed stores: `sstore` + `store`.
+    pub stores: u64,
+    /// Executed scalar loads (`sload` only).
+    pub scalar_loads: u64,
+    /// Executed scalar stores (`sstore` only).
+    pub scalar_stores: u64,
+    /// Executed pointer-based loads (`load` only).
+    pub ptr_loads: u64,
+    /// Executed pointer-based stores (`store` only).
+    pub ptr_stores: u64,
+    /// Executed register copies.
+    pub copies: u64,
+    /// Executed calls (direct + indirect + intrinsic).
+    pub calls: u64,
+    /// Executed control transfers (`jump` + `branch` + `ret`).
+    pub control: u64,
+    /// Executed arithmetic/compare/constant operations.
+    pub arith: u64,
+    /// Executed heap allocations.
+    pub allocs: u64,
+}
+
+impl ExecCounts {
+    /// All counters zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memory traffic: loads + stores.
+    pub fn memory_ops(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+impl Add for ExecCounts {
+    type Output = ExecCounts;
+
+    fn add(mut self, rhs: ExecCounts) -> ExecCounts {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for ExecCounts {
+    fn add_assign(&mut self, rhs: ExecCounts) {
+        self.total += rhs.total;
+        self.loads += rhs.loads;
+        self.stores += rhs.stores;
+        self.scalar_loads += rhs.scalar_loads;
+        self.scalar_stores += rhs.scalar_stores;
+        self.ptr_loads += rhs.ptr_loads;
+        self.ptr_stores += rhs.ptr_stores;
+        self.copies += rhs.copies;
+        self.calls += rhs.calls;
+        self.control += rhs.control;
+        self.arith += rhs.arith;
+        self.allocs += rhs.allocs;
+    }
+}
+
+impl fmt::Display for ExecCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total={} loads={} stores={} copies={} calls={}",
+            self.total, self.loads, self.stores, self.copies, self.calls
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition() {
+        let a = ExecCounts { total: 10, loads: 2, stores: 1, ..Default::default() };
+        let b = ExecCounts { total: 5, loads: 1, stores: 4, ..Default::default() };
+        let c = a + b;
+        assert_eq!(c.total, 15);
+        assert_eq!(c.memory_ops(), 8);
+    }
+}

@@ -1,0 +1,698 @@
+//! The IL interpreter.
+//!
+//! Memory is a store of *objects*; every pointer is a fat `(object,
+//! generation, offset)` triple, so pointer arithmetic is well defined and
+//! use-after-return is detected rather than silently misread. The
+//! interpreter counts every executed operation into [`ExecCounts`], which is
+//! how the paper's dynamic load/store/operation figures are regenerated.
+
+use crate::counts::ExecCounts;
+use crate::value::{ObjId, Ptr, Value};
+use ir::{
+    BinOp, BlockId, Callee, CmpOp, FuncId, GlobalInit, Instr, Intrinsic, Module, Reg, TagId,
+    TagKind, UnaryOp,
+};
+use std::error::Error;
+use std::fmt;
+
+/// Execution limits and switches.
+#[derive(Debug, Clone)]
+pub struct VmOptions {
+    /// Abort after this many executed operations.
+    pub max_steps: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for VmOptions {
+    fn default() -> Self {
+        VmOptions { max_steps: 1 << 33, max_depth: 2_000 }
+    }
+}
+
+/// A dynamic execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// Arithmetic on incompatible or uninitialized operands.
+    TypeError(String),
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// Dereference outside an object's bounds.
+    OutOfBounds(String),
+    /// Dereference of a pointer whose object has been freed.
+    UseAfterFree,
+    /// A non-pointer was dereferenced or a non-function was called.
+    BadAddress(String),
+    /// Reference to a tag with no live object (e.g. another function's
+    /// local accessed by name).
+    NoObject(String),
+    /// The step budget was exhausted.
+    StepLimit(u64),
+    /// The call-depth budget was exhausted.
+    StackOverflow(usize),
+    /// `main` is missing or a function fell off its end.
+    Malformed(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::TypeError(m) => write!(f, "type error: {m}"),
+            VmError::DivisionByZero => write!(f, "division by zero"),
+            VmError::OutOfBounds(m) => write!(f, "out-of-bounds access: {m}"),
+            VmError::UseAfterFree => write!(f, "use after free"),
+            VmError::BadAddress(m) => write!(f, "bad address: {m}"),
+            VmError::NoObject(m) => write!(f, "no live object: {m}"),
+            VmError::StepLimit(n) => write!(f, "step limit of {n} exceeded"),
+            VmError::StackOverflow(n) => write!(f, "call depth limit of {n} exceeded"),
+            VmError::Malformed(m) => write!(f, "malformed program: {m}"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+/// The result of a completed execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// The value returned by the entry function, if any.
+    pub result: Option<Value>,
+    /// Exit code (from `$exit`, else the integer result of `main`, else 0).
+    pub exit_code: i64,
+    /// Lines printed by the `print_*` intrinsics.
+    pub output: Vec<String>,
+    /// Dynamic instruction counts.
+    pub counts: ExecCounts,
+}
+
+enum Stop {
+    Error(VmError),
+    Exit(i64),
+}
+
+impl From<VmError> for Stop {
+    fn from(e: VmError) -> Self {
+        Stop::Error(e)
+    }
+}
+
+type Exec<T> = Result<T, Stop>;
+
+#[derive(Debug, Clone, Copy)]
+struct ObjRef {
+    id: ObjId,
+    gen: u32,
+}
+
+#[derive(Debug)]
+struct Obj {
+    gen: u32,
+    live: bool,
+    data: Vec<Value>,
+}
+
+struct Frame {
+    regs: Vec<Value>,
+    locals: Vec<(TagId, ObjRef)>,
+}
+
+/// The interpreter.
+pub struct Vm<'m> {
+    module: &'m Module,
+    options: VmOptions,
+    objects: Vec<Obj>,
+    free_slots: Vec<u32>,
+    global_map: Vec<Option<ObjRef>>,
+    /// Tags owned by each function (locals, addressed params, spill slots).
+    owned_tags: Vec<Vec<TagId>>,
+    counts: ExecCounts,
+    output: Vec<String>,
+    depth: usize,
+}
+
+impl<'m> Vm<'m> {
+    /// Prepares a VM over `module`: allocates and initializes globals.
+    pub fn new(module: &'m Module, options: VmOptions) -> Self {
+        let mut owned_tags = vec![Vec::new(); module.funcs.len()];
+        for (id, info) in module.tags.iter() {
+            if let Some(owner) = info.kind.owner() {
+                if let Some(v) = owned_tags.get_mut(owner as usize) {
+                    v.push(id);
+                }
+            }
+        }
+        let mut vm = Vm {
+            module,
+            options,
+            objects: Vec::new(),
+            free_slots: Vec::new(),
+            global_map: vec![None; module.tags.len()],
+            owned_tags,
+            counts: ExecCounts::new(),
+            output: Vec::new(),
+            depth: 0,
+        };
+        for g in &module.globals {
+            let size = module.tags.info(g.tag).size;
+            let mut data = vec![Value::Int(0); size];
+            match &g.init {
+                GlobalInit::Zero => {}
+                GlobalInit::Ints(vs) => {
+                    for (i, v) in vs.iter().enumerate().take(size) {
+                        data[i] = Value::Int(*v);
+                    }
+                }
+                GlobalInit::Floats(vs) => {
+                    // A float global is fully float-typed.
+                    data = vec![Value::Float(0.0); size];
+                    for (i, v) in vs.iter().enumerate().take(size) {
+                        data[i] = Value::Float(*v);
+                    }
+                }
+            }
+            let r = vm.alloc_object(data);
+            vm.global_map[g.tag.index()] = Some(r);
+        }
+        vm
+    }
+
+    /// Runs `main` with no arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on any dynamic failure, including a missing
+    /// `main`.
+    pub fn run_main(module: &'m Module, options: VmOptions) -> Result<Outcome, VmError> {
+        let main = module
+            .main()
+            .ok_or_else(|| VmError::Malformed("no @main function".into()))?;
+        Self::run(module, main, &[], options)
+    }
+
+    /// Runs `func` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on any dynamic failure (type errors, bounds
+    /// violations, step/stack limits, ...).
+    pub fn run(
+        module: &'m Module,
+        func: FuncId,
+        args: &[Value],
+        options: VmOptions,
+    ) -> Result<Outcome, VmError> {
+        let mut vm = Vm::new(module, options);
+        match vm.exec_function(func, args.to_vec()) {
+            Ok(result) => {
+                let exit_code = match result {
+                    Some(Value::Int(v)) => v,
+                    _ => 0,
+                };
+                Ok(Outcome { result, exit_code, output: vm.output, counts: vm.counts })
+            }
+            Err(Stop::Exit(code)) => Ok(Outcome {
+                result: None,
+                exit_code: code,
+                output: vm.output,
+                counts: vm.counts,
+            }),
+            Err(Stop::Error(e)) => Err(e),
+        }
+    }
+
+    fn alloc_object(&mut self, data: Vec<Value>) -> ObjRef {
+        if let Some(slot) = self.free_slots.pop() {
+            let obj = &mut self.objects[slot as usize];
+            obj.data = data;
+            obj.live = true;
+            ObjRef { id: ObjId(slot), gen: obj.gen }
+        } else {
+            let id = ObjId(self.objects.len() as u32);
+            self.objects.push(Obj { gen: 0, live: true, data });
+            ObjRef { id, gen: 0 }
+        }
+    }
+
+    fn free_object(&mut self, r: ObjRef) {
+        let obj = &mut self.objects[r.id.index()];
+        obj.live = false;
+        obj.gen = obj.gen.wrapping_add(1);
+        obj.data = Vec::new();
+        self.free_slots.push(r.id.0);
+    }
+
+    fn tag_object(&self, frame: &Frame, tag: TagId) -> Exec<ObjRef> {
+        let info = self.module.tags.info(tag);
+        match info.kind {
+            TagKind::Global => self.global_map[tag.index()].ok_or_else(|| {
+                Stop::Error(VmError::NoObject(format!(
+                    "global \"{}\" has no definition",
+                    info.name
+                )))
+            }),
+            _ => frame
+                .locals
+                .iter()
+                .find(|(t, _)| *t == tag)
+                .map(|(_, r)| *r)
+                .ok_or_else(|| {
+                    Stop::Error(VmError::NoObject(format!(
+                        "tag \"{}\" not owned by the running function",
+                        info.name
+                    )))
+                }),
+        }
+    }
+
+    fn read_cell(&self, p: Ptr) -> Exec<Value> {
+        let obj = self
+            .objects
+            .get(p.obj.index())
+            .ok_or_else(|| Stop::Error(VmError::BadAddress(format!("object {}", p.obj.0))))?;
+        if !obj.live || obj.gen != p.gen {
+            return Err(VmError::UseAfterFree.into());
+        }
+        if p.off < 0 || p.off as usize >= obj.data.len() {
+            return Err(VmError::OutOfBounds(format!(
+                "offset {} in object of {} cells",
+                p.off,
+                obj.data.len()
+            ))
+            .into());
+        }
+        Ok(obj.data[p.off as usize])
+    }
+
+    fn write_cell(&mut self, p: Ptr, v: Value) -> Exec<()> {
+        let obj = self
+            .objects
+            .get_mut(p.obj.index())
+            .ok_or_else(|| Stop::Error(VmError::BadAddress(format!("object {}", p.obj.0))))?;
+        if !obj.live || obj.gen != p.gen {
+            return Err(VmError::UseAfterFree.into());
+        }
+        if p.off < 0 || p.off as usize >= obj.data.len() {
+            return Err(VmError::OutOfBounds(format!(
+                "offset {} in object of {} cells",
+                p.off,
+                obj.data.len()
+            ))
+            .into());
+        }
+        obj.data[p.off as usize] = v;
+        Ok(())
+    }
+
+    fn step(&mut self) -> Exec<()> {
+        self.counts.total += 1;
+        if self.counts.total > self.options.max_steps {
+            Err(VmError::StepLimit(self.options.max_steps).into())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn exec_function(&mut self, func_id: FuncId, args: Vec<Value>) -> Exec<Option<Value>> {
+        self.depth += 1;
+        if self.depth > self.options.max_depth {
+            self.depth -= 1;
+            return Err(VmError::StackOverflow(self.options.max_depth).into());
+        }
+        let func = self.module.func(func_id);
+        if args.len() != func.arity {
+            self.depth -= 1;
+            return Err(VmError::Malformed(format!(
+                "@{} called with {} args, arity {}",
+                func.name,
+                args.len(),
+                func.arity
+            ))
+            .into());
+        }
+        let mut regs = vec![Value::Uninit; func.next_reg as usize];
+        regs[..args.len()].copy_from_slice(&args);
+        let mut frame = Frame { regs, locals: Vec::new() };
+        for &tag in &self.owned_tags[func_id.index()].clone() {
+            let size = self.module.tags.info(tag).size;
+            let r = self.alloc_object(vec![Value::Uninit; size]);
+            frame.locals.push((tag, r));
+        }
+        let result = self.exec_blocks(func_id, &mut frame);
+        for &(_, r) in &frame.locals {
+            self.free_object(r);
+        }
+        self.depth -= 1;
+        result
+    }
+
+    fn exec_blocks(&mut self, func_id: FuncId, frame: &mut Frame) -> Exec<Option<Value>> {
+        let func = self.module.func(func_id);
+        let mut cur = func.entry;
+        let mut prev: Option<BlockId> = None;
+        loop {
+            let block = func.block(cur);
+            // φ-nodes evaluate in parallel against the previous block.
+            let phi_end = block.first_non_phi();
+            if phi_end > 0 {
+                let pb = prev.ok_or_else(|| {
+                    Stop::Error(VmError::Malformed(format!("phi in entry block of @{}", func.name)))
+                })?;
+                let mut updates: Vec<(Reg, Value)> = Vec::with_capacity(phi_end);
+                for instr in &block.instrs[..phi_end] {
+                    if let Instr::Phi { dst, args } = instr {
+                        let (_, src) = args.iter().find(|(b, _)| *b == pb).ok_or_else(|| {
+                            Stop::Error(VmError::Malformed(format!(
+                                "phi in {cur} lacks entry for predecessor {pb}"
+                            )))
+                        })?;
+                        updates.push((*dst, frame.regs[src.index()]));
+                    }
+                }
+                for (dst, v) in updates {
+                    frame.regs[dst.index()] = v;
+                }
+            }
+            let mut next: Option<BlockId> = None;
+            for instr in &block.instrs[phi_end..] {
+                match self.exec_instr(instr, frame)? {
+                    Flow::Continue => {}
+                    Flow::Jump(b) => {
+                        next = Some(b);
+                        break;
+                    }
+                    Flow::Return(v) => return Ok(v),
+                }
+            }
+            match next {
+                Some(b) => {
+                    prev = Some(cur);
+                    cur = b;
+                }
+                None => {
+                    return Err(VmError::Malformed(format!(
+                        "block {cur} of @{} fell through without a terminator",
+                        func.name
+                    ))
+                    .into())
+                }
+            }
+        }
+    }
+
+    fn exec_instr(&mut self, instr: &Instr, frame: &mut Frame) -> Exec<Flow> {
+        let get = |frame: &Frame, r: Reg| frame.regs[r.index()];
+        match instr {
+            Instr::Nop | Instr::Phi { .. } => return Ok(Flow::Continue),
+            _ => self.step()?,
+        }
+        match instr {
+            Instr::IConst { dst, value } => {
+                self.counts.arith += 1;
+                frame.regs[dst.index()] = Value::Int(*value);
+            }
+            Instr::FConst { dst, value } => {
+                self.counts.arith += 1;
+                frame.regs[dst.index()] = Value::Float(*value);
+            }
+            Instr::FuncAddr { dst, func } => {
+                self.counts.arith += 1;
+                frame.regs[dst.index()] = Value::Func(*func);
+            }
+            Instr::Copy { dst, src } => {
+                self.counts.copies += 1;
+                frame.regs[dst.index()] = get(frame, *src);
+            }
+            Instr::Unary { op, dst, src } => {
+                self.counts.arith += 1;
+                frame.regs[dst.index()] = eval_unary(*op, get(frame, *src))?;
+            }
+            Instr::Binary { op, dst, lhs, rhs } => {
+                self.counts.arith += 1;
+                frame.regs[dst.index()] = eval_binary(*op, get(frame, *lhs), get(frame, *rhs))?;
+            }
+            Instr::Cmp { op, dst, lhs, rhs } => {
+                self.counts.arith += 1;
+                frame.regs[dst.index()] = eval_cmp(*op, get(frame, *lhs), get(frame, *rhs))?;
+            }
+            Instr::CLoad { dst, tag } => {
+                self.counts.loads += 1;
+                self.counts.scalar_loads += 1;
+                let r = self.tag_object(frame, *tag)?;
+                frame.regs[dst.index()] = self.read_cell(Ptr { obj: r.id, gen: r.gen, off: 0 })?;
+            }
+            Instr::SLoad { dst, tag } => {
+                self.counts.loads += 1;
+                self.counts.scalar_loads += 1;
+                let r = self.tag_object(frame, *tag)?;
+                frame.regs[dst.index()] = self.read_cell(Ptr { obj: r.id, gen: r.gen, off: 0 })?;
+            }
+            Instr::SStore { src, tag } => {
+                self.counts.stores += 1;
+                self.counts.scalar_stores += 1;
+                let r = self.tag_object(frame, *tag)?;
+                let v = get(frame, *src);
+                self.write_cell(Ptr { obj: r.id, gen: r.gen, off: 0 }, v)?;
+            }
+            Instr::Load { dst, addr, .. } => {
+                self.counts.loads += 1;
+                self.counts.ptr_loads += 1;
+                let p = expect_ptr(get(frame, *addr))?;
+                frame.regs[dst.index()] = self.read_cell(p)?;
+            }
+            Instr::Store { src, addr, .. } => {
+                self.counts.stores += 1;
+                self.counts.ptr_stores += 1;
+                let p = expect_ptr(get(frame, *addr))?;
+                let v = get(frame, *src);
+                self.write_cell(p, v)?;
+            }
+            Instr::Lea { dst, tag } => {
+                self.counts.arith += 1;
+                let r = self.tag_object(frame, *tag)?;
+                frame.regs[dst.index()] = ptr_value(r, 0);
+            }
+            Instr::PtrAdd { dst, base, offset } => {
+                self.counts.arith += 1;
+                let p = expect_ptr(get(frame, *base))?;
+                let off = get(frame, *offset).as_int().ok_or_else(|| {
+                    Stop::Error(VmError::TypeError(format!(
+                        "ptradd offset must be int, got {}",
+                        get(frame, *offset).kind_name()
+                    )))
+                })?;
+                frame.regs[dst.index()] =
+                    Value::Ptr(Ptr { obj: p.obj, gen: p.gen, off: p.off + off });
+            }
+            Instr::Alloc { dst, size, .. } => {
+                self.counts.allocs += 1;
+                let n = get(frame, *size).as_int().ok_or_else(|| {
+                    Stop::Error(VmError::TypeError("alloc size must be int".into()))
+                })?;
+                if n < 0 {
+                    return Err(VmError::TypeError(format!("negative alloc size {n}")).into());
+                }
+                let r = self.alloc_object(vec![Value::Uninit; n as usize]);
+                frame.regs[dst.index()] = ptr_value(r, 0);
+            }
+            Instr::Call { dst, callee, args, .. } => {
+                self.counts.calls += 1;
+                let argv: Vec<Value> = args.iter().map(|r| get(frame, *r)).collect();
+                let result = match callee {
+                    Callee::Direct(f) => self.exec_function(*f, argv)?,
+                    Callee::Indirect(r) => match get(frame, *r) {
+                        Value::Func(f) => self.exec_function(f, argv)?,
+                        other => {
+                            return Err(VmError::BadAddress(format!(
+                                "indirect call through {}",
+                                other.kind_name()
+                            ))
+                            .into())
+                        }
+                    },
+                    Callee::Intrinsic(i) => self.exec_intrinsic(*i, &argv)?,
+                };
+                if let Some(d) = dst {
+                    frame.regs[d.index()] = result.ok_or_else(|| {
+                        Stop::Error(VmError::Malformed("void callee used for its result".into()))
+                    })?;
+                }
+            }
+            Instr::Jump { target } => {
+                self.counts.control += 1;
+                return Ok(Flow::Jump(*target));
+            }
+            Instr::Branch { cond, then_bb, else_bb } => {
+                self.counts.control += 1;
+                let c = get(frame, *cond).as_int().ok_or_else(|| {
+                    Stop::Error(VmError::TypeError(format!(
+                        "branch condition must be int, got {}",
+                        get(frame, *cond).kind_name()
+                    )))
+                })?;
+                return Ok(Flow::Jump(if c != 0 { *then_bb } else { *else_bb }));
+            }
+            Instr::Ret { value } => {
+                self.counts.control += 1;
+                return Ok(Flow::Return(value.map(|r| get(frame, r))));
+            }
+            Instr::Nop | Instr::Phi { .. } => unreachable!("handled above"),
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn exec_intrinsic(&mut self, intr: Intrinsic, args: &[Value]) -> Exec<Option<Value>> {
+        let float = |v: Value| {
+            v.as_float().ok_or_else(|| {
+                Stop::Error(VmError::TypeError(format!(
+                    "${} expects float, got {}",
+                    intr.name(),
+                    v.kind_name()
+                )))
+            })
+        };
+        let int = |v: Value| {
+            v.as_int().ok_or_else(|| {
+                Stop::Error(VmError::TypeError(format!(
+                    "${} expects int, got {}",
+                    intr.name(),
+                    v.kind_name()
+                )))
+            })
+        };
+        Ok(match intr {
+            Intrinsic::PrintInt => {
+                self.output.push(int(args[0])?.to_string());
+                None
+            }
+            Intrinsic::PrintFloat => {
+                self.output.push(format!("{:.6}", float(args[0])?));
+                None
+            }
+            Intrinsic::Sqrt => Some(Value::Float(float(args[0])?.sqrt())),
+            Intrinsic::Sin => Some(Value::Float(float(args[0])?.sin())),
+            Intrinsic::Cos => Some(Value::Float(float(args[0])?.cos())),
+            Intrinsic::Pow => Some(Value::Float(float(args[0])?.powf(float(args[1])?))),
+            Intrinsic::AbsInt => Some(Value::Int(int(args[0])?.wrapping_abs())),
+            Intrinsic::AbsFloat => Some(Value::Float(float(args[0])?.abs())),
+            Intrinsic::Exit => return Err(Stop::Exit(int(args[0])?)),
+        })
+    }
+}
+
+enum Flow {
+    Continue,
+    Jump(BlockId),
+    Return(Option<Value>),
+}
+
+fn ptr_value(r: ObjRef, off: i64) -> Value {
+    Value::Ptr(Ptr { obj: r.id, gen: r.gen, off })
+}
+
+fn expect_ptr(v: Value) -> Exec<Ptr> {
+    match v {
+        Value::Ptr(p) => Ok(p),
+        other => Err(VmError::BadAddress(format!(
+            "expected pointer, got {}",
+            other.kind_name()
+        ))
+        .into()),
+    }
+}
+
+fn type_err(op: &str, a: Value, b: Value) -> Stop {
+    Stop::Error(VmError::TypeError(format!(
+        "{op} on {} and {}",
+        a.kind_name(),
+        b.kind_name()
+    )))
+}
+
+fn eval_unary(op: UnaryOp, v: Value) -> Exec<Value> {
+    Ok(match (op, v) {
+        (UnaryOp::Neg, Value::Int(a)) => Value::Int(a.wrapping_neg()),
+        (UnaryOp::Neg, Value::Float(a)) => Value::Float(-a),
+        (UnaryOp::Not, Value::Int(a)) => Value::Int((a == 0) as i64),
+        (UnaryOp::IntToFloat, Value::Int(a)) => Value::Float(a as f64),
+        (UnaryOp::FloatToInt, Value::Float(a)) => Value::Int(a as i64),
+        (op, v) => {
+            return Err(Stop::Error(VmError::TypeError(format!(
+                "{} on {}",
+                op.mnemonic(),
+                v.kind_name()
+            ))))
+        }
+    })
+}
+
+fn eval_binary(op: BinOp, a: Value, b: Value) -> Exec<Value> {
+    use BinOp::*;
+    Ok(match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Value::Int(match op {
+            Add => x.wrapping_add(y),
+            Sub => x.wrapping_sub(y),
+            Mul => x.wrapping_mul(y),
+            Div => {
+                if y == 0 {
+                    return Err(VmError::DivisionByZero.into());
+                }
+                x.wrapping_div(y)
+            }
+            Rem => {
+                if y == 0 {
+                    return Err(VmError::DivisionByZero.into());
+                }
+                x.wrapping_rem(y)
+            }
+            And => x & y,
+            Or => x | y,
+            Xor => x ^ y,
+            Shl => x.wrapping_shl((y & 63) as u32),
+            Shr => x.wrapping_shr((y & 63) as u32),
+        }),
+        (Value::Float(x), Value::Float(y)) => match op {
+            Add => Value::Float(x + y),
+            Sub => Value::Float(x - y),
+            Mul => Value::Float(x * y),
+            Div => Value::Float(x / y),
+            Rem => Value::Float(x % y),
+            _ => return Err(type_err(op.mnemonic(), a, b)),
+        },
+        _ => return Err(type_err(op.mnemonic(), a, b)),
+    })
+}
+
+fn eval_cmp(op: CmpOp, a: Value, b: Value) -> Exec<Value> {
+    use std::cmp::Ordering;
+    // The null-pointer idiom: a pointer may be equality-compared with the
+    // integer 0 (and is never equal to it).
+    match (op, a, b) {
+        (CmpOp::Eq, Value::Ptr(_), Value::Int(0))
+        | (CmpOp::Eq, Value::Int(0), Value::Ptr(_))
+        | (CmpOp::Eq, Value::Func(_), Value::Int(0))
+        | (CmpOp::Eq, Value::Int(0), Value::Func(_)) => return Ok(Value::Int(0)),
+        (CmpOp::Ne, Value::Ptr(_), Value::Int(0))
+        | (CmpOp::Ne, Value::Int(0), Value::Ptr(_))
+        | (CmpOp::Ne, Value::Func(_), Value::Int(0))
+        | (CmpOp::Ne, Value::Int(0), Value::Func(_)) => return Ok(Value::Int(1)),
+        _ => {}
+    }
+    let ord = match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x.cmp(&y),
+        (Value::Float(x), Value::Float(y)) => {
+            x.partial_cmp(&y).unwrap_or(Ordering::Greater) // NaN compares greater
+        }
+        (Value::Ptr(p), Value::Ptr(q)) => (p.obj.0, p.gen, p.off).cmp(&(q.obj.0, q.gen, q.off)),
+        (Value::Func(f), Value::Func(g)) => f.0.cmp(&g.0),
+        _ => return Err(type_err(op.mnemonic(), a, b)),
+    };
+    let r = match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    };
+    Ok(Value::Int(r as i64))
+}

@@ -1,0 +1,392 @@
+//! Execution tests for the IL interpreter.
+
+use vm::{Value, Vm, VmError, VmOptions};
+
+fn run(src: &str) -> vm::Outcome {
+    let module = ir::parse_module(src).expect("parse");
+    ir::validate(&module).expect("valid");
+    Vm::run_main(&module, VmOptions::default()).expect("run")
+}
+
+fn run_err(src: &str) -> VmError {
+    let module = ir::parse_module(src).expect("parse");
+    Vm::run_main(&module, VmOptions::default()).expect_err("should fail")
+}
+
+#[test]
+fn arithmetic_and_output() {
+    let out = run(r#"
+func @main(0) result {
+B0:
+  r0 = iconst 7
+  r1 = iconst 3
+  r2 = mul r0, r1
+  r3 = sub r2, r1
+  r4 = rem r3, r0
+  call $print_int(r4) mods{} refs{}
+  ret r4
+}
+"#);
+    assert_eq!(out.output, vec!["4"]); // (7*3-3) % 7 = 18 % 7 = 4
+    assert_eq!(out.exit_code, 4);
+}
+
+#[test]
+fn float_arithmetic() {
+    let out = run(r#"
+func @main(0) {
+B0:
+  r0 = fconst 2.0
+  r1 = fconst 0.5
+  r2 = div r0, r1
+  r3 = call $sqrt(r2) mods{} refs{}
+  call $print_float(r3) mods{} refs{}
+  ret
+}
+"#);
+    assert_eq!(out.output, vec!["2.000000"]);
+}
+
+#[test]
+fn loop_counts_operations() {
+    // 10-iteration countdown: per iteration 1 sub + 1 branch; plus setup.
+    let out = run(r#"
+func @main(0) {
+B0:
+  r0 = iconst 10
+  r1 = iconst 1
+  jump B1
+B1:
+  r0 = sub r0, r1
+  branch r0, B1, B2
+B2:
+  ret
+}
+"#);
+    // 2 iconst + 1 jump + 10*(sub+branch) + ret = 24
+    assert_eq!(out.counts.total, 24);
+    assert_eq!(out.counts.loads, 0);
+    assert_eq!(out.counts.control, 12);
+    assert_eq!(out.counts.arith, 12);
+}
+
+#[test]
+fn memory_classes_are_counted_separately() {
+    let out = run(r#"
+tag "g:x" global size=1 addressed
+global "g:x" ints 5
+func @main(0) {
+B0:
+  r0 = sload "g:x"
+  r1 = lea "g:x"
+  r2 = load [r1] {"g:x"}
+  store r2, [r1] {"g:x"}
+  sstore r0, "g:x"
+  ret
+}
+"#);
+    assert_eq!(out.counts.scalar_loads, 1);
+    assert_eq!(out.counts.ptr_loads, 1);
+    assert_eq!(out.counts.scalar_stores, 1);
+    assert_eq!(out.counts.ptr_stores, 1);
+    assert_eq!(out.counts.loads, 2);
+    assert_eq!(out.counts.stores, 2);
+}
+
+#[test]
+fn calls_and_recursion() {
+    let out = run(r#"
+func @fib(1) result {
+B0:
+  r1 = iconst 2
+  r2 = cmplt r0, r1
+  branch r2, B1, B2
+B1:
+  ret r0
+B2:
+  r3 = iconst 1
+  r4 = sub r0, r3
+  r5 = call @fib(r4) mods{} refs{}
+  r6 = iconst 2
+  r7 = sub r0, r6
+  r8 = call @fib(r7) mods{} refs{}
+  r9 = add r5, r8
+  ret r9
+}
+func @main(0) result {
+B0:
+  r0 = iconst 12
+  r1 = call @fib(r0) mods{} refs{}
+  call $print_int(r1) mods{} refs{}
+  ret r1
+}
+"#);
+    assert_eq!(out.output, vec!["144"]);
+    assert!(out.counts.calls > 100);
+}
+
+#[test]
+fn recursion_with_addressed_locals_gets_fresh_storage() {
+    // Each activation of @f has its own local cell even though one tag
+    // names them all.
+    let out = run(r#"
+tag "f.x" local owner=0 size=1 addressed
+func @f(1) result {
+B0:
+  sstore r0, "f.x"
+  branch r0, B1, B2
+B1:
+  r1 = iconst 1
+  r2 = sub r0, r1
+  r3 = call @f(r2) mods{"f.x"} refs{"f.x"}
+  r4 = sload "f.x"
+  r5 = add r3, r4
+  ret r5
+B2:
+  r6 = sload "f.x"
+  ret r6
+}
+func @main(0) result {
+B0:
+  r0 = iconst 4
+  r1 = call @f(r0) mods{"f.x"} refs{"f.x"}
+  call $print_int(r1) mods{} refs{}
+  ret r1
+}
+"#);
+    // 4+3+2+1+0 = 10; a single shared cell would give a different sum.
+    assert_eq!(out.output, vec!["10"]);
+}
+
+#[test]
+fn heap_allocation_and_pointer_arithmetic() {
+    let out = run(r#"
+tag "heap@0" heap site=0 size=1
+func @main(0) result {
+B0:
+  r0 = iconst 8
+  r1 = alloc r0, "heap@0"
+  r2 = iconst 3
+  r3 = ptradd r1, r2
+  r4 = iconst 99
+  store r4, [r3] {"heap@0"}
+  r5 = load [r3] {"heap@0"}
+  ret r5
+}
+"#);
+    assert_eq!(out.exit_code, 99);
+    assert_eq!(out.counts.allocs, 1);
+}
+
+#[test]
+fn global_arrays_initialize() {
+    let out = run(r#"
+tag "g:a" global size=4 addressed
+global "g:a" ints 10 20 30 40
+func @main(0) result {
+B0:
+  r0 = lea "g:a"
+  r1 = iconst 2
+  r2 = ptradd r0, r1
+  r3 = load [r2] {"g:a"}
+  ret r3
+}
+"#);
+    assert_eq!(out.exit_code, 30);
+}
+
+#[test]
+fn phi_execution() {
+    let out = run(r#"
+func @main(0) result {
+B0:
+  r0 = iconst 0
+  branch r0, B1, B2
+B1:
+  r1 = iconst 111
+  jump B3
+B2:
+  r2 = iconst 222
+  jump B3
+B3:
+  r3 = phi [B1: r1, B2: r2]
+  ret r3
+}
+"#);
+    assert_eq!(out.exit_code, 222);
+}
+
+#[test]
+fn function_pointers() {
+    let out = run(r#"
+func @double(1) result {
+B0:
+  r1 = iconst 2
+  r2 = mul r0, r1
+  ret r2
+}
+func @main(0) result {
+B0:
+  r0 = funcaddr @double
+  r1 = iconst 21
+  r2 = call *r0(r1) mods{} refs{}
+  ret r2
+}
+"#);
+    assert_eq!(out.exit_code, 42);
+}
+
+#[test]
+fn exit_intrinsic_stops_early() {
+    let out = run(r#"
+func @main(0) {
+B0:
+  r0 = iconst 5
+  call $exit(r0) mods{} refs{}
+  r1 = iconst 0
+  call $print_int(r1) mods{} refs{}
+  ret
+}
+"#);
+    assert_eq!(out.exit_code, 5);
+    assert!(out.output.is_empty());
+}
+
+#[test]
+fn division_by_zero_is_an_error() {
+    let e = run_err(r#"
+func @main(0) {
+B0:
+  r0 = iconst 1
+  r1 = iconst 0
+  r2 = div r0, r1
+  ret
+}
+"#);
+    assert_eq!(e, VmError::DivisionByZero);
+}
+
+#[test]
+fn out_of_bounds_is_an_error() {
+    let e = run_err(r#"
+tag "g:a" global size=2 addressed
+global "g:a" zero
+func @main(0) {
+B0:
+  r0 = lea "g:a"
+  r1 = iconst 5
+  r2 = ptradd r0, r1
+  r3 = load [r2] {"g:a"}
+  ret
+}
+"#);
+    assert!(matches!(e, VmError::OutOfBounds(_)));
+}
+
+#[test]
+fn use_after_return_is_detected() {
+    // @leak returns the address of its own local.
+    let e = run_err(r#"
+tag "leak.x" local owner=0 size=1 addressed
+func @leak(0) result {
+B0:
+  r0 = lea "leak.x"
+  ret r0
+}
+func @main(0) {
+B0:
+  r0 = call @leak() mods{} refs{}
+  r1 = load [r0] {"leak.x"}
+  ret
+}
+"#);
+    assert_eq!(e, VmError::UseAfterFree);
+}
+
+#[test]
+fn uninit_memory_may_be_moved_but_not_computed() {
+    // Promotion-style load/store of never-written memory is fine...
+    let ok = run(r#"
+tag "g:x" global size=1
+tag "g:y" global size=1
+global "g:x" zero
+global "g:y" zero
+func @main(0) {
+B0:
+  r0 = sload "g:x"
+  sstore r0, "g:y"
+  ret
+}
+"#);
+    assert_eq!(ok.counts.loads, 1);
+    // ...but arithmetic on an uninitialized *register* is a type error.
+    let e = run_err(r#"
+func @main(0) result {
+B0:
+  r1 = iconst 1
+  r2 = add r0, r1
+  ret r2
+}
+"#);
+    assert!(matches!(e, VmError::TypeError(_)));
+}
+
+#[test]
+fn step_limit_enforced() {
+    let module = ir::parse_module(r#"
+func @main(0) {
+B0:
+  jump B1
+B1:
+  jump B1
+}
+"#)
+    .unwrap();
+    let e = Vm::run_main(&module, VmOptions { max_steps: 100, ..Default::default() })
+        .expect_err("infinite loop");
+    assert_eq!(e, VmError::StepLimit(100));
+}
+
+#[test]
+fn stack_overflow_enforced() {
+    let module = ir::parse_module(r#"
+func @main(0) {
+B0:
+  call @main() mods{} refs{}
+  ret
+}
+"#)
+    .unwrap();
+    let e = Vm::run_main(&module, VmOptions { max_depth: 50, ..Default::default() })
+        .expect_err("unbounded recursion");
+    assert_eq!(e, VmError::StackOverflow(50));
+}
+
+#[test]
+fn run_entry_with_arguments() {
+    let module = ir::parse_module(r#"
+func @add(2) result {
+B0:
+  r2 = add r0, r1
+  ret r2
+}
+"#)
+    .unwrap();
+    let f = module.lookup_func("add").unwrap();
+    let out = Vm::run(&module, f, &[Value::Int(40), Value::Int(2)], VmOptions::default())
+        .expect("run");
+    assert_eq!(out.result, Some(Value::Int(42)));
+}
+
+#[test]
+fn nops_and_phis_are_free() {
+    let out = run(r#"
+func @main(0) {
+B0:
+  nop
+  nop
+  ret
+}
+"#);
+    assert_eq!(out.counts.total, 1); // just the ret
+}

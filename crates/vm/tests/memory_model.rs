@@ -1,0 +1,212 @@
+//! Focused tests of the VM's fat-pointer memory model: object
+//! generations, frame recycling, heap/stack separation, and the counting
+//! discipline under each opcode class.
+
+use vm::{Value, Vm, VmError, VmOptions};
+
+fn run(src: &str) -> vm::Outcome {
+    let m = ir::parse_module(src).expect("parse");
+    Vm::run_main(&m, VmOptions::default()).expect("run")
+}
+
+fn run_err(src: &str) -> VmError {
+    let m = ir::parse_module(src).expect("parse");
+    Vm::run_main(&m, VmOptions::default()).expect_err("should fail")
+}
+
+#[test]
+fn frame_objects_are_recycled_across_calls() {
+    // Thousands of calls must not leak: each call's locals reuse slots.
+    // (Indirectly observable: the program completes within the step limit
+    // and computes correct per-activation values.)
+    let out = run(r#"
+tag "leaf.x" local owner=0 size=4
+func @leaf(1) result {
+B0:
+  sstore r0, "leaf.x"
+  r1 = sload "leaf.x"
+  ret r1
+}
+func @main(0) result {
+B0:
+  r0 = iconst 0
+  r1 = iconst 5000
+  jump B1
+B1:
+  r2 = call @leaf(r0) mods{"leaf.x"} refs{"leaf.x"}
+  r3 = iconst 1
+  r0 = add r0, r3
+  r4 = cmplt r0, r1
+  branch r4, B1, B2
+B2:
+  ret r2
+}
+"#);
+    assert_eq!(out.result, Some(Value::Int(4999)));
+}
+
+#[test]
+fn generations_distinguish_recycled_slots() {
+    // A pointer into a dead frame must fault even after the slot is
+    // reused by a later call.
+    let e = run_err(r#"
+tag "a.x" local owner=0 size=1 addressed
+tag "b.y" local owner=1 size=1 addressed
+func @a(0) result {
+B0:
+  r0 = lea "a.x"
+  ret r0
+}
+func @b(0) result {
+B0:
+  r0 = iconst 7
+  sstore r0, "b.y"
+  r1 = sload "b.y"
+  ret r1
+}
+func @main(0) result {
+B0:
+  r0 = call @a() mods{} refs{}
+  r1 = call @b() mods{} refs{}
+  r2 = load [r0] {"a.x"}
+  ret r2
+}
+"#);
+    assert_eq!(e, VmError::UseAfterFree);
+}
+
+#[test]
+fn heap_objects_outlive_their_allocating_frame() {
+    let out = run(r#"
+tag "heap@0" heap site=0 size=1
+func @make(1) result {
+B0:
+  r1 = iconst 1
+  r2 = alloc r1, "heap@0"
+  store r0, [r2] {"heap@0"}
+  ret r2
+}
+func @main(0) result {
+B0:
+  r0 = iconst 77
+  r1 = call @make(r0) mods{} refs{}
+  r2 = load [r1] {"heap@0"}
+  ret r2
+}
+"#);
+    assert_eq!(out.result, Some(Value::Int(77)));
+    assert_eq!(out.counts.allocs, 1);
+}
+
+#[test]
+fn negative_offsets_fault() {
+    let e = run_err(r#"
+tag "g:a" global size=4 addressed
+global "g:a" zero
+func @main(0) {
+B0:
+  r0 = lea "g:a"
+  r1 = iconst -1
+  r2 = ptradd r0, r1
+  r3 = load [r2] {"g:a"}
+  ret
+}
+"#);
+    assert!(matches!(e, VmError::OutOfBounds(_)));
+}
+
+#[test]
+fn interior_pointers_are_legal_until_dereferenced_oob() {
+    // One-past-the-end arithmetic is fine; only dereference faults.
+    let out = run(r#"
+tag "g:a" global size=2 addressed
+global "g:a" ints 5 6
+func @main(0) result {
+B0:
+  r0 = lea "g:a"
+  r1 = iconst 2
+  r2 = ptradd r0, r1
+  r3 = iconst -1
+  r4 = ptradd r2, r3
+  r5 = load [r4] {"g:a"}
+  ret r5
+}
+"#);
+    assert_eq!(out.result, Some(Value::Int(6)));
+}
+
+#[test]
+fn float_and_int_cells_coexist() {
+    let out = run(r#"
+tag "g:f" global size=2
+global "g:f" floats 1.5 2.5
+func @main(0) {
+B0:
+  r0 = cload "g:f"
+  r1 = fconst 0.5
+  r2 = add r0, r1
+  call $print_float(r2) mods{} refs{}
+  ret
+}
+"#);
+    assert_eq!(out.output, vec!["2.000000"]);
+    // cload counts as a load.
+    assert_eq!(out.counts.loads, 1);
+}
+
+#[test]
+fn pointer_comparisons_order_within_an_object() {
+    let out = run(r#"
+tag "g:a" global size=8 addressed
+global "g:a" zero
+func @main(0) result {
+B0:
+  r0 = lea "g:a"
+  r1 = iconst 3
+  r2 = ptradd r0, r1
+  r3 = cmplt r0, r2
+  r4 = cmpeq r0, r2
+  r5 = shl r3, r4
+  ret r3
+}
+"#);
+    assert_eq!(out.result, Some(Value::Int(1)));
+}
+
+#[test]
+fn step_budget_counts_only_real_operations() {
+    let m = ir::parse_module(r#"
+func @main(0) {
+B0:
+  nop
+  nop
+  nop
+  ret
+}
+"#)
+    .unwrap();
+    let out = Vm::run_main(&m, VmOptions { max_steps: 1, ..Default::default() }).expect("ret fits");
+    assert_eq!(out.counts.total, 1);
+}
+
+#[test]
+fn exit_code_follows_main_result_then_exit_intrinsic() {
+    let out = run(r#"
+func @main(0) result {
+B0:
+  r0 = iconst 9
+  ret r0
+}
+"#);
+    assert_eq!(out.exit_code, 9);
+    let out = run(r#"
+func @main(0) result {
+B0:
+  r0 = iconst 3
+  call $exit(r0) mods{} refs{}
+  r1 = iconst 9
+  ret r1
+}
+"#);
+    assert_eq!(out.exit_code, 3);
+}

@@ -1,0 +1,68 @@
+//! Alias laboratory: how analysis precision changes what promotion may do.
+//!
+//! One program, four analyses. The program manipulates a global through a
+//! single-target pointer; each precision level bounds the pointer
+//! differently, and the promotion result follows. This is the paper's §4
+//! and its "increased precision did not significantly change the results"
+//! finding — except in exactly the aliasing patterns where it does.
+//!
+//! Run with: `cargo run --example alias_lab`
+
+use analysis::AnalysisLevel;
+use driver::{compile_and_run, PipelineConfig};
+use vm::VmOptions;
+
+const PROGRAM: &str = r#"
+int hot;       // updated every iteration, also reachable through p
+int cold;      // address-taken decoy: MOD/REF cannot separate p from it
+int main() {
+    int *p = &hot;
+    int *decoy = &cold;
+    *decoy = 1;
+    int i;
+    for (i = 0; i < 10000; i++) {
+        hot = hot + 1;   // explicit reference
+        *p = *p + 1;     // pointer reference to the same cell
+    }
+    print_int(hot);
+    print_int(cold);
+    return 0;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("source:\n{PROGRAM}");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9}   note",
+        "analysis", "loads", "stores", "promoted"
+    );
+    for level in AnalysisLevel::ALL {
+        let config = PipelineConfig::paper_variant(level, true);
+        let (outcome, report) = compile_and_run(PROGRAM, &config, VmOptions::default())?;
+        let note = match level {
+            AnalysisLevel::AddressTaken => {
+                "p may touch anything addressed: hot stays ambiguous"
+            }
+            AnalysisLevel::ModRef => {
+                "address-taken set = {hot, cold}: still ambiguous"
+            }
+            AnalysisLevel::Steensgaard => {
+                "unification may merge hot and cold through the decoy"
+            }
+            AnalysisLevel::PointsTo => {
+                "p = {hot} exactly: strengthened to sload/sstore and promoted"
+            }
+            AnalysisLevel::PointsToSsa => {
+                "the paper's SSA-name formulation: same answer as pointer"
+            }
+        };
+        println!(
+            "{:<12} {:>9} {:>9} {:>9}   {note}",
+            level.label(),
+            outcome.counts.loads,
+            outcome.counts.stores,
+            report.promotion.scalar.promoted_tags,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! The paper's three degradation anecdotes, reproduced as assertions.
+
+use analysis::AnalysisLevel;
+use driver::{compile_and_run, PipelineConfig};
+use regalloc::AllocOptions;
+use vm::VmOptions;
+
+fn run_pair(src: &str, k: Option<usize>) -> (vm::ExecCounts, vm::ExecCounts) {
+    let mut counts = Vec::new();
+    let mut output: Option<Vec<String>> = None;
+    for promote in [false, true] {
+        let mut config = PipelineConfig::paper_variant(AnalysisLevel::ModRef, promote);
+        if let Some(k) = k {
+            config.regalloc = Some(AllocOptions { num_regs: k, ..Default::default() });
+        }
+        let (out, _) = compile_and_run(src, &config, VmOptions::default()).expect("run");
+        match &output {
+            None => output = Some(out.output.clone()),
+            Some(r) => assert_eq!(r, &out.output),
+        }
+        counts.push(out.counts);
+    }
+    (counts[0], counts[1])
+}
+
+/// "In dhrystone, values were promoted in a loop that always executed
+/// once": the landing-pad load and exit store exactly replace the
+/// in-loop references, so memory traffic is flat — promotion buys nothing.
+#[test]
+fn dhrystone_once_loop_is_a_wash() {
+    let b = benchsuite::find("dhrystone").unwrap();
+    let (without, with) = run_pair(b.source, None);
+    assert_eq!(without.loads, with.loads, "loads are flat");
+    assert_eq!(without.stores, with.stores, "stores are flat");
+}
+
+/// "In bison, values were promoted that were only accessed on an error
+/// condition": the lift executes although the guarded access never does,
+/// so promotion makes bison very slightly *worse*.
+#[test]
+fn bison_error_path_promotion_slightly_degrades() {
+    let b = benchsuite::find("bison").unwrap();
+    let (without, with) = run_pair(b.source, None);
+    let before = without.memory_ops() as i64;
+    let after = with.memory_ops() as i64;
+    let delta = after - before;
+    assert!(
+        (0..=200).contains(&delta),
+        "bison should pay a small lift tax: {before} -> {after}"
+    );
+}
+
+/// "In water, register promotion was able to promote twenty-eight values
+/// for one loop nest. Unfortunately, this caused the register allocator
+/// to spill values which resulted in a performance loss": sweeping the
+/// register count shows the crossover. Our Briggs-conservative allocator
+/// with rematerialization spills later than the paper's 1997 Chaitin
+/// allocator, so the give-back appears at a tighter file; the *trend* —
+/// promotion's benefit shrinking as K drops — is the paper's story.
+#[test]
+fn water_pressure_gives_back_savings_as_registers_shrink() {
+    let b = benchsuite::find("water").unwrap();
+    let (w32_without, w32_with) = run_pair(b.source, Some(32));
+    let (w12_without, w12_with) = run_pair(b.source, Some(12));
+    let benefit_32 =
+        w32_without.memory_ops() as f64 - w32_with.memory_ops() as f64;
+    let benefit_12 =
+        w12_without.memory_ops() as f64 - w12_with.memory_ops() as f64;
+    assert!(benefit_32 > 0.0, "with ample registers promotion wins");
+    assert!(
+        benefit_12 < benefit_32 * 0.8,
+        "with 12 registers spills give back a large share: {benefit_32} -> {benefit_12}"
+    );
+}
+
+/// The promoted-values-compete claim: "the promoted values compete for
+/// registers on an equal footing with other values". With promotion on, a
+/// tighter register file must still produce correct code.
+#[test]
+fn promoted_values_spill_correctly_under_pressure() {
+    let b = benchsuite::find("water").unwrap();
+    for k in [8, 10, 16] {
+        let (_, _) = run_pair(b.source, Some(k));
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests over randomly generated control flow and
+//! randomly generated MiniC programs.
+
+use proptest::prelude::*;
+
+/// Builds a function with `n` blocks and pseudo-random control flow.
+fn random_cfg_function(n: usize, edges: &[(usize, usize, usize)]) -> ir::Function {
+    let mut b = ir::FunctionBuilder::new("f", 0);
+    let cond = b.iconst(1);
+    for _ in 1..n {
+        b.new_block();
+    }
+    for (i, &(kind, t1, t2)) in edges.iter().enumerate().take(n) {
+        b.switch_to(ir::BlockId(i as u32));
+        match kind % 3 {
+            0 => b.ret(None),
+            1 => b.jump(ir::BlockId((t1 % n) as u32)),
+            _ => b.branch(cond, ir::BlockId((t1 % n) as u32), ir::BlockId((t2 % n) as u32)),
+        }
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Lengauer–Tarjan and the iterative algorithm agree on arbitrary
+    /// (including irreducible) graphs.
+    #[test]
+    fn dominator_algorithms_agree(
+        n in 1usize..24,
+        edges in proptest::collection::vec((0usize..3, 0usize..24, 0usize..24), 24),
+    ) {
+        let f = random_cfg_function(n, &edges);
+        let g = cfg::Cfg::build(&f);
+        let lt = cfg::DomTree::lengauer_tarjan(&g);
+        let it = cfg::DomTree::iterative(&g);
+        prop_assert_eq!(lt, it);
+    }
+
+    /// Loop normalization never breaks validity and is idempotent.
+    #[test]
+    fn normalization_is_sound_and_idempotent(
+        n in 1usize..16,
+        edges in proptest::collection::vec((0usize..3, 0usize..16, 0usize..16), 16),
+    ) {
+        let mut f = random_cfg_function(n, &edges);
+        cfg::normalize_loops(&mut f);
+        let mut m = ir::Module::new();
+        m.add_func(f.clone());
+        prop_assert!(ir::validate(&m).is_ok());
+        let once = f.clone();
+        cfg::normalize_loops(&mut f);
+        prop_assert_eq!(once, f);
+    }
+}
+
+/// A tiny deterministic MiniC program generator: a loop nest over global
+/// scalars with random updates, guards, and helper calls.
+fn generate_program(
+    globals: usize,
+    depth: usize,
+    stmts: &[(usize, usize, usize, i32)],
+    pin_mask: usize,
+) -> String {
+    use std::fmt::Write;
+    let mut src = String::new();
+    for g in 0..globals {
+        let _ = writeln!(src, "int g{g} = {};", g * 3 + 1);
+    }
+    // A helper that touches a subset of the globals (pins them in loops
+    // that call it).
+    src.push_str("void touch() {\n");
+    for g in 0..globals {
+        if pin_mask & (1 << g) != 0 {
+            let _ = writeln!(src, "    g{g} = g{g} + 1;");
+        }
+    }
+    src.push_str("}\n");
+    src.push_str("int main() {\n");
+    for d in 0..depth {
+        let _ = writeln!(src, "    int i{d};");
+        let _ = writeln!(src, "    for (i{d} = 0; i{d} < 4; i{d}++) {{");
+    }
+    for (k, (op, a, b, c)) in stmts.iter().enumerate() {
+        let a = a % globals;
+        let b = b % globals;
+        match op % 5 {
+            0 => {
+                let _ = writeln!(src, "        g{a} = g{a} + {c};");
+            }
+            1 => {
+                let _ = writeln!(src, "        g{a} = g{b} * 2 + g{a};");
+            }
+            2 => {
+                let _ = writeln!(src, "        if (g{a} % 3 == {}) g{b} = g{b} + 1;", k % 3);
+            }
+            3 => {
+                let _ = writeln!(src, "        touch();");
+            }
+            _ => {
+                let _ = writeln!(src, "        g{a} = g{a} ^ (g{b} + {c});");
+            }
+        }
+    }
+    for _ in 0..depth {
+        src.push_str("    }\n");
+    }
+    for g in 0..globals {
+        let _ = writeln!(src, "    print_int(g{g});");
+    }
+    src.push_str("    return 0;\n}\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The paper's master invariant: promotion (and the whole pipeline at
+    /// any precision) never changes program behaviour, and never increases
+    /// the number of executed loads or stores beyond the lift overhead.
+    #[test]
+    fn pipeline_preserves_behaviour_on_random_programs(
+        globals in 1usize..5,
+        depth in 1usize..4,
+        stmts in proptest::collection::vec(
+            (0usize..5, 0usize..5, 0usize..5, 1i32..7),
+            1..8,
+        ),
+        pin_mask in 0usize..32,
+    ) {
+        let src = generate_program(globals, depth, &stmts, pin_mask);
+        let mut reference: Option<Vec<String>> = None;
+        for (label, config) in driver::PipelineConfig::figure_variants() {
+            let (out, _) = driver::compile_and_run(
+                &src,
+                &config,
+                vm::VmOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("{label} on\n{src}\n: {e}"));
+            match &reference {
+                None => reference = Some(out.output),
+                Some(r) => prop_assert_eq!(
+                    r,
+                    &out.output,
+                    "variant {} diverged on\n{}",
+                    label,
+                    src
+                ),
+            }
+        }
+    }
+
+    /// Promotion alone (no other passes) is behaviour-preserving and
+    /// never increases memory traffic by more than the lift overhead
+    /// (2 ops per loop per promoted tag, conservatively bounded).
+    #[test]
+    fn promotion_bounds_memory_traffic(
+        globals in 1usize..5,
+        depth in 1usize..4,
+        stmts in proptest::collection::vec(
+            (0usize..5, 0usize..5, 0usize..5, 1i32..7),
+            1..8,
+        ),
+        pin_mask in 0usize..32,
+    ) {
+        let src = generate_program(globals, depth, &stmts, pin_mask);
+        let mut base = minic::compile(&src).expect("compile");
+        analysis::analyze(&mut base, analysis::AnalysisLevel::ModRef);
+        let before = vm::Vm::run_main(&base, vm::VmOptions::default()).expect("run");
+        let mut promoted = base.clone();
+        let report = promote::promote_module(
+            &mut promoted,
+            &promote::PromotionOptions::default(),
+        );
+        let after = vm::Vm::run_main(&promoted, vm::VmOptions::default()).expect("run");
+        prop_assert_eq!(before.output, after.output);
+        // Loose lift-overhead bound: each lift executes at most once per
+        // enclosing-loop entry; total loop entries are bounded by total
+        // control transfers.
+        let overhead = (report.scalar.lifts as u64 + 1) * (before.counts.control + 1);
+        prop_assert!(
+            after.counts.memory_ops() <= before.counts.memory_ops() + overhead,
+            "memory {} -> {} with lift overhead bound {}",
+            before.counts.memory_ops(),
+            after.counts.memory_ops(),
+            overhead
+        );
+    }
+}
