@@ -58,7 +58,11 @@ impl CallGraph {
                 }
             }
         }
-        CallGraph { callees, addressed_funcs, has_indirect_call }
+        CallGraph {
+            callees,
+            addressed_funcs,
+            has_indirect_call,
+        }
     }
 
     /// Number of functions.
@@ -146,8 +150,7 @@ pub fn tarjan_sccs(graph: &CallGraph) -> Sccs {
                     pos
                 }
             };
-            let children: Vec<usize> =
-                graph.callees[v].iter().map(|c| c.index()).collect();
+            let children: Vec<usize> = graph.callees[v].iter().map(|c| c.index()).collect();
             let mut descended = false;
             while child_pos < children.len() {
                 let w = children[child_pos];
@@ -179,7 +182,10 @@ pub fn tarjan_sccs(graph: &CallGraph) -> Sccs {
             }
         }
     }
-    Sccs { components, component_of }
+    Sccs {
+        components,
+        component_of,
+    }
 }
 
 #[cfg(test)]
@@ -254,7 +260,10 @@ mod tests {
     fn indirect_calls_resolve_to_addressed_functions() {
         let mut m = module_with_calls(&[], 3);
         // f0 takes f2's address and calls indirectly.
-        let fa = Instr::FuncAddr { dst: ir::Reg(0), func: FuncId(2) };
+        let fa = Instr::FuncAddr {
+            dst: ir::Reg(0),
+            func: FuncId(2),
+        };
         let call = Instr::Call {
             dst: None,
             callee: Callee::Indirect(ir::Reg(0)),

@@ -35,9 +35,7 @@ pub use modref::{
     Visibility,
 };
 pub use points_to::{analyze as points_to_analyze, apply as points_to_apply, PointsTo, Target};
-pub use steensgaard::{
-    analyze as steensgaard_analyze, apply as steensgaard_apply, Steensgaard,
-};
+pub use steensgaard::{analyze as steensgaard_analyze, apply as steensgaard_apply, Steensgaard};
 pub use strength::singleton_is_unique_cell;
 
 use ir::{Instr, Module, TagSet};
@@ -150,7 +148,10 @@ pub fn analyze(module: &mut Module, level: AnalysisLevel) -> AnalysisOutcome {
                 let visible = vis.visible[fi].clone();
                 for block in &mut module.funcs[fi].blocks {
                     for instr in &mut block.instrs {
-                        if let Instr::Call { callee, mods, refs, .. } = instr {
+                        if let Instr::Call {
+                            callee, mods, refs, ..
+                        } = instr
+                        {
                             if matches!(callee, ir::Callee::Intrinsic(_)) {
                                 *mods = TagSet::empty();
                                 *refs = TagSet::empty();
@@ -213,7 +214,12 @@ pub fn analyze(module: &mut Module, level: AnalysisLevel) -> AnalysisOutcome {
         }
     };
     let stats = collect_stats(module);
-    AnalysisOutcome { level, call_graph: graph, modref, stats }
+    AnalysisOutcome {
+        level,
+        call_graph: graph,
+        modref,
+        stats,
+    }
 }
 
 fn collect_stats(module: &Module) -> TagSetStats {
@@ -269,7 +275,11 @@ int main() {
 }
 "#;
         let mut means = Vec::new();
-        for level in [AnalysisLevel::AddressTaken, AnalysisLevel::Steensgaard, AnalysisLevel::PointsTo] {
+        for level in [
+            AnalysisLevel::AddressTaken,
+            AnalysisLevel::Steensgaard,
+            AnalysisLevel::PointsTo,
+        ] {
             let mut m = minic::compile(src).unwrap();
             let out = analyze(&mut m, level);
             ir::validate(&m).expect("still valid");

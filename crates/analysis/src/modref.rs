@@ -11,9 +11,13 @@
 //!    order; all functions in an SCC share tag sets.
 //! 3. Each call site receives the callee's MOD/REF sets, filtered to tags
 //!    visible in the caller.
+//!
+//! All set algebra here runs on [`DenseTagSet`], so the SCC propagation
+//! unions and the per-call-site visibility filters are word-wise kernels
+//! once the sets grow past the inline capacity.
 
 use crate::callgraph::{tarjan_sccs, CallGraph};
-use ir::{Callee, FuncId, Instr, Module, TagId, TagKind, TagSet};
+use ir::{Callee, DenseTagSet, FuncId, Instr, Module, TagKind, TagSet};
 use std::collections::BTreeSet;
 
 /// Per-function tag visibility: which tags a function's code could possibly
@@ -21,7 +25,7 @@ use std::collections::BTreeSet;
 #[derive(Debug, Clone)]
 pub struct Visibility {
     /// Visible tag set per function.
-    pub visible: Vec<BTreeSet<TagId>>,
+    pub visible: Vec<DenseTagSet>,
 }
 
 impl Visibility {
@@ -30,8 +34,8 @@ impl Visibility {
     /// of its owner.
     pub fn compute(module: &Module, graph: &CallGraph) -> Visibility {
         let n = module.funcs.len();
-        let mut visible: Vec<BTreeSet<TagId>> = vec![BTreeSet::new(); n];
-        let mut everywhere = BTreeSet::new();
+        let mut visible: Vec<DenseTagSet> = vec![DenseTagSet::new(); n];
+        let mut everywhere = DenseTagSet::new();
         for (id, info) in module.tags.iter() {
             match info.kind {
                 TagKind::Global | TagKind::Heap { .. } => {
@@ -45,7 +49,7 @@ impl Visibility {
             }
         }
         for v in &mut visible {
-            v.extend(everywhere.iter().copied());
+            v.union_with(&everywhere);
         }
         Visibility { visible }
     }
@@ -55,9 +59,9 @@ impl Visibility {
 #[derive(Debug, Clone)]
 pub struct ModRef {
     /// Tags possibly modified by each function (including via callees).
-    pub func_mods: Vec<BTreeSet<TagId>>,
+    pub func_mods: Vec<DenseTagSet>,
     /// Tags possibly referenced by each function (including via callees).
-    pub func_refs: Vec<BTreeSet<TagId>>,
+    pub func_refs: Vec<DenseTagSet>,
 }
 
 /// Shrinks pointer-based operation tag sets per the address-taken and
@@ -67,10 +71,9 @@ pub struct ModRef {
 /// `address-taken ∩ visible(f)`; `{*}` becomes that whole set.
 pub fn limit_pointer_ops(module: &mut Module, graph: &CallGraph) {
     let vis = Visibility::compute(module, graph);
-    let at: BTreeSet<TagId> = module.tags.address_taken_set().iter().collect();
+    let at = module.tags.address_taken_set();
     for fi in 0..module.funcs.len() {
-        let universe: BTreeSet<TagId> =
-            at.intersection(&vis.visible[fi]).copied().collect();
+        let universe = at.intersect(&vis.visible[fi]);
         for block in &mut module.funcs[fi].blocks {
             for instr in &mut block.instrs {
                 match instr {
@@ -106,8 +109,8 @@ pub fn compute_and_apply_with_sites(
     let n = module.funcs.len();
     let vis = Visibility::compute(module, graph);
     // Direct effects per function.
-    let mut func_mods: Vec<BTreeSet<TagId>> = vec![BTreeSet::new(); n];
-    let mut func_refs: Vec<BTreeSet<TagId>> = vec![BTreeSet::new(); n];
+    let mut func_mods: Vec<DenseTagSet> = vec![DenseTagSet::new(); n];
+    let mut func_refs: Vec<DenseTagSet> = vec![DenseTagSet::new(); n];
     for (fi, func) in module.funcs.iter().enumerate() {
         for block in &func.blocks {
             for instr in &block.instrs {
@@ -119,12 +122,20 @@ pub fn compute_and_apply_with_sites(
                         func_refs[fi].insert(*tag);
                     }
                     Instr::Store { tags, .. } => match tags {
-                        TagSet::All => func_mods[fi].extend(vis.visible[fi].iter().copied()),
-                        TagSet::Set(s) => func_mods[fi].extend(s.iter().copied()),
+                        TagSet::All => {
+                            func_mods[fi].union_with(&vis.visible[fi]);
+                        }
+                        TagSet::Set(s) => {
+                            func_mods[fi].union_with(s);
+                        }
                     },
                     Instr::Load { tags, .. } => match tags {
-                        TagSet::All => func_refs[fi].extend(vis.visible[fi].iter().copied()),
-                        TagSet::Set(s) => func_refs[fi].extend(s.iter().copied()),
+                        TagSet::All => {
+                            func_refs[fi].union_with(&vis.visible[fi]);
+                        }
+                        TagSet::Set(s) => {
+                            func_refs[fi].union_with(s);
+                        }
                     },
                     _ => {}
                 }
@@ -135,17 +146,17 @@ pub fn compute_and_apply_with_sites(
     let sccs = tarjan_sccs(graph);
     for comp in &sccs.components {
         // Union of direct effects and callee effects over the component.
-        let mut mods = BTreeSet::new();
-        let mut refs = BTreeSet::new();
+        let mut mods = DenseTagSet::new();
+        let mut refs = DenseTagSet::new();
         for &f in comp {
-            mods.extend(func_mods[f.index()].iter().copied());
-            refs.extend(func_refs[f.index()].iter().copied());
+            mods.union_with(&func_mods[f.index()]);
+            refs.union_with(&func_refs[f.index()]);
             for &g in &graph.callees[f.index()] {
                 // Callees in earlier components are final; callees in this
                 // component contribute their direct effects (already
                 // unioned above on their turn in `comp`).
-                mods.extend(func_mods[g.index()].iter().copied());
-                refs.extend(func_refs[g.index()].iter().copied());
+                mods.union_with(&func_mods[g.index()]);
+                refs.union_with(&func_refs[g.index()]);
             }
         }
         for &f in comp {
@@ -155,11 +166,14 @@ pub fn compute_and_apply_with_sites(
     }
     // Install at call sites, filtered to caller-visible tags.
     for fi in 0..n {
-        let visible = vis.visible[fi].clone();
+        let visible = &vis.visible[fi];
         let all_addressed: Vec<FuncId> = graph.addressed_funcs.iter().copied().collect();
         for block in &mut module.funcs[fi].blocks {
             for instr in &mut block.instrs {
-                if let Instr::Call { callee, mods, refs, .. } = instr {
+                if let Instr::Call {
+                    callee, mods, refs, ..
+                } = instr
+                {
                     let targets: Vec<FuncId> = match callee {
                         Callee::Direct(g) => vec![*g],
                         Callee::Indirect(r) => sites
@@ -173,11 +187,11 @@ pub fn compute_and_apply_with_sites(
                             continue;
                         }
                     };
-                    let mut m = BTreeSet::new();
-                    let mut r = BTreeSet::new();
+                    let mut m = DenseTagSet::new();
+                    let mut r = DenseTagSet::new();
                     for g in targets {
-                        m.extend(func_mods[g.index()].intersection(&visible).copied());
-                        r.extend(func_refs[g.index()].intersection(&visible).copied());
+                        m.union_with(&func_mods[g.index()].intersect(visible));
+                        r.union_with(&func_refs[g.index()].intersect(visible));
                     }
                     *mods = TagSet::Set(m);
                     *refs = TagSet::Set(r);
@@ -185,19 +199,26 @@ pub fn compute_and_apply_with_sites(
             }
         }
     }
-    ModRef { func_mods, func_refs }
+    ModRef {
+        func_mods,
+        func_refs,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ir::TagId;
 
     fn compile(src: &str) -> Module {
         minic::compile(src).expect("compile")
     }
 
     fn tag(module: &Module, name: &str) -> TagId {
-        module.tags.lookup(name).unwrap_or_else(|| panic!("tag {name}"))
+        module
+            .tags
+            .lookup(name)
+            .unwrap_or_else(|| panic!("tag {name}"))
     }
 
     #[test]
@@ -287,8 +308,8 @@ int main() { mid(); return g; }
         let g_tag = tag(&m, "g:g");
         let mid = m.lookup_func("mid").unwrap();
         let main = m.main().unwrap();
-        assert!(mr.func_mods[mid.index()].contains(&g_tag));
-        assert!(mr.func_mods[main.index()].contains(&g_tag));
+        assert!(mr.func_mods[mid.index()].contains(g_tag));
+        assert!(mr.func_mods[main.index()].contains(g_tag));
     }
 
     #[test]
@@ -310,8 +331,8 @@ int main() { return even(10); }
         let even = m.lookup_func("even").unwrap();
         let odd = m.lookup_func("odd").unwrap();
         for f in [even, odd] {
-            assert!(mr.func_mods[f.index()].contains(&a_tag));
-            assert!(mr.func_mods[f.index()].contains(&b_tag));
+            assert!(mr.func_mods[f.index()].contains(a_tag));
+            assert!(mr.func_mods[f.index()].contains(b_tag));
         }
     }
 

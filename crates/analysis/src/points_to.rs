@@ -14,7 +14,7 @@
 //! precision that the paper's experiments depend on — the substitution is
 //! recorded in `DESIGN.md`.
 
-use ir::{Callee, FuncId, Instr, Module, Reg, TagId};
+use ir::{Callee, DenseTagSet, FuncId, Instr, Module, Reg, TagId};
 use std::collections::BTreeSet;
 
 /// An abstract pointer target.
@@ -39,7 +39,7 @@ pub struct PointsTo {
 
 impl PointsTo {
     /// The tags register `r` of function `f` may address.
-    pub fn reg_tags(&self, f: FuncId, r: Reg) -> BTreeSet<TagId> {
+    pub fn reg_tags(&self, f: FuncId, r: Reg) -> DenseTagSet {
         self.reg_pts[f.index()][r.index()]
             .iter()
             .filter_map(|t| match t {
@@ -67,7 +67,11 @@ impl PointsTo {
         for (fi, func) in module.funcs.iter().enumerate() {
             for block in &func.blocks {
                 for instr in &block.instrs {
-                    if let Instr::Call { callee: Callee::Indirect(r), .. } = instr {
+                    if let Instr::Call {
+                        callee: Callee::Indirect(r),
+                        ..
+                    } = instr
+                    {
                         out.insert((fi as u32, *r), self.reg_funcs(FuncId(fi as u32), *r));
                     }
                 }
@@ -83,7 +87,11 @@ impl PointsTo {
         for (fi, func) in module.funcs.iter().enumerate() {
             for block in &func.blocks {
                 for instr in &block.instrs {
-                    if let Instr::Call { callee: Callee::Indirect(r), .. } = instr {
+                    if let Instr::Call {
+                        callee: Callee::Indirect(r),
+                        ..
+                    } = instr
+                    {
                         out[fi].extend(self.reg_funcs(FuncId(fi as u32), *r));
                     }
                 }
@@ -195,12 +203,13 @@ fn flow(module: &Module, pt: &mut PointsTo, fi: usize, instr: &Instr) -> bool {
             }
             changed
         }
-        Instr::Call { dst, callee, args, .. } => {
+        Instr::Call {
+            dst, callee, args, ..
+        } => {
             // Parameter binding and result flow, context-insensitively.
             let targets: Vec<FuncId> = match callee {
                 Callee::Direct(g) => vec![*g],
-                Callee::Indirect(r) => pt
-                    .reg_pts[fi][r.index()]
+                Callee::Indirect(r) => pt.reg_pts[fi][r.index()]
                     .iter()
                     .filter_map(|t| match t {
                         Target::Func(g) => Some(*g),

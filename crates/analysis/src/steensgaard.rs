@@ -5,7 +5,7 @@
 //! between plain MOD/REF and the inclusion-based points-to analysis, to
 //! measure how much promotion benefit each notch of precision buys.
 
-use ir::{Callee, FuncId, Instr, Module, Reg, TagId};
+use ir::{Callee, DenseTagSet, FuncId, Instr, Module, Reg, TagId};
 use std::collections::BTreeSet;
 
 /// Union-find node index.
@@ -21,7 +21,11 @@ struct Uf {
 
 impl Uf {
     fn new() -> Self {
-        Uf { parent: Vec::new(), pts: Vec::new(), funcs: Vec::new() }
+        Uf {
+            parent: Vec::new(),
+            pts: Vec::new(),
+            funcs: Vec::new(),
+        }
     }
 
     fn fresh(&mut self) -> Node {
@@ -74,14 +78,14 @@ impl Uf {
 #[derive(Debug, Clone)]
 pub struct Steensgaard {
     /// For each function and register: tags the register may address.
-    reg_tags: Vec<Vec<BTreeSet<TagId>>>,
+    reg_tags: Vec<Vec<DenseTagSet>>,
     /// For each function and register: functions the register may target.
     reg_funcs: Vec<Vec<BTreeSet<FuncId>>>,
 }
 
 impl Steensgaard {
     /// The tags register `r` of `f` may address.
-    pub fn reg_tags(&self, f: FuncId, r: Reg) -> &BTreeSet<TagId> {
+    pub fn reg_tags(&self, f: FuncId, r: Reg) -> &DenseTagSet {
         &self.reg_tags[f.index()][r.index()]
     }
 
@@ -97,7 +101,11 @@ impl Steensgaard {
         for (fi, func) in module.funcs.iter().enumerate() {
             for block in &func.blocks {
                 for instr in &block.instrs {
-                    if let Instr::Call { callee: Callee::Indirect(r), .. } = instr {
+                    if let Instr::Call {
+                        callee: Callee::Indirect(r),
+                        ..
+                    } = instr
+                    {
                         out.insert(
                             (fi as u32, *r),
                             self.reg_funcs(FuncId(fi as u32), *r).clone(),
@@ -115,7 +123,11 @@ impl Steensgaard {
         for (fi, func) in module.funcs.iter().enumerate() {
             for block in &func.blocks {
                 for instr in &block.instrs {
-                    if let Instr::Call { callee: Callee::Indirect(r), .. } = instr {
+                    if let Instr::Call {
+                        callee: Callee::Indirect(r),
+                        ..
+                    } = instr
+                    {
                         out[fi].extend(self.reg_funcs(FuncId(fi as u32), *r).iter().copied());
                     }
                 }
@@ -211,7 +223,9 @@ pub fn analyze(module: &Module) -> Steensgaard {
                             let ppa = uf.pt(pa);
                             uf.unify(ps, ppa);
                         }
-                        Instr::Call { dst, callee, args, .. } => {
+                        Instr::Call {
+                            dst, callee, args, ..
+                        } => {
                             let targets: Vec<FuncId> = match callee {
                                 Callee::Direct(g) => vec![*g],
                                 Callee::Indirect(r) => {
@@ -222,9 +236,7 @@ pub fn analyze(module: &Module) -> Steensgaard {
                             };
                             for g in targets {
                                 let callee_fn = module.func(g);
-                                for (i, a) in
-                                    args.iter().enumerate().take(callee_fn.arity)
-                                {
+                                for (i, a) in args.iter().enumerate().take(callee_fn.arity) {
                                     let pa = uf.pt(reg_node[fi][a.index()]);
                                     let pp = uf.pt(reg_node[g.index()][i]);
                                     uf.unify(pa, pp);
@@ -251,7 +263,7 @@ pub fn analyze(module: &Module) -> Steensgaard {
     }
 
     // Read out: tags per class.
-    let mut class_tags: std::collections::HashMap<Node, BTreeSet<TagId>> = Default::default();
+    let mut class_tags: std::collections::HashMap<Node, DenseTagSet> = Default::default();
     for (ti, &n) in tag_node.iter().enumerate() {
         let r = uf.find(n);
         class_tags.entry(r).or_default().insert(TagId(ti as u32));
@@ -271,7 +283,7 @@ pub fn analyze(module: &Module) -> Steensgaard {
                     funcs_row.push(uf.funcs[pr].clone());
                 }
                 None => {
-                    tags_row.push(BTreeSet::new());
+                    tags_row.push(DenseTagSet::new());
                     funcs_row.push(BTreeSet::new());
                 }
             }
@@ -279,7 +291,10 @@ pub fn analyze(module: &Module) -> Steensgaard {
         reg_tags.push(tags_row);
         reg_funcs.push(funcs_row);
     }
-    Steensgaard { reg_tags, reg_funcs }
+    Steensgaard {
+        reg_tags,
+        reg_funcs,
+    }
 }
 
 /// Shrinks pointer-op tag sets with the unification results (same contract
@@ -352,13 +367,16 @@ int main() {
         let tags = st.reg_tags(main, addr);
         let x = m.tags.lookup("main.x").unwrap();
         let y = m.tags.lookup("main.y").unwrap();
-        assert!(tags.contains(&x) && tags.contains(&y), "unification merges x and y");
+        assert!(
+            tags.contains(x) && tags.contains(y),
+            "unification merges x and y"
+        );
 
         // The inclusion-based analysis is strictly more precise here.
         let pt = crate::points_to::analyze(&m);
         let precise = pt.reg_tags(main, addr);
-        assert!(precise.contains(&x));
-        assert!(!precise.contains(&y));
+        assert!(precise.contains(x));
+        assert!(!precise.contains(y));
     }
 
     #[test]
@@ -390,9 +408,9 @@ int main() {
             .collect();
         let x = m.tags.lookup("main.x").unwrap();
         let y = m.tags.lookup("main.y").unwrap();
-        assert!(st.reg_tags(main, addrs[0]).contains(&x));
-        assert!(!st.reg_tags(main, addrs[0]).contains(&y));
-        assert!(st.reg_tags(main, addrs[1]).contains(&y));
+        assert!(st.reg_tags(main, addrs[0]).contains(x));
+        assert!(!st.reg_tags(main, addrs[0]).contains(y));
+        assert!(st.reg_tags(main, addrs[1]).contains(y));
     }
 
     #[test]

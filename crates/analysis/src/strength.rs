@@ -7,17 +7,21 @@
 //! recursive (otherwise one tag names a cell per live activation); heap
 //! tags never do (one allocation site names many objects).
 
-use ir::{FuncId, Module, TagId, TagKind};
+use ir::{FuncId, TagId, TagKind, TagTable};
 
 /// True if a singleton pointer reference to `tag` inside `func` provably
 /// addresses the unique cell that `sload`/`sstore` of `tag` would.
+///
+/// Takes the tag table rather than the whole module so per-function passes
+/// can call it while the functions themselves are borrowed mutably (the
+/// parallel pipeline fan-out relies on this).
 pub fn singleton_is_unique_cell(
-    module: &Module,
+    tags: &TagTable,
     func: FuncId,
     func_is_recursive: bool,
     tag: TagId,
 ) -> bool {
-    let info = module.tags.info(tag);
+    let info = tags.info(tag);
     if info.size != 1 {
         return false;
     }
@@ -33,22 +37,30 @@ pub fn singleton_is_unique_cell(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ir::{Function, TagKind};
+    use ir::TagKind;
 
     #[test]
     fn classification_matrix() {
-        let mut m = Module::new();
-        m.add_func(Function::new("f", 0));
-        let g = m.tags.intern("g", TagKind::Global, 1);
-        let ga = m.tags.intern("ga", TagKind::Global, 4);
-        let loc = m.tags.intern("f.x", TagKind::Local { owner: 0 }, 1);
-        let heap = m.tags.intern("heap@0", TagKind::Heap { site: 0 }, 1);
+        let mut t = TagTable::new();
+        let g = t.intern("g", TagKind::Global, 1);
+        let ga = t.intern("ga", TagKind::Global, 4);
+        let loc = t.intern("f.x", TagKind::Local { owner: 0 }, 1);
+        let heap = t.intern("heap@0", TagKind::Heap { site: 0 }, 1);
         let f = FuncId(0);
-        assert!(singleton_is_unique_cell(&m, f, false, g));
-        assert!(!singleton_is_unique_cell(&m, f, false, ga), "arrays never qualify");
-        assert!(singleton_is_unique_cell(&m, f, false, loc));
-        assert!(!singleton_is_unique_cell(&m, f, true, loc), "recursion disqualifies");
-        assert!(!singleton_is_unique_cell(&m, FuncId(1), false, loc), "other function");
-        assert!(!singleton_is_unique_cell(&m, f, false, heap));
+        assert!(singleton_is_unique_cell(&t, f, false, g));
+        assert!(
+            !singleton_is_unique_cell(&t, f, false, ga),
+            "arrays never qualify"
+        );
+        assert!(singleton_is_unique_cell(&t, f, false, loc));
+        assert!(
+            !singleton_is_unique_cell(&t, f, true, loc),
+            "recursion disqualifies"
+        );
+        assert!(
+            !singleton_is_unique_cell(&t, FuncId(1), false, loc),
+            "other function"
+        );
+        assert!(!singleton_is_unique_cell(&t, f, false, heap));
     }
 }

@@ -5,8 +5,12 @@
 //! register allocation on the two largest suite programs. The paper's
 //! implicit claim — analysis dominates, promotion itself "runs quite
 //! quickly" — is directly visible in these numbers.
+//!
+//! Plain `std::time::Instant` harness (`harness = false`): no external
+//! bench framework so the build works offline. Run with
+//! `cargo bench --bench pass_times`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_harness::timing::time_case;
 
 fn prepared(src: &str) -> ir::Module {
     let mut m = minic::compile(src).expect("compile");
@@ -16,66 +20,47 @@ fn prepared(src: &str) -> ir::Module {
     m
 }
 
-fn bench_passes(c: &mut Criterion) {
+fn main() {
     let programs = ["mlink", "gzip_enc"];
     for name in programs {
         let b = benchsuite::find(name).expect("suite");
-        let mut group = c.benchmark_group(format!("passes/{name}"));
 
-        group.bench_function(BenchmarkId::from_parameter("frontend"), |bench| {
-            bench.iter(|| minic::compile(b.source).expect("compile"))
+        time_case(&format!("passes/{name}/frontend"), || {
+            minic::compile(b.source).expect("compile");
         });
 
         let base = prepared(b.source);
-        group.bench_function(BenchmarkId::from_parameter("modref"), |bench| {
-            bench.iter(|| {
-                let mut m = base.clone();
-                analysis::analyze(&mut m, analysis::AnalysisLevel::ModRef)
-            })
+        time_case(&format!("passes/{name}/modref"), || {
+            let mut m = base.clone();
+            analysis::analyze(&mut m, analysis::AnalysisLevel::ModRef);
         });
-        group.bench_function(BenchmarkId::from_parameter("points_to"), |bench| {
-            bench.iter(|| {
-                let mut m = base.clone();
-                analysis::analyze(&mut m, analysis::AnalysisLevel::PointsTo)
-            })
+        time_case(&format!("passes/{name}/points_to"), || {
+            let mut m = base.clone();
+            analysis::analyze(&mut m, analysis::AnalysisLevel::PointsTo);
         });
 
         let mut analyzed = base.clone();
         analysis::analyze(&mut analyzed, analysis::AnalysisLevel::ModRef);
         opt::strengthen(&mut analyzed);
-        group.bench_function(BenchmarkId::from_parameter("promotion"), |bench| {
-            bench.iter(|| {
-                let mut m = analyzed.clone();
-                promote::promote_module(&mut m, &promote::PromotionOptions::default())
-            })
+        time_case(&format!("passes/{name}/promotion"), || {
+            let mut m = analyzed.clone();
+            promote::promote_module(&mut m, &promote::PromotionOptions::default());
         });
-        group.bench_function(BenchmarkId::from_parameter("lvn"), |bench| {
-            bench.iter(|| {
-                let mut m = analyzed.clone();
-                opt::lvn(&mut m)
-            })
+        time_case(&format!("passes/{name}/lvn"), || {
+            let mut m = analyzed.clone();
+            opt::lvn(&mut m);
         });
-        group.bench_function(BenchmarkId::from_parameter("loadelim"), |bench| {
-            bench.iter(|| {
-                let mut m = analyzed.clone();
-                opt::loadelim(&mut m)
-            })
+        time_case(&format!("passes/{name}/loadelim"), || {
+            let mut m = analyzed.clone();
+            opt::loadelim(&mut m);
         });
-        group.bench_function(BenchmarkId::from_parameter("licm"), |bench| {
-            bench.iter(|| {
-                let mut m = analyzed.clone();
-                opt::licm(&mut m)
-            })
+        time_case(&format!("passes/{name}/licm"), || {
+            let mut m = analyzed.clone();
+            opt::licm(&mut m);
         });
-        group.bench_function(BenchmarkId::from_parameter("regalloc"), |bench| {
-            bench.iter(|| {
-                let mut m = analyzed.clone();
-                regalloc::allocate(&mut m, &regalloc::AllocOptions::default())
-            })
+        time_case(&format!("passes/{name}/regalloc"), || {
+            let mut m = analyzed.clone();
+            regalloc::allocate(&mut m, &regalloc::AllocOptions::default());
         });
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_passes);
-criterion_main!(benches);

@@ -5,8 +5,12 @@
 //! synthetic loop nests with growing block counts / loop counts / tag
 //! counts and times `promote_module`, so regressions from near-linear
 //! behaviour are visible.
+//!
+//! Plain `std::time::Instant` harness (`harness = false`): no external
+//! bench framework so the build works offline. Run with
+//! `cargo bench --bench promotion_scaling`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_harness::timing::time_case;
 use ir::{BinOp, CmpOp, FunctionBuilder, GlobalInit, Module};
 
 /// Builds a module whose `main` has `seq` consecutive loops, each `depth`
@@ -59,40 +63,29 @@ fn synthetic(seq: usize, depth: usize, tags: usize) -> Module {
     m
 }
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("promotion_scaling");
+fn main() {
     // Sweep block count via sequential loops.
     for &seq in &[4usize, 16, 64, 256] {
         let module = synthetic(seq, 2, 8);
-        group.bench_with_input(BenchmarkId::new("loops", seq), &module, |bench, m| {
-            bench.iter(|| {
-                let mut m = m.clone();
-                promote::promote_module(&mut m, &promote::PromotionOptions::default())
-            });
+        time_case(&format!("promotion_scaling/loops/{seq}"), || {
+            let mut m = module.clone();
+            promote::promote_module(&mut m, &promote::PromotionOptions::default());
         });
     }
     // Sweep nesting depth.
     for &depth in &[2usize, 4, 8, 16] {
         let module = synthetic(4, depth, 8);
-        group.bench_with_input(BenchmarkId::new("depth", depth), &module, |bench, m| {
-            bench.iter(|| {
-                let mut m = m.clone();
-                promote::promote_module(&mut m, &promote::PromotionOptions::default())
-            });
+        time_case(&format!("promotion_scaling/depth/{depth}"), || {
+            let mut m = module.clone();
+            promote::promote_module(&mut m, &promote::PromotionOptions::default());
         });
     }
     // Sweep tag count.
     for &tags in &[8usize, 32, 128, 512] {
         let module = synthetic(8, 2, tags);
-        group.bench_with_input(BenchmarkId::new("tags", tags), &module, |bench, m| {
-            bench.iter(|| {
-                let mut m = m.clone();
-                promote::promote_module(&mut m, &promote::PromotionOptions::default())
-            });
+        time_case(&format!("promotion_scaling/tags/{tags}"), || {
+            let mut m = module.clone();
+            promote::promote_module(&mut m, &promote::PromotionOptions::default());
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

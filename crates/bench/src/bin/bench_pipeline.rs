@@ -1,0 +1,123 @@
+//! Pipeline wall-clock benchmark: sequential vs parallel per-function
+//! stages, with per-pass timings.
+//!
+//! Runs the full default pipeline (ModRef analysis, promotion, optimizer,
+//! register allocation) over every suite program twice — once with
+//! `threads = 1` and once with one worker per core — asserts the printed
+//! IL is identical, and writes `BENCH_pipeline.json` with the timings.
+//!
+//! Usage: `cargo run --release --bin bench_pipeline [output-path]`
+
+use bench_harness::timing::measure;
+use driver::{run_pipeline, PipelineConfig};
+use std::fmt::Write as _;
+
+const ITERS: usize = 5;
+
+struct ProgramResult {
+    name: String,
+    sequential_ms: f64,
+    parallel_ms: f64,
+    passes: Vec<(String, f64)>,
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn config(threads: usize) -> PipelineConfig {
+    PipelineConfig {
+        threads: Some(threads),
+        validate_each_pass: false,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let parallel_threads = driver::resolve_threads(None).max(2);
+    let mut results = Vec::new();
+    for b in benchsuite::SUITE {
+        eprintln!("benchmarking {} ...", b.name);
+        let module = minic::compile(b.source).expect("suite program compiles");
+        let seq = measure(ITERS, || {
+            let mut m = module.clone();
+            run_pipeline(&mut m, &config(1));
+        });
+        let par = measure(ITERS, || {
+            let mut m = module.clone();
+            run_pipeline(&mut m, &config(parallel_threads));
+        });
+        // Determinism spot-check while we are here: the two modes must
+        // produce byte-identical IL.
+        let (mut m1, mut mn) = (module.clone(), module.clone());
+        let r1 = run_pipeline(&mut m1, &config(1));
+        let _ = run_pipeline(&mut mn, &config(parallel_threads));
+        assert_eq!(
+            m1.to_string(),
+            mn.to_string(),
+            "{}: parallel pipeline diverged from sequential",
+            b.name
+        );
+        results.push(ProgramResult {
+            name: b.name.to_string(),
+            sequential_ms: ms(seq.min),
+            parallel_ms: ms(par.min),
+            passes: r1
+                .timings
+                .passes
+                .iter()
+                .map(|(n, d)| (n.clone(), ms(*d)))
+                .collect(),
+        });
+    }
+    let total_seq: f64 = results.iter().map(|r| r.sequential_ms).sum();
+    let total_par: f64 = results.iter().map(|r| r.parallel_ms).sum();
+
+    // Hand-rolled JSON: names are suite identifiers and pass labels, none
+    // of which need escaping.
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"pipeline\",");
+    let _ = writeln!(json, "  \"iters\": {ITERS},");
+    let _ = writeln!(json, "  \"parallel_threads\": {parallel_threads},");
+    let _ = writeln!(json, "  \"total_sequential_ms\": {total_seq:.3},");
+    let _ = writeln!(json, "  \"total_parallel_ms\": {total_par:.3},");
+    let _ = writeln!(
+        json,
+        "  \"total_speedup\": {:.3},",
+        total_seq / total_par.max(1e-9)
+    );
+    json.push_str("  \"programs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(json, "      \"sequential_ms\": {:.3},", r.sequential_ms);
+        let _ = writeln!(json, "      \"parallel_ms\": {:.3},", r.parallel_ms);
+        let _ = writeln!(
+            json,
+            "      \"speedup\": {:.3},",
+            r.sequential_ms / r.parallel_ms.max(1e-9)
+        );
+        json.push_str("      \"passes\": [\n");
+        for (j, (name, pass_ms)) in r.passes.iter().enumerate() {
+            let comma = if j + 1 < r.passes.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "        {{ \"name\": \"{name}\", \"ms\": {pass_ms:.3} }}{comma}"
+            );
+        }
+        json.push_str("      ]\n");
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!(
+        "pipeline: sequential {total_seq:.1} ms, parallel({parallel_threads}) {total_par:.1} ms, \
+         speedup {:.2}x -> {out_path}",
+        total_seq / total_par.max(1e-9)
+    );
+}

@@ -17,7 +17,10 @@ use vm::VmOptions;
 
 fn run(src: &str, k: usize, promote: bool, cap: Option<usize>) -> u64 {
     let config = PipelineConfig {
-        regalloc: Some(AllocOptions { num_regs: k, ..Default::default() }),
+        regalloc: Some(AllocOptions {
+            num_regs: k,
+            ..Default::default()
+        }),
         promotion_cap: cap,
         ..PipelineConfig::paper_variant(AnalysisLevel::ModRef, promote)
     };

@@ -14,25 +14,30 @@
 
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use analysis::AnalysisLevel;
 use driver::{compile_and_run, measure_program, MeasurementRow, Metric, PipelineConfig};
 use regalloc::AllocOptions;
 use vm::VmOptions;
 
 /// Runs the paper's 2×2 experiment over the whole suite (or a named
-/// subset), returning rows in suite order.
+/// subset), returning rows in suite order. Programs are measured
+/// concurrently (one worker per core, via [`driver::parallel_map`]);
+/// results come back in suite order, so every table is reproducible.
 pub fn measure_suite(only: Option<&str>) -> Vec<MeasurementRow> {
-    let mut rows = Vec::new();
-    for b in benchsuite::SUITE {
-        if let Some(name) = only {
-            if b.name != name {
-                continue;
-            }
-        }
+    let programs: Vec<_> = benchsuite::SUITE
+        .iter()
+        .filter(|b| only.map_or(true, |name| b.name == name))
+        .collect();
+    let threads = driver::resolve_threads(None);
+    driver::parallel_map(programs, threads, |_, b| {
         eprintln!("measuring {} ...", b.name);
-        rows.extend(measure_program(b.name, b.source));
-    }
-    rows
+        measure_program(b.name, b.source)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Renders one figure for previously measured rows.
@@ -84,9 +89,7 @@ pub fn measure_pointer_promotion(only: Option<&str>) -> Vec<PointerPromotionRow>
 /// Renders the §3.3 comparison.
 pub fn pointer_promotion_text(rows: &[PointerPromotionRow]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "Section 3.3: pointer-based promotion on top of scalar promotion\n",
-    );
+    out.push_str("Section 3.3: pointer-based promotion on top of scalar promotion\n");
     out.push_str(&format!(
         "{:<10} {:>12} {:>12} {:>8}   {:>10} {:>10} {:>8}\n",
         "program", "ops(scalar)", "ops(+ptr)", "Δops%", "st(scalar)", "st(+ptr)", "Δst%"
@@ -131,14 +134,21 @@ pub fn pressure_sweep(source: &str, ks: &[usize]) -> Vec<PressurePoint> {
         let mut counts = Vec::new();
         for promote in [false, true] {
             let config = PipelineConfig {
-                regalloc: Some(AllocOptions { num_regs: k, ..Default::default() }),
+                regalloc: Some(AllocOptions {
+                    num_regs: k,
+                    ..Default::default()
+                }),
                 ..PipelineConfig::paper_variant(AnalysisLevel::ModRef, promote)
             };
             let (out, _) = compile_and_run(source, &config, VmOptions::default())
                 .unwrap_or_else(|e| panic!("K={k} promote={promote}: {e}"));
             counts.push(out.counts);
         }
-        points.push(PressurePoint { k, without: counts[0], with: counts[1] });
+        points.push(PressurePoint {
+            k,
+            without: counts[0],
+            with: counts[1],
+        });
     }
     points
 }
@@ -156,7 +166,13 @@ pub fn pressure_text(program: &str, points: &[PressurePoint]) -> String {
     for p in points {
         let b = p.without.memory_ops();
         let a = p.with.memory_ops();
-        out.push_str(&format!("{:>4} {:>14} {:>14} {:>10.2}\n", p.k, b, a, pct(b, a)));
+        out.push_str(&format!(
+            "{:>4} {:>14} {:>14} {:>10.2}\n",
+            p.k,
+            b,
+            a,
+            pct(b, a)
+        ));
     }
     out
 }

@@ -84,7 +84,11 @@ impl DomTree {
                 children[p.index()].push(BlockId(i as u32));
             }
         }
-        DomTree { idom, children, entry }
+        DomTree {
+            idom,
+            children,
+            entry,
+        }
     }
 }
 
@@ -275,7 +279,7 @@ impl LengauerTarjan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ir::{FunctionBuilder, Function};
+    use ir::{Function, FunctionBuilder};
 
     fn doms_of(f: &Function) -> (DomTree, DomTree) {
         let cfg = Cfg::build(f);

@@ -57,7 +57,13 @@ impl Cfg {
         for (i, b) in rpo.iter().enumerate() {
             rpo_index[b.index()] = i;
         }
-        Cfg { succs, preds, entry: func.entry, rpo, rpo_index }
+        Cfg {
+            succs,
+            preds,
+            entry: func.entry,
+            rpo,
+            rpo_index,
+        }
     }
 
     /// Number of blocks (including unreachable ones).
@@ -77,10 +83,7 @@ impl Cfg {
 
     /// Total number of edges between reachable blocks.
     pub fn edge_count(&self) -> usize {
-        self.rpo
-            .iter()
-            .map(|b| self.succs[b.index()].len())
-            .sum()
+        self.rpo.iter().map(|b| self.succs[b.index()].len()).sum()
     }
 }
 

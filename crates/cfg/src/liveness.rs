@@ -12,7 +12,9 @@ pub struct RegSet {
 impl RegSet {
     /// An empty set sized for `n` registers.
     pub fn new(n: usize) -> Self {
-        RegSet { bits: vec![0; n.div_ceil(64)] }
+        RegSet {
+            bits: vec![0; n.div_ceil(64)],
+        }
     }
 
     /// Inserts `r`; returns true if newly inserted.
@@ -179,7 +181,12 @@ mod tests {
         let e = b.new_block();
         b.jump(l);
         b.switch_to(l);
-        b.emit(Instr::Binary { op: BinOp::Sub, dst: r0, lhs: r0, rhs: r1 });
+        b.emit(Instr::Binary {
+            op: BinOp::Sub,
+            dst: r0,
+            lhs: r0,
+            rhs: r1,
+        });
         b.branch(r0, l, e);
         b.switch_to(e);
         b.ret(Some(r0));
@@ -190,7 +197,10 @@ mod tests {
         // r0 and r1 are live around the loop.
         assert!(live.live_in[l.index()].contains(r0));
         assert!(live.live_in[l.index()].contains(r1));
-        assert!(live.live_out[l.index()].contains(r1), "r1 needed next iteration");
+        assert!(
+            live.live_out[l.index()].contains(r1),
+            "r1 needed next iteration"
+        );
         assert!(!live.live_out[e.index()].contains(r0));
     }
 

@@ -213,7 +213,11 @@ impl LoopForest {
     /// Maximum number of exit edges over all loops (the paper's parameter
     /// `X` in the complexity analysis).
     pub fn max_exits(&self) -> usize {
-        self.loops.iter().map(|l| l.exit_edges.len()).max().unwrap_or(0)
+        self.loops
+            .iter()
+            .map(|l| l.exit_edges.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 

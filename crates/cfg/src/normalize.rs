@@ -76,7 +76,9 @@ fn insert_landing_pads(func: &mut Function) -> bool {
         // pad instead.
         if header == func.entry {
             let pad = func.new_block();
-            func.block_mut(pad).instrs.push(Instr::Jump { target: header });
+            func.block_mut(pad)
+                .instrs
+                .push(Instr::Jump { target: header });
             let outside_preds: Vec<BlockId> = cfg.preds[header.index()]
                 .iter()
                 .copied()
@@ -100,7 +102,9 @@ fn insert_landing_pads(func: &mut Function) -> bool {
         }
         // Create the pad and retarget every outside entry edge through it.
         let pad = func.new_block();
-        func.block_mut(pad).instrs.push(Instr::Jump { target: header });
+        func.block_mut(pad)
+            .instrs
+            .push(Instr::Jump { target: header });
         for p in outside_preds {
             retarget_edge(func, p, header, pad);
         }
@@ -142,7 +146,10 @@ fn insert_exit_blocks(func: &mut Function) -> bool {
 /// SSA construction in the pipeline) or if normalization fails to converge
 /// (which would indicate a bug).
 pub fn normalize_loops(func: &mut Function) {
-    assert!(!has_phis(func), "normalize_loops requires a phi-free function");
+    assert!(
+        !has_phis(func),
+        "normalize_loops requires a phi-free function"
+    );
     remove_unreachable_blocks(func);
     let mut budget = 4 * func.blocks.len() + 64;
     loop {
@@ -215,7 +222,13 @@ impl LoopNest {
             }
             exit_blocks.push(exits);
         }
-        LoopNest { cfg, dom, forest, landing_pads, exit_blocks }
+        LoopNest {
+            cfg,
+            dom,
+            forest,
+            landing_pads,
+            exit_blocks,
+        }
     }
 
     /// The landing pad of `l`.
@@ -306,12 +319,7 @@ mod tests {
         let f = validated(f);
         let nest = LoopNest::compute(&f);
         assert_eq!(nest.forest.len(), 2);
-        let inner = nest
-            .forest
-            .inner_to_outer()
-            .into_iter()
-            .next()
-            .unwrap();
+        let inner = nest.forest.inner_to_outer().into_iter().next().unwrap();
         let outer = nest.forest.get(inner).parent.expect("nested");
         // The inner pad lies inside the outer loop.
         let pad = nest.landing_pad(inner);

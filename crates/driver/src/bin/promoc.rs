@@ -82,7 +82,10 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
                     .ok_or("--regs needs a value")?
                     .parse()
                     .map_err(|_| "--regs needs an integer")?;
-                config.regalloc = Some(AllocOptions { num_regs: k, ..Default::default() });
+                config.regalloc = Some(AllocOptions {
+                    num_regs: k,
+                    ..Default::default()
+                });
             }
             "--max-steps" => {
                 i += 1;

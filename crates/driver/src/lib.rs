@@ -28,10 +28,12 @@
 
 #![warn(missing_docs)]
 
+mod parallel;
 mod pipeline;
 mod report;
 
+pub use parallel::{parallel_map, parallel_map_funcs, resolve_threads};
 pub use pipeline::{
-    compile_and_run, compile_with, run_pipeline, PipelineConfig, PipelineReport,
+    compile_and_run, compile_with, run_pipeline, PassTimings, PipelineConfig, PipelineReport,
 };
 pub use report::{measure_program, render_figure, MeasurementRow, Metric};

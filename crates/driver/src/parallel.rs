@@ -1,0 +1,139 @@
+//! Scoped-thread fan-out for per-function pipeline stages.
+//!
+//! Every per-function pass in the pipeline (normalization, strengthening,
+//! promotion, the scalar optimizer, register allocation) reads at most the
+//! shared tag table and writes only its own [`ir::Function`]. That makes
+//! the fan-out embarrassingly parallel: a work queue of function indices is
+//! drained by `std::thread::scope` workers, and results are returned in
+//! function-index order so reports aggregate deterministically regardless
+//! of scheduling.
+//!
+//! Only `std` is used — no thread-pool crates — because the build must
+//! work offline.
+
+use ir::{FuncId, Function};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Picks the worker count: an explicit `threads` wins; otherwise the
+/// `PROMO_THREADS` environment variable; otherwise
+/// `std::thread::available_parallelism()`.
+pub fn resolve_threads(threads: Option<usize>) -> usize {
+    if let Some(n) = threads {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("PROMO_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, on up to `threads` worker threads, and
+/// returns the results in item order. `threads <= 1` (or a single item)
+/// runs inline with no thread overhead.
+///
+/// # Panics
+///
+/// Propagates the first worker panic.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let queue: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let workers = threads.min(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = queue[i]
+                    .lock()
+                    .expect("queue poisoned")
+                    .take()
+                    .expect("item taken");
+                let r = f(i, item);
+                *slots[i].lock().expect("slot poisoned") = Some(r);
+            }));
+        }
+        for h in handles {
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot poisoned")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
+/// Fans a per-function transformation out over `funcs`, returning one
+/// result per function in index order. The closure typically also captures
+/// a shared `&ir::TagTable` (functions and the tag table are disjoint
+/// fields of `ir::Module`, so both borrows coexist).
+pub fn parallel_map_funcs<R, F>(funcs: &mut [Function], threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(FuncId, &mut Function) -> R + Sync,
+{
+    let items: Vec<&mut Function> = funcs.iter_mut().collect();
+    parallel_map(items, threads, |i, func| f(FuncId(i as u32), func))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_stay_in_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let out = parallel_map(items.clone(), threads, |i, x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(vec![7usize, 8], 16, |_, x| x + 1);
+        assert_eq!(out, vec![8, 9]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<usize> = parallel_map(Vec::<usize>::new(), 4, |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn explicit_thread_count_wins() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1);
+    }
+}

@@ -6,11 +6,22 @@
 //! a basic block cleaning pass", with register promotion running in the
 //! early phases and pointer-based promotion after LICM (which hoists the
 //! base addresses it needs).
+//!
+//! Every per-function stage (normalization, strengthening, promotion, the
+//! scalar optimizer, register allocation) fans out across worker threads
+//! via [`crate::parallel_map_funcs`]; the whole-module interprocedural
+//! analysis stays sequential. The output is bit-identical at any thread
+//! count: per-function passes share only the read-only tag table, and the
+//! allocator's spill tags are committed in function-index order (see
+//! [`regalloc::commit_spills`]). Wall-clock per pass is recorded in
+//! [`PassTimings`] on the report.
 
-use analysis::AnalysisLevel;
-use ir::Module;
-use promote::{promote_module, PromotionOptions, PromotionReport};
-use regalloc::{allocate, AllocOptions, AllocReport};
+use crate::parallel::{parallel_map_funcs, resolve_threads};
+use analysis::{tarjan_sccs, AnalysisLevel, CallGraph};
+use ir::{FuncId, Module};
+use promote::PromotionReport;
+use regalloc::{AllocOptions, AllocReport, PendingSpill};
+use std::time::{Duration, Instant};
 use vm::{Outcome, Vm, VmError, VmOptions};
 
 /// A pipeline configuration — one experimental arm.
@@ -32,6 +43,11 @@ pub struct PipelineConfig {
     pub regalloc: Option<AllocOptions>,
     /// Validate the module after every pass (on in debug builds).
     pub validate_each_pass: bool,
+    /// Worker threads for the per-function stages. `None` defers to the
+    /// `PROMO_THREADS` environment variable, then to
+    /// `std::thread::available_parallelism()`; `Some(1)` forces the
+    /// sequential path. The compiled output is identical either way.
+    pub threads: Option<usize>,
 }
 
 impl Default for PipelineConfig {
@@ -44,6 +60,7 @@ impl Default for PipelineConfig {
             optimize: true,
             regalloc: Some(AllocOptions::default()),
             validate_each_pass: cfg!(debug_assertions),
+            threads: None,
         }
     }
 }
@@ -85,6 +102,30 @@ impl PipelineConfig {
     }
 }
 
+/// Wall-clock time of each pipeline pass, in execution order. Repeated
+/// passes get distinct labels (`lvn`, `lvn(2)`, ...).
+#[derive(Debug, Clone, Default)]
+pub struct PassTimings {
+    /// `(pass name, elapsed)` pairs in execution order.
+    pub passes: Vec<(String, Duration)>,
+}
+
+impl PassTimings {
+    fn record(&mut self, name: &str, elapsed: Duration) {
+        self.passes.push((name.to_string(), elapsed));
+    }
+
+    /// Total wall-clock across all recorded passes.
+    pub fn total(&self) -> Duration {
+        self.passes.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Elapsed time of the first pass recorded under `name`.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.passes.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+    }
+}
+
 /// What each pass did, for reports and ablations.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineReport {
@@ -108,6 +149,9 @@ pub struct PipelineReport {
     pub cleaned: usize,
     /// Register allocation activity.
     pub alloc: Option<AllocReport>,
+    /// Per-pass wall-clock timings (scheduling-dependent; excluded from
+    /// determinism comparisons).
+    pub timings: PassTimings,
 }
 
 fn validate_if(module: &Module, enabled: bool, pass: &str) {
@@ -118,72 +162,167 @@ fn validate_if(module: &Module, enabled: bool, pass: &str) {
     }
 }
 
+fn timed<R>(timings: &mut PassTimings, name: &str, f: impl FnOnce() -> R) -> R {
+    let start = Instant::now();
+    let r = f();
+    timings.record(name, start.elapsed());
+    r
+}
+
+/// Which functions sit on call-graph cycles (recursion blocks promotion of
+/// their locals). Whole-module, so computed before fanning out.
+fn recursive_set(module: &Module) -> Vec<bool> {
+    let graph = CallGraph::build(module, None);
+    let sccs = tarjan_sccs(&graph);
+    (0..module.funcs.len())
+        .map(|i| graph.is_recursive(FuncId(i as u32), &sccs))
+        .collect()
+}
+
 /// Runs the configured pipeline over `module` in place.
 pub fn run_pipeline(module: &mut Module, config: &PipelineConfig) -> PipelineReport {
     let v = config.validate_each_pass;
+    let threads = resolve_threads(config.threads);
     let mut report = PipelineReport::default();
-    for fi in 0..module.funcs.len() {
-        cfg::normalize_loops(&mut module.funcs[fi]);
-    }
+    let mut timings = PassTimings::default();
+    timed(&mut timings, "normalize", || {
+        parallel_map_funcs(&mut module.funcs, threads, |_, f| cfg::normalize_loops(f));
+    });
     validate_if(module, v, "normalize");
-    let outcome = analysis::analyze(module, config.analysis);
+    let outcome = timed(&mut timings, "analysis", || {
+        analysis::analyze(module, config.analysis)
+    });
     report.analysis_stats = Some(outcome.stats);
     validate_if(module, v, "analysis");
-    report.strengthened = opt::strengthen(module);
+    report.strengthened = timed(&mut timings, "strengthen", || {
+        let recursive = recursive_set(module);
+        let tags = &module.tags;
+        parallel_map_funcs(&mut module.funcs, threads, |fid, func| {
+            opt::strengthen_function(tags, func, fid, recursive[fid.index()])
+        })
+        .into_iter()
+        .sum()
+    });
     validate_if(module, v, "strengthen");
     if config.promote {
-        report.promotion = promote_module(
-            module,
-            &PromotionOptions {
-                scalar: true,
-                pointer_based: false,
-                max_promoted_per_loop: config.promotion_cap,
-            },
-        );
+        report.promotion = timed(&mut timings, "promote", || {
+            let recursive = recursive_set(module);
+            let cap = config.promotion_cap;
+            let tags = &module.tags;
+            let func_reports = parallel_map_funcs(&mut module.funcs, threads, |fid, func| {
+                cfg::normalize_loops(func);
+                promote::promote_scalars_in_func_core(tags, func, fid, recursive[fid.index()], cap)
+            });
+            let mut total = PromotionReport::default();
+            for r in func_reports {
+                total.scalar.loops += r.loops;
+                total.scalar.promoted_tags += r.promoted_tags;
+                total.scalar.lifts += r.lifts;
+                total.scalar.rewritten_refs += r.rewritten_refs;
+            }
+            total
+        });
         validate_if(module, v, "promotion");
     }
     if config.optimize {
-        report.lvn_rewrites += opt::lvn(module);
+        report.lvn_rewrites += timed(&mut timings, "lvn", || {
+            parallel_map_funcs(&mut module.funcs, threads, |_, f| opt::lvn_function(f))
+                .into_iter()
+                .sum::<usize>()
+        });
         validate_if(module, v, "lvn");
-        report.loads_eliminated = opt::loadelim(module);
+        report.loads_eliminated = timed(&mut timings, "loadelim", || {
+            parallel_map_funcs(&mut module.funcs, threads, |_, f| opt::loadelim_function(f))
+                .into_iter()
+                .sum()
+        });
         validate_if(module, v, "loadelim");
-        report.constants_folded = opt::constprop(module);
+        report.constants_folded = timed(&mut timings, "constprop", || {
+            parallel_map_funcs(&mut module.funcs, threads, |_, f| {
+                opt::constprop_function(f)
+            })
+            .into_iter()
+            .sum()
+        });
         validate_if(module, v, "constprop");
-        report.licm_moved = opt::licm(module);
+        report.licm_moved = timed(&mut timings, "licm", || {
+            parallel_map_funcs(&mut module.funcs, threads, |_, f| opt::licm_function(f))
+                .into_iter()
+                .sum()
+        });
         validate_if(module, v, "licm");
     }
     if config.pointer_promote {
         // LICM has hoisted invariant base addresses; normalize again in
         // case earlier folding perturbed loop shapes.
-        for fi in 0..module.funcs.len() {
-            cfg::normalize_loops(&mut module.funcs[fi]);
-        }
-        let r = promote_module(
-            module,
-            &PromotionOptions {
-                scalar: false,
-                pointer_based: true,
-                max_promoted_per_loop: None,
-            },
-        );
-        report.promotion.pointer = r.pointer;
+        timed(&mut timings, "pointer-promote", || {
+            let func_reports = parallel_map_funcs(&mut module.funcs, threads, |_, func| {
+                cfg::normalize_loops(func);
+                promote::promote_pointers_in_func_core(func)
+            });
+            for r in func_reports {
+                report.promotion.pointer.promoted_bases += r.promoted_bases;
+                report.promotion.pointer.rewritten_refs += r.rewritten_refs;
+                report.promotion.pointer.lifts += r.lifts;
+            }
+        });
         validate_if(module, v, "pointer-promotion");
     }
     if config.optimize {
-        report.lvn_rewrites += opt::lvn(module);
-        report.dce_removed = opt::dce(module);
+        report.lvn_rewrites += timed(&mut timings, "lvn(2)", || {
+            parallel_map_funcs(&mut module.funcs, threads, |_, f| opt::lvn_function(f))
+                .into_iter()
+                .sum::<usize>()
+        });
+        report.dce_removed = timed(&mut timings, "dce", || {
+            parallel_map_funcs(&mut module.funcs, threads, |_, f| opt::dce_function(f))
+                .into_iter()
+                .sum()
+        });
         validate_if(module, v, "dce");
-        report.cleaned = opt::clean(module);
+        report.cleaned = timed(&mut timings, "clean", || {
+            parallel_map_funcs(&mut module.funcs, threads, |_, f| opt::clean_function(f))
+                .into_iter()
+                .sum()
+        });
         validate_if(module, v, "clean");
     }
     if let Some(opts) = &config.regalloc {
-        report.alloc = Some(allocate(module, opts));
+        report.alloc = Some(timed(&mut timings, "regalloc", || {
+            // Allocate in parallel against a read-only tag-table snapshot;
+            // each worker records the spill tags it needs as provisional
+            // ids. Committing in function-index order then reproduces the
+            // exact tag table (ids and names) of a sequential run.
+            let tags = &module.tags;
+            let results: Vec<(AllocReport, Vec<PendingSpill>)> =
+                parallel_map_funcs(&mut module.funcs, threads, |fid, func| {
+                    let mut pending = Vec::new();
+                    let r = regalloc::allocate_function_core(tags, func, fid, opts, &mut pending);
+                    (r, pending)
+                });
+            let mut total = AllocReport::default();
+            for (fi, (r, pending)) in results.into_iter().enumerate() {
+                regalloc::commit_spills(module, FuncId(fi as u32), pending);
+                total.coalesced += r.coalesced;
+                total.spilled += r.spilled;
+                total.rematerialized += r.rematerialized;
+                total.spill_loads += r.spill_loads;
+                total.spill_stores += r.spill_stores;
+                total.rounds += r.rounds;
+            }
+            total
+        }));
         validate_if(module, v, "regalloc");
         if config.optimize {
-            report.cleaned += opt::clean(module);
+            report.cleaned += timed(&mut timings, "clean(final)", || {
+                parallel_map_funcs(&mut module.funcs, threads, |_, f| opt::clean_function(f))
+                    .into_iter()
+                    .sum::<usize>()
+            });
             validate_if(module, v, "final clean");
         }
     }
+    report.timings = timings;
     report
 }
 
@@ -276,11 +415,14 @@ int main() {
 
     #[test]
     fn pipeline_report_is_populated() {
-        let (_, report) =
-            compile_with(PROGRAM, &PipelineConfig::default()).expect("compiles");
+        let (_, report) = compile_with(PROGRAM, &PipelineConfig::default()).expect("compiles");
         assert!(report.analysis_stats.is_some());
         assert!(report.alloc.is_some());
         assert!(report.promotion.scalar.promoted_tags >= 1);
+        // Every executed pass left a timing row.
+        assert!(report.timings.get("analysis").is_some());
+        assert!(report.timings.get("regalloc").is_some());
+        assert!(report.timings.total() > Duration::ZERO);
     }
 
     #[test]
@@ -293,5 +435,27 @@ int main() {
         };
         let (out, _) = compile_and_run(PROGRAM, &config, VmOptions::default()).unwrap();
         assert_eq!(out.output, vec!["124750", "500"]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let one = PipelineConfig {
+            threads: Some(1),
+            ..Default::default()
+        };
+        let four = PipelineConfig {
+            threads: Some(4),
+            ..Default::default()
+        };
+        let (m1, r1) = compile_with(PROGRAM, &one).expect("compiles");
+        let (m4, r4) = compile_with(PROGRAM, &four).expect("compiles");
+        assert_eq!(
+            m1.to_string(),
+            m4.to_string(),
+            "printed IL must be identical"
+        );
+        assert_eq!(r1.strengthened, r4.strengthened);
+        assert_eq!(r1.promotion, r4.promotion);
+        assert_eq!(r1.alloc, r4.alloc);
     }
 }

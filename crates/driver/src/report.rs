@@ -156,7 +156,12 @@ mod tests {
 
     #[test]
     fn metric_extraction() {
-        let c = ExecCounts { total: 100, loads: 30, stores: 20, ..Default::default() };
+        let c = ExecCounts {
+            total: 100,
+            loads: 30,
+            stores: 20,
+            ..Default::default()
+        };
         assert_eq!(Metric::TotalOps.of(&c), 100);
         assert_eq!(Metric::Loads.of(&c), 30);
         assert_eq!(Metric::Stores.of(&c), 20);
@@ -168,8 +173,14 @@ mod tests {
         let row = MeasurementRow {
             program: "mlink".into(),
             analysis: AnalysisLevel::ModRef,
-            without: ExecCounts { stores: 5_885_109, ..Default::default() },
-            with: ExecCounts { stores: 2_506_412, ..Default::default() },
+            without: ExecCounts {
+                stores: 5_885_109,
+                ..Default::default()
+            },
+            with: ExecCounts {
+                stores: 2_506_412,
+                ..Default::default()
+            },
         };
         // The paper's Figure 6 mlink row: difference 3378697, 57.41%.
         assert_eq!(row.difference(Metric::Stores), 3_378_697);

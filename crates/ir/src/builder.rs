@@ -178,7 +178,11 @@ impl FunctionBuilder {
 
     /// Indirect call through a register.
     pub fn call_indirect(&mut self, target: Reg, args: Vec<Reg>, has_result: bool) -> Option<Reg> {
-        let dst = if has_result { Some(self.new_reg()) } else { None };
+        let dst = if has_result {
+            Some(self.new_reg())
+        } else {
+            None
+        };
         self.emit(Instr::Call {
             dst,
             callee: Callee::Indirect(target),
@@ -191,7 +195,11 @@ impl FunctionBuilder {
 
     /// Intrinsic call; intrinsics touch no tagged memory.
     pub fn call_intrinsic(&mut self, intr: Intrinsic, args: Vec<Reg>) -> Option<Reg> {
-        let dst = if intr.has_result() { Some(self.new_reg()) } else { None };
+        let dst = if intr.has_result() {
+            Some(self.new_reg())
+        } else {
+            None
+        };
         self.emit(Instr::Call {
             dst,
             callee: Callee::Intrinsic(intr),
@@ -209,7 +217,11 @@ impl FunctionBuilder {
 
     /// Conditional branch.
     pub fn branch(&mut self, cond: Reg, then_bb: BlockId, else_bb: BlockId) {
-        self.emit(Instr::Branch { cond, then_bb, else_bb });
+        self.emit(Instr::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        });
     }
 
     /// Return.

@@ -30,13 +30,19 @@ impl Block {
 
     /// Successor block ids.
     pub fn successors(&self) -> Vec<BlockId> {
-        self.terminator().map(|t| t.successors()).unwrap_or_default()
+        self.terminator()
+            .map(|t| t.successors())
+            .unwrap_or_default()
     }
 
     /// Inserts `instr` just before the terminator (or at the end if the
     /// block has no terminator yet).
     pub fn insert_before_terminator(&mut self, instr: Instr) {
-        let at = if self.terminator().is_some() { self.instrs.len() - 1 } else { self.instrs.len() };
+        let at = if self.terminator().is_some() {
+            self.instrs.len() - 1
+        } else {
+            self.instrs.len()
+        };
         self.instrs.insert(at, instr);
     }
 
@@ -261,9 +267,11 @@ mod tests {
         let b1 = f.new_block();
         let b2 = f.new_block();
         let c = f.new_reg();
-        f.block_mut(BlockId(0))
-            .instrs
-            .push(Instr::Branch { cond: c, then_bb: b1, else_bb: b2 });
+        f.block_mut(BlockId(0)).instrs.push(Instr::Branch {
+            cond: c,
+            then_bb: b1,
+            else_bb: b2,
+        });
         f.block_mut(b1).instrs.push(Instr::Jump { target: b2 });
         f.block_mut(b2).instrs.push(Instr::Ret { value: None });
         let preds = f.predecessors();

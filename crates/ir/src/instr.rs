@@ -103,7 +103,10 @@ impl BinOp {
 
     /// True for operators that are commutative over the integers.
     pub fn is_commutative(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+        )
     }
 }
 
@@ -250,7 +253,10 @@ impl Intrinsic {
 
     /// True if the intrinsic produces a value.
     pub fn has_result(self) -> bool {
-        !matches!(self, Intrinsic::PrintInt | Intrinsic::PrintFloat | Intrinsic::Exit)
+        !matches!(
+            self,
+            Intrinsic::PrintInt | Intrinsic::PrintFloat | Intrinsic::Exit
+        )
     }
 }
 
@@ -283,9 +289,19 @@ pub enum Instr {
     /// Unary arithmetic.
     Unary { op: UnaryOp, dst: Reg, src: Reg },
     /// Binary arithmetic.
-    Binary { op: BinOp, dst: Reg, lhs: Reg, rhs: Reg },
+    Binary {
+        op: BinOp,
+        dst: Reg,
+        lhs: Reg,
+        rhs: Reg,
+    },
     /// Comparison producing integer 0/1.
-    Cmp { op: CmpOp, dst: Reg, lhs: Reg, rhs: Reg },
+    Cmp {
+        op: CmpOp,
+        dst: Reg,
+        lhs: Reg,
+        rhs: Reg,
+    },
 
     /// *cLoad*: load a value known to be invariant but unknown at compile
     /// time, from the single location `tag`.
@@ -311,7 +327,13 @@ pub enum Instr {
 
     /// Call. `mods`/`refs` summarize the callee's side effects on memory,
     /// exactly as the paper attaches MOD/REF tag lists to call sites.
-    Call { dst: Option<Reg>, callee: Callee, args: Vec<Reg>, mods: TagSet, refs: TagSet },
+    Call {
+        dst: Option<Reg>,
+        callee: Callee,
+        args: Vec<Reg>,
+        mods: TagSet,
+        refs: TagSet,
+    },
 
     /// SSA φ-node; `args` pair predecessor blocks with incoming registers.
     Phi { dst: Reg, args: Vec<(BlockId, Reg)> },
@@ -319,7 +341,11 @@ pub enum Instr {
     /// Unconditional jump (terminator).
     Jump { target: BlockId },
     /// Conditional branch on `cond != 0` (terminator).
-    Branch { cond: Reg, then_bb: BlockId, else_bb: BlockId },
+    Branch {
+        cond: Reg,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
     /// Function return (terminator).
     Ret { value: Option<Reg> },
 
@@ -330,7 +356,10 @@ pub enum Instr {
 impl Instr {
     /// True if the instruction ends a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Instr::Jump { .. } | Instr::Branch { .. } | Instr::Ret { .. })
+        matches!(
+            self,
+            Instr::Jump { .. } | Instr::Branch { .. } | Instr::Ret { .. }
+        )
     }
 
     /// True for the three load opcodes (`cload`, `sload`, `load`).
@@ -339,7 +368,10 @@ impl Instr {
     /// a known constant without touching memory, matching the paper's
     /// hierarchy where `iLoad` needs no tag.
     pub fn is_load(&self) -> bool {
-        matches!(self, Instr::CLoad { .. } | Instr::SLoad { .. } | Instr::Load { .. })
+        matches!(
+            self,
+            Instr::CLoad { .. } | Instr::SLoad { .. } | Instr::Load { .. }
+        )
     }
 
     /// True for the two store opcodes.
@@ -484,7 +516,9 @@ impl Instr {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Instr::Jump { target } => vec![*target],
-            Instr::Branch { then_bb, else_bb, .. } => {
+            Instr::Branch {
+                then_bb, else_bb, ..
+            } => {
                 if then_bb == else_bb {
                     vec![*then_bb]
                 } else {
@@ -499,7 +533,9 @@ impl Instr {
     pub fn retarget_blocks(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
         match self {
             Instr::Jump { target } => *target = f(*target),
-            Instr::Branch { then_bb, else_bb, .. } => {
+            Instr::Branch {
+                then_bb, else_bb, ..
+            } => {
                 *then_bb = f(*then_bb);
                 *else_bb = f(*else_bb);
             }
@@ -563,28 +599,55 @@ mod tests {
         assert!(!Instr::IConst { dst: r, value: 1 }.is_load());
         assert!(Instr::CLoad { dst: r, tag: t }.is_load());
         assert!(Instr::SLoad { dst: r, tag: t }.is_load());
-        assert!(Instr::Load { dst: r, addr: r, tags: TagSet::All }.is_load());
+        assert!(Instr::Load {
+            dst: r,
+            addr: r,
+            tags: TagSet::All
+        }
+        .is_load());
         assert!(Instr::SStore { src: r, tag: t }.is_store());
-        assert!(Instr::Store { src: r, addr: r, tags: TagSet::All }.is_store());
+        assert!(Instr::Store {
+            src: r,
+            addr: r,
+            tags: TagSet::All
+        }
+        .is_store());
         assert!(!Instr::Copy { dst: r, src: r }.is_memory());
     }
 
     #[test]
     fn def_and_uses() {
-        let i = Instr::Binary { op: BinOp::Add, dst: Reg(2), lhs: Reg(0), rhs: Reg(1) };
+        let i = Instr::Binary {
+            op: BinOp::Add,
+            dst: Reg(2),
+            lhs: Reg(0),
+            rhs: Reg(1),
+        };
         assert_eq!(i.def(), Some(Reg(2)));
         assert_eq!(i.uses(), vec![Reg(0), Reg(1)]);
 
-        let s = Instr::Store { src: Reg(3), addr: Reg(4), tags: TagSet::All };
+        let s = Instr::Store {
+            src: Reg(3),
+            addr: Reg(4),
+            tags: TagSet::All,
+        };
         assert_eq!(s.def(), None);
         assert_eq!(s.uses(), vec![Reg(3), Reg(4)]);
     }
 
     #[test]
     fn successors_dedup_same_target() {
-        let b = Instr::Branch { cond: Reg(0), then_bb: BlockId(1), else_bb: BlockId(1) };
+        let b = Instr::Branch {
+            cond: Reg(0),
+            then_bb: BlockId(1),
+            else_bb: BlockId(1),
+        };
         assert_eq!(b.successors(), vec![BlockId(1)]);
-        let b2 = Instr::Branch { cond: Reg(0), then_bb: BlockId(1), else_bb: BlockId(2) };
+        let b2 = Instr::Branch {
+            cond: Reg(0),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
         assert_eq!(b2.successors().len(), 2);
     }
 
@@ -598,10 +661,16 @@ mod tests {
     #[test]
     fn ref_and_mod_tags() {
         let t = TagId(7);
-        let ld = Instr::SLoad { dst: Reg(0), tag: t };
+        let ld = Instr::SLoad {
+            dst: Reg(0),
+            tag: t,
+        };
         assert_eq!(ld.ref_tags(), Some(TagSet::single(t)));
         assert_eq!(ld.mod_tags(), None);
-        let st = Instr::SStore { src: Reg(0), tag: t };
+        let st = Instr::SStore {
+            src: Reg(0),
+            tag: t,
+        };
         assert_eq!(st.mod_tags(), Some(TagSet::single(t)));
         let call = Instr::Call {
             dst: None,

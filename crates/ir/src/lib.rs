@@ -47,10 +47,8 @@ mod validate;
 
 pub use builder::FunctionBuilder;
 pub use function::{Block, Function, Global, GlobalInit, Module};
-pub use instr::{
-    BinOp, BlockId, Callee, CmpOp, FuncId, Instr, Intrinsic, Reg, UnaryOp,
-};
+pub use instr::{BinOp, BlockId, Callee, CmpOp, FuncId, Instr, Intrinsic, Reg, UnaryOp};
 pub use parse::{parse_module, ParseIlError};
 pub use print::{instr_to_string, module_to_string, tagset_to_string};
-pub use tag::{TagId, TagInfo, TagKind, TagSet, TagTable};
+pub use tag::{DenseTagSet, TagId, TagInfo, TagKind, TagSet, TagTable, INLINE_CAP};
 pub use validate::{validate, ValidateError};

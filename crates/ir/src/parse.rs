@@ -4,9 +4,7 @@
 //! line. See the crate-level documentation for a full example.
 
 use crate::function::{Function, Global, GlobalInit, Module};
-use crate::instr::{
-    BinOp, BlockId, Callee, CmpOp, FuncId, Instr, Intrinsic, Reg, UnaryOp,
-};
+use crate::instr::{BinOp, BlockId, Callee, CmpOp, FuncId, Instr, Intrinsic, Reg, UnaryOp};
 use crate::tag::{TagId, TagKind, TagSet};
 use std::collections::HashMap;
 use std::error::Error;
@@ -42,7 +40,10 @@ struct Parser<'a> {
 }
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T> {
-    Err(ParseIlError { line, message: message.into() })
+    Err(ParseIlError {
+        line,
+        message: message.into(),
+    })
 }
 
 impl<'a> Parser<'a> {
@@ -108,8 +109,10 @@ impl<'a> Parser<'a> {
     fn parse_tag(&mut self, lineno: usize, line: &str) -> Result<()> {
         // tag "name" <kind> size=N [addressed]
         let rest = &line[4..];
-        let (name, rest) = parse_quoted(rest)
-            .ok_or_else(|| ParseIlError { line: lineno, message: "expected quoted tag name".into() })?;
+        let (name, rest) = parse_quoted(rest).ok_or_else(|| ParseIlError {
+            line: lineno,
+            message: "expected quoted tag name".into(),
+        })?;
         let mut toks = rest.split_whitespace().peekable();
         let kind_word = toks.next().ok_or_else(|| ParseIlError {
             line: lineno,
@@ -143,9 +146,10 @@ impl<'a> Parser<'a> {
         let mut addressed = false;
         for t in toks {
             if let Some(s) = t.strip_prefix("size=") {
-                size = s
-                    .parse()
-                    .map_err(|_| ParseIlError { line: lineno, message: format!("bad size {s}") })?;
+                size = s.parse().map_err(|_| ParseIlError {
+                    line: lineno,
+                    message: format!("bad size {s}"),
+                })?;
             } else if t == "addressed" {
                 addressed = true;
             } else {
@@ -165,13 +169,14 @@ impl<'a> Parser<'a> {
     fn parse_global(&mut self, lineno: usize, line: &str) -> Result<()> {
         // global "name" zero | ints v... | floats v...
         let rest = &line[7..];
-        let (name, rest) = parse_quoted(rest)
-            .ok_or_else(|| ParseIlError { line: lineno, message: "expected quoted tag name".into() })?;
-        let tag = self
-            .module
-            .tags
-            .lookup(&name)
-            .ok_or_else(|| ParseIlError { line: lineno, message: format!("unknown tag \"{name}\"") })?;
+        let (name, rest) = parse_quoted(rest).ok_or_else(|| ParseIlError {
+            line: lineno,
+            message: "expected quoted tag name".into(),
+        })?;
+        let tag = self.module.tags.lookup(&name).ok_or_else(|| ParseIlError {
+            line: lineno,
+            message: format!("unknown tag \"{name}\""),
+        })?;
         let mut toks = rest.split_whitespace();
         let init = match toks.next() {
             Some("zero") => GlobalInit::Zero,
@@ -198,19 +203,23 @@ impl<'a> Parser<'a> {
     fn parse_func(&mut self) -> Result<()> {
         let (lineno, header) = self.next().expect("caller checked");
         // func @name(arity) [result] {
-        let rest = header
-            .strip_prefix("func @")
-            .ok_or_else(|| ParseIlError { line: lineno, message: "expected func @name".into() })?;
-        let open = rest
-            .find('(')
-            .ok_or_else(|| ParseIlError { line: lineno, message: "expected (arity)".into() })?;
+        let rest = header.strip_prefix("func @").ok_or_else(|| ParseIlError {
+            line: lineno,
+            message: "expected func @name".into(),
+        })?;
+        let open = rest.find('(').ok_or_else(|| ParseIlError {
+            line: lineno,
+            message: "expected (arity)".into(),
+        })?;
         let name = rest[..open].to_string();
-        let close = rest
-            .find(')')
-            .ok_or_else(|| ParseIlError { line: lineno, message: "expected )".into() })?;
-        let arity: usize = rest[open + 1..close]
-            .parse()
-            .map_err(|_| ParseIlError { line: lineno, message: "bad arity".into() })?;
+        let close = rest.find(')').ok_or_else(|| ParseIlError {
+            line: lineno,
+            message: "expected )".into(),
+        })?;
+        let arity: usize = rest[open + 1..close].parse().map_err(|_| ParseIlError {
+            line: lineno,
+            message: "bad arity".into(),
+        })?;
         let tail = rest[close + 1..].trim();
         let has_result = match tail {
             "{" => false,
@@ -233,17 +242,22 @@ impl<'a> Parser<'a> {
                 break;
             }
             if let Some(label) = line.strip_suffix(':') {
-                let id = parse_block_label(label)
-                    .ok_or_else(|| ParseIlError { line: lineno, message: format!("bad label {label}") })?;
+                let id = parse_block_label(label).ok_or_else(|| ParseIlError {
+                    line: lineno,
+                    message: format!("bad label {label}"),
+                })?;
                 while func.blocks.len() <= id.index() {
                     func.blocks.push(crate::function::Block::new());
                 }
                 current = Some(id.index());
                 continue;
             }
-            let cur = current
-                .ok_or_else(|| ParseIlError { line: lineno, message: "instruction before any label".into() })?;
-            let instr = self.parse_instr(lineno, line, this_func, cur, func.blocks[cur].instrs.len())?;
+            let cur = current.ok_or_else(|| ParseIlError {
+                line: lineno,
+                message: "instruction before any label".into(),
+            })?;
+            let instr =
+                self.parse_instr(lineno, line, this_func, cur, func.blocks[cur].instrs.len())?;
             if let Some(d) = instr.def() {
                 max_reg = max_reg.max(d.0 + 1);
             }
@@ -263,17 +277,20 @@ impl<'a> Parser<'a> {
     }
 
     fn lookup_tag(&self, lineno: usize, name: &str) -> Result<TagId> {
-        self.module
-            .tags
-            .lookup(name)
-            .ok_or_else(|| ParseIlError { line: lineno, message: format!("unknown tag \"{name}\"") })
+        self.module.tags.lookup(name).ok_or_else(|| ParseIlError {
+            line: lineno,
+            message: format!("unknown tag \"{name}\""),
+        })
     }
 
     fn parse_tagset(&self, lineno: usize, text: &str) -> Result<TagSet> {
         let inner = text
             .strip_prefix('{')
             .and_then(|t| t.strip_suffix('}'))
-            .ok_or_else(|| ParseIlError { line: lineno, message: format!("expected tag set, got {text}") })?;
+            .ok_or_else(|| ParseIlError {
+                line: lineno,
+                message: format!("expected tag set, got {text}"),
+            })?;
         let inner = inner.trim();
         if inner == "*" {
             return Ok(TagSet::All);
@@ -281,8 +298,10 @@ impl<'a> Parser<'a> {
         let mut set = TagSet::empty();
         let mut rest = inner;
         while !rest.is_empty() {
-            let (name, r) = parse_quoted(rest)
-                .ok_or_else(|| ParseIlError { line: lineno, message: format!("bad tag set {text}") })?;
+            let (name, r) = parse_quoted(rest).ok_or_else(|| ParseIlError {
+                line: lineno,
+                message: format!("bad tag set {text}"),
+            })?;
             set.insert(self.lookup_tag(lineno, &name)?);
             rest = r.trim_start().trim_start_matches(',').trim_start();
         }
@@ -300,8 +319,10 @@ impl<'a> Parser<'a> {
         // Split an optional "rN = " prefix.
         let (dst, body) = match line.split_once('=') {
             Some((lhs, rhs)) if lhs.trim().starts_with('r') && !lhs.trim().contains(' ') => {
-                let d = parse_reg(lhs.trim())
-                    .ok_or_else(|| ParseIlError { line: lineno, message: format!("bad register {lhs}") })?;
+                let d = parse_reg(lhs.trim()).ok_or_else(|| ParseIlError {
+                    line: lineno,
+                    message: format!("bad register {lhs}"),
+                })?;
                 (Some(d), rhs.trim())
             }
             _ => (None, line),
@@ -311,7 +332,10 @@ impl<'a> Parser<'a> {
             None => (body, ""),
         };
         let need_dst = || -> Result<Reg> {
-            dst.ok_or_else(|| ParseIlError { line: lineno, message: format!("{op} needs a destination") })
+            dst.ok_or_else(|| ParseIlError {
+                line: lineno,
+                message: format!("{op} needs a destination"),
+            })
         };
         let reg = |t: &str| -> Result<Reg> {
             parse_reg(t.trim()).ok_or_else(|| ParseIlError {
@@ -329,14 +353,28 @@ impl<'a> Parser<'a> {
 
         if let Some(bin) = parse_binop(op) {
             let (lhs, rhs) = two_regs(rest)?;
-            return Ok(Instr::Binary { op: bin, dst: need_dst()?, lhs, rhs });
+            return Ok(Instr::Binary {
+                op: bin,
+                dst: need_dst()?,
+                lhs,
+                rhs,
+            });
         }
         if let Some(cmp) = parse_cmpop(op) {
             let (lhs, rhs) = two_regs(rest)?;
-            return Ok(Instr::Cmp { op: cmp, dst: need_dst()?, lhs, rhs });
+            return Ok(Instr::Cmp {
+                op: cmp,
+                dst: need_dst()?,
+                lhs,
+                rhs,
+            });
         }
         if let Some(un) = parse_unop(op) {
-            return Ok(Instr::Unary { op: un, dst: need_dst()?, src: reg(rest)? });
+            return Ok(Instr::Unary {
+                op: un,
+                dst: need_dst()?,
+                src: reg(rest)?,
+            });
         }
 
         match op {
@@ -355,9 +393,10 @@ impl<'a> Parser<'a> {
                 })?,
             }),
             "funcaddr" => {
-                let name = rest
-                    .strip_prefix('@')
-                    .ok_or_else(|| ParseIlError { line: lineno, message: "funcaddr needs @name".into() })?;
+                let name = rest.strip_prefix('@').ok_or_else(|| ParseIlError {
+                    line: lineno,
+                    message: "funcaddr needs @name".into(),
+                })?;
                 // Use a placeholder id; patched after all functions parse.
                 let d = need_dst()?;
                 if let Some(&id) = self.func_ids.get(name) {
@@ -365,13 +404,21 @@ impl<'a> Parser<'a> {
                 } else {
                     // Temporary: FuncId(u32::MAX) patched in pass 2 is complex
                     // for funcaddr; require definition-before-use instead.
-                    err(lineno, format!("funcaddr to not-yet-defined function @{name} (define it earlier)"))
+                    err(
+                        lineno,
+                        format!("funcaddr to not-yet-defined function @{name} (define it earlier)"),
+                    )
                 }
             }
-            "copy" => Ok(Instr::Copy { dst: need_dst()?, src: reg(rest)? }),
+            "copy" => Ok(Instr::Copy {
+                dst: need_dst()?,
+                src: reg(rest)?,
+            }),
             "cload" | "sload" => {
-                let (name, _) = parse_quoted(rest)
-                    .ok_or_else(|| ParseIlError { line: lineno, message: "expected tag".into() })?;
+                let (name, _) = parse_quoted(rest).ok_or_else(|| ParseIlError {
+                    line: lineno,
+                    message: "expected tag".into(),
+                })?;
                 let tag = self.lookup_tag(lineno, &name)?;
                 let d = need_dst()?;
                 Ok(if op == "cload" {
@@ -385,9 +432,14 @@ impl<'a> Parser<'a> {
                     line: lineno,
                     message: "sstore needs reg, tag".into(),
                 })?;
-                let (name, _) = parse_quoted(restq.trim())
-                    .ok_or_else(|| ParseIlError { line: lineno, message: "expected tag".into() })?;
-                Ok(Instr::SStore { src: reg(r)?, tag: self.lookup_tag(lineno, &name)? })
+                let (name, _) = parse_quoted(restq.trim()).ok_or_else(|| ParseIlError {
+                    line: lineno,
+                    message: "expected tag".into(),
+                })?;
+                Ok(Instr::SStore {
+                    src: reg(r)?,
+                    tag: self.lookup_tag(lineno, &name)?,
+                })
             }
             "load" => {
                 // load [rA] {...}
@@ -418,21 +470,32 @@ impl<'a> Parser<'a> {
                 })
             }
             "lea" => {
-                let (name, _) = parse_quoted(rest)
-                    .ok_or_else(|| ParseIlError { line: lineno, message: "expected tag".into() })?;
-                Ok(Instr::Lea { dst: need_dst()?, tag: self.lookup_tag(lineno, &name)? })
+                let (name, _) = parse_quoted(rest).ok_or_else(|| ParseIlError {
+                    line: lineno,
+                    message: "expected tag".into(),
+                })?;
+                Ok(Instr::Lea {
+                    dst: need_dst()?,
+                    tag: self.lookup_tag(lineno, &name)?,
+                })
             }
             "ptradd" => {
                 let (base, off) = two_regs(rest)?;
-                Ok(Instr::PtrAdd { dst: need_dst()?, base, offset: off })
+                Ok(Instr::PtrAdd {
+                    dst: need_dst()?,
+                    base,
+                    offset: off,
+                })
             }
             "alloc" => {
                 let (size, restq) = rest.split_once(',').ok_or_else(|| ParseIlError {
                     line: lineno,
                     message: "alloc needs size, site".into(),
                 })?;
-                let (name, _) = parse_quoted(restq.trim())
-                    .ok_or_else(|| ParseIlError { line: lineno, message: "expected site tag".into() })?;
+                let (name, _) = parse_quoted(restq.trim()).ok_or_else(|| ParseIlError {
+                    line: lineno,
+                    message: "expected site tag".into(),
+                })?;
                 Ok(Instr::Alloc {
                     dst: need_dst()?,
                     size: reg(size)?,
@@ -444,7 +507,10 @@ impl<'a> Parser<'a> {
                 let inner = rest
                     .strip_prefix('[')
                     .and_then(|t| t.strip_suffix(']'))
-                    .ok_or_else(|| ParseIlError { line: lineno, message: "phi needs [B: r, ...]".into() })?;
+                    .ok_or_else(|| ParseIlError {
+                        line: lineno,
+                        message: "phi needs [B: r, ...]".into(),
+                    })?;
                 let mut args = Vec::new();
                 for part in inner.split(',') {
                     let part = part.trim();
@@ -461,7 +527,10 @@ impl<'a> Parser<'a> {
                     })?;
                     args.push((bid, reg(r)?));
                 }
-                Ok(Instr::Phi { dst: need_dst()?, args })
+                Ok(Instr::Phi {
+                    dst: need_dst()?,
+                    args,
+                })
             }
             "jump" => {
                 let t = parse_block_label(rest).ok_or_else(|| ParseIlError {
@@ -476,18 +545,30 @@ impl<'a> Parser<'a> {
                 let t = parts
                     .next()
                     .and_then(parse_block_label)
-                    .ok_or_else(|| ParseIlError { line: lineno, message: "bad then block".into() })?;
+                    .ok_or_else(|| ParseIlError {
+                        line: lineno,
+                        message: "bad then block".into(),
+                    })?;
                 let e = parts
                     .next()
                     .and_then(parse_block_label)
-                    .ok_or_else(|| ParseIlError { line: lineno, message: "bad else block".into() })?;
-                Ok(Instr::Branch { cond, then_bb: t, else_bb: e })
+                    .ok_or_else(|| ParseIlError {
+                        line: lineno,
+                        message: "bad else block".into(),
+                    })?;
+                Ok(Instr::Branch {
+                    cond,
+                    then_bb: t,
+                    else_bb: e,
+                })
             }
             "ret" => {
                 if rest.is_empty() {
                     Ok(Instr::Ret { value: None })
                 } else {
-                    Ok(Instr::Ret { value: Some(reg(rest)?) })
+                    Ok(Instr::Ret {
+                        value: Some(reg(rest)?),
+                    })
                 }
             }
             "nop" => Ok(Instr::Nop),
@@ -505,13 +586,15 @@ impl<'a> Parser<'a> {
         instr_idx: usize,
     ) -> Result<Instr> {
         // callee(args) mods{...} refs{...}
-        let open = rest
-            .find('(')
-            .ok_or_else(|| ParseIlError { line: lineno, message: "call needs (args)".into() })?;
+        let open = rest.find('(').ok_or_else(|| ParseIlError {
+            line: lineno,
+            message: "call needs (args)".into(),
+        })?;
         let callee_text = rest[..open].trim();
-        let close = rest
-            .find(')')
-            .ok_or_else(|| ParseIlError { line: lineno, message: "call needs )".into() })?;
+        let close = rest.find(')').ok_or_else(|| ParseIlError {
+            line: lineno,
+            message: "call needs )".into(),
+        })?;
         let args_text = &rest[open + 1..close];
         let mut args = Vec::new();
         for a in args_text.split(',') {
@@ -528,12 +611,14 @@ impl<'a> Parser<'a> {
         let (mods, refs) = if tail.is_empty() {
             (TagSet::All, TagSet::All)
         } else {
-            let mods_text = tail
-                .strip_prefix("mods")
-                .ok_or_else(|| ParseIlError { line: lineno, message: "expected mods{...}".into() })?;
-            let refs_at = mods_text
-                .find("refs")
-                .ok_or_else(|| ParseIlError { line: lineno, message: "expected refs{...}".into() })?;
+            let mods_text = tail.strip_prefix("mods").ok_or_else(|| ParseIlError {
+                line: lineno,
+                message: "expected mods{...}".into(),
+            })?;
+            let refs_at = mods_text.find("refs").ok_or_else(|| ParseIlError {
+                line: lineno,
+                message: "expected refs{...}".into(),
+            })?;
             (
                 self.parse_tagset(lineno, mods_text[..refs_at].trim())?,
                 self.parse_tagset(lineno, mods_text[refs_at + 4..].trim())?,
@@ -544,7 +629,8 @@ impl<'a> Parser<'a> {
                 Callee::Direct(id)
             } else {
                 // Forward reference: record for patching; use a placeholder.
-                self.pending_funcs.push((this_func, block, instr_idx, name.to_string()));
+                self.pending_funcs
+                    .push((this_func, block, instr_idx, name.to_string()));
                 Callee::Direct(FuncId(u32::MAX))
             }
         } else if let Some(name) = callee_text.strip_prefix('$') {
@@ -560,7 +646,13 @@ impl<'a> Parser<'a> {
         } else {
             return err(lineno, format!("bad callee {callee_text}"));
         };
-        Ok(Instr::Call { dst, callee, args, mods, refs })
+        Ok(Instr::Call {
+            dst,
+            callee,
+            args,
+            mods,
+            refs,
+        })
     }
 }
 

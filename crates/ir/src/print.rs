@@ -21,7 +21,7 @@ pub fn tagset_to_string(set: &TagSet, tags: &TagTable) -> String {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                let _ = write!(out, "\"{}\"", tags.info(*t).name);
+                let _ = write!(out, "\"{}\"", tags.info(t).name);
             }
             out.push('}');
             out
@@ -50,16 +50,30 @@ pub fn instr_to_string(instr: &Instr, module: &Module) -> String {
         Instr::CLoad { dst, tag } => format!("{dst} = cload {}", tn(tag)),
         Instr::SLoad { dst, tag } => format!("{dst} = sload {}", tn(tag)),
         Instr::SStore { src, tag } => format!("sstore {src}, {}", tn(tag)),
-        Instr::Load { dst, addr, tags: ts } => {
+        Instr::Load {
+            dst,
+            addr,
+            tags: ts,
+        } => {
             format!("{dst} = load [{addr}] {}", tagset_to_string(ts, tags))
         }
-        Instr::Store { src, addr, tags: ts } => {
+        Instr::Store {
+            src,
+            addr,
+            tags: ts,
+        } => {
             format!("store {src}, [{addr}] {}", tagset_to_string(ts, tags))
         }
         Instr::Lea { dst, tag } => format!("{dst} = lea {}", tn(tag)),
         Instr::PtrAdd { dst, base, offset } => format!("{dst} = ptradd {base}, {offset}"),
         Instr::Alloc { dst, size, site } => format!("{dst} = alloc {size}, {}", tn(site)),
-        Instr::Call { dst, callee, args, mods, refs } => {
+        Instr::Call {
+            dst,
+            callee,
+            args,
+            mods,
+            refs,
+        } => {
             let mut s = String::new();
             if let Some(d) = dst {
                 let _ = write!(s, "{d} = ");
@@ -104,7 +118,11 @@ pub fn instr_to_string(instr: &Instr, module: &Module) -> String {
             s
         }
         Instr::Jump { target } => format!("jump {target}"),
-        Instr::Branch { cond, then_bb, else_bb } => {
+        Instr::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             format!("branch {cond}, {then_bb}, {else_bb}")
         }
         Instr::Ret { value: Some(r) } => format!("ret {r}"),
@@ -135,7 +153,11 @@ fn write_tag_decl(out: &mut String, table: &TagTable) {
             TagKind::Spill { owner } => format!("spill owner={owner}"),
         };
         let addressed = if info.address_taken { " addressed" } else { "" };
-        let _ = writeln!(out, "tag \"{}\" {} size={}{}", info.name, kind, info.size, addressed);
+        let _ = writeln!(
+            out,
+            "tag \"{}\" {} size={}{}",
+            info.name, kind, info.size, addressed
+        );
     }
 }
 

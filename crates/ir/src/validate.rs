@@ -47,7 +47,10 @@ impl Error for ValidateError {}
 pub fn validate(module: &Module) -> Result<(), ValidateError> {
     for (fi, func) in module.funcs.iter().enumerate() {
         let fail = |message: String| -> Result<(), ValidateError> {
-            Err(ValidateError { func: Some(func.name.clone()), message })
+            Err(ValidateError {
+                func: Some(func.name.clone()),
+                message,
+            })
         };
         if func.blocks.is_empty() {
             return fail("function has no blocks".into());
@@ -64,9 +67,7 @@ pub fn validate(module: &Module) -> Result<(), ValidateError> {
             let mut seen_non_phi = false;
             for (i, instr) in block.instrs.iter().enumerate() {
                 if instr.is_terminator() != (i == last) {
-                    return fail(format!(
-                        "{bid}[{i}]: terminator placement wrong: {instr:?}"
-                    ));
+                    return fail(format!("{bid}[{i}]: terminator placement wrong: {instr:?}"));
                 }
                 match instr {
                     Instr::Phi { args, .. } => {
@@ -106,7 +107,10 @@ pub fn validate(module: &Module) -> Result<(), ValidateError> {
                         return fail(format!("{bid}[{i}]: target {target} out of range"));
                     }
                 }
-                if let Instr::Call { dst, callee, args, .. } = instr {
+                if let Instr::Call {
+                    dst, callee, args, ..
+                } = instr
+                {
                     match callee {
                         Callee::Direct(FuncId(f)) => {
                             let Some(callee_fn) = module.funcs.get(*f as usize) else {
@@ -137,7 +141,10 @@ pub fn validate(module: &Module) -> Result<(), ValidateError> {
                                 ));
                             }
                             if dst.is_some() && !intr.has_result() {
-                                return fail(format!("{bid}[{i}]: result from void ${}", intr.name()));
+                                return fail(format!(
+                                    "{bid}[{i}]: result from void ${}",
+                                    intr.name()
+                                ));
                             }
                         }
                         Callee::Indirect(_) => {}
@@ -223,7 +230,13 @@ mod tests {
     #[test]
     fn rejects_out_of_range_register() {
         let mut m = ok_module();
-        m.funcs[0].blocks[0].instrs.insert(0, Instr::Copy { dst: Reg(0), src: Reg(99) });
+        m.funcs[0].blocks[0].instrs.insert(
+            0,
+            Instr::Copy {
+                dst: Reg(0),
+                src: Reg(99),
+            },
+        );
         assert!(validate(&m).is_err());
     }
 
@@ -231,8 +244,11 @@ mod tests {
     fn rejects_bad_branch_target() {
         let mut m = ok_module();
         let r = Reg(0);
-        *m.funcs[0].blocks[0].instrs.last_mut().unwrap() =
-            Instr::Branch { cond: r, then_bb: BlockId(7), else_bb: BlockId(0) };
+        *m.funcs[0].blocks[0].instrs.last_mut().unwrap() = Instr::Branch {
+            cond: r,
+            then_bb: BlockId(7),
+            else_bb: BlockId(0),
+        };
         let e = validate(&m).unwrap_err();
         assert!(e.message.contains("out of range"));
     }
@@ -241,7 +257,9 @@ mod tests {
     fn rejects_arity_mismatch() {
         let mut m = ok_module();
         let callee = m.add_func(Function::new("two", 2));
-        m.funcs[callee.index()].blocks[0].instrs.push(Instr::Ret { value: None });
+        m.funcs[callee.index()].blocks[0]
+            .instrs
+            .push(Instr::Ret { value: None });
         m.funcs[0].blocks[0].instrs.insert(
             0,
             Instr::Call {
@@ -261,7 +279,10 @@ mod tests {
         let mut m = ok_module();
         m.funcs[0].blocks[0].instrs.insert(
             1,
-            Instr::Phi { dst: Reg(0), args: vec![] },
+            Instr::Phi {
+                dst: Reg(0),
+                args: vec![],
+            },
         );
         let e = validate(&m).unwrap_err();
         assert!(e.message.contains("phi after non-phi"));

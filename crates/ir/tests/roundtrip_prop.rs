@@ -1,20 +1,44 @@
 //! Property test: the textual IL round-trips through print → parse for
 //! arbitrary generated modules.
+//!
+//! Randomness comes from an in-tree xorshift64* generator so the test is
+//! fully deterministic and needs no external crates (the build must work
+//! offline).
 
-use ir::{
-    BinOp, CmpOp, FunctionBuilder, GlobalInit, Instr, Module, TagKind, TagSet, UnaryOp,
-};
-use proptest::prelude::*;
+use ir::{BinOp, CmpOp, FunctionBuilder, GlobalInit, Module, TagKind, TagSet, UnaryOp};
 
-fn build_module(
-    n_tags: usize,
-    instrs: &[(usize, usize, usize, i64)],
-    blocks: usize,
-) -> Module {
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % ((hi - lo) as u64)) as i64
+    }
+}
+
+fn build_module(n_tags: usize, instrs: &[(usize, usize, usize, i64)], blocks: usize) -> Module {
     let mut m = Module::new();
     let mut tags = Vec::new();
     for i in 0..n_tags {
-        let t = m.add_global(&format!("v{i}"), 1 + i % 3, GlobalInit::Ints(vec![i as i64]));
+        let t = m.add_global(
+            &format!("v{i}"),
+            1 + i % 3,
+            GlobalInit::Ints(vec![i as i64]),
+        );
         tags.push(t);
     }
     if tags.is_empty() {
@@ -69,26 +93,36 @@ fn build_module(
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn print_parse_roundtrip(
-        n_tags in 0usize..5,
-        instrs in proptest::collection::vec(
-            (0usize..10, 0usize..8, 0usize..5, -100i64..100),
-            0..25,
-        ),
-        blocks in 1usize..5,
-    ) {
+#[test]
+fn print_parse_roundtrip() {
+    let mut rng = Rng::new(0xC00_93A5);
+    for case in 0..256 {
+        let n_tags = rng.below(5);
+        let n_instrs = rng.below(25);
+        let instrs: Vec<(usize, usize, usize, i64)> = (0..n_instrs)
+            .map(|_| {
+                (
+                    rng.below(10),
+                    rng.below(8),
+                    rng.below(5),
+                    rng.range_i64(-100, 100),
+                )
+            })
+            .collect();
+        let blocks = 1 + rng.below(4);
         let m = build_module(n_tags, &instrs, blocks);
-        prop_assume!(ir::validate(&m).is_ok());
+        if ir::validate(&m).is_err() {
+            continue;
+        }
         let text = m.to_string();
         let reparsed = ir::parse_module(&text)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
-        prop_assert_eq!(&m, &reparsed, "round-trip changed the module:\n{}", text);
+            .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e}\n{text}"));
+        assert_eq!(
+            m, reparsed,
+            "case {case}: round-trip changed the module:\n{text}"
+        );
         // And printing again is a fixpoint.
-        prop_assert_eq!(text, reparsed.to_string());
+        assert_eq!(text, reparsed.to_string(), "case {case}");
     }
 }
 

@@ -1,0 +1,268 @@
+//! Differential tests for the hybrid tag-set kernels.
+//!
+//! [`ir::DenseTagSet`] (sorted inline array up to [`ir::INLINE_CAP`],
+//! spilling to a dense word bitset) is checked operation-by-operation
+//! against the obvious `BTreeSet<u32>` reference model: exhaustively on
+//! small universes (every pair of subsets straddles nothing), and with a
+//! deterministic xorshift64* generator on large, sparse id spaces that
+//! force both representations and the transitions between them.
+
+use ir::{DenseTagSet, TagId, TagSet, INLINE_CAP};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+type Model = BTreeSet<u32>;
+
+fn dense(model: &Model) -> DenseTagSet {
+    model.iter().map(|&i| TagId(i)).collect()
+}
+
+fn assert_matches(set: &DenseTagSet, model: &Model, ctx: &str) {
+    assert_eq!(set.len(), model.len(), "{ctx}: len");
+    assert_eq!(set.is_empty(), model.is_empty(), "{ctx}: is_empty");
+    let got: Vec<u32> = set.iter().map(|t| t.0).collect();
+    let want: Vec<u32> = model.iter().copied().collect();
+    assert_eq!(got, want, "{ctx}: iteration order must be sorted id order");
+    for &i in model {
+        assert_eq!(
+            set.contains(TagId(i)),
+            model.contains(&i),
+            "{ctx}: contains({i})"
+        );
+    }
+    match model.len() {
+        1 => assert_eq!(
+            set.as_singleton(),
+            Some(TagId(*model.iter().next().unwrap())),
+            "{ctx}"
+        ),
+        _ => assert_eq!(
+            set.as_singleton(),
+            None,
+            "{ctx}: as_singleton on len {}",
+            model.len()
+        ),
+    }
+    assert_eq!(
+        set.is_spilled(),
+        model.len() > INLINE_CAP,
+        "{ctx}: representation invariant"
+    );
+}
+
+fn hash_of(set: &DenseTagSet) -> u64 {
+    let mut h = DefaultHasher::new();
+    set.hash(&mut h);
+    h.finish()
+}
+
+/// Every pair of subsets of a small universe: all binary kernels agree
+/// with the model, and Eq/Hash respect set semantics.
+#[test]
+fn exhaustive_small_universe() {
+    let ids: Vec<u32> = vec![0, 1, 2, 3, 4];
+    let n = ids.len();
+    for mask_a in 0u32..(1 << n) {
+        let model_a: Model = (0..n)
+            .filter(|&i| mask_a & (1 << i) != 0)
+            .map(|i| ids[i])
+            .collect();
+        let a = dense(&model_a);
+        assert_matches(&a, &model_a, &format!("a={mask_a:05b}"));
+        for mask_b in 0u32..(1 << n) {
+            let model_b: Model = (0..n)
+                .filter(|&i| mask_b & (1 << i) != 0)
+                .map(|i| ids[i])
+                .collect();
+            let b = dense(&model_b);
+            let ctx = format!("a={mask_a:05b} b={mask_b:05b}");
+
+            let mut union = a.clone();
+            let grew = union.union_with(&b);
+            let model_union: Model = model_a.union(&model_b).copied().collect();
+            assert_matches(&union, &model_union, &format!("{ctx} union"));
+            assert_eq!(
+                grew,
+                model_union.len() > model_a.len(),
+                "{ctx}: union growth flag"
+            );
+
+            let model_inter: Model = model_a.intersection(&model_b).copied().collect();
+            assert_matches(&a.intersect(&b), &model_inter, &format!("{ctx} intersect"));
+
+            let model_diff: Model = model_a.difference(&model_b).copied().collect();
+            assert_matches(&a.difference(&b), &model_diff, &format!("{ctx} difference"));
+
+            assert_eq!(
+                a.is_subset(&b),
+                model_a.is_subset(&model_b),
+                "{ctx}: is_subset"
+            );
+            assert_eq!(a == b, model_a == model_b, "{ctx}: eq");
+            if model_a == model_b {
+                assert_eq!(
+                    hash_of(&a),
+                    hash_of(&b),
+                    "{ctx}: equal sets must hash equal"
+                );
+            }
+        }
+    }
+}
+
+/// Inserting one id at a time across the inline/bitset boundary keeps the
+/// set canonical in both directions (difference can shrink it back).
+#[test]
+fn boundary_crossings_stay_canonical() {
+    // Sparse ids so the bitset needs several words.
+    let ids: Vec<u32> = (0..INLINE_CAP as u32 + 4).map(|i| i * 97 + 5).collect();
+    let mut set = DenseTagSet::new();
+    let mut model = Model::new();
+    for &i in &ids {
+        assert!(set.insert(TagId(i)), "fresh insert returns true");
+        assert!(!set.insert(TagId(i)), "duplicate insert returns false");
+        model.insert(i);
+        assert_matches(&set, &model, &format!("growing through {i}"));
+    }
+    // Drop back below the cap one id at a time via difference.
+    for &i in ids.iter().rev() {
+        let single = DenseTagSet::singleton(TagId(i));
+        set = set.difference(&single);
+        model.remove(&i);
+        assert_matches(&set, &model, &format!("shrinking past {i}"));
+        // An equal set built fresh (never spilled) must compare and hash
+        // equal to the shrunk one — i.e. shrinking re-canonicalizes.
+        let fresh = dense(&model);
+        assert_eq!(set, fresh, "shrunk set equals freshly built set");
+        assert_eq!(hash_of(&set), hash_of(&fresh));
+    }
+}
+
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn random_model(rng: &mut Rng, max_id: usize, max_len: usize) -> Model {
+    let len = rng.below(max_len + 1);
+    (0..len).map(|_| rng.below(max_id) as u32).collect()
+}
+
+/// Randomized differential run over large, sparse id spaces: mixed sizes
+/// force Inline×Inline, Inline×Bits, Bits×Inline, and Bits×Bits paths of
+/// every kernel.
+#[test]
+fn randomized_large_sets_match_model() {
+    let mut rng = Rng::new(0x7A65_7453);
+    for case in 0..2000 {
+        // Alternate small and large bounds so representation pairs mix.
+        let (max_id, max_len) = match case % 4 {
+            0 => (12, 6),
+            1 => (2000, 40),
+            2 => (300, INLINE_CAP + 1),
+            _ => (100_000, 24),
+        };
+        let model_a = random_model(&mut rng, max_id, max_len);
+        let model_b = random_model(&mut rng, max_id, max_len);
+        let a = dense(&model_a);
+        let b = dense(&model_b);
+        let ctx = format!("case {case}");
+        assert_matches(&a, &model_a, &ctx);
+
+        let mut union = a.clone();
+        union.union_with(&b);
+        assert_matches(&union, &model_a.union(&model_b).copied().collect(), &ctx);
+
+        let inter = a.intersect(&b);
+        assert_matches(
+            &inter,
+            &model_a.intersection(&model_b).copied().collect(),
+            &ctx,
+        );
+
+        let diff = a.difference(&b);
+        assert_matches(
+            &diff,
+            &model_a.difference(&model_b).copied().collect(),
+            &ctx,
+        );
+
+        assert_eq!(
+            a.is_subset(&b),
+            model_a.is_subset(&model_b),
+            "{ctx}: is_subset"
+        );
+        assert!(
+            inter.is_subset(&a) && inter.is_subset(&b),
+            "{ctx}: intersect ⊆ both"
+        );
+        assert!(diff.is_subset(&a), "{ctx}: difference ⊆ lhs");
+        assert!(
+            a.is_subset(&union) && b.is_subset(&union),
+            "{ctx}: both ⊆ union"
+        );
+
+        // union = intersect ∪ (a − b) ∪ (b − a), cross-checked through Eq.
+        let mut rebuilt = inter.clone();
+        rebuilt.union_with(&diff);
+        rebuilt.union_with(&b.difference(&a));
+        assert_eq!(rebuilt, union, "{ctx}: inclusion-exclusion identity");
+    }
+}
+
+/// `TagSet::All` is the ⊤ element: unions saturate to it and only
+/// `intersect_universe` brings it back down.
+#[test]
+fn tagset_all_edge_cases() {
+    let universe: DenseTagSet = (0..20u32).map(TagId).collect();
+    let some: TagSet = [TagId(3), TagId(15)].into_iter().collect();
+
+    // Set ∪ All saturates; the flag reports a change exactly once.
+    let mut s = some.clone();
+    assert!(s.union_with(&TagSet::All), "widening to ⊤ is a change");
+    assert!(s.is_all());
+    assert!(!s.union_with(&TagSet::All), "⊤ ∪ ⊤ is no change");
+    assert!(!s.union_with(&some), "⊤ absorbs everything");
+
+    // All ∩ universe = universe (as a concrete set).
+    let lowered = TagSet::All.intersect_universe(&universe);
+    assert!(!lowered.is_all());
+    assert_eq!(lowered.as_set(), Some(&universe));
+    assert_eq!(lowered.len(), Some(20));
+
+    // Set ∩ universe filters against the universe.
+    let mut with_stray = some.clone();
+    with_stray.insert(TagId(99));
+    let filtered = with_stray.intersect_universe(&universe);
+    assert_eq!(
+        filtered.as_set(),
+        Some(&[TagId(3), TagId(15)].into_iter().collect())
+    );
+
+    // All: contains everything, no singleton, unknown length.
+    assert!(TagSet::All.contains(TagId(1_000_000)));
+    assert_eq!(TagSet::All.as_singleton(), None);
+    assert_eq!(TagSet::All.len(), None);
+    assert_eq!(TagSet::All.as_set(), None);
+
+    // An empty universe collapses ⊤ to the empty set.
+    let none = TagSet::All.intersect_universe(&DenseTagSet::new());
+    assert_eq!(none.len(), Some(0));
+    assert!(none.is_empty());
+}

@@ -169,17 +169,31 @@ pub enum ExprKind {
 #[allow(missing_docs)] // field names mirror the surface syntax
 pub enum Stmt {
     /// Local declaration with optional initializer.
-    Decl { name: String, ty: Type, init: Option<Expr>, pos: Pos },
+    Decl {
+        name: String,
+        ty: Type,
+        init: Option<Expr>,
+        pos: Pos,
+    },
     /// Expression statement.
     Expr(Expr),
     /// `if` with optional `else`.
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
     /// `while` loop.
     While { cond: Expr, body: Vec<Stmt> },
     /// `do { } while (cond);` loop.
     DoWhile { body: Vec<Stmt>, cond: Expr },
     /// `for` loop; all three headers optional.
-    For { init: Option<Box<Stmt>>, cond: Option<Expr>, step: Option<Expr>, body: Vec<Stmt> },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+    },
     /// `return` with optional value.
     Return { value: Option<Expr>, pos: Pos },
     /// `break`.
@@ -255,6 +269,9 @@ mod tests {
     #[test]
     fn type_display() {
         assert_eq!(Type::Ptr(Box::new(Type::Int)).to_string(), "int*");
-        assert_eq!(Type::Array(Box::new(Type::Double), 3).to_string(), "double[3]");
+        assert_eq!(
+            Type::Array(Box::new(Type::Double), 3).to_string(),
+            "double[3]"
+        );
     }
 }

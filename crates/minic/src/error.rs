@@ -39,7 +39,11 @@ pub struct FrontError {
 impl FrontError {
     /// Creates an error.
     pub fn new(phase: Phase, pos: Pos, message: impl Into<String>) -> Self {
-        FrontError { phase, pos, message: message.into() }
+        FrontError {
+            phase,
+            pos,
+            message: message.into(),
+        }
     }
 }
 

@@ -76,7 +76,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FrontError> {
                 bump!();
             }
             let mut is_float = false;
-            if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && i + 1 < bytes.len()
+                && bytes[i + 1].is_ascii_digit()
             {
                 is_float = true;
                 bump!();
@@ -101,7 +104,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FrontError> {
                 })?)
             } else {
                 Tok::Int(text.parse().map_err(|_| {
-                    FrontError::new(Phase::Lex, p, format!("integer literal {text} out of range"))
+                    FrontError::new(
+                        Phase::Lex,
+                        p,
+                        format!("integer literal {text} out of range"),
+                    )
                 })?)
             };
             out.push(Token { tok, pos: p });
@@ -119,7 +126,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FrontError> {
             continue;
         }
         // Operators; longest match first.
-        let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+        let two = if i + 1 < bytes.len() {
+            &src[i..i + 2]
+        } else {
+            ""
+        };
         let tok2 = match two {
             "+=" => Some(Tok::PlusAssign),
             "-=" => Some(Tok::MinusAssign),
@@ -176,7 +187,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FrontError> {
         bump!();
         out.push(Token { tok: tok1, pos: p });
     }
-    out.push(Token { tok: Tok::Eof, pos: pos!() });
+    out.push(Token {
+        tok: Tok::Eof,
+        pos: pos!(),
+    });
     Ok(out)
 }
 

@@ -96,7 +96,11 @@ fn collect_addressed(body: &[Stmt], out: &mut HashSet<String>) {
                 }
             }
             Stmt::Expr(e) => expr(e, out),
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 expr(cond, out);
                 for s in then_body.iter().chain(else_body) {
                     stmt(s, out);
@@ -108,7 +112,12 @@ fn collect_addressed(body: &[Stmt], out: &mut HashSet<String>) {
                     stmt(s, out);
                 }
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(s) = init {
                     stmt(s, out);
                 }
@@ -269,7 +278,10 @@ impl<'p> Lowerer<'p> {
                 return err(f.pos, format!("duplicate function `{}`", f.name));
             }
             if Intrinsic::from_name(&f.name).is_some() || f.name == "malloc" {
-                return err(f.pos, format!("`{}` is a builtin and cannot be redefined", f.name));
+                return err(
+                    f.pos,
+                    format!("`{}` is a builtin and cannot be redefined", f.name),
+                );
             }
             let params: Vec<Type> = f.params.iter().map(|(_, t)| t.clone()).collect();
             self.func_sigs
@@ -299,7 +311,10 @@ impl<'p> Lowerer<'p> {
         // Bind parameters.
         for (i, (name, ty)) in f.params.iter().enumerate() {
             if !ty.is_scalar() {
-                return err(f.pos, format!("parameter `{name}` has array type; use a pointer"));
+                return err(
+                    f.pos,
+                    format!("parameter `{name}` has array type; use a pointer"),
+                );
             }
             let incoming = Reg(i as u32);
             let place = if ctx.addressed.contains(name) {
@@ -309,10 +324,13 @@ impl<'p> Lowerer<'p> {
             } else {
                 Place::Reg(incoming)
             };
-            ctx.scopes
-                .last_mut()
-                .expect("scope")
-                .insert(name.clone(), VarInfo { ty: ty.clone(), place });
+            ctx.scopes.last_mut().expect("scope").insert(
+                name.clone(),
+                VarInfo {
+                    ty: ty.clone(),
+                    place,
+                },
+            );
         }
         self.lower_block(&mut ctx, &f.body)?;
         // Implicit return if control can fall off the end.
@@ -343,9 +361,13 @@ impl<'p> Lowerer<'p> {
             format!("{}.{}", base, ctx.local_tag_counter)
         };
         let kind = if param {
-            TagKind::Param { owner: ctx.func_index }
+            TagKind::Param {
+                owner: ctx.func_index,
+            }
         } else {
-            TagKind::Local { owner: ctx.func_index }
+            TagKind::Local {
+                owner: ctx.func_index,
+            }
         };
         self.module.tags.intern(unique, kind, size)
     }
@@ -367,7 +389,12 @@ impl<'p> Lowerer<'p> {
             ctx.b.switch_to(limbo);
         }
         match s {
-            Stmt::Decl { name, ty, init, pos } => {
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                pos,
+            } => {
                 let needs_memory = !ty.is_scalar() || ctx.addressed.contains(name);
                 let place = if needs_memory {
                     let tag = self.new_local_tag(ctx, name, ty.size_cells(), false);
@@ -375,7 +402,10 @@ impl<'p> Lowerer<'p> {
                 } else {
                     Place::Reg(ctx.b.new_reg())
                 };
-                let info = VarInfo { ty: ty.clone(), place };
+                let info = VarInfo {
+                    ty: ty.clone(),
+                    place,
+                };
                 if let Some(e) = init {
                     if !ty.is_scalar() {
                         return err(*pos, "array locals cannot have initializers");
@@ -387,12 +417,19 @@ impl<'p> Lowerer<'p> {
                         Place::Mem(tag) => ctx.b.sstore(r, *tag),
                     }
                 }
-                ctx.scopes.last_mut().expect("scope").insert(name.clone(), info);
+                ctx.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(name.clone(), info);
             }
             Stmt::Expr(e) => {
                 self.lower_expr_maybe_void(ctx, e)?;
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let c = self.lower_condition(ctx, cond)?;
                 let then_bb = ctx.b.new_block();
                 let else_bb = ctx.b.new_block();
@@ -444,7 +481,12 @@ impl<'p> Lowerer<'p> {
                 ctx.b.branch(c, body_bb, exit);
                 ctx.b.switch_to(exit);
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 ctx.scopes.push(HashMap::new());
                 if let Some(s) = init {
                     self.lower_stmt(ctx, s)?;
@@ -539,7 +581,10 @@ impl<'p> Lowerer<'p> {
                     return self.read_place(ctx, &info, e.pos);
                 }
                 if let Some((tag, ty)) = self.global_vars.get(name).cloned() {
-                    let info = VarInfo { ty, place: Place::Mem(tag) };
+                    let info = VarInfo {
+                        ty,
+                        place: Place::Mem(tag),
+                    };
                     return self.read_place(ctx, &info, e.pos);
                 }
                 if let Some(&(fid, _, _)) = self.func_sigs.get(name) {
@@ -601,10 +646,10 @@ impl<'p> Lowerer<'p> {
                 }
                 let site = self.heap_sites;
                 self.heap_sites += 1;
-                let tag = self
-                    .module
-                    .tags
-                    .intern(format!("heap@{site}"), TagKind::Heap { site }, 1);
+                let tag =
+                    self.module
+                        .tags
+                        .intern(format!("heap@{site}"), TagKind::Heap { site }, 1);
                 // `Ptr(Int)` is the generic heap pointer; assignment allows
                 // any pointer-to-pointer conversion.
                 Ok((ctx.b.alloc(r, tag), Type::Ptr(Box::new(Type::Int))))
@@ -668,11 +713,18 @@ impl<'p> Lowerer<'p> {
             }
             ExprKind::Index(base, idx) => {
                 let (addr, elem, tags) = self.lower_index_addr(ctx, base, idx, e.pos)?;
-                Ok(LValue::Cell { addr, tags, ty: elem })
+                Ok(LValue::Cell {
+                    addr,
+                    tags,
+                    ty: elem,
+                })
             }
             other => err(
                 e.pos,
-                format!("expression is not assignable: {:?}", std::mem::discriminant(other)),
+                format!(
+                    "expression is not assignable: {:?}",
+                    std::mem::discriminant(other)
+                ),
             ),
         }
     }
@@ -712,7 +764,10 @@ impl<'p> Lowerer<'p> {
                     self.global_vars
                         .get(name)
                         .cloned()
-                        .map(|(tag, ty)| VarInfo { ty, place: Place::Mem(tag) })
+                        .map(|(tag, ty)| VarInfo {
+                            ty,
+                            place: Place::Mem(tag),
+                        })
                 };
                 let Some(info) = info else {
                     return err(base.pos, format!("unknown identifier `{name}`"));
@@ -763,7 +818,10 @@ impl<'p> Lowerer<'p> {
                     self.global_vars
                         .get(name)
                         .cloned()
-                        .map(|(tag, ty)| VarInfo { ty, place: Place::Mem(tag) })
+                        .map(|(tag, ty)| VarInfo {
+                            ty,
+                            place: Place::Mem(tag),
+                        })
                 };
                 let Some(info) = info else {
                     return err(e.pos, format!("unknown identifier `{name}`"));
@@ -935,14 +993,20 @@ impl<'p> Lowerer<'p> {
         }
         ctx.b.switch_to(short_bb);
         let short_val = ctx.b.iconst((op == BinaryOp::LogOr) as i64);
-        ctx.b.emit(Instr::Copy { dst: result, src: short_val });
+        ctx.b.emit(Instr::Copy {
+            dst: result,
+            src: short_val,
+        });
         ctx.b.jump(join);
         ctx.b.switch_to(rhs_bb);
         let cb = self.lower_condition(ctx, b)?;
         // Normalize to 0/1.
         let z = ctx.b.iconst(0);
         let norm = ctx.b.cmp(CmpOp::Ne, cb, z);
-        ctx.b.emit(Instr::Copy { dst: result, src: norm });
+        ctx.b.emit(Instr::Copy {
+            dst: result,
+            src: norm,
+        });
         ctx.b.jump(join);
         ctx.b.switch_to(join);
         Ok((result, Type::Int))
@@ -968,15 +1032,15 @@ impl<'p> Lowerer<'p> {
             return self.lower_indirect_call(ctx, r, args);
         };
         // Local/global variables shadow functions.
-        let var_info = ctx
-            .lookup(name)
-            .cloned()
-            .or_else(|| {
-                self.global_vars
-                    .get(name)
-                    .cloned()
-                    .map(|(tag, ty)| VarInfo { ty, place: Place::Mem(tag) })
-            });
+        let var_info = ctx.lookup(name).cloned().or_else(|| {
+            self.global_vars
+                .get(name)
+                .cloned()
+                .map(|(tag, ty)| VarInfo {
+                    ty,
+                    place: Place::Mem(tag),
+                })
+        });
         if let Some(info) = var_info {
             if info.ty != Type::Func {
                 return err(pos, format!("cannot call `{name}` of type `{}`", info.ty));
@@ -990,7 +1054,11 @@ impl<'p> Lowerer<'p> {
             if args.len() != params.len() {
                 return err(
                     pos,
-                    format!("`{name}` expects {} arguments, got {}", params.len(), args.len()),
+                    format!(
+                        "`{name}` expects {} arguments, got {}",
+                        params.len(),
+                        args.len()
+                    ),
                 );
             }
             let mut argv = Vec::with_capacity(args.len());
@@ -1025,7 +1093,10 @@ impl<'p> Lowerer<'p> {
         }
         // Indirect callees are dynamically checked; MiniC gives them an
         // int result (the common case for our table-driven benchmarks).
-        let r = ctx.b.call_indirect(target, argv, true).expect("result requested");
+        let r = ctx
+            .b
+            .call_indirect(target, argv, true)
+            .expect("result requested");
         Ok(Some((r, Type::Int)))
     }
 
@@ -1039,7 +1110,12 @@ impl<'p> Lowerer<'p> {
         if args.len() != intr.arity() {
             return err(
                 pos,
-                format!("`{}` expects {} arguments, got {}", intr.name(), intr.arity(), args.len()),
+                format!(
+                    "`{}` expects {} arguments, got {}",
+                    intr.name(),
+                    intr.arity(),
+                    args.len()
+                ),
             );
         }
         let (param_tys, ret): (Vec<Type>, Option<Type>) = match intr {
@@ -1097,6 +1173,9 @@ impl<'p> Lowerer<'p> {
 pub fn compile(src: &str) -> Result<Module> {
     let program = crate::parser::parse(src)?;
     let module = Lowerer::run(&program)?;
-    debug_assert!(ir::validate(&module).is_ok(), "lowering produced invalid IL");
+    debug_assert!(
+        ir::validate(&module).is_ok(),
+        "lowering produced invalid IL"
+    );
     Ok(module)
 }

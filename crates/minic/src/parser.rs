@@ -76,7 +76,10 @@ impl Parser {
 
     /// True if the current token begins a type.
     fn at_type(&self) -> bool {
-        matches!(self.peek(), Tok::KwInt | Tok::KwDouble | Tok::KwFunc | Tok::KwVoid)
+        matches!(
+            self.peek(),
+            Tok::KwInt | Tok::KwDouble | Tok::KwFunc | Tok::KwVoid
+        )
     }
 
     /// Parses a base type plus pointer stars. Returns `None` for `void`.
@@ -119,10 +122,7 @@ impl Parser {
         while *self.peek() != Tok::Eof {
             let pos = self.here();
             if !self.at_type() {
-                return self.err(format!(
-                    "expected a declaration, found `{}`",
-                    self.peek()
-                ));
+                return self.err(format!("expected a declaration, found `{}`", self.peek()));
             }
             let ty = self.parse_type()?;
             let name = self.ident()?;
@@ -158,7 +158,12 @@ impl Parser {
             None
         };
         self.expect(Tok::Semi)?;
-        Ok(GlobalDecl { name, ty, init, pos })
+        Ok(GlobalDecl {
+            name,
+            ty,
+            init,
+            pos,
+        })
     }
 
     fn parse_func(&mut self, ret: Option<Type>, name: String, pos: Pos) -> Result<FuncDecl> {
@@ -171,9 +176,9 @@ impl Parser {
                 self.expect(Tok::RParen)?;
             } else {
                 loop {
-                    let pty = self
-                        .parse_type()?
-                        .ok_or_else(|| FrontError::new(Phase::Parse, self.here(), "void parameter"))?;
+                    let pty = self.parse_type()?.ok_or_else(|| {
+                        FrontError::new(Phase::Parse, self.here(), "void parameter")
+                    })?;
                     let pname = self.ident()?;
                     // Array parameters decay to pointers: `int a[]`,
                     // `int m[][20]`.
@@ -198,7 +203,13 @@ impl Parser {
         }
         self.expect(Tok::LBrace)?;
         let body = self.parse_block_body()?;
-        Ok(FuncDecl { name, ret, params, body, pos })
+        Ok(FuncDecl {
+            name,
+            ret,
+            params,
+            body,
+            pos,
+        })
     }
 
     fn parse_block_body(&mut self) -> Result<Vec<Stmt>> {
@@ -219,9 +230,18 @@ impl Parser {
                 let ty = self.parse_type()?.expect("non-void here");
                 let name = self.ident()?;
                 let ty = self.parse_dims(ty)?;
-                let init = if self.eat(Tok::Assign) { Some(self.parse_expr()?) } else { None };
+                let init = if self.eat(Tok::Assign) {
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
                 self.expect(Tok::Semi)?;
-                Ok(Stmt::Decl { name, ty, init, pos })
+                Ok(Stmt::Decl {
+                    name,
+                    ty,
+                    init,
+                    pos,
+                })
             }
             Tok::KwIf => {
                 self.bump();
@@ -229,9 +249,16 @@ impl Parser {
                 let cond = self.parse_expr()?;
                 self.expect(Tok::RParen)?;
                 let then_body = self.parse_stmt_as_block()?;
-                let else_body =
-                    if self.eat(Tok::KwElse) { self.parse_stmt_as_block()? } else { Vec::new() };
-                Ok(Stmt::If { cond, then_body, else_body })
+                let else_body = if self.eat(Tok::KwElse) {
+                    self.parse_stmt_as_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
             }
             Tok::KwWhile => {
                 self.bump();
@@ -265,18 +292,33 @@ impl Parser {
                     self.expect(Tok::Semi)?;
                     Some(Box::new(Stmt::Expr(e)))
                 };
-                let cond =
-                    if *self.peek() == Tok::Semi { None } else { Some(self.parse_expr()?) };
+                let cond = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
                 self.expect(Tok::Semi)?;
-                let step =
-                    if *self.peek() == Tok::RParen { None } else { Some(self.parse_expr()?) };
+                let step = if *self.peek() == Tok::RParen {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
                 self.expect(Tok::RParen)?;
                 let body = self.parse_stmt_as_block()?;
-                Ok(Stmt::For { init, cond, step, body })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
             }
             Tok::KwReturn => {
                 self.bump();
-                let value = if *self.peek() == Tok::Semi { None } else { Some(self.parse_expr()?) };
+                let value = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
                 self.expect(Tok::Semi)?;
                 Ok(Stmt::Return { value, pos })
             }
@@ -340,7 +382,10 @@ impl Parser {
                 pos,
             },
         };
-        Ok(Expr { kind: ExprKind::Assign(Box::new(lhs), Box::new(rhs)), pos })
+        Ok(Expr {
+            kind: ExprKind::Assign(Box::new(lhs), Box::new(rhs)),
+            pos,
+        })
     }
 
     /// Precedence-climbing binary expression parser.
@@ -374,7 +419,10 @@ impl Parser {
             let pos = self.here();
             self.bump();
             let rhs = self.parse_binary(prec + 1)?;
-            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), pos };
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                pos,
+            };
         }
         Ok(lhs)
     }
@@ -385,25 +433,41 @@ impl Parser {
             Tok::Minus => {
                 self.bump();
                 let e = self.parse_unary()?;
-                Ok(Expr { kind: ExprKind::Unary(UnaryOp::Neg, Box::new(e)), pos })
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnaryOp::Neg, Box::new(e)),
+                    pos,
+                })
             }
             Tok::Bang => {
                 self.bump();
                 let e = self.parse_unary()?;
-                Ok(Expr { kind: ExprKind::Unary(UnaryOp::Not, Box::new(e)), pos })
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnaryOp::Not, Box::new(e)),
+                    pos,
+                })
             }
             Tok::Star => {
                 self.bump();
                 let e = self.parse_unary()?;
-                Ok(Expr { kind: ExprKind::Deref(Box::new(e)), pos })
+                Ok(Expr {
+                    kind: ExprKind::Deref(Box::new(e)),
+                    pos,
+                })
             }
             Tok::Amp => {
                 self.bump();
                 let e = self.parse_unary()?;
-                Ok(Expr { kind: ExprKind::AddrOf(Box::new(e)), pos })
+                Ok(Expr {
+                    kind: ExprKind::AddrOf(Box::new(e)),
+                    pos,
+                })
             }
             Tok::PlusPlus | Tok::MinusMinus => {
-                let op = if self.bump() == Tok::PlusPlus { BinaryOp::Add } else { BinaryOp::Sub };
+                let op = if self.bump() == Tok::PlusPlus {
+                    BinaryOp::Add
+                } else {
+                    BinaryOp::Sub
+                };
                 let e = self.parse_unary()?;
                 Ok(desugar_incr(e, op, pos))
             }
@@ -420,7 +484,10 @@ impl Parser {
                     self.bump();
                     let idx = self.parse_expr()?;
                     self.expect(Tok::RBracket)?;
-                    e = Expr { kind: ExprKind::Index(Box::new(e), Box::new(idx)), pos };
+                    e = Expr {
+                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                        pos,
+                    };
                 }
                 Tok::LParen => {
                     self.bump();
@@ -434,7 +501,10 @@ impl Parser {
                         }
                         self.expect(Tok::RParen)?;
                     }
-                    e = Expr { kind: ExprKind::Call(Box::new(e), args), pos };
+                    e = Expr {
+                        kind: ExprKind::Call(Box::new(e), args),
+                        pos,
+                    };
                 }
                 Tok::PlusPlus => {
                     self.bump();
@@ -453,15 +523,27 @@ impl Parser {
     fn parse_primary(&mut self) -> Result<Expr> {
         let pos = self.here();
         match self.bump() {
-            Tok::Int(v) => Ok(Expr { kind: ExprKind::IntLit(v), pos }),
-            Tok::Float(v) => Ok(Expr { kind: ExprKind::FloatLit(v), pos }),
+            Tok::Int(v) => Ok(Expr {
+                kind: ExprKind::IntLit(v),
+                pos,
+            }),
+            Tok::Float(v) => Ok(Expr {
+                kind: ExprKind::FloatLit(v),
+                pos,
+            }),
             Tok::Ident(name) if name == "malloc" && *self.peek() == Tok::LParen => {
                 self.bump();
                 let n = self.parse_expr()?;
                 self.expect(Tok::RParen)?;
-                Ok(Expr { kind: ExprKind::Malloc(Box::new(n)), pos })
+                Ok(Expr {
+                    kind: ExprKind::Malloc(Box::new(n)),
+                    pos,
+                })
             }
-            Tok::Ident(name) => Ok(Expr { kind: ExprKind::Ident(name), pos }),
+            Tok::Ident(name) => Ok(Expr {
+                kind: ExprKind::Ident(name),
+                pos,
+            }),
             Tok::LParen => {
                 let e = self.parse_expr()?;
                 self.expect(Tok::RParen)?;
@@ -480,12 +562,18 @@ impl Parser {
 /// both forms the *new* value, so they should only be used where the value
 /// is discarded.
 fn desugar_incr(e: Expr, op: BinaryOp, pos: Pos) -> Expr {
-    let one = Expr { kind: ExprKind::IntLit(1), pos };
+    let one = Expr {
+        kind: ExprKind::IntLit(1),
+        pos,
+    };
     let rhs = Expr {
         kind: ExprKind::Binary(op, Box::new(e.clone()), Box::new(one)),
         pos,
     };
-    Expr { kind: ExprKind::Assign(Box::new(e), Box::new(rhs)), pos }
+    Expr {
+        kind: ExprKind::Assign(Box::new(e), Box::new(rhs)),
+        pos,
+    }
 }
 
 /// Parses a MiniC translation unit.
@@ -559,8 +647,12 @@ int main() {
     #[test]
     fn compound_assignment_desugars() {
         let p = parse("int main() { int x; x += 2; return x; }").unwrap();
-        let Stmt::Expr(e) = &p.funcs[0].body[1] else { panic!() };
-        let ExprKind::Assign(lhs, rhs) = &e.kind else { panic!("expected assign") };
+        let Stmt::Expr(e) = &p.funcs[0].body[1] else {
+            panic!()
+        };
+        let ExprKind::Assign(lhs, rhs) = &e.kind else {
+            panic!("expected assign")
+        };
         assert!(matches!(lhs.kind, ExprKind::Ident(_)));
         assert!(matches!(rhs.kind, ExprKind::Binary(BinaryOp::Add, _, _)));
     }
@@ -606,7 +698,9 @@ int main() {
 "#,
         )
         .unwrap();
-        let Stmt::Decl { init: Some(e), .. } = &p.funcs[0].body[0] else { panic!() };
+        let Stmt::Decl { init: Some(e), .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(e.kind, ExprKind::Malloc(_)));
     }
 

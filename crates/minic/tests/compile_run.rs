@@ -22,11 +22,26 @@ fn arithmetic_and_precedence() {
         output("int main() { print_int((1 + 2) * (3 - 4) / 3); return 0; }"),
         vec!["-1"]
     );
-    assert_eq!(output("int main() { print_int(7 % 3); return 0; }"), vec!["1"]);
-    assert_eq!(output("int main() { print_int(1 << 4); return 0; }"), vec!["16"]);
-    assert_eq!(output("int main() { print_int(6 & 3); return 0; }"), vec!["2"]);
-    assert_eq!(output("int main() { print_int(6 | 3); return 0; }"), vec!["7"]);
-    assert_eq!(output("int main() { print_int(6 ^ 3); return 0; }"), vec!["5"]);
+    assert_eq!(
+        output("int main() { print_int(7 % 3); return 0; }"),
+        vec!["1"]
+    );
+    assert_eq!(
+        output("int main() { print_int(1 << 4); return 0; }"),
+        vec!["16"]
+    );
+    assert_eq!(
+        output("int main() { print_int(6 & 3); return 0; }"),
+        vec!["2"]
+    );
+    assert_eq!(
+        output("int main() { print_int(6 | 3); return 0; }"),
+        vec!["7"]
+    );
+    assert_eq!(
+        output("int main() { print_int(6 ^ 3); return 0; }"),
+        vec!["5"]
+    );
 }
 
 #[test]
@@ -398,16 +413,14 @@ int main() {
 
 #[test]
 fn exit_stops_program() {
-    let out = run(
-        r#"
+    let out = run(r#"
 int main() {
     print_int(1);
     exit(3);
     print_int(2);
     return 0;
 }
-"#,
-    );
+"#);
     assert_eq!(out.output, vec!["1"]);
     assert_eq!(out.exit_code, 3);
 }
@@ -415,8 +428,7 @@ int main() {
 #[test]
 fn addressed_local_is_memory_resident() {
     // `x` has its address taken, so unoptimized code must reference memory.
-    let out = run(
-        r#"
+    let out = run(r#"
 int main() {
     int x = 0;
     int *p = &x;
@@ -425,8 +437,7 @@ int main() {
     print_int(x + *p);
     return 0;
 }
-"#,
-    );
+"#);
     assert_eq!(out.output, vec!["200"]);
     // x is loaded and stored in the loop: at least 100 loads and stores.
     assert!(out.counts.loads >= 100, "loads = {}", out.counts.loads);
@@ -435,8 +446,7 @@ int main() {
 
 #[test]
 fn unaddressed_local_stays_in_registers() {
-    let out = run(
-        r#"
+    let out = run(r#"
 int main() {
     int x = 0;
     int i;
@@ -444,8 +454,7 @@ int main() {
     print_int(x);
     return 0;
 }
-"#,
-    );
+"#);
     assert_eq!(out.output, vec!["100"]);
     assert_eq!(out.counts.loads, 0);
     assert_eq!(out.counts.stores, 0);
@@ -453,8 +462,7 @@ int main() {
 
 #[test]
 fn global_access_is_memory_before_promotion() {
-    let out = run(
-        r#"
+    let out = run(r#"
 int g;
 int main() {
     int i;
@@ -462,8 +470,7 @@ int main() {
     print_int(g);
     return 0;
 }
-"#,
-    );
+"#);
     assert_eq!(out.output, vec!["50"]);
     assert!(out.counts.loads >= 50);
     assert!(out.counts.stores >= 50);
@@ -477,9 +484,18 @@ fn type_errors_are_reported() {
         ("int main() { double d; return d % 2; }", "invalid operands"),
         ("int main() { break; }", "break outside a loop"),
         ("void f() { return 1; }", "void function returns a value"),
-        ("int main() { int a[3]; a = 0; return 0; }", "cannot convert"),
-        ("int f(int x) { return x; } int main() { return f(); }", "expects 1 arguments"),
-        ("int main() { print_int(1, 2); return 0; }", "expects 1 arguments"),
+        (
+            "int main() { int a[3]; a = 0; return 0; }",
+            "cannot convert",
+        ),
+        (
+            "int f(int x) { return x; } int main() { return f(); }",
+            "expects 1 arguments",
+        ),
+        (
+            "int main() { print_int(1, 2); return 0; }",
+            "expects 1 arguments",
+        ),
         ("int sqrt(int x) { return x; }", "builtin"),
     ] {
         let e = minic::compile(src).expect_err(src);
@@ -494,9 +510,7 @@ fn type_errors_are_reported() {
 #[test]
 fn comments_and_formatting() {
     assert_eq!(
-        output(
-            "int main() { /* block */ int x = 1; // line\n print_int(x); return 0; }"
-        ),
+        output("int main() { /* block */ int x = 1; // line\n print_int(x); return 0; }"),
         vec!["1"]
     );
 }

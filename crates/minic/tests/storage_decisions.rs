@@ -53,7 +53,12 @@ int main() {
     );
     let tag = m.tags.lookup("main.a").expect("a has a tag");
     let info = m.tags.info(tag);
-    assert_eq!(info.kind, TagKind::Local { owner: m.main().unwrap().0 });
+    assert_eq!(
+        info.kind,
+        TagKind::Local {
+            owner: m.main().unwrap().0
+        }
+    );
     assert!(info.address_taken);
     assert_eq!(info.size, 1);
 }
@@ -93,7 +98,11 @@ int main() {
     let tag = m.tags.lookup("g:counter").expect("global tag");
     assert_eq!(m.tags.info(tag).kind, TagKind::Global);
     let (scalar, ptr) = count_mem_ops(&m, "main");
-    assert_eq!((scalar, ptr), (3, 0), "two loads + one store, all scalar form");
+    assert_eq!(
+        (scalar, ptr),
+        (3, 0),
+        "two loads + one store, all scalar form"
+    );
 }
 
 #[test]
@@ -121,7 +130,11 @@ int main() {
         .collect();
     assert_eq!(sets.len(), 2);
     for s in sets {
-        assert_eq!(s.as_singleton(), Some(tag), "direct indexing keeps {{table}}");
+        assert_eq!(
+            s.as_singleton(),
+            Some(tag),
+            "direct indexing keeps {{table}}"
+        );
     }
 }
 
@@ -147,7 +160,10 @@ int main() {
             _ => None,
         })
         .expect("store through p");
-    assert!(store_tags.is_all(), "the front end emits {{*}}; analysis shrinks it");
+    assert!(
+        store_tags.is_all(),
+        "the front end emits {{*}}; analysis shrinks it"
+    );
 }
 
 #[test]
@@ -167,7 +183,10 @@ int main() {
 "#,
     );
     assert!(m.tags.lookup("main.x").is_some());
-    assert!(m.tags.lookup("main.x.1").is_some(), "inner x gets a fresh tag");
+    assert!(
+        m.tags.lookup("main.x.1").is_some(),
+        "inner x gets a fresh tag"
+    );
 }
 
 #[test]
@@ -211,6 +230,12 @@ int main() {
         })
         .collect();
     assert_eq!(calls.len(), 2);
-    assert!(calls[0].0.is_all() && calls[0].1.is_all(), "direct call: {{*}}");
-    assert!(calls[1].0.is_empty() && calls[1].1.is_empty(), "intrinsic: {{}}");
+    assert!(
+        calls[0].0.is_all() && calls[0].1.is_all(),
+        "direct call: {{*}}"
+    );
+    assert!(
+        calls[1].0.is_empty() && calls[1].1.is_empty(),
+        "intrinsic: {{}}"
+    );
 }

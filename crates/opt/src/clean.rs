@@ -20,7 +20,10 @@ pub fn clean_function(func: &mut Function) -> usize {
     }
     // 2. Fold branches with equal targets into jumps.
     for block in &mut func.blocks {
-        if let Some(Instr::Branch { then_bb, else_bb, .. }) = block.instrs.last() {
+        if let Some(Instr::Branch {
+            then_bb, else_bb, ..
+        }) = block.instrs.last()
+        {
             if then_bb == else_bb {
                 let t = *then_bb;
                 *block.instrs.last_mut().expect("terminator") = Instr::Jump { target: t };
@@ -112,7 +115,10 @@ mod tests {
         // After nop removal B0 itself becomes a forwarder, so everything
         // collapses to the single return block.
         assert_eq!(f.blocks.len(), 1);
-        assert!(matches!(f.block(f.entry).terminator(), Some(Instr::Ret { .. })));
+        assert!(matches!(
+            f.block(f.entry).terminator(),
+            Some(Instr::Ret { .. })
+        ));
     }
 
     #[test]
@@ -125,7 +131,10 @@ mod tests {
         b.ret(None);
         let mut f = b.finish();
         clean_function(&mut f);
-        assert!(matches!(f.block(f.entry).terminator(), Some(Instr::Jump { .. })));
+        assert!(matches!(
+            f.block(f.entry).terminator(),
+            Some(Instr::Jump { .. })
+        ));
     }
 
     #[test]
@@ -138,7 +147,10 @@ mod tests {
         let mut f = b.finish();
         clean_function(&mut f);
         assert_eq!(f.blocks.len(), 1);
-        assert!(matches!(f.block(f.entry).terminator(), Some(Instr::Ret { .. })));
+        assert!(matches!(
+            f.block(f.entry).terminator(),
+            Some(Instr::Ret { .. })
+        ));
     }
 
     #[test]

@@ -160,10 +160,14 @@ pub fn constprop_function(func: &mut Function) -> usize {
                         _ => None,
                     }
                 }
-                Instr::Branch { cond, then_bb, else_bb } => match state[cond.index()] {
-                    Lat::Int(c) => {
-                        Some(Instr::Jump { target: if c != 0 { *then_bb } else { *else_bb } })
-                    }
+                Instr::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => match state[cond.index()] {
+                    Lat::Int(c) => Some(Instr::Jump {
+                        target: if c != 0 { *then_bb } else { *else_bb },
+                    }),
                     _ => None,
                 },
                 _ => None,
@@ -307,7 +311,10 @@ B2:
         let after = vm::Vm::run_main(&m, vm::VmOptions::default()).unwrap();
         assert_eq!(before.exit_code, after.exit_code);
         // The loop body subtraction must not be folded.
-        assert!(matches!(m.funcs[0].blocks[1].instrs[1], Instr::Binary { .. }));
+        assert!(matches!(
+            m.funcs[0].blocks[1].instrs[1],
+            Instr::Binary { .. }
+        ));
     }
 
     #[test]
@@ -323,6 +330,9 @@ B0:
 "#;
         let mut m = ir::parse_module(src).unwrap();
         constprop(&mut m);
-        assert!(matches!(m.funcs[0].blocks[0].instrs[2], Instr::Binary { .. }));
+        assert!(matches!(
+            m.funcs[0].blocks[0].instrs[2],
+            Instr::Binary { .. }
+        ));
     }
 }

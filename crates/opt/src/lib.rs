@@ -46,4 +46,4 @@ pub use dce::{dce, dce_function};
 pub use licm::{licm, licm_function};
 pub use loadelim::{loadelim, loadelim_function};
 pub use lvn::{lvn, lvn_function};
-pub use strengthen::strengthen;
+pub use strengthen::{strengthen, strengthen_function};

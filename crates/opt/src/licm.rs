@@ -29,11 +29,16 @@ fn is_speculable(instr: &Instr, func: &Function) -> bool {
         | Instr::Cmp { .. }
         | Instr::Lea { .. }
         | Instr::PtrAdd { .. } => true,
-        Instr::Binary { op: BinOp::Div | BinOp::Rem, rhs, .. } => {
+        Instr::Binary {
+            op: BinOp::Div | BinOp::Rem,
+            rhs,
+            ..
+        } => {
             // Only speculate division by a nonzero constant.
-            func.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
-                matches!(i, Instr::IConst { dst, value } if dst == rhs && *value != 0)
-            })
+            func.blocks
+                .iter()
+                .flat_map(|b| &b.instrs)
+                .any(|i| matches!(i, Instr::IConst { dst, value } if dst == rhs && *value != 0))
         }
         Instr::Binary { .. } => true,
         _ => false,
@@ -69,8 +74,7 @@ pub fn licm_function(func: &mut Function) -> usize {
         }
     }
     // Per-loop in-loop definition counts, updated as hoists happen.
-    let mut defs_in_loop: Vec<HashMap<Reg, usize>> =
-        vec![HashMap::new(); nest.forest.len()];
+    let mut defs_in_loop: Vec<HashMap<Reg, usize>> = vec![HashMap::new(); nest.forest.len()];
     for (li, l) in nest.forest.loops.iter().enumerate() {
         for &b in &l.blocks {
             for instr in &func.blocks[b.index()].instrs {
@@ -112,9 +116,7 @@ pub fn licm_function(func: &mut Function) -> usize {
                 while i < func.blocks[b.index()].instrs.len() {
                     let instr = &func.blocks[b.index()].instrs[i];
                     let hoistable = match instr {
-                        Instr::SLoad { tag, .. } | Instr::CLoad { tag, .. } => {
-                            !mods.contains(*tag)
-                        }
+                        Instr::SLoad { tag, .. } | Instr::CLoad { tag, .. } => !mods.contains(*tag),
                         other => is_speculable(other, func),
                     };
                     let single_def = instr
@@ -135,8 +137,7 @@ pub fn licm_function(func: &mut Function) -> usize {
                             }
                         }
                     });
-                    if hoistable && single_def && operands_invariant && !instr.is_terminator()
-                    {
+                    if hoistable && single_def && operands_invariant && !instr.is_terminator() {
                         let mut instr = func.blocks[b.index()].instrs.remove(i);
                         // Clone any in-loop constant operands into the pad
                         // and retarget the hoisted instruction to the

@@ -57,7 +57,7 @@ fn transfer(instr: &mut Instr, facts: &mut HashMap<TagId, Reg>, rewrite: bool) -
             TagSet::All => facts.clear(),
             TagSet::Set(s) => {
                 for t in s.iter() {
-                    facts.remove(t);
+                    facts.remove(&t);
                 }
             }
         },
@@ -65,7 +65,7 @@ fn transfer(instr: &mut Instr, facts: &mut HashMap<TagId, Reg>, rewrite: bool) -
             TagSet::All => facts.clear(),
             TagSet::Set(s) => {
                 for t in s.iter() {
-                    facts.remove(t);
+                    facts.remove(&t);
                 }
             }
         },
@@ -85,7 +85,9 @@ pub fn loadelim_function(func: &mut Function) -> usize {
     while changed {
         changed = false;
         for &b in &cfg.rpo {
-            let Some(mut facts) = input[b.index()].clone() else { continue };
+            let Some(mut facts) = input[b.index()].clone() else {
+                continue;
+            };
             for instr in &mut func.block_mut(b).instrs {
                 transfer(instr, &mut facts, false);
             }
@@ -102,7 +104,9 @@ pub fn loadelim_function(func: &mut Function) -> usize {
     // Rewrite.
     let mut rewrites = 0;
     for &b in &cfg.rpo {
-        let Some(mut facts) = input[b.index()].clone() else { continue };
+        let Some(mut facts) = input[b.index()].clone() else {
+            continue;
+        };
         for instr in &mut func.block_mut(b).instrs {
             rewrites += transfer(instr, &mut facts, true);
         }

@@ -73,8 +73,8 @@ impl Tables {
         match tags {
             TagSet::All => self.mem.clear(),
             TagSet::Set(s) => {
-                for t in s {
-                    self.mem.remove(t);
+                for t in s.iter() {
+                    self.mem.remove(&t);
                 }
             }
         }
@@ -371,7 +371,11 @@ fn lvn_instr(t: &mut Tables, instr: &mut Instr) -> usize {
                 t.set_reg(d, vn);
             }
         }
-        Instr::Branch { cond, then_bb, else_bb } => {
+        Instr::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             // Fold constant branches so `clean` can delete dead arms.
             let vn = t.vn_of(*cond);
             if let Some(&c) = t.vn_const.get(&vn) {
@@ -429,7 +433,10 @@ B2:
         );
         assert!(n >= 3);
         let f = &m.funcs[0];
-        assert!(matches!(f.blocks[0].instrs[2], Instr::IConst { value: 42, .. }));
+        assert!(matches!(
+            f.blocks[0].instrs[2],
+            Instr::IConst { value: 42, .. }
+        ));
         assert!(matches!(f.blocks[0].instrs[4], Instr::Jump { .. }));
     }
 
@@ -485,8 +492,14 @@ B0:
 "#,
         );
         let instrs = &m.funcs[0].blocks[0].instrs;
-        assert!(matches!(instrs[1], Instr::Copy { .. }), "second load forwarded");
-        assert!(matches!(instrs[4], Instr::SLoad { .. }), "load after kill reloads");
+        assert!(
+            matches!(instrs[1], Instr::Copy { .. }),
+            "second load forwarded"
+        );
+        assert!(
+            matches!(instrs[4], Instr::SLoad { .. }),
+            "load after kill reloads"
+        );
     }
 
     #[test]
@@ -514,7 +527,10 @@ B0:
 "#,
         );
         let instrs = &m.funcs[1].blocks[0].instrs;
-        assert!(matches!(instrs[3], Instr::Copy { .. }), "g survives the call");
+        assert!(
+            matches!(instrs[3], Instr::Copy { .. }),
+            "g survives the call"
+        );
         assert!(matches!(instrs[4], Instr::SLoad { .. }), "h was killed");
     }
 

@@ -10,7 +10,7 @@
 //! access like any other scalar reference.
 
 use analysis::{singleton_is_unique_cell, tarjan_sccs, CallGraph};
-use ir::{FuncId, Instr, Module};
+use ir::{FuncId, Function, Instr, Module, TagTable};
 
 /// Strengthens qualifying pointer ops to scalar ops module-wide. Returns
 /// the number of instructions rewritten.
@@ -21,27 +21,44 @@ pub fn strengthen(module: &mut Module) -> usize {
     for fi in 0..module.funcs.len() {
         let f = FuncId(fi as u32);
         let recursive = graph.is_recursive(f, &sccs);
-        for bi in 0..module.funcs[fi].blocks.len() {
-            for ii in 0..module.funcs[fi].blocks[bi].instrs.len() {
-                let new = match &module.funcs[fi].blocks[bi].instrs[ii] {
-                    Instr::Load { dst, tags, .. } => match tags.as_singleton() {
-                        Some(t) if singleton_is_unique_cell(module, f, recursive, t) => {
-                            Some(Instr::SLoad { dst: *dst, tag: t })
-                        }
-                        _ => None,
-                    },
-                    Instr::Store { src, tags, .. } => match tags.as_singleton() {
-                        Some(t) if singleton_is_unique_cell(module, f, recursive, t) => {
-                            Some(Instr::SStore { src: *src, tag: t })
-                        }
-                        _ => None,
-                    },
+        rewrites += strengthen_function(&module.tags, &mut module.funcs[fi], f, recursive);
+    }
+    rewrites
+}
+
+/// Per-function strengthening: reads only the tag table, so the parallel
+/// pipeline can fan it out once the driver has computed the recursive-set.
+pub fn strengthen_function(
+    tags_table: &TagTable,
+    func: &mut Function,
+    func_id: FuncId,
+    func_is_recursive: bool,
+) -> usize {
+    let mut rewrites = 0;
+    for block in &mut func.blocks {
+        for instr in &mut block.instrs {
+            let new = match &*instr {
+                Instr::Load { dst, tags, .. } => match tags.as_singleton() {
+                    Some(t)
+                        if singleton_is_unique_cell(tags_table, func_id, func_is_recursive, t) =>
+                    {
+                        Some(Instr::SLoad { dst: *dst, tag: t })
+                    }
                     _ => None,
-                };
-                if let Some(n) = new {
-                    module.funcs[fi].blocks[bi].instrs[ii] = n;
-                    rewrites += 1;
-                }
+                },
+                Instr::Store { src, tags, .. } => match tags.as_singleton() {
+                    Some(t)
+                        if singleton_is_unique_cell(tags_table, func_id, func_is_recursive, t) =>
+                    {
+                        Some(Instr::SStore { src: *src, tag: t })
+                    }
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(n) = new {
+                *instr = n;
+                rewrites += 1;
             }
         }
     }

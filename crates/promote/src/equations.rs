@@ -26,8 +26,7 @@
 //! memory.
 
 use cfg::{LoopId, LoopNest};
-use ir::{FuncId, Function, Instr, Module, TagId, TagSet};
-use std::collections::BTreeSet;
+use ir::{DenseTagSet, FuncId, Function, Instr, TagId, TagSet, TagTable};
 
 /// How a memory reference participates in the equations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,12 +39,12 @@ pub enum RefClass {
 
 /// Classifies a singleton pointer-based access to `tag` in `func`.
 pub fn classify_singleton(
-    module: &Module,
+    tags: &TagTable,
     func: FuncId,
     func_is_recursive: bool,
     tag: TagId,
 ) -> RefClass {
-    if analysis::singleton_is_unique_cell(module, func, func_is_recursive, tag) {
+    if analysis::singleton_is_unique_cell(tags, func, func_is_recursive, tag) {
         RefClass::Explicit
     } else {
         RefClass::Ambiguous
@@ -56,15 +55,19 @@ pub fn classify_singleton(
 #[derive(Debug, Clone, Default)]
 pub struct BlockSets {
     /// `B_EXPLICIT`: tags referenced by explicit operations.
-    pub explicit: BTreeSet<TagId>,
+    pub explicit: DenseTagSet,
     /// `B_AMBIGUOUS`: tags referenced ambiguously. `TagSet::All` when the
     /// block contains an un-analyzed operation.
     pub ambiguous: TagSet,
 }
 
 /// Computes `B_EXPLICIT` and `B_AMBIGUOUS` for every block of `func`.
+///
+/// Takes the tag table (not the module) so the per-function promotion pass
+/// can run while other functions are mutably borrowed by the parallel
+/// pipeline.
 pub fn block_sets(
-    module: &Module,
+    tags_table: &TagTable,
     func_id: FuncId,
     func: &Function,
     func_is_recursive: bool,
@@ -77,17 +80,17 @@ pub fn block_sets(
                 Instr::SLoad { tag, .. } | Instr::SStore { tag, .. } | Instr::CLoad { tag, .. } => {
                     sets.explicit.insert(*tag);
                 }
-                Instr::Load { tags, .. } | Instr::Store { tags, .. } => {
-                    match tags.as_singleton() {
-                        Some(t)
-                            if classify_singleton(module, func_id, func_is_recursive, t)
-                                == RefClass::Explicit =>
-                        {
-                            sets.explicit.insert(t);
-                        }
-                        _ => sets.ambiguous.union_with(tags),
+                Instr::Load { tags, .. } | Instr::Store { tags, .. } => match tags.as_singleton() {
+                    Some(t)
+                        if classify_singleton(tags_table, func_id, func_is_recursive, t)
+                            == RefClass::Explicit =>
+                    {
+                        sets.explicit.insert(t);
                     }
-                }
+                    _ => {
+                        sets.ambiguous.union_with(tags);
+                    }
+                },
                 Instr::Call { mods, refs, .. } => {
                     sets.ambiguous.union_with(mods);
                     sets.ambiguous.union_with(refs);
@@ -104,69 +107,76 @@ pub fn block_sets(
 #[derive(Debug, Clone)]
 pub struct LoopSets {
     /// `L_EXPLICIT` per loop.
-    pub explicit: Vec<BTreeSet<TagId>>,
+    pub explicit: Vec<DenseTagSet>,
     /// `L_AMBIGUOUS` per loop.
     pub ambiguous: Vec<TagSet>,
     /// `L_PROMOTABLE` per loop.
-    pub promotable: Vec<BTreeSet<TagId>>,
+    pub promotable: Vec<DenseTagSet>,
     /// `L_LIFT` per loop.
-    pub lift: Vec<BTreeSet<TagId>>,
+    pub lift: Vec<DenseTagSet>,
 }
 
 impl LoopSets {
-    /// Solves equations (1)–(4) over the loop nest.
+    /// Solves equations (1)–(4) over the loop nest with the word-wise
+    /// union/difference kernels of [`DenseTagSet`].
     pub fn solve(blocks: &[BlockSets], nest: &LoopNest) -> LoopSets {
         let nloops = nest.forest.len();
-        let mut explicit = vec![BTreeSet::new(); nloops];
+        let mut explicit = vec![DenseTagSet::new(); nloops];
         let mut ambiguous = vec![TagSet::empty(); nloops];
         for (li, l) in nest.forest.loops.iter().enumerate() {
             for &b in &l.blocks {
-                explicit[li].extend(blocks[b.index()].explicit.iter().copied());
+                explicit[li].union_with(&blocks[b.index()].explicit);
                 ambiguous[li].union_with(&blocks[b.index()].ambiguous);
             }
         }
-        let mut promotable = vec![BTreeSet::new(); nloops];
+        let mut promotable = vec![DenseTagSet::new(); nloops];
         for li in 0..nloops {
-            promotable[li] = explicit[li]
-                .iter()
-                .copied()
-                .filter(|t| !ambiguous[li].contains(*t))
-                .collect();
+            promotable[li] = match &ambiguous[li] {
+                // Equation (3): everything is ambiguous, nothing promotes.
+                TagSet::All => DenseTagSet::new(),
+                TagSet::Set(amb) => explicit[li].difference(amb),
+            };
         }
-        let mut lift = vec![BTreeSet::new(); nloops];
+        let mut lift = vec![DenseTagSet::new(); nloops];
         for li in 0..nloops {
             lift[li] = match nest.forest.loops[li].parent {
                 None => promotable[li].clone(),
-                Some(p) => promotable[li]
-                    .difference(&promotable[p.index()])
-                    .copied()
-                    .collect(),
+                Some(p) => promotable[li].difference(&promotable[p.index()]),
             };
         }
-        LoopSets { explicit, ambiguous, promotable, lift }
+        LoopSets {
+            explicit,
+            ambiguous,
+            promotable,
+            lift,
+        }
     }
 
     /// Union of `L_PROMOTABLE` over every loop containing `b`.
-    pub fn promotable_in_block(&self, nest: &LoopNest, b: ir::BlockId) -> BTreeSet<TagId> {
-        let mut out = BTreeSet::new();
+    pub fn promotable_in_block(&self, nest: &LoopNest, b: ir::BlockId) -> DenseTagSet {
+        let mut out = DenseTagSet::new();
         let mut cur = nest.forest.block_loop[b.index()];
         while let Some(l) = cur {
-            out.extend(self.promotable[l.index()].iter().copied());
+            out.union_with(&self.promotable[l.index()]);
             cur = nest.forest.loops[l.index()].parent;
         }
         out
     }
 
     /// All tags promotable in at least one loop.
-    pub fn all_promotable(&self) -> BTreeSet<TagId> {
-        self.promotable.iter().flatten().copied().collect()
+    pub fn all_promotable(&self) -> DenseTagSet {
+        let mut out = DenseTagSet::new();
+        for p in &self.promotable {
+            out.union_with(p);
+        }
+        out
     }
 
     /// Loops (id order) where `t` must be lifted.
     pub fn lift_loops(&self, t: TagId) -> Vec<LoopId> {
         (0..self.lift.len() as u32)
             .map(LoopId)
-            .filter(|l| self.lift[l.index()].contains(&t))
+            .filter(|l| self.lift[l.index()].contains(t))
             .collect()
     }
 }
@@ -174,6 +184,7 @@ impl LoopSets {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ir::Module;
 
     /// Hand-build the situation of the paper's Figure 2 and check every
     /// set matches the figure. Loop structure (headers): B1 ⊃ B3 ⊃ B5.
@@ -239,7 +250,7 @@ B9:
         cfg::normalize_loops(&mut m.funcs[f.index()]);
         let nest = LoopNest::compute(m.func(f));
         assert_eq!(nest.forest.len(), 3);
-        let blocks = block_sets(&m, f, m.func(f), false);
+        let blocks = block_sets(&m.tags, f, m.func(f), false);
         let sets = LoopSets::solve(&blocks, &nest);
         let a = m.tags.lookup("A").unwrap();
         let b = m.tags.lookup("B").unwrap();
@@ -254,14 +265,14 @@ B9:
         // The paper's table: PROMOTABLE(B1) = {C}, PROMOTABLE(B3) = {A},
         // PROMOTABLE(B5) = {A}; LIFT(B1) = {C}, LIFT(B3) = {A},
         // LIFT(B5) = {}.
-        assert_eq!(sets.promotable[outer.index()], BTreeSet::from([c]));
-        assert_eq!(sets.promotable[middle.index()], BTreeSet::from([a]));
-        assert_eq!(sets.promotable[inner.index()], BTreeSet::from([a]));
-        assert_eq!(sets.lift[outer.index()], BTreeSet::from([c]));
-        assert_eq!(sets.lift[middle.index()], BTreeSet::from([a]));
+        assert_eq!(sets.promotable[outer.index()], DenseTagSet::singleton(c));
+        assert_eq!(sets.promotable[middle.index()], DenseTagSet::singleton(a));
+        assert_eq!(sets.promotable[inner.index()], DenseTagSet::singleton(a));
+        assert_eq!(sets.lift[outer.index()], DenseTagSet::singleton(c));
+        assert_eq!(sets.lift[middle.index()], DenseTagSet::singleton(a));
         assert!(sets.lift[inner.index()].is_empty());
         // B is explicit in the middle loop but ambiguous there too.
-        assert!(sets.explicit[middle.index()].contains(&b));
+        assert!(sets.explicit[middle.index()].contains(b));
         assert!(sets.ambiguous[middle.index()].contains(b));
     }
 
@@ -279,9 +290,9 @@ B0:
 "#;
         let m = ir::parse_module(src).unwrap();
         let f = m.lookup_func("main").unwrap();
-        let blocks = block_sets(&m, f, m.func(f), false);
+        let blocks = block_sets(&m.tags, f, m.func(f), false);
         let g = m.tags.lookup("g").unwrap();
-        assert!(blocks[0].explicit.contains(&g));
+        assert!(blocks[0].explicit.contains(g));
         assert!(blocks[0].ambiguous.is_empty());
     }
 
@@ -299,9 +310,9 @@ B0:
 "#;
         let m = ir::parse_module(src).unwrap();
         let f = m.lookup_func("main").unwrap();
-        let blocks = block_sets(&m, f, m.func(f), false);
+        let blocks = block_sets(&m.tags, f, m.func(f), false);
         let a = m.tags.lookup("a").unwrap();
-        assert!(!blocks[0].explicit.contains(&a));
+        assert!(!blocks[0].explicit.contains(a));
         assert!(blocks[0].ambiguous.contains(a));
     }
 
@@ -320,10 +331,10 @@ B0:
         let f = m.lookup_func("f").unwrap();
         let x = m.tags.lookup("f.x").unwrap();
         // Non-recursive: explicit.
-        let blocks = block_sets(&m, f, m.func(f), false);
-        assert!(blocks[0].explicit.contains(&x));
+        let blocks = block_sets(&m.tags, f, m.func(f), false);
+        assert!(blocks[0].explicit.contains(x));
         // Recursive: ambiguous.
-        let blocks = block_sets(&m, f, m.func(f), true);
+        let blocks = block_sets(&m.tags, f, m.func(f), true);
         assert!(blocks[0].ambiguous.contains(x));
     }
 
@@ -350,12 +361,12 @@ B2:
         let f = m.lookup_func("main").unwrap();
         cfg::normalize_loops(&mut m.funcs[f.index()]);
         let nest = LoopNest::compute(m.func(f));
-        let blocks = block_sets(&m, f, m.func(f), false);
+        let blocks = block_sets(&m.tags, f, m.func(f), false);
         let sets = LoopSets::solve(&blocks, &nest);
         // g is explicit in the loop and the {*} store is outside it, so g
         // is promotable in the loop.
         let g = m.tags.lookup("g").unwrap();
-        assert_eq!(sets.promotable[0], BTreeSet::from([g]));
+        assert_eq!(sets.promotable[0], DenseTagSet::singleton(g));
         // But B0's ambiguity is total.
         assert!(blocks[0].ambiguous.is_all());
     }

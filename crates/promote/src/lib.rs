@@ -38,8 +38,10 @@ mod pointer;
 mod scalar;
 
 pub use equations::{block_sets, classify_singleton, BlockSets, LoopSets, RefClass};
-pub use pointer::{promote_pointers_in_func, PointerReport};
-pub use scalar::{promotable_tags, promote_scalars_in_func, ScalarReport};
+pub use pointer::{promote_pointers_in_func, promote_pointers_in_func_core, PointerReport};
+pub use scalar::{
+    promotable_tags, promote_scalars_in_func, promote_scalars_in_func_core, ScalarReport,
+};
 
 use analysis::{tarjan_sccs, CallGraph};
 use ir::Module;
@@ -61,7 +63,11 @@ pub struct PromotionOptions {
 
 impl Default for PromotionOptions {
     fn default() -> Self {
-        PromotionOptions { scalar: true, pointer_based: false, max_promoted_per_loop: None }
+        PromotionOptions {
+            scalar: true,
+            pointer_based: false,
+            max_promoted_per_loop: None,
+        }
     }
 }
 
@@ -91,12 +97,8 @@ pub fn promote_module(module: &mut Module, opts: &PromotionOptions) -> Promotion
         let f = ir::FuncId(fi as u32);
         if opts.scalar {
             let recursive = graph.is_recursive(f, &sccs);
-            let r = scalar::promote_scalars_in_func(
-                module,
-                f,
-                recursive,
-                opts.max_promoted_per_loop,
-            );
+            let r =
+                scalar::promote_scalars_in_func(module, f, recursive, opts.max_promoted_per_loop);
             report.scalar.loops += r.loops;
             report.scalar.promoted_tags += r.promoted_tags;
             report.scalar.lifts += r.lifts;
@@ -109,7 +111,10 @@ pub fn promote_module(module: &mut Module, opts: &PromotionOptions) -> Promotion
             report.pointer.lifts += r.lifts;
         }
     }
-    debug_assert!(ir::validate(module).is_ok(), "promotion produced invalid IL");
+    debug_assert!(
+        ir::validate(module).is_ok(),
+        "promotion produced invalid IL"
+    );
     report
 }
 
@@ -146,7 +151,11 @@ int main() {
         let before = Vm::run_main(&m, VmOptions::default()).unwrap();
         let report = promote_module(
             &mut m,
-            &PromotionOptions { scalar: true, pointer_based: true, ..Default::default() },
+            &PromotionOptions {
+                scalar: true,
+                pointer_based: true,
+                ..Default::default()
+            },
         );
         ir::validate(&m).unwrap();
         let after = Vm::run_main(&m, VmOptions::default()).unwrap();

@@ -12,7 +12,7 @@
 //! it after LICM.
 
 use cfg::{LoopId, LoopNest};
-use ir::{FuncId, Instr, Module, Reg, TagSet};
+use ir::{FuncId, Function, Instr, Module, Reg, TagSet};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// What pointer-based promotion did to one function.
@@ -28,13 +28,19 @@ pub struct PointerReport {
 
 /// Runs pointer-based promotion on one normalized function.
 pub fn promote_pointers_in_func(module: &mut Module, func_id: FuncId) -> PointerReport {
+    promote_pointers_in_func_core(&mut module.funcs[func_id.index()])
+}
+
+/// The per-function core of pointer-based promotion. Entirely
+/// function-local, so the parallel pipeline can fan it out across
+/// functions.
+pub fn promote_pointers_in_func_core(func: &mut Function) -> PointerReport {
     let mut report = PointerReport::default();
-    let nest = LoopNest::compute(module.func(func_id));
+    let nest = LoopNest::compute(func);
     if nest.forest.is_empty() {
         return report;
     }
     // Registers defined in each loop (for invariance checks).
-    let func = module.func(func_id);
     let mut defs_in_loop: Vec<BTreeSet<Reg>> = vec![BTreeSet::new(); nest.forest.len()];
     for (li, l) in nest.forest.loops.iter().enumerate() {
         for &b in &l.blocks {
@@ -55,8 +61,8 @@ pub fn promote_pointers_in_func(module: &mut Module, func_id: FuncId) -> Pointer
     }
     let mut planned: Vec<(LoopId, Reg, TagSet, bool, Reg)> = Vec::new();
     let mut rewrites: Vec<(usize, usize, Reg, bool)> = Vec::new(); // (block, instr, v, is_store)
-    // Tags already promoted in an enclosing pass of this loop walk — avoid
-    // double promotion of overlapping candidates.
+                                                                   // Tags already promoted in an enclosing pass of this loop walk — avoid
+                                                                   // double promotion of overlapping candidates.
     let mut claimed_tags: BTreeSet<ir::TagId> = BTreeSet::new();
     let mut claimed_blocks: BTreeSet<(usize, usize)> = BTreeSet::new();
     for li in nest.forest.inner_to_outer() {
@@ -65,7 +71,6 @@ pub fn promote_pointers_in_func(module: &mut Module, func_id: FuncId) -> Pointer
         // Gather pointer ops by base register; track every tag touched in
         // the loop by other means.
         let mut other_touched = TagSet::empty();
-        let func = module.func(func_id);
         for &b in &l.blocks {
             for (ii, instr) in func.blocks[b.index()].instrs.iter().enumerate() {
                 match instr {
@@ -85,7 +90,9 @@ pub fn promote_pointers_in_func(module: &mut Module, func_id: FuncId) -> Pointer
                             entry.stores.push((b.index(), ii));
                         }
                     }
-                    Instr::SLoad { tag, .. } | Instr::SStore { tag, .. } | Instr::CLoad { tag, .. } => {
+                    Instr::SLoad { tag, .. }
+                    | Instr::SStore { tag, .. }
+                    | Instr::CLoad { tag, .. } => {
                         other_touched.insert(*tag);
                     }
                     Instr::Call { mods, refs, .. } => {
@@ -107,19 +114,19 @@ pub fn promote_pointers_in_func(module: &mut Module, func_id: FuncId) -> Pointer
                 continue;
             }
             let tags: BTreeSet<_> = cand.tags.iter().collect();
-            if tags.iter().any(|&t| other_touched.contains(t) || claimed_tags.contains(&t)) {
+            if tags
+                .iter()
+                .any(|&t| other_touched.contains(t) || claimed_tags.contains(&t))
+            {
                 continue;
             }
             let mut conflicting = false;
-            let func = module.func(func_id);
             for &b in &l.blocks {
                 for instr in &func.blocks[b.index()].instrs {
-                    if let Instr::Load { addr, tags: ts, .. } | Instr::Store { addr, tags: ts, .. } =
-                        instr
+                    if let Instr::Load { addr, tags: ts, .. }
+                    | Instr::Store { addr, tags: ts, .. } = instr
                     {
-                        if *addr != base
-                            && (ts.is_all() || tags.iter().any(|&t| ts.contains(t)))
-                        {
+                        if *addr != base && (ts.is_all() || tags.iter().any(|&t| ts.contains(t))) {
                             conflicting = true;
                         }
                     }
@@ -138,7 +145,7 @@ pub fn promote_pointers_in_func(module: &mut Module, func_id: FuncId) -> Pointer
                 continue;
             }
             // Viable: allocate the register and plan the rewrite.
-            let v = module.func_mut(func_id).new_reg();
+            let v = func.new_reg();
             let has_store = !cand.stores.is_empty();
             for &(b, i) in &cand.loads {
                 rewrites.push((b, i, v, false));
@@ -156,7 +163,6 @@ pub fn promote_pointers_in_func(module: &mut Module, func_id: FuncId) -> Pointer
     }
     // Apply reference rewrites.
     for (b, i, v, _is_store) in rewrites {
-        let func = module.func_mut(func_id);
         let old = func.blocks[b].instrs[i].clone();
         func.blocks[b].instrs[i] = match old {
             Instr::Load { dst, .. } => Instr::Copy { dst, src: v },
@@ -167,16 +173,22 @@ pub fn promote_pointers_in_func(module: &mut Module, func_id: FuncId) -> Pointer
     // Insert lifts.
     for (li, base, tags, has_store, v) in planned {
         let pad = nest.landing_pad(li);
-        module
-            .func_mut(func_id)
-            .block_mut(pad)
-            .insert_before_terminator(Instr::Load { dst: v, addr: base, tags: tags.clone() });
+        func.block_mut(pad).insert_before_terminator(Instr::Load {
+            dst: v,
+            addr: base,
+            tags: tags.clone(),
+        });
         report.lifts += 1;
         if has_store {
             for &e in nest.exits(li) {
-                module.func_mut(func_id).blocks[e.index()]
-                    .instrs
-                    .insert(0, Instr::Store { src: v, addr: base, tags: tags.clone() });
+                func.blocks[e.index()].instrs.insert(
+                    0,
+                    Instr::Store {
+                        src: v,
+                        addr: base,
+                        tags: tags.clone(),
+                    },
+                );
                 report.lifts += 1;
             }
         }

@@ -7,7 +7,7 @@
 
 use crate::equations::{block_sets, classify_singleton, LoopSets, RefClass};
 use cfg::LoopNest;
-use ir::{FuncId, Instr, Module, Reg, TagId};
+use ir::{DenseTagSet, FuncId, Function, Instr, Module, Reg, TagId, TagTable};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// What scalar promotion did to one function.
@@ -42,15 +42,37 @@ pub fn promote_scalars_in_func(
     func_is_recursive: bool,
     max_per_loop: Option<usize>,
 ) -> ScalarReport {
-    let nest = LoopNest::compute(module.func(func_id));
-    let mut report = ScalarReport { loops: nest.forest.len(), ..Default::default() };
+    promote_scalars_in_func_core(
+        &module.tags,
+        &mut module.funcs[func_id.index()],
+        func_id,
+        func_is_recursive,
+        max_per_loop,
+    )
+}
+
+/// The per-function core of scalar promotion: needs only the (read-only)
+/// tag table and the function body, so independent functions can be
+/// promoted concurrently.
+pub fn promote_scalars_in_func_core(
+    tags: &TagTable,
+    func: &mut Function,
+    func_id: FuncId,
+    func_is_recursive: bool,
+    max_per_loop: Option<usize>,
+) -> ScalarReport {
+    let nest = LoopNest::compute(func);
+    let mut report = ScalarReport {
+        loops: nest.forest.len(),
+        ..Default::default()
+    };
     if nest.forest.is_empty() {
         return report;
     }
-    let blocks = block_sets(module, func_id, module.func(func_id), func_is_recursive);
+    let blocks = block_sets(tags, func_id, func, func_is_recursive);
     let mut sets = LoopSets::solve(&blocks, &nest);
     if let Some(cap) = max_per_loop {
-        throttle(module, func_id, &nest, &mut sets, cap);
+        throttle(func, &nest, &mut sets, cap);
     }
     let promotable = sets.all_promotable();
     if promotable.is_empty() {
@@ -59,44 +81,53 @@ pub fn promote_scalars_in_func(
     report.promoted_tags = promotable.len();
     // One virtual register per promoted tag.
     let mut tag_reg: BTreeMap<TagId, Reg> = BTreeMap::new();
-    for &t in &promotable {
-        let r = module.func_mut(func_id).new_reg();
+    for t in promotable.iter() {
+        let r = func.new_reg();
         tag_reg.insert(t, r);
     }
     // Step 5: rewrite references inside loops where the tag is promotable.
-    let nblocks = module.func(func_id).blocks.len();
+    let nblocks = func.blocks.len();
     for bi in 0..nblocks {
         let here = sets.promotable_in_block(&nest, ir::BlockId(bi as u32));
         if here.is_empty() {
             continue;
         }
-        let func = module.func(func_id);
         let mut rewritten: Vec<(usize, Instr)> = Vec::new();
         for (ii, instr) in func.blocks[bi].instrs.iter().enumerate() {
             let new = match instr {
-                Instr::SLoad { dst, tag } | Instr::CLoad { dst, tag } if here.contains(tag) => {
-                    Some(Instr::Copy { dst: *dst, src: tag_reg[tag] })
+                Instr::SLoad { dst, tag } | Instr::CLoad { dst, tag } if here.contains(*tag) => {
+                    Some(Instr::Copy {
+                        dst: *dst,
+                        src: tag_reg[tag],
+                    })
                 }
-                Instr::SStore { src, tag } if here.contains(tag) => {
-                    Some(Instr::Copy { dst: tag_reg[tag], src: *src })
-                }
-                Instr::Load { dst, tags, .. } => match tags.as_singleton() {
+                Instr::SStore { src, tag } if here.contains(*tag) => Some(Instr::Copy {
+                    dst: tag_reg[tag],
+                    src: *src,
+                }),
+                Instr::Load { dst, tags: ts, .. } => match ts.as_singleton() {
                     Some(t)
-                        if here.contains(&t)
-                            && classify_singleton(module, func_id, func_is_recursive, t)
+                        if here.contains(t)
+                            && classify_singleton(tags, func_id, func_is_recursive, t)
                                 == RefClass::Explicit =>
                     {
-                        Some(Instr::Copy { dst: *dst, src: tag_reg[&t] })
+                        Some(Instr::Copy {
+                            dst: *dst,
+                            src: tag_reg[&t],
+                        })
                     }
                     _ => None,
                 },
-                Instr::Store { src, tags, .. } => match tags.as_singleton() {
+                Instr::Store { src, tags: ts, .. } => match ts.as_singleton() {
                     Some(t)
-                        if here.contains(&t)
-                            && classify_singleton(module, func_id, func_is_recursive, t)
+                        if here.contains(t)
+                            && classify_singleton(tags, func_id, func_is_recursive, t)
                                 == RefClass::Explicit =>
                     {
-                        Some(Instr::Copy { dst: tag_reg[&t], src: *src })
+                        Some(Instr::Copy {
+                            dst: tag_reg[&t],
+                            src: *src,
+                        })
                     }
                     _ => None,
                 },
@@ -107,7 +138,6 @@ pub fn promote_scalars_in_func(
             }
         }
         report.rewritten_refs += rewritten.len();
-        let func = module.func_mut(func_id);
         for (ii, n) in rewritten {
             func.blocks[bi].instrs[ii] = n;
         }
@@ -125,7 +155,6 @@ pub fn promote_scalars_in_func(
     // promotion loads just before the landing pad's terminator, so a block
     // serving as both (exit of one loop, pad of the next) stays correct.
     let stored_in_loop: Vec<BTreeSet<TagId>> = {
-        let func = module.func(func_id);
         nest.forest
             .loops
             .iter()
@@ -145,9 +174,7 @@ pub fn promote_scalars_in_func(
                             // Rewritten stores are already copies into the
                             // promotion register; track them through it.
                             Instr::Copy { dst, .. } => {
-                                if let Some((&t, _)) =
-                                    tag_reg.iter().find(|(_, v)| **v == *dst)
-                                {
+                                if let Some((&t, _)) = tag_reg.iter().find(|(_, v)| **v == *dst) {
                                     stored.insert(t);
                                 }
                             }
@@ -163,7 +190,7 @@ pub fn promote_scalars_in_func(
     let mut pad_inserts: BTreeMap<usize, Vec<Instr>> = BTreeMap::new();
     for li in 0..nest.forest.len() {
         let l = cfg::LoopId(li as u32);
-        for &t in &sets.lift[li] {
+        for t in sets.lift[li].iter() {
             let v = tag_reg[&t];
             pad_inserts
                 .entry(nest.landing_pad(l).index())
@@ -181,7 +208,6 @@ pub fn promote_scalars_in_func(
             }
         }
     }
-    let func = module.func_mut(func_id);
     for (bi, instrs) in exit_inserts {
         for (k, instr) in instrs.into_iter().enumerate() {
             func.blocks[bi].instrs.insert(k, instr);
@@ -198,14 +224,7 @@ pub fn promote_scalars_in_func(
 /// Applies the pressure throttle: each loop keeps only its `cap`
 /// most-frequently-referenced promotable tags, and `L_LIFT` is re-derived
 /// from the trimmed sets (equation (4) of the paper).
-fn throttle(
-    module: &Module,
-    func_id: FuncId,
-    nest: &LoopNest,
-    sets: &mut LoopSets,
-    cap: usize,
-) {
-    let func = module.func(func_id);
+fn throttle(func: &Function, nest: &LoopNest, sets: &mut LoopSets, cap: usize) {
     for li in 0..nest.forest.len() {
         if sets.promotable[li].len() <= cap {
             continue;
@@ -229,7 +248,7 @@ fn throttle(
                 }
             }
         }
-        let mut ranked: Vec<TagId> = sets.promotable[li].iter().copied().collect();
+        let mut ranked: Vec<TagId> = sets.promotable[li].iter().collect();
         ranked.sort_by_key(|t| std::cmp::Reverse(freq.get(t).copied().unwrap_or(0)));
         sets.promotable[li] = ranked.into_iter().take(cap).collect();
     }
@@ -237,26 +256,24 @@ fn throttle(
     for li in 0..nest.forest.len() {
         sets.lift[li] = match nest.forest.loops[li].parent {
             None => sets.promotable[li].clone(),
-            Some(p) => sets.promotable[li]
-                .difference(&sets.promotable[p.index()])
-                .copied()
-                .collect(),
+            Some(p) => sets.promotable[li].difference(&sets.promotable[p.index()]),
         };
     }
 }
 
 /// Set of tags promotable anywhere in `func` — exposed for the driver's
 /// reporting and for tests.
-pub fn promotable_tags(
-    module: &Module,
-    func_id: FuncId,
-    func_is_recursive: bool,
-) -> BTreeSet<TagId> {
+pub fn promotable_tags(module: &Module, func_id: FuncId, func_is_recursive: bool) -> DenseTagSet {
     let nest = LoopNest::compute(module.func(func_id));
     if nest.forest.is_empty() {
-        return BTreeSet::new();
+        return DenseTagSet::new();
     }
-    let blocks = block_sets(module, func_id, module.func(func_id), func_is_recursive);
+    let blocks = block_sets(
+        &module.tags,
+        func_id,
+        module.func(func_id),
+        func_is_recursive,
+    );
     LoopSets::solve(&blocks, &nest).all_promotable()
 }
 

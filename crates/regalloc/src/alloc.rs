@@ -14,11 +14,20 @@
 //! * spill code through compiler-introduced **spill tags**, so spill
 //!   traffic shows up in the measured load/store counts exactly as it does
 //!   in the paper's figures.
+//!
+//! Allocation is split into a per-function core ([`allocate_function_core`])
+//! that touches only the function body plus a read-only tag-table snapshot,
+//! and a sequential commit ([`commit_spills`]) that interns the spill tags
+//! the core requested. The core hands out *provisional* tag ids (at or
+//! above [`PROVISIONAL_SPILL_BASE`]); committing in function-index order
+//! reproduces exactly the tag table a sequential allocation would build,
+//! which is what lets the driver fan functions out across threads without
+//! perturbing printed IL.
 
 use cfg::{for_each_instr_backwards, liveness, RegSet};
 use cfg::{Cfg, DomTree, LoopForest};
-use ir::{FuncId, Instr, Module, Reg, TagKind};
-use std::collections::{BTreeMap, BTreeSet};
+use ir::{FuncId, Function, Instr, Module, Reg, TagId, TagKind, TagTable};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Allocation parameters.
 #[derive(Debug, Clone)]
@@ -31,7 +40,10 @@ pub struct AllocOptions {
 
 impl Default for AllocOptions {
     fn default() -> Self {
-        AllocOptions { num_regs: 32, max_rounds: 24 }
+        AllocOptions {
+            num_regs: 32,
+            max_rounds: 24,
+        }
     }
 }
 
@@ -54,6 +66,21 @@ pub struct AllocReport {
     pub rounds: usize,
 }
 
+/// First provisional spill-tag id. Real tag ids are interned densely from
+/// zero; anything at or above this base is a placeholder that
+/// [`commit_spills`] must replace.
+pub const PROVISIONAL_SPILL_BASE: u32 = 0x8000_0000;
+
+/// A spill tag requested by [`allocate_function_core`] but not yet
+/// interned in the module's tag table.
+#[derive(Debug, Clone)]
+pub struct PendingSpill {
+    /// The placeholder id the core wrote into the function's spill code.
+    pub provisional: TagId,
+    /// The name the real tag must be interned under.
+    pub name: String,
+}
+
 struct Graph {
     adj: Vec<BTreeSet<u32>>,
     degree: Vec<usize>,
@@ -61,7 +88,10 @@ struct Graph {
 
 impl Graph {
     fn new(n: usize) -> Self {
-        Graph { adj: vec![BTreeSet::new(); n], degree: vec![0; n] }
+        Graph {
+            adj: vec![BTreeSet::new(); n],
+            degree: vec![0; n],
+        }
     }
 
     fn add_edge(&mut self, a: u32, b: u32) {
@@ -81,7 +111,7 @@ impl Graph {
     }
 }
 
-fn build_graph(func: &ir::Function, cfg: &Cfg) -> Graph {
+fn build_graph(func: &Function, cfg: &Cfg) -> Graph {
     let n = func.next_reg as usize;
     let live = liveness(func, cfg);
     let mut g = Graph::new(n);
@@ -111,7 +141,7 @@ fn build_graph(func: &ir::Function, cfg: &Cfg) -> Graph {
 }
 
 /// Per-register occurrence costs, weighted 10^loop-depth.
-fn spill_costs(func: &ir::Function, cfg: &Cfg) -> Vec<f64> {
+fn spill_costs(func: &Function, cfg: &Cfg) -> Vec<f64> {
     let dom = DomTree::lengauer_tarjan(cfg);
     let forest = LoopForest::build(cfg, &dom);
     let mut cost = vec![0.0; func.next_reg as usize];
@@ -134,8 +164,7 @@ fn spill_costs(func: &ir::Function, cfg: &Cfg) -> Vec<f64> {
 }
 
 /// One conservative-coalescing sweep. Returns copies eliminated.
-fn coalesce_once(module: &mut Module, func_id: FuncId, k: usize) -> usize {
-    let func = module.func(func_id);
+fn coalesce_once(func: &mut Function, k: usize) -> usize {
     let cfg = Cfg::build(func);
     let g = build_graph(func, &cfg);
     let nregs = func.next_reg as usize;
@@ -214,7 +243,6 @@ fn coalesce_once(module: &mut Module, func_id: FuncId, k: usize) -> usize {
         return 0;
     }
     // Rewrite registers to representatives and drop identity copies.
-    let func = module.func_mut(func_id);
     for block in &mut func.blocks {
         for instr in &mut block.instrs {
             if let Some(d) = instr.def_mut() {
@@ -235,14 +263,12 @@ fn coalesce_once(module: &mut Module, func_id: FuncId, k: usize) -> usize {
 /// for honest spill counts — most high-degree values in optimized code are
 /// loop-hoisted constants and addresses.
 fn try_rematerialize(
-    module: &mut Module,
-    func_id: FuncId,
+    func: &mut Function,
     victims: &mut BTreeSet<u32>,
     temps: &mut BTreeSet<u32>,
 ) -> usize {
     // Map victim -> its defining instruction if it has exactly one def and
     // that def is constant-like.
-    let func = module.func(func_id);
     let mut def_count: BTreeMap<u32, usize> = BTreeMap::new();
     let mut def_instr: BTreeMap<u32, Instr> = BTreeMap::new();
     for block in &func.blocks {
@@ -271,7 +297,6 @@ fn try_rematerialize(
     if rematable.is_empty() {
         return 0;
     }
-    let func = module.func_mut(func_id);
     for bi in 0..func.blocks.len() {
         let mut i = 0;
         while i < func.blocks[bi].instrs.len() {
@@ -326,41 +351,41 @@ fn try_rematerialize(
 /// Inserts spill code for `victims`; returns (loads, stores) inserted and
 /// the short-range temporaries created (which must never be spill
 /// candidates themselves, or allocation would not terminate).
+///
+/// Spill tags are *not* interned here: each victim gets a provisional id
+/// recorded in `pending`, so the caller (or the driver's parallel commit)
+/// can intern the real tags in deterministic function order.
 fn insert_spill_code(
-    module: &mut Module,
-    func_id: FuncId,
+    func: &mut Function,
     victims: &BTreeSet<u32>,
+    spill_base: usize,
+    pending: &mut Vec<PendingSpill>,
 ) -> (usize, usize, BTreeSet<u32>) {
-    // One spill tag per victim.
+    // One spill tag per victim, named sequentially over all spill tags this
+    // function has ever received (pre-existing `spill_base` plus the ones
+    // requested so far), so names stay unique across spill rounds.
     let mut tags = BTreeMap::new();
     for &v in victims {
-        // Sequential naming over all spill tags this function has ever
-        // received (the count grows as we intern, so names stay unique
-        // across spill rounds).
-        let name = format!(
-            "{}.spill{}",
-            module.func(func_id).name,
-            module
-                .tags
-                .iter()
-                .filter(|(_, t)| matches!(t.kind, TagKind::Spill { owner } if owner == func_id.0))
-                .count()
-        );
-        let tag = module.tags.intern(name, TagKind::Spill { owner: func_id.0 }, 1);
-        tags.insert(v, tag);
+        let name = format!("{}.spill{}", func.name, spill_base + pending.len());
+        let provisional = TagId(PROVISIONAL_SPILL_BASE + pending.len() as u32);
+        pending.push(PendingSpill { provisional, name });
+        tags.insert(v, provisional);
     }
-    let arity = module.func(func_id).arity as u32;
+    let arity = func.arity as u32;
     let mut loads = 0;
     let mut stores = 0;
     let mut temps: BTreeSet<u32> = BTreeSet::new();
-    let func = module.func_mut(func_id);
     // Spilled parameters are stored once on entry.
     let entry = func.entry;
     for &v in victims {
         if v < arity {
-            func.block_mut(entry)
-                .instrs
-                .insert(0, Instr::SStore { src: Reg(v), tag: tags[&v] });
+            func.block_mut(entry).instrs.insert(
+                0,
+                Instr::SStore {
+                    src: Reg(v),
+                    tag: tags[&v],
+                },
+            );
             stores += 1;
         }
     }
@@ -396,9 +421,13 @@ fn insert_spill_code(
             }
             let mut insert_at = i;
             for &v in &used {
-                func.blocks[bi]
-                    .instrs
-                    .insert(insert_at, Instr::SLoad { dst: remap[&v], tag: tags[&v] });
+                func.blocks[bi].instrs.insert(
+                    insert_at,
+                    Instr::SLoad {
+                        dst: remap[&v],
+                        tag: tags[&v],
+                    },
+                );
                 insert_at += 1;
                 loads += 1;
             }
@@ -415,7 +444,10 @@ fn insert_spill_code(
                     func.next_reg += 1;
                     temps.insert(tmp.0);
                     *instr.def_mut().expect("def checked") = tmp;
-                    let store = Instr::SStore { src: tmp, tag: tags[&d.0] };
+                    let store = Instr::SStore {
+                        src: tmp,
+                        tag: tags[&d.0],
+                    };
                     // A terminator cannot define a register, so inserting
                     // after is always legal.
                     func.blocks[bi].instrs.insert(i + 1, store);
@@ -429,21 +461,37 @@ fn insert_spill_code(
     (loads, stores, temps)
 }
 
-/// Allocates one function onto `opts.num_regs` registers.
+/// Allocates one function onto `opts.num_regs` registers, using only a
+/// read-only snapshot of the tag table. Spill tags the function needs are
+/// returned through `pending` as provisional ids; the caller must intern
+/// them with [`commit_spills`] before the module is printed, validated, or
+/// run.
 ///
 /// # Panics
 ///
 /// Panics if the function's arity exceeds the register count or if
 /// allocation fails to converge within `opts.max_rounds`.
-pub fn allocate_function(module: &mut Module, func_id: FuncId, opts: &AllocOptions) -> AllocReport {
+pub fn allocate_function_core(
+    tags: &TagTable,
+    func: &mut Function,
+    func_id: FuncId,
+    opts: &AllocOptions,
+    pending: &mut Vec<PendingSpill>,
+) -> AllocReport {
     let mut report = AllocReport::default();
     let k = opts.num_regs;
     assert!(
-        module.func(func_id).arity <= k,
+        func.arity <= k,
         "@{}: arity {} exceeds {k} registers",
-        module.func(func_id).name,
-        module.func(func_id).arity
+        func.name,
+        func.arity
     );
+    // Spill tags this function already owns (normally zero; nonzero only if
+    // allocation is re-run on an already-allocated module).
+    let spill_base = tags
+        .iter()
+        .filter(|(_, t)| matches!(t.kind, TagKind::Spill { owner } if owner == func_id.0))
+        .count();
     let mut no_spill: BTreeSet<u32> = BTreeSet::new();
     loop {
         report.rounds += 1;
@@ -457,7 +505,6 @@ pub fn allocate_function(module: &mut Module, func_id: FuncId, opts: &AllocOptio
         // legitimately undo it; once spilling starts, coalescing freezes
         // and the decoupling sticks.
         {
-            let func = module.func_mut(func_id);
             let arity = func.arity as u32;
             if arity > 0 {
                 let shadows: Vec<Reg> = (0..arity).map(|_| func.new_reg()).collect();
@@ -477,9 +524,13 @@ pub fn allocate_function(module: &mut Module, func_id: FuncId, opts: &AllocOptio
                 }
                 let entry = func.entry;
                 for (i, &v) in shadows.iter().enumerate().rev() {
-                    func.block_mut(entry)
-                        .instrs
-                        .insert(0, Instr::Copy { dst: v, src: Reg(i as u32) });
+                    func.block_mut(entry).instrs.insert(
+                        0,
+                        Instr::Copy {
+                            dst: v,
+                            src: Reg(i as u32),
+                        },
+                    );
                 }
             }
         }
@@ -487,14 +538,14 @@ pub fn allocate_function(module: &mut Module, func_id: FuncId, opts: &AllocOptio
             eprintln!(
                 "round {}: instrs={} next_reg={}",
                 report.rounds,
-                module.func(func_id).instr_count(),
-                module.func(func_id).next_reg
+                func.instr_count(),
+                func.next_reg
             );
         }
         assert!(
             report.rounds <= opts.max_rounds,
             "@{}: register allocation did not converge",
-            module.func(func_id).name
+            func.name
         );
         // Coalesce until stable — but only before any spill round.
         // Iterating coalescing against spilling can oscillate (a merge
@@ -503,14 +554,13 @@ pub fn allocate_function(module: &mut Module, func_id: FuncId, opts: &AllocOptio
         // classic iterated-coalescing discipline.
         if report.spilled == 0 {
             loop {
-                let c = coalesce_once(module, func_id, k);
+                let c = coalesce_once(func, k);
                 report.coalesced += c;
                 if c == 0 {
                     break;
                 }
             }
         }
-        let func = module.func(func_id);
         let cfg = Cfg::build(func);
         let g = build_graph(func, &cfg);
         let costs = spill_costs(func, &cfg);
@@ -535,7 +585,11 @@ pub fn allocate_function(module: &mut Module, func_id: FuncId, opts: &AllocOptio
         let mut degree = g.degree.clone();
         let mut removed = vec![false; nregs];
         let mut stack: Vec<u32> = Vec::new();
-        let work: Vec<u32> = occurs.iter().map(|r| r.0).filter(|&r| r >= precolored).collect();
+        let work: Vec<u32> = occurs
+            .iter()
+            .map(|r| r.0)
+            .filter(|&r| r >= precolored)
+            .collect();
         let mut remaining = work.len();
         while remaining > 0 {
             // Prefer a trivially colorable node.
@@ -599,7 +653,6 @@ pub fn allocate_function(module: &mut Module, func_id: FuncId, opts: &AllocOptio
         }
         if spilled.is_empty() {
             // Rewrite to physical registers.
-            let func = module.func_mut(func_id);
             for block in &mut func.blocks {
                 for instr in &mut block.instrs {
                     if let Some(d) = instr.def_mut() {
@@ -619,14 +672,63 @@ pub fn allocate_function(module: &mut Module, func_id: FuncId, opts: &AllocOptio
         }
         let mut spilled = spilled;
         let mut temps = BTreeSet::new();
-        report.rematerialized += try_rematerialize(module, func_id, &mut spilled, &mut temps);
+        report.rematerialized += try_rematerialize(func, &mut spilled, &mut temps);
         report.spilled += spilled.len();
-        let (l, s, spill_temps) = insert_spill_code(module, func_id, &spilled);
+        let (l, s, spill_temps) = insert_spill_code(func, &spilled, spill_base, pending);
         temps.extend(spill_temps);
         no_spill.extend(temps);
         report.spill_loads += l;
         report.spill_stores += s;
     }
+}
+
+/// Interns the spill tags one function's allocation requested and rewrites
+/// its provisional ids to the real ones. Call once per function, in
+/// function-index order, so the resulting tag table matches a sequential
+/// allocation exactly.
+pub fn commit_spills(module: &mut Module, func_id: FuncId, pending: Vec<PendingSpill>) {
+    if pending.is_empty() {
+        return;
+    }
+    let mut remap: HashMap<u32, TagId> = HashMap::with_capacity(pending.len());
+    for p in pending {
+        let real = module
+            .tags
+            .intern(p.name, TagKind::Spill { owner: func_id.0 }, 1);
+        remap.insert(p.provisional.0, real);
+    }
+    let func = module.func_mut(func_id);
+    for block in &mut func.blocks {
+        for instr in &mut block.instrs {
+            match instr {
+                Instr::SLoad { tag, .. } | Instr::SStore { tag, .. } => {
+                    if let Some(real) = remap.get(&tag.0) {
+                        *tag = *real;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Allocates one function onto `opts.num_regs` registers.
+///
+/// # Panics
+///
+/// Panics if the function's arity exceeds the register count or if
+/// allocation fails to converge within `opts.max_rounds`.
+pub fn allocate_function(module: &mut Module, func_id: FuncId, opts: &AllocOptions) -> AllocReport {
+    let mut pending = Vec::new();
+    let report = allocate_function_core(
+        &module.tags,
+        &mut module.funcs[func_id.index()],
+        func_id,
+        opts,
+        &mut pending,
+    );
+    commit_spills(module, func_id, pending);
+    report
 }
 
 /// Allocates every function in the module.
@@ -641,6 +743,9 @@ pub fn allocate(module: &mut Module, opts: &AllocOptions) -> AllocReport {
         total.spill_stores += r.spill_stores;
         total.rounds += r.rounds;
     }
-    debug_assert!(ir::validate(module).is_ok(), "allocation produced invalid IL");
+    debug_assert!(
+        ir::validate(module).is_ok(),
+        "allocation produced invalid IL"
+    );
     total
 }

@@ -27,5 +27,8 @@
 
 mod alloc;
 
-pub use alloc::{allocate, allocate_function, AllocOptions, AllocReport};
+pub use alloc::{
+    allocate, allocate_function, allocate_function_core, commit_spills, AllocOptions, AllocReport,
+    PendingSpill, PROVISIONAL_SPILL_BASE,
+};
 pub use cfg::{for_each_instr_backwards, liveness, Liveness, RegSet};

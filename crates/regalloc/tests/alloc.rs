@@ -33,9 +33,15 @@ fn fits_in_default_registers_without_spills() {
 
 #[test]
 fn tight_register_file_forces_spills_but_stays_correct() {
-    let opts = AllocOptions { num_regs: 4, ..Default::default() };
+    let opts = AllocOptions {
+        num_regs: 4,
+        ..Default::default()
+    };
     let (before, after, report) = check(MANY_LIVE, &opts);
-    assert!(report.spilled > 0, "4 registers cannot hold 10+ live values");
+    assert!(
+        report.spilled > 0,
+        "4 registers cannot hold 10+ live values"
+    );
     // Spill traffic shows up as extra loads/stores.
     assert!(after.counts.loads > before.counts.loads);
     assert!(after.counts.stores > before.counts.stores);
@@ -97,7 +103,10 @@ int main() {
     return 0;
 }
 "#;
-    let opts = AllocOptions { num_regs: 3, ..Default::default() };
+    let opts = AllocOptions {
+        num_regs: 3,
+        ..Default::default()
+    };
     let (_, after, _) = check(src, &opts);
     assert_eq!(after.output, vec!["139"]);
     // All functions fit in 3 registers afterwards.
@@ -116,7 +125,10 @@ int main() {
 }
 "#;
     let mut m = minic::compile(src).unwrap();
-    let opts = AllocOptions { num_regs: 8, ..Default::default() };
+    let opts = AllocOptions {
+        num_regs: 8,
+        ..Default::default()
+    };
     allocate(&mut m, &opts);
     for f in &m.funcs {
         assert!(f.next_reg <= 8, "@{} uses {} registers", f.name, f.next_reg);
@@ -144,7 +156,10 @@ int main() {
     return 0;
 }
 "#;
-    let opts = AllocOptions { num_regs: 4, ..Default::default() };
+    let opts = AllocOptions {
+        num_regs: 4,
+        ..Default::default()
+    };
     let (_, _, report) = check(src, &opts);
     assert!(report.spilled > 0);
 }
@@ -160,6 +175,12 @@ int main() {
     return 0;
 }
 "#;
-    let (_, after, _) = check(src, &AllocOptions { num_regs: 4, ..Default::default() });
+    let (_, after, _) = check(
+        src,
+        &AllocOptions {
+            num_regs: 4,
+            ..Default::default()
+        },
+    );
     assert_eq!(after.output, vec!["7.750000", "2.000000"]);
 }

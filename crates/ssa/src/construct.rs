@@ -34,7 +34,10 @@ impl SsaMap {
 /// Panics if the function already contains φ-nodes.
 pub fn construct(func: &mut Function) -> SsaMap {
     assert!(
-        !func.blocks.iter().any(|b| b.instrs.iter().any(|i| matches!(i, Instr::Phi { .. }))),
+        !func
+            .blocks
+            .iter()
+            .any(|b| b.instrs.iter().any(|i| matches!(i, Instr::Phi { .. }))),
         "function is already in SSA form"
     );
     let cfg = Cfg::build(func);
@@ -88,7 +91,13 @@ pub fn construct(func: &mut Function) -> SsaMap {
     for bid in func.block_ids() {
         let list: Vec<Reg> = phis[bid.index()].iter().copied().collect();
         for (k, r) in list.into_iter().enumerate() {
-            func.block_mut(bid).instrs.insert(k, Instr::Phi { dst: r, args: Vec::new() });
+            func.block_mut(bid).instrs.insert(
+                k,
+                Instr::Phi {
+                    dst: r,
+                    args: Vec::new(),
+                },
+            );
         }
     }
 
@@ -149,10 +158,8 @@ pub fn construct(func: &mut Function) -> SsaMap {
             let len = self.func.blocks[b.index()].instrs.len();
             for i in phi_count..len {
                 // Uses first (reading the pre-instruction state)...
-                let mut instr = std::mem::replace(
-                    &mut self.func.blocks[b.index()].instrs[i],
-                    Instr::Nop,
-                );
+                let mut instr =
+                    std::mem::replace(&mut self.func.blocks[b.index()].instrs[i], Instr::Nop);
                 let mut use_map: Vec<(Reg, Reg)> = Vec::new();
                 instr.visit_uses(|r| use_map.push((r, Reg(0))));
                 for (orig, new) in &mut use_map {
@@ -177,9 +184,7 @@ pub fn construct(func: &mut Function) -> SsaMap {
                 for k in 0..self.phi_orig[s.index()].len() {
                     let orig = self.phi_orig[s.index()][k];
                     let incoming = self.top(orig);
-                    if let Instr::Phi { args, .. } =
-                        &mut self.func.blocks[s.index()].instrs[k]
-                    {
+                    if let Instr::Phi { args, .. } = &mut self.func.blocks[s.index()].instrs[k] {
                         args.push((b, incoming));
                     }
                 }
@@ -198,10 +203,7 @@ pub fn construct(func: &mut Function) -> SsaMap {
         }
     }
 
-    let phi_orig: Vec<Vec<Reg>> = phis
-        .iter()
-        .map(|s| s.iter().copied().collect())
-        .collect();
+    let phi_orig: Vec<Vec<Reg>> = phis.iter().map(|s| s.iter().copied().collect()).collect();
     let mut renamer = Renamer {
         func,
         cfg: &cfg,
@@ -236,7 +238,12 @@ mod tests {
         b.branch(c, body, exit);
         b.switch_to(body);
         let one = b.iconst(1);
-        b.emit(Instr::Binary { op: BinOp::Add, dst: i, lhs: i, rhs: one });
+        b.emit(Instr::Binary {
+            op: BinOp::Add,
+            dst: i,
+            lhs: i,
+            rhs: one,
+        });
         b.jump(header);
         b.switch_to(exit);
         b.ret(Some(i));
@@ -253,7 +260,12 @@ mod tests {
         let phis: usize = f
             .blocks
             .iter()
-            .map(|b| b.instrs.iter().filter(|i| matches!(i, Instr::Phi { .. })).count())
+            .map(|b| {
+                b.instrs
+                    .iter()
+                    .filter(|i| matches!(i, Instr::Phi { .. }))
+                    .count()
+            })
             .sum();
         assert_eq!(phis, 1, "exactly one phi, for the loop counter");
     }
@@ -263,23 +275,23 @@ mod tests {
         let mut f = loop_function();
         let mut m0 = ir::Module::new();
         m0.add_func(f.clone());
-        let before = vm::Vm::run_main(&{
-            let mut m = ir::Module::new();
-            let mut main = f.clone();
-            main.name = "main".into();
-            m.add_func(main);
-            m
-        }, vm::VmOptions::default());
+        let before = vm::Vm::run_main(
+            &{
+                let mut m = ir::Module::new();
+                let mut main = f.clone();
+                main.name = "main".into();
+                m.add_func(main);
+                m
+            },
+            vm::VmOptions::default(),
+        );
         construct(&mut f);
         let mut m = ir::Module::new();
         f.name = "main".into();
         m.add_func(f);
         ir::validate(&m).expect("valid IL");
         let after = vm::Vm::run_main(&m, vm::VmOptions::default());
-        assert_eq!(
-            before.expect("runs").result,
-            after.expect("runs").result
-        );
+        assert_eq!(before.expect("runs").result, after.expect("runs").result);
     }
 
     #[test]
@@ -322,7 +334,12 @@ mod tests {
         let phis: usize = f
             .blocks
             .iter()
-            .map(|bl| bl.instrs.iter().filter(|i| matches!(i, Instr::Phi { .. })).count())
+            .map(|bl| {
+                bl.instrs
+                    .iter()
+                    .filter(|i| matches!(i, Instr::Phi { .. }))
+                    .count()
+            })
             .sum();
         assert_eq!(phis, 1, "y's phi is pruned");
     }

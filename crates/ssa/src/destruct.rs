@@ -54,8 +54,7 @@ pub fn sequentialize_parallel_copy(
     moves: &[(Reg, Reg)],
     mut fresh: impl FnMut() -> Reg,
 ) -> Vec<Instr> {
-    let mut pending: Vec<(Reg, Reg)> =
-        moves.iter().copied().filter(|(d, s)| d != s).collect();
+    let mut pending: Vec<(Reg, Reg)> = moves.iter().copied().filter(|(d, s)| d != s).collect();
     let mut out = Vec::new();
     while !pending.is_empty() {
         // A move whose destination is not the source of any other pending
@@ -144,7 +143,10 @@ mod tests {
         let seq = sequentialize_parallel_copy(&[(a, b), (b, c)], || unreachable!());
         assert_eq!(
             seq,
-            vec![Instr::Copy { dst: a, src: b }, Instr::Copy { dst: b, src: c }]
+            vec![
+                Instr::Copy { dst: a, src: b },
+                Instr::Copy { dst: b, src: c }
+            ]
         );
     }
 
@@ -159,8 +161,14 @@ mod tests {
         assert_eq!(seq[0], Instr::Copy { dst: t, src: b });
         // After the temp, both targets get written from non-clobbered
         // sources.
-        assert!(seq.iter().skip(1).any(|i| matches!(i, Instr::Copy { dst, .. } if *dst == a)));
-        assert!(seq.iter().skip(1).any(|i| matches!(i, Instr::Copy { dst, .. } if *dst == b)));
+        assert!(seq
+            .iter()
+            .skip(1)
+            .any(|i| matches!(i, Instr::Copy { dst, .. } if *dst == a)));
+        assert!(seq
+            .iter()
+            .skip(1)
+            .any(|i| matches!(i, Instr::Copy { dst, .. } if *dst == b)));
     }
 
     #[test]

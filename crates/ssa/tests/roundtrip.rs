@@ -1,7 +1,9 @@
 //! SSA round-trip: construct → verify → destruct must preserve behaviour
 //! on real compiled programs, including loops, calls, and recursion.
+//!
+//! The randomized cases use an in-tree xorshift64* generator so the test
+//! is deterministic and builds offline.
 
-use proptest::prelude::*;
 use vm::{Vm, VmOptions};
 
 fn roundtrip(src: &str) {
@@ -15,20 +17,28 @@ fn roundtrip(src: &str) {
     }
     ir::validate(&in_ssa).expect("valid IL in SSA form");
     let mid = Vm::run_main(&in_ssa, VmOptions::default()).expect("ssa form runs");
-    assert_eq!(before.output, mid.output, "construction preserves behaviour");
+    assert_eq!(
+        before.output, mid.output,
+        "construction preserves behaviour"
+    );
     // Destruct, run again.
     let mut back = in_ssa.clone();
     for f in &mut back.funcs {
         ssa::destruct(f);
         assert!(
-            !f.blocks.iter().any(|b| b.instrs.iter().any(|i| matches!(i, ir::Instr::Phi { .. }))),
+            !f.blocks
+                .iter()
+                .any(|b| b.instrs.iter().any(|i| matches!(i, ir::Instr::Phi { .. }))),
             "{}: no φ remains",
             f.name
         );
     }
     ir::validate(&back).expect("valid IL after destruction");
     let after = Vm::run_main(&back, VmOptions::default()).expect("destructed runs");
-    assert_eq!(before.output, after.output, "destruction preserves behaviour");
+    assert_eq!(
+        before.output, after.output,
+        "destruction preserves behaviour"
+    );
 }
 
 #[test]
@@ -149,7 +159,10 @@ fn generated(globals: usize, depth: usize, stmts: &[(usize, usize, i32)]) -> Str
                 let _ = writeln!(src, "        a = a + g{g} + {c};");
             }
             1 => {
-                let _ = writeln!(src, "        if (a % 2) {{ b = a; }} else {{ a = b + {c}; }}");
+                let _ = writeln!(
+                    src,
+                    "        if (a % 2) {{ b = a; }} else {{ a = b + {c}; }}"
+                );
             }
             2 => {
                 let _ = writeln!(src, "        g{g} = g{g} + b;");
@@ -170,15 +183,36 @@ fn generated(globals: usize, depth: usize, stmts: &[(usize, usize, i32)]) -> Str
     src
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
 
-    #[test]
-    fn random_programs_roundtrip(
-        globals in 1usize..4,
-        depth in 0usize..4,
-        stmts in proptest::collection::vec((0usize..4, 0usize..4, 1i32..9), 1..8),
-    ) {
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+#[test]
+fn random_programs_roundtrip() {
+    let mut rng = Rng::new(0x55A_0C41);
+    for _case in 0..64 {
+        let globals = 1 + rng.below(3);
+        let depth = rng.below(4);
+        let n_stmts = 1 + rng.below(7);
+        let stmts: Vec<(usize, usize, i32)> = (0..n_stmts)
+            .map(|_| (rng.below(4), rng.below(4), 1 + rng.below(8) as i32))
+            .collect();
         roundtrip(&generated(globals, depth, &stmts));
     }
 }

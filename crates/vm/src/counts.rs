@@ -91,8 +91,18 @@ mod tests {
 
     #[test]
     fn addition() {
-        let a = ExecCounts { total: 10, loads: 2, stores: 1, ..Default::default() };
-        let b = ExecCounts { total: 5, loads: 1, stores: 4, ..Default::default() };
+        let a = ExecCounts {
+            total: 10,
+            loads: 2,
+            stores: 1,
+            ..Default::default()
+        };
+        let b = ExecCounts {
+            total: 5,
+            loads: 1,
+            stores: 4,
+            ..Default::default()
+        };
         let c = a + b;
         assert_eq!(c.total, 15);
         assert_eq!(c.memory_ops(), 8);

@@ -26,7 +26,10 @@ pub struct VmOptions {
 
 impl Default for VmOptions {
     fn default() -> Self {
-        VmOptions { max_steps: 1 << 33, max_depth: 2_000 }
+        VmOptions {
+            max_steps: 1 << 33,
+            max_depth: 2_000,
+        }
     }
 }
 
@@ -208,7 +211,12 @@ impl<'m> Vm<'m> {
                     Some(Value::Int(v)) => v,
                     _ => 0,
                 };
-                Ok(Outcome { result, exit_code, output: vm.output, counts: vm.counts })
+                Ok(Outcome {
+                    result,
+                    exit_code,
+                    output: vm.output,
+                    counts: vm.counts,
+                })
             }
             Err(Stop::Exit(code)) => Ok(Outcome {
                 result: None,
@@ -225,10 +233,17 @@ impl<'m> Vm<'m> {
             let obj = &mut self.objects[slot as usize];
             obj.data = data;
             obj.live = true;
-            ObjRef { id: ObjId(slot), gen: obj.gen }
+            ObjRef {
+                id: ObjId(slot),
+                gen: obj.gen,
+            }
         } else {
             let id = ObjId(self.objects.len() as u32);
-            self.objects.push(Obj { gen: 0, live: true, data });
+            self.objects.push(Obj {
+                gen: 0,
+                live: true,
+                data,
+            });
             ObjRef { id, gen: 0 }
         }
     }
@@ -331,7 +346,10 @@ impl<'m> Vm<'m> {
         }
         let mut regs = vec![Value::Uninit; func.next_reg as usize];
         regs[..args.len()].copy_from_slice(&args);
-        let mut frame = Frame { regs, locals: Vec::new() };
+        let mut frame = Frame {
+            regs,
+            locals: Vec::new(),
+        };
         for &tag in &self.owned_tags[func_id.index()].clone() {
             let size = self.module.tags.info(tag).size;
             let r = self.alloc_object(vec![Value::Uninit; size]);
@@ -355,7 +373,10 @@ impl<'m> Vm<'m> {
             let phi_end = block.first_non_phi();
             if phi_end > 0 {
                 let pb = prev.ok_or_else(|| {
-                    Stop::Error(VmError::Malformed(format!("phi in entry block of @{}", func.name)))
+                    Stop::Error(VmError::Malformed(format!(
+                        "phi in entry block of @{}",
+                        func.name
+                    )))
                 })?;
                 let mut updates: Vec<(Reg, Value)> = Vec::with_capacity(phi_end);
                 for instr in &block.instrs[..phi_end] {
@@ -438,20 +459,35 @@ impl<'m> Vm<'m> {
                 self.counts.loads += 1;
                 self.counts.scalar_loads += 1;
                 let r = self.tag_object(frame, *tag)?;
-                frame.regs[dst.index()] = self.read_cell(Ptr { obj: r.id, gen: r.gen, off: 0 })?;
+                frame.regs[dst.index()] = self.read_cell(Ptr {
+                    obj: r.id,
+                    gen: r.gen,
+                    off: 0,
+                })?;
             }
             Instr::SLoad { dst, tag } => {
                 self.counts.loads += 1;
                 self.counts.scalar_loads += 1;
                 let r = self.tag_object(frame, *tag)?;
-                frame.regs[dst.index()] = self.read_cell(Ptr { obj: r.id, gen: r.gen, off: 0 })?;
+                frame.regs[dst.index()] = self.read_cell(Ptr {
+                    obj: r.id,
+                    gen: r.gen,
+                    off: 0,
+                })?;
             }
             Instr::SStore { src, tag } => {
                 self.counts.stores += 1;
                 self.counts.scalar_stores += 1;
                 let r = self.tag_object(frame, *tag)?;
                 let v = get(frame, *src);
-                self.write_cell(Ptr { obj: r.id, gen: r.gen, off: 0 }, v)?;
+                self.write_cell(
+                    Ptr {
+                        obj: r.id,
+                        gen: r.gen,
+                        off: 0,
+                    },
+                    v,
+                )?;
             }
             Instr::Load { dst, addr, .. } => {
                 self.counts.loads += 1;
@@ -480,8 +516,11 @@ impl<'m> Vm<'m> {
                         get(frame, *offset).kind_name()
                     )))
                 })?;
-                frame.regs[dst.index()] =
-                    Value::Ptr(Ptr { obj: p.obj, gen: p.gen, off: p.off + off });
+                frame.regs[dst.index()] = Value::Ptr(Ptr {
+                    obj: p.obj,
+                    gen: p.gen,
+                    off: p.off + off,
+                });
             }
             Instr::Alloc { dst, size, .. } => {
                 self.counts.allocs += 1;
@@ -494,7 +533,9 @@ impl<'m> Vm<'m> {
                 let r = self.alloc_object(vec![Value::Uninit; n as usize]);
                 frame.regs[dst.index()] = ptr_value(r, 0);
             }
-            Instr::Call { dst, callee, args, .. } => {
+            Instr::Call {
+                dst, callee, args, ..
+            } => {
                 self.counts.calls += 1;
                 let argv: Vec<Value> = args.iter().map(|r| get(frame, *r)).collect();
                 let result = match callee {
@@ -521,7 +562,11 @@ impl<'m> Vm<'m> {
                 self.counts.control += 1;
                 return Ok(Flow::Jump(*target));
             }
-            Instr::Branch { cond, then_bb, else_bb } => {
+            Instr::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 self.counts.control += 1;
                 let c = get(frame, *cond).as_int().ok_or_else(|| {
                     Stop::Error(VmError::TypeError(format!(
@@ -586,17 +631,19 @@ enum Flow {
 }
 
 fn ptr_value(r: ObjRef, off: i64) -> Value {
-    Value::Ptr(Ptr { obj: r.id, gen: r.gen, off })
+    Value::Ptr(Ptr {
+        obj: r.id,
+        gen: r.gen,
+        off,
+    })
 }
 
 fn expect_ptr(v: Value) -> Exec<Ptr> {
     match v {
         Value::Ptr(p) => Ok(p),
-        other => Err(VmError::BadAddress(format!(
-            "expected pointer, got {}",
-            other.kind_name()
-        ))
-        .into()),
+        other => {
+            Err(VmError::BadAddress(format!("expected pointer, got {}", other.kind_name())).into())
+        }
     }
 }
 

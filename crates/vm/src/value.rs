@@ -126,7 +126,11 @@ mod tests {
         assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
         assert_eq!(Value::Int(3).as_float(), None);
         assert_eq!(Value::default(), Value::Uninit);
-        let p = Ptr { obj: ObjId(1), gen: 0, off: 2 };
+        let p = Ptr {
+            obj: ObjId(1),
+            gen: 0,
+            off: 2,
+        };
         assert_eq!(Value::Ptr(p).as_ptr(), Some(p));
     }
 

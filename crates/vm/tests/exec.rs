@@ -254,7 +254,8 @@ B0:
 
 #[test]
 fn division_by_zero_is_an_error() {
-    let e = run_err(r#"
+    let e = run_err(
+        r#"
 func @main(0) {
 B0:
   r0 = iconst 1
@@ -262,13 +263,15 @@ B0:
   r2 = div r0, r1
   ret
 }
-"#);
+"#,
+    );
     assert_eq!(e, VmError::DivisionByZero);
 }
 
 #[test]
 fn out_of_bounds_is_an_error() {
-    let e = run_err(r#"
+    let e = run_err(
+        r#"
 tag "g:a" global size=2 addressed
 global "g:a" zero
 func @main(0) {
@@ -279,14 +282,16 @@ B0:
   r3 = load [r2] {"g:a"}
   ret
 }
-"#);
+"#,
+    );
     assert!(matches!(e, VmError::OutOfBounds(_)));
 }
 
 #[test]
 fn use_after_return_is_detected() {
     // @leak returns the address of its own local.
-    let e = run_err(r#"
+    let e = run_err(
+        r#"
 tag "leak.x" local owner=0 size=1 addressed
 func @leak(0) result {
 B0:
@@ -299,7 +304,8 @@ B0:
   r1 = load [r0] {"leak.x"}
   ret
 }
-"#);
+"#,
+    );
     assert_eq!(e, VmError::UseAfterFree);
 }
 
@@ -320,61 +326,86 @@ B0:
 "#);
     assert_eq!(ok.counts.loads, 1);
     // ...but arithmetic on an uninitialized *register* is a type error.
-    let e = run_err(r#"
+    let e = run_err(
+        r#"
 func @main(0) result {
 B0:
   r1 = iconst 1
   r2 = add r0, r1
   ret r2
 }
-"#);
+"#,
+    );
     assert!(matches!(e, VmError::TypeError(_)));
 }
 
 #[test]
 fn step_limit_enforced() {
-    let module = ir::parse_module(r#"
+    let module = ir::parse_module(
+        r#"
 func @main(0) {
 B0:
   jump B1
 B1:
   jump B1
 }
-"#)
+"#,
+    )
     .unwrap();
-    let e = Vm::run_main(&module, VmOptions { max_steps: 100, ..Default::default() })
-        .expect_err("infinite loop");
+    let e = Vm::run_main(
+        &module,
+        VmOptions {
+            max_steps: 100,
+            ..Default::default()
+        },
+    )
+    .expect_err("infinite loop");
     assert_eq!(e, VmError::StepLimit(100));
 }
 
 #[test]
 fn stack_overflow_enforced() {
-    let module = ir::parse_module(r#"
+    let module = ir::parse_module(
+        r#"
 func @main(0) {
 B0:
   call @main() mods{} refs{}
   ret
 }
-"#)
+"#,
+    )
     .unwrap();
-    let e = Vm::run_main(&module, VmOptions { max_depth: 50, ..Default::default() })
-        .expect_err("unbounded recursion");
+    let e = Vm::run_main(
+        &module,
+        VmOptions {
+            max_depth: 50,
+            ..Default::default()
+        },
+    )
+    .expect_err("unbounded recursion");
     assert_eq!(e, VmError::StackOverflow(50));
 }
 
 #[test]
 fn run_entry_with_arguments() {
-    let module = ir::parse_module(r#"
+    let module = ir::parse_module(
+        r#"
 func @add(2) result {
 B0:
   r2 = add r0, r1
   ret r2
 }
-"#)
+"#,
+    )
     .unwrap();
     let f = module.lookup_func("add").unwrap();
-    let out = Vm::run(&module, f, &[Value::Int(40), Value::Int(2)], VmOptions::default())
-        .expect("run");
+    let out = Vm::run(
+        &module,
+        f,
+        &[Value::Int(40), Value::Int(2)],
+        VmOptions::default(),
+    )
+    .expect("run");
     assert_eq!(out.result, Some(Value::Int(42)));
 }
 

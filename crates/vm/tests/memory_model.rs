@@ -49,7 +49,8 @@ B2:
 fn generations_distinguish_recycled_slots() {
     // A pointer into a dead frame must fault even after the slot is
     // reused by a later call.
-    let e = run_err(r#"
+    let e = run_err(
+        r#"
 tag "a.x" local owner=0 size=1 addressed
 tag "b.y" local owner=1 size=1 addressed
 func @a(0) result {
@@ -71,7 +72,8 @@ B0:
   r2 = load [r0] {"a.x"}
   ret r2
 }
-"#);
+"#,
+    );
     assert_eq!(e, VmError::UseAfterFree);
 }
 
@@ -100,7 +102,8 @@ B0:
 
 #[test]
 fn negative_offsets_fault() {
-    let e = run_err(r#"
+    let e = run_err(
+        r#"
 tag "g:a" global size=4 addressed
 global "g:a" zero
 func @main(0) {
@@ -111,7 +114,8 @@ B0:
   r3 = load [r2] {"g:a"}
   ret
 }
-"#);
+"#,
+    );
     assert!(matches!(e, VmError::OutOfBounds(_)));
 }
 
@@ -175,7 +179,8 @@ B0:
 
 #[test]
 fn step_budget_counts_only_real_operations() {
-    let m = ir::parse_module(r#"
+    let m = ir::parse_module(
+        r#"
 func @main(0) {
 B0:
   nop
@@ -183,9 +188,17 @@ B0:
   nop
   ret
 }
-"#)
+"#,
+    )
     .unwrap();
-    let out = Vm::run_main(&m, VmOptions { max_steps: 1, ..Default::default() }).expect("ret fits");
+    let out = Vm::run_main(
+        &m,
+        VmOptions {
+            max_steps: 1,
+            ..Default::default()
+        },
+    )
+    .expect("ret fits");
     assert_eq!(out.counts.total, 1);
 }
 

@@ -40,15 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let config = PipelineConfig::paper_variant(level, true);
         let (outcome, report) = compile_and_run(PROGRAM, &config, VmOptions::default())?;
         let note = match level {
-            AnalysisLevel::AddressTaken => {
-                "p may touch anything addressed: hot stays ambiguous"
-            }
-            AnalysisLevel::ModRef => {
-                "address-taken set = {hot, cold}: still ambiguous"
-            }
-            AnalysisLevel::Steensgaard => {
-                "unification may merge hot and cold through the decoy"
-            }
+            AnalysisLevel::AddressTaken => "p may touch anything addressed: hot stays ambiguous",
+            AnalysisLevel::ModRef => "address-taken set = {hot, cold}: still ambiguous",
+            AnalysisLevel::Steensgaard => "unification may merge hot and cold through the decoy",
             AnalysisLevel::PointsTo => {
                 "p = {hot} exactly: strengthened to sload/sstore and promoted"
             }

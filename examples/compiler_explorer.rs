@@ -59,8 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     banner("4. after the full pipeline (optimized + allocated)");
-    let (final_module, _) =
-        driver::compile_with(&source, &PipelineConfig::default())?;
+    let (final_module, _) = driver::compile_with(&source, &PipelineConfig::default())?;
     println!("{final_module}");
 
     banner("execution");

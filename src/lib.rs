@@ -52,9 +52,9 @@
 
 #![warn(missing_docs)]
 
+pub use ::cfg;
 pub use analysis;
 pub use benchsuite;
-pub use ::cfg;
 pub use driver;
 pub use ir;
 pub use minic;

@@ -11,7 +11,10 @@ fn run_pair(src: &str, k: Option<usize>) -> (vm::ExecCounts, vm::ExecCounts) {
     for promote in [false, true] {
         let mut config = PipelineConfig::paper_variant(AnalysisLevel::ModRef, promote);
         if let Some(k) = k {
-            config.regalloc = Some(AllocOptions { num_regs: k, ..Default::default() });
+            config.regalloc = Some(AllocOptions {
+                num_regs: k,
+                ..Default::default()
+            });
         }
         let (out, _) = compile_and_run(src, &config, VmOptions::default()).expect("run");
         match &output {
@@ -62,10 +65,8 @@ fn water_pressure_gives_back_savings_as_registers_shrink() {
     let b = benchsuite::find("water").unwrap();
     let (w32_without, w32_with) = run_pair(b.source, Some(32));
     let (w12_without, w12_with) = run_pair(b.source, Some(12));
-    let benefit_32 =
-        w32_without.memory_ops() as f64 - w32_with.memory_ops() as f64;
-    let benefit_12 =
-        w12_without.memory_ops() as f64 - w12_with.memory_ops() as f64;
+    let benefit_32 = w32_without.memory_ops() as f64 - w32_with.memory_ops() as f64;
+    let benefit_12 = w12_without.memory_ops() as f64 - w12_with.memory_ops() as f64;
     assert!(benefit_32 > 0.0, "with ample registers promotion wins");
     assert!(
         benefit_12 < benefit_32 * 0.8,

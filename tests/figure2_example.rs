@@ -14,8 +14,8 @@
 //! its exit; A loaded in B3's landing pad and stored in B3's exit; the
 //! inner references become copies.
 
+use ir::DenseTagSet;
 use promote::{block_sets, LoopSets};
-use std::collections::BTreeSet;
 
 /// Figure 2 as a runnable program: the "remaining code" the paper leaves
 /// implicit is filled in with counted loops so the example executes.
@@ -99,29 +99,28 @@ fn equation_sets_match_the_papers_table() {
     cfg::normalize_loops(&mut m.funcs[main.index()]);
     let nest = cfg::LoopNest::compute(m.func(main));
     assert_eq!(nest.forest.len(), 3, "three nested loops");
-    let blocks = block_sets(&m, main, m.func(main), false);
+    let blocks = block_sets(&m.tags, main, m.func(main), false);
     let sets = LoopSets::solve(&blocks, &nest);
     let order = nest.forest.outer_to_inner();
     let (outer, middle, inner) = (order[0], order[1], order[2]);
     let (a, b, c) = (tag(&m, "A"), tag(&m, "B"), tag(&m, "C"));
     // The paper's PROMOTABLE column.
-    assert_eq!(sets.promotable[outer.index()], BTreeSet::from([c]));
-    assert_eq!(sets.promotable[middle.index()], BTreeSet::from([a]));
-    assert_eq!(sets.promotable[inner.index()], BTreeSet::from([a]));
+    assert_eq!(sets.promotable[outer.index()], DenseTagSet::singleton(c));
+    assert_eq!(sets.promotable[middle.index()], DenseTagSet::singleton(a));
+    assert_eq!(sets.promotable[inner.index()], DenseTagSet::singleton(a));
     // The paper's LIFT column.
-    assert_eq!(sets.lift[outer.index()], BTreeSet::from([c]));
-    assert_eq!(sets.lift[middle.index()], BTreeSet::from([a]));
+    assert_eq!(sets.lift[outer.index()], DenseTagSet::singleton(c));
+    assert_eq!(sets.lift[middle.index()], DenseTagSet::singleton(a));
     assert!(sets.lift[inner.index()].is_empty());
     // B is explicit but ambiguous in the middle loop.
-    assert!(sets.explicit[middle.index()].contains(&b));
+    assert!(sets.explicit[middle.index()].contains(b));
     assert!(sets.ambiguous[middle.index()].contains(b));
-    assert!(!sets.promotable[middle.index()].contains(&b));
+    assert!(!sets.promotable[middle.index()].contains(b));
 }
 
 #[test]
 fn rewrite_places_lifts_exactly_as_described() {
     let mut m = ir::parse_module(FIGURE2).expect("parse");
-    let main = m.lookup_func("main").unwrap();
     let report = promote::promote_module(&mut m, &promote::PromotionOptions::default());
     ir::validate(&m).expect("valid");
     assert_eq!(report.scalar.promoted_tags, 2, "A and C");

@@ -51,11 +51,12 @@ fn expected_sum() -> i64 {
 fn pointer_promotion_keeps_b_i_in_a_register() {
     let src = figure3_source();
     let scalar_only = PipelineConfig::paper_variant(AnalysisLevel::PointsTo, true);
-    let with_ptr = PipelineConfig { pointer_promote: true, ..scalar_only.clone() };
-    let (base, _) =
-        compile_and_run(&src, &scalar_only, VmOptions::default()).expect("scalar");
-    let (ptr, report) =
-        compile_and_run(&src, &with_ptr, VmOptions::default()).expect("pointer");
+    let with_ptr = PipelineConfig {
+        pointer_promote: true,
+        ..scalar_only.clone()
+    };
+    let (base, _) = compile_and_run(&src, &scalar_only, VmOptions::default()).expect("scalar");
+    let (ptr, report) = compile_and_run(&src, &with_ptr, VmOptions::default()).expect("pointer");
     assert_eq!(base.output, ptr.output);
     assert_eq!(base.output, vec![expected_sum().to_string()]);
     assert!(

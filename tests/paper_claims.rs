@@ -34,7 +34,11 @@ int main() {
     let promo = PipelineConfig::paper_variant(AnalysisLevel::PointsTo, true);
     let (with, _) = compile_and_run(src, &promo, VmOptions::default()).unwrap();
     assert_eq!(base.output, with.output);
-    assert!(with.counts.stores <= 2, "a single store at the exit: {}", with.counts.stores);
+    assert!(
+        with.counts.stores <= 2,
+        "a single store at the exit: {}",
+        with.counts.stores
+    );
 }
 
 /// §1/§5: "these results are relatively insensitive to the precision of
@@ -72,7 +76,7 @@ fn promoted_tags_are_predominantly_globals() {
     for fi in 0..m.funcs.len() {
         let f = ir::FuncId(fi as u32);
         let rec = graph.is_recursive(f, &sccs);
-        for t in promote::promotable_tags(&m, f, rec) {
+        for t in promote::promotable_tags(&m, f, rec).iter() {
             match m.tags.info(t).kind {
                 ir::TagKind::Global => global_tags += 1,
                 _ => other_tags += 1,
@@ -122,8 +126,10 @@ int main() {
     }
     let main = m.main().unwrap();
     let promotable = promote::promotable_tags(&m, main, false);
-    let names: Vec<&str> =
-        promotable.iter().map(|t| m.tags.info(*t).name.as_str()).collect();
+    let names: Vec<&str> = promotable
+        .iter()
+        .map(|t| m.tags.info(t).name.as_str())
+        .collect();
     assert_eq!(names, vec!["g:p"], "only the pointer variable itself");
     // The aliased cells keep their full memory traffic.
     assert!(out.counts.stores >= 200);
@@ -177,6 +183,12 @@ int main() {
     let config = PipelineConfig::paper_variant(AnalysisLevel::PointsTo, false);
     let (out, _) = compile_and_run(src, &config, VmOptions::default()).unwrap();
     assert_eq!(out.output, vec!["45"]);
-    assert_eq!(out.counts.ptr_loads, 0, "every load strengthened to scalar form");
-    assert_eq!(out.counts.ptr_stores, 0, "every store strengthened to scalar form");
+    assert_eq!(
+        out.counts.ptr_loads, 0,
+        "every load strengthened to scalar form"
+    );
+    assert_eq!(
+        out.counts.ptr_stores, 0,
+        "every store strengthened to scalar form"
+    );
 }

@@ -68,7 +68,10 @@ fn passes() -> Vec<Pass> {
         ("regalloc-tight", |m| {
             regalloc::allocate(
                 m,
-                &regalloc::AllocOptions { num_regs: 6, ..Default::default() },
+                &regalloc::AllocOptions {
+                    num_regs: 6,
+                    ..Default::default()
+                },
             );
         }),
         ("ssa-roundtrip", |m| {
@@ -92,7 +95,10 @@ fn check(name: &str, src: &str) {
         ir::validate(&m).unwrap_or_else(|e| panic!("{name} after {pass}: invalid IL: {e}"));
         let out = Vm::run_main(&m, VmOptions::default())
             .unwrap_or_else(|e| panic!("{name} after {pass}: {e}"));
-        assert_eq!(expected, out.output, "{name}: pass {pass} changed behaviour");
+        assert_eq!(
+            expected, out.output,
+            "{name}: pass {pass} changed behaviour"
+        );
     }
 }
 

@@ -1,0 +1,81 @@
+//! The parallel pipeline is bit-deterministic: any worker count produces
+//! byte-identical printed IL and identical report counters.
+//!
+//! This is the load-bearing guarantee behind the per-function fan-out —
+//! per-function passes share only the read-only tag table, and regalloc's
+//! spill tags are committed in function-index order — so it is checked
+//! across the whole benchmark suite at every figure variant.
+
+use driver::{PipelineConfig, PipelineReport};
+
+fn counters(r: &PipelineReport) -> (usize, String, usize, usize, usize, usize, usize, usize) {
+    (
+        r.strengthened,
+        format!("{:?}{:?}", r.promotion, r.alloc),
+        r.lvn_rewrites,
+        r.loads_eliminated,
+        r.constants_folded,
+        r.licm_moved,
+        r.dce_removed,
+        r.cleaned,
+    )
+}
+
+#[test]
+fn parallel_pipeline_matches_sequential_everywhere() {
+    for b in benchsuite::SUITE {
+        let base = minic::compile(b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        for (label, config) in PipelineConfig::figure_variants() {
+            let sequential = PipelineConfig {
+                threads: Some(1),
+                ..config.clone()
+            };
+            let parallel = PipelineConfig {
+                threads: Some(4),
+                ..config
+            };
+            let mut m_seq = base.clone();
+            let r_seq = driver::run_pipeline(&mut m_seq, &sequential);
+            let mut m_par = base.clone();
+            let r_par = driver::run_pipeline(&mut m_par, &parallel);
+            assert_eq!(
+                m_seq.to_string(),
+                m_par.to_string(),
+                "{}/{label}: printed IL diverged between 1 and 4 threads",
+                b.name
+            );
+            assert_eq!(
+                counters(&r_seq),
+                counters(&r_par),
+                "{}/{label}: report counters diverged",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn env_override_is_equivalent_to_explicit() {
+    // PROMO_THREADS only fills in when the config leaves threads unset.
+    assert_eq!(driver::resolve_threads(Some(1)), 1);
+    assert_eq!(driver::resolve_threads(Some(6)), 6);
+    let b = &benchsuite::SUITE[0];
+    let base = minic::compile(b.source).expect("compile");
+    let mut with_auto = base.clone();
+    driver::run_pipeline(
+        &mut with_auto,
+        &PipelineConfig {
+            threads: None,
+            ..Default::default()
+        },
+    );
+    let mut with_one = base.clone();
+    driver::run_pipeline(
+        &mut with_one,
+        &PipelineConfig {
+            threads: Some(1),
+            ..Default::default()
+        },
+    );
+    assert_eq!(with_auto.to_string(), with_one.to_string());
+}

@@ -43,7 +43,10 @@ fn all_variants() -> Vec<(String, PipelineConfig)> {
     v.push((
         "tight-registers".into(),
         PipelineConfig {
-            regalloc: Some(regalloc::AllocOptions { num_regs: 8, ..Default::default() }),
+            regalloc: Some(regalloc::AllocOptions {
+                num_regs: 8,
+                ..Default::default()
+            }),
             ..PipelineConfig::paper_variant(AnalysisLevel::PointsTo, true)
         },
     ));

@@ -1,7 +1,29 @@
 //! Property-based tests over randomly generated control flow and
 //! randomly generated MiniC programs.
+//!
+//! Random inputs come from an in-tree xorshift64* generator: every case
+//! is reproducible from the fixed seed and no external crates are needed
+//! (the build must work offline).
 
-use proptest::prelude::*;
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
 
 /// Builds a function with `n` blocks and pseudo-random control flow.
 fn random_cfg_function(n: usize, edges: &[(usize, usize, usize)]) -> ir::Function {
@@ -15,43 +37,56 @@ fn random_cfg_function(n: usize, edges: &[(usize, usize, usize)]) -> ir::Functio
         match kind % 3 {
             0 => b.ret(None),
             1 => b.jump(ir::BlockId((t1 % n) as u32)),
-            _ => b.branch(cond, ir::BlockId((t1 % n) as u32), ir::BlockId((t2 % n) as u32)),
+            _ => b.branch(
+                cond,
+                ir::BlockId((t1 % n) as u32),
+                ir::BlockId((t2 % n) as u32),
+            ),
         }
     }
     b.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
+fn random_edges(rng: &mut Rng, count: usize, max_target: usize) -> Vec<(usize, usize, usize)> {
+    (0..count)
+        .map(|_| (rng.below(3), rng.below(max_target), rng.below(max_target)))
+        .collect()
+}
 
-    /// Lengauer–Tarjan and the iterative algorithm agree on arbitrary
-    /// (including irreducible) graphs.
-    #[test]
-    fn dominator_algorithms_agree(
-        n in 1usize..24,
-        edges in proptest::collection::vec((0usize..3, 0usize..24, 0usize..24), 24),
-    ) {
+/// Lengauer–Tarjan and the iterative algorithm agree on arbitrary
+/// (including irreducible) graphs.
+#[test]
+fn dominator_algorithms_agree() {
+    let mut rng = Rng::new(0xD031_47A5);
+    for case in 0..200 {
+        let n = 1 + rng.below(23);
+        let edges = random_edges(&mut rng, 24, 24);
         let f = random_cfg_function(n, &edges);
         let g = cfg::Cfg::build(&f);
         let lt = cfg::DomTree::lengauer_tarjan(&g);
         let it = cfg::DomTree::iterative(&g);
-        prop_assert_eq!(lt, it);
+        assert_eq!(lt, it, "case {case}: dominator algorithms disagree (n={n})");
     }
+}
 
-    /// Loop normalization never breaks validity and is idempotent.
-    #[test]
-    fn normalization_is_sound_and_idempotent(
-        n in 1usize..16,
-        edges in proptest::collection::vec((0usize..3, 0usize..16, 0usize..16), 16),
-    ) {
+/// Loop normalization never breaks validity and is idempotent.
+#[test]
+fn normalization_is_sound_and_idempotent() {
+    let mut rng = Rng::new(0x0A11_CE55);
+    for case in 0..200 {
+        let n = 1 + rng.below(15);
+        let edges = random_edges(&mut rng, 16, 16);
         let mut f = random_cfg_function(n, &edges);
         cfg::normalize_loops(&mut f);
         let mut m = ir::Module::new();
         m.add_func(f.clone());
-        prop_assert!(ir::validate(&m).is_ok());
+        assert!(
+            ir::validate(&m).is_ok(),
+            "case {case}: normalization broke validity"
+        );
         let once = f.clone();
         cfg::normalize_loops(&mut f);
-        prop_assert_eq!(once, f);
+        assert_eq!(once, f, "case {case}: normalization not idempotent");
     }
 }
 
@@ -113,73 +148,66 @@ fn generate_program(
     src
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_program(rng: &mut Rng) -> String {
+    let globals = 1 + rng.below(4);
+    let depth = 1 + rng.below(3);
+    let n_stmts = 1 + rng.below(7);
+    let stmts: Vec<(usize, usize, usize, i32)> = (0..n_stmts)
+        .map(|_| {
+            (
+                rng.below(5),
+                rng.below(5),
+                rng.below(5),
+                1 + rng.below(6) as i32,
+            )
+        })
+        .collect();
+    let pin_mask = rng.below(32);
+    generate_program(globals, depth, &stmts, pin_mask)
+}
 
-    /// The paper's master invariant: promotion (and the whole pipeline at
-    /// any precision) never changes program behaviour, and never increases
-    /// the number of executed loads or stores beyond the lift overhead.
-    #[test]
-    fn pipeline_preserves_behaviour_on_random_programs(
-        globals in 1usize..5,
-        depth in 1usize..4,
-        stmts in proptest::collection::vec(
-            (0usize..5, 0usize..5, 0usize..5, 1i32..7),
-            1..8,
-        ),
-        pin_mask in 0usize..32,
-    ) {
-        let src = generate_program(globals, depth, &stmts, pin_mask);
+/// The paper's master invariant: promotion (and the whole pipeline at
+/// any precision) never changes program behaviour, and never increases
+/// the number of executed loads or stores beyond the lift overhead.
+#[test]
+fn pipeline_preserves_behaviour_on_random_programs() {
+    let mut rng = Rng::new(0x91BE_11E5);
+    for _case in 0..48 {
+        let src = random_program(&mut rng);
         let mut reference: Option<Vec<String>> = None;
         for (label, config) in driver::PipelineConfig::figure_variants() {
-            let (out, _) = driver::compile_and_run(
-                &src,
-                &config,
-                vm::VmOptions::default(),
-            )
-            .unwrap_or_else(|e| panic!("{label} on\n{src}\n: {e}"));
+            let (out, _) = driver::compile_and_run(&src, &config, vm::VmOptions::default())
+                .unwrap_or_else(|e| panic!("{label} on\n{src}\n: {e}"));
             match &reference {
                 None => reference = Some(out.output),
-                Some(r) => prop_assert_eq!(
-                    r,
-                    &out.output,
-                    "variant {} diverged on\n{}",
-                    label,
-                    src
-                ),
+                Some(r) => {
+                    assert_eq!(r, &out.output, "variant {label} diverged on\n{src}")
+                }
             }
         }
     }
+}
 
-    /// Promotion alone (no other passes) is behaviour-preserving and
-    /// never increases memory traffic by more than the lift overhead
-    /// (2 ops per loop per promoted tag, conservatively bounded).
-    #[test]
-    fn promotion_bounds_memory_traffic(
-        globals in 1usize..5,
-        depth in 1usize..4,
-        stmts in proptest::collection::vec(
-            (0usize..5, 0usize..5, 0usize..5, 1i32..7),
-            1..8,
-        ),
-        pin_mask in 0usize..32,
-    ) {
-        let src = generate_program(globals, depth, &stmts, pin_mask);
+/// Promotion alone (no other passes) is behaviour-preserving and
+/// never increases memory traffic by more than the lift overhead
+/// (2 ops per loop per promoted tag, conservatively bounded).
+#[test]
+fn promotion_bounds_memory_traffic() {
+    let mut rng = Rng::new(0xB0CA_1057);
+    for _case in 0..48 {
+        let src = random_program(&mut rng);
         let mut base = minic::compile(&src).expect("compile");
         analysis::analyze(&mut base, analysis::AnalysisLevel::ModRef);
         let before = vm::Vm::run_main(&base, vm::VmOptions::default()).expect("run");
         let mut promoted = base.clone();
-        let report = promote::promote_module(
-            &mut promoted,
-            &promote::PromotionOptions::default(),
-        );
+        let report = promote::promote_module(&mut promoted, &promote::PromotionOptions::default());
         let after = vm::Vm::run_main(&promoted, vm::VmOptions::default()).expect("run");
-        prop_assert_eq!(before.output, after.output);
+        assert_eq!(before.output, after.output);
         // Loose lift-overhead bound: each lift executes at most once per
         // enclosing-loop entry; total loop entries are bounded by total
         // control transfers.
         let overhead = (report.scalar.lifts as u64 + 1) * (before.counts.control + 1);
-        prop_assert!(
+        assert!(
             after.counts.memory_ops() <= before.counts.memory_ops() + overhead,
             "memory {} -> {} with lift overhead bound {}",
             before.counts.memory_ops(),

@@ -10,8 +10,7 @@ use vm::VmOptions;
 
 fn promoted_tags(src: &str, level: AnalysisLevel) -> (usize, Vec<String>) {
     let config = PipelineConfig::paper_variant(level, true);
-    let (out, report) =
-        compile_and_run(src, &config, VmOptions::default()).expect("pipeline");
+    let (out, report) = compile_and_run(src, &config, VmOptions::default()).expect("pipeline");
     (report.promotion.scalar.promoted_tags, out.output)
 }
 
@@ -63,9 +62,7 @@ int main() {
         .iter()
         .flat_map(|f| f.blocks.iter())
         .flat_map(|b| b.instrs.iter())
-        .filter(|i| {
-            matches!(i, ir::Instr::Store { tags, .. } if tags.as_singleton().is_some())
-        })
+        .filter(|i| matches!(i, ir::Instr::Store { tags, .. } if tags.as_singleton().is_some()))
         .count();
     assert_eq!(singles, 2, "each store pinned to exactly one target");
 }
