@@ -1,23 +1,41 @@
 //! Pipeline wall-clock benchmark: sequential vs parallel per-function
-//! stages, with per-pass timings.
+//! stages across a sweep of worker counts, with per-pass timings.
 //!
-//! Runs the full default pipeline (ModRef analysis, promotion, optimizer,
-//! register allocation) over every suite program twice — once with
-//! `threads = 1` and once with one worker per core — asserts the printed
-//! IL is identical, and writes `BENCH_pipeline.json` with the timings.
+//! For each worker count in the sweep a [`driver::WorkerPool`] is created
+//! *once*, outside the timing loop, and every iteration reuses it through
+//! [`driver::run_pipeline_in`] — so the numbers measure the steady-state
+//! pipeline, not thread spawning. Each measurement is min-of-N after one
+//! untimed warmup run (the warmup lives in `bench_harness::timing::measure`).
+//! Printed IL is asserted byte-identical across all worker counts while
+//! we are here.
 //!
-//! Usage: `cargo run --release --bin bench_pipeline [output-path]`
+//! Usage: `cargo run --release --bin bench_pipeline [output-path]
+//!         [--max-2t-slowdown X]`
+//!
+//! With `--max-2t-slowdown X` the process exits nonzero if the 2-worker
+//! total is more than `X` times the sequential total — the CI regression
+//! gate for parallel overhead. The JSON also records
+//! `available_parallelism`: on a single-core runner a 2-worker speedup
+//! above 1.0 is physically impossible, so the gate bounds *overhead*
+//! rather than demanding a speedup the hardware cannot deliver.
 
 use bench_harness::timing::measure;
-use driver::{run_pipeline, PipelineConfig};
+use driver::{run_pipeline_in, PipelineConfig, WorkerPool};
 use std::fmt::Write as _;
 
 const ITERS: usize = 5;
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct Run {
+    threads: usize,
+    /// Actual pool size: spawned workers plus the submitting thread.
+    workers: usize,
+    ms: f64,
+}
 
 struct ProgramResult {
     name: String,
-    sequential_ms: f64,
-    parallel_ms: f64,
+    runs: Vec<Run>,
     passes: Vec<(String, f64)>,
 }
 
@@ -34,47 +52,76 @@ fn config(threads: usize) -> PipelineConfig {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
-    let parallel_threads = driver::resolve_threads(None).max(2);
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut max_2t_slowdown: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--max-2t-slowdown" {
+            let v = args.next().expect("--max-2t-slowdown needs a value");
+            max_2t_slowdown = Some(v.parse().expect("--max-2t-slowdown value"));
+        } else {
+            out_path = a;
+        }
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pools: Vec<WorkerPool> = SWEEP.iter().map(|&t| WorkerPool::new(t)).collect();
+
     let mut results = Vec::new();
     for b in benchsuite::SUITE {
         eprintln!("benchmarking {} ...", b.name);
         let module = minic::compile(b.source).expect("suite program compiles");
-        let seq = measure(ITERS, || {
+        let mut runs = Vec::new();
+        let mut reference_il: Option<String> = None;
+        let mut passes = Vec::new();
+        for (&threads, pool) in SWEEP.iter().zip(&pools) {
+            let cfg = config(threads);
+            let timing = measure(ITERS, || {
+                let mut m = module.clone();
+                run_pipeline_in(&mut m, &cfg, pool);
+            });
+            // Determinism spot-check while we are here: every worker
+            // count must produce byte-identical IL.
             let mut m = module.clone();
-            run_pipeline(&mut m, &config(1));
-        });
-        let par = measure(ITERS, || {
-            let mut m = module.clone();
-            run_pipeline(&mut m, &config(parallel_threads));
-        });
-        // Determinism spot-check while we are here: the two modes must
-        // produce byte-identical IL.
-        let (mut m1, mut mn) = (module.clone(), module.clone());
-        let r1 = run_pipeline(&mut m1, &config(1));
-        let _ = run_pipeline(&mut mn, &config(parallel_threads));
-        assert_eq!(
-            m1.to_string(),
-            mn.to_string(),
-            "{}: parallel pipeline diverged from sequential",
-            b.name
-        );
+            let report = run_pipeline_in(&mut m, &cfg, pool);
+            let il = m.to_string();
+            match &reference_il {
+                None => {
+                    reference_il = Some(il);
+                    passes = report
+                        .timings
+                        .passes
+                        .iter()
+                        .map(|(n, d)| (n.clone(), ms(*d)))
+                        .collect();
+                }
+                Some(r) => assert_eq!(
+                    r, &il,
+                    "{}: pipeline at {threads} threads diverged from sequential",
+                    b.name
+                ),
+            }
+            runs.push(Run {
+                threads,
+                workers: pool.threads(),
+                ms: ms(timing.min),
+            });
+        }
         results.push(ProgramResult {
             name: b.name.to_string(),
-            sequential_ms: ms(seq.min),
-            parallel_ms: ms(par.min),
-            passes: r1
-                .timings
-                .passes
-                .iter()
-                .map(|(n, d)| (n.clone(), ms(*d)))
-                .collect(),
+            runs,
+            passes,
         });
     }
-    let total_seq: f64 = results.iter().map(|r| r.sequential_ms).sum();
-    let total_par: f64 = results.iter().map(|r| r.parallel_ms).sum();
+
+    let total_at = |ti: usize| -> f64 { results.iter().map(|r| r.runs[ti].ms).sum() };
+    let totals: Vec<f64> = (0..SWEEP.len()).map(total_at).collect();
+    let total_seq = totals[0];
+    let idx_2t = SWEEP.iter().position(|&t| t == 2).expect("sweep has 2");
+    let total_2t = totals[idx_2t];
+    let speedup_2t = total_seq / total_2t.max(1e-9);
 
     // Hand-rolled JSON: names are suite identifiers and pass labels, none
     // of which need escaping.
@@ -82,25 +129,43 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"pipeline\",");
     let _ = writeln!(json, "  \"iters\": {ITERS},");
-    let _ = writeln!(json, "  \"parallel_threads\": {parallel_threads},");
-    let _ = writeln!(json, "  \"total_sequential_ms\": {total_seq:.3},");
-    let _ = writeln!(json, "  \"total_parallel_ms\": {total_par:.3},");
+    let _ = writeln!(json, "  \"available_parallelism\": {cores},");
     let _ = writeln!(
         json,
-        "  \"total_speedup\": {:.3},",
-        total_seq / total_par.max(1e-9)
+        "  \"sweep_threads\": [{}],",
+        SWEEP.map(|t| t.to_string()).join(", ")
     );
+    let _ = writeln!(json, "  \"total_sequential_ms\": {total_seq:.3},");
+    let _ = writeln!(json, "  \"total_parallel_ms\": {total_2t:.3},");
+    let _ = writeln!(json, "  \"total_speedup\": {speedup_2t:.3},");
+    json.push_str("  \"totals\": [\n");
+    for (i, (&t, total)) in SWEEP.iter().zip(&totals).enumerate() {
+        let comma = if i + 1 < SWEEP.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"threads\": {t}, \"workers\": {}, \"ms\": {total:.3}, \"speedup\": {:.3} }}{comma}",
+            results[0].runs[i].workers,
+            total_seq / total.max(1e-9)
+        );
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"programs\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str("    {\n");
         let _ = writeln!(json, "      \"name\": \"{}\",", r.name);
-        let _ = writeln!(json, "      \"sequential_ms\": {:.3},", r.sequential_ms);
-        let _ = writeln!(json, "      \"parallel_ms\": {:.3},", r.parallel_ms);
-        let _ = writeln!(
-            json,
-            "      \"speedup\": {:.3},",
-            r.sequential_ms / r.parallel_ms.max(1e-9)
-        );
+        json.push_str("      \"runs\": [\n");
+        for (j, run) in r.runs.iter().enumerate() {
+            let comma = if j + 1 < r.runs.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "        {{ \"threads\": {}, \"workers\": {}, \"ms\": {:.3}, \"speedup\": {:.3} }}{comma}",
+                run.threads,
+                run.workers,
+                run.ms,
+                r.runs[0].ms / run.ms.max(1e-9)
+            );
+        }
+        json.push_str("      ],\n");
         json.push_str("      \"passes\": [\n");
         for (j, (name, pass_ms)) in r.passes.iter().enumerate() {
             let comma = if j + 1 < r.passes.len() { "," } else { "" };
@@ -115,9 +180,26 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark output");
-    println!(
-        "pipeline: sequential {total_seq:.1} ms, parallel({parallel_threads}) {total_par:.1} ms, \
-         speedup {:.2}x -> {out_path}",
-        total_seq / total_par.max(1e-9)
-    );
+
+    println!("pipeline benchmark ({cores} core(s) available), min of {ITERS} iters:");
+    for (i, (&t, total)) in SWEEP.iter().zip(&totals).enumerate() {
+        println!(
+            "  threads={t} (pool size {}): {total:8.1} ms  speedup {:.3}x",
+            results[0].runs[i].workers,
+            total_seq / total.max(1e-9)
+        );
+    }
+    println!("  2-thread speedup {speedup_2t:.3}x -> {out_path}");
+
+    if let Some(limit) = max_2t_slowdown {
+        let slowdown = total_2t / total_seq.max(1e-9);
+        if slowdown > limit {
+            eprintln!(
+                "FAIL: 2-worker run is {slowdown:.3}x the sequential time \
+                 (limit {limit:.2}x) — parallel overhead regression"
+            );
+            std::process::exit(1);
+        }
+        println!("  gate: 2-worker slowdown {slowdown:.3}x within limit {limit:.2}x");
+    }
 }

@@ -61,6 +61,14 @@ impl RegSet {
         })
     }
 
+    /// The backing words, 64 registers per word, lowest register in bit 0
+    /// of word 0. Exposed so dense consumers (the interference-graph
+    /// builder) can union a whole live set into their own rows word-wise
+    /// instead of iterating members.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
     /// Number of members.
     pub fn len(&self) -> usize {
         self.bits.iter().map(|b| b.count_ones() as usize).sum()

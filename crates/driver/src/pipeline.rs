@@ -7,19 +7,30 @@
 //! early phases and pointer-based promotion after LICM (which hoists the
 //! base addresses it needs).
 //!
-//! Every per-function stage (normalization, strengthening, promotion, the
-//! scalar optimizer, register allocation) fans out across worker threads
-//! via [`crate::parallel_map_funcs`]; the whole-module interprocedural
-//! analysis stays sequential. The output is bit-identical at any thread
-//! count: per-function passes share only the read-only tag table, and the
-//! allocator's spill tags are committed in function-index order (see
-//! [`regalloc::commit_spills`]). Wall-clock per pass is recorded in
-//! [`PassTimings`] on the report.
+//! The per-function work fans out over a persistent [`WorkerPool`]
+//! (spawned once per pipeline run, or reused across runs via
+//! [`run_pipeline_in`]) in exactly **two** rounds: one for loop
+//! normalization (the whole-module interprocedural analysis needs every
+//! function normalized), then one *fused* round that carries each
+//! function through its entire intra-procedural chain — strengthen →
+//! promote → lvn → loadelim → constprop → licm → (pointer-promote) →
+//! lvn(2) → dce → clean → regalloc → clean(final) — with no barrier
+//! between passes. Barriers exist only where whole-module state is
+//! genuinely required: before the interprocedural analysis and at the
+//! sequential spill-tag commit.
+//!
+//! The output is bit-identical at any thread count: per-function passes
+//! share only the read-only tag table, and the allocator's spill tags are
+//! committed in function-index order (see [`regalloc::commit_spills`]).
+//! Per-pass wall clock is recorded *inside* the fused worker and
+//! aggregated by pass name into [`PassTimings`]; for fused passes the
+//! reported time is the summed per-function time (CPU time across
+//! workers), not the barrier-to-barrier wall time.
 
-use crate::parallel::{parallel_map_funcs, resolve_threads};
+use crate::parallel::{resolve_threads, WorkerPool};
 use analysis::{tarjan_sccs, AnalysisLevel, CallGraph};
 use ir::{FuncId, Module};
-use promote::PromotionReport;
+use promote::{PointerReport, PromotionReport, ScalarReport};
 use regalloc::{AllocOptions, AllocReport, PendingSpill};
 use std::time::{Duration, Instant};
 use vm::{Outcome, Vm, VmError, VmOptions};
@@ -41,7 +52,12 @@ pub struct PipelineConfig {
     pub optimize: bool,
     /// Register allocation parameters; `None` leaves virtual registers.
     pub regalloc: Option<AllocOptions>,
-    /// Validate the module after every pass (on in debug builds).
+    /// Validate the module at every fan-out barrier (on in debug builds):
+    /// after normalization, after the interprocedural analysis, and after
+    /// the fused per-function chain has run and spill tags are committed.
+    /// (Passes inside the fused chain see functions at different stages
+    /// concurrently, so whole-module validation between them is no longer
+    /// meaningful.)
     pub validate_each_pass: bool,
     /// Worker threads for the per-function stages. `None` defers to the
     /// `PROMO_THREADS` environment variable, then to
@@ -179,14 +195,128 @@ fn recursive_set(module: &Module) -> Vec<bool> {
         .collect()
 }
 
-/// Runs the configured pipeline over `module` in place.
+/// Everything one function's trip through the fused intra-procedural
+/// chain produced: pass counters, the allocation outcome with its
+/// uncommitted spill tags, and per-pass timings.
+#[derive(Default)]
+struct FuncOutcome {
+    strengthened: usize,
+    scalar: ScalarReport,
+    pointer: PointerReport,
+    lvn_rewrites: usize,
+    loads_eliminated: usize,
+    constants_folded: usize,
+    licm_moved: usize,
+    dce_removed: usize,
+    cleaned: usize,
+    alloc: Option<(AllocReport, Vec<PendingSpill>)>,
+    timings: Vec<(&'static str, Duration)>,
+}
+
+/// Per-function pass clock used inside the fused worker.
+#[derive(Default)]
+struct StageClock {
+    rows: Vec<(&'static str, Duration)>,
+}
+
+impl StageClock {
+    fn timed<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        self.rows.push((name, start.elapsed()));
+        r
+    }
+}
+
+/// Carries one function through the entire fused chain. Reads only the
+/// shared tag-table snapshot and per-function read-only facts, so any
+/// number of these run concurrently; all tag-table writes are deferred as
+/// [`PendingSpill`]s.
+fn run_fused_chain(
+    tags: &ir::TagTable,
+    func: &mut ir::Function,
+    fid: FuncId,
+    recursive: bool,
+    config: &PipelineConfig,
+) -> FuncOutcome {
+    let mut clock = StageClock::default();
+    let mut o = FuncOutcome {
+        strengthened: clock.timed("strengthen", || {
+            opt::strengthen_function(tags, func, fid, recursive)
+        }),
+        ..Default::default()
+    };
+    if config.promote {
+        let cap = config.promotion_cap;
+        o.scalar = clock.timed("promote", || {
+            cfg::normalize_loops(func);
+            promote::promote_scalars_in_func_core(tags, func, fid, recursive, cap)
+        });
+    }
+    if config.optimize {
+        o.lvn_rewrites += clock.timed("lvn", || opt::lvn_function(func));
+        o.loads_eliminated = clock.timed("loadelim", || opt::loadelim_function(func));
+        o.constants_folded = clock.timed("constprop", || opt::constprop_function(func));
+        o.licm_moved = clock.timed("licm", || opt::licm_function(func));
+    }
+    if config.pointer_promote {
+        // LICM has hoisted invariant base addresses; normalize again in
+        // case earlier folding perturbed loop shapes.
+        o.pointer = clock.timed("pointer-promote", || {
+            cfg::normalize_loops(func);
+            promote::promote_pointers_in_func_core(func)
+        });
+    }
+    if config.optimize {
+        o.lvn_rewrites += clock.timed("lvn(2)", || opt::lvn_function(func));
+        o.dce_removed = clock.timed("dce", || opt::dce_function(func));
+        o.cleaned += clock.timed("clean", || opt::clean_function(func));
+    }
+    if let Some(opts) = &config.regalloc {
+        // Allocate against the read-only tag-table snapshot, recording
+        // needed spill tags as provisional ids. The sequential
+        // function-index-order commit after the barrier reproduces the
+        // exact tag table (ids and names) of a sequential run.
+        let r = clock.timed("regalloc", || {
+            let mut pending = Vec::new();
+            let r = regalloc::allocate_function_core(tags, func, fid, opts, &mut pending);
+            (r, pending)
+        });
+        o.alloc = Some(r);
+        if config.optimize {
+            // Block cleaning is tag-agnostic, so it can run before the
+            // provisional spill tags are interned.
+            o.cleaned += clock.timed("clean(final)", || opt::clean_function(func));
+        }
+    }
+    o.timings = clock.rows;
+    o
+}
+
+/// Runs the configured pipeline over `module` in place, on a worker pool
+/// spawned for this run and shut down when it returns.
 pub fn run_pipeline(module: &mut Module, config: &PipelineConfig) -> PipelineReport {
+    let pool = WorkerPool::new(resolve_threads(config.threads));
+    run_pipeline_in(module, config, &pool)
+}
+
+/// Runs the configured pipeline over `module` in place, fanning the
+/// per-function work out over a caller-provided [`WorkerPool`]. Batch
+/// drivers (benchmarks, servers compiling many modules) should create one
+/// pool and reuse it across runs; the pool's worker count is what
+/// determines the parallelism (`config.threads` is only consulted by
+/// [`run_pipeline`], which builds the pool). The compiled output is
+/// byte-identical for every pool size.
+pub fn run_pipeline_in(
+    module: &mut Module,
+    config: &PipelineConfig,
+    pool: &WorkerPool,
+) -> PipelineReport {
     let v = config.validate_each_pass;
-    let threads = resolve_threads(config.threads);
     let mut report = PipelineReport::default();
     let mut timings = PassTimings::default();
     timed(&mut timings, "normalize", || {
-        parallel_map_funcs(&mut module.funcs, threads, |_, f| cfg::normalize_loops(f));
+        pool.run_funcs(&mut module.funcs, |_, f| cfg::normalize_loops(f));
     });
     validate_if(module, v, "normalize");
     let outcome = timed(&mut timings, "analysis", || {
@@ -194,134 +324,68 @@ pub fn run_pipeline(module: &mut Module, config: &PipelineConfig) -> PipelineRep
     });
     report.analysis_stats = Some(outcome.stats);
     validate_if(module, v, "analysis");
-    report.strengthened = timed(&mut timings, "strengthen", || {
-        let recursive = recursive_set(module);
+    // Whole-module facts the fused chain reads: which functions sit on
+    // call-graph cycles. Computed once, before fanning out.
+    let recursive = recursive_set(module);
+    let outcomes: Vec<FuncOutcome> = {
+        // `funcs` and `tags` are disjoint fields, so the mutable fan-out
+        // and the shared tag-table snapshot coexist.
         let tags = &module.tags;
-        parallel_map_funcs(&mut module.funcs, threads, |fid, func| {
-            opt::strengthen_function(tags, func, fid, recursive[fid.index()])
+        pool.run_funcs(&mut module.funcs, |fid, func| {
+            run_fused_chain(tags, func, fid, recursive[fid.index()], config)
         })
-        .into_iter()
-        .sum()
-    });
-    validate_if(module, v, "strengthen");
-    if config.promote {
-        report.promotion = timed(&mut timings, "promote", || {
-            let recursive = recursive_set(module);
-            let cap = config.promotion_cap;
-            let tags = &module.tags;
-            let func_reports = parallel_map_funcs(&mut module.funcs, threads, |fid, func| {
-                cfg::normalize_loops(func);
-                promote::promote_scalars_in_func_core(tags, func, fid, recursive[fid.index()], cap)
-            });
-            let mut total = PromotionReport::default();
-            for r in func_reports {
-                total.scalar.loops += r.loops;
-                total.scalar.promoted_tags += r.promoted_tags;
-                total.scalar.lifts += r.lifts;
-                total.scalar.rewritten_refs += r.rewritten_refs;
+    };
+    // Sequential epilogue: commit spill tags in function-index order and
+    // aggregate counters plus per-pass timings (summed by pass name, in
+    // chain order).
+    let commit_start = Instant::now();
+    let mut alloc_total: Option<AllocReport> = None;
+    let mut pass_totals: Vec<(&'static str, Duration)> = Vec::new();
+    for (fi, o) in outcomes.into_iter().enumerate() {
+        report.strengthened += o.strengthened;
+        report.promotion.scalar.loops += o.scalar.loops;
+        report.promotion.scalar.promoted_tags += o.scalar.promoted_tags;
+        report.promotion.scalar.lifts += o.scalar.lifts;
+        report.promotion.scalar.rewritten_refs += o.scalar.rewritten_refs;
+        report.promotion.pointer.promoted_bases += o.pointer.promoted_bases;
+        report.promotion.pointer.rewritten_refs += o.pointer.rewritten_refs;
+        report.promotion.pointer.lifts += o.pointer.lifts;
+        report.lvn_rewrites += o.lvn_rewrites;
+        report.loads_eliminated += o.loads_eliminated;
+        report.constants_folded += o.constants_folded;
+        report.licm_moved += o.licm_moved;
+        report.dce_removed += o.dce_removed;
+        report.cleaned += o.cleaned;
+        if let Some((r, pending)) = o.alloc {
+            regalloc::commit_spills(module, FuncId(fi as u32), pending);
+            let total = alloc_total.get_or_insert_with(AllocReport::default);
+            total.coalesced += r.coalesced;
+            total.spilled += r.spilled;
+            total.rematerialized += r.rematerialized;
+            total.spill_loads += r.spill_loads;
+            total.spill_stores += r.spill_stores;
+            total.rounds += r.rounds;
+        }
+        for (name, d) in o.timings {
+            match pass_totals.iter_mut().find(|(n, _)| *n == name) {
+                Some(entry) => entry.1 += d,
+                None => pass_totals.push((name, d)),
             }
-            total
-        });
-        validate_if(module, v, "promotion");
-    }
-    if config.optimize {
-        report.lvn_rewrites += timed(&mut timings, "lvn", || {
-            parallel_map_funcs(&mut module.funcs, threads, |_, f| opt::lvn_function(f))
-                .into_iter()
-                .sum::<usize>()
-        });
-        validate_if(module, v, "lvn");
-        report.loads_eliminated = timed(&mut timings, "loadelim", || {
-            parallel_map_funcs(&mut module.funcs, threads, |_, f| opt::loadelim_function(f))
-                .into_iter()
-                .sum()
-        });
-        validate_if(module, v, "loadelim");
-        report.constants_folded = timed(&mut timings, "constprop", || {
-            parallel_map_funcs(&mut module.funcs, threads, |_, f| {
-                opt::constprop_function(f)
-            })
-            .into_iter()
-            .sum()
-        });
-        validate_if(module, v, "constprop");
-        report.licm_moved = timed(&mut timings, "licm", || {
-            parallel_map_funcs(&mut module.funcs, threads, |_, f| opt::licm_function(f))
-                .into_iter()
-                .sum()
-        });
-        validate_if(module, v, "licm");
-    }
-    if config.pointer_promote {
-        // LICM has hoisted invariant base addresses; normalize again in
-        // case earlier folding perturbed loop shapes.
-        timed(&mut timings, "pointer-promote", || {
-            let func_reports = parallel_map_funcs(&mut module.funcs, threads, |_, func| {
-                cfg::normalize_loops(func);
-                promote::promote_pointers_in_func_core(func)
-            });
-            for r in func_reports {
-                report.promotion.pointer.promoted_bases += r.promoted_bases;
-                report.promotion.pointer.rewritten_refs += r.rewritten_refs;
-                report.promotion.pointer.lifts += r.lifts;
-            }
-        });
-        validate_if(module, v, "pointer-promotion");
-    }
-    if config.optimize {
-        report.lvn_rewrites += timed(&mut timings, "lvn(2)", || {
-            parallel_map_funcs(&mut module.funcs, threads, |_, f| opt::lvn_function(f))
-                .into_iter()
-                .sum::<usize>()
-        });
-        report.dce_removed = timed(&mut timings, "dce", || {
-            parallel_map_funcs(&mut module.funcs, threads, |_, f| opt::dce_function(f))
-                .into_iter()
-                .sum()
-        });
-        validate_if(module, v, "dce");
-        report.cleaned = timed(&mut timings, "clean", || {
-            parallel_map_funcs(&mut module.funcs, threads, |_, f| opt::clean_function(f))
-                .into_iter()
-                .sum()
-        });
-        validate_if(module, v, "clean");
-    }
-    if let Some(opts) = &config.regalloc {
-        report.alloc = Some(timed(&mut timings, "regalloc", || {
-            // Allocate in parallel against a read-only tag-table snapshot;
-            // each worker records the spill tags it needs as provisional
-            // ids. Committing in function-index order then reproduces the
-            // exact tag table (ids and names) of a sequential run.
-            let tags = &module.tags;
-            let results: Vec<(AllocReport, Vec<PendingSpill>)> =
-                parallel_map_funcs(&mut module.funcs, threads, |fid, func| {
-                    let mut pending = Vec::new();
-                    let r = regalloc::allocate_function_core(tags, func, fid, opts, &mut pending);
-                    (r, pending)
-                });
-            let mut total = AllocReport::default();
-            for (fi, (r, pending)) in results.into_iter().enumerate() {
-                regalloc::commit_spills(module, FuncId(fi as u32), pending);
-                total.coalesced += r.coalesced;
-                total.spilled += r.spilled;
-                total.rematerialized += r.rematerialized;
-                total.spill_loads += r.spill_loads;
-                total.spill_stores += r.spill_stores;
-                total.rounds += r.rounds;
-            }
-            total
-        }));
-        validate_if(module, v, "regalloc");
-        if config.optimize {
-            report.cleaned += timed(&mut timings, "clean(final)", || {
-                parallel_map_funcs(&mut module.funcs, threads, |_, f| opt::clean_function(f))
-                    .into_iter()
-                    .sum::<usize>()
-            });
-            validate_if(module, v, "final clean");
         }
     }
+    report.alloc = alloc_total;
+    let commit_elapsed = commit_start.elapsed();
+    for (name, d) in pass_totals {
+        // The spill-tag commit is the sequential tail of allocation;
+        // account it there rather than inventing a pass label.
+        let d = if name == "regalloc" {
+            d + commit_elapsed
+        } else {
+            d
+        };
+        timings.record(name, d);
+    }
+    validate_if(module, v, "fused per-function chain");
     report.timings = timings;
     report
 }

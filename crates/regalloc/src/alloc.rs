@@ -24,7 +24,8 @@
 //! which is what lets the driver fan functions out across threads without
 //! perturbing printed IL.
 
-use cfg::{for_each_instr_backwards, liveness, RegSet};
+use crate::matrix::BitMatrix;
+use cfg::{for_each_instr_backwards, liveness, Liveness, RegSet};
 use cfg::{Cfg, DomTree, LoopForest};
 use ir::{FuncId, Function, Instr, Module, Reg, TagId, TagKind, TagTable};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -81,63 +82,95 @@ pub struct PendingSpill {
     pub name: String,
 }
 
-struct Graph {
-    adj: Vec<BTreeSet<u32>>,
-    degree: Vec<usize>,
-}
-
-impl Graph {
-    fn new(n: usize) -> Self {
-        Graph {
-            adj: vec![BTreeSet::new(); n],
-            degree: vec![0; n],
-        }
-    }
-
-    fn add_edge(&mut self, a: u32, b: u32) {
-        if a == b {
-            return;
-        }
-        if self.adj[a as usize].insert(b) {
-            self.degree[a as usize] += 1;
-        }
-        if self.adj[b as usize].insert(a) {
-            self.degree[b as usize] += 1;
-        }
-    }
-
-    fn interferes(&self, a: u32, b: u32) -> bool {
-        self.adj[a as usize].contains(&b)
-    }
-}
-
-fn build_graph(func: &Function, cfg: &Cfg) -> Graph {
+/// Builds the interference graph as a dense [`BitMatrix`]: parameters
+/// interfere pairwise, and every definition interferes with everything
+/// live after it — except a copy's own source (so coalescing can merge the
+/// pair) and the defined register itself.
+///
+/// Each def site ORs the whole `live_after` bitset into the def's row in
+/// one word-wise pass, then repairs the two exceptions. The repair must be
+/// careful about the copy-source bit: a *different* def site of the same
+/// register may already have added a legitimate edge to this copy's
+/// source, so the bit is only cleared if it was absent before the OR.
+pub fn interference_graph(func: &Function, cfg: &Cfg, live: &Liveness) -> BitMatrix {
     let n = func.next_reg as usize;
-    let live = liveness(func, cfg);
-    let mut g = Graph::new(n);
+    let mut g = BitMatrix::new(n);
     // Parameters all interfere pairwise (they hold distinct incoming
-    // values at entry).
+    // values at entry). Directed bits; finalize mirrors them.
     for a in 0..func.arity as u32 {
         for b in (a + 1)..func.arity as u32 {
-            g.add_edge(a, b);
+            g.set_raw(a, b);
         }
     }
     for &b in &cfg.rpo {
-        for_each_instr_backwards(func, &live, b, |_, instr, live_after| {
+        for_each_instr_backwards(func, live, b, |_, instr, live_after| {
             if let Some(d) = instr.def() {
                 let skip = match instr {
                     Instr::Copy { src, .. } => Some(*src),
                     _ => None,
                 };
-                for r in live_after.iter() {
-                    if Some(r) != skip && r != d {
-                        g.add_edge(d.0, r.0);
+                let skip_was_set = skip.map(|s| g.contains(d.0, s.0)).unwrap_or(false);
+                g.or_row_words(d.0, live_after.words());
+                if let Some(s) = skip {
+                    if !skip_was_set && s != d {
+                        g.clear_raw(d.0, s.0);
                     }
                 }
+                // A register never interferes with itself; no def site can
+                // have set this bit legitimately.
+                g.clear_raw(d.0, d.0);
             }
         });
     }
+    g.finalize_symmetric();
     g
+}
+
+/// Cached CFG + interference graph for one function body.
+///
+/// `Instr` carries `f64` constants, so the body cannot be hashed; instead
+/// every site in the allocation loop that mutates the function bumps a
+/// version counter, and [`BodyCache::ensure`] rebuilds only when the
+/// cached artifacts are stale. The payoff is the coalescing fixpoint: its
+/// final sweep (the one that merges nothing) leaves a fresh CFG and graph
+/// behind, which the simplify/select phase then reuses instead of
+/// rebuilding both from scratch.
+struct BodyCache {
+    version: u64,
+    built: Option<(u64, Cfg, BitMatrix)>,
+}
+
+impl BodyCache {
+    fn new() -> Self {
+        BodyCache {
+            version: 0,
+            built: None,
+        }
+    }
+
+    /// Records that the function body changed since the last build.
+    fn touch(&mut self) {
+        self.version += 1;
+    }
+
+    /// Rebuilds CFG, liveness, and interference graph if stale.
+    fn ensure(&mut self, func: &Function) {
+        let fresh = matches!(&self.built, Some((v, ..)) if *v == self.version);
+        if !fresh {
+            let cfg = Cfg::build(func);
+            let live = liveness(func, &cfg);
+            let g = interference_graph(func, &cfg, &live);
+            self.built = Some((self.version, cfg, g));
+        }
+    }
+
+    fn cfg(&self) -> &Cfg {
+        &self.built.as_ref().expect("ensure() before cfg()").1
+    }
+
+    fn graph(&self) -> &BitMatrix {
+        &self.built.as_ref().expect("ensure() before graph()").2
+    }
 }
 
 /// Per-register occurrence costs, weighted 10^loop-depth.
@@ -163,10 +196,11 @@ fn spill_costs(func: &Function, cfg: &Cfg) -> Vec<f64> {
     cost
 }
 
-/// One conservative-coalescing sweep. Returns copies eliminated.
-fn coalesce_once(func: &mut Function, k: usize) -> usize {
-    let cfg = Cfg::build(func);
-    let g = build_graph(func, &cfg);
+/// One conservative-coalescing sweep over a prebuilt interference graph
+/// (the caller's [`BodyCache`] provides it, so the sweep that reaches the
+/// fixpoint shares its build with the simplify/select phase that follows).
+/// Returns copies eliminated.
+fn coalesce_once(func: &mut Function, k: usize, g: &BitMatrix) -> usize {
     let nregs = func.next_reg as usize;
     let precolored = func.arity as u32;
     // Union-find over registers.
@@ -191,7 +225,7 @@ fn coalesce_once(func: &mut Function, k: usize) -> usize {
         .collect();
     // Track adjacency unions as we merge (approximation: recompute the
     // union of original neighbor sets of the merged classes).
-    let mut class_adj: Vec<BTreeSet<u32>> = g.adj.clone();
+    let mut class_adj: BitMatrix = g.clone();
     for (dst, src) in copies {
         let a = find(&mut parent, dst.0);
         let b = find(&mut parent, src.0);
@@ -202,28 +236,18 @@ fn coalesce_once(func: &mut Function, k: usize) -> usize {
         if a < precolored && b < precolored {
             continue;
         }
-        if class_adj[a as usize].contains(&b) || g.interferes(a, b) {
+        if class_adj.contains(a, b) || g.contains(a, b) {
             continue;
         }
         // Conservative-coalescing tests: Briggs (the merged node must have
         // < k neighbors of significant degree) or George (every neighbor
         // of one side either already interferes with the other side or is
         // trivially colorable).
-        let briggs = {
-            let union: BTreeSet<u32> = class_adj[a as usize]
-                .union(&class_adj[b as usize])
-                .copied()
-                .collect();
-            union
-                .iter()
-                .filter(|&&n| class_adj[n as usize].len() >= k)
-                .count()
-                < k
-        };
+        let briggs = class_adj.briggs_union_ok(a, b, k);
         let george = |x: u32, y: u32| {
-            class_adj[x as usize]
-                .iter()
-                .all(|&t| class_adj[t as usize].len() < k || class_adj[y as usize].contains(&t))
+            class_adj
+                .row_iter(x)
+                .all(|t| class_adj.degree(t) < k || class_adj.contains(y, t))
         };
         if !briggs && !george(a, b) && !george(b, a) {
             continue;
@@ -231,12 +255,11 @@ fn coalesce_once(func: &mut Function, k: usize) -> usize {
         // Merge b into a, preferring a precolored representative.
         let (rep, other) = if b < precolored { (b, a) } else { (a, b) };
         parent[other as usize] = rep;
-        let other_adj = class_adj[other as usize].clone();
-        for n in &other_adj {
-            class_adj[*n as usize].remove(&other);
-            class_adj[*n as usize].insert(rep);
+        let other_adj: Vec<u32> = class_adj.row_iter(other).collect();
+        for n in other_adj {
+            class_adj.remove_edge(n, other);
+            class_adj.insert_edge(n, rep);
         }
-        class_adj[rep as usize].extend(other_adj);
         merged += 1;
     }
     if merged == 0 {
@@ -493,6 +516,8 @@ pub fn allocate_function_core(
         .filter(|(_, t)| matches!(t.kind, TagKind::Spill { owner } if owner == func_id.0))
         .count();
     let mut no_spill: BTreeSet<u32> = BTreeSet::new();
+    // CFG + interference graph, rebuilt only when the body changes.
+    let mut cache = BodyCache::new();
     loop {
         report.rounds += 1;
         // Decouple parameter values from their fixed incoming registers:
@@ -532,6 +557,7 @@ pub fn allocate_function_core(
                         },
                     );
                 }
+                cache.touch();
             }
         }
         if std::env::var("REGALLOC_DEBUG").is_ok() {
@@ -554,16 +580,22 @@ pub fn allocate_function_core(
         // classic iterated-coalescing discipline.
         if report.spilled == 0 {
             loop {
-                let c = coalesce_once(func, k);
+                cache.ensure(func);
+                let c = coalesce_once(func, k, cache.graph());
                 report.coalesced += c;
                 if c == 0 {
                     break;
                 }
+                cache.touch();
             }
         }
-        let cfg = Cfg::build(func);
-        let g = build_graph(func, &cfg);
-        let costs = spill_costs(func, &cfg);
+        // The final coalescing sweep merged nothing, so its CFG and graph
+        // describe the current body: ensure() is a no-op there and the
+        // build is shared with simplify/select below.
+        cache.ensure(func);
+        let cfg = cache.cfg();
+        let g = cache.graph();
+        let costs = spill_costs(func, cfg);
         let precolored = func.arity as u32;
         let nregs = func.next_reg as usize;
         // Registers that actually occur.
@@ -582,7 +614,7 @@ pub fn allocate_function_core(
             occurs.insert(Reg(p));
         }
         // Simplify.
-        let mut degree = g.degree.clone();
+        let mut degree: Vec<usize> = (0..nregs as u32).map(|r| g.degree(r)).collect();
         let mut removed = vec![false; nregs];
         let mut stack: Vec<u32> = Vec::new();
         let work: Vec<u32> = occurs
@@ -624,7 +656,7 @@ pub fn allocate_function_core(
             removed[r as usize] = true;
             stack.push(r);
             remaining -= 1;
-            for &n in &g.adj[r as usize] {
+            for n in g.row_iter(r) {
                 degree[n as usize] = degree[n as usize].saturating_sub(1);
             }
         }
@@ -635,13 +667,13 @@ pub fn allocate_function_core(
         }
         let mut spilled: BTreeSet<u32> = BTreeSet::new();
         while let Some(r) = stack.pop() {
-            let mut used: BTreeSet<u32> = BTreeSet::new();
-            for &n in &g.adj[r as usize] {
+            let mut used = vec![false; k];
+            for n in g.row_iter(r) {
                 if let Some(c) = color[n as usize] {
-                    used.insert(c);
+                    used[c as usize] = true;
                 }
             }
-            match (0..k as u32).find(|c| !used.contains(c)) {
+            match (0..k as u32).find(|&c| !used[c as usize]) {
                 Some(c) => color[r as usize] = Some(c),
                 None => {
                     spilled.insert(r);
@@ -679,6 +711,7 @@ pub fn allocate_function_core(
         no_spill.extend(temps);
         report.spill_loads += l;
         report.spill_stores += s;
+        cache.touch();
     }
 }
 

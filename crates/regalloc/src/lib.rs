@@ -26,9 +26,11 @@
 #![warn(missing_docs)]
 
 mod alloc;
+mod matrix;
 
 pub use alloc::{
-    allocate, allocate_function, allocate_function_core, commit_spills, AllocOptions, AllocReport,
-    PendingSpill, PROVISIONAL_SPILL_BASE,
+    allocate, allocate_function, allocate_function_core, commit_spills, interference_graph,
+    AllocOptions, AllocReport, PendingSpill, PROVISIONAL_SPILL_BASE,
 };
-pub use cfg::{for_each_instr_backwards, liveness, Liveness, RegSet};
+pub use cfg::{for_each_instr_backwards, liveness, Cfg, Liveness, RegSet};
+pub use matrix::BitMatrix;

@@ -30,26 +30,28 @@ fn parallel_pipeline_matches_sequential_everywhere() {
                 threads: Some(1),
                 ..config.clone()
             };
-            let parallel = PipelineConfig {
-                threads: Some(4),
-                ..config
-            };
             let mut m_seq = base.clone();
             let r_seq = driver::run_pipeline(&mut m_seq, &sequential);
-            let mut m_par = base.clone();
-            let r_par = driver::run_pipeline(&mut m_par, &parallel);
-            assert_eq!(
-                m_seq.to_string(),
-                m_par.to_string(),
-                "{}/{label}: printed IL diverged between 1 and 4 threads",
-                b.name
-            );
-            assert_eq!(
-                counters(&r_seq),
-                counters(&r_par),
-                "{}/{label}: report counters diverged",
-                b.name
-            );
+            for workers in [2usize, 8] {
+                let parallel = PipelineConfig {
+                    threads: Some(workers),
+                    ..config.clone()
+                };
+                let mut m_par = base.clone();
+                let r_par = driver::run_pipeline(&mut m_par, &parallel);
+                assert_eq!(
+                    m_seq.to_string(),
+                    m_par.to_string(),
+                    "{}/{label}: printed IL diverged between 1 and {workers} threads",
+                    b.name
+                );
+                assert_eq!(
+                    counters(&r_seq),
+                    counters(&r_par),
+                    "{}/{label}: report counters diverged at {workers} threads",
+                    b.name
+                );
+            }
         }
     }
 }
