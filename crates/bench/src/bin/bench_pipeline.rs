@@ -36,7 +36,11 @@ struct Run {
 struct ProgramResult {
     name: String,
     runs: Vec<Run>,
-    passes: Vec<(String, f64)>,
+    /// `(label, milliseconds, cpu_summed)` per pass. Fused-chain passes
+    /// report per-function time summed across workers (CPU time); those
+    /// rows are emitted under a `cpu_ms` key instead of `ms` so they are
+    /// never compared against barrier-to-barrier wall times.
+    passes: Vec<(String, f64, bool)>,
 }
 
 fn ms(d: std::time::Duration) -> f64 {
@@ -94,7 +98,7 @@ fn main() {
                         .timings
                         .passes
                         .iter()
-                        .map(|(n, d)| (n.clone(), ms(*d)))
+                        .map(|p| (p.name.clone(), ms(p.elapsed), p.cpu_summed))
                         .collect();
                 }
                 Some(r) => assert_eq!(
@@ -144,7 +148,7 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{ \"threads\": {t}, \"workers\": {}, \"ms\": {total:.3}, \"speedup\": {:.3} }}{comma}",
-            results[0].runs[i].workers,
+            pools[i].threads(),
             total_seq / total.max(1e-9)
         );
     }
@@ -167,11 +171,15 @@ fn main() {
         }
         json.push_str("      ],\n");
         json.push_str("      \"passes\": [\n");
-        for (j, (name, pass_ms)) in r.passes.iter().enumerate() {
+        for (j, (name, pass_ms, cpu_summed)) in r.passes.iter().enumerate() {
             let comma = if j + 1 < r.passes.len() { "," } else { "" };
+            // Fused passes get a distinct key: a consumer looking for
+            // "ms" fails loudly on them instead of silently comparing
+            // CPU-summed time against historical wall time.
+            let key = if *cpu_summed { "cpu_ms" } else { "ms" };
             let _ = writeln!(
                 json,
-                "        {{ \"name\": \"{name}\", \"ms\": {pass_ms:.3} }}{comma}"
+                "        {{ \"name\": \"{name}\", \"{key}\": {pass_ms:.3} }}{comma}"
             );
         }
         json.push_str("      ]\n");
@@ -185,7 +193,7 @@ fn main() {
     for (i, (&t, total)) in SWEEP.iter().zip(&totals).enumerate() {
         println!(
             "  threads={t} (pool size {}): {total:8.1} ms  speedup {:.3}x",
-            results[0].runs[i].workers,
+            pools[i].threads(),
             total_seq / total.max(1e-9)
         );
     }

@@ -34,7 +34,7 @@ mod report;
 
 pub use parallel::{parallel_map, parallel_map_funcs, resolve_threads, WorkerPool};
 pub use pipeline::{
-    compile_and_run, compile_with, run_pipeline, run_pipeline_in, PassTimings, PipelineConfig,
-    PipelineReport,
+    compile_and_run, compile_with, run_pipeline, run_pipeline_in, PassTiming, PassTimings,
+    PipelineConfig, PipelineReport,
 };
 pub use report::{measure_program, render_figure, MeasurementRow, Metric};

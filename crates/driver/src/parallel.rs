@@ -263,7 +263,17 @@ where
         struct ExitGuard<'a>(&'a Mutex<usize>, &'a Condvar);
         impl Drop for ExitGuard<'_> {
             fn drop(&mut self) {
-                *self.0.lock().expect("batch exit lock poisoned") += 1;
+                let mut exits = self.0.lock().expect("batch exit lock poisoned");
+                *exits += 1;
+                // Notify while still holding the mutex. If the count were
+                // published first, the submitter could wake (spuriously, or
+                // from an earlier helper's notify), observe the final
+                // count, return from `run`, and destroy the stack-allocated
+                // batch while this thread still holds references into it —
+                // a use-after-free on the condvar. Holding the lock across
+                // the notify means the submitter cannot observe the final
+                // count until this guard's unlock, after the last touch of
+                // the batch.
                 self.1.notify_all();
             }
         }

@@ -25,7 +25,9 @@
 //! Per-pass wall clock is recorded *inside* the fused worker and
 //! aggregated by pass name into [`PassTimings`]; for fused passes the
 //! reported time is the summed per-function time (CPU time across
-//! workers), not the barrier-to-barrier wall time.
+//! workers), not the barrier-to-barrier wall time. Each [`PassTiming`]
+//! row carries a `cpu_summed` flag so consumers (and the benchmark
+//! JSON) cannot silently compare the two kinds of number.
 
 use crate::parallel::{resolve_threads, WorkerPool};
 use analysis::{tarjan_sccs, AnalysisLevel, CallGraph};
@@ -118,27 +120,52 @@ impl PipelineConfig {
     }
 }
 
-/// Wall-clock time of each pipeline pass, in execution order. Repeated
-/// passes get distinct labels (`lvn`, `lvn(2)`, ...).
+/// One pass's recorded time. Barrier passes (`normalize`, `analysis`)
+/// report barrier-to-barrier wall time; passes inside the fused
+/// per-function chain report per-function time summed across workers
+/// (CPU time), which exceeds wall time whenever more than one worker is
+/// busy. The `cpu_summed` flag distinguishes the two so the numbers are
+/// never compared as if they were the same quantity.
+#[derive(Debug, Clone)]
+pub struct PassTiming {
+    /// Pass label; repeated passes get distinct labels (`lvn`, `lvn(2)`).
+    pub name: String,
+    /// Recorded duration — see `cpu_summed` for what it measures.
+    pub elapsed: Duration,
+    /// `true` if `elapsed` is per-function time summed across workers
+    /// rather than wall time.
+    pub cpu_summed: bool,
+}
+
+/// Time of each pipeline pass, in execution order. Repeated passes get
+/// distinct labels (`lvn`, `lvn(2)`, ...).
 #[derive(Debug, Clone, Default)]
 pub struct PassTimings {
-    /// `(pass name, elapsed)` pairs in execution order.
-    pub passes: Vec<(String, Duration)>,
+    /// One row per pass in execution order.
+    pub passes: Vec<PassTiming>,
 }
 
 impl PassTimings {
-    fn record(&mut self, name: &str, elapsed: Duration) {
-        self.passes.push((name.to_string(), elapsed));
+    fn record(&mut self, name: &str, elapsed: Duration, cpu_summed: bool) {
+        self.passes.push(PassTiming {
+            name: name.to_string(),
+            elapsed,
+            cpu_summed,
+        });
     }
 
-    /// Total wall-clock across all recorded passes.
+    /// Total across all recorded passes (wall and CPU-summed rows mixed;
+    /// an upper bound on pipeline wall time).
     pub fn total(&self) -> Duration {
-        self.passes.iter().map(|(_, d)| *d).sum()
+        self.passes.iter().map(|p| p.elapsed).sum()
     }
 
     /// Elapsed time of the first pass recorded under `name`.
     pub fn get(&self, name: &str) -> Option<Duration> {
-        self.passes.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+        self.passes
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.elapsed)
     }
 }
 
@@ -181,7 +208,7 @@ fn validate_if(module: &Module, enabled: bool, pass: &str) {
 fn timed<R>(timings: &mut PassTimings, name: &str, f: impl FnOnce() -> R) -> R {
     let start = Instant::now();
     let r = f();
-    timings.record(name, start.elapsed());
+    timings.record(name, start.elapsed(), false);
     r
 }
 
@@ -383,7 +410,7 @@ pub fn run_pipeline_in(
         } else {
             d
         };
-        timings.record(name, d);
+        timings.record(name, d, true);
     }
     validate_if(module, v, "fused per-function chain");
     report.timings = timings;
