@@ -189,8 +189,17 @@ pub fn analyze(module: &mut Module, level: AnalysisLevel) -> AnalysisOutcome {
             // The paper's formulation: per-SSA-name points-to. Convert,
             // analyze at what is now SSA-name granularity, install the
             // results, convert back (φs become coalescable copies).
-            for f in &mut module.funcs {
-                ssa::construct(f);
+            // One analysis cache per function, shared between the two
+            // conversions: destruction's critical-edge scan reuses the CFG
+            // construction built (tag-set application in between is
+            // instruction-metadata only).
+            let mut caches: Vec<cfg::FunctionAnalyses> = module
+                .funcs
+                .iter()
+                .map(|_| cfg::FunctionAnalyses::new())
+                .collect();
+            for (f, fa) in module.funcs.iter_mut().zip(&mut caches) {
+                ssa::construct_in(f, fa);
             }
             let pt = points_to_analyze(module);
             points_to_apply(module, &pt);
@@ -198,8 +207,8 @@ pub fn analyze(module: &mut Module, level: AnalysisLevel) -> AnalysisOutcome {
             let sites = pt.site_targets(module);
             let graph = CallGraph::build(module, Some(&targets));
             let modref = compute_and_apply_with_sites(module, &graph, Some(&sites));
-            for f in &mut module.funcs {
-                ssa::destruct(f);
+            for (f, fa) in module.funcs.iter_mut().zip(&mut caches) {
+                ssa::destruct_in(f, fa);
             }
             (graph, modref)
         }

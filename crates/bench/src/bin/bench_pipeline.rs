@@ -1,5 +1,6 @@
 //! Pipeline wall-clock benchmark: sequential vs parallel per-function
-//! stages across a sweep of worker counts, with per-pass timings.
+//! stages across a sweep of worker counts, with per-pass timings and
+//! analysis-build counters.
 //!
 //! For each worker count in the sweep a [`driver::WorkerPool`] is created
 //! *once*, outside the timing loop, and every iteration reuses it through
@@ -9,8 +10,14 @@
 //! Printed IL is asserted byte-identical across all worker counts while
 //! we are here.
 //!
+//! The sweep defaults to {1, 2, 4, 8} clamped to 2× the machine's
+//! `available_parallelism()` — on a single-core runner, 4- and 8-worker
+//! runs measure pure scheduling overhead and tell us nothing. 1 and 2 are
+//! always kept so the slowdown gate below stays meaningful; pass
+//! `--force-sweep` to measure the full sweep regardless.
+//!
 //! Usage: `cargo run --release --bin bench_pipeline [output-path]
-//!         [--max-2t-slowdown X]`
+//!         [--max-2t-slowdown X] [--max-analysis-builds N] [--force-sweep]`
 //!
 //! With `--max-2t-slowdown X` the process exits nonzero if the 2-worker
 //! total is more than `X` times the sequential total — the CI regression
@@ -18,13 +25,21 @@
 //! `available_parallelism`: on a single-core runner a 2-worker speedup
 //! above 1.0 is physically impossible, so the gate bounds *overhead*
 //! rather than demanding a speedup the hardware cannot deliver.
+//!
+//! With `--max-analysis-builds N` the process exits nonzero if the suite
+//! total of analysis builds (CFG + dominators + loop forest + loop
+//! geometry + liveness constructions, from `PipelineReport`) exceeds `N`
+//! — the CI gate against silently regressing to rebuild-per-pass. The
+//! JSON records both the cached count and an uncached baseline measured
+//! with `share_analyses: false`, so the cache's effect is an auditable
+//! ratio rather than an anecdote.
 
 use bench_harness::timing::measure;
 use driver::{run_pipeline_in, PipelineConfig, WorkerPool};
 use std::fmt::Write as _;
 
 const ITERS: usize = 5;
-const SWEEP: [usize; 4] = [1, 2, 4, 8];
+const FULL_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 struct Run {
     threads: usize,
@@ -41,6 +56,12 @@ struct ProgramResult {
     /// rows are emitted under a `cpu_ms` key instead of `ms` so they are
     /// never compared against barrier-to-barrier wall times.
     passes: Vec<(String, f64, bool)>,
+    /// Analysis builds with the shared cache (the shipping configuration).
+    builds_cached: cfg::BuildCounts,
+    /// Analysis builds with `share_analyses: false` — every stage gets a
+    /// throwaway cache, i.e. the rebuild-per-pass behaviour this cache
+    /// replaced. The honest "before" number.
+    builds_uncached: cfg::BuildCounts,
 }
 
 fn ms(d: std::time::Duration) -> f64 {
@@ -55,14 +76,34 @@ fn config(threads: usize) -> PipelineConfig {
     }
 }
 
+fn builds_json(c: &cfg::BuildCounts) -> String {
+    format!(
+        "{{ \"cfg\": {}, \"dom\": {}, \"forest\": {}, \"geometry\": {}, \
+         \"liveness\": {}, \"total\": {} }}",
+        c.cfg,
+        c.dom,
+        c.forest,
+        c.geometry,
+        c.liveness,
+        c.total()
+    )
+}
+
 fn main() {
     let mut out_path = "BENCH_pipeline.json".to_string();
     let mut max_2t_slowdown: Option<f64> = None;
+    let mut max_analysis_builds: Option<u64> = None;
+    let mut force_sweep = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--max-2t-slowdown" {
             let v = args.next().expect("--max-2t-slowdown needs a value");
             max_2t_slowdown = Some(v.parse().expect("--max-2t-slowdown value"));
+        } else if a == "--max-analysis-builds" {
+            let v = args.next().expect("--max-analysis-builds needs a value");
+            max_analysis_builds = Some(v.parse().expect("--max-analysis-builds value"));
+        } else if a == "--force-sweep" {
+            force_sweep = true;
         } else {
             out_path = a;
         }
@@ -71,7 +112,19 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let pools: Vec<WorkerPool> = SWEEP.iter().map(|&t| WorkerPool::new(t)).collect();
+    let sweep: Vec<usize> = if force_sweep {
+        FULL_SWEEP.to_vec()
+    } else {
+        // Keep 1 (the sequential reference) and 2 (the slowdown gate)
+        // unconditionally; drop oversubscribed points that only measure
+        // context-switch overhead.
+        FULL_SWEEP
+            .iter()
+            .copied()
+            .filter(|&t| t <= 2 || t <= 2 * cores)
+            .collect()
+    };
+    let pools: Vec<WorkerPool> = sweep.iter().map(|&t| WorkerPool::new(t)).collect();
 
     let mut results = Vec::new();
     for b in benchsuite::SUITE {
@@ -80,7 +133,8 @@ fn main() {
         let mut runs = Vec::new();
         let mut reference_il: Option<String> = None;
         let mut passes = Vec::new();
-        for (&threads, pool) in SWEEP.iter().zip(&pools) {
+        let mut builds_cached = cfg::BuildCounts::default();
+        for (&threads, pool) in sweep.iter().zip(&pools) {
             let cfg = config(threads);
             let timing = measure(ITERS, || {
                 let mut m = module.clone();
@@ -94,6 +148,7 @@ fn main() {
             match &reference_il {
                 None => {
                     reference_il = Some(il);
+                    builds_cached = report.analysis_builds;
                     passes = report
                         .timings
                         .passes
@@ -113,19 +168,44 @@ fn main() {
                 ms: ms(timing.min),
             });
         }
+        // Uncached baseline: same pipeline, throwaway cache per stage.
+        // Output must not depend on the caching mode.
+        let builds_uncached = {
+            let mut m = module.clone();
+            let cfg = PipelineConfig {
+                share_analyses: false,
+                ..config(1)
+            };
+            let report = run_pipeline_in(&mut m, &cfg, &pools[0]);
+            assert_eq!(
+                reference_il.as_deref(),
+                Some(m.to_string().as_str()),
+                "{}: share_analyses=false changed the output",
+                b.name
+            );
+            report.analysis_builds
+        };
         results.push(ProgramResult {
             name: b.name.to_string(),
             runs,
             passes,
+            builds_cached,
+            builds_uncached,
         });
     }
 
     let total_at = |ti: usize| -> f64 { results.iter().map(|r| r.runs[ti].ms).sum() };
-    let totals: Vec<f64> = (0..SWEEP.len()).map(total_at).collect();
+    let totals: Vec<f64> = (0..sweep.len()).map(total_at).collect();
     let total_seq = totals[0];
-    let idx_2t = SWEEP.iter().position(|&t| t == 2).expect("sweep has 2");
+    let idx_2t = sweep.iter().position(|&t| t == 2).expect("sweep has 2");
     let total_2t = totals[idx_2t];
     let speedup_2t = total_seq / total_2t.max(1e-9);
+    let mut total_builds_cached = cfg::BuildCounts::default();
+    let mut total_builds_uncached = cfg::BuildCounts::default();
+    for r in &results {
+        total_builds_cached.add(&r.builds_cached);
+        total_builds_uncached.add(&r.builds_uncached);
+    }
 
     // Hand-rolled JSON: names are suite identifiers and pass labels, none
     // of which need escaping.
@@ -137,14 +217,28 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"sweep_threads\": [{}],",
-        SWEEP.map(|t| t.to_string()).join(", ")
+        sweep
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let _ = writeln!(json, "  \"total_sequential_ms\": {total_seq:.3},");
     let _ = writeln!(json, "  \"total_parallel_ms\": {total_2t:.3},");
     let _ = writeln!(json, "  \"total_speedup\": {speedup_2t:.3},");
+    let _ = writeln!(
+        json,
+        "  \"analysis_builds\": {},",
+        builds_json(&total_builds_cached)
+    );
+    let _ = writeln!(
+        json,
+        "  \"analysis_builds_uncached\": {},",
+        builds_json(&total_builds_uncached)
+    );
     json.push_str("  \"totals\": [\n");
-    for (i, (&t, total)) in SWEEP.iter().zip(&totals).enumerate() {
-        let comma = if i + 1 < SWEEP.len() { "," } else { "" };
+    for (i, (&t, total)) in sweep.iter().zip(&totals).enumerate() {
+        let comma = if i + 1 < sweep.len() { "," } else { "" };
         let _ = writeln!(
             json,
             "    {{ \"threads\": {t}, \"workers\": {}, \"ms\": {total:.3}, \"speedup\": {:.3} }}{comma}",
@@ -157,6 +251,16 @@ fn main() {
     for (i, r) in results.iter().enumerate() {
         json.push_str("    {\n");
         let _ = writeln!(json, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(
+            json,
+            "      \"analysis_builds\": {},",
+            builds_json(&r.builds_cached)
+        );
+        let _ = writeln!(
+            json,
+            "      \"analysis_builds_uncached\": {},",
+            builds_json(&r.builds_uncached)
+        );
         json.push_str("      \"runs\": [\n");
         for (j, run) in r.runs.iter().enumerate() {
             let comma = if j + 1 < r.runs.len() { "," } else { "" };
@@ -190,15 +294,22 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write benchmark output");
 
     println!("pipeline benchmark ({cores} core(s) available), min of {ITERS} iters:");
-    for (i, (&t, total)) in SWEEP.iter().zip(&totals).enumerate() {
+    for (i, (&t, total)) in sweep.iter().zip(&totals).enumerate() {
         println!(
             "  threads={t} (pool size {}): {total:8.1} ms  speedup {:.3}x",
             pools[i].threads(),
             total_seq / total.max(1e-9)
         );
     }
+    println!(
+        "  analysis builds: {} cached vs {} uncached ({:.2}x fewer)",
+        total_builds_cached.total(),
+        total_builds_uncached.total(),
+        total_builds_uncached.total() as f64 / total_builds_cached.total().max(1) as f64
+    );
     println!("  2-thread speedup {speedup_2t:.3}x -> {out_path}");
 
+    let mut failed = false;
     if let Some(limit) = max_2t_slowdown {
         let slowdown = total_2t / total_seq.max(1e-9);
         if slowdown > limit {
@@ -206,8 +317,24 @@ fn main() {
                 "FAIL: 2-worker run is {slowdown:.3}x the sequential time \
                  (limit {limit:.2}x) — parallel overhead regression"
             );
-            std::process::exit(1);
+            failed = true;
+        } else {
+            println!("  gate: 2-worker slowdown {slowdown:.3}x within limit {limit:.2}x");
         }
-        println!("  gate: 2-worker slowdown {slowdown:.3}x within limit {limit:.2}x");
+    }
+    if let Some(limit) = max_analysis_builds {
+        let got = total_builds_cached.total();
+        if got > limit {
+            eprintln!(
+                "FAIL: {got} analysis builds across the suite (limit {limit}) \
+                 — the pass chain regressed toward rebuild-per-pass"
+            );
+            failed = true;
+        } else {
+            println!("  gate: {got} analysis builds within limit {limit}");
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

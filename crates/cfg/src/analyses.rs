@@ -1,0 +1,396 @@
+//! A version-keyed cache of per-function analysis artifacts.
+//!
+//! Every pass in the fused pipeline chain needs some subset of {CFG,
+//! dominator tree, loop forest, loop geometry, liveness}, and most passes
+//! change nothing that would invalidate them. [`FunctionAnalyses`] owns one
+//! lazily-built copy of each artifact and two monotonic version counters:
+//!
+//! * `shape_version` advances when the *edge structure* changes (blocks
+//!   added/removed/retargeted). The CFG, dominator tree, loop forest, and
+//!   loop geometry are all keyed on it.
+//! * `body_version` advances on **any** change, including instruction-only
+//!   rewrites that leave the edges alone. Liveness is keyed on it (register
+//!   uses/defs move without the CFG moving).
+//!
+//! Passes report what they changed through [`note_body_changed`] /
+//! [`note_shape_changed`]; a pass that changed nothing reports nothing and
+//! every downstream consumer gets cache hits. The [`BuildCounts`] ledger
+//! records how many times each artifact was actually constructed — the
+//! pipeline surfaces it so rebuild-per-pass regressions show up as a
+//! counter jump rather than a vague slowdown.
+//!
+//! [`note_body_changed`]: FunctionAnalyses::note_body_changed
+//! [`note_shape_changed`]: FunctionAnalyses::note_shape_changed
+
+use crate::dom::DomTree;
+use crate::graph::Cfg;
+use crate::liveness::{liveness, Liveness};
+use crate::loops::{LoopForest, LoopId};
+use ir::{BlockId, Function};
+use std::collections::BTreeSet;
+
+/// How many times each artifact was built through one [`FunctionAnalyses`]
+/// (or, summed, through a whole pipeline run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildCounts {
+    /// CFG constructions.
+    pub cfg: u64,
+    /// Dominator-tree constructions.
+    pub dom: u64,
+    /// Loop-forest constructions.
+    pub forest: u64,
+    /// Loop-geometry (landing pad / exit set) extractions.
+    pub geometry: u64,
+    /// Liveness solves.
+    pub liveness: u64,
+}
+
+impl BuildCounts {
+    /// Sum over all artifact kinds.
+    pub fn total(&self) -> u64 {
+        self.cfg + self.dom + self.forest + self.geometry + self.liveness
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn add(&mut self, other: &BuildCounts) {
+        self.cfg += other.cfg;
+        self.dom += other.dom;
+        self.forest += other.forest;
+        self.geometry += other.geometry;
+        self.liveness += other.liveness;
+    }
+}
+
+/// Landing pads and dedicated exit blocks per loop — the part of the
+/// normalized shape that promotion and LICM consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopGeometry {
+    /// Landing pad per loop, indexed by [`LoopId`].
+    pub landing_pads: Vec<BlockId>,
+    /// Dedicated exit blocks per loop, indexed by [`LoopId`].
+    pub exit_blocks: Vec<BTreeSet<BlockId>>,
+}
+
+impl LoopGeometry {
+    /// Extracts the landing pads and exit sets of a function already
+    /// processed by [`crate::normalize_loops`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if some loop lacks a unique landing pad or a dedicated exit
+    /// block, i.e. if the function was not normalized.
+    pub fn compute(cfg: &Cfg, forest: &LoopForest) -> LoopGeometry {
+        let mut landing_pads = Vec::with_capacity(forest.len());
+        let mut exit_blocks = Vec::with_capacity(forest.len());
+        for l in &forest.loops {
+            let outside: Vec<BlockId> = cfg.preds[l.header.index()]
+                .iter()
+                .copied()
+                .filter(|p| cfg.is_reachable(*p) && !l.contains(*p))
+                .collect();
+            assert_eq!(
+                outside.len(),
+                1,
+                "loop at {} lacks a unique landing pad; run normalize_loops first",
+                l.header
+            );
+            landing_pads.push(outside[0]);
+            let mut exits = BTreeSet::new();
+            for &(_, t) in &l.exit_edges {
+                assert!(
+                    cfg.preds[t.index()]
+                        .iter()
+                        .all(|p| !cfg.is_reachable(*p) || l.contains(*p)),
+                    "exit block {t} shared with non-loop predecessors"
+                );
+                exits.insert(t);
+            }
+            exit_blocks.push(exits);
+        }
+        LoopGeometry {
+            landing_pads,
+            exit_blocks,
+        }
+    }
+
+    /// The landing pad of `l`.
+    pub fn landing_pad(&self, l: LoopId) -> BlockId {
+        self.landing_pads[l.index()]
+    }
+
+    /// The dedicated exit blocks of `l`.
+    pub fn exits(&self, l: LoopId) -> &BTreeSet<BlockId> {
+        &self.exit_blocks[l.index()]
+    }
+}
+
+/// The version-keyed analysis cache for one function body. See the module
+/// docs for the invalidation tiers.
+///
+/// Accessors take the function and return references borrowed from the
+/// cache (never from the function), so a pass can hold an artifact while
+/// mutating the body — exactly the snapshot discipline the passes already
+/// used — and report the mutation afterwards.
+#[derive(Debug, Default)]
+pub struct FunctionAnalyses {
+    shape_version: u64,
+    body_version: u64,
+    cfg: Option<(u64, Cfg)>,
+    dom: Option<(u64, DomTree)>,
+    forest: Option<(u64, LoopForest)>,
+    geometry: Option<(u64, LoopGeometry)>,
+    live: Option<(u64, Liveness)>,
+    /// Ledger of artifact constructions performed through this cache.
+    pub builds: BuildCounts,
+}
+
+impl FunctionAnalyses {
+    /// An empty cache (every first access builds).
+    pub fn new() -> FunctionAnalyses {
+        FunctionAnalyses::default()
+    }
+
+    /// The current body version. Advances on every reported change; callers
+    /// keeping derived structures (e.g. the allocator's interference graph)
+    /// key them on this.
+    pub fn body_version(&self) -> u64 {
+        self.body_version
+    }
+
+    /// Report an instruction-level change that left the edge structure
+    /// intact (operand rewrites, instruction insertion/removal/motion).
+    /// Invalidates liveness; the CFG-shaped artifacts survive.
+    pub fn note_body_changed(&mut self) {
+        self.body_version += 1;
+    }
+
+    /// Report a change to the edge structure (blocks added, removed, or
+    /// retargeted). Invalidates everything.
+    pub fn note_shape_changed(&mut self) {
+        self.shape_version += 1;
+        self.body_version += 1;
+    }
+
+    fn ensure_cfg(&mut self, func: &Function) {
+        if !matches!(&self.cfg, Some((v, _)) if *v == self.shape_version) {
+            self.builds.cfg += 1;
+            self.cfg = Some((self.shape_version, Cfg::build(func)));
+        }
+    }
+
+    fn ensure_dom(&mut self, func: &Function) {
+        self.ensure_cfg(func);
+        if !matches!(&self.dom, Some((v, _)) if *v == self.shape_version) {
+            self.builds.dom += 1;
+            let dom = DomTree::lengauer_tarjan(&self.cfg.as_ref().expect("ensured").1);
+            self.dom = Some((self.shape_version, dom));
+        }
+    }
+
+    fn ensure_forest(&mut self, func: &Function) {
+        self.ensure_dom(func);
+        if !matches!(&self.forest, Some((v, _)) if *v == self.shape_version) {
+            self.builds.forest += 1;
+            let forest = LoopForest::build(
+                &self.cfg.as_ref().expect("ensured").1,
+                &self.dom.as_ref().expect("ensured").1,
+            );
+            self.forest = Some((self.shape_version, forest));
+        }
+    }
+
+    fn ensure_geometry(&mut self, func: &Function) {
+        self.ensure_forest(func);
+        if !matches!(&self.geometry, Some((v, _)) if *v == self.shape_version) {
+            self.builds.geometry += 1;
+            let geom = LoopGeometry::compute(
+                &self.cfg.as_ref().expect("ensured").1,
+                &self.forest.as_ref().expect("ensured").1,
+            );
+            self.geometry = Some((self.shape_version, geom));
+        }
+    }
+
+    fn ensure_live(&mut self, func: &Function) {
+        self.ensure_cfg(func);
+        if !matches!(&self.live, Some((v, _)) if *v == self.body_version) {
+            self.builds.liveness += 1;
+            let live = liveness(func, &self.cfg.as_ref().expect("ensured").1);
+            self.live = Some((self.body_version, live));
+        }
+    }
+
+    /// The CFG of `func` at its current version.
+    pub fn cfg<'a>(&'a mut self, func: &Function) -> &'a Cfg {
+        self.ensure_cfg(func);
+        &self.cfg.as_ref().expect("ensured").1
+    }
+
+    /// The dominator tree.
+    pub fn dom<'a>(&'a mut self, func: &Function) -> &'a DomTree {
+        self.ensure_dom(func);
+        &self.dom.as_ref().expect("ensured").1
+    }
+
+    /// CFG + dominator tree together.
+    pub fn cfg_dom<'a>(&'a mut self, func: &Function) -> (&'a Cfg, &'a DomTree) {
+        self.ensure_dom(func);
+        (
+            &self.cfg.as_ref().expect("ensured").1,
+            &self.dom.as_ref().expect("ensured").1,
+        )
+    }
+
+    /// CFG + loop forest together (what loop discovery passes need).
+    pub fn cfg_forest<'a>(&'a mut self, func: &Function) -> (&'a Cfg, &'a LoopForest) {
+        self.ensure_forest(func);
+        (
+            &self.cfg.as_ref().expect("ensured").1,
+            &self.forest.as_ref().expect("ensured").1,
+        )
+    }
+
+    /// CFG + dominator tree + loop forest.
+    pub fn cfg_dom_forest<'a>(
+        &'a mut self,
+        func: &Function,
+    ) -> (&'a Cfg, &'a DomTree, &'a LoopForest) {
+        self.ensure_forest(func);
+        (
+            &self.cfg.as_ref().expect("ensured").1,
+            &self.dom.as_ref().expect("ensured").1,
+            &self.forest.as_ref().expect("ensured").1,
+        )
+    }
+
+    /// CFG + loop forest + loop geometry: the normalized-loop view that
+    /// promotion and LICM consume (previously `LoopNest`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in [`LoopGeometry::compute`]) if the function is not
+    /// normalized.
+    pub fn loop_view<'a>(
+        &'a mut self,
+        func: &Function,
+    ) -> (&'a Cfg, &'a LoopForest, &'a LoopGeometry) {
+        self.ensure_geometry(func);
+        (
+            &self.cfg.as_ref().expect("ensured").1,
+            &self.forest.as_ref().expect("ensured").1,
+            &self.geometry.as_ref().expect("ensured").1,
+        )
+    }
+
+    /// Liveness at the current body version.
+    pub fn liveness<'a>(&'a mut self, func: &Function) -> &'a Liveness {
+        self.ensure_live(func);
+        &self.live.as_ref().expect("ensured").1
+    }
+
+    /// CFG + liveness together (the allocator's working set).
+    pub fn cfg_liveness<'a>(&'a mut self, func: &Function) -> (&'a Cfg, &'a Liveness) {
+        self.ensure_live(func);
+        (
+            &self.cfg.as_ref().expect("ensured").1,
+            &self.live.as_ref().expect("ensured").1,
+        )
+    }
+
+    /// CFG + dominator tree + liveness (SSA construction's working set).
+    pub fn cfg_dom_liveness<'a>(
+        &'a mut self,
+        func: &Function,
+    ) -> (&'a Cfg, &'a DomTree, &'a Liveness) {
+        self.ensure_dom(func);
+        self.ensure_live(func);
+        (
+            &self.cfg.as_ref().expect("ensured").1,
+            &self.dom.as_ref().expect("ensured").1,
+            &self.live.as_ref().expect("ensured").1,
+        )
+    }
+
+    /// Folds another cache's build ledger into this one (used by the
+    /// pipeline's uncached baseline mode, which runs each pass against a
+    /// throwaway cache but still reports total construction work).
+    pub fn absorb_builds(&mut self, other: &FunctionAnalyses) {
+        self.builds.add(&other.builds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::FunctionBuilder;
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("f", 0);
+        let c = b.iconst(1);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn artifacts_are_cached_until_invalidated() {
+        let f = diamond();
+        let mut fa = FunctionAnalyses::new();
+        fa.cfg(&f);
+        fa.dom(&f);
+        fa.liveness(&f);
+        fa.cfg(&f);
+        fa.dom(&f);
+        fa.liveness(&f);
+        assert_eq!(fa.builds.cfg, 1);
+        assert_eq!(fa.builds.dom, 1);
+        assert_eq!(fa.builds.liveness, 1);
+    }
+
+    #[test]
+    fn body_change_invalidates_liveness_but_not_shape() {
+        let f = diamond();
+        let mut fa = FunctionAnalyses::new();
+        fa.cfg(&f);
+        fa.liveness(&f);
+        fa.note_body_changed();
+        fa.cfg(&f);
+        fa.liveness(&f);
+        assert_eq!(fa.builds.cfg, 1, "CFG survives a body-only change");
+        assert_eq!(fa.builds.liveness, 2, "liveness rebuilt");
+    }
+
+    #[test]
+    fn shape_change_invalidates_everything() {
+        let f = diamond();
+        let mut fa = FunctionAnalyses::new();
+        fa.cfg_dom_forest(&f);
+        fa.liveness(&f);
+        fa.note_shape_changed();
+        fa.cfg_dom_forest(&f);
+        fa.liveness(&f);
+        assert_eq!(fa.builds.cfg, 2);
+        assert_eq!(fa.builds.dom, 2);
+        assert_eq!(fa.builds.forest, 2);
+        assert_eq!(fa.builds.liveness, 2);
+    }
+
+    #[test]
+    fn body_version_advances_on_both_tiers() {
+        let mut fa = FunctionAnalyses::new();
+        let v0 = fa.body_version();
+        fa.note_body_changed();
+        let v1 = fa.body_version();
+        fa.note_shape_changed();
+        let v2 = fa.body_version();
+        assert!(v0 < v1 && v1 < v2);
+    }
+}

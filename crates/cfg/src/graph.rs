@@ -7,7 +7,7 @@ use ir::{BlockId, Function};
 ///
 /// The graph is a snapshot: it must be recomputed after any transformation
 /// that adds, removes, or retargets blocks.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cfg {
     /// Successors per block index.
     pub succs: Vec<Vec<BlockId>>,

@@ -30,14 +30,19 @@
 
 #![warn(missing_docs)]
 
+mod analyses;
 mod dom;
 mod graph;
 mod liveness;
 mod loops;
 mod normalize;
 
+pub use analyses::{BuildCounts, FunctionAnalyses, LoopGeometry};
 pub use dom::DomTree;
 pub use graph::Cfg;
 pub use liveness::{for_each_instr_backwards, liveness, Liveness, RegSet};
 pub use loops::{Loop, LoopForest, LoopId};
-pub use normalize::{normalize_loops, remove_unreachable_blocks, LoopNest};
+pub use normalize::{
+    normalize_loops, normalize_loops_in, remove_unreachable_blocks, remove_unreachable_blocks_in,
+    LoopNest,
+};

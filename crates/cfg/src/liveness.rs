@@ -81,7 +81,7 @@ impl RegSet {
 }
 
 /// Per-block live-in/live-out sets.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Liveness {
     /// Live-in per block.
     pub live_in: Vec<RegSet>,

@@ -23,7 +23,7 @@ impl LoopId {
 }
 
 /// One natural loop.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Loop {
     /// The loop header (target of the back edges).
     pub header: BlockId,
@@ -52,7 +52,7 @@ impl Loop {
 }
 
 /// All natural loops of one function, with nesting structure.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LoopForest {
     /// The loops; inner loops always have larger depth than their parents.
     pub loops: Vec<Loop>,

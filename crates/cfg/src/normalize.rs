@@ -12,6 +12,7 @@
 //!   predecessors are all inside the loop (promotion inserts the final
 //!   stores there).
 
+use crate::analyses::{FunctionAnalyses, LoopGeometry};
 use crate::dom::DomTree;
 use crate::graph::Cfg;
 use crate::loops::{LoopForest, LoopId};
@@ -22,7 +23,14 @@ use std::collections::BTreeSet;
 ///
 /// Returns the number of blocks removed.
 pub fn remove_unreachable_blocks(func: &mut Function) -> usize {
-    let cfg = Cfg::build(func);
+    remove_unreachable_blocks_in(func, &mut FunctionAnalyses::new())
+}
+
+/// Cache-aware [`remove_unreachable_blocks`]: reads the CFG through
+/// `analyses` (a no-op when it is warm) and reports the removal as a shape
+/// change only when blocks were actually deleted.
+pub fn remove_unreachable_blocks_in(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
+    let cfg = analyses.cfg(func);
     let n = func.blocks.len();
     let removed = n - cfg.rpo.len();
     if removed == 0 {
@@ -48,6 +56,7 @@ pub fn remove_unreachable_blocks(func: &mut Function) -> usize {
     }
     func.blocks = new_blocks;
     func.entry = remap[func.entry.index()].expect("entry reachable");
+    analyses.note_shape_changed();
     removed
 }
 
@@ -64,11 +73,10 @@ fn retarget_edge(func: &mut Function, from: BlockId, old: BlockId, new: BlockId)
     }
 }
 
-/// One round of landing-pad insertion. Returns true if anything changed.
-fn insert_landing_pads(func: &mut Function) -> bool {
-    let cfg = Cfg::build(func);
-    let dom = DomTree::lengauer_tarjan(&cfg);
-    let forest = LoopForest::build(&cfg, &dom);
+/// One round of landing-pad insertion. Returns true if anything changed;
+/// the caller reports the shape change to `analyses`.
+fn insert_landing_pads(func: &mut Function, analyses: &mut FunctionAnalyses) -> bool {
+    let (cfg, forest) = analyses.cfg_forest(func);
     for l in &forest.loops {
         let header = l.header;
         // A loop headed by the entry block has an implicit entry edge that
@@ -113,11 +121,10 @@ fn insert_landing_pads(func: &mut Function) -> bool {
     false
 }
 
-/// One round of exit-block dedication. Returns true if anything changed.
-fn insert_exit_blocks(func: &mut Function) -> bool {
-    let cfg = Cfg::build(func);
-    let dom = DomTree::lengauer_tarjan(&cfg);
-    let forest = LoopForest::build(&cfg, &dom);
+/// One round of exit-block dedication. Returns true if anything changed;
+/// the caller reports the shape change to `analyses`.
+fn insert_exit_blocks(func: &mut Function, analyses: &mut FunctionAnalyses) -> bool {
+    let (cfg, forest) = analyses.cfg_forest(func);
     for l in &forest.loops {
         for &(from, to) in &l.exit_edges {
             let shared = cfg.preds[to.index()]
@@ -146,19 +153,35 @@ fn insert_exit_blocks(func: &mut Function) -> bool {
 /// SSA construction in the pipeline) or if normalization fails to converge
 /// (which would indicate a bug).
 pub fn normalize_loops(func: &mut Function) {
+    normalize_loops_in(func, &mut FunctionAnalyses::new());
+}
+
+/// Cache-aware [`normalize_loops`]: the unreachable-block sweep, the
+/// landing-pad check, and the exit-block check all share one CFG/dominator/
+/// loop-forest build per round instead of constructing their own (the old
+/// code built the CFG three times and the dominator tree twice even on a
+/// fully-converged function). With a warm cache a converged call performs
+/// **zero** analysis builds.
+///
+/// # Panics
+///
+/// Same conditions as [`normalize_loops`].
+pub fn normalize_loops_in(func: &mut Function, analyses: &mut FunctionAnalyses) {
     assert!(
         !has_phis(func),
         "normalize_loops requires a phi-free function"
     );
-    remove_unreachable_blocks(func);
+    remove_unreachable_blocks_in(func, analyses);
     let mut budget = 4 * func.blocks.len() + 64;
     loop {
-        if insert_landing_pads(func) {
+        if insert_landing_pads(func, analyses) {
+            analyses.note_shape_changed();
             budget -= 1;
             assert!(budget > 0, "landing-pad insertion did not converge");
             continue;
         }
-        if insert_exit_blocks(func) {
+        if insert_exit_blocks(func, analyses) {
+            analyses.note_shape_changed();
             budget -= 1;
             assert!(budget > 0, "exit-block insertion did not converge");
             continue;
@@ -195,39 +218,13 @@ impl LoopNest {
         let cfg = Cfg::build(func);
         let dom = DomTree::lengauer_tarjan(&cfg);
         let forest = LoopForest::build(&cfg, &dom);
-        let mut landing_pads = Vec::with_capacity(forest.len());
-        let mut exit_blocks = Vec::with_capacity(forest.len());
-        for l in &forest.loops {
-            let outside: Vec<BlockId> = cfg.preds[l.header.index()]
-                .iter()
-                .copied()
-                .filter(|p| cfg.is_reachable(*p) && !l.contains(*p))
-                .collect();
-            assert_eq!(
-                outside.len(),
-                1,
-                "loop at {} lacks a unique landing pad; run normalize_loops first",
-                l.header
-            );
-            landing_pads.push(outside[0]);
-            let mut exits = BTreeSet::new();
-            for &(_, t) in &l.exit_edges {
-                assert!(
-                    cfg.preds[t.index()]
-                        .iter()
-                        .all(|p| !cfg.is_reachable(*p) || l.contains(*p)),
-                    "exit block {t} shared with non-loop predecessors"
-                );
-                exits.insert(t);
-            }
-            exit_blocks.push(exits);
-        }
+        let geom = LoopGeometry::compute(&cfg, &forest);
         LoopNest {
             cfg,
             dom,
             forest,
-            landing_pads,
-            exit_blocks,
+            landing_pads: geom.landing_pads,
+            exit_blocks: geom.exit_blocks,
         }
     }
 

@@ -66,6 +66,13 @@ pub struct PipelineConfig {
     /// `std::thread::available_parallelism()`; `Some(1)` forces the
     /// sequential path. The compiled output is identical either way.
     pub threads: Option<usize>,
+    /// Share one [`cfg::FunctionAnalyses`] cache per function across the
+    /// whole pass chain (the normal mode). `false` gives every stage a
+    /// throwaway cache — the rebuild-per-pass behaviour the pipeline had
+    /// before the cache existed — and exists so benchmarks can report an
+    /// honest uncached baseline for the analysis-build counters. Output is
+    /// identical either way.
+    pub share_analyses: bool,
 }
 
 impl Default for PipelineConfig {
@@ -79,6 +86,7 @@ impl Default for PipelineConfig {
             regalloc: Some(AllocOptions::default()),
             validate_each_pass: cfg!(debug_assertions),
             threads: None,
+            share_analyses: true,
         }
     }
 }
@@ -195,6 +203,11 @@ pub struct PipelineReport {
     /// Per-pass wall-clock timings (scheduling-dependent; excluded from
     /// determinism comparisons).
     pub timings: PassTimings,
+    /// How many times each analysis artifact (CFG, dominators, loop
+    /// forest, loop geometry, liveness) was built across the whole run —
+    /// the cache's effectiveness ledger. A rebuild-per-pass regression
+    /// shows up here as a counter jump.
+    pub analysis_builds: cfg::BuildCounts,
 }
 
 fn validate_if(module: &Module, enabled: bool, pass: &str) {
@@ -213,11 +226,11 @@ fn timed<R>(timings: &mut PassTimings, name: &str, f: impl FnOnce() -> R) -> R {
 }
 
 /// Which functions sit on call-graph cycles (recursion blocks promotion of
-/// their locals). Whole-module, so computed before fanning out.
-fn recursive_set(module: &Module) -> Vec<bool> {
-    let graph = CallGraph::build(module, None);
-    let sccs = tarjan_sccs(&graph);
-    (0..module.funcs.len())
+/// their locals). Derived from the call graph the analysis barrier already
+/// built — the pipeline never reconstructs it.
+fn recursive_set(graph: &CallGraph, nfuncs: usize) -> Vec<bool> {
+    let sccs = tarjan_sccs(graph);
+    (0..nfuncs)
         .map(|i| graph.is_recursive(FuncId(i as u32), &sccs))
         .collect()
 }
@@ -255,49 +268,95 @@ impl StageClock {
     }
 }
 
+/// Runs one chain stage against the shared cache, or — in the benchmark's
+/// uncached baseline mode — against a throwaway cache whose build ledger
+/// is still folded into the shared one.
+fn stage<R>(
+    analyses: &mut cfg::FunctionAnalyses,
+    share: bool,
+    f: impl FnOnce(&mut cfg::FunctionAnalyses) -> R,
+) -> R {
+    if share {
+        f(analyses)
+    } else {
+        let mut throwaway = cfg::FunctionAnalyses::new();
+        let r = f(&mut throwaway);
+        analyses.absorb_builds(&throwaway);
+        r
+    }
+}
+
 /// Carries one function through the entire fused chain. Reads only the
 /// shared tag-table snapshot and per-function read-only facts, so any
 /// number of these run concurrently; all tag-table writes are deferred as
-/// [`PendingSpill`]s.
+/// [`PendingSpill`]s. `analyses` is the function's shared cache: a pass
+/// that changes nothing leaves it warm, and every downstream pass then
+/// reuses the artifacts instead of rebuilding them.
 fn run_fused_chain(
     tags: &ir::TagTable,
     func: &mut ir::Function,
     fid: FuncId,
     recursive: bool,
     config: &PipelineConfig,
+    analyses: &mut cfg::FunctionAnalyses,
 ) -> FuncOutcome {
+    let share = config.share_analyses;
     let mut clock = StageClock::default();
     let mut o = FuncOutcome {
         strengthened: clock.timed("strengthen", || {
-            opt::strengthen_function(tags, func, fid, recursive)
+            stage(analyses, share, |fa| {
+                opt::strengthen_function(tags, func, fid, recursive, fa)
+            })
         }),
         ..Default::default()
     };
     if config.promote {
         let cap = config.promotion_cap;
         o.scalar = clock.timed("promote", || {
-            cfg::normalize_loops(func);
-            promote::promote_scalars_in_func_core(tags, func, fid, recursive, cap)
+            stage(analyses, share, |fa| {
+                cfg::normalize_loops_in(func, fa);
+                promote::promote_scalars_in_func_core(tags, func, fid, recursive, cap, fa)
+            })
         });
     }
     if config.optimize {
-        o.lvn_rewrites += clock.timed("lvn", || opt::lvn_function(func));
-        o.loads_eliminated = clock.timed("loadelim", || opt::loadelim_function(func));
-        o.constants_folded = clock.timed("constprop", || opt::constprop_function(func));
-        o.licm_moved = clock.timed("licm", || opt::licm_function(func));
+        o.lvn_rewrites += clock.timed("lvn", || {
+            stage(analyses, share, |fa| opt::lvn_function(func, fa))
+        });
+        o.loads_eliminated = clock.timed("loadelim", || {
+            stage(analyses, share, |fa| opt::loadelim_function(func, fa))
+        });
+        o.constants_folded = clock.timed("constprop", || {
+            stage(analyses, share, |fa| opt::constprop_function(func, fa))
+        });
+        o.licm_moved = clock.timed("licm", || {
+            stage(analyses, share, |fa| {
+                cfg::normalize_loops_in(func, fa);
+                opt::licm_function(func, fa)
+            })
+        });
     }
     if config.pointer_promote {
         // LICM has hoisted invariant base addresses; normalize again in
-        // case earlier folding perturbed loop shapes.
+        // case earlier folding perturbed loop shapes (a no-op — and zero
+        // rebuilds — when they did not).
         o.pointer = clock.timed("pointer-promote", || {
-            cfg::normalize_loops(func);
-            promote::promote_pointers_in_func_core(func)
+            stage(analyses, share, |fa| {
+                cfg::normalize_loops_in(func, fa);
+                promote::promote_pointers_in_func_core(func, fa)
+            })
         });
     }
     if config.optimize {
-        o.lvn_rewrites += clock.timed("lvn(2)", || opt::lvn_function(func));
-        o.dce_removed = clock.timed("dce", || opt::dce_function(func));
-        o.cleaned += clock.timed("clean", || opt::clean_function(func));
+        o.lvn_rewrites += clock.timed("lvn(2)", || {
+            stage(analyses, share, |fa| opt::lvn_function(func, fa))
+        });
+        o.dce_removed = clock.timed("dce", || {
+            stage(analyses, share, |fa| opt::dce_function(func, fa))
+        });
+        o.cleaned += clock.timed("clean", || {
+            stage(analyses, share, |fa| opt::clean_function(func, fa))
+        });
     }
     if let Some(opts) = &config.regalloc {
         // Allocate against the read-only tag-table snapshot, recording
@@ -306,14 +365,18 @@ fn run_fused_chain(
         // exact tag table (ids and names) of a sequential run.
         let r = clock.timed("regalloc", || {
             let mut pending = Vec::new();
-            let r = regalloc::allocate_function_core(tags, func, fid, opts, &mut pending);
+            let r = stage(analyses, share, |fa| {
+                regalloc::allocate_function_core(tags, func, fid, opts, &mut pending, fa)
+            });
             (r, pending)
         });
         o.alloc = Some(r);
         if config.optimize {
             // Block cleaning is tag-agnostic, so it can run before the
             // provisional spill tags are interned.
-            o.cleaned += clock.timed("clean(final)", || opt::clean_function(func));
+            o.cleaned += clock.timed("clean(final)", || {
+                stage(analyses, share, |fa| opt::clean_function(func, fa))
+            });
         }
     }
     o.timings = clock.rows;
@@ -342,8 +405,21 @@ pub fn run_pipeline_in(
     let v = config.validate_each_pass;
     let mut report = PipelineReport::default();
     let mut timings = PassTimings::default();
+    // One analysis cache per function, alive from normalization to the
+    // final clean: every pass both consumes it and reports what it
+    // invalidated, so converged passes cost zero rebuilds downstream.
+    let mut analyses: Vec<cfg::FunctionAnalyses> = module
+        .funcs
+        .iter()
+        .map(|_| cfg::FunctionAnalyses::new())
+        .collect();
     timed(&mut timings, "normalize", || {
-        pool.run_funcs(&mut module.funcs, |_, f| cfg::normalize_loops(f));
+        let items: Vec<_> = module.funcs.iter_mut().zip(analyses.iter_mut()).collect();
+        pool.run(items, |_, (f, fa)| {
+            stage(fa, config.share_analyses, |fa| {
+                cfg::normalize_loops_in(f, fa)
+            })
+        });
     });
     validate_if(module, v, "normalize");
     let outcome = timed(&mut timings, "analysis", || {
@@ -351,15 +427,27 @@ pub fn run_pipeline_in(
     });
     report.analysis_stats = Some(outcome.stats);
     validate_if(module, v, "analysis");
+    // The interprocedural barrier mutates instruction tag sets (no
+    // registers, no edges) — except the SSA-roundtrip level, which
+    // restructures bodies wholesale.
+    for fa in &mut analyses {
+        if matches!(config.analysis, AnalysisLevel::PointsToSsa) {
+            fa.note_shape_changed();
+        } else {
+            fa.note_body_changed();
+        }
+    }
     // Whole-module facts the fused chain reads: which functions sit on
-    // call-graph cycles. Computed once, before fanning out.
-    let recursive = recursive_set(module);
+    // call-graph cycles, straight off the analysis barrier's call graph.
+    let recursive = recursive_set(&outcome.call_graph, module.funcs.len());
     let outcomes: Vec<FuncOutcome> = {
         // `funcs` and `tags` are disjoint fields, so the mutable fan-out
         // and the shared tag-table snapshot coexist.
         let tags = &module.tags;
-        pool.run_funcs(&mut module.funcs, |fid, func| {
-            run_fused_chain(tags, func, fid, recursive[fid.index()], config)
+        let items: Vec<_> = module.funcs.iter_mut().zip(analyses.iter_mut()).collect();
+        pool.run(items, |i, (func, fa)| {
+            let fid = FuncId(i as u32);
+            run_fused_chain(tags, func, fid, recursive[i], config, fa)
         })
     };
     // Sequential epilogue: commit spill tags in function-index order and
@@ -401,6 +489,9 @@ pub fn run_pipeline_in(
         }
     }
     report.alloc = alloc_total;
+    for fa in &analyses {
+        report.analysis_builds.add(&fa.builds);
+    }
     let commit_elapsed = commit_start.elapsed();
     for (name, d) in pass_totals {
         // The spill-tag commit is the sequential tail of allocation;

@@ -6,19 +6,22 @@
 //! empty forwarding blocks, folds constant branches left by constant
 //! propagation, and deletes unreachable blocks.
 
-use cfg::remove_unreachable_blocks;
+use cfg::{remove_unreachable_blocks_in, FunctionAnalyses};
 use ir::{BlockId, Function, Instr, Module};
 
 /// Runs the cleaner on one function. Returns the number of changes.
-pub fn clean_function(func: &mut Function) -> usize {
+pub fn clean_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
     let mut changes = 0;
-    // 1. Drop nops.
+    // 1. Drop nops. Removing a nop changes no live range and no edge, so
+    //    it does not dirty the cache at all.
     for block in &mut func.blocks {
         let before = block.instrs.len();
         block.instrs.retain(|i| !matches!(i, Instr::Nop));
         changes += before - block.instrs.len();
     }
-    // 2. Fold branches with equal targets into jumps.
+    // 2. Fold branches with equal targets into jumps (shape tier: the
+    //    duplicate edge collapses).
+    let mut shape_changes = 0;
     for block in &mut func.blocks {
         if let Some(Instr::Branch {
             then_bb, else_bb, ..
@@ -28,6 +31,7 @@ pub fn clean_function(func: &mut Function) -> usize {
                 let t = *then_bb;
                 *block.instrs.last_mut().expect("terminator") = Instr::Jump { target: t };
                 changes += 1;
+                shape_changes += 1;
             }
         }
     }
@@ -76,11 +80,19 @@ pub fn clean_function(func: &mut Function) -> usize {
                 });
             }
             changes += local;
+            shape_changes += local;
         }
-        func.entry = resolve(func.entry);
+        let new_entry = resolve(func.entry);
+        if new_entry != func.entry {
+            func.entry = new_entry;
+            shape_changes += 1;
+        }
     }
-    // 4. Delete newly unreachable blocks.
-    changes += remove_unreachable_blocks(func);
+    if shape_changes > 0 {
+        analyses.note_shape_changed();
+    }
+    // 4. Delete newly unreachable blocks (reports its own invalidation).
+    changes += remove_unreachable_blocks_in(func, analyses);
     changes
 }
 
@@ -88,7 +100,7 @@ pub fn clean_function(func: &mut Function) -> usize {
 pub fn clean(module: &mut Module) -> usize {
     let mut changes = 0;
     for func in &mut module.funcs {
-        changes += clean_function(func);
+        changes += clean_function(func, &mut FunctionAnalyses::new());
     }
     changes
 }
@@ -110,7 +122,7 @@ mod tests {
         b.switch_to(end);
         b.ret(None);
         let mut f = b.finish();
-        let changes = clean_function(&mut f);
+        let changes = clean_function(&mut f, &mut FunctionAnalyses::new());
         assert!(changes >= 2);
         // After nop removal B0 itself becomes a forwarder, so everything
         // collapses to the single return block.
@@ -130,7 +142,7 @@ mod tests {
         b.switch_to(t);
         b.ret(None);
         let mut f = b.finish();
-        clean_function(&mut f);
+        clean_function(&mut f, &mut FunctionAnalyses::new());
         assert!(matches!(
             f.block(f.entry).terminator(),
             Some(Instr::Jump { .. })
@@ -145,7 +157,7 @@ mod tests {
         b.switch_to(real);
         b.ret(None);
         let mut f = b.finish();
-        clean_function(&mut f);
+        clean_function(&mut f, &mut FunctionAnalyses::new());
         assert_eq!(f.blocks.len(), 1);
         assert!(matches!(
             f.block(f.entry).terminator(),
@@ -162,7 +174,7 @@ mod tests {
         b.switch_to(l);
         b.jump(l);
         let mut f = b.finish();
-        clean_function(&mut f);
+        clean_function(&mut f, &mut FunctionAnalyses::new());
         let m = {
             let mut m = Module::new();
             m.add_func(f);

@@ -6,7 +6,7 @@
 //! conditions become jumps (which `clean` then exploits to delete dead
 //! arms).
 
-use cfg::Cfg;
+use cfg::FunctionAnalyses;
 use ir::{BinOp, CmpOp, Function, Instr, Module, Reg, UnaryOp};
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,8 +115,8 @@ fn fold_cmp(op: CmpOp, a: i64, b: i64) -> i64 {
 }
 
 /// Runs constant propagation over one function. Returns rewrites made.
-pub fn constprop_function(func: &mut Function) -> usize {
-    let cfg = Cfg::build(func);
+pub fn constprop_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
+    let cfg = analyses.cfg(func);
     let nregs = func.next_reg as usize;
     let mut input: Vec<Vec<Lat>> = vec![vec![Lat::Top; nregs]; func.blocks.len()];
     // Parameters are unknown.
@@ -146,6 +146,7 @@ pub fn constprop_function(func: &mut Function) -> usize {
     }
     // Rewrite pass: fold definitions and branches.
     let mut rewrites = 0;
+    let mut branch_folds = 0;
     for &b in &cfg.rpo {
         let mut state = input[b.index()].clone();
         for instr in &mut func.block_mut(b).instrs {
@@ -175,11 +176,21 @@ pub fn constprop_function(func: &mut Function) -> usize {
             transfer(instr, &mut state);
             if let Some(new) = folded {
                 if *instr != new {
+                    if matches!(new, Instr::Jump { .. }) {
+                        branch_folds += 1;
+                    }
                     *instr = new;
                     rewrites += 1;
                 }
             }
         }
+    }
+    // Folding a branch to a jump deletes an edge; constant folds only
+    // rewrite operands.
+    if branch_folds > 0 {
+        analyses.note_shape_changed();
+    } else if rewrites > 0 {
+        analyses.note_body_changed();
     }
     rewrites
 }
@@ -188,7 +199,7 @@ pub fn constprop_function(func: &mut Function) -> usize {
 pub fn constprop(module: &mut Module) -> usize {
     let mut n = 0;
     for func in &mut module.funcs {
-        n += constprop_function(func);
+        n += constprop_function(func, &mut FunctionAnalyses::new());
     }
     n
 }

@@ -6,10 +6,11 @@
 //! as pure — deleting a dead load is precisely the payoff of register
 //! promotion's rewrites.
 
+use cfg::FunctionAnalyses;
 use ir::{Function, Module};
 
 /// Runs DCE on one function. Returns the number of instructions removed.
-pub fn dce_function(func: &mut Function) -> usize {
+pub fn dce_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
     let nregs = func.next_reg as usize;
     let mut live = vec![false; nregs];
     // Seed with uses of side-effecting/control instructions.
@@ -56,6 +57,10 @@ pub fn dce_function(func: &mut Function) -> usize {
         });
         removed += before - block.instrs.len();
     }
+    // Deleting pure instructions never touches terminators: body tier.
+    if removed > 0 {
+        analyses.note_body_changed();
+    }
     removed
 }
 
@@ -63,7 +68,7 @@ pub fn dce_function(func: &mut Function) -> usize {
 pub fn dce(module: &mut Module) -> usize {
     let mut removed = 0;
     for func in &mut module.funcs {
-        removed += dce_function(func);
+        removed += dce_function(func, &mut FunctionAnalyses::new());
     }
     removed
 }
@@ -83,7 +88,7 @@ mod tests {
         b.ret(Some(live));
         let mut f = b.finish();
         f.has_result = true;
-        assert_eq!(dce_function(&mut f), 1);
+        assert_eq!(dce_function(&mut f, &mut FunctionAnalyses::new()), 1);
         assert_eq!(f.instr_count(), 4);
     }
 
@@ -94,7 +99,7 @@ mod tests {
         b.call_intrinsic(Intrinsic::PrintInt, vec![a]);
         b.ret(None);
         let mut f = b.finish();
-        assert_eq!(dce_function(&mut f), 0);
+        assert_eq!(dce_function(&mut f, &mut FunctionAnalyses::new()), 0);
     }
 
     #[test]
@@ -126,6 +131,6 @@ B0:
         b.ret(Some(d));
         let mut f = b.finish();
         f.has_result = true;
-        assert_eq!(dce_function(&mut f), 0);
+        assert_eq!(dce_function(&mut f, &mut FunctionAnalyses::new()), 0);
     }
 }

@@ -7,7 +7,7 @@
 //! by something already hoisted); faulting operations (`div`/`rem` by a
 //! non-constant) are never speculated.
 
-use cfg::LoopNest;
+use cfg::{FunctionAnalyses, LoopForest};
 use ir::{BinOp, Function, Instr, Module, Reg, TagSet};
 use std::collections::HashMap;
 
@@ -46,9 +46,9 @@ fn is_speculable(instr: &Instr, func: &Function) -> bool {
 }
 
 /// Tags possibly modified anywhere in the loop `li` of `func`.
-fn loop_mods(func: &Function, nest: &LoopNest, li: usize) -> TagSet {
+fn loop_mods(func: &Function, forest: &LoopForest, li: usize) -> TagSet {
     let mut mods = TagSet::empty();
-    for &b in &nest.forest.loops[li].blocks {
+    for &b in &forest.loops[li].blocks {
         for instr in &func.blocks[b.index()].instrs {
             if let Some(m) = instr.mod_tags() {
                 mods.union_with(&m);
@@ -59,9 +59,9 @@ fn loop_mods(func: &Function, nest: &LoopNest, li: usize) -> TagSet {
 }
 
 /// Runs LICM over one (normalized) function. Returns instructions moved.
-pub fn licm_function(func: &mut Function) -> usize {
-    let nest = LoopNest::compute(func);
-    if nest.forest.is_empty() {
+pub fn licm_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
+    let (_, forest, geom) = analyses.loop_view(func);
+    if forest.is_empty() {
         return 0;
     }
     // Whole-function definition counts (single-def requirement).
@@ -74,8 +74,8 @@ pub fn licm_function(func: &mut Function) -> usize {
         }
     }
     // Per-loop in-loop definition counts, updated as hoists happen.
-    let mut defs_in_loop: Vec<HashMap<Reg, usize>> = vec![HashMap::new(); nest.forest.len()];
-    for (li, l) in nest.forest.loops.iter().enumerate() {
+    let mut defs_in_loop: Vec<HashMap<Reg, usize>> = vec![HashMap::new(); forest.len()];
+    for (li, l) in forest.loops.iter().enumerate() {
         for &b in &l.blocks {
             for instr in &func.blocks[b.index()].instrs {
                 if let Some(d) = instr.def() {
@@ -96,20 +96,20 @@ pub fn licm_function(func: &mut Function) -> usize {
         }
     }
     let mut moved = 0;
-    for li in nest.forest.inner_to_outer() {
+    for li in forest.inner_to_outer() {
         let li = li.index();
-        let pad = nest.landing_pads[li];
-        let mods = loop_mods(func, &nest, li);
+        let pad = geom.landing_pads[li];
+        let mods = loop_mods(func, forest, li);
         // Constants already cloned into this loop's pad: original -> clone.
         let mut pad_clones: HashMap<Reg, Reg> = HashMap::new();
         // Iterate to fixpoint so chains of invariant ops cascade out.
         loop {
             let mut hoisted_any = false;
-            let blocks: Vec<_> = nest.forest.loops[li]
+            let blocks: Vec<_> = forest.loops[li]
                 .blocks
                 .iter()
                 .copied()
-                .filter(|b| nest.forest.block_loop[b.index()] == Some(cfg::LoopId(li as u32)))
+                .filter(|b| forest.block_loop[b.index()] == Some(cfg::LoopId(li as u32)))
                 .collect();
             for b in blocks {
                 let mut i = 0;
@@ -159,10 +159,10 @@ pub fn licm_function(func: &mut Function) -> usize {
                                     // loop: record the definition there so
                                     // outer-loop hoisting cannot float a
                                     // consumer above it.
-                                    let mut anc = nest.forest.loops[li].parent;
+                                    let mut anc = forest.loops[li].parent;
                                     while let Some(a) = anc {
                                         *defs_in_loop[a.index()].entry(nr).or_default() += 1;
-                                        anc = nest.forest.loops[a.index()].parent;
+                                        anc = forest.loops[a.index()].parent;
                                     }
                                     nr
                                 }
@@ -194,6 +194,11 @@ pub fn licm_function(func: &mut Function) -> usize {
             }
         }
     }
+    // Hoisting moves instructions between existing blocks and mints pad
+    // constants: live ranges change, edges do not.
+    if moved > 0 {
+        analyses.note_body_changed();
+    }
     moved
 }
 
@@ -201,8 +206,9 @@ pub fn licm_function(func: &mut Function) -> usize {
 pub fn licm(module: &mut Module) -> usize {
     let mut moved = 0;
     for func in &mut module.funcs {
-        cfg::normalize_loops(func);
-        moved += licm_function(func);
+        let mut analyses = FunctionAnalyses::new();
+        cfg::normalize_loops_in(func, &mut analyses);
+        moved += licm_function(func, &mut analyses);
     }
     moved
 }

@@ -8,7 +8,7 @@
 //! each tag, which register is known to hold the tag's current value. A
 //! later `sload` of an available tag becomes a register copy.
 
-use cfg::Cfg;
+use cfg::FunctionAnalyses;
 use ir::{Function, Instr, Module, Reg, TagId, TagSet};
 use std::collections::HashMap;
 
@@ -76,8 +76,8 @@ fn transfer(instr: &mut Instr, facts: &mut HashMap<TagId, Reg>, rewrite: bool) -
 
 /// Runs redundant-load elimination on one function. Returns loads
 /// rewritten to copies.
-pub fn loadelim_function(func: &mut Function) -> usize {
-    let cfg = Cfg::build(func);
+pub fn loadelim_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
+    let cfg = analyses.cfg(func);
     let mut input: Vec<Avail> = vec![None; func.blocks.len()];
     input[func.entry.index()] = Some(HashMap::new());
     // Fixpoint.
@@ -111,6 +111,10 @@ pub fn loadelim_function(func: &mut Function) -> usize {
             rewrites += transfer(instr, &mut facts, true);
         }
     }
+    // Rewrites turn loads into copies in place: operand-only.
+    if rewrites > 0 {
+        analyses.note_body_changed();
+    }
     rewrites
 }
 
@@ -118,7 +122,7 @@ pub fn loadelim_function(func: &mut Function) -> usize {
 pub fn loadelim(module: &mut Module) -> usize {
     let mut n = 0;
     for func in &mut module.funcs {
-        n += loadelim_function(func);
+        n += loadelim_function(func, &mut FunctionAnalyses::new());
     }
     n
 }

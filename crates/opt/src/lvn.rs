@@ -6,6 +6,7 @@
 //! `sstore`/`sload` of the same tag with no intervening kill reuses the
 //! register instead of touching memory).
 
+use cfg::FunctionAnalyses;
 use ir::{BinOp, CmpOp, Function, Instr, Module, Reg, TagId, TagSet, UnaryOp};
 use std::collections::HashMap;
 
@@ -126,13 +127,26 @@ fn fold_cmp(op: CmpOp, a: i64, b: i64) -> i64 {
 
 /// Runs local value numbering over one function. Returns the number of
 /// instructions rewritten.
-pub fn lvn_function(func: &mut Function) -> usize {
+pub fn lvn_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
     let mut changes = 0;
+    let mut branch_folds = 0;
     for block in &mut func.blocks {
         let mut t = Tables::default();
         for instr in &mut block.instrs {
-            changes += lvn_instr(&mut t, instr);
+            let was_branch = matches!(instr, Instr::Branch { .. });
+            let c = lvn_instr(&mut t, instr);
+            changes += c;
+            if c > 0 && was_branch && matches!(instr, Instr::Jump { .. }) {
+                branch_folds += 1;
+            }
         }
+    }
+    // A folded branch removes an edge; everything else only rewrites
+    // operands within blocks.
+    if branch_folds > 0 {
+        analyses.note_shape_changed();
+    } else if changes > 0 {
+        analyses.note_body_changed();
     }
     changes
 }
@@ -397,7 +411,7 @@ fn lvn_instr(t: &mut Tables, instr: &mut Instr) -> usize {
 pub fn lvn(module: &mut Module) -> usize {
     let mut changes = 0;
     for func in &mut module.funcs {
-        changes += lvn_function(func);
+        changes += lvn_function(func, &mut FunctionAnalyses::new());
     }
     changes
 }

@@ -10,6 +10,7 @@
 //! access like any other scalar reference.
 
 use analysis::{singleton_is_unique_cell, tarjan_sccs, CallGraph};
+use cfg::FunctionAnalyses;
 use ir::{FuncId, Function, Instr, Module, TagTable};
 
 /// Strengthens qualifying pointer ops to scalar ops module-wide. Returns
@@ -21,7 +22,13 @@ pub fn strengthen(module: &mut Module) -> usize {
     for fi in 0..module.funcs.len() {
         let f = FuncId(fi as u32);
         let recursive = graph.is_recursive(f, &sccs);
-        rewrites += strengthen_function(&module.tags, &mut module.funcs[fi], f, recursive);
+        rewrites += strengthen_function(
+            &module.tags,
+            &mut module.funcs[fi],
+            f,
+            recursive,
+            &mut FunctionAnalyses::new(),
+        );
     }
     rewrites
 }
@@ -33,6 +40,7 @@ pub fn strengthen_function(
     func: &mut Function,
     func_id: FuncId,
     func_is_recursive: bool,
+    analyses: &mut FunctionAnalyses,
 ) -> usize {
     let mut rewrites = 0;
     for block in &mut func.blocks {
@@ -61,6 +69,10 @@ pub fn strengthen_function(
                 rewrites += 1;
             }
         }
+    }
+    // Opcode swaps on straight-line memory ops: body tier.
+    if rewrites > 0 {
+        analyses.note_body_changed();
     }
     rewrites
 }

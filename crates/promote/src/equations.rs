@@ -25,7 +25,7 @@
 //! equation (3) while the rewrite left the pointer access reading stale
 //! memory.
 
-use cfg::{LoopId, LoopNest};
+use cfg::{LoopForest, LoopId};
 use ir::{DenseTagSet, FuncId, Function, Instr, TagId, TagSet, TagTable};
 
 /// How a memory reference participates in the equations.
@@ -119,11 +119,11 @@ pub struct LoopSets {
 impl LoopSets {
     /// Solves equations (1)–(4) over the loop nest with the word-wise
     /// union/difference kernels of [`DenseTagSet`].
-    pub fn solve(blocks: &[BlockSets], nest: &LoopNest) -> LoopSets {
-        let nloops = nest.forest.len();
+    pub fn solve(blocks: &[BlockSets], forest: &LoopForest) -> LoopSets {
+        let nloops = forest.len();
         let mut explicit = vec![DenseTagSet::new(); nloops];
         let mut ambiguous = vec![TagSet::empty(); nloops];
-        for (li, l) in nest.forest.loops.iter().enumerate() {
+        for (li, l) in forest.loops.iter().enumerate() {
             for &b in &l.blocks {
                 explicit[li].union_with(&blocks[b.index()].explicit);
                 ambiguous[li].union_with(&blocks[b.index()].ambiguous);
@@ -139,7 +139,7 @@ impl LoopSets {
         }
         let mut lift = vec![DenseTagSet::new(); nloops];
         for li in 0..nloops {
-            lift[li] = match nest.forest.loops[li].parent {
+            lift[li] = match forest.loops[li].parent {
                 None => promotable[li].clone(),
                 Some(p) => promotable[li].difference(&promotable[p.index()]),
             };
@@ -153,12 +153,12 @@ impl LoopSets {
     }
 
     /// Union of `L_PROMOTABLE` over every loop containing `b`.
-    pub fn promotable_in_block(&self, nest: &LoopNest, b: ir::BlockId) -> DenseTagSet {
+    pub fn promotable_in_block(&self, forest: &LoopForest, b: ir::BlockId) -> DenseTagSet {
         let mut out = DenseTagSet::new();
-        let mut cur = nest.forest.block_loop[b.index()];
+        let mut cur = forest.block_loop[b.index()];
         while let Some(l) = cur {
             out.union_with(&self.promotable[l.index()]);
-            cur = nest.forest.loops[l.index()].parent;
+            cur = forest.loops[l.index()].parent;
         }
         out
     }
@@ -248,10 +248,10 @@ B9:
     fn figure2_sets() {
         let (mut m, f) = figure2_module();
         cfg::normalize_loops(&mut m.funcs[f.index()]);
-        let nest = LoopNest::compute(m.func(f));
+        let nest = cfg::LoopNest::compute(m.func(f));
         assert_eq!(nest.forest.len(), 3);
         let blocks = block_sets(&m.tags, f, m.func(f), false);
-        let sets = LoopSets::solve(&blocks, &nest);
+        let sets = LoopSets::solve(&blocks, &nest.forest);
         let a = m.tags.lookup("A").unwrap();
         let b = m.tags.lookup("B").unwrap();
         let c = m.tags.lookup("C").unwrap();
@@ -360,9 +360,9 @@ B2:
         let mut m = ir::parse_module(src).unwrap();
         let f = m.lookup_func("main").unwrap();
         cfg::normalize_loops(&mut m.funcs[f.index()]);
-        let nest = LoopNest::compute(m.func(f));
+        let nest = cfg::LoopNest::compute(m.func(f));
         let blocks = block_sets(&m.tags, f, m.func(f), false);
-        let sets = LoopSets::solve(&blocks, &nest);
+        let sets = LoopSets::solve(&blocks, &nest.forest);
         // g is explicit in the loop and the {*} store is outside it, so g
         // is promotable in the loop.
         let g = m.tags.lookup("g").unwrap();

@@ -87,18 +87,43 @@ pub struct PromotionReport {
 /// module's tag sets (see [`analysis::analyze`]), though promotion is sound
 /// — merely unproductive — over unanalyzed `{*}` sets.
 pub fn promote_module(module: &mut Module, opts: &PromotionOptions) -> PromotionReport {
+    let graph = CallGraph::build(module, None);
+    let sccs = tarjan_sccs(&graph);
+    let recursive: Vec<bool> = (0..module.funcs.len())
+        .map(|fi| graph.is_recursive(ir::FuncId(fi as u32), &sccs))
+        .collect();
+    promote_module_with_flags(module, opts, &recursive)
+}
+
+/// [`promote_module`] with precomputed per-function recursion flags.
+///
+/// The pipeline's analysis barrier already builds the call graph and its
+/// SCCs; this entry point lets it pass those results down instead of
+/// recomputing them, while standalone callers go through
+/// [`promote_module`] and share the same code path.
+pub fn promote_module_with_flags(
+    module: &mut Module,
+    opts: &PromotionOptions,
+    recursive: &[bool],
+) -> PromotionReport {
+    assert_eq!(
+        recursive.len(),
+        module.funcs.len(),
+        "one recursion flag per function"
+    );
     for fi in 0..module.funcs.len() {
         cfg::normalize_loops(&mut module.funcs[fi]);
     }
-    let graph = CallGraph::build(module, None);
-    let sccs = tarjan_sccs(&graph);
     let mut report = PromotionReport::default();
     for fi in 0..module.funcs.len() {
         let f = ir::FuncId(fi as u32);
         if opts.scalar {
-            let recursive = graph.is_recursive(f, &sccs);
-            let r =
-                scalar::promote_scalars_in_func(module, f, recursive, opts.max_promoted_per_loop);
+            let r = scalar::promote_scalars_in_func(
+                module,
+                f,
+                recursive[fi],
+                opts.max_promoted_per_loop,
+            );
             report.scalar.loops += r.loops;
             report.scalar.promoted_tags += r.promoted_tags;
             report.scalar.lifts += r.lifts;

@@ -11,7 +11,7 @@
 //! the base-address computation out of the loop; the driver therefore runs
 //! it after LICM.
 
-use cfg::{LoopId, LoopNest};
+use cfg::{FunctionAnalyses, LoopId};
 use ir::{FuncId, Function, Instr, Module, Reg, TagSet};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -28,21 +28,27 @@ pub struct PointerReport {
 
 /// Runs pointer-based promotion on one normalized function.
 pub fn promote_pointers_in_func(module: &mut Module, func_id: FuncId) -> PointerReport {
-    promote_pointers_in_func_core(&mut module.funcs[func_id.index()])
+    promote_pointers_in_func_core(
+        &mut module.funcs[func_id.index()],
+        &mut FunctionAnalyses::new(),
+    )
 }
 
 /// The per-function core of pointer-based promotion. Entirely
 /// function-local, so the parallel pipeline can fan it out across
 /// functions.
-pub fn promote_pointers_in_func_core(func: &mut Function) -> PointerReport {
+pub fn promote_pointers_in_func_core(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+) -> PointerReport {
     let mut report = PointerReport::default();
-    let nest = LoopNest::compute(func);
-    if nest.forest.is_empty() {
+    let (_, forest, geom) = analyses.loop_view(func);
+    if forest.is_empty() {
         return report;
     }
     // Registers defined in each loop (for invariance checks).
-    let mut defs_in_loop: Vec<BTreeSet<Reg>> = vec![BTreeSet::new(); nest.forest.len()];
-    for (li, l) in nest.forest.loops.iter().enumerate() {
+    let mut defs_in_loop: Vec<BTreeSet<Reg>> = vec![BTreeSet::new(); forest.len()];
+    for (li, l) in forest.loops.iter().enumerate() {
         for &b in &l.blocks {
             for instr in &func.blocks[b.index()].instrs {
                 if let Some(d) = instr.def() {
@@ -65,8 +71,8 @@ pub fn promote_pointers_in_func_core(func: &mut Function) -> PointerReport {
                                                                    // double promotion of overlapping candidates.
     let mut claimed_tags: BTreeSet<ir::TagId> = BTreeSet::new();
     let mut claimed_blocks: BTreeSet<(usize, usize)> = BTreeSet::new();
-    for li in nest.forest.inner_to_outer() {
-        let l = &nest.forest.loops[li.index()];
+    for li in forest.inner_to_outer() {
+        let l = &forest.loops[li.index()];
         let mut cands: BTreeMap<Reg, Candidate> = BTreeMap::new();
         // Gather pointer ops by base register; track every tag touched in
         // the loop by other means.
@@ -172,7 +178,7 @@ pub fn promote_pointers_in_func_core(func: &mut Function) -> PointerReport {
     }
     // Insert lifts.
     for (li, base, tags, has_store, v) in planned {
-        let pad = nest.landing_pad(li);
+        let pad = geom.landing_pad(li);
         func.block_mut(pad).insert_before_terminator(Instr::Load {
             dst: v,
             addr: base,
@@ -180,7 +186,7 @@ pub fn promote_pointers_in_func_core(func: &mut Function) -> PointerReport {
         });
         report.lifts += 1;
         if has_store {
-            for &e in nest.exits(li) {
+            for &e in geom.exits(li) {
                 func.blocks[e.index()].instrs.insert(
                     0,
                     Instr::Store {
@@ -192,6 +198,10 @@ pub fn promote_pointers_in_func_core(func: &mut Function) -> PointerReport {
                 report.lifts += 1;
             }
         }
+    }
+    // Same tier as scalar promotion: instruction-level rewrites only.
+    if report.rewritten_refs > 0 || report.lifts > 0 {
+        analyses.note_body_changed();
     }
     report
 }

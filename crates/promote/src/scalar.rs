@@ -6,7 +6,7 @@
 //! `L_LIFT` it appears, and stored in each such loop's exit blocks.
 
 use crate::equations::{block_sets, classify_singleton, LoopSets, RefClass};
-use cfg::LoopNest;
+use cfg::FunctionAnalyses;
 use ir::{DenseTagSet, FuncId, Function, Instr, Module, Reg, TagId, TagTable};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -48,6 +48,7 @@ pub fn promote_scalars_in_func(
         func_id,
         func_is_recursive,
         max_per_loop,
+        &mut FunctionAnalyses::new(),
     )
 }
 
@@ -60,19 +61,20 @@ pub fn promote_scalars_in_func_core(
     func_id: FuncId,
     func_is_recursive: bool,
     max_per_loop: Option<usize>,
+    analyses: &mut FunctionAnalyses,
 ) -> ScalarReport {
-    let nest = LoopNest::compute(func);
+    let (_, forest, geom) = analyses.loop_view(func);
     let mut report = ScalarReport {
-        loops: nest.forest.len(),
+        loops: forest.len(),
         ..Default::default()
     };
-    if nest.forest.is_empty() {
+    if forest.is_empty() {
         return report;
     }
     let blocks = block_sets(tags, func_id, func, func_is_recursive);
-    let mut sets = LoopSets::solve(&blocks, &nest);
+    let mut sets = LoopSets::solve(&blocks, forest);
     if let Some(cap) = max_per_loop {
-        throttle(func, &nest, &mut sets, cap);
+        throttle(func, forest, &mut sets, cap);
     }
     let promotable = sets.all_promotable();
     if promotable.is_empty() {
@@ -88,7 +90,7 @@ pub fn promote_scalars_in_func_core(
     // Step 5: rewrite references inside loops where the tag is promotable.
     let nblocks = func.blocks.len();
     for bi in 0..nblocks {
-        let here = sets.promotable_in_block(&nest, ir::BlockId(bi as u32));
+        let here = sets.promotable_in_block(forest, ir::BlockId(bi as u32));
         if here.is_empty() {
             continue;
         }
@@ -155,7 +157,7 @@ pub fn promote_scalars_in_func_core(
     // promotion loads just before the landing pad's terminator, so a block
     // serving as both (exit of one loop, pad of the next) stays correct.
     let stored_in_loop: Vec<BTreeSet<TagId>> = {
-        nest.forest
+        forest
             .loops
             .iter()
             .map(|l| {
@@ -188,23 +190,23 @@ pub fn promote_scalars_in_func_core(
     };
     let mut exit_inserts: BTreeMap<usize, Vec<Instr>> = BTreeMap::new();
     let mut pad_inserts: BTreeMap<usize, Vec<Instr>> = BTreeMap::new();
-    for li in 0..nest.forest.len() {
+    for li in 0..forest.len() {
         let l = cfg::LoopId(li as u32);
         for t in sets.lift[li].iter() {
             let v = tag_reg[&t];
             pad_inserts
-                .entry(nest.landing_pad(l).index())
+                .entry(geom.landing_pad(l).index())
                 .or_default()
                 .push(Instr::SLoad { dst: v, tag: t });
             report.lifts += 1;
             if stored_in_loop[li].contains(&t) {
-                for &e in nest.exits(l) {
+                for &e in geom.exits(l) {
                     exit_inserts
                         .entry(e.index())
                         .or_default()
                         .push(Instr::SStore { src: v, tag: t });
                 }
-                report.lifts += nest.exits(l).len();
+                report.lifts += geom.exits(l).len();
             }
         }
     }
@@ -218,20 +220,25 @@ pub fn promote_scalars_in_func_core(
             func.blocks[bi].insert_before_terminator(instr);
         }
     }
+    // Promotion rewrites references and inserts lift code into existing
+    // blocks; the CFG shape is untouched.
+    if report.rewritten_refs > 0 || report.lifts > 0 {
+        analyses.note_body_changed();
+    }
     report
 }
 
 /// Applies the pressure throttle: each loop keeps only its `cap`
 /// most-frequently-referenced promotable tags, and `L_LIFT` is re-derived
 /// from the trimmed sets (equation (4) of the paper).
-fn throttle(func: &Function, nest: &LoopNest, sets: &mut LoopSets, cap: usize) {
-    for li in 0..nest.forest.len() {
+fn throttle(func: &Function, forest: &cfg::LoopForest, sets: &mut LoopSets, cap: usize) {
+    for li in 0..forest.len() {
         if sets.promotable[li].len() <= cap {
             continue;
         }
         // Frequency of use: explicit references within the loop.
         let mut freq: BTreeMap<TagId, usize> = BTreeMap::new();
-        for &b in &nest.forest.loops[li].blocks {
+        for &b in &forest.loops[li].blocks {
             for instr in &func.blocks[b.index()].instrs {
                 match instr {
                     Instr::SLoad { tag, .. }
@@ -253,8 +260,8 @@ fn throttle(func: &Function, nest: &LoopNest, sets: &mut LoopSets, cap: usize) {
         sets.promotable[li] = ranked.into_iter().take(cap).collect();
     }
     // Re-derive L_LIFT (equation 4) from the throttled promotable sets.
-    for li in 0..nest.forest.len() {
-        sets.lift[li] = match nest.forest.loops[li].parent {
+    for li in 0..forest.len() {
+        sets.lift[li] = match forest.loops[li].parent {
             None => sets.promotable[li].clone(),
             Some(p) => sets.promotable[li].difference(&sets.promotable[p.index()]),
         };
@@ -264,7 +271,7 @@ fn throttle(func: &Function, nest: &LoopNest, sets: &mut LoopSets, cap: usize) {
 /// Set of tags promotable anywhere in `func` — exposed for the driver's
 /// reporting and for tests.
 pub fn promotable_tags(module: &Module, func_id: FuncId, func_is_recursive: bool) -> DenseTagSet {
-    let nest = LoopNest::compute(module.func(func_id));
+    let nest = cfg::LoopNest::compute(module.func(func_id));
     if nest.forest.is_empty() {
         return DenseTagSet::new();
     }
@@ -274,7 +281,7 @@ pub fn promotable_tags(module: &Module, func_id: FuncId, func_is_recursive: bool
         module.func(func_id),
         func_is_recursive,
     );
-    LoopSets::solve(&blocks, &nest).all_promotable()
+    LoopSets::solve(&blocks, &nest.forest).all_promotable()
 }
 
 #[cfg(test)]

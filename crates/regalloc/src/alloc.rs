@@ -25,8 +25,7 @@
 //! perturbing printed IL.
 
 use crate::matrix::BitMatrix;
-use cfg::{for_each_instr_backwards, liveness, Liveness, RegSet};
-use cfg::{Cfg, DomTree, LoopForest};
+use cfg::{for_each_instr_backwards, Cfg, FunctionAnalyses, Liveness, RegSet};
 use ir::{FuncId, Function, Instr, Module, Reg, TagId, TagKind, TagTable};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -126,57 +125,29 @@ pub fn interference_graph(func: &Function, cfg: &Cfg, live: &Liveness) -> BitMat
     g
 }
 
-/// Cached CFG + interference graph for one function body.
-///
-/// `Instr` carries `f64` constants, so the body cannot be hashed; instead
-/// every site in the allocation loop that mutates the function bumps a
-/// version counter, and [`BodyCache::ensure`] rebuilds only when the
-/// cached artifacts are stale. The payoff is the coalescing fixpoint: its
-/// final sweep (the one that merges nothing) leaves a fresh CFG and graph
-/// behind, which the simplify/select phase then reuses instead of
-/// rebuilding both from scratch.
-struct BodyCache {
-    version: u64,
-    built: Option<(u64, Cfg, BitMatrix)>,
-}
-
-impl BodyCache {
-    fn new() -> Self {
-        BodyCache {
-            version: 0,
-            built: None,
-        }
-    }
-
-    /// Records that the function body changed since the last build.
-    fn touch(&mut self) {
-        self.version += 1;
-    }
-
-    /// Rebuilds CFG, liveness, and interference graph if stale.
-    fn ensure(&mut self, func: &Function) {
-        let fresh = matches!(&self.built, Some((v, ..)) if *v == self.version);
-        if !fresh {
-            let cfg = Cfg::build(func);
-            let live = liveness(func, &cfg);
-            let g = interference_graph(func, &cfg, &live);
-            self.built = Some((self.version, cfg, g));
-        }
-    }
-
-    fn cfg(&self) -> &Cfg {
-        &self.built.as_ref().expect("ensure() before cfg()").1
-    }
-
-    fn graph(&self) -> &BitMatrix {
-        &self.built.as_ref().expect("ensure() before graph()").2
+/// Ensures `graph` holds the interference graph of the current body,
+/// keyed on the shared cache's body version. The CFG and liveness come out
+/// of `analyses` (warm after the pass chain); only the graph itself is
+/// allocator-private. The payoff is the coalescing fixpoint: its final
+/// sweep (the one that merges nothing) leaves a fresh graph behind, which
+/// the simplify/select phase then reuses instead of rebuilding.
+fn ensure_graph(
+    graph: &mut Option<(u64, BitMatrix)>,
+    func: &Function,
+    analyses: &mut FunctionAnalyses,
+) {
+    let v = analyses.body_version();
+    if !matches!(graph, Some((bv, _)) if *bv == v) {
+        let (cfg, live) = analyses.cfg_liveness(func);
+        *graph = Some((v, interference_graph(func, cfg, live)));
     }
 }
 
-/// Per-register occurrence costs, weighted 10^loop-depth.
-fn spill_costs(func: &Function, cfg: &Cfg) -> Vec<f64> {
-    let dom = DomTree::lengauer_tarjan(cfg);
-    let forest = LoopForest::build(cfg, &dom);
+/// Per-register occurrence costs, weighted 10^loop-depth. The dominator
+/// tree and loop forest come from the shared cache: allocation never
+/// changes the block structure, so every spill round reuses one build.
+fn spill_costs(func: &Function, analyses: &mut FunctionAnalyses) -> Vec<f64> {
+    let (cfg, _, forest) = analyses.cfg_dom_forest(func);
     let mut cost = vec![0.0; func.next_reg as usize];
     for bid in func.block_ids() {
         if !cfg.is_reachable(bid) {
@@ -197,9 +168,9 @@ fn spill_costs(func: &Function, cfg: &Cfg) -> Vec<f64> {
 }
 
 /// One conservative-coalescing sweep over a prebuilt interference graph
-/// (the caller's [`BodyCache`] provides it, so the sweep that reaches the
-/// fixpoint shares its build with the simplify/select phase that follows).
-/// Returns copies eliminated.
+/// (the caller provides it out of its graph cache, so the sweep that
+/// reaches the fixpoint shares its build with the simplify/select phase
+/// that follows). Returns copies eliminated.
 fn coalesce_once(func: &mut Function, k: usize, g: &BitMatrix) -> usize {
     let nregs = func.next_reg as usize;
     let precolored = func.arity as u32;
@@ -500,6 +471,7 @@ pub fn allocate_function_core(
     func_id: FuncId,
     opts: &AllocOptions,
     pending: &mut Vec<PendingSpill>,
+    analyses: &mut FunctionAnalyses,
 ) -> AllocReport {
     let mut report = AllocReport::default();
     let k = opts.num_regs;
@@ -516,8 +488,8 @@ pub fn allocate_function_core(
         .filter(|(_, t)| matches!(t.kind, TagKind::Spill { owner } if owner == func_id.0))
         .count();
     let mut no_spill: BTreeSet<u32> = BTreeSet::new();
-    // CFG + interference graph, rebuilt only when the body changes.
-    let mut cache = BodyCache::new();
+    // Interference graph keyed on the shared cache's body version.
+    let mut graph: Option<(u64, BitMatrix)> = None;
     loop {
         report.rounds += 1;
         // Decouple parameter values from their fixed incoming registers:
@@ -557,7 +529,7 @@ pub fn allocate_function_core(
                         },
                     );
                 }
-                cache.touch();
+                analyses.note_body_changed();
             }
         }
         if std::env::var("REGALLOC_DEBUG").is_ok() {
@@ -580,22 +552,21 @@ pub fn allocate_function_core(
         // classic iterated-coalescing discipline.
         if report.spilled == 0 {
             loop {
-                cache.ensure(func);
-                let c = coalesce_once(func, k, cache.graph());
+                ensure_graph(&mut graph, func, analyses);
+                let c = coalesce_once(func, k, &graph.as_ref().expect("ensured").1);
                 report.coalesced += c;
                 if c == 0 {
                     break;
                 }
-                cache.touch();
+                analyses.note_body_changed();
             }
         }
-        // The final coalescing sweep merged nothing, so its CFG and graph
-        // describe the current body: ensure() is a no-op there and the
-        // build is shared with simplify/select below.
-        cache.ensure(func);
-        let cfg = cache.cfg();
-        let g = cache.graph();
-        let costs = spill_costs(func, cfg);
+        // The final coalescing sweep merged nothing, so its graph describes
+        // the current body: ensure_graph() is a no-op there and the build
+        // is shared with simplify/select below.
+        ensure_graph(&mut graph, func, analyses);
+        let costs = spill_costs(func, analyses);
+        let g = &graph.as_ref().expect("ensured").1;
         let precolored = func.arity as u32;
         let nregs = func.next_reg as usize;
         // Registers that actually occur.
@@ -700,6 +671,8 @@ pub fn allocate_function_core(
                     .retain(|i| !matches!(i, Instr::Copy { dst, src } if dst == src));
             }
             func.next_reg = k as u32;
+            // The physical-register rewrite is the last body change.
+            analyses.note_body_changed();
             return report;
         }
         let mut spilled = spilled;
@@ -711,7 +684,7 @@ pub fn allocate_function_core(
         no_spill.extend(temps);
         report.spill_loads += l;
         report.spill_stores += s;
-        cache.touch();
+        analyses.note_body_changed();
     }
 }
 
@@ -759,6 +732,7 @@ pub fn allocate_function(module: &mut Module, func_id: FuncId, opts: &AllocOptio
         func_id,
         opts,
         &mut pending,
+        &mut FunctionAnalyses::new(),
     );
     commit_spills(module, func_id, pending);
     report

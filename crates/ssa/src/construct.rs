@@ -7,7 +7,7 @@
 //! reachable by no definition renames to a fresh never-defined register
 //! (matching the original program's read-of-uninitialized behaviour).
 
-use cfg::{liveness, Cfg, DomTree};
+use cfg::{Cfg, DomTree, FunctionAnalyses};
 use ir::{BlockId, Function, Instr, Reg};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -33,6 +33,14 @@ impl SsaMap {
 ///
 /// Panics if the function already contains φ-nodes.
 pub fn construct(func: &mut Function) -> SsaMap {
+    construct_in(func, &mut FunctionAnalyses::new())
+}
+
+/// [`construct`] against a shared analysis cache: the CFG, dominator tree,
+/// and liveness are taken from (and on a warm cache, reused out of)
+/// `analyses`; the φ-insertion and renaming are reported as a body-tier
+/// change.
+pub fn construct_in(func: &mut Function, analyses: &mut FunctionAnalyses) -> SsaMap {
     assert!(
         !func
             .blocks
@@ -40,10 +48,8 @@ pub fn construct(func: &mut Function) -> SsaMap {
             .any(|b| b.instrs.iter().any(|i| matches!(i, Instr::Phi { .. }))),
         "function is already in SSA form"
     );
-    let cfg = Cfg::build(func);
-    let dom = DomTree::lengauer_tarjan(&cfg);
-    let df = dom.dominance_frontiers(&cfg);
-    let live = liveness(func, &cfg);
+    let (cfg, dom, live) = analyses.cfg_dom_liveness(func);
+    let df = dom.dominance_frontiers(cfg);
     let nregs = func.next_reg as usize;
 
     // Definition sites per register (entry counts for parameters).
@@ -206,8 +212,8 @@ pub fn construct(func: &mut Function) -> SsaMap {
     let phi_orig: Vec<Vec<Reg>> = phis.iter().map(|s| s.iter().copied().collect()).collect();
     let mut renamer = Renamer {
         func,
-        cfg: &cfg,
-        dom: &dom,
+        cfg,
+        dom,
         stacks,
         origin,
         undef,
@@ -215,6 +221,9 @@ pub fn construct(func: &mut Function) -> SsaMap {
     };
     renamer.rename_block(cfg.entry);
     let origin = renamer.origin;
+    // φ insertion and renaming rewrite instructions and mint registers but
+    // leave every edge alone.
+    analyses.note_body_changed();
     SsaMap { origin }
 }
 

@@ -5,13 +5,19 @@
 //! classic lost-copy and swap problems cannot occur), and the copies are
 //! placed at predecessor edge blocks.
 
-use cfg::Cfg;
+use cfg::FunctionAnalyses;
 use ir::{BlockId, Function, Instr, Reg};
 
 /// Splits every critical edge (multi-successor source to multi-predecessor
 /// target). Returns the number of edges split.
 pub fn split_critical_edges(func: &mut Function) -> usize {
-    let cfg = Cfg::build(func);
+    split_critical_edges_in(func, &mut FunctionAnalyses::new())
+}
+
+/// [`split_critical_edges`] against a shared analysis cache. Splitting an
+/// edge is a shape-tier change; splitting nothing leaves the cache warm.
+pub fn split_critical_edges_in(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
+    let cfg = analyses.cfg(func);
     let mut splits: Vec<(BlockId, BlockId)> = Vec::new();
     for b in func.block_ids() {
         if !cfg.is_reachable(b) {
@@ -26,6 +32,9 @@ pub fn split_critical_edges(func: &mut Function) -> usize {
         }
     }
     let n = splits.len();
+    if n > 0 {
+        analyses.note_shape_changed();
+    }
     for (from, to) in splits {
         let mid = func.new_block();
         func.block_mut(mid).instrs.push(Instr::Jump { target: to });
@@ -94,8 +103,13 @@ pub fn sequentialize_parallel_copy(
 /// must have no critical edges carrying φ moves; [`split_critical_edges`]
 /// is called internally first.
 pub fn destruct(func: &mut Function) -> usize {
-    split_critical_edges(func);
-    let cfg = Cfg::build(func);
+    destruct_in(func, &mut FunctionAnalyses::new())
+}
+
+/// [`destruct`] against a shared analysis cache: edge splits report a
+/// shape-tier change, φ removal and copy insertion a body-tier one.
+pub fn destruct_in(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
+    split_critical_edges_in(func, analyses);
     // Collect per-predecessor parallel copies.
     let mut edge_moves: Vec<Vec<(Reg, Reg)>> = vec![Vec::new(); func.blocks.len()];
     let mut removed = 0;
@@ -112,7 +126,6 @@ pub fn destruct(func: &mut Function) -> usize {
             removed += 1;
         }
     }
-    let _ = cfg;
     for p in func.block_ids() {
         let moves = std::mem::take(&mut edge_moves[p.index()]);
         if moves.is_empty() {
@@ -126,6 +139,9 @@ pub fn destruct(func: &mut Function) -> usize {
         for instr in seq {
             func.block_mut(p).insert_before_terminator(instr);
         }
+    }
+    if removed > 0 {
+        analyses.note_body_changed();
     }
     removed
 }

@@ -43,6 +43,9 @@ mod construct;
 mod destruct;
 mod verify;
 
-pub use construct::{construct, SsaMap};
-pub use destruct::{destruct, sequentialize_parallel_copy, split_critical_edges};
+pub use construct::{construct, construct_in, SsaMap};
+pub use destruct::{
+    destruct, destruct_in, sequentialize_parallel_copy, split_critical_edges,
+    split_critical_edges_in,
+};
 pub use verify::{verify_ssa, SsaError};

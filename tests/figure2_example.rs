@@ -100,7 +100,7 @@ fn equation_sets_match_the_papers_table() {
     let nest = cfg::LoopNest::compute(m.func(main));
     assert_eq!(nest.forest.len(), 3, "three nested loops");
     let blocks = block_sets(&m.tags, main, m.func(main), false);
-    let sets = LoopSets::solve(&blocks, &nest);
+    let sets = LoopSets::solve(&blocks, &nest.forest);
     let order = nest.forest.outer_to_inner();
     let (outer, middle, inner) = (order[0], order[1], order[2]);
     let (a, b, c) = (tag(&m, "A"), tag(&m, "B"), tag(&m, "C"));
