@@ -137,6 +137,18 @@ pub struct AnalysisOutcome {
 /// Runs interprocedural analysis at `level`, rewriting the module's tag
 /// sets and call-site MOD/REF lists in place.
 pub fn analyze(module: &mut Module, level: AnalysisLevel) -> AnalysisOutcome {
+    analyze_traced(module, level, None)
+}
+
+/// [`analyze`] with optional per-function trace buffers (one per function,
+/// module index order). Only the `PointsToSsa` level currently emits
+/// events — the SSA construction/destruction deltas of its per-name
+/// analysis round trip.
+pub fn analyze_traced(
+    module: &mut Module,
+    level: AnalysisLevel,
+    mut traces: Option<&mut [trace::FuncTrace]>,
+) -> AnalysisOutcome {
     let graph = CallGraph::build(module, None);
     limit_pointer_ops(module, &graph);
     let (graph, modref) = match level {
@@ -198,8 +210,15 @@ pub fn analyze(module: &mut Module, level: AnalysisLevel) -> AnalysisOutcome {
                 .iter()
                 .map(|_| cfg::FunctionAnalyses::new())
                 .collect();
-            for (f, fa) in module.funcs.iter_mut().zip(&mut caches) {
-                ssa::construct_in(f, fa);
+            for (fi, (f, fa)) in module.funcs.iter_mut().zip(&mut caches).enumerate() {
+                match traces.as_deref_mut() {
+                    Some(ts) => {
+                        ssa::construct_in_traced(f, fa, &mut ts[fi]);
+                    }
+                    None => {
+                        ssa::construct_in(f, fa);
+                    }
+                }
             }
             let pt = points_to_analyze(module);
             points_to_apply(module, &pt);
@@ -207,8 +226,15 @@ pub fn analyze(module: &mut Module, level: AnalysisLevel) -> AnalysisOutcome {
             let sites = pt.site_targets(module);
             let graph = CallGraph::build(module, Some(&targets));
             let modref = compute_and_apply_with_sites(module, &graph, Some(&sites));
-            for (f, fa) in module.funcs.iter_mut().zip(&mut caches) {
-                ssa::destruct_in(f, fa);
+            for (fi, (f, fa)) in module.funcs.iter_mut().zip(&mut caches).enumerate() {
+                match traces.as_deref_mut() {
+                    Some(ts) => {
+                        ssa::destruct_in_traced(f, fa, &mut ts[fi]);
+                    }
+                    None => {
+                        ssa::destruct_in(f, fa);
+                    }
+                }
             }
             (graph, modref)
         }

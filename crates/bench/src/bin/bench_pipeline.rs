@@ -17,7 +17,8 @@
 //! `--force-sweep` to measure the full sweep regardless.
 //!
 //! Usage: `cargo run --release --bin bench_pipeline [output-path]
-//!         [--max-2t-slowdown X] [--max-analysis-builds N] [--force-sweep]`
+//!         [--max-2t-slowdown X] [--max-analysis-builds N]
+//!         [--max-trace-overhead X] [--force-sweep]`
 //!
 //! With `--max-2t-slowdown X` the process exits nonzero if the 2-worker
 //! total is more than `X` times the sequential total — the CI regression
@@ -33,12 +34,28 @@
 //! JSON records both the cached count and an uncached baseline measured
 //! with `share_analyses: false`, so the cache's effect is an auditable
 //! ratio rather than an anecdote.
+//!
+//! The suite is also run sequentially with structured tracing enabled
+//! (`PipelineConfig::trace`). With `--max-trace-overhead X` the process
+//! exits nonzero if the traced total exceeds `X` times the untraced total
+//! — the gate that keeps the telemetry layer honest about its "near-free
+//! when on, free when off" contract. The collected remark streams are
+//! concatenated (function names prefixed `program::`) and written as
+//! `BENCH_remarks.jsonl` next to the JSON output, so every run leaves an
+//! auditable record of what was promoted, what was blocked and why, and
+//! what spilled across the whole suite.
 
 use bench_harness::timing::measure;
-use driver::{run_pipeline_in, PipelineConfig, WorkerPool};
+use driver::{run_pipeline_in, run_pipeline_traced, PipelineConfig, WorkerPool};
 use std::fmt::Write as _;
 
 const ITERS: usize = 5;
+/// Iterations for the tracing-off/tracing-on pair. The two runs differ
+/// by a few percent at most, so the pair gets more samples than the
+/// sweep points, and both sides are measured back-to-back (same warmup
+/// state, same thermal point) rather than reusing the sweep's
+/// sequential number.
+const TRACE_ITERS: usize = 15;
 const FULL_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 struct Run {
@@ -62,6 +79,11 @@ struct ProgramResult {
     /// throwaway cache, i.e. the rebuild-per-pass behaviour this cache
     /// replaced. The honest "before" number.
     builds_uncached: cfg::BuildCounts,
+    /// Sequential run time with tracing off, measured back-to-back with
+    /// `trace_on_ms` so the pair differs only in `PipelineConfig::trace`.
+    trace_off_ms: f64,
+    /// Sequential run time with structured tracing enabled.
+    trace_on_ms: f64,
 }
 
 fn ms(d: std::time::Duration) -> f64 {
@@ -93,6 +115,7 @@ fn main() {
     let mut out_path = "BENCH_pipeline.json".to_string();
     let mut max_2t_slowdown: Option<f64> = None;
     let mut max_analysis_builds: Option<u64> = None;
+    let mut max_trace_overhead: Option<f64> = None;
     let mut force_sweep = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -102,6 +125,9 @@ fn main() {
         } else if a == "--max-analysis-builds" {
             let v = args.next().expect("--max-analysis-builds needs a value");
             max_analysis_builds = Some(v.parse().expect("--max-analysis-builds value"));
+        } else if a == "--max-trace-overhead" {
+            let v = args.next().expect("--max-trace-overhead needs a value");
+            max_trace_overhead = Some(v.parse().expect("--max-trace-overhead value"));
         } else if a == "--force-sweep" {
             force_sweep = true;
         } else {
@@ -127,6 +153,7 @@ fn main() {
     let pools: Vec<WorkerPool> = sweep.iter().map(|&t| WorkerPool::new(t)).collect();
 
     let mut results = Vec::new();
+    let mut remarks_jsonl = String::new();
     for b in benchsuite::SUITE {
         eprintln!("benchmarking {} ...", b.name);
         let module = minic::compile(b.source).expect("suite program compiles");
@@ -185,12 +212,43 @@ fn main() {
             );
             report.analysis_builds
         };
+        // Tracing overhead: the same sequential pipeline with remark and
+        // delta collection off vs on, measured back-to-back so the pair
+        // differs only in `trace`.
+        let trace_cfg = PipelineConfig {
+            trace: true,
+            ..config(1)
+        };
+        let trace_off_timing = measure(TRACE_ITERS, || {
+            let mut m = module.clone();
+            run_pipeline_in(&mut m, &config(1), &pools[0]);
+        });
+        let trace_timing = measure(TRACE_ITERS, || {
+            let mut m = module.clone();
+            run_pipeline_in(&mut m, &trace_cfg, &pools[0]);
+        });
+        // Collect the remark stream once (untimed) for the artifact, and
+        // assert tracing is observation-only: same IL out.
+        {
+            let mut m = module.clone();
+            let (_, mut log) = run_pipeline_traced(&mut m, &trace_cfg, &pools[0]);
+            assert_eq!(
+                reference_il.as_deref(),
+                Some(m.to_string().as_str()),
+                "{}: enabling tracing changed the output",
+                b.name
+            );
+            log.prefix_funcs(b.name);
+            remarks_jsonl.push_str(&log.to_jsonl());
+        }
         results.push(ProgramResult {
             name: b.name.to_string(),
             runs,
             passes,
             builds_cached,
             builds_uncached,
+            trace_off_ms: ms(trace_off_timing.min),
+            trace_on_ms: ms(trace_timing.min),
         });
     }
 
@@ -200,6 +258,9 @@ fn main() {
     let idx_2t = sweep.iter().position(|&t| t == 2).expect("sweep has 2");
     let total_2t = totals[idx_2t];
     let speedup_2t = total_seq / total_2t.max(1e-9);
+    let total_trace_off: f64 = results.iter().map(|r| r.trace_off_ms).sum();
+    let total_trace_on: f64 = results.iter().map(|r| r.trace_on_ms).sum();
+    let trace_overhead = total_trace_on / total_trace_off.max(1e-9);
     let mut total_builds_cached = cfg::BuildCounts::default();
     let mut total_builds_uncached = cfg::BuildCounts::default();
     for r in &results {
@@ -226,6 +287,9 @@ fn main() {
     let _ = writeln!(json, "  \"total_sequential_ms\": {total_seq:.3},");
     let _ = writeln!(json, "  \"total_parallel_ms\": {total_2t:.3},");
     let _ = writeln!(json, "  \"total_speedup\": {speedup_2t:.3},");
+    let _ = writeln!(json, "  \"total_trace_off_ms\": {total_trace_off:.3},");
+    let _ = writeln!(json, "  \"total_trace_on_ms\": {total_trace_on:.3},");
+    let _ = writeln!(json, "  \"trace_overhead\": {trace_overhead:.3},");
     let _ = writeln!(
         json,
         "  \"analysis_builds\": {},",
@@ -292,6 +356,8 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark output");
+    let remarks_path = std::path::Path::new(&out_path).with_file_name("BENCH_remarks.jsonl");
+    std::fs::write(&remarks_path, &remarks_jsonl).expect("write remarks artifact");
 
     println!("pipeline benchmark ({cores} core(s) available), min of {ITERS} iters:");
     for (i, (&t, total)) in sweep.iter().zip(&totals).enumerate() {
@@ -306,6 +372,12 @@ fn main() {
         total_builds_cached.total(),
         total_builds_uncached.total(),
         total_builds_uncached.total() as f64 / total_builds_cached.total().max(1) as f64
+    );
+    println!(
+        "  tracing: {total_trace_off:.1} ms off vs {total_trace_on:.1} ms on \
+         ({trace_overhead:.3}x), {} remark records -> {}",
+        remarks_jsonl.lines().count(),
+        remarks_path.display()
     );
     println!("  2-thread speedup {speedup_2t:.3}x -> {out_path}");
 
@@ -332,6 +404,17 @@ fn main() {
             failed = true;
         } else {
             println!("  gate: {got} analysis builds within limit {limit}");
+        }
+    }
+    if let Some(limit) = max_trace_overhead {
+        if trace_overhead > limit {
+            eprintln!(
+                "FAIL: tracing-on run is {trace_overhead:.3}x the tracing-off time \
+                 (limit {limit:.2}x) — the telemetry layer is no longer near-free"
+            );
+            failed = true;
+        } else {
+            println!("  gate: trace overhead {trace_overhead:.3}x within limit {limit:.2}x");
         }
     }
     if failed {

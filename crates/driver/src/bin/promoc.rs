@@ -15,13 +15,14 @@
 //!   --no-regalloc         keep virtual registers
 //!   --regs K              machine registers (default 32)
 //!   --max-steps N         VM step budget
+//!   --remarks             print optimization remarks to stderr
+//!   --trace-json PATH     write the structured trace as JSONL ("-" = stdout)
 //! ```
 
 use analysis::AnalysisLevel;
-use driver::{compile_and_run, compile_with, measure_program, Metric, PipelineConfig};
+use driver::{measure_program, Compilation, Metric, Session};
 use regalloc::AllocOptions;
 use std::process::ExitCode;
-use vm::VmOptions;
 
 fn usage() -> ! {
     eprintln!("{}", HELP.trim());
@@ -46,35 +47,40 @@ flags:
   --no-regalloc     keep virtual registers
   --regs K          machine registers (default 32)
   --max-steps N     VM step budget
+  --remarks         print optimization remarks (what was promoted where,
+                    what was blocked and why, what spilled) to stderr
+  --trace-json PATH write the structured trace as JSONL; "-" for stdout
 "#;
 
 struct Options {
-    config: PipelineConfig,
-    vm: VmOptions,
+    builder: driver::SessionBuilder,
+    remarks: bool,
+    trace_json: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Options, String> {
-    let mut config = PipelineConfig::default();
-    let mut vm = VmOptions::default();
+    let mut builder = Session::builder();
+    let mut remarks = false;
+    let mut trace_json: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--analysis" => {
                 i += 1;
                 let level = args.get(i).ok_or("--analysis needs a value")?;
-                config.analysis = match level.as_str() {
+                builder = builder.analysis(match level.as_str() {
                     "addrtaken" => AnalysisLevel::AddressTaken,
                     "steens" => AnalysisLevel::Steensgaard,
                     "modref" => AnalysisLevel::ModRef,
                     "pointer" => AnalysisLevel::PointsTo,
                     "pointer-ssa" => AnalysisLevel::PointsToSsa,
                     other => return Err(format!("unknown analysis level `{other}`")),
-                };
+                });
             }
-            "--no-promote" => config.promote = false,
-            "--ptr-promote" => config.pointer_promote = true,
-            "--no-opt" => config.optimize = false,
-            "--no-regalloc" => config.regalloc = None,
+            "--no-promote" => builder = builder.promote(false),
+            "--ptr-promote" => builder = builder.pointer_promote(true),
+            "--no-opt" => builder = builder.optimize(false),
+            "--no-regalloc" => builder = builder.regalloc(None),
             "--regs" => {
                 i += 1;
                 let k: usize = args
@@ -82,30 +88,62 @@ fn parse_flags(args: &[String]) -> Result<Options, String> {
                     .ok_or("--regs needs a value")?
                     .parse()
                     .map_err(|_| "--regs needs an integer")?;
-                config.regalloc = Some(AllocOptions {
+                builder = builder.regalloc(Some(AllocOptions {
                     num_regs: k,
                     ..Default::default()
-                });
+                }));
             }
             "--max-steps" => {
                 i += 1;
-                vm.max_steps = args
-                    .get(i)
-                    .ok_or("--max-steps needs a value")?
-                    .parse()
-                    .map_err(|_| "--max-steps needs an integer")?;
+                builder = builder.max_steps(
+                    args.get(i)
+                        .ok_or("--max-steps needs a value")?
+                        .parse()
+                        .map_err(|_| "--max-steps needs an integer")?,
+                );
+            }
+            "--remarks" => remarks = true,
+            "--trace-json" => {
+                i += 1;
+                trace_json = Some(args.get(i).ok_or("--trace-json needs a path")?.clone());
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 1;
     }
-    Ok(Options { config, vm })
+    if remarks || trace_json.is_some() {
+        builder = builder.trace(true);
+    }
+    Ok(Options {
+        builder,
+        remarks,
+        trace_json,
+    })
+}
+
+/// Emits the requested trace outputs: remarks to stderr, JSONL to the
+/// requested path (or stdout for `-`).
+fn emit_trace(opts: &Options, c: &Compilation) -> Result<(), String> {
+    if opts.remarks {
+        eprint!("{}", c.remarks_text());
+    }
+    if let Some(path) = &opts.trace_json {
+        let jsonl = c.trace_jsonl();
+        if path == "-" {
+            print!("{jsonl}");
+        } else {
+            std::fs::write(path, jsonl).map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
+    Ok(())
 }
 
 fn cmd_run(path: &str, opts: Options) -> Result<(), String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let (outcome, report) =
-        compile_and_run(&src, &opts.config, opts.vm).map_err(|e| e.to_string())?;
+    let session = opts.builder.clone().build();
+    let c = session.compile_and_run(&src).map_err(|e| e.to_string())?;
+    emit_trace(&opts, &c)?;
+    let outcome = c.outcome.as_ref().expect("run populates the outcome");
     for line in &outcome.output {
         println!("{line}");
     }
@@ -120,11 +158,11 @@ fn cmd_run(path: &str, opts: Options) -> Result<(), String> {
     );
     eprintln!(
         "; promotion  {} tags, {} refs rewritten, {} lift ops",
-        report.promotion.scalar.promoted_tags,
-        report.promotion.scalar.rewritten_refs,
-        report.promotion.scalar.lifts
+        c.report.promotion.scalar.promoted_tags,
+        c.report.promotion.scalar.rewritten_refs,
+        c.report.promotion.scalar.lifts
     );
-    if let Some(a) = &report.alloc {
+    if let Some(a) = &c.report.alloc {
         eprintln!(
             "; regalloc   {} coalesced, {} spilled, {} rematerialized",
             a.coalesced, a.spilled, a.rematerialized
@@ -135,8 +173,10 @@ fn cmd_run(path: &str, opts: Options) -> Result<(), String> {
 
 fn cmd_compile(path: &str, opts: Options) -> Result<(), String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let (module, _) = compile_with(&src, &opts.config).map_err(|e| e.to_string())?;
-    print!("{module}");
+    let session = opts.builder.clone().build();
+    let c = session.compile(&src).map_err(|e| e.to_string())?;
+    emit_trace(&opts, &c)?;
+    print!("{}", c.module);
     Ok(())
 }
 

@@ -1,0 +1,56 @@
+//! The driver's unified error type.
+
+use std::fmt;
+
+/// Everything a [`crate::Session`] can fail with, as one typed enum
+/// instead of a `Box<dyn Error>`: callers can match on the phase that
+/// failed without downcasting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The MiniC front end rejected the source.
+    Front(minic::FrontError),
+    /// The pipeline produced IL that fails validation — always a compiler
+    /// bug, surfaced as an error (not a panic) so embedding drivers can
+    /// report it.
+    Validate(ir::ValidateError),
+    /// The VM faulted while executing the compiled program.
+    Vm(vm::VmError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Front(e) => write!(f, "front end: {e}"),
+            Error::Validate(e) => write!(f, "invalid IL: {e}"),
+            Error::Vm(e) => write!(f, "vm fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Front(e) => Some(e),
+            Error::Validate(e) => Some(e),
+            Error::Vm(e) => Some(e),
+        }
+    }
+}
+
+impl From<minic::FrontError> for Error {
+    fn from(e: minic::FrontError) -> Self {
+        Error::Front(e)
+    }
+}
+
+impl From<ir::ValidateError> for Error {
+    fn from(e: ir::ValidateError) -> Self {
+        Error::Validate(e)
+    }
+}
+
+impl From<vm::VmError> for Error {
+    fn from(e: vm::VmError) -> Self {
+        Error::Vm(e)
+    }
+}

@@ -1,12 +1,16 @@
-//! The compiler driver: pass sequencing, experiment configurations, and
-//! figure-style reporting.
+//! The compiler driver: pass sequencing, experiment configurations,
+//! structured optimization telemetry, and figure-style reporting.
 //!
-//! The highest-level entry points of the whole system live here:
+//! The highest-level entry point is [`Session`]: a configured compiler
+//! instance that owns its worker pool and hands back a [`Compilation`]
+//! per program — module, pass report, structured trace, and (optionally)
+//! the execution outcome in one artifact.
 //!
 //! ```
-//! use driver::{compile_and_run, PipelineConfig};
+//! use driver::Session;
 //!
-//! let (outcome, report) = compile_and_run(
+//! let session = Session::builder().trace(true).build();
+//! let c = session.compile_and_run(
 //!     r#"
 //!     int counter;
 //!     int main() {
@@ -16,25 +20,37 @@
 //!         return 0;
 //!     }
 //!     "#,
-//!     &PipelineConfig::default(),
-//!     vm::VmOptions::default(),
 //! )?;
+//! let outcome = c.outcome.as_ref().unwrap();
 //! assert_eq!(outcome.output, vec!["1000"]);
-//! // Promotion moved the counter into a register for the whole loop.
+//! // Promotion moved the counter into a register for the whole loop...
 //! assert!(outcome.counts.stores < 10);
-//! assert!(report.promotion.scalar.promoted_tags >= 1);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! assert!(c.report.promotion.scalar.promoted_tags >= 1);
+//! // ...and the trace records it as a structured remark.
+//! assert!(c
+//!     .trace
+//!     .remarks()
+//!     .any(|(_, _, r)| matches!(r, trace::Remark::Promoted { .. })));
+//! # Ok::<(), driver::Error>(())
 //! ```
+//!
+//! The tuple-returning free functions ([`compile_and_run`],
+//! [`compile_with`]) predate [`Session`] and remain as shims; see their
+//! docs.
 
 #![warn(missing_docs)]
 
+mod error;
 mod parallel;
 mod pipeline;
 mod report;
+mod session;
 
+pub use error::Error;
 pub use parallel::{parallel_map, parallel_map_funcs, resolve_threads, WorkerPool};
 pub use pipeline::{
-    compile_and_run, compile_with, run_pipeline, run_pipeline_in, PassTiming, PassTimings,
-    PipelineConfig, PipelineReport,
+    compile_and_run, compile_with, run_pipeline, run_pipeline_in, run_pipeline_traced, PassTiming,
+    PassTimings, PipelineConfig, PipelineConfigBuilder, PipelineReport,
 };
 pub use report::{measure_program, render_figure, MeasurementRow, Metric};
+pub use session::{Compilation, Session, SessionBuilder};

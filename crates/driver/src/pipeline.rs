@@ -35,6 +35,7 @@ use ir::{FuncId, Module};
 use promote::{PointerReport, PromotionReport, ScalarReport};
 use regalloc::{AllocOptions, AllocReport, PendingSpill};
 use std::time::{Duration, Instant};
+use trace::{FuncTrace, TraceLog};
 use vm::{Outcome, Vm, VmError, VmOptions};
 
 /// A pipeline configuration — one experimental arm.
@@ -73,6 +74,11 @@ pub struct PipelineConfig {
     /// honest uncached baseline for the analysis-build counters. Output is
     /// identical either way.
     pub share_analyses: bool,
+    /// Collect structured optimization remarks and per-pass deltas into a
+    /// [`TraceLog`] (see [`run_pipeline_traced`]). Off by default; when
+    /// off, every trace hook is a single enum-discriminant test and no
+    /// event is ever constructed.
+    pub trace: bool,
 }
 
 impl Default for PipelineConfig {
@@ -87,11 +93,18 @@ impl Default for PipelineConfig {
             validate_each_pass: cfg!(debug_assertions),
             threads: None,
             share_analyses: true,
+            trace: false,
         }
     }
 }
 
 impl PipelineConfig {
+    /// Starts a builder from the default configuration — the intended way
+    /// to assemble a non-default config without poking public fields.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder::default()
+    }
+
     /// One of the paper's four measured variants: `{modref, pointer}` ×
     /// `{without, with}` promotion.
     pub fn paper_variant(analysis: AnalysisLevel, promote: bool) -> Self {
@@ -125,6 +138,98 @@ impl PipelineConfig {
                 PipelineConfig::paper_variant(AnalysisLevel::PointsTo, true),
             ),
         ]
+    }
+}
+
+/// Fluent builder for [`PipelineConfig`], starting from the defaults.
+///
+/// ```
+/// use driver::PipelineConfig;
+/// use analysis::AnalysisLevel;
+///
+/// let config = PipelineConfig::builder()
+///     .analysis(AnalysisLevel::PointsTo)
+///     .pointer_promote(true)
+///     .trace(true)
+///     .build();
+/// assert!(config.promote); // untouched fields keep their defaults
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfigBuilder {
+    config: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Starts the builder from an existing configuration instead of the
+    /// defaults.
+    pub fn from_config(config: PipelineConfig) -> Self {
+        PipelineConfigBuilder { config }
+    }
+
+    /// Sets the interprocedural analysis precision.
+    pub fn analysis(mut self, level: AnalysisLevel) -> Self {
+        self.config.analysis = level;
+        self
+    }
+
+    /// Enables or disables scalar register promotion (§3.1).
+    pub fn promote(mut self, on: bool) -> Self {
+        self.config.promote = on;
+        self
+    }
+
+    /// Enables or disables pointer-based promotion (§3.3).
+    pub fn pointer_promote(mut self, on: bool) -> Self {
+        self.config.pointer_promote = on;
+        self
+    }
+
+    /// Sets the per-loop promotion pressure cap (`None` = unthrottled).
+    pub fn promotion_cap(mut self, cap: Option<usize>) -> Self {
+        self.config.promotion_cap = cap;
+        self
+    }
+
+    /// Enables or disables the scalar optimizer.
+    pub fn optimize(mut self, on: bool) -> Self {
+        self.config.optimize = on;
+        self
+    }
+
+    /// Sets register-allocation parameters (`None` leaves virtual
+    /// registers).
+    pub fn regalloc(mut self, opts: Option<AllocOptions>) -> Self {
+        self.config.regalloc = opts;
+        self
+    }
+
+    /// Enables or disables module validation at the fan-out barriers.
+    pub fn validate_each_pass(mut self, on: bool) -> Self {
+        self.config.validate_each_pass = on;
+        self
+    }
+
+    /// Sets the worker-thread count (`None` = environment/default).
+    pub fn threads(mut self, threads: Option<usize>) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Enables or disables the shared per-function analysis cache.
+    pub fn share_analyses(mut self, on: bool) -> Self {
+        self.config.share_analyses = on;
+        self
+    }
+
+    /// Enables or disables structured trace collection.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.config.trace = on;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> PipelineConfig {
+        self.config
     }
 }
 
@@ -286,6 +391,37 @@ fn stage<R>(
     }
 }
 
+/// Mid-chain loop renormalization with the trace's stats cache kept
+/// coherent: when renormalization actually changes the body (landing-pad
+/// / preheader insertion, unreachable-block removal), the change is
+/// recorded as a `normalize` delta and the cache refreshed. The change
+/// check is a cheap structural signature — block count plus total
+/// instruction count — because normalization only inserts and deletes
+/// whole blocks and jumps, never rewrites an instruction in place; in
+/// the usual case (already normal, nothing to do) the signature is
+/// unchanged and no body scan happens at all.
+fn normalize_in_traced(
+    func: &mut ir::Function,
+    analyses: &mut cfg::FunctionAnalyses,
+    tr: &mut FuncTrace,
+) {
+    if !tr.enabled() {
+        cfg::normalize_loops_in(func, analyses);
+        return;
+    }
+    let signature = |f: &ir::Function| {
+        (
+            f.blocks.len(),
+            f.blocks.iter().map(|b| b.instrs.len()).sum::<usize>(),
+        )
+    };
+    let sig_before = signature(func);
+    opt::with_delta("normalize", func, tr, |f| {
+        cfg::normalize_loops_in(f, analyses);
+        usize::from(signature(f) != sig_before)
+    });
+}
+
 /// Carries one function through the entire fused chain. Reads only the
 /// shared tag-table snapshot and per-function read-only facts, so any
 /// number of these run concurrently; all tag-table writes are deferred as
@@ -299,13 +435,14 @@ fn run_fused_chain(
     recursive: bool,
     config: &PipelineConfig,
     analyses: &mut cfg::FunctionAnalyses,
+    tr: &mut FuncTrace,
 ) -> FuncOutcome {
     let share = config.share_analyses;
     let mut clock = StageClock::default();
     let mut o = FuncOutcome {
         strengthened: clock.timed("strengthen", || {
             stage(analyses, share, |fa| {
-                opt::strengthen_function(tags, func, fid, recursive, fa)
+                opt::strengthen_function_traced(tags, func, fid, recursive, fa, tr)
             })
         }),
         ..Default::default()
@@ -314,25 +451,29 @@ fn run_fused_chain(
         let cap = config.promotion_cap;
         o.scalar = clock.timed("promote", || {
             stage(analyses, share, |fa| {
-                cfg::normalize_loops_in(func, fa);
-                promote::promote_scalars_in_func_core(tags, func, fid, recursive, cap, fa)
+                normalize_in_traced(func, fa, tr);
+                promote::promote_scalars_in_func_traced(tags, func, fid, recursive, cap, fa, tr)
             })
         });
     }
     if config.optimize {
         o.lvn_rewrites += clock.timed("lvn", || {
-            stage(analyses, share, |fa| opt::lvn_function(func, fa))
+            stage(analyses, share, |fa| opt::lvn_function_traced(func, fa, tr))
         });
         o.loads_eliminated = clock.timed("loadelim", || {
-            stage(analyses, share, |fa| opt::loadelim_function(func, fa))
+            stage(analyses, share, |fa| {
+                opt::loadelim_function_traced(func, fa, tr)
+            })
         });
         o.constants_folded = clock.timed("constprop", || {
-            stage(analyses, share, |fa| opt::constprop_function(func, fa))
+            stage(analyses, share, |fa| {
+                opt::constprop_function_traced(func, fa, tr)
+            })
         });
         o.licm_moved = clock.timed("licm", || {
             stage(analyses, share, |fa| {
-                cfg::normalize_loops_in(func, fa);
-                opt::licm_function(func, fa)
+                normalize_in_traced(func, fa, tr);
+                opt::licm_function_traced(func, fa, tr)
             })
         });
     }
@@ -342,20 +483,22 @@ fn run_fused_chain(
         // rebuilds — when they did not).
         o.pointer = clock.timed("pointer-promote", || {
             stage(analyses, share, |fa| {
-                cfg::normalize_loops_in(func, fa);
-                promote::promote_pointers_in_func_core(func, fa)
+                normalize_in_traced(func, fa, tr);
+                promote::promote_pointers_in_func_traced(func, fa, tr)
             })
         });
     }
     if config.optimize {
         o.lvn_rewrites += clock.timed("lvn(2)", || {
-            stage(analyses, share, |fa| opt::lvn_function(func, fa))
+            stage(analyses, share, |fa| opt::lvn_function_traced(func, fa, tr))
         });
         o.dce_removed = clock.timed("dce", || {
-            stage(analyses, share, |fa| opt::dce_function(func, fa))
+            stage(analyses, share, |fa| opt::dce_function_traced(func, fa, tr))
         });
         o.cleaned += clock.timed("clean", || {
-            stage(analyses, share, |fa| opt::clean_function(func, fa))
+            stage(analyses, share, |fa| {
+                opt::clean_function_traced(func, fa, tr)
+            })
         });
     }
     if let Some(opts) = &config.regalloc {
@@ -366,7 +509,7 @@ fn run_fused_chain(
         let r = clock.timed("regalloc", || {
             let mut pending = Vec::new();
             let r = stage(analyses, share, |fa| {
-                regalloc::allocate_function_core(tags, func, fid, opts, &mut pending, fa)
+                regalloc::allocate_function_core_traced(tags, func, fid, opts, &mut pending, fa, tr)
             });
             (r, pending)
         });
@@ -375,7 +518,9 @@ fn run_fused_chain(
             // Block cleaning is tag-agnostic, so it can run before the
             // provisional spill tags are interned.
             o.cleaned += clock.timed("clean(final)", || {
-                stage(analyses, share, |fa| opt::clean_function(func, fa))
+                stage(analyses, share, |fa| {
+                    opt::clean_function_traced(func, fa, tr)
+                })
             });
         }
     }
@@ -402,6 +547,19 @@ pub fn run_pipeline_in(
     config: &PipelineConfig,
     pool: &WorkerPool,
 ) -> PipelineReport {
+    run_pipeline_traced(module, config, pool).0
+}
+
+/// [`run_pipeline_in`] returning the structured [`TraceLog`] alongside the
+/// report. The log is empty unless `config.trace` is set; when it is,
+/// events are buffered per function inside the worker that owns the
+/// function and assembled here in function-index order, so the log is
+/// byte-identical at any pool size.
+pub fn run_pipeline_traced(
+    module: &mut Module,
+    config: &PipelineConfig,
+    pool: &WorkerPool,
+) -> (PipelineReport, TraceLog) {
     let v = config.validate_each_pass;
     let mut report = PipelineReport::default();
     let mut timings = PassTimings::default();
@@ -413,17 +571,48 @@ pub fn run_pipeline_in(
         .iter()
         .map(|_| cfg::FunctionAnalyses::new())
         .collect();
+    // One trace buffer per function, alive across every round that touches
+    // the function, so each function's events arrive in chain order.
+    let mut traces: Vec<FuncTrace> = module
+        .funcs
+        .iter()
+        .map(|_| {
+            if config.trace {
+                FuncTrace::on()
+            } else {
+                FuncTrace::off()
+            }
+        })
+        .collect();
     timed(&mut timings, "normalize", || {
-        let items: Vec<_> = module.funcs.iter_mut().zip(analyses.iter_mut()).collect();
-        pool.run(items, |_, (f, fa)| {
+        let items: Vec<_> = module
+            .funcs
+            .iter_mut()
+            .zip(analyses.iter_mut())
+            .zip(traces.iter_mut())
+            .collect();
+        pool.run(items, |_, ((f, fa), tr)| {
+            let before = tr.enabled().then(|| f.body_stats());
             stage(fa, config.share_analyses, |fa| {
                 cfg::normalize_loops_in(f, fa)
-            })
+            });
+            if let Some(before) = before {
+                let after = f.body_stats();
+                let (i, l, s) = before.delta(&after);
+                tr.delta("normalize", i, l, s);
+                // Seed the stats cache so the chain's first delta stage
+                // starts from this scan instead of redoing it.
+                tr.set_stats((after.instrs, after.loads, after.stores));
+            }
         });
     });
     validate_if(module, v, "normalize");
     let outcome = timed(&mut timings, "analysis", || {
-        analysis::analyze(module, config.analysis)
+        analysis::analyze_traced(
+            module,
+            config.analysis,
+            config.trace.then_some(traces.as_mut_slice()),
+        )
     });
     report.analysis_stats = Some(outcome.stats);
     validate_if(module, v, "analysis");
@@ -444,10 +633,15 @@ pub fn run_pipeline_in(
         // `funcs` and `tags` are disjoint fields, so the mutable fan-out
         // and the shared tag-table snapshot coexist.
         let tags = &module.tags;
-        let items: Vec<_> = module.funcs.iter_mut().zip(analyses.iter_mut()).collect();
-        pool.run(items, |i, (func, fa)| {
+        let items: Vec<_> = module
+            .funcs
+            .iter_mut()
+            .zip(analyses.iter_mut())
+            .zip(traces.iter_mut())
+            .collect();
+        pool.run(items, |i, ((func, fa), tr)| {
             let fid = FuncId(i as u32);
-            run_fused_chain(tags, func, fid, recursive[i], config, fa)
+            run_fused_chain(tags, func, fid, recursive[i], config, fa, tr)
         })
     };
     // Sequential epilogue: commit spill tags in function-index order and
@@ -505,10 +699,22 @@ pub fn run_pipeline_in(
     }
     validate_if(module, v, "fused per-function chain");
     report.timings = timings;
-    report
+    // Assemble the log in function-index order — the determinism
+    // guarantee. Empty (and allocation-free) when tracing is off.
+    let mut log = TraceLog::new();
+    for (fi, tr) in traces.iter_mut().enumerate() {
+        log.extend_func(&module.funcs[fi].name, tr.take_events());
+    }
+    (report, log)
 }
 
 /// Compiles MiniC source and runs the configured pipeline.
+///
+/// Deprecated in favor of [`crate::Session`]: build one with
+/// [`crate::Session::builder()`] and call
+/// [`compile`](crate::Session::compile) to get a [`crate::Compilation`]
+/// exposing the module, the report, and the trace log together. This shim
+/// remains for tuple-returning callers and will not grow new features.
 ///
 /// # Errors
 ///
@@ -523,6 +729,12 @@ pub fn compile_with(
 }
 
 /// Compiles, optimizes, executes, and returns the execution outcome.
+///
+/// Deprecated in favor of [`crate::Session`]: build one with
+/// [`crate::Session::builder()`] and call
+/// [`compile_and_run`](crate::Session::compile_and_run), which returns a
+/// [`crate::Compilation`] carrying the outcome *and* the module, report,
+/// and remarks, with a typed [`crate::Error`] instead of a boxed one.
 ///
 /// # Errors
 ///

@@ -6,9 +6,10 @@
 //! [`measure_program`] produces the four-variant matrix for a source
 //! program.
 
-use crate::pipeline::{compile_and_run, PipelineConfig};
+use crate::pipeline::PipelineConfig;
+use crate::session::Session;
 use analysis::AnalysisLevel;
-use vm::{ExecCounts, VmOptions};
+use vm::ExecCounts;
 
 /// Which dynamic count a figure reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,9 +110,12 @@ pub fn measure_program(name: &str, source: &str) -> Vec<MeasurementRow> {
     for analysis in [AnalysisLevel::ModRef, AnalysisLevel::PointsTo] {
         let mut counts = Vec::new();
         for promote in [false, true] {
-            let config = PipelineConfig::paper_variant(analysis, promote);
-            let (outcome, _) = compile_and_run(source, &config, VmOptions::default())
-                .unwrap_or_else(|e| panic!("{name} [{analysis}, promote={promote}]: {e}"));
+            let session = Session::from_config(PipelineConfig::paper_variant(analysis, promote));
+            let outcome = session
+                .compile_and_run(source)
+                .unwrap_or_else(|e| panic!("{name} [{analysis}, promote={promote}]: {e}"))
+                .outcome
+                .expect("compile_and_run populates the outcome");
             match &reference_output {
                 None => reference_output = Some(outcome.output.clone()),
                 Some(r) => assert_eq!(

@@ -1,0 +1,264 @@
+//! The `Session` driver API: one owned object holding the pipeline
+//! configuration, the VM options, and the persistent worker pool, handing
+//! back a [`Compilation`] artifact per program.
+//!
+//! This replaces the older pattern of poking [`PipelineConfig`]'s public
+//! fields and calling tuple-returning free functions
+//! ([`crate::compile_and_run`] et al., kept as documented shims): a
+//! session is built once, amortizes its worker pool across every program
+//! it compiles, and returns module, report, trace, and run outcome as one
+//! value.
+//!
+//! ```
+//! use driver::Session;
+//!
+//! let session = Session::builder().trace(true).build();
+//! let c = session.compile_and_run(
+//!     r#"
+//!     int counter;
+//!     int main() {
+//!         int i;
+//!         for (i = 0; i < 100; i++) counter += 1;
+//!         print_int(counter);
+//!         return 0;
+//!     }
+//!     "#,
+//! )?;
+//! assert_eq!(c.outcome.as_ref().unwrap().output, vec!["100"]);
+//! // The trace says *what* promotion did, structurally:
+//! assert!(c
+//!     .trace
+//!     .remarks()
+//!     .any(|(_, _, r)| matches!(r, trace::Remark::Promoted { .. })));
+//! # Ok::<(), driver::Error>(())
+//! ```
+
+use crate::error::Error;
+use crate::parallel::{resolve_threads, WorkerPool};
+use crate::pipeline::{run_pipeline_traced, PipelineConfig, PipelineConfigBuilder, PipelineReport};
+use analysis::AnalysisLevel;
+use ir::Module;
+use regalloc::AllocOptions;
+use trace::TraceLog;
+use vm::{Outcome, Vm, VmOptions};
+
+/// A configured compiler instance: pipeline configuration + VM options +
+/// a persistent [`WorkerPool`] reused across every compilation.
+///
+/// Construct with [`Session::builder()`] (or [`Session::default()`] for
+/// the paper's default arm).
+pub struct Session {
+    config: PipelineConfig,
+    vm: VmOptions,
+    pool: WorkerPool,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("config", &self.config)
+            .field("vm", &self.vm)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::builder().build()
+    }
+}
+
+impl Session {
+    /// Starts a session builder from the default configuration.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// A session over an existing configuration (the pool is sized from
+    /// `config.threads`).
+    pub fn from_config(config: PipelineConfig) -> Session {
+        Session::from_parts(config, VmOptions::default())
+    }
+
+    /// A session over existing configuration and VM options.
+    pub fn from_parts(config: PipelineConfig, vm: VmOptions) -> Session {
+        let pool = WorkerPool::new(resolve_threads(config.threads));
+        Session { config, vm, pool }
+    }
+
+    /// The pipeline configuration this session runs.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The VM options [`compile_and_run`](Self::compile_and_run) uses.
+    pub fn vm_options(&self) -> &VmOptions {
+        &self.vm
+    }
+
+    /// Runs the pipeline over an already-built module in place, returning
+    /// the report and trace log. The module is validated afterwards; a
+    /// validation failure is returned as [`Error::Validate`] rather than
+    /// a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Validate`] if the pipeline produced invalid IL.
+    pub fn optimize(&self, module: &mut Module) -> Result<(PipelineReport, TraceLog), Error> {
+        let (report, log) = run_pipeline_traced(module, &self.config, &self.pool);
+        ir::validate(module)?;
+        Ok((report, log))
+    }
+
+    /// Compiles MiniC source through the full pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Front`] if the source does not compile, or
+    /// [`Error::Validate`] if the pipeline produced invalid IL.
+    pub fn compile(&self, src: &str) -> Result<Compilation, Error> {
+        let mut module = minic::compile(src)?;
+        let (report, trace) = self.optimize(&mut module)?;
+        Ok(Compilation {
+            module,
+            report,
+            trace,
+            outcome: None,
+        })
+    }
+
+    /// Compiles and executes; the compilation comes back with
+    /// [`Compilation::outcome`] populated.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`compile`](Self::compile) returns, plus [`Error::Vm`]
+    /// if execution faults.
+    pub fn compile_and_run(&self, src: &str) -> Result<Compilation, Error> {
+        let mut compilation = self.compile(src)?;
+        let outcome = Vm::run_main(&compilation.module, self.vm.clone())?;
+        compilation.outcome = Some(outcome);
+        Ok(compilation)
+    }
+}
+
+/// Fluent builder for [`Session`]. Pipeline knobs mirror
+/// [`PipelineConfigBuilder`]; `max_steps`/`max_depth` configure the VM.
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder {
+    config: PipelineConfigBuilder,
+    vm: VmOptions,
+}
+
+impl SessionBuilder {
+    /// Sets the interprocedural analysis precision.
+    pub fn analysis(mut self, level: AnalysisLevel) -> Self {
+        self.config = self.config.analysis(level);
+        self
+    }
+
+    /// Enables or disables scalar register promotion.
+    pub fn promote(mut self, on: bool) -> Self {
+        self.config = self.config.promote(on);
+        self
+    }
+
+    /// Enables or disables pointer-based promotion.
+    pub fn pointer_promote(mut self, on: bool) -> Self {
+        self.config = self.config.pointer_promote(on);
+        self
+    }
+
+    /// Sets the per-loop promotion pressure cap.
+    pub fn promotion_cap(mut self, cap: Option<usize>) -> Self {
+        self.config = self.config.promotion_cap(cap);
+        self
+    }
+
+    /// Enables or disables the scalar optimizer.
+    pub fn optimize(mut self, on: bool) -> Self {
+        self.config = self.config.optimize(on);
+        self
+    }
+
+    /// Sets register-allocation parameters.
+    pub fn regalloc(mut self, opts: Option<AllocOptions>) -> Self {
+        self.config = self.config.regalloc(opts);
+        self
+    }
+
+    /// Enables or disables barrier validation.
+    pub fn validate_each_pass(mut self, on: bool) -> Self {
+        self.config = self.config.validate_each_pass(on);
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn threads(mut self, threads: Option<usize>) -> Self {
+        self.config = self.config.threads(threads);
+        self
+    }
+
+    /// Enables or disables the shared analysis cache.
+    pub fn share_analyses(mut self, on: bool) -> Self {
+        self.config = self.config.share_analyses(on);
+        self
+    }
+
+    /// Enables or disables structured trace collection.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.config = self.config.trace(on);
+        self
+    }
+
+    /// Replaces the whole pipeline configuration at once.
+    pub fn pipeline_config(mut self, config: PipelineConfig) -> Self {
+        self.config = PipelineConfigBuilder::from_config(config);
+        self
+    }
+
+    /// Sets the VM's execution step budget.
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.vm.max_steps = steps;
+        self
+    }
+
+    /// Sets the VM's call-depth budget.
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.vm.max_depth = depth;
+        self
+    }
+
+    /// Builds the session (spawning its worker pool).
+    pub fn build(self) -> Session {
+        Session::from_parts(self.config.build(), self.vm)
+    }
+}
+
+/// Everything one program's trip through a [`Session`] produced.
+#[derive(Debug)]
+pub struct Compilation {
+    /// The optimized (and validated) module.
+    pub module: Module,
+    /// Pass counters and timings.
+    pub report: PipelineReport,
+    /// The structured trace — empty unless the session was built with
+    /// `.trace(true)`.
+    pub trace: TraceLog,
+    /// The execution outcome; `Some` only from
+    /// [`Session::compile_and_run`].
+    pub outcome: Option<Outcome>,
+}
+
+impl Compilation {
+    /// The trace rendered as human-readable LLVM-style remark lines.
+    pub fn remarks_text(&self) -> String {
+        self.trace.render_remarks()
+    }
+
+    /// The trace serialized as JSONL (see `trace::jsonl` docs for the
+    /// schema).
+    pub fn trace_jsonl(&self) -> String {
+        self.trace.to_jsonl()
+    }
+}

@@ -142,6 +142,47 @@ impl Function {
     pub fn param_regs(&self) -> impl Iterator<Item = Reg> {
         (0..self.arity as u32).map(Reg)
     }
+
+    /// Static body statistics — the counts trace deltas are computed from.
+    pub fn body_stats(&self) -> BodyStats {
+        let mut stats = BodyStats::default();
+        for b in &self.blocks {
+            stats.instrs += b.instrs.len();
+            for i in &b.instrs {
+                match i {
+                    Instr::SLoad { .. } | Instr::CLoad { .. } | Instr::Load { .. } => {
+                        stats.loads += 1
+                    }
+                    Instr::SStore { .. } | Instr::Store { .. } => stats.stores += 1,
+                    _ => {}
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// Static shape counts for one function body: total instructions plus
+/// the memory operations promotion exists to eliminate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BodyStats {
+    /// Total instruction count.
+    pub instrs: usize,
+    /// Static load operations (`sload`/`cload`/`load`).
+    pub loads: usize,
+    /// Static store operations (`sstore`/`store`).
+    pub stores: usize,
+}
+
+impl BodyStats {
+    /// Per-field `self - after`, as signed counts (negative = inserted).
+    pub fn delta(&self, after: &BodyStats) -> (i64, i64, i64) {
+        (
+            self.instrs as i64 - after.instrs as i64,
+            self.loads as i64 - after.loads as i64,
+            self.stores as i64 - after.stores as i64,
+        )
+    }
 }
 
 /// Initial contents of a global variable.

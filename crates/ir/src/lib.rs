@@ -46,7 +46,7 @@ mod tag;
 mod validate;
 
 pub use builder::FunctionBuilder;
-pub use function::{Block, Function, Global, GlobalInit, Module};
+pub use function::{Block, BodyStats, Function, Global, GlobalInit, Module};
 pub use instr::{BinOp, BlockId, Callee, CmpOp, FuncId, Instr, Intrinsic, Reg, UnaryOp};
 pub use parse::{parse_module, ParseIlError};
 pub use print::{instr_to_string, module_to_string, tagset_to_string};

@@ -183,3 +183,12 @@ mod tests {
         ir::validate(&m).expect("still valid");
     }
 }
+
+/// [`clean_function`] with per-pass delta recording (see [`crate::with_delta`]).
+pub fn clean_function_traced(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+    tr: &mut trace::FuncTrace,
+) -> usize {
+    crate::with_delta("clean", func, tr, |f| clean_function(f, analyses))
+}

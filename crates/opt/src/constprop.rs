@@ -347,3 +347,12 @@ B0:
         ));
     }
 }
+
+/// [`constprop_function`] with per-pass delta recording (see [`crate::with_delta`]).
+pub fn constprop_function_traced(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+    tr: &mut trace::FuncTrace,
+) -> usize {
+    crate::with_delta("constprop", func, tr, |f| constprop_function(f, analyses))
+}

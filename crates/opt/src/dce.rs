@@ -134,3 +134,12 @@ B0:
         assert_eq!(dce_function(&mut f, &mut FunctionAnalyses::new()), 0);
     }
 }
+
+/// [`dce_function`] with per-pass delta recording (see [`crate::with_delta`]).
+pub fn dce_function_traced(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+    tr: &mut trace::FuncTrace,
+) -> usize {
+    crate::with_delta("dce", func, tr, |f| dce_function(f, analyses))
+}

@@ -40,10 +40,50 @@ mod loadelim;
 mod lvn;
 mod strengthen;
 
-pub use clean::{clean, clean_function};
-pub use constprop::{constprop, constprop_function};
-pub use dce::{dce, dce_function};
-pub use licm::{licm, licm_function};
-pub use loadelim::{loadelim, loadelim_function};
-pub use lvn::{lvn, lvn_function};
-pub use strengthen::{strengthen, strengthen_function};
+pub use clean::{clean, clean_function, clean_function_traced};
+pub use constprop::{constprop, constprop_function, constprop_function_traced};
+pub use dce::{dce, dce_function, dce_function_traced};
+pub use licm::{licm, licm_function, licm_function_traced};
+pub use loadelim::{loadelim, loadelim_function, loadelim_function_traced};
+pub use lvn::{lvn, lvn_function, lvn_function_traced};
+pub use strengthen::{strengthen, strengthen_function, strengthen_function_traced};
+
+use ir::{BodyStats, Function};
+use trace::FuncTrace;
+
+/// Runs one pass body over `func` and, when tracing is enabled, records a
+/// before-minus-after [`trace::PassEvent::Delta`] under `pass`.
+///
+/// When tracing is off this is a direct call — the stats scans are never
+/// performed, which is what keeps the disabled path free. When it is on,
+/// consecutive delta stages share scans through the [`FuncTrace`] stats
+/// cache: this pass's after-scan becomes the next pass's before-count,
+/// and a pass that reports zero rewrites costs no scan at all.
+///
+/// Contract: `pass_fn` must return 0 **only** when it left the function
+/// body untouched — true of every counting pass in this crate — because
+/// a zero return keeps the cached stats live without rescanning.
+pub fn with_delta(
+    pass: &'static str,
+    func: &mut Function,
+    tr: &mut FuncTrace,
+    pass_fn: impl FnOnce(&mut Function) -> usize,
+) -> usize {
+    if !tr.enabled() {
+        return pass_fn(func);
+    }
+    let before = match tr.cached_stats() {
+        Some((instrs, loads, stores)) => BodyStats {
+            instrs,
+            loads,
+            stores,
+        },
+        None => func.body_stats(),
+    };
+    let n = pass_fn(func);
+    let after = if n == 0 { before } else { func.body_stats() };
+    let (instrs, loads, stores) = before.delta(&after);
+    tr.delta(pass, instrs, loads, stores);
+    tr.set_stats((after.instrs, after.loads, after.stores));
+    n
+}

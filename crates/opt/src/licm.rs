@@ -333,3 +333,12 @@ int main() {
         assert!(after.counts.total + 4000 < before.counts.total);
     }
 }
+
+/// [`licm_function`] with per-pass delta recording (see [`crate::with_delta`]).
+pub fn licm_function_traced(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+    tr: &mut trace::FuncTrace,
+) -> usize {
+    crate::with_delta("licm", func, tr, |f| licm_function(f, analyses))
+}

@@ -242,3 +242,12 @@ int main() {
         assert_eq!(after.output, vec!["12"]);
     }
 }
+
+/// [`loadelim_function`] with per-pass delta recording (see [`crate::with_delta`]).
+pub fn loadelim_function_traced(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+    tr: &mut trace::FuncTrace,
+) -> usize {
+    crate::with_delta("loadelim", func, tr, |f| loadelim_function(f, analyses))
+}

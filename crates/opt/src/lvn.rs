@@ -591,3 +591,12 @@ int main() {
         assert!(after.counts.total <= before.counts.total);
     }
 }
+
+/// [`lvn_function`] with per-pass delta recording (see [`crate::with_delta`]).
+pub fn lvn_function_traced(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+    tr: &mut trace::FuncTrace,
+) -> usize {
+    crate::with_delta("lvn", func, tr, |f| lvn_function(f, analyses))
+}

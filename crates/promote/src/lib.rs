@@ -38,13 +38,46 @@ mod pointer;
 mod scalar;
 
 pub use equations::{block_sets, classify_singleton, BlockSets, LoopSets, RefClass};
-pub use pointer::{promote_pointers_in_func, promote_pointers_in_func_core, PointerReport};
+pub use pointer::{
+    promote_pointers_in_func, promote_pointers_in_func_core, promote_pointers_in_func_traced,
+    PointerReport,
+};
 pub use scalar::{
-    promotable_tags, promote_scalars_in_func, promote_scalars_in_func_core, ScalarReport,
+    promotable_tags, promote_scalars_in_func, promote_scalars_in_func_core,
+    promote_scalars_in_func_traced, ScalarReport,
 };
 
 use analysis::{tarjan_sccs, CallGraph};
 use ir::Module;
+
+/// Runs a rewriting stage and, when tracing is enabled, records its
+/// before-minus-after [`trace::PassEvent::Delta`] under `pass` (lift and
+/// store-back insertion shows up as negative counts). Chains body scans
+/// through the [`trace::FuncTrace`] stats cache like `opt::with_delta`.
+fn with_delta<R>(
+    pass: &'static str,
+    func: &mut ir::Function,
+    tr: &mut trace::FuncTrace,
+    stage: impl FnOnce(&mut ir::Function, &mut trace::FuncTrace) -> R,
+) -> R {
+    if !tr.enabled() {
+        return stage(func, tr);
+    }
+    let before = match tr.cached_stats() {
+        Some((instrs, loads, stores)) => ir::BodyStats {
+            instrs,
+            loads,
+            stores,
+        },
+        None => func.body_stats(),
+    };
+    let result = stage(func, tr);
+    let after = func.body_stats();
+    let (instrs, loads, stores) = before.delta(&after);
+    tr.delta(pass, instrs, loads, stores);
+    tr.set_stats((after.instrs, after.loads, after.stores));
+    result
+}
 
 /// Configuration for [`promote_module`].
 #[derive(Debug, Clone)]

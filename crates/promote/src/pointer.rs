@@ -14,6 +14,7 @@
 use cfg::{FunctionAnalyses, LoopId};
 use ir::{FuncId, Function, Instr, Module, Reg, TagSet};
 use std::collections::{BTreeMap, BTreeSet};
+use trace::{FuncTrace, LoopRef, Remark};
 
 /// What pointer-based promotion did to one function.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -40,6 +41,27 @@ pub fn promote_pointers_in_func(module: &mut Module, func_id: FuncId) -> Pointer
 pub fn promote_pointers_in_func_core(
     func: &mut Function,
     analyses: &mut FunctionAnalyses,
+) -> PointerReport {
+    promote_pointers_in_func_traced(func, analyses, &mut FuncTrace::off())
+}
+
+/// [`promote_pointers_in_func_core`] with remark emission: one
+/// [`Remark::PointerPromoted`] per promoted base register when tracing is
+/// enabled, plus a `pointer-promote` delta covering the rewrite.
+pub fn promote_pointers_in_func_traced(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+    tr: &mut FuncTrace,
+) -> PointerReport {
+    crate::with_delta("pointer-promote", func, tr, |func, tr| {
+        promote_pointers_in_func_inner(func, analyses, tr)
+    })
+}
+
+fn promote_pointers_in_func_inner(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+    tr: &mut FuncTrace,
 ) -> PointerReport {
     let mut report = PointerReport::default();
     let (_, forest, geom) = analyses.loop_view(func);
@@ -175,6 +197,21 @@ pub fn promote_pointers_in_func_core(
             Instr::Store { src, .. } => Instr::Copy { dst: v, src },
             _ => unreachable!("planned rewrite targets a memory op"),
         };
+    }
+    if tr.enabled() {
+        for &(li, base, _, _, _) in &planned {
+            let l = &forest.loops[li.index()];
+            tr.remark(
+                "pointer-promote",
+                Remark::PointerPromoted {
+                    base_reg: base.0,
+                    in_loop: LoopRef {
+                        header: l.header.0,
+                        depth: l.depth as u32,
+                    },
+                },
+            );
+        }
     }
     // Insert lifts.
     for (li, base, tags, has_store, v) in planned {

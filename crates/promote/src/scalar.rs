@@ -9,6 +9,7 @@ use crate::equations::{block_sets, classify_singleton, LoopSets, RefClass};
 use cfg::FunctionAnalyses;
 use ir::{DenseTagSet, FuncId, Function, Instr, Module, Reg, TagId, TagTable};
 use std::collections::{BTreeMap, BTreeSet};
+use trace::{BlockReason, FuncTrace, LoopRef, Remark};
 
 /// What scalar promotion did to one function.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -63,6 +64,57 @@ pub fn promote_scalars_in_func_core(
     max_per_loop: Option<usize>,
     analyses: &mut FunctionAnalyses,
 ) -> ScalarReport {
+    promote_scalars_in_func_traced(
+        tags,
+        func,
+        func_id,
+        func_is_recursive,
+        max_per_loop,
+        analyses,
+        &mut FuncTrace::off(),
+    )
+}
+
+/// [`promote_scalars_in_func_core`] with remark emission: when tracing is
+/// enabled, every loop's verdict is reported — a [`Remark::Promoted`] per
+/// (tag, loop) that equation (3) admits (with the lift placement from
+/// equation (4)), and a [`Remark::Blocked`] with a concrete
+/// [`BlockReason`] per explicitly-referenced tag that `L_AMBIGUOUS`
+/// claims — plus a `promote` delta covering the rewrite (lift insertion
+/// shows as negative counts).
+#[allow(clippy::too_many_arguments)]
+pub fn promote_scalars_in_func_traced(
+    tags: &TagTable,
+    func: &mut Function,
+    func_id: FuncId,
+    func_is_recursive: bool,
+    max_per_loop: Option<usize>,
+    analyses: &mut FunctionAnalyses,
+    tr: &mut FuncTrace,
+) -> ScalarReport {
+    crate::with_delta("promote", func, tr, |func, tr| {
+        promote_scalars_in_func_inner(
+            tags,
+            func,
+            func_id,
+            func_is_recursive,
+            max_per_loop,
+            analyses,
+            tr,
+        )
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn promote_scalars_in_func_inner(
+    tags: &TagTable,
+    func: &mut Function,
+    func_id: FuncId,
+    func_is_recursive: bool,
+    max_per_loop: Option<usize>,
+    analyses: &mut FunctionAnalyses,
+    tr: &mut FuncTrace,
+) -> ScalarReport {
     let (_, forest, geom) = analyses.loop_view(func);
     let mut report = ScalarReport {
         loops: forest.len(),
@@ -75,6 +127,11 @@ pub fn promote_scalars_in_func_core(
     let mut sets = LoopSets::solve(&blocks, forest);
     if let Some(cap) = max_per_loop {
         throttle(func, forest, &mut sets, cap);
+    }
+    if tr.enabled() {
+        // Emitted before the rewrite below, while the loop bodies still
+        // hold the memory operations the verdicts are about.
+        emit_promotion_remarks(tags, func, func_id, func_is_recursive, forest, &sets, tr);
     }
     let promotable = sets.all_promotable();
     if promotable.is_empty() {
@@ -226,6 +283,116 @@ pub fn promote_scalars_in_func_core(
         analyses.note_body_changed();
     }
     report
+}
+
+/// Reports, per loop in index order, every promoted tag (with its lift
+/// placement) and every blocked explicit candidate (with why).
+fn emit_promotion_remarks(
+    tags: &TagTable,
+    func: &Function,
+    func_id: FuncId,
+    func_is_recursive: bool,
+    forest: &cfg::LoopForest,
+    sets: &LoopSets,
+    tr: &mut FuncTrace,
+) {
+    for li in 0..forest.len() {
+        let l = &forest.loops[li];
+        let in_loop = LoopRef {
+            header: l.header.0,
+            depth: l.depth as u32,
+        };
+        for t in sets.promotable[li].iter() {
+            // The lift lands at the outermost enclosing loop where the tag
+            // is still promotable — equation (4) unrolled.
+            let mut at = li;
+            while let Some(p) = forest.loops[at].parent {
+                if !sets.promotable[p.index()].contains(t) {
+                    break;
+                }
+                at = p.index();
+            }
+            tr.remark(
+                "promote",
+                Remark::Promoted {
+                    tag: tags.info(t).name.clone(),
+                    in_loop,
+                    lifted_from: forest.loops[at].header.0,
+                },
+            );
+        }
+        // Blocked = L_EXPLICIT ∩ L_AMBIGUOUS: referenced by rewritable
+        // operations, but claimed by equation (2). (Throttled-out tags are
+        // not "blocked" — they were promotable and deliberately skipped.)
+        for t in sets.explicit[li].iter() {
+            if !sets.ambiguous[li].contains(t) {
+                continue;
+            }
+            tr.remark(
+                "promote",
+                Remark::Blocked {
+                    tag: tags.info(t).name.clone(),
+                    in_loop,
+                    reason: blocked_reason(tags, func, func_id, func_is_recursive, l, t),
+                },
+            );
+        }
+    }
+}
+
+/// Pins down which clause of the ambiguity definition claimed `t` in loop
+/// `l`, by rescanning the loop body the way [`block_sets`] did.
+fn blocked_reason(
+    tags: &TagTable,
+    func: &Function,
+    func_id: FuncId,
+    func_is_recursive: bool,
+    l: &cfg::Loop,
+    t: TagId,
+) -> BlockReason {
+    let mut singleton_ambiguous = false;
+    let mut multi_ref = false;
+    for &b in &l.blocks {
+        for instr in &func.blocks[b.index()].instrs {
+            match instr {
+                Instr::Call { mods, refs, .. } => {
+                    if mods.contains(t) || refs.contains(t) {
+                        return BlockReason::CallModRef;
+                    }
+                }
+                Instr::Load { tags: ts, .. } | Instr::Store { tags: ts, .. } => {
+                    if !ts.contains(t) {
+                        continue;
+                    }
+                    match ts.as_singleton() {
+                        Some(s) if s == t => {
+                            if classify_singleton(tags, func_id, func_is_recursive, t)
+                                == RefClass::Ambiguous
+                            {
+                                singleton_ambiguous = true;
+                            }
+                        }
+                        _ => multi_ref = true,
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if multi_ref {
+        BlockReason::AmbiguousRef
+    } else if singleton_ambiguous {
+        // The only ambiguity is a singleton pointer access that fails the
+        // unique-cell test; say whether recursion or storage shape is the
+        // culprit.
+        if func_is_recursive && tags.info(t).kind.owner() == Some(func_id.0) {
+            BlockReason::RecursionFlag
+        } else {
+            BlockReason::AddressTaken
+        }
+    } else {
+        BlockReason::AmbiguousRef
+    }
 }
 
 /// Applies the pressure throttle: each loop keeps only its `cap`

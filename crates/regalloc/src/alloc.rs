@@ -473,6 +473,45 @@ pub fn allocate_function_core(
     pending: &mut Vec<PendingSpill>,
     analyses: &mut FunctionAnalyses,
 ) -> AllocReport {
+    allocate_function_core_traced(
+        tags,
+        func,
+        func_id,
+        opts,
+        pending,
+        analyses,
+        &mut trace::FuncTrace::off(),
+    )
+}
+
+/// [`allocate_function_core`] with remark emission: when tracing is
+/// enabled, each spill victim is reported as a
+/// [`trace::Remark::Spilled`] with the simplify/select round that demanded
+/// it, and the net spill-code insertion lands as a `regalloc` delta.
+#[allow(clippy::too_many_arguments)]
+pub fn allocate_function_core_traced(
+    tags: &TagTable,
+    func: &mut Function,
+    func_id: FuncId,
+    opts: &AllocOptions,
+    pending: &mut Vec<PendingSpill>,
+    analyses: &mut FunctionAnalyses,
+    tr: &mut trace::FuncTrace,
+) -> AllocReport {
+    // Seed the before-count from the stats cache when the preceding
+    // delta stage left one (the fused chain always does), else scan.
+    let stats_before = if tr.enabled() {
+        Some(match tr.cached_stats() {
+            Some((instrs, loads, stores)) => ir::BodyStats {
+                instrs,
+                loads,
+                stores,
+            },
+            None => func.body_stats(),
+        })
+    } else {
+        None
+    };
     let mut report = AllocReport::default();
     let k = opts.num_regs;
     assert!(
@@ -673,12 +712,29 @@ pub fn allocate_function_core(
             func.next_reg = k as u32;
             // The physical-register rewrite is the last body change.
             analyses.note_body_changed();
+            if let Some(before) = stats_before {
+                let after = func.body_stats();
+                let (i, l, s) = before.delta(&after);
+                tr.delta("regalloc", i, l, s);
+                tr.set_stats((after.instrs, after.loads, after.stores));
+            }
             return report;
         }
         let mut spilled = spilled;
         let mut temps = BTreeSet::new();
         report.rematerialized += try_rematerialize(func, &mut spilled, &mut temps);
         report.spilled += spilled.len();
+        if tr.enabled() {
+            for &r in &spilled {
+                tr.remark(
+                    "regalloc",
+                    trace::Remark::Spilled {
+                        reg: r,
+                        round: report.rounds,
+                    },
+                );
+            }
+        }
         let (l, s, spill_temps) = insert_spill_code(func, &spilled, spill_base, pending);
         temps.extend(spill_temps);
         no_spill.extend(temps);

@@ -1,0 +1,38 @@
+//! Optimization-remark telemetry for the register-promotion pipeline.
+//!
+//! The paper's entire evaluation is *counting what promotion did* —
+//! loads/stores removed per loop, tags promoted versus blocked — so the
+//! pipeline needs a structured way to say "tag `C` was promoted in the
+//! loop at `B1`" or "tag `A` stayed in memory because a call mods it".
+//! This crate is that layer:
+//!
+//! * [`Remark`] — one structured observation from one pass
+//!   (`Promoted`/`Blocked`/`Spilled`/...), with [`BlockReason`] naming
+//!   exactly *why* a candidate was rejected;
+//! * [`PassEvent`] — a remark or a per-pass delta counter (instructions
+//!   removed, loads/stores eliminated);
+//! * [`FuncTrace`] — the per-function event buffer each worker fills while
+//!   it carries a function through the fused pass chain. The `Off` variant
+//!   makes disabled tracing a no-op: one enum-discriminant test per hook,
+//!   no allocation, no formatting;
+//! * [`TraceLog`] — the per-module aggregate, assembled in deterministic
+//!   function-index order after the parallel fan-out, serializable as
+//!   JSONL ([`TraceLog::to_jsonl`] / [`TraceLog::from_jsonl`]) and as
+//!   LLVM-style human-readable remarks ([`TraceLog::render_remarks`]);
+//! * [`TraceSink`] — a consumer trait for streaming the aggregated events
+//!   somewhere else (a file, a test collector, a metrics exporter).
+//!
+//! Determinism contract: events are buffered per function inside the
+//! worker that owns the function (no cross-thread contention) and replayed
+//! in function-index order, so the remark stream is byte-identical at any
+//! worker count.
+
+#![warn(missing_docs)]
+
+mod event;
+pub mod jsonl;
+mod sink;
+
+pub use event::{BlockReason, LoopRef, PassEvent, Remark, TraceRecord};
+pub use jsonl::JsonlError;
+pub use sink::{CollectSink, FuncTrace, NullSink, TraceLog, TraceSink};

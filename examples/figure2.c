@@ -1,0 +1,42 @@
+/* The paper's Figure 2 shape as a MiniC program — the demo input for
+ * optimization remarks:
+ *
+ *   cargo run -p promo-driver --bin promoc -- run examples/figure2.c --remarks
+ *
+ * Expected remarks (ModRef analysis, the default):
+ *   - C is promoted across the whole outer loop (PROMOTABLE(outer) = {C}).
+ *   - A is blocked in the outer loop with reason call-mod-ref
+ *     (touch_a() mods it there), but promoted in the middle loop.
+ *   - B is blocked in the middle loop with reason call-mod-ref
+ *     (read_b() refs it there).
+ */
+
+int A;
+int B;
+int C;
+
+void touch_a(void) { A = A + 1; }
+
+int read_b(void) { return B; }
+
+int main(void) {
+    int i;
+    int j;
+    int k;
+    A = 3;
+    B = 5;
+    for (i = 0; i < 10; i++) {
+        C = C + A;
+        touch_a();
+        for (j = 0; j < 10; j++) {
+            B = read_b() - B + 5;
+            for (k = 0; k < 10; k++) {
+                C = C + A;
+            }
+        }
+    }
+    print_int(A);
+    print_int(B);
+    print_int(C);
+    return 0;
+}

@@ -56,6 +56,41 @@ fn parallel_pipeline_matches_sequential_everywhere() {
     }
 }
 
+/// The remark stream is part of the determinism contract: with tracing
+/// on, every worker count must produce a byte-identical JSONL trace (and
+/// the same IL as the untraced pipeline). Events are buffered
+/// per-function in the workers and assembled in function-index order, so
+/// scheduling must not be observable.
+#[test]
+fn remark_streams_are_identical_across_worker_counts() {
+    let mut suite_records = 0usize;
+    for b in benchsuite::SUITE {
+        let base = minic::compile(b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let mut reference: Option<String> = None;
+        for workers in [1usize, 2, 8] {
+            let pool = driver::WorkerPool::new(workers);
+            let config = PipelineConfig {
+                threads: Some(workers),
+                trace: true,
+                ..Default::default()
+            };
+            let mut m = base.clone();
+            let (_, log) = driver::run_pipeline_traced(&mut m, &config, &pool);
+            suite_records += log.len();
+            let jsonl = log.to_jsonl();
+            match &reference {
+                None => reference = Some(jsonl),
+                Some(r) => assert_eq!(
+                    r, &jsonl,
+                    "{}: remark stream diverged between 1 and {workers} workers",
+                    b.name
+                ),
+            }
+        }
+    }
+    assert!(suite_records > 0, "the suite must emit remarks");
+}
+
 #[test]
 fn env_override_is_equivalent_to_explicit() {
     // PROMO_THREADS only fills in when the config leaves threads unset.
