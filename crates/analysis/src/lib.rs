@@ -34,7 +34,10 @@ pub use modref::{
     compute_and_apply, compute_and_apply_with_sites, limit_pointer_ops, ModRef, SiteTargets,
     Visibility,
 };
-pub use points_to::{analyze as points_to_analyze, apply as points_to_apply, PointsTo, Target};
+pub use points_to::{
+    analyze as points_to_analyze, analyze_with as points_to_analyze_with, apply as points_to_apply,
+    PointsTo, Target,
+};
 pub use steensgaard::{analyze as steensgaard_analyze, apply as steensgaard_apply, Steensgaard};
 pub use strength::singleton_is_unique_cell;
 
@@ -132,6 +135,9 @@ pub struct AnalysisOutcome {
     pub modref: ModRef,
     /// Tag-set precision statistics.
     pub stats: TagSetStats,
+    /// Solver work done by the points-to fixpoint (zero for levels that
+    /// run no points-to analysis).
+    pub dataflow: cfg::DataflowStats,
 }
 
 /// Runs interprocedural analysis at `level`, rewriting the module's tag
@@ -147,8 +153,21 @@ pub fn analyze(module: &mut Module, level: AnalysisLevel) -> AnalysisOutcome {
 pub fn analyze_traced(
     module: &mut Module,
     level: AnalysisLevel,
-    mut traces: Option<&mut [trace::FuncTrace]>,
+    traces: Option<&mut [trace::FuncTrace]>,
 ) -> AnalysisOutcome {
+    analyze_traced_with(module, level, traces, false)
+}
+
+/// [`analyze_traced`] with solver selection: `dense_dataflow` runs the
+/// points-to fixpoint as the round-robin baseline sweep instead of the
+/// demand-driven worklist (the benchmark measures both).
+pub fn analyze_traced_with(
+    module: &mut Module,
+    level: AnalysisLevel,
+    mut traces: Option<&mut [trace::FuncTrace]>,
+    dense_dataflow: bool,
+) -> AnalysisOutcome {
+    let mut dataflow = cfg::DataflowStats::default();
     let graph = CallGraph::build(module, None);
     limit_pointer_ops(module, &graph);
     let (graph, modref) = match level {
@@ -186,7 +205,7 @@ pub fn analyze_traced(
             (graph, modref)
         }
         AnalysisLevel::PointsTo => {
-            let pt = points_to_analyze(module);
+            let pt = points_to_analyze_with(module, dense_dataflow, &mut dataflow);
             points_to_apply(module, &pt);
             // Sharper call graph from resolved function pointers, then the
             // paper's "MOD/REF analysis is then repeated" — with per-site
@@ -220,7 +239,7 @@ pub fn analyze_traced(
                     }
                 }
             }
-            let pt = points_to_analyze(module);
+            let pt = points_to_analyze_with(module, dense_dataflow, &mut dataflow);
             points_to_apply(module, &pt);
             let targets = pt.indirect_targets(module);
             let sites = pt.site_targets(module);
@@ -254,6 +273,7 @@ pub fn analyze_traced(
         call_graph: graph,
         modref,
         stats,
+        dataflow,
     }
 }
 

@@ -18,7 +18,8 @@
 //!
 //! Usage: `cargo run --release --bin bench_pipeline [output-path]
 //!         [--max-2t-slowdown X] [--max-analysis-builds N]
-//!         [--max-trace-overhead X] [--force-sweep]`
+//!         [--max-trace-overhead X] [--max-transfer-visits N]
+//!         [--force-sweep]`
 //!
 //! With `--max-2t-slowdown X` the process exits nonzero if the 2-worker
 //! total is more than `X` times the sequential total — the CI regression
@@ -34,6 +35,14 @@
 //! JSON records both the cached count and an uncached baseline measured
 //! with `share_analyses: false`, so the cache's effect is an auditable
 //! ratio rather than an anecdote.
+//!
+//! With `--max-transfer-visits N` the process exits nonzero if the suite
+//! total of dataflow transfer evaluations (from
+//! `PipelineReport::dataflow_stats`, summed over liveness, constprop,
+//! loadelim, DCE marking, and points-to) exceeds `N` — the CI gate
+//! against a solver silently regressing from its sparse worklist back to
+//! dense resweeps. The JSON records the sparse counters next to a dense
+//! baseline measured with `sparse_dataflow: false`.
 //!
 //! The suite is also run sequentially with structured tracing enabled
 //! (`PipelineConfig::trace`). With `--max-trace-overhead X` the process
@@ -84,6 +93,13 @@ struct ProgramResult {
     trace_off_ms: f64,
     /// Sequential run time with structured tracing enabled.
     trace_on_ms: f64,
+    /// Dataflow solver work with the sparse worklist solvers (the
+    /// shipping configuration).
+    dataflow: cfg::DataflowStats,
+    /// The same counters with `sparse_dataflow: false` — dense
+    /// full-resweep fixpoints, the behaviour the worklists replaced. The
+    /// honest "before" number.
+    dataflow_dense: cfg::DataflowStats,
 }
 
 fn ms(d: std::time::Duration) -> f64 {
@@ -96,6 +112,17 @@ fn config(threads: usize) -> PipelineConfig {
         validate_each_pass: false,
         ..Default::default()
     }
+}
+
+fn dataflow_json(s: &cfg::DataflowStats) -> String {
+    format!(
+        "{{ \"blocks_visited\": {}, \"transfer_evals\": {}, \
+         \"worklist_pushes\": {}, \"total\": {} }}",
+        s.blocks_visited,
+        s.transfer_evals,
+        s.worklist_pushes,
+        s.total()
+    )
 }
 
 fn builds_json(c: &cfg::BuildCounts) -> String {
@@ -116,6 +143,7 @@ fn main() {
     let mut max_2t_slowdown: Option<f64> = None;
     let mut max_analysis_builds: Option<u64> = None;
     let mut max_trace_overhead: Option<f64> = None;
+    let mut max_transfer_visits: Option<u64> = None;
     let mut force_sweep = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -128,6 +156,9 @@ fn main() {
         } else if a == "--max-trace-overhead" {
             let v = args.next().expect("--max-trace-overhead needs a value");
             max_trace_overhead = Some(v.parse().expect("--max-trace-overhead value"));
+        } else if a == "--max-transfer-visits" {
+            let v = args.next().expect("--max-transfer-visits needs a value");
+            max_transfer_visits = Some(v.parse().expect("--max-transfer-visits value"));
         } else if a == "--force-sweep" {
             force_sweep = true;
         } else {
@@ -161,6 +192,7 @@ fn main() {
         let mut reference_il: Option<String> = None;
         let mut passes = Vec::new();
         let mut builds_cached = cfg::BuildCounts::default();
+        let mut dataflow = cfg::DataflowStats::default();
         for (&threads, pool) in sweep.iter().zip(&pools) {
             let cfg = config(threads);
             let timing = measure(ITERS, || {
@@ -176,6 +208,7 @@ fn main() {
                 None => {
                     reference_il = Some(il);
                     builds_cached = report.analysis_builds;
+                    dataflow = report.dataflow_stats;
                     passes = report
                         .timings
                         .passes
@@ -211,6 +244,20 @@ fn main() {
                 b.name
             );
             report.analysis_builds
+        };
+        // Dense-solver baseline: the same pipeline with the full-resweep
+        // fixpoints the worklists replaced. Only the work counters are
+        // harvested — the IL may legitimately differ, because sparse
+        // constprop is *stronger* (executable-edge pruning folds through
+        // branches the dense join cannot); the differential tests pin
+        // down exactly where the two modes are required to agree.
+        let dataflow_dense = {
+            let mut m = module.clone();
+            let cfg = PipelineConfig {
+                sparse_dataflow: false,
+                ..config(1)
+            };
+            run_pipeline_in(&mut m, &cfg, &pools[0]).dataflow_stats
         };
         // Tracing overhead: the same sequential pipeline with remark and
         // delta collection off vs on, measured back-to-back so the pair
@@ -249,6 +296,8 @@ fn main() {
             builds_uncached,
             trace_off_ms: ms(trace_off_timing.min),
             trace_on_ms: ms(trace_timing.min),
+            dataflow,
+            dataflow_dense,
         });
     }
 
@@ -263,9 +312,13 @@ fn main() {
     let trace_overhead = total_trace_on / total_trace_off.max(1e-9);
     let mut total_builds_cached = cfg::BuildCounts::default();
     let mut total_builds_uncached = cfg::BuildCounts::default();
+    let mut total_dataflow = cfg::DataflowStats::default();
+    let mut total_dataflow_dense = cfg::DataflowStats::default();
     for r in &results {
         total_builds_cached.add(&r.builds_cached);
         total_builds_uncached.add(&r.builds_uncached);
+        total_dataflow.add(&r.dataflow);
+        total_dataflow_dense.add(&r.dataflow_dense);
     }
 
     // Hand-rolled JSON: names are suite identifiers and pass labels, none
@@ -300,6 +353,16 @@ fn main() {
         "  \"analysis_builds_uncached\": {},",
         builds_json(&total_builds_uncached)
     );
+    let _ = writeln!(
+        json,
+        "  \"dataflow_stats\": {},",
+        dataflow_json(&total_dataflow)
+    );
+    let _ = writeln!(
+        json,
+        "  \"dataflow_stats_dense\": {},",
+        dataflow_json(&total_dataflow_dense)
+    );
     json.push_str("  \"totals\": [\n");
     for (i, (&t, total)) in sweep.iter().zip(&totals).enumerate() {
         let comma = if i + 1 < sweep.len() { "," } else { "" };
@@ -324,6 +387,16 @@ fn main() {
             json,
             "      \"analysis_builds_uncached\": {},",
             builds_json(&r.builds_uncached)
+        );
+        let _ = writeln!(
+            json,
+            "      \"dataflow_stats\": {},",
+            dataflow_json(&r.dataflow)
+        );
+        let _ = writeln!(
+            json,
+            "      \"dataflow_stats_dense\": {},",
+            dataflow_json(&r.dataflow_dense)
         );
         json.push_str("      \"runs\": [\n");
         for (j, run) in r.runs.iter().enumerate() {
@@ -374,6 +447,12 @@ fn main() {
         total_builds_uncached.total() as f64 / total_builds_cached.total().max(1) as f64
     );
     println!(
+        "  dataflow transfers: {} sparse vs {} dense ({:.2}x fewer)",
+        total_dataflow.transfer_evals,
+        total_dataflow_dense.transfer_evals,
+        total_dataflow_dense.transfer_evals as f64 / total_dataflow.transfer_evals.max(1) as f64
+    );
+    println!(
         "  tracing: {total_trace_off:.1} ms off vs {total_trace_on:.1} ms on \
          ({trace_overhead:.3}x), {} remark records -> {}",
         remarks_jsonl.lines().count(),
@@ -404,6 +483,18 @@ fn main() {
             failed = true;
         } else {
             println!("  gate: {got} analysis builds within limit {limit}");
+        }
+    }
+    if let Some(limit) = max_transfer_visits {
+        let got = total_dataflow.transfer_evals;
+        if got > limit {
+            eprintln!(
+                "FAIL: {got} dataflow transfer evaluations across the suite \
+                 (limit {limit}) — a solver regressed toward dense resweeps"
+            );
+            failed = true;
+        } else {
+            println!("  gate: {got} transfer evaluations within limit {limit}");
         }
     }
     if let Some(limit) = max_trace_overhead {

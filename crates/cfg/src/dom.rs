@@ -164,6 +164,9 @@ struct LengauerTarjan {
     /// Buckets of vertices whose semidominator is the key.
     bucket: Vec<Vec<usize>>,
     idom_num: Vec<usize>,
+    /// Scratch for [`compress`](Self::compress), reused across calls so
+    /// path compression allocates nothing after the first deep path.
+    path: Vec<usize>,
 }
 
 impl LengauerTarjan {
@@ -178,6 +181,7 @@ impl LengauerTarjan {
             label: Vec::new(),
             bucket: Vec::new(),
             idom_num: Vec::new(),
+            path: Vec::new(),
         };
         // DFS numbering (iterative).
         let mut stack: Vec<(BlockId, Option<usize>)> = vec![(cfg.entry, None)];
@@ -206,12 +210,11 @@ impl LengauerTarjan {
             let p = lt.parent[w];
             // Step 2: compute semidominator.
             let wb = lt.vertex[w];
-            let preds: Vec<usize> = cfg.preds[wb.index()]
-                .iter()
-                .filter(|v| lt.dfnum[v.index()] != usize::MAX)
-                .map(|v| lt.dfnum[v.index()])
-                .collect();
-            for v in preds {
+            for pred in &cfg.preds[wb.index()] {
+                let v = lt.dfnum[pred.index()];
+                if v == usize::MAX {
+                    continue; // unreachable predecessor
+                }
                 let u = lt.eval(v);
                 if lt.semi[u] < lt.semi[w] {
                     lt.semi[w] = lt.semi[u];
@@ -255,8 +258,10 @@ impl LengauerTarjan {
     }
 
     fn compress(&mut self, v: usize) {
-        // Iterative path compression to avoid recursion depth limits.
-        let mut path = Vec::new();
+        // Iterative path compression to avoid recursion depth limits. The
+        // path scratch lives on `self` so repeated calls do not allocate.
+        let mut path = std::mem::take(&mut self.path);
+        path.clear();
         let mut cur = v;
         while let Some(a) = self.ancestor[cur] {
             if self.ancestor[a].is_some() {
@@ -273,6 +278,7 @@ impl LengauerTarjan {
             }
             self.ancestor[u] = self.ancestor[a];
         }
+        self.path = path;
     }
 }
 

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod analyses;
+mod dataflow;
 mod dom;
 mod graph;
 mod liveness;
@@ -38,9 +39,13 @@ mod loops;
 mod normalize;
 
 pub use analyses::{BuildCounts, FunctionAnalyses, LoopGeometry};
+pub use dataflow::{BlockWorklist, DataflowStats, Direction};
 pub use dom::DomTree;
 pub use graph::Cfg;
-pub use liveness::{for_each_instr_backwards, liveness, Liveness, RegSet};
+pub use liveness::{
+    for_each_instr_backwards, liveness, liveness_dense, liveness_dense_stats, liveness_sparse,
+    LiveSummaries, Liveness, RegSet,
+};
 pub use loops::{Loop, LoopForest, LoopId};
 pub use normalize::{
     normalize_loops, normalize_loops_in, remove_unreachable_blocks, remove_unreachable_blocks_in,

@@ -1,7 +1,20 @@
 //! Backward liveness analysis over virtual registers.
+//!
+//! The solver is a sparse backward worklist over the [`BlockWorklist`]
+//! engine: blocks are popped in postorder and re-enqueued (predecessors
+//! only) when their live-in set actually changes. The per-block use/def
+//! summaries live in [`LiveSummaries`] so the analysis cache can keep them
+//! across regalloc's spill rounds and rescan only the blocks a round
+//! actually touched; the boundary in/out sets are always re-solved from
+//! empty, which keeps the result the exact least fixpoint (a warm-started
+//! boundary set could carry stale bits around a loop forever). The old
+//! dense iterate-to-fixpoint sweep survives as [`liveness_dense`] — the
+//! benchmark's baseline and the differential tests' oracle.
 
+use crate::dataflow::{BlockWorklist, DataflowStats, Direction};
 use crate::graph::Cfg;
 use ir::{Function, Instr, Reg};
+use std::collections::BTreeSet;
 
 /// A dense bitset over virtual registers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,7 +50,8 @@ impl RegSet {
         self.bits[r.index() / 64] & (1u64 << (r.index() % 64)) != 0
     }
 
-    /// In-place union; returns true if `self` grew.
+    /// In-place union; returns true if `self` grew. When `other` tracks
+    /// more registers than `self`, only the overlapping words are merged.
     pub fn union_with(&mut self, other: &RegSet) -> bool {
         let mut grew = false;
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
@@ -46,6 +60,17 @@ impl RegSet {
             *a = new;
         }
         grew
+    }
+
+    /// Empties the set without changing its capacity.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+
+    /// Makes `self` a copy of `other`, adopting its size.
+    pub fn copy_from(&mut self, other: &RegSet) {
+        self.bits.clear();
+        self.bits.extend_from_slice(&other.bits);
     }
 
     /// Iterates members.
@@ -89,17 +114,35 @@ pub struct Liveness {
     pub live_out: Vec<RegSet>,
 }
 
-/// Computes liveness for `func`.
-pub fn liveness(func: &Function, cfg: &Cfg) -> Liveness {
-    let n = func.blocks.len();
-    let nregs = func.next_reg as usize;
-    // Per-block use/def summaries (upward-exposed uses).
-    let mut use_s: Vec<RegSet> = Vec::with_capacity(n);
-    let mut def_s: Vec<RegSet> = Vec::with_capacity(n);
-    for block in &func.blocks {
+/// Cached per-block (upward-exposed use, def) summaries — the only part of
+/// a liveness solve that reads instructions. The analysis cache keeps one
+/// of these per function and rescans only dirty blocks between solves.
+///
+/// A summary scanned before `next_reg` grew is shorter than the current
+/// register space; that is fine, because a block that was not touched
+/// cannot mention a register that did not exist when it was scanned, and
+/// [`RegSet::union_with`] merges only the overlapping words.
+#[derive(Debug, Clone, Default)]
+pub struct LiveSummaries {
+    use_s: Vec<RegSet>,
+    def_s: Vec<RegSet>,
+}
+
+impl LiveSummaries {
+    /// Number of blocks summarized.
+    pub fn len(&self) -> usize {
+        self.use_s.len()
+    }
+
+    /// True if no blocks are summarized.
+    pub fn is_empty(&self) -> bool {
+        self.use_s.is_empty()
+    }
+
+    fn scan(func: &Function, bi: usize, nregs: usize) -> (RegSet, RegSet) {
         let mut u = RegSet::new(nregs);
         let mut d = RegSet::new(nregs);
-        for instr in &block.instrs {
+        for instr in &func.blocks[bi].instrs {
             instr.visit_uses(|r| {
                 if !d.contains(r) {
                     u.insert(r);
@@ -109,9 +152,97 @@ pub fn liveness(func: &Function, cfg: &Cfg) -> Liveness {
                 d.insert(r);
             }
         }
-        use_s.push(u);
-        def_s.push(d);
+        (u, d)
     }
+
+    /// Rescans every block of `func`.
+    pub fn rescan_all(&mut self, func: &Function) {
+        let nregs = func.next_reg as usize;
+        self.use_s.clear();
+        self.def_s.clear();
+        for bi in 0..func.blocks.len() {
+            let (u, d) = Self::scan(func, bi, nregs);
+            self.use_s.push(u);
+            self.def_s.push(d);
+        }
+    }
+
+    /// Rescans only the given block indices, leaving the rest untouched.
+    /// The block count must match the function (shape changes force a
+    /// [`rescan_all`](Self::rescan_all)).
+    pub fn rescan_blocks(&mut self, func: &Function, blocks: &BTreeSet<usize>) {
+        debug_assert_eq!(self.use_s.len(), func.blocks.len());
+        let nregs = func.next_reg as usize;
+        for &bi in blocks {
+            let (u, d) = Self::scan(func, bi, nregs);
+            self.use_s[bi] = u;
+            self.def_s[bi] = d;
+        }
+    }
+}
+
+/// Computes liveness for `func` with the sparse backward worklist solver.
+pub fn liveness(func: &Function, cfg: &Cfg) -> Liveness {
+    let mut summaries = LiveSummaries::default();
+    summaries.rescan_all(func);
+    liveness_sparse(func, cfg, &summaries, &mut DataflowStats::default())
+}
+
+/// The sparse backward solve over prebuilt summaries. Boundary sets start
+/// empty, so the result is the least fixpoint regardless of how stale the
+/// previous solve was.
+pub fn liveness_sparse(
+    func: &Function,
+    cfg: &Cfg,
+    summaries: &LiveSummaries,
+    stats: &mut DataflowStats,
+) -> Liveness {
+    let n = func.blocks.len();
+    let nregs = func.next_reg as usize;
+    debug_assert_eq!(summaries.len(), n);
+    let mut live_in = vec![RegSet::new(nregs); n];
+    let mut live_out = vec![RegSet::new(nregs); n];
+    let mut wl = BlockWorklist::new(cfg, Direction::Backward);
+    wl.seed_all(cfg, stats);
+    // Scratch for the candidate live-in; swapped into place on change.
+    let mut inn = RegSet::new(nregs);
+    while let Some(b) = wl.pop(stats) {
+        let bi = b.index();
+        stats.transfer_evals += 1;
+        // out = ∪ in[succs]
+        let out = &mut live_out[bi];
+        out.clear();
+        for s in &cfg.succs[bi] {
+            out.union_with(&live_in[s.index()]);
+        }
+        // in = use ∪ (out − def)
+        inn.copy_from(out);
+        for r in summaries.def_s[bi].iter() {
+            inn.remove(r);
+        }
+        inn.union_with(&summaries.use_s[bi]);
+        if inn != live_in[bi] {
+            std::mem::swap(&mut inn, &mut live_in[bi]);
+            for &p in &cfg.preds[bi] {
+                wl.push(p, stats);
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+/// The dense iterate-to-fixpoint solver, kept as the measured baseline and
+/// differential-test oracle for the sparse solver.
+pub fn liveness_dense(func: &Function, cfg: &Cfg) -> Liveness {
+    liveness_dense_stats(func, cfg, &mut DataflowStats::default())
+}
+
+/// [`liveness_dense`] with work counters.
+pub fn liveness_dense_stats(func: &Function, cfg: &Cfg, stats: &mut DataflowStats) -> Liveness {
+    let n = func.blocks.len();
+    let nregs = func.next_reg as usize;
+    let mut summaries = LiveSummaries::default();
+    summaries.rescan_all(func);
     let mut live_in = vec![RegSet::new(nregs); n];
     let mut live_out = vec![RegSet::new(nregs); n];
     let mut changed = true;
@@ -120,6 +251,8 @@ pub fn liveness(func: &Function, cfg: &Cfg) -> Liveness {
         // Reverse postorder backwards approximates postorder.
         for &b in cfg.rpo.iter().rev() {
             let bi = b.index();
+            stats.blocks_visited += 1;
+            stats.transfer_evals += 1;
             let mut out = RegSet::new(nregs);
             for s in &cfg.succs[bi] {
                 out.union_with(&live_in[s.index()]);
@@ -129,10 +262,10 @@ pub fn liveness(func: &Function, cfg: &Cfg) -> Liveness {
             }
             // in = use ∪ (out − def)
             let mut inn = live_out[bi].clone();
-            for r in def_s[bi].iter() {
+            for r in summaries.def_s[bi].iter() {
                 inn.remove(r);
             }
-            inn.union_with(&use_s[bi]);
+            inn.union_with(&summaries.use_s[bi]);
             if inn != live_in[bi] {
                 live_in[bi] = inn;
                 changed = true;
@@ -210,6 +343,91 @@ mod tests {
             "r1 needed next iteration"
         );
         assert!(!live.live_out[e.index()].contains(r0));
+    }
+
+    #[test]
+    fn sparse_agrees_with_dense_on_loops() {
+        let mut b = FunctionBuilder::new("f", 2);
+        let r0 = b.iconst(10);
+        let r1 = b.iconst(1);
+        let l = b.new_block();
+        let e = b.new_block();
+        b.jump(l);
+        b.switch_to(l);
+        b.emit(Instr::Binary {
+            op: BinOp::Sub,
+            dst: r0,
+            lhs: r0,
+            rhs: r1,
+        });
+        b.branch(r0, l, e);
+        b.switch_to(e);
+        b.ret(Some(r0));
+        let mut f = b.finish();
+        f.has_result = true;
+        let cfg = Cfg::build(&f);
+        assert_eq!(liveness(&f, &cfg), liveness_dense(&f, &cfg));
+    }
+
+    #[test]
+    fn sparse_does_less_transfer_work_than_dense_on_a_loop() {
+        // A loop forces the dense solver through an extra confirming sweep
+        // of every block; the sparse solver re-pops only the loop blocks.
+        let mut b = FunctionBuilder::new("f", 0);
+        let r0 = b.iconst(10);
+        let r1 = b.iconst(1);
+        let l = b.new_block();
+        let e = b.new_block();
+        b.jump(l);
+        b.switch_to(l);
+        b.emit(Instr::Binary {
+            op: BinOp::Sub,
+            dst: r0,
+            lhs: r0,
+            rhs: r1,
+        });
+        b.branch(r0, l, e);
+        b.switch_to(e);
+        b.ret(Some(r0));
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let mut summaries = LiveSummaries::default();
+        summaries.rescan_all(&f);
+        let mut sparse = DataflowStats::default();
+        liveness_sparse(&f, &cfg, &summaries, &mut sparse);
+        let mut dense = DataflowStats::default();
+        liveness_dense_stats(&f, &cfg, &mut dense);
+        assert!(
+            sparse.transfer_evals < dense.transfer_evals,
+            "sparse {} >= dense {}",
+            sparse.transfer_evals,
+            dense.transfer_evals
+        );
+    }
+
+    #[test]
+    fn partial_rescan_tracks_an_edit() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let a = b.iconst(1);
+        let c = b.iconst(2);
+        let d = b.binary(BinOp::Add, a, c);
+        b.ret(Some(d));
+        let mut f = b.finish();
+        f.has_result = true;
+        let cfg = Cfg::build(&f);
+        let mut summaries = LiveSummaries::default();
+        summaries.rescan_all(&f);
+        // Edit block 0: append a new register definition and use it in ret.
+        let new = Reg(f.next_reg);
+        f.next_reg += 1;
+        let last = f.blocks[0].instrs.len() - 1;
+        f.blocks[0]
+            .instrs
+            .insert(last, Instr::Copy { dst: new, src: d });
+        f.blocks[0].instrs[last + 1] = Instr::Ret { value: Some(new) };
+        summaries.rescan_blocks(&f, &BTreeSet::from([0]));
+        let got = liveness_sparse(&f, &cfg, &summaries, &mut DataflowStats::default());
+        assert_eq!(got, liveness_dense(&f, &cfg));
     }
 
     #[test]

@@ -74,6 +74,12 @@ pub struct PipelineConfig {
     /// honest uncached baseline for the analysis-build counters. Output is
     /// identical either way.
     pub share_analyses: bool,
+    /// Use the sparse worklist dataflow solvers (the normal mode). `false`
+    /// selects the dense full-resweep solvers everywhere — constprop loses
+    /// its conditional (executable-edge) precision and every fixpoint
+    /// reverts to whole-function sweeps — and exists so the benchmark can
+    /// report the dense baseline's work counters from the same binary.
+    pub sparse_dataflow: bool,
     /// Collect structured optimization remarks and per-pass deltas into a
     /// [`TraceLog`] (see [`run_pipeline_traced`]). Off by default; when
     /// off, every trace hook is a single enum-discriminant test and no
@@ -93,6 +99,7 @@ impl Default for PipelineConfig {
             validate_each_pass: cfg!(debug_assertions),
             threads: None,
             share_analyses: true,
+            sparse_dataflow: true,
             trace: false,
         }
     }
@@ -221,6 +228,13 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Selects sparse worklist (`true`, the default) or dense resweep
+    /// (`false`) dataflow solvers.
+    pub fn sparse_dataflow(mut self, on: bool) -> Self {
+        self.config.sparse_dataflow = on;
+        self
+    }
+
     /// Enables or disables structured trace collection.
     pub fn trace(mut self, on: bool) -> Self {
         self.config.trace = on;
@@ -313,6 +327,12 @@ pub struct PipelineReport {
     /// the cache's effectiveness ledger. A rebuild-per-pass regression
     /// shows up here as a counter jump.
     pub analysis_builds: cfg::BuildCounts,
+    /// Solver work performed by every fixpoint dataflow problem in the
+    /// run (liveness, constprop, loadelim, DCE marking, points-to):
+    /// blocks visited, transfer evaluations, worklist pushes. The sparse
+    /// and dense modes report through the same counters, so the benchmark
+    /// can print both from the same binary.
+    pub dataflow_stats: cfg::DataflowStats,
 }
 
 fn validate_if(module: &Module, enabled: bool, pass: &str) {
@@ -385,6 +405,7 @@ fn stage<R>(
         f(analyses)
     } else {
         let mut throwaway = cfg::FunctionAnalyses::new();
+        throwaway.set_dense_dataflow(analyses.dense_dataflow());
         let r = f(&mut throwaway);
         analyses.absorb_builds(&throwaway);
         r
@@ -569,7 +590,11 @@ pub fn run_pipeline_traced(
     let mut analyses: Vec<cfg::FunctionAnalyses> = module
         .funcs
         .iter()
-        .map(|_| cfg::FunctionAnalyses::new())
+        .map(|_| {
+            let mut fa = cfg::FunctionAnalyses::new();
+            fa.set_dense_dataflow(!config.sparse_dataflow);
+            fa
+        })
         .collect();
     // One trace buffer per function, alive across every round that touches
     // the function, so each function's events arrive in chain order.
@@ -608,13 +633,15 @@ pub fn run_pipeline_traced(
     });
     validate_if(module, v, "normalize");
     let outcome = timed(&mut timings, "analysis", || {
-        analysis::analyze_traced(
+        analysis::analyze_traced_with(
             module,
             config.analysis,
             config.trace.then_some(traces.as_mut_slice()),
+            !config.sparse_dataflow,
         )
     });
     report.analysis_stats = Some(outcome.stats);
+    report.dataflow_stats.add(&outcome.dataflow);
     validate_if(module, v, "analysis");
     // The interprocedural barrier mutates instruction tag sets (no
     // registers, no edges) — except the SSA-roundtrip level, which
@@ -685,6 +712,7 @@ pub fn run_pipeline_traced(
     report.alloc = alloc_total;
     for fa in &analyses {
         report.analysis_builds.add(&fa.builds);
+        report.dataflow_stats.add(&fa.dataflow);
     }
     let commit_elapsed = commit_start.elapsed();
     for (name, d) in pass_totals {

@@ -1,24 +1,40 @@
-//! Global constant propagation.
+//! Global conditional constant propagation.
 //!
 //! A forward data-flow analysis over virtual registers with the classic
 //! three-level lattice (⊤ / constant / ⊥). Definitions whose operands are
 //! all constants are folded to `iconst`/`fconst`, and branches on constant
 //! conditions become jumps (which `clean` then exploits to delete dead
 //! arms).
+//!
+//! The default solver is sparse *conditional* constant propagation in the
+//! style of Wegman/Zadeck: it tracks which blocks are executable, marks
+//! only the taken edge of a branch whose condition has resolved to a
+//! constant, and never lets values flowing along a dead edge pollute a
+//! join. That is strictly stronger than the dense sweep (which treats
+//! every CFG edge as live) — a join reached constantly from only one arm
+//! of a constant branch keeps its constant. The dense sweep survives as
+//! the measured baseline ([`analyze_constants`] with `dense = true`).
 
-use cfg::FunctionAnalyses;
+use cfg::{BlockWorklist, Cfg, DataflowStats, Direction, FunctionAnalyses};
 use ir::{BinOp, CmpOp, Function, Instr, Module, Reg, UnaryOp};
 
+/// One register's abstract value: unknown-as-yet (⊤), a proven constant,
+/// or proven varying (⊥).
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Lat {
+pub enum Lat {
+    /// No executable definition seen yet.
     Top,
+    /// Every executable path assigns this integer.
     Int(i64),
+    /// Every executable path assigns this float.
     Float(f64),
+    /// Conflicting or unfoldable definitions.
     Bottom,
 }
 
 impl Lat {
-    fn meet(self, other: Lat) -> Lat {
+    /// Lattice meet (greatest lower bound).
+    pub fn meet(self, other: Lat) -> Lat {
         match (self, other) {
             (Lat::Top, x) | (x, Lat::Top) => x,
             (a, b) if a == b => a,
@@ -27,9 +43,12 @@ impl Lat {
     }
 }
 
-fn transfer(instr: &Instr, state: &mut [Lat]) {
+/// Computes the lattice value `instr` assigns to its destination under
+/// `state`, without touching `state`. Instructions with no destination
+/// evaluate to ⊥.
+fn eval(instr: &Instr, state: &[Lat]) -> Lat {
     let get = |state: &[Lat], r: Reg| state[r.index()];
-    let val = match instr {
+    match instr {
         Instr::IConst { value, .. } => Lat::Int(*value),
         Instr::FConst { value, .. } => Lat::Float(*value),
         Instr::Copy { src, .. } => get(state, *src),
@@ -72,7 +91,12 @@ fn transfer(instr: &Instr, state: &mut [Lat]) {
             v
         }
         _ => Lat::Bottom,
-    };
+    }
+}
+
+/// Applies `instr` to `state`.
+fn transfer(instr: &Instr, state: &mut [Lat]) {
+    let val = eval(instr, state);
     if let Some(d) = instr.def() {
         state[d.index()] = val;
     }
@@ -114,48 +138,143 @@ fn fold_cmp(op: CmpOp, a: i64, b: i64) -> i64 {
     }) as i64
 }
 
-/// Runs constant propagation over one function. Returns rewrites made.
-pub fn constprop_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
-    let cfg = analyses.cfg(func);
+/// The solved constant lattice: which blocks can execute given the
+/// constants found so far, and each register's value at every block entry.
+/// Exposed so differential tests can compare solver precision directly.
+#[derive(Debug, Clone)]
+pub struct ConstLattice {
+    /// True for blocks reachable along executable edges only. The dense
+    /// solver marks every CFG-reachable block; the sparse solver can prove
+    /// fewer blocks executable.
+    pub executable: Vec<bool>,
+    /// Lattice value per register at each block's entry.
+    pub input: Vec<Vec<Lat>>,
+}
+
+/// Solves the constant lattice for `func`. With `dense = false` this is
+/// sparse conditional constant propagation: only the entry is seeded, a
+/// branch whose condition is a known constant marks only its taken edge,
+/// and blocks are re-enqueued only when their input actually changes. With
+/// `dense = true` it is the classic iterate-to-fixpoint sweep over every
+/// reachable block and edge. Work is counted into `stats` either way.
+pub fn analyze_constants(
+    func: &Function,
+    cfg: &Cfg,
+    dense: bool,
+    stats: &mut DataflowStats,
+) -> ConstLattice {
     let nregs = func.next_reg as usize;
-    let mut input: Vec<Vec<Lat>> = vec![vec![Lat::Top; nregs]; func.blocks.len()];
+    let n = func.blocks.len();
+    let mut input: Vec<Vec<Lat>> = vec![vec![Lat::Top; nregs]; n];
     // Parameters are unknown.
     for p in 0..func.arity {
         input[func.entry.index()][p] = Lat::Bottom;
     }
-    // Iterate to fixpoint in reverse postorder.
-    let mut changed = true;
-    while changed {
-        changed = false;
+    let mut executable = vec![false; n];
+    if dense {
         for &b in &cfg.rpo {
-            let mut state = input[b.index()].clone();
-            for instr in &func.block(b).instrs {
-                transfer(instr, &mut state);
-            }
-            for s in cfg.succs[b.index()].iter() {
-                let succ_in = &mut input[s.index()];
-                for (i, v) in state.iter().enumerate() {
-                    let m = succ_in[i].meet(*v);
-                    if m != succ_in[i] {
-                        succ_in[i] = m;
-                        changed = true;
+            executable[b.index()] = true;
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &cfg.rpo {
+                stats.blocks_visited += 1;
+                let mut state = input[b.index()].clone();
+                for instr in &func.block(b).instrs {
+                    stats.transfer_evals += 1;
+                    transfer(instr, &mut state);
+                }
+                for s in cfg.succs[b.index()].iter() {
+                    let succ_in = &mut input[s.index()];
+                    for (i, v) in state.iter().enumerate() {
+                        let m = succ_in[i].meet(*v);
+                        if m != succ_in[i] {
+                            succ_in[i] = m;
+                            changed = true;
+                        }
                     }
                 }
             }
         }
+        return ConstLattice { executable, input };
     }
-    // Rewrite pass: fold definitions and branches.
+    // Sparse conditional constant propagation. The executable set and the
+    // per-block inputs both grow monotonically, so the worklist terminates
+    // at the least fixpoint over executable edges.
+    executable[func.entry.index()] = true;
+    let mut wl = BlockWorklist::new(cfg, Direction::Forward);
+    wl.push(func.entry, stats);
+    let mut state: Vec<Lat> = Vec::with_capacity(nregs);
+    while let Some(b) = wl.pop(stats) {
+        let bi = b.index();
+        state.clear();
+        state.extend_from_slice(&input[bi]);
+        for instr in &func.block(b).instrs {
+            stats.transfer_evals += 1;
+            transfer(instr, &mut state);
+        }
+        // A branch whose condition has resolved to a constant executes
+        // only its taken edge; everything else keeps all successors.
+        let taken: Option<ir::BlockId> = match func.block(b).instrs.last() {
+            Some(Instr::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            }) => match state[cond.index()] {
+                Lat::Int(c) => Some(if c != 0 { *then_bb } else { *else_bb }),
+                _ => None,
+            },
+            _ => None,
+        };
+        for &s in cfg.succs[bi].iter() {
+            if let Some(t) = taken {
+                if s != t {
+                    continue;
+                }
+            }
+            let si = s.index();
+            let mut changed = !executable[si];
+            executable[si] = true;
+            let succ_in = &mut input[si];
+            for (i, v) in state.iter().enumerate() {
+                let m = succ_in[i].meet(*v);
+                if m != succ_in[i] {
+                    succ_in[i] = m;
+                    changed = true;
+                }
+            }
+            if changed {
+                wl.push(s, stats);
+            }
+        }
+    }
+    ConstLattice { executable, input }
+}
+
+/// Runs constant propagation over one function. Returns rewrites made.
+pub fn constprop_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
+    let dense = analyses.dense_dataflow();
+    let mut stats = DataflowStats::default();
+    let cfg = analyses.cfg(func);
+    let lat = analyze_constants(func, cfg, dense, &mut stats);
+    // Rewrite pass: fold definitions and branches. Blocks the solver
+    // proved non-executable are left untouched — once their incoming
+    // branches fold to jumps, `clean` removes them outright.
     let mut rewrites = 0;
     let mut branch_folds = 0;
+    let mut state: Vec<Lat> = Vec::new();
     for &b in &cfg.rpo {
-        let mut state = input[b.index()].clone();
+        if !lat.executable[b.index()] {
+            continue;
+        }
+        state.clear();
+        state.extend_from_slice(&lat.input[b.index()]);
         for instr in &mut func.block_mut(b).instrs {
             let folded: Option<Instr> = match instr {
                 Instr::Binary { dst, .. } | Instr::Cmp { dst, .. } | Instr::Unary { dst, .. } => {
                     let dst = *dst;
-                    let mut probe = state.clone();
-                    transfer(instr, &mut probe);
-                    match probe[dst.index()] {
+                    match eval(instr, &state) {
                         Lat::Int(v) => Some(Instr::IConst { dst, value: v }),
                         Lat::Float(v) => Some(Instr::FConst { dst, value: v }),
                         _ => None,
@@ -185,6 +304,7 @@ pub fn constprop_function(func: &mut Function, analyses: &mut FunctionAnalyses) 
             }
         }
     }
+    analyses.dataflow.add(&stats);
     // Folding a branch to a jump deletes an edge; constant folds only
     // rewrite operands.
     if branch_folds > 0 {
@@ -326,6 +446,75 @@ B2:
             m.funcs[0].blocks[1].instrs[1],
             Instr::Binary { .. }
         ));
+    }
+
+    #[test]
+    fn dead_branch_arm_does_not_pollute_the_join() {
+        // r0 is the constant 1, so B2 never executes. The dense solver
+        // still meets B2's r1 = 7 into the join and loses the fold; SCCP
+        // keeps r1 = 5 and folds the add.
+        let src = r#"
+func @main(0) result {
+B0:
+  r0 = iconst 1
+  branch r0, B1, B2
+B1:
+  r1 = iconst 5
+  jump B3
+B2:
+  r1 = iconst 7
+  jump B3
+B3:
+  r2 = add r1, r1
+  ret r2
+}
+"#;
+        let mut m = ir::parse_module(src).unwrap();
+        let n = constprop(&mut m);
+        assert!(
+            matches!(
+                m.funcs[0].blocks[3].instrs[0],
+                Instr::IConst { value: 10, .. }
+            ),
+            "join fold lost: {:?}",
+            m.funcs[0].blocks[3].instrs[0]
+        );
+        assert!(matches!(
+            m.funcs[0].blocks[0].instrs[1],
+            Instr::Jump { target } if target == ir::BlockId(1)
+        ));
+        assert!(n >= 2);
+        ir::validate(&m).unwrap();
+    }
+
+    #[test]
+    fn sparse_solver_skips_dead_work_the_dense_one_does() {
+        let src = r#"
+func @main(0) result {
+B0:
+  r0 = iconst 1
+  branch r0, B1, B2
+B1:
+  r1 = iconst 5
+  jump B3
+B2:
+  r1 = iconst 7
+  jump B3
+B3:
+  r2 = add r1, r1
+  ret r2
+}
+"#;
+        let m = ir::parse_module(src).unwrap();
+        let f = &m.funcs[0];
+        let cfg = Cfg::build(f);
+        let mut sparse = DataflowStats::default();
+        let lat = analyze_constants(f, &cfg, false, &mut sparse);
+        let mut dense = DataflowStats::default();
+        let dense_lat = analyze_constants(f, &cfg, true, &mut dense);
+        assert!(!lat.executable[2], "B2 is dead under SCCP");
+        assert!(dense_lat.executable[2], "dense treats every edge as live");
+        assert!(sparse.transfer_evals < dense.transfer_evals);
     }
 
     #[test]

@@ -5,9 +5,98 @@
 //! instruction whose result is transitively unused is deleted. Loads count
 //! as pure — deleting a dead load is precisely the payoff of register
 //! promotion's rewrites.
+//!
+//! Liveness propagates sparsely along a def→uses map: when a register
+//! first becomes live, the operands of its pure definitions are marked and
+//! queued, so each definition's use list is walked once instead of once
+//! per dense fixpoint sweep. The old full-resweep propagation survives as
+//! the benchmark's dense baseline.
 
-use cfg::FunctionAnalyses;
-use ir::{Function, Module};
+use cfg::{DataflowStats, FunctionAnalyses};
+use ir::{Function, Module, Reg};
+
+/// Marks live registers by dense full-function resweeps (the measured
+/// baseline).
+fn mark_dense(func: &Function, live: &mut [bool], stats: &mut DataflowStats) {
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for block in &func.blocks {
+            stats.blocks_visited += 1;
+            for instr in &block.instrs {
+                if let Some(d) = instr.def() {
+                    stats.transfer_evals += 1;
+                    if live[d.index()] && !instr.has_side_effects() {
+                        instr.visit_uses(|r| {
+                            if !live[r.index()] {
+                                live[r.index()] = true;
+                                changed = true;
+                            }
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Marks live registers sparsely: a CSR def→uses map (for each register,
+/// the operands of all its pure definitions) plus a stack of registers
+/// whose liveness is new.
+fn mark_sparse(func: &Function, live: &mut [bool], stats: &mut DataflowStats) {
+    let nregs = func.next_reg as usize;
+    // Count each pure definition's operands against its destination.
+    let mut counts = vec![0usize; nregs + 1];
+    for block in &func.blocks {
+        for instr in &block.instrs {
+            if let Some(d) = instr.def() {
+                if !instr.has_side_effects() {
+                    instr.visit_uses(|_| counts[d.index()] += 1);
+                }
+            }
+        }
+    }
+    // Prefix-sum into CSR offsets.
+    let mut offsets = vec![0usize; nregs + 1];
+    let mut total = 0;
+    for r in 0..nregs {
+        offsets[r] = total;
+        total += counts[r];
+    }
+    offsets[nregs] = total;
+    let mut fill = offsets.clone();
+    let mut operands = vec![Reg(0); total];
+    for block in &func.blocks {
+        for instr in &block.instrs {
+            if let Some(d) = instr.def() {
+                if !instr.has_side_effects() {
+                    instr.visit_uses(|r| {
+                        operands[fill[d.index()]] = r;
+                        fill[d.index()] += 1;
+                    });
+                }
+            }
+        }
+    }
+    // Worklist of registers that just became live.
+    let mut wl: Vec<Reg> = live
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| **l)
+        .map(|(r, _)| Reg(r as u32))
+        .collect();
+    stats.worklist_pushes += wl.len() as u64;
+    while let Some(r) = wl.pop() {
+        stats.transfer_evals += 1;
+        for &u in &operands[offsets[r.index()]..offsets[r.index() + 1]] {
+            if !live[u.index()] {
+                live[u.index()] = true;
+                stats.worklist_pushes += 1;
+                wl.push(u);
+            }
+        }
+    }
+}
 
 /// Runs DCE on one function. Returns the number of instructions removed.
 pub fn dce_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
@@ -21,25 +110,14 @@ pub fn dce_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usi
             }
         }
     }
-    // Propagate: a live def makes its operands live. Iterate to fixpoint.
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for block in &func.blocks {
-            for instr in &block.instrs {
-                if let Some(d) = instr.def() {
-                    if live[d.index()] && !instr.has_side_effects() {
-                        instr.visit_uses(|r| {
-                            if !live[r.index()] {
-                                live[r.index()] = true;
-                                changed = true;
-                            }
-                        });
-                    }
-                }
-            }
-        }
+    // Propagate: a live def makes its operands live.
+    let mut stats = DataflowStats::default();
+    if analyses.dense_dataflow() {
+        mark_dense(func, &mut live, &mut stats);
+    } else {
+        mark_sparse(func, &mut live, &mut stats);
     }
+    analyses.dataflow.add(&stats);
     // Sweep.
     let mut removed = 0;
     for block in &mut func.blocks {

@@ -41,7 +41,9 @@ mod lvn;
 mod strengthen;
 
 pub use clean::{clean, clean_function, clean_function_traced};
-pub use constprop::{constprop, constprop_function, constprop_function_traced};
+pub use constprop::{
+    analyze_constants, constprop, constprop_function, constprop_function_traced, ConstLattice, Lat,
+};
 pub use dce::{dce, dce_function, dce_function_traced};
 pub use licm::{licm, licm_function, licm_function_traced};
 pub use loadelim::{loadelim, loadelim_function, loadelim_function_traced};

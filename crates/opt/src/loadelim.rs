@@ -8,7 +8,7 @@
 //! each tag, which register is known to hold the tag's current value. A
 //! later `sload` of an available tag becomes a register copy.
 
-use cfg::FunctionAnalyses;
+use cfg::{BlockWorklist, DataflowStats, Direction, FunctionAnalyses};
 use ir::{Function, Instr, Module, Reg, TagId, TagSet};
 use std::collections::HashMap;
 
@@ -16,15 +16,20 @@ use std::collections::HashMap;
 /// (unvisited).
 type Avail = Option<HashMap<TagId, Reg>>;
 
-fn meet(a: &Avail, b: &Avail) -> Avail {
-    match (a, b) {
-        (None, x) | (x, None) => x.clone(),
-        (Some(ma), Some(mb)) => Some(
-            ma.iter()
-                .filter(|(t, r)| mb.get(t) == Some(r))
-                .map(|(t, r)| (*t, *r))
-                .collect(),
-        ),
+/// Meets `out` into a successor's input fact in place; returns true if the
+/// input changed. ⊤ adopts `out` wholesale; otherwise the intersection
+/// only ever shrinks, so retaining agreeing entries suffices.
+fn meet_into(input: &mut Avail, out: &HashMap<TagId, Reg>) -> bool {
+    match input {
+        None => {
+            *input = Some(out.clone());
+            true
+        }
+        Some(m) => {
+            let before = m.len();
+            m.retain(|t, r| out.get(t) == Some(r));
+            m.len() != before
+        }
     }
 }
 
@@ -77,26 +82,47 @@ fn transfer(instr: &mut Instr, facts: &mut HashMap<TagId, Reg>, rewrite: bool) -
 /// Runs redundant-load elimination on one function. Returns loads
 /// rewritten to copies.
 pub fn loadelim_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
+    let dense = analyses.dense_dataflow();
+    let mut stats = DataflowStats::default();
     let cfg = analyses.cfg(func);
     let mut input: Vec<Avail> = vec![None; func.blocks.len()];
     input[func.entry.index()] = Some(HashMap::new());
-    // Fixpoint.
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for &b in &cfg.rpo {
-            let Some(mut facts) = input[b.index()].clone() else {
-                continue;
-            };
+    if dense {
+        // Dense fixpoint: resweep every visited block until stable.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &cfg.rpo {
+                let Some(mut facts) = input[b.index()].clone() else {
+                    continue;
+                };
+                stats.blocks_visited += 1;
+                for instr in &mut func.block_mut(b).instrs {
+                    stats.transfer_evals += 1;
+                    transfer(instr, &mut facts, false);
+                }
+                for s in &cfg.succs[b.index()] {
+                    if meet_into(&mut input[s.index()], &facts) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    } else {
+        // Sparse worklist: a block re-runs only when its input shrank.
+        let mut wl = BlockWorklist::new(cfg, Direction::Forward);
+        wl.push(func.entry, &mut stats);
+        let mut facts: HashMap<TagId, Reg> = HashMap::new();
+        while let Some(b) = wl.pop(&mut stats) {
+            facts.clear();
+            facts.extend(input[b.index()].as_ref().expect("queued implies visited"));
             for instr in &mut func.block_mut(b).instrs {
+                stats.transfer_evals += 1;
                 transfer(instr, &mut facts, false);
             }
-            let out = Some(facts);
-            for s in &cfg.succs[b.index()] {
-                let merged = meet(&input[s.index()], &out);
-                if merged != input[s.index()] {
-                    input[s.index()] = merged;
-                    changed = true;
+            for &s in &cfg.succs[b.index()] {
+                if meet_into(&mut input[s.index()], &facts) {
+                    wl.push(s, &mut stats);
                 }
             }
         }
@@ -111,6 +137,7 @@ pub fn loadelim_function(func: &mut Function, analyses: &mut FunctionAnalyses) -
             rewrites += transfer(instr, &mut facts, true);
         }
     }
+    analyses.dataflow.add(&stats);
     // Rewrites turn loads into copies in place: operand-only.
     if rewrites > 0 {
         analyses.note_body_changed();

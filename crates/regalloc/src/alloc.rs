@@ -26,7 +26,7 @@
 
 use crate::matrix::BitMatrix;
 use cfg::{for_each_instr_backwards, Cfg, FunctionAnalyses, Liveness, RegSet};
-use ir::{FuncId, Function, Instr, Module, Reg, TagId, TagKind, TagTable};
+use ir::{BlockId, FuncId, Function, Instr, Module, Reg, TagId, TagKind, TagTable};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Allocation parameters.
@@ -170,8 +170,10 @@ fn spill_costs(func: &Function, analyses: &mut FunctionAnalyses) -> Vec<f64> {
 /// One conservative-coalescing sweep over a prebuilt interference graph
 /// (the caller provides it out of its graph cache, so the sweep that
 /// reaches the fixpoint shares its build with the simplify/select phase
-/// that follows). Returns copies eliminated.
-fn coalesce_once(func: &mut Function, k: usize, g: &BitMatrix) -> usize {
+/// that follows). Returns copies eliminated; the blocks whose instructions
+/// actually changed are appended to `dirty` so the caller can scope the
+/// liveness invalidation.
+fn coalesce_once(func: &mut Function, k: usize, g: &BitMatrix, dirty: &mut Vec<BlockId>) -> usize {
     let nregs = func.next_reg as usize;
     let precolored = func.arity as u32;
     // Union-find over registers.
@@ -237,16 +239,31 @@ fn coalesce_once(func: &mut Function, k: usize, g: &BitMatrix) -> usize {
         return 0;
     }
     // Rewrite registers to representatives and drop identity copies.
-    for block in &mut func.blocks {
+    for (bi, block) in func.blocks.iter_mut().enumerate() {
+        let mut touched = false;
         for instr in &mut block.instrs {
             if let Some(d) = instr.def_mut() {
-                *d = Reg(find(&mut parent, d.0));
+                let rep = Reg(find(&mut parent, d.0));
+                if *d != rep {
+                    *d = rep;
+                    touched = true;
+                }
             }
-            instr.visit_uses_mut(|r| *r = Reg(find(&mut parent, r.0)));
+            instr.visit_uses_mut(|r| {
+                let rep = Reg(find(&mut parent, r.0));
+                if *r != rep {
+                    *r = rep;
+                    touched = true;
+                }
+            });
         }
+        let before = block.instrs.len();
         block
             .instrs
             .retain(|i| !matches!(i, Instr::Copy { dst, src } if dst == src));
+        if touched || block.instrs.len() != before {
+            dirty.push(BlockId(bi as u32));
+        }
     }
     merged
 }
@@ -260,6 +277,7 @@ fn try_rematerialize(
     func: &mut Function,
     victims: &mut BTreeSet<u32>,
     temps: &mut BTreeSet<u32>,
+    dirty: &mut BTreeSet<u32>,
 ) -> usize {
     // Map victim -> its defining instruction if it has exactly one def and
     // that def is constant-like.
@@ -314,6 +332,7 @@ fn try_rematerialize(
                 continue;
             }
             let mut remap: BTreeMap<u32, Reg> = BTreeMap::new();
+            dirty.insert(bi as u32);
             for &v in &used {
                 let tmp = Reg(func.next_reg);
                 func.next_reg += 1;
@@ -354,6 +373,7 @@ fn insert_spill_code(
     victims: &BTreeSet<u32>,
     spill_base: usize,
     pending: &mut Vec<PendingSpill>,
+    dirty: &mut BTreeSet<u32>,
 ) -> (usize, usize, BTreeSet<u32>) {
     // One spill tag per victim, named sequentially over all spill tags this
     // function has ever received (pre-existing `spill_base` plus the ones
@@ -381,6 +401,7 @@ fn insert_spill_code(
                 },
             );
             stores += 1;
+            dirty.insert(entry.0);
         }
     }
     for bi in 0..func.blocks.len() {
@@ -405,6 +426,7 @@ fn insert_spill_code(
                 i += 1;
                 continue;
             }
+            dirty.insert(bi as u32);
             // Loads before: one fresh temp per distinct spilled use.
             let mut remap: BTreeMap<u32, Reg> = BTreeMap::new();
             for &v in &used {
@@ -544,18 +566,25 @@ pub fn allocate_function_core_traced(
             let arity = func.arity as u32;
             if arity > 0 {
                 let shadows: Vec<Reg> = (0..arity).map(|_| func.new_reg()).collect();
-                for block in &mut func.blocks {
+                let mut dirty: Vec<BlockId> = Vec::new();
+                for (bi, block) in func.blocks.iter_mut().enumerate() {
+                    let mut touched = false;
                     for instr in &mut block.instrs {
                         if let Some(d) = instr.def_mut() {
                             if d.0 < arity {
                                 *d = shadows[d.0 as usize];
+                                touched = true;
                             }
                         }
                         instr.visit_uses_mut(|r| {
                             if r.0 < arity {
                                 *r = shadows[r.0 as usize];
+                                touched = true;
                             }
                         });
+                    }
+                    if touched {
+                        dirty.push(BlockId(bi as u32));
                     }
                 }
                 let entry = func.entry;
@@ -568,7 +597,8 @@ pub fn allocate_function_core_traced(
                         },
                     );
                 }
-                analyses.note_body_changed();
+                dirty.push(entry);
+                analyses.note_body_changed_blocks(dirty);
             }
         }
         if std::env::var("REGALLOC_DEBUG").is_ok() {
@@ -590,14 +620,15 @@ pub fn allocate_function_core_traced(
         // ...), so once spill code exists, coalescing is frozen: the
         // classic iterated-coalescing discipline.
         if report.spilled == 0 {
+            let mut dirty: Vec<BlockId> = Vec::new();
             loop {
                 ensure_graph(&mut graph, func, analyses);
-                let c = coalesce_once(func, k, &graph.as_ref().expect("ensured").1);
+                let c = coalesce_once(func, k, &graph.as_ref().expect("ensured").1, &mut dirty);
                 report.coalesced += c;
                 if c == 0 {
                     break;
                 }
-                analyses.note_body_changed();
+                analyses.note_body_changed_blocks(dirty.drain(..));
             }
         }
         // The final coalescing sweep merged nothing, so its graph describes
@@ -722,7 +753,8 @@ pub fn allocate_function_core_traced(
         }
         let mut spilled = spilled;
         let mut temps = BTreeSet::new();
-        report.rematerialized += try_rematerialize(func, &mut spilled, &mut temps);
+        let mut dirty: BTreeSet<u32> = BTreeSet::new();
+        report.rematerialized += try_rematerialize(func, &mut spilled, &mut temps, &mut dirty);
         report.spilled += spilled.len();
         if tr.enabled() {
             for &r in &spilled {
@@ -735,12 +767,13 @@ pub fn allocate_function_core_traced(
                 );
             }
         }
-        let (l, s, spill_temps) = insert_spill_code(func, &spilled, spill_base, pending);
+        let (l, s, spill_temps) =
+            insert_spill_code(func, &spilled, spill_base, pending, &mut dirty);
         temps.extend(spill_temps);
         no_spill.extend(temps);
         report.spill_loads += l;
         report.spill_stores += s;
-        analyses.note_body_changed();
+        analyses.note_body_changed_blocks(dirty.into_iter().map(BlockId));
     }
 }
 
