@@ -124,11 +124,16 @@ pub fn tarjan_sccs(graph: &CallGraph) -> Sccs {
         Enter,
         Resume(usize),
     }
+    // One child buffer for every visit and one call stack for every root:
+    // refilled per use, allocated once.
+    let mut children: Vec<usize> = Vec::new();
+    let mut call_stack: Vec<(usize, FrameState)> = Vec::new();
     for start in 0..n {
         if index[start] != usize::MAX {
             continue;
         }
-        let mut call_stack: Vec<(usize, FrameState)> = vec![(start, FrameState::Enter)];
+        call_stack.clear();
+        call_stack.push((start, FrameState::Enter));
         while let Some((v, state)) = call_stack.pop() {
             let mut child_pos = match state {
                 FrameState::Enter => {
@@ -150,7 +155,8 @@ pub fn tarjan_sccs(graph: &CallGraph) -> Sccs {
                     pos
                 }
             };
-            let children: Vec<usize> = graph.callees[v].iter().map(|c| c.index()).collect();
+            children.clear();
+            children.extend(graph.callees[v].iter().map(|c| c.index()));
             let mut descended = false;
             while child_pos < children.len() {
                 let w = children[child_pos];

@@ -19,7 +19,7 @@
 //! Usage: `cargo run --release --bin bench_pipeline [output-path]
 //!         [--max-2t-slowdown X] [--max-analysis-builds N]
 //!         [--max-trace-overhead X] [--max-transfer-visits N]
-//!         [--force-sweep]`
+//!         [--max-allocs N] [--no-scratch] [--force-sweep]`
 //!
 //! With `--max-2t-slowdown X` the process exits nonzero if the 2-worker
 //! total is more than `X` times the sequential total — the CI regression
@@ -44,6 +44,19 @@
 //! dense resweeps. The JSON records the sparse counters next to a dense
 //! baseline measured with `sparse_dataflow: false`.
 //!
+//! This binary installs [`trace::CountingAlloc`] as its global allocator,
+//! so every `PassTiming` row carries real allocator-traffic numbers and
+//! the JSON gains two suite-level columns: `alloc_stats` — allocator
+//! calls/bytes of a steady-state sequential compile (second compile of
+//! each program on a warm pool, scratch arenas reused) — and
+//! `alloc_stats_fresh` — the same compile with `reuse_scratch: false`,
+//! i.e. a cold arena per function, the allocation behaviour the arenas
+//! replaced. With `--max-allocs N` the process exits nonzero if the
+//! steady-state suite total exceeds `N` allocator calls — the CI gate
+//! that keeps the hot loop allocation-free. `--no-scratch` flips every
+//! *timed* run to `reuse_scratch: false` for A/B timing experiments (the
+//! two alloc columns are always measured in their own modes regardless).
+//!
 //! The suite is also run sequentially with structured tracing enabled
 //! (`PipelineConfig::trace`). With `--max-trace-overhead X` the process
 //! exits nonzero if the traced total exceeds `X` times the untraced total
@@ -57,6 +70,12 @@
 use bench_harness::timing::measure;
 use driver::{run_pipeline_in, run_pipeline_traced, PipelineConfig, WorkerPool};
 use std::fmt::Write as _;
+use trace::AllocStats;
+
+/// Count every allocation the benchmark makes, so the per-pass and
+/// steady-state columns below are measured, not estimated.
+#[global_allocator]
+static ALLOC: trace::CountingAlloc = trace::CountingAlloc;
 
 const ITERS: usize = 5;
 /// Iterations for the tracing-off/tracing-on pair. The two runs differ
@@ -77,11 +96,13 @@ struct Run {
 struct ProgramResult {
     name: String,
     runs: Vec<Run>,
-    /// `(label, milliseconds, cpu_summed)` per pass. Fused-chain passes
-    /// report per-function time summed across workers (CPU time); those
-    /// rows are emitted under a `cpu_ms` key instead of `ms` so they are
-    /// never compared against barrier-to-barrier wall times.
-    passes: Vec<(String, f64, bool)>,
+    /// `(label, milliseconds, cpu_summed, allocs)` per pass. Fused-chain
+    /// passes report per-function time summed across workers (CPU time);
+    /// those rows are emitted under a `cpu_ms` key instead of `ms` so they
+    /// are never compared against barrier-to-barrier wall times. `allocs`
+    /// is the pass's allocator traffic from the same (sequential,
+    /// steady-state) reference run.
+    passes: Vec<(&'static str, f64, bool, AllocStats)>,
     /// Analysis builds with the shared cache (the shipping configuration).
     builds_cached: cfg::BuildCounts,
     /// Analysis builds with `share_analyses: false` — every stage gets a
@@ -93,6 +114,12 @@ struct ProgramResult {
     trace_off_ms: f64,
     /// Sequential run time with structured tracing enabled.
     trace_on_ms: f64,
+    /// Allocator traffic of a steady-state sequential compile: the second
+    /// compile of this program on a warm pool, scratch arenas reused.
+    alloc_stats: AllocStats,
+    /// The same compile with `reuse_scratch: false` — a cold arena per
+    /// function. The honest "before" number for the arenas.
+    alloc_stats_fresh: AllocStats,
     /// Dataflow solver work with the sparse worklist solvers (the
     /// shipping configuration).
     dataflow: cfg::DataflowStats,
@@ -106,12 +133,20 @@ fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
-fn config(threads: usize) -> PipelineConfig {
+/// `reuse_scratch` is threaded from `--no-scratch` so the *timed* sweep
+/// can be A/B'd; the alloc-stats measurements below always pin their own
+/// mode.
+fn config(threads: usize, reuse_scratch: bool) -> PipelineConfig {
     PipelineConfig {
         threads: Some(threads),
         validate_each_pass: false,
+        reuse_scratch,
         ..Default::default()
     }
+}
+
+fn alloc_json(a: &AllocStats) -> String {
+    format!("{{ \"count\": {}, \"bytes\": {} }}", a.count, a.bytes)
 }
 
 fn dataflow_json(s: &cfg::DataflowStats) -> String {
@@ -144,6 +179,8 @@ fn main() {
     let mut max_analysis_builds: Option<u64> = None;
     let mut max_trace_overhead: Option<f64> = None;
     let mut max_transfer_visits: Option<u64> = None;
+    let mut max_allocs: Option<u64> = None;
+    let mut reuse_scratch = true;
     let mut force_sweep = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -159,6 +196,11 @@ fn main() {
         } else if a == "--max-transfer-visits" {
             let v = args.next().expect("--max-transfer-visits needs a value");
             max_transfer_visits = Some(v.parse().expect("--max-transfer-visits value"));
+        } else if a == "--max-allocs" {
+            let v = args.next().expect("--max-allocs needs a value");
+            max_allocs = Some(v.parse().expect("--max-allocs value"));
+        } else if a == "--no-scratch" {
+            reuse_scratch = false;
         } else if a == "--force-sweep" {
             force_sweep = true;
         } else {
@@ -194,7 +236,7 @@ fn main() {
         let mut builds_cached = cfg::BuildCounts::default();
         let mut dataflow = cfg::DataflowStats::default();
         for (&threads, pool) in sweep.iter().zip(&pools) {
-            let cfg = config(threads);
+            let cfg = config(threads, reuse_scratch);
             let timing = measure(ITERS, || {
                 let mut m = module.clone();
                 run_pipeline_in(&mut m, &cfg, pool);
@@ -213,7 +255,7 @@ fn main() {
                         .timings
                         .passes
                         .iter()
-                        .map(|p| (p.name.clone(), ms(p.elapsed), p.cpu_summed))
+                        .map(|p| (p.name, ms(p.elapsed), p.cpu_summed, p.allocs))
                         .collect();
                 }
                 Some(r) => assert_eq!(
@@ -234,7 +276,7 @@ fn main() {
             let mut m = module.clone();
             let cfg = PipelineConfig {
                 share_analyses: false,
-                ..config(1)
+                ..config(1, reuse_scratch)
             };
             let report = run_pipeline_in(&mut m, &cfg, &pools[0]);
             assert_eq!(
@@ -244,6 +286,38 @@ fn main() {
                 b.name
             );
             report.analysis_builds
+        };
+        // Steady-state allocator traffic: warm this program's arenas (and
+        // every other per-run buffer) with one untimed compile, then count
+        // a second compile. The snapshots bracket only the pipeline run —
+        // the input module clone is built before the first read.
+        let alloc_stats = {
+            let cfg = config(1, true);
+            let mut m = module.clone();
+            run_pipeline_in(&mut m, &cfg, &pools[0]);
+            let mut m = module.clone();
+            let before = AllocStats::now();
+            run_pipeline_in(&mut m, &cfg, &pools[0]);
+            AllocStats::now().since(&before)
+        };
+        // The fresh-arena baseline: identical steady-state protocol, but
+        // every function pays the cold-arena allocation cost. Output must
+        // not depend on the scratch mode.
+        let alloc_stats_fresh = {
+            let cfg = config(1, false);
+            let mut m = module.clone();
+            run_pipeline_in(&mut m, &cfg, &pools[0]);
+            let mut m = module.clone();
+            let before = AllocStats::now();
+            run_pipeline_in(&mut m, &cfg, &pools[0]);
+            let stats = AllocStats::now().since(&before);
+            assert_eq!(
+                reference_il.as_deref(),
+                Some(m.to_string().as_str()),
+                "{}: reuse_scratch=false changed the output",
+                b.name
+            );
+            stats
         };
         // Dense-solver baseline: the same pipeline with the full-resweep
         // fixpoints the worklists replaced. Only the work counters are
@@ -255,7 +329,7 @@ fn main() {
             let mut m = module.clone();
             let cfg = PipelineConfig {
                 sparse_dataflow: false,
-                ..config(1)
+                ..config(1, reuse_scratch)
             };
             run_pipeline_in(&mut m, &cfg, &pools[0]).dataflow_stats
         };
@@ -264,11 +338,11 @@ fn main() {
         // differs only in `trace`.
         let trace_cfg = PipelineConfig {
             trace: true,
-            ..config(1)
+            ..config(1, reuse_scratch)
         };
         let trace_off_timing = measure(TRACE_ITERS, || {
             let mut m = module.clone();
-            run_pipeline_in(&mut m, &config(1), &pools[0]);
+            run_pipeline_in(&mut m, &config(1, reuse_scratch), &pools[0]);
         });
         let trace_timing = measure(TRACE_ITERS, || {
             let mut m = module.clone();
@@ -296,6 +370,8 @@ fn main() {
             builds_uncached,
             trace_off_ms: ms(trace_off_timing.min),
             trace_on_ms: ms(trace_timing.min),
+            alloc_stats,
+            alloc_stats_fresh,
             dataflow,
             dataflow_dense,
         });
@@ -314,11 +390,15 @@ fn main() {
     let mut total_builds_uncached = cfg::BuildCounts::default();
     let mut total_dataflow = cfg::DataflowStats::default();
     let mut total_dataflow_dense = cfg::DataflowStats::default();
+    let mut total_allocs = AllocStats::default();
+    let mut total_allocs_fresh = AllocStats::default();
     for r in &results {
         total_builds_cached.add(&r.builds_cached);
         total_builds_uncached.add(&r.builds_uncached);
         total_dataflow.add(&r.dataflow);
         total_dataflow_dense.add(&r.dataflow_dense);
+        total_allocs.merge(&r.alloc_stats);
+        total_allocs_fresh.merge(&r.alloc_stats_fresh);
     }
 
     // Hand-rolled JSON: names are suite identifiers and pass labels, none
@@ -363,6 +443,12 @@ fn main() {
         "  \"dataflow_stats_dense\": {},",
         dataflow_json(&total_dataflow_dense)
     );
+    let _ = writeln!(json, "  \"alloc_stats\": {},", alloc_json(&total_allocs));
+    let _ = writeln!(
+        json,
+        "  \"alloc_stats_fresh\": {},",
+        alloc_json(&total_allocs_fresh)
+    );
     json.push_str("  \"totals\": [\n");
     for (i, (&t, total)) in sweep.iter().zip(&totals).enumerate() {
         let comma = if i + 1 < sweep.len() { "," } else { "" };
@@ -398,6 +484,16 @@ fn main() {
             "      \"dataflow_stats_dense\": {},",
             dataflow_json(&r.dataflow_dense)
         );
+        let _ = writeln!(
+            json,
+            "      \"alloc_stats\": {},",
+            alloc_json(&r.alloc_stats)
+        );
+        let _ = writeln!(
+            json,
+            "      \"alloc_stats_fresh\": {},",
+            alloc_json(&r.alloc_stats_fresh)
+        );
         json.push_str("      \"runs\": [\n");
         for (j, run) in r.runs.iter().enumerate() {
             let comma = if j + 1 < r.runs.len() { "," } else { "" };
@@ -412,7 +508,7 @@ fn main() {
         }
         json.push_str("      ],\n");
         json.push_str("      \"passes\": [\n");
-        for (j, (name, pass_ms, cpu_summed)) in r.passes.iter().enumerate() {
+        for (j, (name, pass_ms, cpu_summed, allocs)) in r.passes.iter().enumerate() {
             let comma = if j + 1 < r.passes.len() { "," } else { "" };
             // Fused passes get a distinct key: a consumer looking for
             // "ms" fails loudly on them instead of silently comparing
@@ -420,7 +516,8 @@ fn main() {
             let key = if *cpu_summed { "cpu_ms" } else { "ms" };
             let _ = writeln!(
                 json,
-                "        {{ \"name\": \"{name}\", \"{key}\": {pass_ms:.3} }}{comma}"
+                "        {{ \"name\": \"{name}\", \"{key}\": {pass_ms:.3},                  \"allocs\": {}, \"alloc_bytes\": {} }}{comma}",
+                allocs.count, allocs.bytes
             );
         }
         json.push_str("      ]\n");
@@ -451,6 +548,14 @@ fn main() {
         total_dataflow.transfer_evals,
         total_dataflow_dense.transfer_evals,
         total_dataflow_dense.transfer_evals as f64 / total_dataflow.transfer_evals.max(1) as f64
+    );
+    println!(
+        "  steady-state allocs: {} reused-scratch vs {} fresh ({:.2}x fewer), {} KiB vs {} KiB",
+        total_allocs.count,
+        total_allocs_fresh.count,
+        total_allocs_fresh.count as f64 / total_allocs.count.max(1) as f64,
+        total_allocs.bytes / 1024,
+        total_allocs_fresh.bytes / 1024
     );
     println!(
         "  tracing: {total_trace_off:.1} ms off vs {total_trace_on:.1} ms on \
@@ -495,6 +600,18 @@ fn main() {
             failed = true;
         } else {
             println!("  gate: {got} transfer evaluations within limit {limit}");
+        }
+    }
+    if let Some(limit) = max_allocs {
+        let got = total_allocs.count;
+        if got > limit {
+            eprintln!(
+                "FAIL: {got} steady-state allocations across the suite \
+                 (limit {limit}) — the zero-allocation hot loop regressed"
+            );
+            failed = true;
+        } else {
+            println!("  gate: {got} steady-state allocations within limit {limit}");
         }
     }
     if let Some(limit) = max_trace_overhead {

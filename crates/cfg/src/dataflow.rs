@@ -83,7 +83,23 @@ pub struct BlockWorklist {
     prio: Vec<usize>,
 }
 
+impl Default for BlockWorklist {
+    fn default() -> Self {
+        BlockWorklist {
+            heap: BinaryHeap::new(),
+            queued: Vec::new(),
+            prio: Vec::new(),
+        }
+    }
+}
+
 impl BlockWorklist {
+    /// An unordered, capacity-less worklist; call [`BlockWorklist::reset`]
+    /// before use. This is what a long-lived scratch arena stores.
+    pub fn empty() -> BlockWorklist {
+        BlockWorklist::default()
+    }
+
     /// An empty worklist ordered for `dir` over `cfg`.
     pub fn new(cfg: &Cfg, dir: Direction) -> BlockWorklist {
         let n = cfg.len();
@@ -99,6 +115,27 @@ impl BlockWorklist {
             heap: BinaryHeap::with_capacity(cfg.rpo.len()),
             queued: vec![false; n],
             prio,
+        }
+    }
+
+    /// Re-targets an existing (drained) worklist at `cfg` for `dir`,
+    /// reusing the heap, queued bitmap, and priority table allocations.
+    /// Equivalent to `*self = BlockWorklist::new(cfg, dir)` without the
+    /// three frees/allocs — the scratch-arena path for solvers that run
+    /// once per function per pass.
+    pub fn reset(&mut self, cfg: &Cfg, dir: Direction) {
+        let n = cfg.len();
+        self.heap.clear();
+        self.queued.clear();
+        self.queued.resize(n, false);
+        self.prio.clear();
+        self.prio.resize(n, usize::MAX);
+        let last = cfg.rpo.len().saturating_sub(1);
+        for (i, b) in cfg.rpo.iter().enumerate() {
+            self.prio[b.index()] = match dir {
+                Direction::Forward => i,
+                Direction::Backward => last - i,
+            };
         }
     }
 
@@ -197,6 +234,29 @@ mod tests {
         assert_eq!(stats.worklist_pushes, 1, "dup and unreachable rejected");
         assert_eq!(wl.pop(&mut stats), Some(cfg.entry));
         assert_eq!(wl.pop(&mut stats), None);
+    }
+
+    #[test]
+    fn reset_reuses_like_new() {
+        let cfg = diamond_cfg();
+        let mut stats = DataflowStats::default();
+        let mut wl = BlockWorklist::empty();
+        for dir in [Direction::Forward, Direction::Backward] {
+            wl.reset(&cfg, dir);
+            wl.seed_all(&cfg, &mut stats);
+            let mut order = Vec::new();
+            while let Some(b) = wl.pop(&mut stats) {
+                order.push(b);
+            }
+            let mut fresh = BlockWorklist::new(&cfg, dir);
+            let mut s2 = DataflowStats::default();
+            fresh.seed_all(&cfg, &mut s2);
+            let mut expect = Vec::new();
+            while let Some(b) = fresh.pop(&mut s2) {
+                expect.push(b);
+            }
+            assert_eq!(order, expect);
+        }
     }
 
     #[test]

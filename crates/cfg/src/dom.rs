@@ -9,7 +9,7 @@ use crate::graph::Cfg;
 use ir::BlockId;
 
 /// The immediate-dominator tree of a CFG.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct DomTree {
     /// Immediate dominator per block; `None` for the entry and for
     /// unreachable blocks.
@@ -18,12 +18,44 @@ pub struct DomTree {
     pub children: Vec<Vec<BlockId>>,
     /// Entry block.
     pub entry: BlockId,
+    /// Child-list buffers parked by a shrinking rebuild, recycled when the
+    /// block count grows again (see `util::resize_pooled`).
+    spare: Vec<Vec<BlockId>>,
 }
 
+// Equality ignores the `spare` recycling pool: two trees describing the
+// same function compare equal regardless of build history.
+impl PartialEq for DomTree {
+    fn eq(&self, other: &Self) -> bool {
+        self.idom == other.idom && self.children == other.children && self.entry == other.entry
+    }
+}
+
+impl Eq for DomTree {}
+
 impl DomTree {
+    /// An empty tree, ready for [`DomTree::lengauer_tarjan_into`].
+    pub fn empty(entry: BlockId) -> DomTree {
+        DomTree {
+            idom: Vec::new(),
+            children: Vec::new(),
+            entry,
+            spare: Vec::new(),
+        }
+    }
+
     /// Computes dominators with the Lengauer–Tarjan algorithm.
     pub fn lengauer_tarjan(cfg: &Cfg) -> DomTree {
-        LengauerTarjan::run(cfg)
+        let mut out = DomTree::empty(cfg.entry);
+        DomTree::lengauer_tarjan_into(cfg, &mut DomScratch::default(), &mut out);
+        out
+    }
+
+    /// [`lengauer_tarjan`](Self::lengauer_tarjan) writing into an existing
+    /// tree, reusing its buffers and `scratch`'s working memory — the
+    /// allocation-free rebuild path for a warm analysis shell.
+    pub fn lengauer_tarjan_into(cfg: &Cfg, scratch: &mut DomScratch, out: &mut DomTree) {
+        scratch.lt.run_into(cfg, out);
     }
 
     /// Computes dominators with the iterative RPO data-flow algorithm.
@@ -88,6 +120,7 @@ impl DomTree {
             idom,
             children,
             entry,
+            spare: Vec::new(),
         }
     }
 }
@@ -145,9 +178,18 @@ fn intersect(
     a
 }
 
+/// Reusable working memory for [`DomTree::lengauer_tarjan_into`]. One of
+/// these per analysis shell keeps every per-node vector of the algorithm
+/// warm across rebuilds.
+#[derive(Debug, Default)]
+pub struct DomScratch {
+    lt: LengauerTarjan,
+}
+
 /// Lengauer–Tarjan with simple (non-balanced) path compression: the
 /// O(E·log V) variant, which the paper notes can be implemented to run in
 /// near-linear time.
+#[derive(Debug, Default)]
 struct LengauerTarjan {
     /// DFS number per block index (usize::MAX if unreachable).
     dfnum: Vec<usize>,
@@ -167,24 +209,34 @@ struct LengauerTarjan {
     /// Scratch for [`compress`](Self::compress), reused across calls so
     /// path compression allocates nothing after the first deep path.
     path: Vec<usize>,
+    /// DFS-numbering stack, reused across runs; always empty between them.
+    dfs: Vec<(BlockId, Option<usize>)>,
 }
 
 impl LengauerTarjan {
-    fn run(cfg: &Cfg) -> DomTree {
+    fn run_into(&mut self, cfg: &Cfg, out: &mut DomTree) {
         let n = cfg.len();
-        let mut lt = LengauerTarjan {
-            dfnum: vec![usize::MAX; n],
-            vertex: Vec::new(),
-            parent: Vec::new(),
-            semi: Vec::new(),
-            ancestor: Vec::new(),
-            label: Vec::new(),
-            bucket: Vec::new(),
-            idom_num: Vec::new(),
-            path: Vec::new(),
-        };
-        // DFS numbering (iterative).
-        let mut stack: Vec<(BlockId, Option<usize>)> = vec![(cfg.entry, None)];
+        let lt = self;
+        lt.dfnum.clear();
+        lt.dfnum.resize(n, usize::MAX);
+        lt.vertex.clear();
+        lt.parent.clear();
+        lt.semi.clear();
+        lt.ancestor.clear();
+        lt.label.clear();
+        // Buckets are indexed by semidominator DFS number; clear each in
+        // place so its capacity survives the rebuild.
+        for b in &mut lt.bucket {
+            b.clear();
+        }
+        if lt.bucket.len() < n {
+            lt.bucket.resize_with(n, Vec::new);
+        }
+        lt.idom_num.clear();
+        // DFS numbering (iterative) through the persistent stack buffer.
+        debug_assert!(lt.dfs.is_empty());
+        let mut stack = std::mem::take(&mut lt.dfs);
+        stack.push((cfg.entry, None));
         while let Some((b, par)) = stack.pop() {
             if lt.dfnum[b.index()] != usize::MAX {
                 continue;
@@ -196,7 +248,6 @@ impl LengauerTarjan {
             lt.semi.push(num);
             lt.ancestor.push(None);
             lt.label.push(num);
-            lt.bucket.push(Vec::new());
             lt.idom_num.push(num);
             for &s in cfg.succs[b.index()].iter().rev() {
                 if lt.dfnum[s.index()] == usize::MAX {
@@ -204,6 +255,7 @@ impl LengauerTarjan {
                 }
             }
         }
+        lt.dfs = stack;
         let count = lt.vertex.len();
         // Main loop in reverse DFS order.
         for w in (1..count).rev() {
@@ -223,12 +275,17 @@ impl LengauerTarjan {
             let s = lt.semi[w];
             lt.bucket[s].push(w);
             lt.link(p, w);
-            // Step 3: implicitly define idoms for p's bucket.
-            let drained: Vec<usize> = std::mem::take(&mut lt.bucket[p]);
-            for v in drained {
+            // Step 3: implicitly define idoms for p's bucket. Drain by
+            // index (the bucket gains no entries while draining) so the
+            // inner vector keeps its capacity for the next rebuild.
+            let mut i = 0;
+            while i < lt.bucket[p].len() {
+                let v = lt.bucket[p][i];
+                i += 1;
                 let u = lt.eval(v);
                 lt.idom_num[v] = if lt.semi[u] < lt.semi[v] { u } else { p };
             }
+            lt.bucket[p].clear();
         }
         // Step 4: finalize in DFS order.
         for w in 1..count {
@@ -236,11 +293,18 @@ impl LengauerTarjan {
                 lt.idom_num[w] = lt.idom_num[lt.idom_num[w]];
             }
         }
-        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        out.entry = cfg.entry;
+        out.idom.clear();
+        out.idom.resize(n, None);
         for w in 1..count {
-            idom[lt.vertex[w].index()] = Some(lt.vertex[lt.idom_num[w]]);
+            out.idom[lt.vertex[w].index()] = Some(lt.vertex[lt.idom_num[w]]);
         }
-        DomTree::from_idom(idom, cfg.entry)
+        crate::util::resize_pooled(&mut out.children, &mut out.spare, n, Vec::clear);
+        for i in 0..n {
+            if let Some(p) = out.idom[i] {
+                out.children[p.index()].push(BlockId(i as u32));
+            }
+        }
     }
 
     fn link(&mut self, parent: usize, child: usize) {

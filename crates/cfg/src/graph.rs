@@ -7,7 +7,7 @@ use ir::{BlockId, Function};
 ///
 /// The graph is a snapshot: it must be recomputed after any transformation
 /// that adds, removes, or retargets blocks.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Cfg {
     /// Successors per block index.
     pub succs: Vec<Vec<BlockId>>,
@@ -20,49 +20,89 @@ pub struct Cfg {
     pub rpo: Vec<BlockId>,
     /// Position of each block in `rpo`, or `usize::MAX` if unreachable.
     pub rpo_index: Vec<usize>,
+    /// DFS stack scratch for `build_into`; always empty between builds,
+    /// kept only for its capacity.
+    dfs: Vec<(BlockId, usize)>,
+    /// Edge-list buffers parked by a shrinking rebuild, recycled when the
+    /// block count grows again (see `util::resize_pooled`).
+    spare: Vec<Vec<BlockId>>,
 }
 
+// Equality ignores the builder scratch (`dfs`, `spare`): two graphs that
+// describe the same function compare equal regardless of build history.
+impl PartialEq for Cfg {
+    fn eq(&self, other: &Self) -> bool {
+        self.succs == other.succs
+            && self.preds == other.preds
+            && self.entry == other.entry
+            && self.rpo == other.rpo
+            && self.rpo_index == other.rpo_index
+    }
+}
+
+impl Eq for Cfg {}
+
 impl Cfg {
+    /// An empty graph, ready for [`Cfg::build_into`].
+    pub fn empty(entry: BlockId) -> Cfg {
+        Cfg {
+            succs: Vec::new(),
+            preds: Vec::new(),
+            entry,
+            rpo: Vec::new(),
+            rpo_index: Vec::new(),
+            dfs: Vec::new(),
+            spare: Vec::new(),
+        }
+    }
+
     /// Builds the CFG of `func`.
     pub fn build(func: &Function) -> Cfg {
+        let mut cfg = Cfg::empty(func.entry);
+        cfg.build_into(func);
+        cfg
+    }
+
+    /// Rebuilds `self` from `func` in place, reusing the edge lists and
+    /// traversal-order buffers — the allocation-free rebuild path for a
+    /// warm analysis shell. Equivalent to `*self = Cfg::build(func)`.
+    pub fn build_into(&mut self, func: &Function) {
         let n = func.blocks.len();
-        let mut succs = vec![Vec::new(); n];
-        let mut preds = vec![Vec::new(); n];
+        self.entry = func.entry;
+        crate::util::resize_pooled(&mut self.succs, &mut self.spare, n, Vec::clear);
+        crate::util::resize_pooled(&mut self.preds, &mut self.spare, n, Vec::clear);
         for id in func.block_ids() {
             for s in func.block(id).successors() {
-                succs[id.index()].push(s);
-                preds[s.index()].push(id);
+                self.succs[id.index()].push(s);
+                self.preds[s.index()].push(id);
             }
         }
-        // Iterative DFS computing postorder.
-        let mut post = Vec::with_capacity(n);
-        let mut visited = vec![false; n];
-        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
-        visited[func.entry.index()] = true;
-        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
-            if *next < succs[b.index()].len() {
-                let s = succs[b.index()][*next];
+        // Iterative DFS computing postorder into `rpo` (reversed at the
+        // end). `rpo_index` doubles as the visited marker: `usize::MAX`
+        // means unvisited, and every visited block's sentinel is
+        // overwritten with its real position afterwards.
+        self.rpo.clear();
+        self.rpo_index.clear();
+        self.rpo_index.resize(n, usize::MAX);
+        debug_assert!(self.dfs.is_empty());
+        self.dfs.push((func.entry, 0));
+        self.rpo_index[func.entry.index()] = 0;
+        while let Some(&mut (b, ref mut next)) = self.dfs.last_mut() {
+            if *next < self.succs[b.index()].len() {
+                let s = self.succs[b.index()][*next];
                 *next += 1;
-                if !visited[s.index()] {
-                    visited[s.index()] = true;
-                    stack.push((s, 0));
+                if self.rpo_index[s.index()] == usize::MAX {
+                    self.rpo_index[s.index()] = 0;
+                    self.dfs.push((s, 0));
                 }
             } else {
-                post.push(b);
-                stack.pop();
+                self.rpo.push(b);
+                self.dfs.pop();
             }
         }
-        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
-        let mut rpo_index = vec![usize::MAX; n];
-        for (i, b) in rpo.iter().enumerate() {
-            rpo_index[b.index()] = i;
-        }
-        Cfg {
-            succs,
-            preds,
-            entry: func.entry,
-            rpo,
-            rpo_index,
+        self.rpo.reverse();
+        for (i, b) in self.rpo.iter().enumerate() {
+            self.rpo_index[b.index()] = i;
         }
     }
 

@@ -17,7 +17,7 @@ use ir::{Function, Instr, Reg};
 use std::collections::BTreeSet;
 
 /// A dense bitset over virtual registers.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RegSet {
     bits: Vec<u64>,
 }
@@ -28,6 +28,14 @@ impl RegSet {
         RegSet {
             bits: vec![0; n.div_ceil(64)],
         }
+    }
+
+    /// Empties the set and resizes it for `n` registers in place, keeping
+    /// the word buffer's capacity — the reuse path for solver scratch that
+    /// outlives one function.
+    pub fn reset(&mut self, n: usize) {
+        self.bits.clear();
+        self.bits.resize(n.div_ceil(64), 0);
     }
 
     /// Inserts `r`; returns true if newly inserted.
@@ -126,6 +134,9 @@ pub struct Liveness {
 pub struct LiveSummaries {
     use_s: Vec<RegSet>,
     def_s: Vec<RegSet>,
+    /// Sets parked by a shrinking rescan, recycled when the block count
+    /// grows again (see `util::resize_pooled`).
+    spare: Vec<RegSet>,
 }
 
 impl LiveSummaries {
@@ -139,9 +150,9 @@ impl LiveSummaries {
         self.use_s.is_empty()
     }
 
-    fn scan(func: &Function, bi: usize, nregs: usize) -> (RegSet, RegSet) {
-        let mut u = RegSet::new(nregs);
-        let mut d = RegSet::new(nregs);
+    fn scan_into(func: &Function, bi: usize, nregs: usize, u: &mut RegSet, d: &mut RegSet) {
+        u.reset(nregs);
+        d.reset(nregs);
         for instr in &func.blocks[bi].instrs {
             instr.visit_uses(|r| {
                 if !d.contains(r) {
@@ -152,18 +163,16 @@ impl LiveSummaries {
                 d.insert(r);
             }
         }
-        (u, d)
     }
 
-    /// Rescans every block of `func`.
+    /// Rescans every block of `func`, reusing the per-block sets in place.
     pub fn rescan_all(&mut self, func: &Function) {
         let nregs = func.next_reg as usize;
-        self.use_s.clear();
-        self.def_s.clear();
-        for bi in 0..func.blocks.len() {
-            let (u, d) = Self::scan(func, bi, nregs);
-            self.use_s.push(u);
-            self.def_s.push(d);
+        let n = func.blocks.len();
+        reset_sets(&mut self.use_s, &mut self.spare, n, nregs);
+        reset_sets(&mut self.def_s, &mut self.spare, n, nregs);
+        for bi in 0..n {
+            Self::scan_into(func, bi, nregs, &mut self.use_s[bi], &mut self.def_s[bi]);
         }
     }
 
@@ -174,11 +183,16 @@ impl LiveSummaries {
         debug_assert_eq!(self.use_s.len(), func.blocks.len());
         let nregs = func.next_reg as usize;
         for &bi in blocks {
-            let (u, d) = Self::scan(func, bi, nregs);
-            self.use_s[bi] = u;
-            self.def_s[bi] = d;
+            Self::scan_into(func, bi, nregs, &mut self.use_s[bi], &mut self.def_s[bi]);
         }
     }
+}
+
+/// Resets a per-block set vector to `n` empty sets over `nregs` registers,
+/// reusing the outer vector and every set's word buffer; sets cut off by a
+/// shrink are parked in `spare` and recycled on the next grow.
+fn reset_sets(v: &mut Vec<RegSet>, spare: &mut Vec<RegSet>, n: usize, nregs: usize) {
+    crate::util::resize_pooled(v, spare, n, |s| s.reset(nregs));
 }
 
 /// Computes liveness for `func` with the sparse backward worklist solver.
@@ -197,15 +211,57 @@ pub fn liveness_sparse(
     summaries: &LiveSummaries,
     stats: &mut DataflowStats,
 ) -> Liveness {
+    let mut out = Liveness {
+        live_in: Vec::new(),
+        live_out: Vec::new(),
+    };
+    liveness_sparse_into(
+        func,
+        cfg,
+        summaries,
+        stats,
+        &mut LiveScratch::default(),
+        &mut out,
+    );
+    out
+}
+
+/// Reusable working memory for [`liveness_sparse_into`]: the block
+/// worklist and the candidate live-in set. The analysis cache keeps one
+/// per function shell so repeat solves allocate nothing.
+#[derive(Debug, Default)]
+pub struct LiveScratch {
+    wl: BlockWorklist,
+    inn: RegSet,
+    /// Parked live-in/live-out sets from shrinking solves (see
+    /// `util::resize_pooled`).
+    spare: Vec<RegSet>,
+}
+
+/// [`liveness_sparse`] writing into an existing [`Liveness`], reusing its
+/// per-block sets and `scratch`'s worklist — the allocation-free rebuild
+/// path for a warm analysis shell.
+pub fn liveness_sparse_into(
+    func: &Function,
+    cfg: &Cfg,
+    summaries: &LiveSummaries,
+    stats: &mut DataflowStats,
+    scratch: &mut LiveScratch,
+    result: &mut Liveness,
+) {
     let n = func.blocks.len();
     let nregs = func.next_reg as usize;
     debug_assert_eq!(summaries.len(), n);
-    let mut live_in = vec![RegSet::new(nregs); n];
-    let mut live_out = vec![RegSet::new(nregs); n];
-    let mut wl = BlockWorklist::new(cfg, Direction::Backward);
+    reset_sets(&mut result.live_in, &mut scratch.spare, n, nregs);
+    reset_sets(&mut result.live_out, &mut scratch.spare, n, nregs);
+    let live_in = &mut result.live_in;
+    let live_out = &mut result.live_out;
+    let wl = &mut scratch.wl;
+    wl.reset(cfg, Direction::Backward);
     wl.seed_all(cfg, stats);
     // Scratch for the candidate live-in; swapped into place on change.
-    let mut inn = RegSet::new(nregs);
+    let inn = &mut scratch.inn;
+    inn.reset(nregs);
     while let Some(b) = wl.pop(stats) {
         let bi = b.index();
         stats.transfer_evals += 1;
@@ -221,14 +277,13 @@ pub fn liveness_sparse(
             inn.remove(r);
         }
         inn.union_with(&summaries.use_s[bi]);
-        if inn != live_in[bi] {
-            std::mem::swap(&mut inn, &mut live_in[bi]);
+        if *inn != live_in[bi] {
+            std::mem::swap(inn, &mut live_in[bi]);
             for &p in &cfg.preds[bi] {
                 wl.push(p, stats);
             }
         }
     }
-    Liveness { live_in, live_out }
 }
 
 /// The dense iterate-to-fixpoint solver, kept as the measured baseline and
@@ -281,11 +336,25 @@ pub fn for_each_instr_backwards(
     func: &Function,
     live: &Liveness,
     block: ir::BlockId,
+    visit: impl FnMut(usize, &Instr, &RegSet),
+) {
+    let mut current = RegSet::new(0);
+    for_each_instr_backwards_in(func, live, block, &mut current, visit);
+}
+
+/// [`for_each_instr_backwards`] with a caller-owned cursor set, so a loop
+/// over many blocks (the interference-graph build) clones no `RegSet` per
+/// block: `current`'s backing words are reused across calls.
+pub fn for_each_instr_backwards_in(
+    func: &Function,
+    live: &Liveness,
+    block: ir::BlockId,
+    current: &mut RegSet,
     mut visit: impl FnMut(usize, &Instr, &RegSet),
 ) {
-    let mut current = live.live_out[block.index()].clone();
+    current.copy_from(&live.live_out[block.index()]);
     for (i, instr) in func.block(block).instrs.iter().enumerate().rev() {
-        visit(i, instr, &current);
+        visit(i, instr, current);
         if let Some(d) = instr.def() {
             current.remove(d);
         }

@@ -52,13 +52,35 @@ impl Loop {
 }
 
 /// All natural loops of one function, with nesting structure.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct LoopForest {
     /// The loops; inner loops always have larger depth than their parents.
     pub loops: Vec<Loop>,
     /// Innermost loop containing each block, if any.
     pub block_loop: Vec<Option<LoopId>>,
+    /// Builder scratch (back-edge headers, bodies under construction, the
+    /// walk worklist, and the size-sort permutation), kept only for its
+    /// capacity between [`LoopForest::build_into`] calls.
+    scratch: ForestScratch,
 }
+
+/// See [`LoopForest::scratch`]. Contents between builds are stale by
+/// design; equality of forests deliberately ignores this.
+#[derive(Debug, Clone, Default)]
+struct ForestScratch {
+    headers: Vec<BlockId>,
+    bodies: Vec<BTreeSet<BlockId>>,
+    work: Vec<BlockId>,
+    order: Vec<usize>,
+}
+
+impl PartialEq for LoopForest {
+    fn eq(&self, other: &Self) -> bool {
+        self.loops == other.loops && self.block_loop == other.block_loop
+    }
+}
+
+impl Eq for LoopForest {}
 
 impl LoopForest {
     /// Detects natural loops in `cfg` using dominator information.
@@ -66,9 +88,28 @@ impl LoopForest {
     /// Irreducible cycles (cycles whose entry is not a dominator) produce no
     /// loops; the promoter simply sees no promotion opportunity there.
     pub fn build(cfg: &Cfg, dom: &DomTree) -> LoopForest {
+        let mut out = LoopForest::default();
+        LoopForest::build_into(cfg, dom, &mut out);
+        out
+    }
+
+    /// [`build`](Self::build) writing into an existing forest, reusing its
+    /// outer vectors — the reduced-allocation rebuild path for a warm
+    /// analysis shell. (Per-loop `BTreeSet` bodies are rebuilt node by
+    /// node; they are small.)
+    pub fn build_into(cfg: &Cfg, dom: &DomTree, out: &mut LoopForest) {
         // 1. Find back edges and collect loop bodies per header.
-        let mut headers: Vec<BlockId> = Vec::new();
-        let mut bodies: Vec<BTreeSet<BlockId>> = Vec::new();
+        let ForestScratch {
+            headers,
+            bodies,
+            work,
+            order,
+        } = &mut out.scratch;
+        headers.clear();
+        // Stale (empty, `mem::take`n) sets from the previous build are
+        // recycled as slots; `BTreeSet` holds no capacity, so only the
+        // outer vector's buffer is preserved.
+        bodies.clear();
         for &b in &cfg.rpo {
             for &s in &cfg.succs[b.index()] {
                 if dom.dominates(s, b) {
@@ -83,7 +124,8 @@ impl LoopForest {
                     };
                     // Walk predecessors from the latch up to the header.
                     let body = &mut bodies[idx];
-                    let mut work = vec![b];
+                    work.clear();
+                    work.push(b);
                     while let Some(x) = work.pop() {
                         if body.insert(x) {
                             for &p in &cfg.preds[x.index()] {
@@ -99,13 +141,29 @@ impl LoopForest {
         // 2. Sort loops by body size ascending so children precede parents,
         //    then derive nesting: the parent of a loop is the smallest loop
         //    strictly containing its header.
-        let mut order: Vec<usize> = (0..headers.len()).collect();
+        order.clear();
+        order.extend(0..headers.len());
         order.sort_by_key(|&i| bodies[i].len());
-        let mut loops: Vec<Loop> = Vec::with_capacity(headers.len());
-        for &i in &order {
+        let loops = &mut out.loops;
+        // Overwrite surviving slots in place so each loop's `children` and
+        // `exit_edges` buffers keep their capacity across builds.
+        for l in loops.iter_mut() {
+            l.children.clear();
+            l.exit_edges.clear();
+        }
+        loops.truncate(order.len());
+        let reused = loops.len();
+        for (slot, &i) in loops.iter_mut().zip(order.iter()) {
+            slot.header = headers[i];
+            slot.blocks = std::mem::take(&mut bodies[i]);
+            slot.parent = None;
+            slot.depth = 0;
+        }
+        loops.reserve(order.len() - reused);
+        for &i in &order[reused..] {
             loops.push(Loop {
                 header: headers[i],
-                blocks: bodies[i].clone(),
+                blocks: std::mem::take(&mut bodies[i]),
                 parent: None,
                 children: Vec::new(),
                 depth: 0,
@@ -146,7 +204,7 @@ impl LoopForest {
             loops[i].depth = d;
         }
         // Exit edges.
-        for l in &mut loops {
+        for l in loops.iter_mut() {
             for &b in &l.blocks {
                 for &s in &cfg.succs[b.index()] {
                     if !l.blocks.contains(&s) {
@@ -156,7 +214,9 @@ impl LoopForest {
             }
         }
         // Innermost loop per block = the smallest loop containing it.
-        let mut block_loop: Vec<Option<LoopId>> = vec![None; cfg.len()];
+        let block_loop = &mut out.block_loop;
+        block_loop.clear();
+        block_loop.resize(cfg.len(), None);
         for (li, l) in loops.iter().enumerate() {
             for &b in &l.blocks {
                 let slot = &mut block_loop[b.index()];
@@ -166,7 +226,6 @@ impl LoopForest {
                 }
             }
         }
-        LoopForest { loops, block_loop }
     }
 
     /// Number of loops.

@@ -79,6 +79,17 @@ fn insert_landing_pads(func: &mut Function, analyses: &mut FunctionAnalyses) -> 
     let (cfg, forest) = analyses.cfg_forest(func);
     for l in &forest.loops {
         let header = l.header;
+        // Scan the header's outside predecessors without collecting them:
+        // on a converged function (every round after the first) this loop
+        // body allocates nothing.
+        let mut n_outside = 0usize;
+        let mut first_outside = None;
+        for &p in &cfg.preds[header.index()] {
+            if cfg.is_reachable(p) && !l.contains(p) {
+                n_outside += 1;
+                first_outside.get_or_insert(p);
+            }
+        }
         // A loop headed by the entry block has an implicit entry edge that
         // cannot be retargeted; reroute the function entry through a fresh
         // pad instead.
@@ -87,24 +98,16 @@ fn insert_landing_pads(func: &mut Function, analyses: &mut FunctionAnalyses) -> 
             func.block_mut(pad)
                 .instrs
                 .push(Instr::Jump { target: header });
-            let outside_preds: Vec<BlockId> = cfg.preds[header.index()]
-                .iter()
-                .copied()
-                .filter(|p| cfg.is_reachable(*p) && !l.contains(*p))
-                .collect();
-            for p in outside_preds {
-                retarget_edge(func, p, header, pad);
+            for &p in &cfg.preds[header.index()] {
+                if cfg.is_reachable(p) && !l.contains(p) {
+                    retarget_edge(func, p, header, pad);
+                }
             }
             func.entry = pad;
             return true;
         }
-        let outside_preds: Vec<BlockId> = cfg.preds[header.index()]
-            .iter()
-            .copied()
-            .filter(|p| cfg.is_reachable(*p) && !l.contains(*p))
-            .collect();
         let already_pad =
-            outside_preds.len() == 1 && cfg.succs[outside_preds[0].index()].len() == 1;
+            n_outside == 1 && first_outside.is_some_and(|p| cfg.succs[p.index()].len() == 1);
         if already_pad {
             continue;
         }
@@ -113,8 +116,10 @@ fn insert_landing_pads(func: &mut Function, analyses: &mut FunctionAnalyses) -> 
         func.block_mut(pad)
             .instrs
             .push(Instr::Jump { target: header });
-        for p in outside_preds {
-            retarget_edge(func, p, header, pad);
+        for &p in &cfg.preds[header.index()] {
+            if cfg.is_reachable(p) && !l.contains(p) {
+                retarget_edge(func, p, header, pad);
+            }
         }
         return true;
     }

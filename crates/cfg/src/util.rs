@@ -1,0 +1,47 @@
+//! Crate-internal helpers for allocation-free artifact rebuilds.
+
+/// Resizes `v` to `n` elements without ever dropping an element's backing
+/// allocation: elements cut off by a shrink are parked in `spare`, and a
+/// grow pulls parked elements back before constructing fresh ones. Every
+/// surviving element is passed through `clear` afterwards, so the caller
+/// sees `n` empty-but-warm slots.
+///
+/// This is the piece `truncate` + `resize_with` gets wrong for nested
+/// buffers (`Vec<Vec<_>>`, `Vec<RegSet>`): a shrink at the start of a run
+/// would free exactly the tail buffers the mid-run regrow (loop
+/// normalization inserting blocks) is about to need again.
+pub(crate) fn resize_pooled<T: Default>(
+    v: &mut Vec<T>,
+    spare: &mut Vec<T>,
+    n: usize,
+    mut clear: impl FnMut(&mut T),
+) {
+    while v.len() > n {
+        spare.push(v.pop().expect("len checked"));
+    }
+    while v.len() < n {
+        v.push(spare.pop().unwrap_or_default());
+    }
+    for x in v.iter_mut() {
+        clear(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_parks_capacity_and_grow_reuses_it() {
+        let mut v: Vec<Vec<u32>> = (0..4).map(|_| Vec::with_capacity(8)).collect();
+        let mut spare = Vec::new();
+        resize_pooled(&mut v, &mut spare, 2, Vec::clear);
+        assert_eq!(v.len(), 2);
+        assert_eq!(spare.len(), 2);
+        resize_pooled(&mut v, &mut spare, 4, Vec::clear);
+        assert_eq!(v.len(), 4);
+        assert!(spare.is_empty());
+        assert!(v.iter().all(|x| x.is_empty()));
+        assert!(v.iter().all(|x| x.capacity() >= 8));
+    }
+}

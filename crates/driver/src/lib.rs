@@ -44,6 +44,7 @@ mod error;
 mod parallel;
 mod pipeline;
 mod report;
+mod scratch;
 mod session;
 
 pub use error::Error;
@@ -53,4 +54,5 @@ pub use pipeline::{
     PassTimings, PipelineConfig, PipelineConfigBuilder, PipelineReport,
 };
 pub use report::{measure_program, render_figure, MeasurementRow, Metric};
+pub use scratch::PassScratch;
 pub use session::{Compilation, Session, SessionBuilder};

@@ -30,12 +30,13 @@
 //! JSON) cannot silently compare the two kinds of number.
 
 use crate::parallel::{resolve_threads, WorkerPool};
+use crate::scratch::PassScratch;
 use analysis::{tarjan_sccs, AnalysisLevel, CallGraph};
 use ir::{FuncId, Module};
 use promote::{PointerReport, PromotionReport, ScalarReport};
 use regalloc::{AllocOptions, AllocReport, PendingSpill};
 use std::time::{Duration, Instant};
-use trace::{FuncTrace, TraceLog};
+use trace::{AllocStats, FuncTrace, TraceLog};
 use vm::{Outcome, Vm, VmError, VmOptions};
 
 /// A pipeline configuration — one experimental arm.
@@ -80,6 +81,14 @@ pub struct PipelineConfig {
     /// reverts to whole-function sweeps — and exists so the benchmark can
     /// report the dense baseline's work counters from the same binary.
     pub sparse_dataflow: bool,
+    /// Reuse the pool's per-worker [`PassScratch`] arenas across functions
+    /// (the normal mode): every pass's dense side tables, worklists, and
+    /// rewrite buffers stay warm, so the steady-state fused chain allocates
+    /// almost nothing. `false` builds a fresh arena for every function —
+    /// the allocation behaviour the pipeline had before the arenas existed —
+    /// and exists so the benchmark can report an honest `alloc_stats_fresh`
+    /// baseline column. Output is byte-identical either way.
+    pub reuse_scratch: bool,
     /// Collect structured optimization remarks and per-pass deltas into a
     /// [`TraceLog`] (see [`run_pipeline_traced`]). Off by default; when
     /// off, every trace hook is a single enum-discriminant test and no
@@ -100,6 +109,7 @@ impl Default for PipelineConfig {
             threads: None,
             share_analyses: true,
             sparse_dataflow: true,
+            reuse_scratch: true,
             trace: false,
         }
     }
@@ -235,6 +245,13 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Enables or disables cross-function reuse of the per-worker pass
+    /// scratch arenas.
+    pub fn reuse_scratch(mut self, on: bool) -> Self {
+        self.config.reuse_scratch = on;
+        self
+    }
+
     /// Enables or disables structured trace collection.
     pub fn trace(mut self, on: bool) -> Self {
         self.config.trace = on;
@@ -256,12 +273,21 @@ impl PipelineConfigBuilder {
 #[derive(Debug, Clone)]
 pub struct PassTiming {
     /// Pass label; repeated passes get distinct labels (`lvn`, `lvn(2)`).
-    pub name: String,
+    /// Always a static literal so recording a row never allocates.
+    pub name: &'static str,
     /// Recorded duration — see `cpu_summed` for what it measures.
     pub elapsed: Duration,
     /// `true` if `elapsed` is per-function time summed across workers
     /// rather than wall time.
     pub cpu_summed: bool,
+    /// Allocator traffic charged to this pass (calls and bytes). Real
+    /// numbers only in binaries that install [`trace::CountingAlloc`] as
+    /// the global allocator (the benchmark, the allocation-budget test);
+    /// all zeros everywhere else. Counters are process-wide, so on
+    /// multi-threaded runs a fused pass's figure includes whatever the
+    /// other workers allocated during its window — exact on
+    /// single-threaded runs, an attribution approximation otherwise.
+    pub allocs: AllocStats,
 }
 
 /// Time of each pipeline pass, in execution order. Repeated passes get
@@ -273,11 +299,18 @@ pub struct PassTimings {
 }
 
 impl PassTimings {
-    fn record(&mut self, name: &str, elapsed: Duration, cpu_summed: bool) {
+    fn record(
+        &mut self,
+        name: &'static str,
+        elapsed: Duration,
+        cpu_summed: bool,
+        allocs: AllocStats,
+    ) {
         self.passes.push(PassTiming {
-            name: name.to_string(),
+            name,
             elapsed,
             cpu_summed,
+            allocs,
         });
     }
 
@@ -343,10 +376,16 @@ fn validate_if(module: &Module, enabled: bool, pass: &str) {
     }
 }
 
-fn timed<R>(timings: &mut PassTimings, name: &str, f: impl FnOnce() -> R) -> R {
+fn timed<R>(timings: &mut PassTimings, name: &'static str, f: impl FnOnce() -> R) -> R {
     let start = Instant::now();
+    let before = AllocStats::now();
     let r = f();
-    timings.record(name, start.elapsed(), false);
+    timings.record(
+        name,
+        start.elapsed(),
+        false,
+        AllocStats::now().since(&before),
+    );
     r
 }
 
@@ -375,20 +414,34 @@ struct FuncOutcome {
     dce_removed: usize,
     cleaned: usize,
     alloc: Option<(AllocReport, Vec<PendingSpill>)>,
-    timings: Vec<(&'static str, Duration)>,
+    timings: Vec<(&'static str, Duration, AllocStats)>,
 }
 
-/// Per-function pass clock used inside the fused worker.
+/// Per-function pass clock used inside the fused worker. Each stage also
+/// snapshots the process-wide allocation counters, so binaries that
+/// install [`trace::CountingAlloc`] get per-pass allocator traffic for
+/// free (everyone else records zeros — the snapshot is two relaxed atomic
+/// loads).
 #[derive(Default)]
 struct StageClock {
-    rows: Vec<(&'static str, Duration)>,
+    rows: Vec<(&'static str, Duration, AllocStats)>,
 }
 
 impl StageClock {
+    /// Room for every stage label the fused chain can emit, so the row
+    /// vector is one exact allocation instead of a doubling chain.
+    fn new() -> StageClock {
+        StageClock {
+            rows: Vec::with_capacity(16),
+        }
+    }
+
     fn timed<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
+        let before = AllocStats::now();
         let r = f();
-        self.rows.push((name, start.elapsed()));
+        self.rows
+            .push((name, start.elapsed(), AllocStats::now().since(&before)));
         r
     }
 }
@@ -448,7 +501,10 @@ fn normalize_in_traced(
 /// number of these run concurrently; all tag-table writes are deferred as
 /// [`PendingSpill`]s. `analyses` is the function's shared cache: a pass
 /// that changes nothing leaves it warm, and every downstream pass then
-/// reuses the artifacts instead of rebuilding them.
+/// reuses the artifacts instead of rebuilding them. `scratch` is the
+/// worker's pass arena: every pass's dense side tables and buffers live
+/// there, already sized by earlier functions, so the steady-state chain
+/// runs allocation-free.
 fn run_fused_chain(
     tags: &ir::TagTable,
     func: &mut ir::Function,
@@ -456,10 +512,11 @@ fn run_fused_chain(
     recursive: bool,
     config: &PipelineConfig,
     analyses: &mut cfg::FunctionAnalyses,
+    scratch: &mut PassScratch,
     tr: &mut FuncTrace,
 ) -> FuncOutcome {
     let share = config.share_analyses;
-    let mut clock = StageClock::default();
+    let mut clock = StageClock::new();
     let mut o = FuncOutcome {
         strengthened: clock.timed("strengthen", || {
             stage(analyses, share, |fa| {
@@ -479,22 +536,24 @@ fn run_fused_chain(
     }
     if config.optimize {
         o.lvn_rewrites += clock.timed("lvn", || {
-            stage(analyses, share, |fa| opt::lvn_function_traced(func, fa, tr))
+            stage(analyses, share, |fa| {
+                opt::lvn_function_traced(func, fa, &mut scratch.opt.lvn, tr)
+            })
         });
         o.loads_eliminated = clock.timed("loadelim", || {
             stage(analyses, share, |fa| {
-                opt::loadelim_function_traced(func, fa, tr)
+                opt::loadelim_function_traced(func, fa, &mut scratch.opt.loadelim, tr)
             })
         });
         o.constants_folded = clock.timed("constprop", || {
             stage(analyses, share, |fa| {
-                opt::constprop_function_traced(func, fa, tr)
+                opt::constprop_function_traced(func, fa, &mut scratch.opt.constprop, tr)
             })
         });
         o.licm_moved = clock.timed("licm", || {
             stage(analyses, share, |fa| {
                 normalize_in_traced(func, fa, tr);
-                opt::licm_function_traced(func, fa, tr)
+                opt::licm_function_traced(func, fa, &mut scratch.opt.licm, tr)
             })
         });
     }
@@ -511,14 +570,18 @@ fn run_fused_chain(
     }
     if config.optimize {
         o.lvn_rewrites += clock.timed("lvn(2)", || {
-            stage(analyses, share, |fa| opt::lvn_function_traced(func, fa, tr))
+            stage(analyses, share, |fa| {
+                opt::lvn_function_traced(func, fa, &mut scratch.opt.lvn, tr)
+            })
         });
         o.dce_removed = clock.timed("dce", || {
-            stage(analyses, share, |fa| opt::dce_function_traced(func, fa, tr))
+            stage(analyses, share, |fa| {
+                opt::dce_function_traced(func, fa, &mut scratch.opt.dce, tr)
+            })
         });
         o.cleaned += clock.timed("clean", || {
             stage(analyses, share, |fa| {
-                opt::clean_function_traced(func, fa, tr)
+                opt::clean_function_traced(func, fa, &mut scratch.opt.clean, tr)
             })
         });
     }
@@ -530,7 +593,16 @@ fn run_fused_chain(
         let r = clock.timed("regalloc", || {
             let mut pending = Vec::new();
             let r = stage(analyses, share, |fa| {
-                regalloc::allocate_function_core_traced(tags, func, fid, opts, &mut pending, fa, tr)
+                regalloc::allocate_function_core_traced(
+                    tags,
+                    func,
+                    fid,
+                    opts,
+                    &mut pending,
+                    fa,
+                    &mut scratch.alloc,
+                    tr,
+                )
             });
             (r, pending)
         });
@@ -540,7 +612,7 @@ fn run_fused_chain(
             // provisional spill tags are interned.
             o.cleaned += clock.timed("clean(final)", || {
                 stage(analyses, share, |fa| {
-                    opt::clean_function_traced(func, fa, tr)
+                    opt::clean_function_traced(func, fa, &mut scratch.opt.clean, tr)
                 })
             });
         }
@@ -587,15 +659,21 @@ pub fn run_pipeline_traced(
     // One analysis cache per function, alive from normalization to the
     // final clean: every pass both consumes it and reports what it
     // invalidated, so converged passes cost zero rebuilds downstream.
-    let mut analyses: Vec<cfg::FunctionAnalyses> = module
-        .funcs
-        .iter()
-        .map(|_| {
-            let mut fa = cfg::FunctionAnalyses::new();
-            fa.set_dense_dataflow(!config.sparse_dataflow);
-            fa
-        })
-        .collect();
+    // With scratch reuse on, the shells come recycled from the pool (warm
+    // buffers, stale artifacts) and go back to it at the end of the run;
+    // the fresh-arena baseline allocates cold ones.
+    let mut analyses: Vec<cfg::FunctionAnalyses> = if config.reuse_scratch {
+        pool.take_analyses(module.funcs.len())
+    } else {
+        module
+            .funcs
+            .iter()
+            .map(|_| cfg::FunctionAnalyses::new())
+            .collect()
+    };
+    for fa in &mut analyses {
+        fa.set_dense_dataflow(!config.sparse_dataflow);
+    }
     // One trace buffer per function, alive across every round that touches
     // the function, so each function's events arrive in chain order.
     let mut traces: Vec<FuncTrace> = module
@@ -668,7 +746,16 @@ pub fn run_pipeline_traced(
             .collect();
         pool.run(items, |i, ((func, fa), tr)| {
             let fid = FuncId(i as u32);
-            run_fused_chain(tags, func, fid, recursive[i], config, fa, tr)
+            if config.reuse_scratch {
+                pool.with_scratch(|scratch| {
+                    run_fused_chain(tags, func, fid, recursive[i], config, fa, scratch, tr)
+                })
+            } else {
+                // The fresh-arena baseline: every function pays the full
+                // allocation cost the arenas exist to avoid.
+                let mut scratch = PassScratch::default();
+                run_fused_chain(tags, func, fid, recursive[i], config, fa, &mut scratch, tr)
+            }
         })
     };
     // Sequential epilogue: commit spill tags in function-index order and
@@ -676,7 +763,7 @@ pub fn run_pipeline_traced(
     // chain order).
     let commit_start = Instant::now();
     let mut alloc_total: Option<AllocReport> = None;
-    let mut pass_totals: Vec<(&'static str, Duration)> = Vec::new();
+    let mut pass_totals: Vec<(&'static str, Duration, AllocStats)> = Vec::new();
     for (fi, o) in outcomes.into_iter().enumerate() {
         report.strengthened += o.strengthened;
         report.promotion.scalar.loops += o.scalar.loops;
@@ -702,10 +789,13 @@ pub fn run_pipeline_traced(
             total.spill_stores += r.spill_stores;
             total.rounds += r.rounds;
         }
-        for (name, d) in o.timings {
-            match pass_totals.iter_mut().find(|(n, _)| *n == name) {
-                Some(entry) => entry.1 += d,
-                None => pass_totals.push((name, d)),
+        for (name, d, a) in o.timings {
+            match pass_totals.iter_mut().find(|(n, _, _)| *n == name) {
+                Some(entry) => {
+                    entry.1 += d;
+                    entry.2.merge(&a);
+                }
+                None => pass_totals.push((name, d, a)),
             }
         }
     }
@@ -714,8 +804,11 @@ pub fn run_pipeline_traced(
         report.analysis_builds.add(&fa.builds);
         report.dataflow_stats.add(&fa.dataflow);
     }
+    if config.reuse_scratch {
+        pool.return_analyses(analyses);
+    }
     let commit_elapsed = commit_start.elapsed();
-    for (name, d) in pass_totals {
+    for (name, d, a) in pass_totals {
         // The spill-tag commit is the sequential tail of allocation;
         // account it there rather than inventing a pass label.
         let d = if name == "regalloc" {
@@ -723,7 +816,7 @@ pub fn run_pipeline_traced(
         } else {
             d
         };
-        timings.record(name, d, true);
+        timings.record(name, d, true, a);
     }
     validate_if(module, v, "fused per-function chain");
     report.timings = timings;

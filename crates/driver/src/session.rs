@@ -205,6 +205,13 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables or disables cross-function reuse of the per-worker pass
+    /// scratch arenas.
+    pub fn reuse_scratch(mut self, on: bool) -> Self {
+        self.config = self.config.reuse_scratch(on);
+        self
+    }
+
     /// Enables or disables structured trace collection.
     pub fn trace(mut self, on: bool) -> Self {
         self.config = self.config.trace(on);

@@ -1,0 +1,73 @@
+//! Allocation-budget regression test for the zero-allocation hot loop.
+//!
+//! The steady-state claim — a warm session compiles a program it has seen
+//! before almost entirely out of recycled shells and per-worker scratch
+//! arenas — is enforced here as a hard budget, not just reported by the
+//! benchmark. The test installs [`trace::CountingAlloc`] as the process
+//! allocator, warms a single-threaded session on every suite program
+//! once, then counts allocator calls across a second compile of each and
+//! pins the total. The budget is the benchmark's measured steady state
+//! (~1.5k calls across the suite) plus headroom for platform variance;
+//! losing scratch reuse anywhere in the chain puts the total back in the
+//! fresh-allocation regime (~10k calls) and trips the gate immediately.
+//!
+//! Counts, not bytes, are pinned: a count regression means a per-function
+//! allocation crept back into a pass loop, which is exactly the bug class
+//! this PR removes.
+
+#[global_allocator]
+static ALLOC: trace::CountingAlloc = trace::CountingAlloc;
+
+use driver::Session;
+use trace::AllocStats;
+
+/// Upper bound on allocator calls for one steady-state compile of the
+/// whole suite. Measured at ~1.5k after the scratch-arena work (vs ~10k
+/// with `reuse_scratch` off); the slack covers allocator-independent
+/// noise, not a regression.
+const STEADY_STATE_ALLOC_BUDGET: u64 = 2_600;
+
+#[test]
+fn steady_state_suite_compile_stays_within_alloc_budget() {
+    let session = Session::builder()
+        .threads(Some(1))
+        .reuse_scratch(true)
+        .build();
+    // Parse everything up front so frontend traffic stays out of the
+    // measurement, then warm the pool on a first compile of each program.
+    let modules: Vec<ir::Module> = benchsuite::SUITE
+        .iter()
+        .map(|b| minic::compile(b.source).expect("suite program compiles"))
+        .collect();
+    for module in &modules {
+        let mut warm = module.clone();
+        session.optimize(&mut warm).expect("warmup run validates");
+    }
+    // Steady state: a second compile of every program on the warm pool.
+    let mut total = AllocStats::default();
+    for (b, module) in benchsuite::SUITE.iter().zip(&modules) {
+        let mut m = module.clone();
+        let before = AllocStats::now();
+        session
+            .optimize(&mut m)
+            .expect("steady-state run validates");
+        let used = AllocStats::now().since(&before);
+        total.merge(&used);
+        // Per-program sanity in the failure message: which program blew up.
+        assert!(
+            used.count <= STEADY_STATE_ALLOC_BUDGET,
+            "steady-state compile of {} alone used {} allocs (budget for the \
+             whole suite is {STEADY_STATE_ALLOC_BUDGET})",
+            b.name,
+            used.count,
+        );
+    }
+    assert!(
+        total.count <= STEADY_STATE_ALLOC_BUDGET,
+        "steady-state suite compile used {} allocs ({} KiB), budget is \
+         {STEADY_STATE_ALLOC_BUDGET} — a per-function allocation has crept \
+         back into the hot loop",
+        total.count,
+        total.bytes / 1024,
+    );
+}

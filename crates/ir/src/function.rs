@@ -1,6 +1,6 @@
 //! Functions, basic blocks, and modules.
 
-use crate::instr::{BlockId, FuncId, Instr, Reg};
+use crate::instr::{BlockId, FuncId, Instr, Reg, Successors};
 use crate::tag::{TagId, TagKind, TagTable};
 
 /// A basic block: a straight-line instruction sequence ending in a
@@ -28,11 +28,11 @@ impl Block {
         self.instrs.last_mut().filter(|i| i.is_terminator())
     }
 
-    /// Successor block ids.
-    pub fn successors(&self) -> Vec<BlockId> {
+    /// Successor block ids, as an inline (non-allocating) iterator.
+    pub fn successors(&self) -> Successors {
         self.terminator()
             .map(|t| t.successors())
-            .unwrap_or_default()
+            .unwrap_or_else(Successors::empty)
     }
 
     /// Inserts `instr` just before the terminator (or at the end if the
@@ -44,6 +44,19 @@ impl Block {
             self.instrs.len()
         };
         self.instrs.insert(at, instr);
+    }
+
+    /// Inserts a whole sequence just before the terminator with a single
+    /// element shift, preserving the sequence order. Batch replacement for
+    /// calling [`Block::insert_before_terminator`] in a loop (which shifts
+    /// the terminator once per element — quadratic on long sequences).
+    pub fn splice_before_terminator(&mut self, instrs: impl IntoIterator<Item = Instr>) {
+        let at = if self.terminator().is_some() {
+            self.instrs.len() - 1
+        } else {
+            self.instrs.len()
+        };
+        self.instrs.splice(at..at, instrs);
     }
 
     /// Index of the first non-φ instruction.
@@ -327,6 +340,34 @@ mod tests {
         b.insert_before_terminator(Instr::Nop);
         assert!(matches!(b.instrs[0], Instr::Nop));
         assert!(b.terminator().is_some());
+    }
+
+    #[test]
+    fn splice_before_terminator_keeps_order() {
+        let mut b = Block::new();
+        b.instrs.push(Instr::IConst {
+            dst: Reg(0),
+            value: 7,
+        });
+        b.instrs.push(Instr::Ret { value: None });
+        b.splice_before_terminator([
+            Instr::Copy {
+                dst: Reg(1),
+                src: Reg(0),
+            },
+            Instr::Copy {
+                dst: Reg(2),
+                src: Reg(1),
+            },
+        ]);
+        assert!(matches!(b.instrs[1], Instr::Copy { dst: Reg(1), .. }));
+        assert!(matches!(b.instrs[2], Instr::Copy { dst: Reg(2), .. }));
+        assert!(b.terminator().is_some());
+
+        // No terminator: appends at the end.
+        let mut open = Block::new();
+        open.splice_before_terminator([Instr::Nop]);
+        assert_eq!(open.instrs.len(), 1);
     }
 
     #[test]

@@ -513,19 +513,26 @@ impl Instr {
     }
 
     /// Successor blocks if this is a terminator.
-    pub fn successors(&self) -> Vec<BlockId> {
+    ///
+    /// Returns an inline iterator (no heap allocation); a two-way branch
+    /// with identical arms yields its target once.
+    pub fn successors(&self) -> Successors {
         match self {
-            Instr::Jump { target } => vec![*target],
+            Instr::Jump { target } => Successors {
+                first: Some(*target),
+                second: None,
+            },
             Instr::Branch {
                 then_bb, else_bb, ..
-            } => {
-                if then_bb == else_bb {
-                    vec![*then_bb]
+            } => Successors {
+                first: Some(*then_bb),
+                second: if then_bb == else_bb {
+                    None
                 } else {
-                    vec![*then_bb, *else_bb]
-                }
-            }
-            _ => Vec::new(),
+                    Some(*else_bb)
+                },
+            },
+            _ => Successors::empty(),
         }
     }
 
@@ -586,6 +593,45 @@ impl Instr {
     }
 }
 
+/// Inline iterator over a terminator's successor blocks (zero, one, or two
+/// of them) — the non-allocating replacement for the old `Vec<BlockId>`
+/// return of [`Instr::successors`]. A conditional branch whose arms agree
+/// yields its target once, preserving the historical dedup behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Successors {
+    first: Option<BlockId>,
+    second: Option<BlockId>,
+}
+
+impl Successors {
+    /// An iterator with no successors (non-terminators, `ret`).
+    pub fn empty() -> Self {
+        Successors {
+            first: None,
+            second: None,
+        }
+    }
+}
+
+impl Iterator for Successors {
+    type Item = BlockId;
+
+    fn next(&mut self) -> Option<BlockId> {
+        self.first.take().or_else(|| self.second.take())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Successors {
+    fn len(&self) -> usize {
+        self.first.is_some() as usize + self.second.is_some() as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -642,13 +688,15 @@ mod tests {
             then_bb: BlockId(1),
             else_bb: BlockId(1),
         };
-        assert_eq!(b.successors(), vec![BlockId(1)]);
+        assert_eq!(b.successors().collect::<Vec<_>>(), vec![BlockId(1)]);
         let b2 = Instr::Branch {
             cond: Reg(0),
             then_bb: BlockId(1),
             else_bb: BlockId(2),
         };
         assert_eq!(b2.successors().len(), 2);
+        assert_eq!(b2.successors().size_hint(), (2, Some(2)));
+        assert_eq!(Instr::Ret { value: None }.successors().count(), 0);
     }
 
     #[test]

@@ -42,13 +42,17 @@ mod function;
 mod instr;
 mod parse;
 mod print;
+mod scratch;
 mod tag;
 mod validate;
 
 pub use builder::FunctionBuilder;
 pub use function::{Block, BodyStats, Function, Global, GlobalInit, Module};
-pub use instr::{BinOp, BlockId, Callee, CmpOp, FuncId, Instr, Intrinsic, Reg, UnaryOp};
+pub use instr::{
+    BinOp, BlockId, Callee, CmpOp, FuncId, Instr, Intrinsic, Reg, Successors, UnaryOp,
+};
 pub use parse::{parse_module, ParseIlError};
 pub use print::{instr_to_string, module_to_string, tagset_to_string};
+pub use scratch::{DenseMap, DenseSet, RewriteBuf};
 pub use tag::{DenseTagSet, TagId, TagInfo, TagKind, TagSet, TagTable, INLINE_CAP};
 pub use validate::{validate, ValidateError};

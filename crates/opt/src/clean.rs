@@ -9,8 +9,27 @@
 use cfg::{remove_unreachable_blocks_in, FunctionAnalyses};
 use ir::{BlockId, Function, Instr, Module};
 
+/// Reusable buffers for [`clean_function_in`]: the jump-forwarding table,
+/// length-reset per call so its capacity survives across functions.
+#[derive(Default)]
+pub struct CleanScratch {
+    forward: Vec<Option<BlockId>>,
+}
+
 /// Runs the cleaner on one function. Returns the number of changes.
+///
+/// Convenience wrapper over [`clean_function_in`] with a throwaway scratch.
 pub fn clean_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
+    clean_function_in(func, analyses, &mut CleanScratch::default())
+}
+
+/// [`clean_function`] against caller-owned scratch buffers: the
+/// zero-allocation path the fused pipeline chain uses.
+pub fn clean_function_in(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+    scratch: &mut CleanScratch,
+) -> usize {
     let mut changes = 0;
     // 1. Drop nops. Removing a nop changes no live range and no edge, so
     //    it does not dirty the cache at all.
@@ -40,7 +59,9 @@ pub fn clean_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> u
     //    respect φ-nodes in targets (their predecessor labels would have to
     //    change; the pipeline is φ-free, but stay safe).
     let n = func.blocks.len();
-    let mut forward: Vec<Option<BlockId>> = vec![None; n];
+    let forward = &mut scratch.forward;
+    forward.clear();
+    forward.resize(n, None);
     for id in func.block_ids() {
         let block = func.block(id);
         if block.instrs.len() == 1 {
@@ -96,11 +117,12 @@ pub fn clean_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> u
     changes
 }
 
-/// Runs the cleaner over every function.
+/// Runs the cleaner over every function, sharing one scratch.
 pub fn clean(module: &mut Module) -> usize {
     let mut changes = 0;
+    let mut scratch = CleanScratch::default();
     for func in &mut module.funcs {
-        changes += clean_function(func, &mut FunctionAnalyses::new());
+        changes += clean_function_in(func, &mut FunctionAnalyses::new(), &mut scratch);
     }
     changes
 }
@@ -184,11 +206,15 @@ mod tests {
     }
 }
 
-/// [`clean_function`] with per-pass delta recording (see [`crate::with_delta`]).
+/// [`clean_function_in`] with per-pass delta recording (see
+/// [`crate::with_delta`]).
 pub fn clean_function_traced(
     func: &mut Function,
     analyses: &mut FunctionAnalyses,
+    scratch: &mut CleanScratch,
     tr: &mut trace::FuncTrace,
 ) -> usize {
-    crate::with_delta("clean", func, tr, |f| clean_function(f, analyses))
+    crate::with_delta("clean", func, tr, |f| {
+        clean_function_in(f, analyses, scratch)
+    })
 }

@@ -151,26 +151,41 @@ pub struct ConstLattice {
     pub input: Vec<Vec<Lat>>,
 }
 
-/// Solves the constant lattice for `func`. With `dense = false` this is
-/// sparse conditional constant propagation: only the entry is seeded, a
-/// branch whose condition is a known constant marks only its taken edge,
-/// and blocks are re-enqueued only when their input actually changes. With
-/// `dense = true` it is the classic iterate-to-fixpoint sweep over every
-/// reachable block and edge. Work is counted into `stats` either way.
-pub fn analyze_constants(
+/// Reusable solver state for [`constprop_function_in`]: the per-block
+/// lattice inputs flattened into one `blocks × nregs` vector, the
+/// executable-block bitmap, the walking state, and the worklist. Length-
+/// reset per call; capacity survives across functions.
+#[derive(Default)]
+pub struct ConstScratch {
+    input: Vec<Lat>,
+    executable: Vec<bool>,
+    state: Vec<Lat>,
+    wl: BlockWorklist,
+}
+
+/// [`analyze_constants`] into caller-owned scratch buffers. On return
+/// `scratch.executable` and `scratch.input` (flat, `nregs` per block) hold
+/// the solution.
+fn analyze_constants_in(
     func: &Function,
     cfg: &Cfg,
     dense: bool,
     stats: &mut DataflowStats,
-) -> ConstLattice {
+    scratch: &mut ConstScratch,
+) {
     let nregs = func.next_reg as usize;
     let n = func.blocks.len();
-    let mut input: Vec<Vec<Lat>> = vec![vec![Lat::Top; nregs]; n];
+    scratch.input.clear();
+    scratch.input.resize(n * nregs, Lat::Top);
+    scratch.executable.clear();
+    scratch.executable.resize(n, false);
     // Parameters are unknown.
     for p in 0..func.arity {
-        input[func.entry.index()][p] = Lat::Bottom;
+        scratch.input[func.entry.index() * nregs + p] = Lat::Bottom;
     }
-    let mut executable = vec![false; n];
+    let executable = &mut scratch.executable;
+    let input = &mut scratch.input;
+    let state = &mut scratch.state;
     if dense {
         for &b in &cfg.rpo {
             executable[b.index()] = true;
@@ -180,13 +195,16 @@ pub fn analyze_constants(
             changed = false;
             for &b in &cfg.rpo {
                 stats.blocks_visited += 1;
-                let mut state = input[b.index()].clone();
+                let bi = b.index();
+                state.clear();
+                state.extend_from_slice(&input[bi * nregs..(bi + 1) * nregs]);
                 for instr in &func.block(b).instrs {
                     stats.transfer_evals += 1;
-                    transfer(instr, &mut state);
+                    transfer(instr, state);
                 }
-                for s in cfg.succs[b.index()].iter() {
-                    let succ_in = &mut input[s.index()];
+                for s in cfg.succs[bi].iter() {
+                    let si = s.index();
+                    let succ_in = &mut input[si * nregs..(si + 1) * nregs];
                     for (i, v) in state.iter().enumerate() {
                         let m = succ_in[i].meet(*v);
                         if m != succ_in[i] {
@@ -197,22 +215,22 @@ pub fn analyze_constants(
                 }
             }
         }
-        return ConstLattice { executable, input };
+        return;
     }
     // Sparse conditional constant propagation. The executable set and the
     // per-block inputs both grow monotonically, so the worklist terminates
     // at the least fixpoint over executable edges.
     executable[func.entry.index()] = true;
-    let mut wl = BlockWorklist::new(cfg, Direction::Forward);
+    let wl = &mut scratch.wl;
+    wl.reset(cfg, Direction::Forward);
     wl.push(func.entry, stats);
-    let mut state: Vec<Lat> = Vec::with_capacity(nregs);
     while let Some(b) = wl.pop(stats) {
         let bi = b.index();
         state.clear();
-        state.extend_from_slice(&input[bi]);
+        state.extend_from_slice(&input[bi * nregs..(bi + 1) * nregs]);
         for instr in &func.block(b).instrs {
             stats.transfer_evals += 1;
-            transfer(instr, &mut state);
+            transfer(instr, state);
         }
         // A branch whose condition has resolved to a constant executes
         // only its taken edge; everything else keeps all successors.
@@ -236,7 +254,7 @@ pub fn analyze_constants(
             let si = s.index();
             let mut changed = !executable[si];
             executable[si] = true;
-            let succ_in = &mut input[si];
+            let succ_in = &mut input[si * nregs..(si + 1) * nregs];
             for (i, v) in state.iter().enumerate() {
                 let m = succ_in[i].meet(*v);
                 if m != succ_in[i] {
@@ -249,27 +267,65 @@ pub fn analyze_constants(
             }
         }
     }
-    ConstLattice { executable, input }
+}
+
+/// Solves the constant lattice for `func`. With `dense = false` this is
+/// sparse conditional constant propagation: only the entry is seeded, a
+/// branch whose condition is a known constant marks only its taken edge,
+/// and blocks are re-enqueued only when their input actually changes. With
+/// `dense = true` it is the classic iterate-to-fixpoint sweep over every
+/// reachable block and edge. Work is counted into `stats` either way.
+pub fn analyze_constants(
+    func: &Function,
+    cfg: &Cfg,
+    dense: bool,
+    stats: &mut DataflowStats,
+) -> ConstLattice {
+    let mut scratch = ConstScratch::default();
+    analyze_constants_in(func, cfg, dense, stats, &mut scratch);
+    let nregs = func.next_reg as usize;
+    let n = func.blocks.len();
+    ConstLattice {
+        executable: scratch.executable,
+        input: (0..n)
+            .map(|b| scratch.input[b * nregs..(b + 1) * nregs].to_vec())
+            .collect(),
+    }
 }
 
 /// Runs constant propagation over one function. Returns rewrites made.
+///
+/// Convenience wrapper over [`constprop_function_in`] with a throwaway
+/// scratch.
 pub fn constprop_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
+    constprop_function_in(func, analyses, &mut ConstScratch::default())
+}
+
+/// [`constprop_function`] against caller-owned scratch buffers: the
+/// zero-allocation path the fused pipeline chain uses.
+pub fn constprop_function_in(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+    scratch: &mut ConstScratch,
+) -> usize {
+    let nregs = func.next_reg as usize;
     let dense = analyses.dense_dataflow();
     let mut stats = DataflowStats::default();
     let cfg = analyses.cfg(func);
-    let lat = analyze_constants(func, cfg, dense, &mut stats);
+    analyze_constants_in(func, cfg, dense, &mut stats, scratch);
     // Rewrite pass: fold definitions and branches. Blocks the solver
     // proved non-executable are left untouched — once their incoming
     // branches fold to jumps, `clean` removes them outright.
     let mut rewrites = 0;
     let mut branch_folds = 0;
-    let mut state: Vec<Lat> = Vec::new();
+    let state = &mut scratch.state;
     for &b in &cfg.rpo {
-        if !lat.executable[b.index()] {
+        if !scratch.executable[b.index()] {
             continue;
         }
+        let bi = b.index();
         state.clear();
-        state.extend_from_slice(&lat.input[b.index()]);
+        state.extend_from_slice(&scratch.input[bi * nregs..(bi + 1) * nregs]);
         for instr in &mut func.block_mut(b).instrs {
             let folded: Option<Instr> = match instr {
                 Instr::Binary { dst, .. } | Instr::Cmp { dst, .. } | Instr::Unary { dst, .. } => {
@@ -292,7 +348,7 @@ pub fn constprop_function(func: &mut Function, analyses: &mut FunctionAnalyses) 
                 },
                 _ => None,
             };
-            transfer(instr, &mut state);
+            transfer(instr, state);
             if let Some(new) = folded {
                 if *instr != new {
                     if matches!(new, Instr::Jump { .. }) {
@@ -315,11 +371,12 @@ pub fn constprop_function(func: &mut Function, analyses: &mut FunctionAnalyses) 
     rewrites
 }
 
-/// Runs constant propagation over every function.
+/// Runs constant propagation over every function, sharing one scratch.
 pub fn constprop(module: &mut Module) -> usize {
     let mut n = 0;
+    let mut scratch = ConstScratch::default();
     for func in &mut module.funcs {
-        n += constprop_function(func, &mut FunctionAnalyses::new());
+        n += constprop_function_in(func, &mut FunctionAnalyses::new(), &mut scratch);
     }
     n
 }
@@ -537,11 +594,15 @@ B0:
     }
 }
 
-/// [`constprop_function`] with per-pass delta recording (see [`crate::with_delta`]).
+/// [`constprop_function_in`] with per-pass delta recording (see
+/// [`crate::with_delta`]).
 pub fn constprop_function_traced(
     func: &mut Function,
     analyses: &mut FunctionAnalyses,
+    scratch: &mut ConstScratch,
     tr: &mut trace::FuncTrace,
 ) -> usize {
-    crate::with_delta("constprop", func, tr, |f| constprop_function(f, analyses))
+    crate::with_delta("constprop", func, tr, |f| {
+        constprop_function_in(f, analyses, scratch)
+    })
 }

@@ -15,6 +15,20 @@
 use cfg::{DataflowStats, FunctionAnalyses};
 use ir::{Function, Module, Reg};
 
+/// Reusable mark-and-sweep buffers for [`dce_function_in`]: the live
+/// bitmap plus the CSR def→uses map of the sparse marker. All vectors are
+/// length-reset (`clear` + `resize`) per call, so their capacity survives
+/// across functions and the steady state allocates nothing.
+#[derive(Default)]
+pub struct DceScratch {
+    live: Vec<bool>,
+    counts: Vec<usize>,
+    offsets: Vec<usize>,
+    fill: Vec<usize>,
+    operands: Vec<Reg>,
+    wl: Vec<Reg>,
+}
+
 /// Marks live registers by dense full-function resweeps (the measured
 /// baseline).
 fn mark_dense(func: &Function, live: &mut [bool], stats: &mut DataflowStats) {
@@ -43,10 +57,12 @@ fn mark_dense(func: &Function, live: &mut [bool], stats: &mut DataflowStats) {
 /// Marks live registers sparsely: a CSR def→uses map (for each register,
 /// the operands of all its pure definitions) plus a stack of registers
 /// whose liveness is new.
-fn mark_sparse(func: &Function, live: &mut [bool], stats: &mut DataflowStats) {
+fn mark_sparse(func: &Function, scratch: &mut DceScratch, stats: &mut DataflowStats) {
     let nregs = func.next_reg as usize;
     // Count each pure definition's operands against its destination.
-    let mut counts = vec![0usize; nregs + 1];
+    let counts = &mut scratch.counts;
+    counts.clear();
+    counts.resize(nregs + 1, 0);
     for block in &func.blocks {
         for instr in &block.instrs {
             if let Some(d) = instr.def() {
@@ -57,15 +73,21 @@ fn mark_sparse(func: &Function, live: &mut [bool], stats: &mut DataflowStats) {
         }
     }
     // Prefix-sum into CSR offsets.
-    let mut offsets = vec![0usize; nregs + 1];
+    let offsets = &mut scratch.offsets;
+    offsets.clear();
+    offsets.resize(nregs + 1, 0);
     let mut total = 0;
     for r in 0..nregs {
         offsets[r] = total;
         total += counts[r];
     }
     offsets[nregs] = total;
-    let mut fill = offsets.clone();
-    let mut operands = vec![Reg(0); total];
+    let fill = &mut scratch.fill;
+    fill.clear();
+    fill.extend_from_slice(offsets);
+    let operands = &mut scratch.operands;
+    operands.clear();
+    operands.resize(total, Reg(0));
     for block in &func.blocks {
         for instr in &block.instrs {
             if let Some(d) = instr.def() {
@@ -79,12 +101,15 @@ fn mark_sparse(func: &Function, live: &mut [bool], stats: &mut DataflowStats) {
         }
     }
     // Worklist of registers that just became live.
-    let mut wl: Vec<Reg> = live
-        .iter()
-        .enumerate()
-        .filter(|(_, l)| **l)
-        .map(|(r, _)| Reg(r as u32))
-        .collect();
+    let live = &mut scratch.live;
+    let wl = &mut scratch.wl;
+    wl.clear();
+    wl.extend(
+        live.iter()
+            .enumerate()
+            .filter(|(_, l)| **l)
+            .map(|(r, _)| Reg(r as u32)),
+    );
     stats.worklist_pushes += wl.len() as u64;
     while let Some(r) = wl.pop() {
         stats.transfer_evals += 1;
@@ -99,26 +124,40 @@ fn mark_sparse(func: &Function, live: &mut [bool], stats: &mut DataflowStats) {
 }
 
 /// Runs DCE on one function. Returns the number of instructions removed.
+///
+/// Convenience wrapper over [`dce_function_in`] with a throwaway scratch.
 pub fn dce_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
+    dce_function_in(func, analyses, &mut DceScratch::default())
+}
+
+/// [`dce_function`] against caller-owned scratch buffers: the
+/// zero-allocation path the fused pipeline chain uses.
+pub fn dce_function_in(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+    scratch: &mut DceScratch,
+) -> usize {
     let nregs = func.next_reg as usize;
-    let mut live = vec![false; nregs];
+    scratch.live.clear();
+    scratch.live.resize(nregs, false);
     // Seed with uses of side-effecting/control instructions.
     for block in &func.blocks {
         for instr in &block.instrs {
             if instr.has_side_effects() {
-                instr.visit_uses(|r| live[r.index()] = true);
+                instr.visit_uses(|r| scratch.live[r.index()] = true);
             }
         }
     }
     // Propagate: a live def makes its operands live.
     let mut stats = DataflowStats::default();
     if analyses.dense_dataflow() {
-        mark_dense(func, &mut live, &mut stats);
+        mark_dense(func, &mut scratch.live, &mut stats);
     } else {
-        mark_sparse(func, &mut live, &mut stats);
+        mark_sparse(func, scratch, &mut stats);
     }
     analyses.dataflow.add(&stats);
     // Sweep.
+    let live = &scratch.live;
     let mut removed = 0;
     for block in &mut func.blocks {
         let before = block.instrs.len();
@@ -142,11 +181,12 @@ pub fn dce_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usi
     removed
 }
 
-/// Runs DCE over every function.
+/// Runs DCE over every function, sharing one scratch.
 pub fn dce(module: &mut Module) -> usize {
     let mut removed = 0;
+    let mut scratch = DceScratch::default();
     for func in &mut module.funcs {
-        removed += dce_function(func, &mut FunctionAnalyses::new());
+        removed += dce_function_in(func, &mut FunctionAnalyses::new(), &mut scratch);
     }
     removed
 }
@@ -213,11 +253,13 @@ B0:
     }
 }
 
-/// [`dce_function`] with per-pass delta recording (see [`crate::with_delta`]).
+/// [`dce_function_in`] with per-pass delta recording (see
+/// [`crate::with_delta`]).
 pub fn dce_function_traced(
     func: &mut Function,
     analyses: &mut FunctionAnalyses,
+    scratch: &mut DceScratch,
     tr: &mut trace::FuncTrace,
 ) -> usize {
-    crate::with_delta("dce", func, tr, |f| dce_function(f, analyses))
+    crate::with_delta("dce", func, tr, |f| dce_function_in(f, analyses, scratch))
 }

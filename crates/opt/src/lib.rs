@@ -40,15 +40,39 @@ mod loadelim;
 mod lvn;
 mod strengthen;
 
-pub use clean::{clean, clean_function, clean_function_traced};
+pub use clean::{clean, clean_function, clean_function_in, clean_function_traced, CleanScratch};
 pub use constprop::{
-    analyze_constants, constprop, constprop_function, constprop_function_traced, ConstLattice, Lat,
+    analyze_constants, constprop, constprop_function, constprop_function_in,
+    constprop_function_traced, ConstLattice, ConstScratch, Lat,
 };
-pub use dce::{dce, dce_function, dce_function_traced};
-pub use licm::{licm, licm_function, licm_function_traced};
-pub use loadelim::{loadelim, loadelim_function, loadelim_function_traced};
-pub use lvn::{lvn, lvn_function, lvn_function_traced};
+pub use dce::{dce, dce_function, dce_function_in, dce_function_traced, DceScratch};
+pub use licm::{licm, licm_function, licm_function_in, licm_function_traced, LicmScratch};
+pub use loadelim::{
+    loadelim, loadelim_function, loadelim_function_in, loadelim_function_traced, LoadelimScratch,
+};
+pub use lvn::{lvn, lvn_function, lvn_function_in, lvn_function_traced, LvnScratch};
 pub use strengthen::{strengthen, strengthen_function, strengthen_function_traced};
+
+/// One scratch arena covering every pass in this crate: what a pipeline
+/// worker owns (one per thread) and threads through the fused pass chain,
+/// so the steady-state hot loop runs without allocating. Each field is the
+/// corresponding pass's reusable state; all of them reset cheaply (epoch
+/// bumps and length-resets) at the start of each pass invocation.
+#[derive(Default)]
+pub struct OptScratch {
+    /// [`lvn_function_in`] tables.
+    pub lvn: LvnScratch,
+    /// [`constprop_function_in`] lattice and worklist.
+    pub constprop: ConstScratch,
+    /// [`loadelim_function_in`] fact maps and worklist.
+    pub loadelim: LoadelimScratch,
+    /// [`licm_function_in`] hoisting tables.
+    pub licm: LicmScratch,
+    /// [`dce_function_in`] mark buffers.
+    pub dce: DceScratch,
+    /// [`clean_function_in`] forwarding table.
+    pub clean: CleanScratch,
+}
 
 use ir::{BodyStats, Function};
 use trace::FuncTrace;

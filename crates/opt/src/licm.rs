@@ -8,8 +8,47 @@
 //! non-constant) are never speculated.
 
 use cfg::{FunctionAnalyses, LoopForest};
-use ir::{BinOp, Function, Instr, Module, Reg, TagSet};
-use std::collections::HashMap;
+use ir::{BinOp, DenseMap, Function, Instr, Module, Reg, TagSet};
+
+/// The payload of a cloneable constant definition — enough to mint a fresh
+/// copy in the landing pad without keeping a cloned [`Instr`] around.
+#[derive(Clone, Copy)]
+enum ConstVal {
+    Int(i64),
+    Float(f64),
+}
+
+impl Default for ConstVal {
+    fn default() -> Self {
+        ConstVal::Int(0)
+    }
+}
+
+impl ConstVal {
+    fn mint(self, dst: Reg) -> Instr {
+        match self {
+            ConstVal::Int(value) => Instr::IConst { dst, value },
+            ConstVal::Float(value) => Instr::FConst { dst, value },
+        }
+    }
+}
+
+/// Reusable hoisting state for [`licm_function_in`]: dense per-register
+/// side tables (definition counts, per-loop in-loop counts, cloneable
+/// constants, per-loop pad clones) plus the block list, hoist mask, and
+/// pending-hoist buffer that let each block be rebuilt in one compaction
+/// sweep instead of one `Vec::remove`/`insert` shift per hoist.
+#[derive(Default)]
+pub struct LicmScratch {
+    def_count: DenseMap<u32>,
+    defs_in_loop: Vec<DenseMap<u32>>,
+    const_of: DenseMap<ConstVal>,
+    pad_clones: DenseMap<u32>,
+    blocks: Vec<ir::BlockId>,
+    to_pad: Vec<Instr>,
+    hoist_mask: Vec<bool>,
+    const_operands: Vec<Reg>,
+}
 
 /// Constants are never *moved* out of loops — on the paper's ILOC they
 /// would be immediate operands with no live range at all, so stretching
@@ -59,38 +98,82 @@ fn loop_mods(func: &Function, forest: &LoopForest, li: usize) -> TagSet {
 }
 
 /// Runs LICM over one (normalized) function. Returns instructions moved.
+///
+/// Convenience wrapper over [`licm_function_in`] with a throwaway scratch.
 pub fn licm_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
+    licm_function_in(func, analyses, &mut LicmScratch::default())
+}
+
+/// [`licm_function`] against caller-owned scratch tables: the
+/// zero-allocation path the fused pipeline chain uses.
+///
+/// Semantics are identical to hoisting one instruction at a time; the
+/// difference is mechanical. Hoist decisions mark instructions (the slot
+/// is replaced by a nop and the instruction moves to a pending buffer, so
+/// later decisions in the same sweep observe exactly the
+/// already-hoisted state), and each swept block is then compacted once
+/// and its pending hoists spliced into the landing pad in one shift —
+/// instead of one `Vec::remove` plus one `insert_before_terminator` per
+/// hoist.
+pub fn licm_function_in(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+    scratch: &mut LicmScratch,
+) -> usize {
     let (_, forest, geom) = analyses.loop_view(func);
     if forest.is_empty() {
         return 0;
     }
+    let nregs = func.next_reg as usize;
+    let LicmScratch {
+        def_count,
+        defs_in_loop,
+        const_of,
+        pad_clones,
+        blocks,
+        to_pad,
+        hoist_mask,
+        const_operands,
+    } = scratch;
     // Whole-function definition counts (single-def requirement).
-    let mut def_count: HashMap<Reg, usize> = HashMap::new();
+    def_count.reset(nregs);
     for block in &func.blocks {
         for instr in &block.instrs {
             if let Some(d) = instr.def() {
-                *def_count.entry(d).or_default() += 1;
+                let c = def_count.get(d.0).unwrap_or(0);
+                def_count.insert(d.0, c + 1);
             }
         }
     }
     // Per-loop in-loop definition counts, updated as hoists happen.
-    let mut defs_in_loop: Vec<HashMap<Reg, usize>> = vec![HashMap::new(); forest.len()];
+    if defs_in_loop.len() < forest.len() {
+        defs_in_loop.resize_with(forest.len(), DenseMap::default);
+    }
     for (li, l) in forest.loops.iter().enumerate() {
+        let dl = &mut defs_in_loop[li];
+        dl.reset(nregs);
         for &b in &l.blocks {
             for instr in &func.blocks[b.index()].instrs {
                 if let Some(d) = instr.def() {
-                    *defs_in_loop[li].entry(d).or_default() += 1;
+                    let c = dl.get(d.0).unwrap_or(0);
+                    dl.insert(d.0, c + 1);
                 }
             }
         }
     }
-    // Single-definition constants, for pad cloning.
-    let mut const_of: HashMap<Reg, Instr> = HashMap::new();
+    // Single-definition constants, for pad cloning (payload only — no
+    // instruction clones).
+    const_of.reset(nregs);
     for block in &func.blocks {
         for instr in &block.instrs {
             if let Some(d) = instr.def() {
-                if constant_def(instr) && def_count.get(&d) == Some(&1) {
-                    const_of.insert(d, instr.clone());
+                if constant_def(instr) && def_count.get(d.0) == Some(1) {
+                    let val = match instr {
+                        Instr::IConst { value, .. } => ConstVal::Int(*value),
+                        Instr::FConst { value, .. } => ConstVal::Float(*value),
+                        _ => unreachable!("constant_def"),
+                    };
+                    const_of.insert(d.0, val);
                 }
             }
         }
@@ -101,92 +184,122 @@ pub fn licm_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> us
         let pad = geom.landing_pads[li];
         let mods = loop_mods(func, forest, li);
         // Constants already cloned into this loop's pad: original -> clone.
-        let mut pad_clones: HashMap<Reg, Reg> = HashMap::new();
-        // Iterate to fixpoint so chains of invariant ops cascade out.
-        loop {
-            let mut hoisted_any = false;
-            let blocks: Vec<_> = forest.loops[li]
+        pad_clones.reset(0);
+        blocks.clear();
+        blocks.extend(
+            forest.loops[li]
                 .blocks
                 .iter()
                 .copied()
-                .filter(|b| forest.block_loop[b.index()] == Some(cfg::LoopId(li as u32)))
-                .collect();
-            for b in blocks {
-                let mut i = 0;
-                while i < func.blocks[b.index()].instrs.len() {
-                    let instr = &func.blocks[b.index()].instrs[i];
-                    let hoistable = match instr {
-                        Instr::SLoad { tag, .. } | Instr::CLoad { tag, .. } => !mods.contains(*tag),
-                        other => is_speculable(other, func),
-                    };
-                    let single_def = instr
-                        .def()
-                        .map(|d| def_count.get(&d) == Some(&1))
-                        .unwrap_or(false);
-                    // An operand is invariant if it is not defined in the
-                    // loop, or is a single-def constant we can clone into
-                    // the pad.
-                    let mut operands_invariant = true;
-                    let mut const_operands: Vec<Reg> = Vec::new();
-                    instr.visit_uses(|r| {
-                        if defs_in_loop[li].get(&r).copied().unwrap_or(0) > 0 {
-                            if const_of.contains_key(&r) {
-                                const_operands.push(r);
-                            } else {
-                                operands_invariant = false;
+                .filter(|b| forest.block_loop[b.index()] == Some(cfg::LoopId(li as u32))),
+        );
+        // Iterate to fixpoint so chains of invariant ops cascade out.
+        loop {
+            let mut hoisted_any = false;
+            for &b in blocks.iter() {
+                let len = func.blocks[b.index()].instrs.len();
+                hoist_mask.clear();
+                hoist_mask.resize(len, false);
+                debug_assert!(to_pad.is_empty());
+                for i in 0..len {
+                    let hoist = {
+                        let instr = &func.blocks[b.index()].instrs[i];
+                        let hoistable = match instr {
+                            Instr::SLoad { tag, .. } | Instr::CLoad { tag, .. } => {
+                                !mods.contains(*tag)
                             }
-                        }
-                    });
-                    if hoistable && single_def && operands_invariant && !instr.is_terminator() {
-                        let mut instr = func.blocks[b.index()].instrs.remove(i);
-                        // Clone any in-loop constant operands into the pad
-                        // and retarget the hoisted instruction to the
-                        // clones.
-                        for r in const_operands {
-                            let clone_reg = match pad_clones.get(&r) {
-                                Some(&c) => c,
-                                None => {
-                                    let nr = Reg(func.next_reg);
-                                    func.next_reg += 1;
-                                    let mut c = const_of[&r].clone();
-                                    if let Some(d) = c.def_mut() {
-                                        *d = nr;
-                                    }
-                                    func.blocks[pad.index()].insert_before_terminator(c);
-                                    pad_clones.insert(r, nr);
-                                    // The clone lives in this loop's pad,
-                                    // which sits inside every enclosing
-                                    // loop: record the definition there so
-                                    // outer-loop hoisting cannot float a
-                                    // consumer above it.
-                                    let mut anc = forest.loops[li].parent;
-                                    while let Some(a) = anc {
-                                        *defs_in_loop[a.index()].entry(nr).or_default() += 1;
-                                        anc = forest.loops[a.index()].parent;
-                                    }
-                                    nr
+                            other => is_speculable(other, func),
+                        };
+                        let single_def = instr
+                            .def()
+                            .map(|d| def_count.get(d.0) == Some(1))
+                            .unwrap_or(false);
+                        // An operand is invariant if it is not defined in
+                        // the loop, or is a single-def constant we can
+                        // clone into the pad.
+                        let mut operands_invariant = true;
+                        const_operands.clear();
+                        let dl = &defs_in_loop[li];
+                        instr.visit_uses(|r| {
+                            if dl.get(r.0).unwrap_or(0) > 0 {
+                                if const_of.get(r.0).is_some() {
+                                    const_operands.push(r);
+                                } else {
+                                    operands_invariant = false;
                                 }
-                            };
-                            instr.visit_uses_mut(|u| {
-                                if *u == r {
-                                    *u = clone_reg;
-                                }
-                            });
-                        }
-                        let d = instr.def().expect("hoistable instructions define");
-                        // The register is no longer defined in this loop;
-                        // enclosing loops still contain it (the pad is
-                        // inside the parent loop), so only this level
-                        // changes.
-                        if let Some(c) = defs_in_loop[li].get_mut(&d) {
-                            *c -= 1;
-                        }
-                        func.block_mut(pad).insert_before_terminator(instr);
-                        moved += 1;
-                        hoisted_any = true;
-                    } else {
-                        i += 1;
+                            }
+                        });
+                        hoistable && single_def && operands_invariant && !instr.is_terminator()
+                    };
+                    if !hoist {
+                        continue;
                     }
+                    // Clone any in-loop constant operands into the pad and
+                    // retarget the hoisted instruction to the clones. The
+                    // clones enter the pending buffer *before* their
+                    // consumer, preserving the one-at-a-time pad order.
+                    for k in 0..const_operands.len() {
+                        let r = const_operands[k];
+                        let clone_reg = match pad_clones.get(r.0) {
+                            Some(c) => Reg(c),
+                            None => {
+                                let nr = Reg(func.next_reg);
+                                func.next_reg += 1;
+                                to_pad.push(const_of.get(r.0).expect("const operand").mint(nr));
+                                pad_clones.insert(r.0, nr.0);
+                                // The clone lives in this loop's pad,
+                                // which sits inside every enclosing
+                                // loop: record the definition there so
+                                // outer-loop hoisting cannot float a
+                                // consumer above it.
+                                let mut anc = forest.loops[li].parent;
+                                while let Some(a) = anc {
+                                    let dl = &mut defs_in_loop[a.index()];
+                                    let c = dl.get(nr.0).unwrap_or(0);
+                                    dl.insert(nr.0, c + 1);
+                                    anc = forest.loops[a.index()].parent;
+                                }
+                                nr
+                            }
+                        };
+                        func.blocks[b.index()].instrs[i].visit_uses_mut(|u| {
+                            if *u == r {
+                                *u = clone_reg;
+                            }
+                        });
+                    }
+                    // Mark: move the instruction to the pending buffer and
+                    // leave a nop in its slot until the block compacts.
+                    let instr =
+                        std::mem::replace(&mut func.blocks[b.index()].instrs[i], Instr::Nop);
+                    let d = instr.def().expect("hoistable instructions define");
+                    // The register is no longer defined in this loop;
+                    // enclosing loops still contain it (the pad is
+                    // inside the parent loop), so only this level
+                    // changes.
+                    if let Some(c) = defs_in_loop[li].get(d.0) {
+                        defs_in_loop[li].insert(d.0, c - 1);
+                    }
+                    to_pad.push(instr);
+                    hoist_mask[i] = true;
+                    moved += 1;
+                    hoisted_any = true;
+                }
+                if !to_pad.is_empty() {
+                    // Compact the swept block (drop the nop placeholders)
+                    // and splice all pending hoists before the pad's
+                    // terminator in one shift.
+                    let instrs = &mut func.blocks[b.index()].instrs;
+                    let mut w = 0;
+                    for r in 0..len {
+                        if !hoist_mask[r] {
+                            instrs.swap(w, r);
+                            w += 1;
+                        }
+                    }
+                    instrs.truncate(w);
+                    func.block_mut(pad)
+                        .splice_before_terminator(to_pad.drain(..));
                 }
             }
             if !hoisted_any {
@@ -202,13 +315,14 @@ pub fn licm_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> us
     moved
 }
 
-/// Runs LICM over every function.
+/// Runs LICM over every function, sharing one scratch.
 pub fn licm(module: &mut Module) -> usize {
     let mut moved = 0;
+    let mut scratch = LicmScratch::default();
     for func in &mut module.funcs {
         let mut analyses = FunctionAnalyses::new();
         cfg::normalize_loops_in(func, &mut analyses);
-        moved += licm_function(func, &mut analyses);
+        moved += licm_function_in(func, &mut analyses, &mut scratch);
     }
     moved
 }
@@ -334,11 +448,13 @@ int main() {
     }
 }
 
-/// [`licm_function`] with per-pass delta recording (see [`crate::with_delta`]).
+/// [`licm_function_in`] with per-pass delta recording (see
+/// [`crate::with_delta`]).
 pub fn licm_function_traced(
     func: &mut Function,
     analyses: &mut FunctionAnalyses,
+    scratch: &mut LicmScratch,
     tr: &mut trace::FuncTrace,
 ) -> usize {
-    crate::with_delta("licm", func, tr, |f| licm_function(f, analyses))
+    crate::with_delta("licm", func, tr, |f| licm_function_in(f, analyses, scratch))
 }

@@ -16,13 +16,48 @@ use std::collections::HashMap;
 /// (unvisited).
 type Avail = Option<HashMap<TagId, Reg>>;
 
+/// Reusable solver state for [`loadelim_function_in`]: the per-block input
+/// facts, a free pool of cleared fact maps the inputs are recycled
+/// through, the walking fact map, and the worklist. Every map keeps its
+/// hash-table capacity while parked in the pool, so the steady state
+/// allocates nothing.
+#[derive(Default)]
+pub struct LoadelimScratch {
+    input: Vec<Avail>,
+    pool: Vec<HashMap<TagId, Reg>>,
+    facts: HashMap<TagId, Reg>,
+    wl: BlockWorklist,
+}
+
+impl LoadelimScratch {
+    /// Recycles last call's fact maps into the pool and re-sizes the input
+    /// vector to `n` ⊤ entries.
+    fn begin(&mut self, n: usize) {
+        for slot in self.input.iter_mut() {
+            if let Some(mut m) = slot.take() {
+                m.clear();
+                self.pool.push(m);
+            }
+        }
+        self.input.clear();
+        self.input.resize(n, None);
+    }
+}
+
 /// Meets `out` into a successor's input fact in place; returns true if the
-/// input changed. ⊤ adopts `out` wholesale; otherwise the intersection
-/// only ever shrinks, so retaining agreeing entries suffices.
-fn meet_into(input: &mut Avail, out: &HashMap<TagId, Reg>) -> bool {
+/// input changed. ⊤ adopts `out` wholesale (into a map recycled from
+/// `pool`); otherwise the intersection only ever shrinks, so retaining
+/// agreeing entries suffices.
+fn meet_into(
+    input: &mut Avail,
+    out: &HashMap<TagId, Reg>,
+    pool: &mut Vec<HashMap<TagId, Reg>>,
+) -> bool {
     match input {
         None => {
-            *input = Some(out.clone());
+            let mut m = pool.pop().unwrap_or_default();
+            m.extend(out.iter().map(|(&t, &r)| (t, r)));
+            *input = Some(m);
             true
         }
         Some(m) => {
@@ -81,28 +116,49 @@ fn transfer(instr: &mut Instr, facts: &mut HashMap<TagId, Reg>, rewrite: bool) -
 
 /// Runs redundant-load elimination on one function. Returns loads
 /// rewritten to copies.
+///
+/// Convenience wrapper over [`loadelim_function_in`] with a throwaway
+/// scratch.
 pub fn loadelim_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
+    loadelim_function_in(func, analyses, &mut LoadelimScratch::default())
+}
+
+/// [`loadelim_function`] against caller-owned scratch state: the
+/// zero-allocation path the fused pipeline chain uses.
+pub fn loadelim_function_in(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+    scratch: &mut LoadelimScratch,
+) -> usize {
     let dense = analyses.dense_dataflow();
     let mut stats = DataflowStats::default();
     let cfg = analyses.cfg(func);
-    let mut input: Vec<Avail> = vec![None; func.blocks.len()];
-    input[func.entry.index()] = Some(HashMap::new());
+    scratch.begin(func.blocks.len());
+    let LoadelimScratch {
+        input,
+        pool,
+        facts,
+        wl,
+    } = scratch;
+    input[func.entry.index()] = Some(pool.pop().unwrap_or_default());
     if dense {
         // Dense fixpoint: resweep every visited block until stable.
         let mut changed = true;
         while changed {
             changed = false;
             for &b in &cfg.rpo {
-                let Some(mut facts) = input[b.index()].clone() else {
+                if input[b.index()].is_none() {
                     continue;
-                };
+                }
+                facts.clear();
+                facts.extend(input[b.index()].as_ref().unwrap());
                 stats.blocks_visited += 1;
                 for instr in &mut func.block_mut(b).instrs {
                     stats.transfer_evals += 1;
-                    transfer(instr, &mut facts, false);
+                    transfer(instr, facts, false);
                 }
                 for s in &cfg.succs[b.index()] {
-                    if meet_into(&mut input[s.index()], &facts) {
+                    if meet_into(&mut input[s.index()], facts, pool) {
                         changed = true;
                     }
                 }
@@ -110,18 +166,17 @@ pub fn loadelim_function(func: &mut Function, analyses: &mut FunctionAnalyses) -
         }
     } else {
         // Sparse worklist: a block re-runs only when its input shrank.
-        let mut wl = BlockWorklist::new(cfg, Direction::Forward);
+        wl.reset(cfg, Direction::Forward);
         wl.push(func.entry, &mut stats);
-        let mut facts: HashMap<TagId, Reg> = HashMap::new();
         while let Some(b) = wl.pop(&mut stats) {
             facts.clear();
             facts.extend(input[b.index()].as_ref().expect("queued implies visited"));
             for instr in &mut func.block_mut(b).instrs {
                 stats.transfer_evals += 1;
-                transfer(instr, &mut facts, false);
+                transfer(instr, facts, false);
             }
             for &s in &cfg.succs[b.index()] {
-                if meet_into(&mut input[s.index()], &facts) {
+                if meet_into(&mut input[s.index()], facts, pool) {
                     wl.push(s, &mut stats);
                 }
             }
@@ -130,11 +185,13 @@ pub fn loadelim_function(func: &mut Function, analyses: &mut FunctionAnalyses) -
     // Rewrite.
     let mut rewrites = 0;
     for &b in &cfg.rpo {
-        let Some(mut facts) = input[b.index()].clone() else {
+        let Some(block_in) = input[b.index()].as_ref() else {
             continue;
         };
+        facts.clear();
+        facts.extend(block_in);
         for instr in &mut func.block_mut(b).instrs {
-            rewrites += transfer(instr, &mut facts, true);
+            rewrites += transfer(instr, facts, true);
         }
     }
     analyses.dataflow.add(&stats);
@@ -145,11 +202,13 @@ pub fn loadelim_function(func: &mut Function, analyses: &mut FunctionAnalyses) -
     rewrites
 }
 
-/// Runs redundant-load elimination over every function.
+/// Runs redundant-load elimination over every function, sharing one
+/// scratch.
 pub fn loadelim(module: &mut Module) -> usize {
     let mut n = 0;
+    let mut scratch = LoadelimScratch::default();
     for func in &mut module.funcs {
-        n += loadelim_function(func, &mut FunctionAnalyses::new());
+        n += loadelim_function_in(func, &mut FunctionAnalyses::new(), &mut scratch);
     }
     n
 }
@@ -270,11 +329,15 @@ int main() {
     }
 }
 
-/// [`loadelim_function`] with per-pass delta recording (see [`crate::with_delta`]).
+/// [`loadelim_function_in`] with per-pass delta recording (see
+/// [`crate::with_delta`]).
 pub fn loadelim_function_traced(
     func: &mut Function,
     analyses: &mut FunctionAnalyses,
+    scratch: &mut LoadelimScratch,
     tr: &mut trace::FuncTrace,
 ) -> usize {
-    crate::with_delta("loadelim", func, tr, |f| loadelim_function(f, analyses))
+    crate::with_delta("loadelim", func, tr, |f| {
+        loadelim_function_in(f, analyses, scratch)
+    })
 }

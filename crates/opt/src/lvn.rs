@@ -7,7 +7,7 @@
 //! register instead of touching memory).
 
 use cfg::FunctionAnalyses;
-use ir::{BinOp, CmpOp, Function, Instr, Module, Reg, TagId, TagSet, UnaryOp};
+use ir::{BinOp, CmpOp, DenseMap, Function, Instr, Module, Reg, TagId, TagSet, UnaryOp};
 use std::collections::HashMap;
 
 type Vn = u32;
@@ -24,30 +24,48 @@ enum ExprKey {
     PtrAdd(Vn, Vn),
 }
 
+/// Reusable value-numbering tables: the per-block state of [`lvn_function`],
+/// hoisted into a scratch arena so the steady state allocates nothing.
+///
+/// The register- and value-number-keyed tables are epoch-cleared
+/// [`DenseMap`]s; the expression and scalar-memory tables stay hashed
+/// (their keys — structured expressions and tag ids, which may be huge
+/// provisional-spill values — are not dense) but keep their capacity
+/// across blocks and functions via `clear`.
 #[derive(Default)]
-struct Tables {
+pub struct LvnScratch {
     next_vn: Vn,
-    reg_vn: HashMap<Reg, Vn>,
+    reg_vn: DenseMap<Vn>,
     expr_vn: HashMap<ExprKey, Vn>,
-    vn_const: HashMap<Vn, i64>,
-    vn_home: HashMap<Vn, Reg>,
+    vn_const: DenseMap<i64>,
+    vn_home: DenseMap<u32>,
     /// Scalar memory state: tag -> value number currently in the cell.
     mem: HashMap<TagId, Vn>,
 }
 
-impl Tables {
+impl LvnScratch {
+    /// Forgets all block-local state; `nregs` sizes the register table.
+    fn begin_block(&mut self, nregs: usize) {
+        self.next_vn = 0;
+        self.reg_vn.reset(nregs);
+        self.vn_const.reset(0);
+        self.vn_home.reset(0);
+        self.expr_vn.clear();
+        self.mem.clear();
+    }
+
     fn fresh(&mut self) -> Vn {
         self.next_vn += 1;
         self.next_vn
     }
 
     fn vn_of(&mut self, r: Reg) -> Vn {
-        if let Some(&v) = self.reg_vn.get(&r) {
+        if let Some(v) = self.reg_vn.get(r.0) {
             v
         } else {
             let v = self.fresh();
-            self.reg_vn.insert(r, v);
-            self.vn_home.entry(v).or_insert(r);
+            self.reg_vn.insert(r.0, v);
+            self.vn_home.insert(v, r.0);
             v
         }
     }
@@ -55,17 +73,17 @@ impl Tables {
     /// The register currently holding `vn`, if any (validated against
     /// redefinition).
     fn home(&self, vn: Vn) -> Option<Reg> {
-        let r = *self.vn_home.get(&vn)?;
-        (self.reg_vn.get(&r) == Some(&vn)).then_some(r)
+        let r = self.vn_home.get(vn)?;
+        (self.reg_vn.get(r) == Some(vn)).then_some(Reg(r))
     }
 
     fn set_reg(&mut self, r: Reg, vn: Vn) {
-        self.reg_vn.insert(r, vn);
+        self.reg_vn.insert(r.0, vn);
         // Prefer the earliest live home; adopt r if the old home died.
         match self.home(vn) {
             Some(_) => {}
             None => {
-                self.vn_home.insert(vn, r);
+                self.vn_home.insert(vn, r.0);
             }
         }
     }
@@ -83,7 +101,7 @@ impl Tables {
 }
 
 /// Rewrites operand `r` to the canonical home of its value number.
-fn canon(t: &mut Tables, r: Reg) -> Reg {
+fn canon(t: &mut LvnScratch, r: Reg) -> Reg {
     let vn = t.vn_of(r);
     t.home(vn).unwrap_or(r)
 }
@@ -127,14 +145,27 @@ fn fold_cmp(op: CmpOp, a: i64, b: i64) -> i64 {
 
 /// Runs local value numbering over one function. Returns the number of
 /// instructions rewritten.
+///
+/// Convenience wrapper over [`lvn_function_in`] with a throwaway scratch.
 pub fn lvn_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usize {
+    lvn_function_in(func, analyses, &mut LvnScratch::default())
+}
+
+/// [`lvn_function`] against caller-owned scratch tables: the zero-allocation
+/// path the fused pipeline chain uses.
+pub fn lvn_function_in(
+    func: &mut Function,
+    analyses: &mut FunctionAnalyses,
+    scratch: &mut LvnScratch,
+) -> usize {
     let mut changes = 0;
     let mut branch_folds = 0;
+    let nregs = func.next_reg as usize;
     for block in &mut func.blocks {
-        let mut t = Tables::default();
+        scratch.begin_block(nregs);
         for instr in &mut block.instrs {
             let was_branch = matches!(instr, Instr::Branch { .. });
-            let c = lvn_instr(&mut t, instr);
+            let c = lvn_instr(scratch, instr);
             changes += c;
             if c > 0 && was_branch && matches!(instr, Instr::Jump { .. }) {
                 branch_folds += 1;
@@ -152,17 +183,22 @@ pub fn lvn_function(func: &mut Function, analyses: &mut FunctionAnalyses) -> usi
 }
 
 /// Processes one instruction; returns 1 if it was rewritten.
-fn lvn_instr(t: &mut Tables, instr: &mut Instr) -> usize {
+fn lvn_instr(t: &mut LvnScratch, instr: &mut Instr) -> usize {
     let mut changed = 0;
-    // First canonicalize operands (copy propagation).
-    let before = instr.clone();
+    // First canonicalize operands (copy propagation). Tracking the change
+    // inside the visit avoids the old whole-instruction clone-and-compare
+    // probe: only use operands can change here, so a reg-level comparison
+    // is exact.
     match instr {
         // φ operands must not be rewritten with block-local information.
         Instr::Phi { .. } => {}
-        _ => instr.visit_uses_mut(|r| *r = canon(t, *r)),
-    }
-    if *instr != before {
-        changed = 1;
+        _ => instr.visit_uses_mut(|r| {
+            let c = canon(t, *r);
+            if c != *r {
+                *r = c;
+                changed = 1;
+            }
+        }),
     }
     match instr {
         Instr::IConst { dst, value } => {
@@ -201,7 +237,7 @@ fn lvn_instr(t: &mut Tables, instr: &mut Instr) -> usize {
         Instr::Unary { op, dst, src } => {
             let vs = t.vn_of(*src);
             // Fold integer negation/not of constants.
-            if let Some(&c) = t.vn_const.get(&vs) {
+            if let Some(c) = t.vn_const.get(vs) {
                 let folded = match op {
                     UnaryOp::Neg => Some(c.wrapping_neg()),
                     UnaryOp::Not => Some((c == 0) as i64),
@@ -235,8 +271,8 @@ fn lvn_instr(t: &mut Tables, instr: &mut Instr) -> usize {
         Instr::Binary { op, dst, lhs, rhs } => {
             let mut vl = t.vn_of(*lhs);
             let mut vr = t.vn_of(*rhs);
-            let cl = t.vn_const.get(&vl).copied();
-            let cr = t.vn_const.get(&vr).copied();
+            let cl = t.vn_const.get(vl);
+            let cr = t.vn_const.get(vr);
             // Constant folding.
             if let (Some(a), Some(b)) = (cl, cr) {
                 if let Some(v) = fold_int_binary(*op, a, b) {
@@ -288,7 +324,7 @@ fn lvn_instr(t: &mut Tables, instr: &mut Instr) -> usize {
         Instr::Cmp { op, dst, lhs, rhs } => {
             let vl = t.vn_of(*lhs);
             let vr = t.vn_of(*rhs);
-            if let (Some(&a), Some(&b)) = (t.vn_const.get(&vl), t.vn_const.get(&vr)) {
+            if let (Some(a), Some(b)) = (t.vn_const.get(vl), t.vn_const.get(vr)) {
                 let d = *dst;
                 let v = fold_cmp(*op, a, b);
                 *instr = Instr::IConst { dst: d, value: v };
@@ -392,7 +428,7 @@ fn lvn_instr(t: &mut Tables, instr: &mut Instr) -> usize {
         } => {
             // Fold constant branches so `clean` can delete dead arms.
             let vn = t.vn_of(*cond);
-            if let Some(&c) = t.vn_const.get(&vn) {
+            if let Some(c) = t.vn_const.get(vn) {
                 let target = if c != 0 { *then_bb } else { *else_bb };
                 *instr = Instr::Jump { target };
                 return 1;
@@ -407,11 +443,12 @@ fn lvn_instr(t: &mut Tables, instr: &mut Instr) -> usize {
     changed
 }
 
-/// Runs local value numbering over every function.
+/// Runs local value numbering over every function, sharing one scratch.
 pub fn lvn(module: &mut Module) -> usize {
     let mut changes = 0;
+    let mut scratch = LvnScratch::default();
     for func in &mut module.funcs {
-        changes += lvn_function(func, &mut FunctionAnalyses::new());
+        changes += lvn_function_in(func, &mut FunctionAnalyses::new(), &mut scratch);
     }
     changes
 }
@@ -592,11 +629,13 @@ int main() {
     }
 }
 
-/// [`lvn_function`] with per-pass delta recording (see [`crate::with_delta`]).
+/// [`lvn_function_in`] with per-pass delta recording (see
+/// [`crate::with_delta`]).
 pub fn lvn_function_traced(
     func: &mut Function,
     analyses: &mut FunctionAnalyses,
+    scratch: &mut LvnScratch,
     tr: &mut trace::FuncTrace,
 ) -> usize {
-    crate::with_delta("lvn", func, tr, |f| lvn_function(f, analyses))
+    crate::with_delta("lvn", func, tr, |f| lvn_function_in(f, analyses, scratch))
 }

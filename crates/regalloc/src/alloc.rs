@@ -25,9 +25,63 @@
 //! perturbing printed IL.
 
 use crate::matrix::BitMatrix;
-use cfg::{for_each_instr_backwards, Cfg, FunctionAnalyses, Liveness, RegSet};
-use ir::{BlockId, FuncId, Function, Instr, Module, Reg, TagId, TagKind, TagTable};
+use cfg::{for_each_instr_backwards_in, Cfg, FunctionAnalyses, Liveness, RegSet};
+use ir::{BlockId, FuncId, Function, Instr, Module, Reg, RewriteBuf, TagId, TagKind, TagTable};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Reusable allocator state for [`allocate_function_core_traced`]: the
+/// interference graph and coalescer's class adjacency (the two big
+/// [`BitMatrix`] builds), every per-round simplify/select vector, and the
+/// [`RewriteBuf`] the spill inserter rebuilds blocks through. One of these
+/// lives per pipeline worker; in the steady state a round allocates
+/// nothing but the (rare, deliberately `BTreeSet`-based) spill bookkeeping.
+pub struct AllocScratch {
+    graph: BitMatrix,
+    graph_version: Option<u64>,
+    class_adj: BitMatrix,
+    parent: Vec<u32>,
+    copies: Vec<(Reg, Reg)>,
+    other_adj: Vec<u32>,
+    dirty: Vec<BlockId>,
+    costs: Vec<f64>,
+    degree: Vec<usize>,
+    removed: Vec<bool>,
+    stack: Vec<u32>,
+    work: Vec<u32>,
+    color: Vec<Option<u32>>,
+    used_colors: Vec<bool>,
+    shadows: Vec<Reg>,
+    used_regs: Vec<u32>,
+    remap_tmp: Vec<Reg>,
+    occurs: RegSet,
+    rw: RewriteBuf,
+}
+
+impl Default for AllocScratch {
+    fn default() -> Self {
+        AllocScratch {
+            graph: BitMatrix::new(0),
+            graph_version: None,
+            class_adj: BitMatrix::new(0),
+            parent: Vec::new(),
+            copies: Vec::new(),
+            other_adj: Vec::new(),
+            dirty: Vec::new(),
+            costs: Vec::new(),
+            degree: Vec::new(),
+            removed: Vec::new(),
+            stack: Vec::new(),
+            work: Vec::new(),
+            color: Vec::new(),
+            used_colors: Vec::new(),
+            shadows: Vec::new(),
+            used_regs: Vec::new(),
+            remap_tmp: Vec::new(),
+            occurs: RegSet::new(0),
+            rw: RewriteBuf::new(),
+        }
+    }
+}
 
 /// Allocation parameters.
 #[derive(Debug, Clone)]
@@ -92,8 +146,24 @@ pub struct PendingSpill {
 /// register may already have added a legitimate edge to this copy's
 /// source, so the bit is only cleared if it was absent before the OR.
 pub fn interference_graph(func: &Function, cfg: &Cfg, live: &Liveness) -> BitMatrix {
+    let mut g = BitMatrix::new(0);
+    interference_graph_in(func, cfg, live, &mut RegSet::new(0), &mut g);
+    g
+}
+
+/// [`interference_graph`] into a caller-owned matrix, reusing its backing
+/// storage (the scratch-arena path). `cursor` is the walk's live-after
+/// working set; reusing it across builds keeps the per-block walk
+/// allocation-free.
+pub fn interference_graph_in(
+    func: &Function,
+    cfg: &Cfg,
+    live: &Liveness,
+    cursor: &mut RegSet,
+    g: &mut BitMatrix,
+) {
     let n = func.next_reg as usize;
-    let mut g = BitMatrix::new(n);
+    g.reset(n);
     // Parameters all interfere pairwise (they hold distinct incoming
     // values at entry). Directed bits; finalize mirrors them.
     for a in 0..func.arity as u32 {
@@ -102,7 +172,7 @@ pub fn interference_graph(func: &Function, cfg: &Cfg, live: &Liveness) -> BitMat
         }
     }
     for &b in &cfg.rpo {
-        for_each_instr_backwards(func, live, b, |_, instr, live_after| {
+        for_each_instr_backwards_in(func, live, b, cursor, |_, instr, live_after| {
             if let Some(d) = instr.def() {
                 let skip = match instr {
                     Instr::Copy { src, .. } => Some(*src),
@@ -122,7 +192,6 @@ pub fn interference_graph(func: &Function, cfg: &Cfg, live: &Liveness) -> BitMat
         });
     }
     g.finalize_symmetric();
-    g
 }
 
 /// Ensures `graph` holds the interference graph of the current body,
@@ -132,23 +201,27 @@ pub fn interference_graph(func: &Function, cfg: &Cfg, live: &Liveness) -> BitMat
 /// sweep (the one that merges nothing) leaves a fresh graph behind, which
 /// the simplify/select phase then reuses instead of rebuilding.
 fn ensure_graph(
-    graph: &mut Option<(u64, BitMatrix)>,
+    version: &mut Option<u64>,
+    graph: &mut BitMatrix,
+    cursor: &mut RegSet,
     func: &Function,
     analyses: &mut FunctionAnalyses,
 ) {
     let v = analyses.body_version();
-    if !matches!(graph, Some((bv, _)) if *bv == v) {
+    if *version != Some(v) {
         let (cfg, live) = analyses.cfg_liveness(func);
-        *graph = Some((v, interference_graph(func, cfg, live)));
+        interference_graph_in(func, cfg, live, cursor, graph);
+        *version = Some(v);
     }
 }
 
 /// Per-register occurrence costs, weighted 10^loop-depth. The dominator
 /// tree and loop forest come from the shared cache: allocation never
 /// changes the block structure, so every spill round reuses one build.
-fn spill_costs(func: &Function, analyses: &mut FunctionAnalyses) -> Vec<f64> {
+fn spill_costs(func: &Function, analyses: &mut FunctionAnalyses, cost: &mut Vec<f64>) {
     let (cfg, _, forest) = analyses.cfg_dom_forest(func);
-    let mut cost = vec![0.0; func.next_reg as usize];
+    cost.clear();
+    cost.resize(func.next_reg as usize, 0.0);
     for bid in func.block_ids() {
         if !cfg.is_reachable(bid) {
             continue;
@@ -164,7 +237,6 @@ fn spill_costs(func: &Function, analyses: &mut FunctionAnalyses) -> Vec<f64> {
             instr.visit_uses(|r| cost[r.index()] += w);
         }
     }
-    cost
 }
 
 /// One conservative-coalescing sweep over a prebuilt interference graph
@@ -173,11 +245,22 @@ fn spill_costs(func: &Function, analyses: &mut FunctionAnalyses) -> Vec<f64> {
 /// that follows). Returns copies eliminated; the blocks whose instructions
 /// actually changed are appended to `dirty` so the caller can scope the
 /// liveness invalidation.
-fn coalesce_once(func: &mut Function, k: usize, g: &BitMatrix, dirty: &mut Vec<BlockId>) -> usize {
+#[allow(clippy::too_many_arguments)]
+fn coalesce_once(
+    func: &mut Function,
+    k: usize,
+    g: &BitMatrix,
+    class_adj: &mut BitMatrix,
+    parent: &mut Vec<u32>,
+    copies: &mut Vec<(Reg, Reg)>,
+    other_adj: &mut Vec<u32>,
+    dirty: &mut Vec<BlockId>,
+) -> usize {
     let nregs = func.next_reg as usize;
     let precolored = func.arity as u32;
     // Union-find over registers.
-    let mut parent: Vec<u32> = (0..nregs as u32).collect();
+    parent.clear();
+    parent.extend(0..nregs as u32);
     fn find(parent: &mut [u32], mut x: u32) -> u32 {
         while parent[x as usize] != x {
             parent[x as usize] = parent[parent[x as usize] as usize];
@@ -187,21 +270,23 @@ fn coalesce_once(func: &mut Function, k: usize, g: &BitMatrix, dirty: &mut Vec<B
     }
     let mut merged = 0;
     // Collect copies.
-    let copies: Vec<(Reg, Reg)> = func
-        .blocks
-        .iter()
-        .flat_map(|b| &b.instrs)
-        .filter_map(|i| match i {
-            Instr::Copy { dst, src } => Some((*dst, *src)),
-            _ => None,
-        })
-        .collect();
+    copies.clear();
+    copies.extend(
+        func.blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter_map(|i| match i {
+                Instr::Copy { dst, src } => Some((*dst, *src)),
+                _ => None,
+            }),
+    );
     // Track adjacency unions as we merge (approximation: recompute the
     // union of original neighbor sets of the merged classes).
-    let mut class_adj: BitMatrix = g.clone();
-    for (dst, src) in copies {
-        let a = find(&mut parent, dst.0);
-        let b = find(&mut parent, src.0);
+    class_adj.copy_from(g);
+    for ci in 0..copies.len() {
+        let (dst, src) = copies[ci];
+        let a = find(parent, dst.0);
+        let b = find(parent, src.0);
         if a == b {
             merged += 1; // already identical: the copy is removable
             continue;
@@ -228,8 +313,9 @@ fn coalesce_once(func: &mut Function, k: usize, g: &BitMatrix, dirty: &mut Vec<B
         // Merge b into a, preferring a precolored representative.
         let (rep, other) = if b < precolored { (b, a) } else { (a, b) };
         parent[other as usize] = rep;
-        let other_adj: Vec<u32> = class_adj.row_iter(other).collect();
-        for n in other_adj {
+        other_adj.clear();
+        other_adj.extend(class_adj.row_iter(other));
+        for &n in other_adj.iter() {
             class_adj.remove_edge(n, other);
             class_adj.insert_edge(n, rep);
         }
@@ -243,14 +329,14 @@ fn coalesce_once(func: &mut Function, k: usize, g: &BitMatrix, dirty: &mut Vec<B
         let mut touched = false;
         for instr in &mut block.instrs {
             if let Some(d) = instr.def_mut() {
-                let rep = Reg(find(&mut parent, d.0));
+                let rep = Reg(find(parent, d.0));
                 if *d != rep {
                     *d = rep;
                     touched = true;
                 }
             }
             instr.visit_uses_mut(|r| {
-                let rep = Reg(find(&mut parent, r.0));
+                let rep = Reg(find(parent, r.0));
                 if *r != rep {
                     *r = rep;
                     touched = true;
@@ -368,12 +454,16 @@ fn try_rematerialize(
 /// Spill tags are *not* interned here: each victim gets a provisional id
 /// recorded in `pending`, so the caller (or the driver's parallel commit)
 /// can intern the real tags in deterministic function order.
+#[allow(clippy::too_many_arguments)]
 fn insert_spill_code(
     func: &mut Function,
     victims: &BTreeSet<u32>,
     spill_base: usize,
     pending: &mut Vec<PendingSpill>,
     dirty: &mut BTreeSet<u32>,
+    rw: &mut RewriteBuf,
+    used_regs: &mut Vec<u32>,
+    remap_tmp: &mut Vec<Reg>,
 ) -> (usize, usize, BTreeSet<u32>) {
     // One spill tag per victim, named sequentially over all spill tags this
     // function has ever received (pre-existing `spill_base` plus the ones
@@ -389,91 +479,88 @@ fn insert_spill_code(
     let mut loads = 0;
     let mut stores = 0;
     let mut temps: BTreeSet<u32> = BTreeSet::new();
-    // Spilled parameters are stored once on entry.
+    // Spilled parameters are stored once on entry; one splice preserves the
+    // order the old per-element `insert(0, ..)` loop produced (descending
+    // victim number at the block head).
     let entry = func.entry;
-    for &v in victims {
-        if v < arity {
-            func.block_mut(entry).instrs.insert(
-                0,
-                Instr::SStore {
+    let spilled_params = victims.iter().rev().filter(|&&v| v < arity).count();
+    if spilled_params > 0 {
+        func.block_mut(entry).instrs.splice(
+            0..0,
+            victims
+                .iter()
+                .rev()
+                .filter(|&&v| v < arity)
+                .map(|&v| Instr::SStore {
                     src: Reg(v),
                     tag: tags[&v],
-                },
-            );
-            stores += 1;
-            dirty.insert(entry.0);
-        }
+                }),
+        );
+        stores += spilled_params;
+        dirty.insert(entry.0);
     }
+    // Rebuild each block in one retain-style sweep: reloads go out before
+    // the rewritten instruction, the post-def store right after it.
+    let mut next_reg = func.next_reg;
     for bi in 0..func.blocks.len() {
-        let mut i = 0;
-        while i < func.blocks[bi].instrs.len() {
-            let instr = &func.blocks[bi].instrs[i];
-            // Skip the entry stores just inserted.
-            if let Instr::SStore { src, tag } = instr {
+        rw.rebuild(&mut func.blocks[bi], |mut instr, out| {
+            // Pass the entry stores just inserted through untouched.
+            if let Instr::SStore { src, tag } = &instr {
                 if tags.get(&src.0) == Some(tag) {
-                    i += 1;
-                    continue;
+                    out.push(instr);
+                    return;
                 }
             }
-            let mut used: Vec<u32> = Vec::new();
+            used_regs.clear();
             instr.visit_uses(|r| {
-                if victims.contains(&r.0) && !used.contains(&r.0) {
-                    used.push(r.0);
+                if victims.contains(&r.0) && !used_regs.contains(&r.0) {
+                    used_regs.push(r.0);
                 }
             });
             let def = instr.def().filter(|d| victims.contains(&d.0));
-            if used.is_empty() && def.is_none() {
-                i += 1;
-                continue;
+            if used_regs.is_empty() && def.is_none() {
+                out.push(instr);
+                return;
             }
             dirty.insert(bi as u32);
             // Loads before: one fresh temp per distinct spilled use.
-            let mut remap: BTreeMap<u32, Reg> = BTreeMap::new();
-            for &v in &used {
-                let tmp = Reg(func.next_reg);
-                func.next_reg += 1;
+            remap_tmp.clear();
+            for &v in used_regs.iter() {
+                let tmp = Reg(next_reg);
+                next_reg += 1;
                 temps.insert(tmp.0);
-                remap.insert(v, tmp);
-            }
-            let mut insert_at = i;
-            for &v in &used {
-                func.blocks[bi].instrs.insert(
-                    insert_at,
-                    Instr::SLoad {
-                        dst: remap[&v],
-                        tag: tags[&v],
-                    },
-                );
-                insert_at += 1;
+                remap_tmp.push(tmp);
+                out.push(Instr::SLoad {
+                    dst: tmp,
+                    tag: tags[&v],
+                });
                 loads += 1;
             }
-            i = insert_at;
-            {
-                let instr = &mut func.blocks[bi].instrs[i];
-                instr.visit_uses_mut(|r| {
-                    if let Some(t) = remap.get(&r.0) {
-                        *r = *t;
-                    }
-                });
-                if let Some(d) = def {
-                    let tmp = Reg(func.next_reg);
-                    func.next_reg += 1;
+            instr.visit_uses_mut(|r| {
+                if let Some(pos) = used_regs.iter().position(|&v| v == r.0) {
+                    *r = remap_tmp[pos];
+                }
+            });
+            match def {
+                Some(d) => {
+                    let tmp = Reg(next_reg);
+                    next_reg += 1;
                     temps.insert(tmp.0);
                     *instr.def_mut().expect("def checked") = tmp;
-                    let store = Instr::SStore {
+                    out.push(instr);
+                    // A terminator cannot define a register, so storing
+                    // after is always legal.
+                    out.push(Instr::SStore {
                         src: tmp,
                         tag: tags[&d.0],
-                    };
-                    // A terminator cannot define a register, so inserting
-                    // after is always legal.
-                    func.blocks[bi].instrs.insert(i + 1, store);
+                    });
                     stores += 1;
-                    i += 1;
                 }
+                None => out.push(instr),
             }
-            i += 1;
-        }
+        });
     }
+    func.next_reg = next_reg;
     (loads, stores, temps)
 }
 
@@ -502,6 +589,7 @@ pub fn allocate_function_core(
         opts,
         pending,
         analyses,
+        &mut AllocScratch::default(),
         &mut trace::FuncTrace::off(),
     )
 }
@@ -518,8 +606,33 @@ pub fn allocate_function_core_traced(
     opts: &AllocOptions,
     pending: &mut Vec<PendingSpill>,
     analyses: &mut FunctionAnalyses,
+    scratch: &mut AllocScratch,
     tr: &mut trace::FuncTrace,
 ) -> AllocReport {
+    let AllocScratch {
+        graph,
+        graph_version,
+        class_adj,
+        parent,
+        copies,
+        other_adj,
+        dirty,
+        costs,
+        degree,
+        removed,
+        stack,
+        work,
+        color,
+        used_colors,
+        shadows,
+        used_regs,
+        remap_tmp,
+        occurs,
+        rw,
+    } = scratch;
+    // Versions are per-`FunctionAnalyses`; a cached graph from a previous
+    // function must never be mistaken for this one's.
+    *graph_version = None;
     // Seed the before-count from the stats cache when the preceding
     // delta stage left one (the fused chain always does), else scan.
     let stats_before = if tr.enabled() {
@@ -549,8 +662,6 @@ pub fn allocate_function_core_traced(
         .filter(|(_, t)| matches!(t.kind, TagKind::Spill { owner } if owner == func_id.0))
         .count();
     let mut no_spill: BTreeSet<u32> = BTreeSet::new();
-    // Interference graph keyed on the shared cache's body version.
-    let mut graph: Option<(u64, BitMatrix)> = None;
     loop {
         report.rounds += 1;
         // Decouple parameter values from their fixed incoming registers:
@@ -565,8 +676,9 @@ pub fn allocate_function_core_traced(
         {
             let arity = func.arity as u32;
             if arity > 0 {
-                let shadows: Vec<Reg> = (0..arity).map(|_| func.new_reg()).collect();
-                let mut dirty: Vec<BlockId> = Vec::new();
+                shadows.clear();
+                shadows.extend((0..arity).map(|_| func.new_reg()));
+                debug_assert!(dirty.is_empty());
                 for (bi, block) in func.blocks.iter_mut().enumerate() {
                     let mut touched = false;
                     for instr in &mut block.instrs {
@@ -588,17 +700,17 @@ pub fn allocate_function_core_traced(
                     }
                 }
                 let entry = func.entry;
-                for (i, &v) in shadows.iter().enumerate().rev() {
-                    func.block_mut(entry).instrs.insert(
-                        0,
-                        Instr::Copy {
-                            dst: v,
-                            src: Reg(i as u32),
-                        },
-                    );
-                }
+                // One splice in forward order matches the old reversed
+                // `insert(0, ..)` loop exactly.
+                func.block_mut(entry).instrs.splice(
+                    0..0,
+                    shadows.iter().enumerate().map(|(i, &v)| Instr::Copy {
+                        dst: v,
+                        src: Reg(i as u32),
+                    }),
+                );
                 dirty.push(entry);
-                analyses.note_body_changed_blocks(dirty);
+                analyses.note_body_changed_blocks(dirty.drain(..));
             }
         }
         if std::env::var("REGALLOC_DEBUG").is_ok() {
@@ -620,10 +732,10 @@ pub fn allocate_function_core_traced(
         // ...), so once spill code exists, coalescing is frozen: the
         // classic iterated-coalescing discipline.
         if report.spilled == 0 {
-            let mut dirty: Vec<BlockId> = Vec::new();
+            debug_assert!(dirty.is_empty());
             loop {
-                ensure_graph(&mut graph, func, analyses);
-                let c = coalesce_once(func, k, &graph.as_ref().expect("ensured").1, &mut dirty);
+                ensure_graph(graph_version, graph, occurs, func, analyses);
+                let c = coalesce_once(func, k, graph, class_adj, parent, copies, other_adj, dirty);
                 report.coalesced += c;
                 if c == 0 {
                     break;
@@ -634,13 +746,13 @@ pub fn allocate_function_core_traced(
         // The final coalescing sweep merged nothing, so its graph describes
         // the current body: ensure_graph() is a no-op there and the build
         // is shared with simplify/select below.
-        ensure_graph(&mut graph, func, analyses);
-        let costs = spill_costs(func, analyses);
-        let g = &graph.as_ref().expect("ensured").1;
+        ensure_graph(graph_version, graph, occurs, func, analyses);
+        spill_costs(func, analyses, costs);
+        let g = &*graph;
         let precolored = func.arity as u32;
         let nregs = func.next_reg as usize;
         // Registers that actually occur.
-        let mut occurs = RegSet::new(nregs);
+        occurs.reset(nregs);
         for block in &func.blocks {
             for instr in &block.instrs {
                 if let Some(d) = instr.def() {
@@ -655,14 +767,13 @@ pub fn allocate_function_core_traced(
             occurs.insert(Reg(p));
         }
         // Simplify.
-        let mut degree: Vec<usize> = (0..nregs as u32).map(|r| g.degree(r)).collect();
-        let mut removed = vec![false; nregs];
-        let mut stack: Vec<u32> = Vec::new();
-        let work: Vec<u32> = occurs
-            .iter()
-            .map(|r| r.0)
-            .filter(|&r| r >= precolored)
-            .collect();
+        degree.clear();
+        degree.extend((0..nregs as u32).map(|r| g.degree(r)));
+        removed.clear();
+        removed.resize(nregs, false);
+        stack.clear();
+        work.clear();
+        work.extend(occurs.iter().map(|r| r.0).filter(|&r| r >= precolored));
         let mut remaining = work.len();
         while remaining > 0 {
             // Prefer a trivially colorable node.
@@ -702,19 +813,21 @@ pub fn allocate_function_core_traced(
             }
         }
         // Select.
-        let mut color: Vec<Option<u32>> = vec![None; nregs];
+        color.clear();
+        color.resize(nregs, None);
         for p in 0..precolored {
             color[p as usize] = Some(p);
         }
         let mut spilled: BTreeSet<u32> = BTreeSet::new();
         while let Some(r) = stack.pop() {
-            let mut used = vec![false; k];
+            used_colors.clear();
+            used_colors.resize(k, false);
             for n in g.row_iter(r) {
                 if let Some(c) = color[n as usize] {
-                    used[c as usize] = true;
+                    used_colors[c as usize] = true;
                 }
             }
-            match (0..k as u32).find(|&c| !used[c as usize]) {
+            match (0..k as u32).find(|&c| !used_colors[c as usize]) {
                 Some(c) => color[r as usize] = Some(c),
                 None => {
                     spilled.insert(r);
@@ -755,6 +868,7 @@ pub fn allocate_function_core_traced(
         let mut temps = BTreeSet::new();
         let mut dirty: BTreeSet<u32> = BTreeSet::new();
         report.rematerialized += try_rematerialize(func, &mut spilled, &mut temps, &mut dirty);
+        let (rw, used_regs, remap_tmp) = (&mut *rw, &mut *used_regs, &mut *remap_tmp);
         report.spilled += spilled.len();
         if tr.enabled() {
             for &r in &spilled {
@@ -767,8 +881,9 @@ pub fn allocate_function_core_traced(
                 );
             }
         }
-        let (l, s, spill_temps) =
-            insert_spill_code(func, &spilled, spill_base, pending, &mut dirty);
+        let (l, s, spill_temps) = insert_spill_code(
+            func, &spilled, spill_base, pending, &mut dirty, rw, used_regs, remap_tmp,
+        );
         temps.extend(spill_temps);
         no_spill.extend(temps);
         report.spill_loads += l;
@@ -830,8 +945,20 @@ pub fn allocate_function(module: &mut Module, func_id: FuncId, opts: &AllocOptio
 /// Allocates every function in the module.
 pub fn allocate(module: &mut Module, opts: &AllocOptions) -> AllocReport {
     let mut total = AllocReport::default();
+    let mut scratch = AllocScratch::default();
     for fi in 0..module.funcs.len() {
-        let r = allocate_function(module, FuncId(fi as u32), opts);
+        let mut pending = Vec::new();
+        let r = allocate_function_core_traced(
+            &module.tags,
+            &mut module.funcs[fi],
+            FuncId(fi as u32),
+            opts,
+            &mut pending,
+            &mut FunctionAnalyses::new(),
+            &mut scratch,
+            &mut trace::FuncTrace::off(),
+        );
+        commit_spills(module, FuncId(fi as u32), pending);
         total.coalesced += r.coalesced;
         total.spilled += r.spilled;
         total.rematerialized += r.rematerialized;

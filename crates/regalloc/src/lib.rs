@@ -30,8 +30,8 @@ mod matrix;
 
 pub use alloc::{
     allocate, allocate_function, allocate_function_core, allocate_function_core_traced,
-    commit_spills, interference_graph, AllocOptions, AllocReport, PendingSpill,
-    PROVISIONAL_SPILL_BASE,
+    commit_spills, interference_graph, interference_graph_in, AllocOptions, AllocReport,
+    AllocScratch, PendingSpill, PROVISIONAL_SPILL_BASE,
 };
 pub use cfg::{for_each_instr_backwards, liveness, Cfg, Liveness, RegSet};
 pub use matrix::BitMatrix;

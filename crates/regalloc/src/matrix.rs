@@ -49,6 +49,32 @@ impl BitMatrix {
         }
     }
 
+    /// Re-targets the matrix at `n` nodes, zeroing every bit and degree
+    /// while reusing the backing allocations whenever the new size fits.
+    /// Equivalent to `*self = BitMatrix::new(n)` without the frees/allocs —
+    /// the scratch-arena path for per-function interference rebuilds.
+    pub fn reset(&mut self, n: usize) {
+        let stride = n.div_ceil(64);
+        self.n = n;
+        self.stride = stride;
+        self.bits.clear();
+        self.bits.resize(n * stride, 0);
+        self.deg.clear();
+        self.deg.resize(n, 0);
+    }
+
+    /// Copies `other`'s full state into `self`, reusing `self`'s backing
+    /// allocations when they are large enough (the scratch replacement for
+    /// `graph.clone()` per coalescing round).
+    pub fn copy_from(&mut self, other: &BitMatrix) {
+        self.n = other.n;
+        self.stride = other.stride;
+        self.bits.clear();
+        self.bits.extend_from_slice(&other.bits);
+        self.deg.clear();
+        self.deg.extend_from_slice(&other.deg);
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.n

@@ -114,15 +114,18 @@ pub fn destruct_in(func: &mut Function, analyses: &mut FunctionAnalyses) -> usiz
     let mut edge_moves: Vec<Vec<(Reg, Reg)>> = vec![Vec::new(); func.blocks.len()];
     let mut removed = 0;
     for b in func.block_ids() {
-        let k = 0;
-        while k < func.block(b).instrs.len() {
-            let Instr::Phi { dst, args } = func.block(b).instrs[k].clone() else {
-                break;
+        // φ-nodes form the block's leading prefix; drain them in one shift
+        // instead of one `remove(0)` per node, moving each `args` vector
+        // out rather than cloning it.
+        let block = func.block_mut(b);
+        let nphi = block.first_non_phi();
+        for instr in block.instrs.drain(0..nphi) {
+            let Instr::Phi { dst, args } = instr else {
+                unreachable!("first_non_phi bounds the φ prefix");
             };
             for (p, src) in args {
                 edge_moves[p.index()].push((dst, src));
             }
-            func.block_mut(b).instrs.remove(k);
             removed += 1;
         }
     }
@@ -136,9 +139,7 @@ pub fn destruct_in(func: &mut Function, analyses: &mut FunctionAnalyses) -> usiz
             func.next_reg += 1;
             r
         });
-        for instr in seq {
-            func.block_mut(p).insert_before_terminator(instr);
-        }
+        func.block_mut(p).splice_before_terminator(seq);
     }
     if removed > 0 {
         analyses.note_body_changed();

@@ -29,10 +29,12 @@
 
 #![warn(missing_docs)]
 
+mod alloc_probe;
 mod event;
 pub mod jsonl;
 mod sink;
 
+pub use alloc_probe::{AllocStats, CountingAlloc};
 pub use event::{BlockReason, LoopRef, PassEvent, Remark, TraceRecord};
 pub use jsonl::JsonlError;
 pub use sink::{CollectSink, FuncTrace, NullSink, TraceLog, TraceSink};
