@@ -19,7 +19,8 @@
 //! Usage: `cargo run --release --bin bench_pipeline [output-path]
 //!         [--max-2t-slowdown X] [--max-analysis-builds N]
 //!         [--max-trace-overhead X] [--max-transfer-visits N]
-//!         [--max-allocs N] [--no-scratch] [--force-sweep]`
+//!         [--max-allocs N] [--max-frontend-allocs N]
+//!         [--no-scratch] [--fresh-frontend] [--force-sweep]`
 //!
 //! With `--max-2t-slowdown X` the process exits nonzero if the 2-worker
 //! total is more than `X` times the sequential total — the CI regression
@@ -66,6 +67,24 @@
 //! `BENCH_remarks.jsonl` next to the JSON output, so every run leaves an
 //! auditable record of what was promoted, what was blocked and why, and
 //! what spilled across the whole suite.
+//!
+//! The front end is measured the same way the middle end is. One warm
+//! [`minic::Frontend`] — interner, token buffer, AST pools — is fed the
+//! whole suite in order, and each program gets per-phase timings (`lex`,
+//! `parse`, `lower`) plus two allocator columns: `frontend.alloc_stats`,
+//! a steady-state compile on the warm buffers, and
+//! `frontend.alloc_stats_fresh`, the same program through the preserved
+//! baseline front end (`minic::classic`) which allocates strings, boxes,
+//! and vectors per compile — the honest "before" number. The unoptimized
+//! IL of both front ends is asserted byte-identical per program. Each
+//! program also gets `e2e_ms`: source text through the warm front end
+//! and the sequential pipeline to optimized IL, the number a user of
+//! `Session::compile` experiences. With `--max-frontend-allocs N` the
+//! process exits nonzero if the suite total of warm front-end allocator
+//! calls exceeds `N` — the CI gate that keeps front-end buffer recycling
+//! from silently regressing. `--fresh-frontend` flips the *timed* e2e
+//! runs to the classic front end for A/B experiments (the two front-end
+//! alloc columns are always measured in their own modes regardless).
 
 use bench_harness::timing::measure;
 use driver::{run_pipeline_in, run_pipeline_traced, PipelineConfig, WorkerPool};
@@ -84,6 +103,9 @@ const ITERS: usize = 5;
 /// state, same thermal point) rather than reusing the sweep's
 /// sequential number.
 const TRACE_ITERS: usize = 15;
+/// Iterations for the front-end phase timings and the end-to-end runs.
+/// Front-end phases are microseconds each, so they get the most samples.
+const FRONT_ITERS: usize = 25;
 const FULL_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 struct Run {
@@ -127,6 +149,27 @@ struct ProgramResult {
     /// full-resweep fixpoints, the behaviour the worklists replaced. The
     /// honest "before" number.
     dataflow_dense: cfg::DataflowStats,
+    /// Front-end phase timings and allocator columns.
+    frontend: FrontendResult,
+    /// Source text to optimized IL through the warm front end and the
+    /// sequential pipeline — what a `Session::compile` caller pays.
+    e2e_ms: f64,
+}
+
+struct FrontendResult {
+    /// Tokenizing into the recycled token buffer.
+    lex_ms: f64,
+    /// Building the pooled AST from the token buffer.
+    parse_ms: f64,
+    /// Lowering the pooled AST to an IL module.
+    lower_ms: f64,
+    /// Allocator traffic of a steady-state compile on the warm front end
+    /// (interner populated, token/AST pools at high-water capacity).
+    alloc_stats: AllocStats,
+    /// The same program through the preserved baseline front end
+    /// (`minic::classic`): fresh strings, boxes, and vectors every
+    /// compile. The honest "before" number.
+    alloc_stats_fresh: AllocStats,
 }
 
 fn ms(d: std::time::Duration) -> f64 {
@@ -180,7 +223,9 @@ fn main() {
     let mut max_trace_overhead: Option<f64> = None;
     let mut max_transfer_visits: Option<u64> = None;
     let mut max_allocs: Option<u64> = None;
+    let mut max_frontend_allocs: Option<u64> = None;
     let mut reuse_scratch = true;
+    let mut fresh_frontend = false;
     let mut force_sweep = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -199,8 +244,13 @@ fn main() {
         } else if a == "--max-allocs" {
             let v = args.next().expect("--max-allocs needs a value");
             max_allocs = Some(v.parse().expect("--max-allocs value"));
+        } else if a == "--max-frontend-allocs" {
+            let v = args.next().expect("--max-frontend-allocs needs a value");
+            max_frontend_allocs = Some(v.parse().expect("--max-frontend-allocs value"));
         } else if a == "--no-scratch" {
             reuse_scratch = false;
+        } else if a == "--fresh-frontend" {
+            fresh_frontend = true;
         } else if a == "--force-sweep" {
             force_sweep = true;
         } else {
@@ -227,9 +277,48 @@ fn main() {
 
     let mut results = Vec::new();
     let mut remarks_jsonl = String::new();
+    // One warm front end for the whole suite, exactly as a `Session`
+    // holds one: every program after the first is compiled on buffers
+    // the previous programs warmed.
+    let mut warm_fe = minic::Frontend::new();
     for b in benchsuite::SUITE {
         eprintln!("benchmarking {} ...", b.name);
-        let module = minic::compile(b.source).expect("suite program compiles");
+        let module = warm_fe.compile(b.source).expect("suite program compiles");
+        // Front-end phase timings on the warm front end. Each phase
+        // re-runs on the output of the previous one (the token buffer
+        // and AST pools persist between calls).
+        let lex_timing = measure(FRONT_ITERS, || {
+            warm_fe.lex(b.source).expect("suite program lexes");
+        });
+        let parse_timing = measure(FRONT_ITERS, || {
+            warm_fe.parse_lexed().expect("suite program parses");
+        });
+        let lower_timing = measure(FRONT_ITERS, || {
+            warm_fe.lower_parsed().expect("suite program lowers");
+        });
+        // Steady-state front-end allocator traffic: the warm compile
+        // above plus the timing loops have the pools at high-water
+        // capacity; count one more full compile.
+        let front_alloc_stats = {
+            let before = AllocStats::now();
+            warm_fe.compile(b.source).expect("suite program compiles");
+            AllocStats::now().since(&before)
+        };
+        // The fresh baseline: the preserved classic front end, which
+        // allocates identifier strings, boxed AST nodes, and vectors
+        // per compile. Its output must be byte-identical.
+        let (front_alloc_stats_fresh, classic_module) = {
+            let before = AllocStats::now();
+            let m = minic::classic::compile(b.source).expect("suite program compiles");
+            (AllocStats::now().since(&before), m)
+        };
+        assert_eq!(
+            ir::module_to_string(&module),
+            ir::module_to_string(&classic_module),
+            "{}: interned and classic front ends disagree on unoptimized IL",
+            b.name
+        );
+        drop(classic_module);
         let mut runs = Vec::new();
         let mut reference_il: Option<String> = None;
         let mut passes = Vec::new();
@@ -362,6 +451,19 @@ fn main() {
             log.prefix_funcs(b.name);
             remarks_jsonl.push_str(&log.to_jsonl());
         }
+        // End-to-end: source text to optimized IL. The warm front end and
+        // the warm sequential pool are both reused across iterations —
+        // the steady state a `Session` delivers. `--fresh-frontend` swaps
+        // in the classic front end for the A/B comparison.
+        let e2e_cfg = config(1, reuse_scratch);
+        let e2e_timing = measure(FRONT_ITERS, || {
+            let mut m = if fresh_frontend {
+                minic::classic::compile(b.source).expect("suite program compiles")
+            } else {
+                warm_fe.compile(b.source).expect("suite program compiles")
+            };
+            run_pipeline_in(&mut m, &e2e_cfg, &pools[0]);
+        });
         results.push(ProgramResult {
             name: b.name.to_string(),
             runs,
@@ -374,6 +476,14 @@ fn main() {
             alloc_stats_fresh,
             dataflow,
             dataflow_dense,
+            frontend: FrontendResult {
+                lex_ms: ms(lex_timing.min),
+                parse_ms: ms(parse_timing.min),
+                lower_ms: ms(lower_timing.min),
+                alloc_stats: front_alloc_stats,
+                alloc_stats_fresh: front_alloc_stats_fresh,
+            },
+            e2e_ms: ms(e2e_timing.min),
         });
     }
 
@@ -392,6 +502,9 @@ fn main() {
     let mut total_dataflow_dense = cfg::DataflowStats::default();
     let mut total_allocs = AllocStats::default();
     let mut total_allocs_fresh = AllocStats::default();
+    let mut total_front_allocs = AllocStats::default();
+    let mut total_front_allocs_fresh = AllocStats::default();
+    let total_e2e: f64 = results.iter().map(|r| r.e2e_ms).sum();
     for r in &results {
         total_builds_cached.add(&r.builds_cached);
         total_builds_uncached.add(&r.builds_uncached);
@@ -399,6 +512,8 @@ fn main() {
         total_dataflow_dense.add(&r.dataflow_dense);
         total_allocs.merge(&r.alloc_stats);
         total_allocs_fresh.merge(&r.alloc_stats_fresh);
+        total_front_allocs.merge(&r.frontend.alloc_stats);
+        total_front_allocs_fresh.merge(&r.frontend.alloc_stats_fresh);
     }
 
     // Hand-rolled JSON: names are suite identifiers and pass labels, none
@@ -449,6 +564,22 @@ fn main() {
         "  \"alloc_stats_fresh\": {},",
         alloc_json(&total_allocs_fresh)
     );
+    let _ = writeln!(json, "  \"total_e2e_ms\": {total_e2e:.3},");
+    let _ = writeln!(
+        json,
+        "  \"e2e_frontend\": \"{}\",",
+        if fresh_frontend { "fresh" } else { "warm" }
+    );
+    let _ = writeln!(
+        json,
+        "  \"frontend_alloc_stats\": {},",
+        alloc_json(&total_front_allocs)
+    );
+    let _ = writeln!(
+        json,
+        "  \"frontend_alloc_stats_fresh\": {},",
+        alloc_json(&total_front_allocs_fresh)
+    );
     json.push_str("  \"totals\": [\n");
     for (i, (&t, total)) in sweep.iter().zip(&totals).enumerate() {
         let comma = if i + 1 < sweep.len() { "," } else { "" };
@@ -494,6 +625,17 @@ fn main() {
             "      \"alloc_stats_fresh\": {},",
             alloc_json(&r.alloc_stats_fresh)
         );
+        let _ = writeln!(
+            json,
+            "      \"frontend\": {{ \"lex_ms\": {:.4}, \"parse_ms\": {:.4}, \
+             \"lower_ms\": {:.4}, \"alloc_stats\": {}, \"alloc_stats_fresh\": {} }},",
+            r.frontend.lex_ms,
+            r.frontend.parse_ms,
+            r.frontend.lower_ms,
+            alloc_json(&r.frontend.alloc_stats),
+            alloc_json(&r.frontend.alloc_stats_fresh)
+        );
+        let _ = writeln!(json, "      \"e2e_ms\": {:.3},", r.e2e_ms);
         json.push_str("      \"runs\": [\n");
         for (j, run) in r.runs.iter().enumerate() {
             let comma = if j + 1 < r.runs.len() { "," } else { "" };
@@ -563,6 +705,18 @@ fn main() {
         remarks_jsonl.lines().count(),
         remarks_path.display()
     );
+    println!(
+        "  front-end allocs: {} warm vs {} classic ({:.2}x fewer), {} KiB vs {} KiB",
+        total_front_allocs.count,
+        total_front_allocs_fresh.count,
+        total_front_allocs_fresh.count as f64 / total_front_allocs.count.max(1) as f64,
+        total_front_allocs.bytes / 1024,
+        total_front_allocs_fresh.bytes / 1024
+    );
+    println!(
+        "  end-to-end (source -> optimized IL, {} front end): {total_e2e:.1} ms",
+        if fresh_frontend { "classic" } else { "warm" }
+    );
     println!("  2-thread speedup {speedup_2t:.3}x -> {out_path}");
 
     let mut failed = false;
@@ -612,6 +766,18 @@ fn main() {
             failed = true;
         } else {
             println!("  gate: {got} steady-state allocations within limit {limit}");
+        }
+    }
+    if let Some(limit) = max_frontend_allocs {
+        let got = total_front_allocs.count;
+        if got > limit {
+            eprintln!(
+                "FAIL: {got} steady-state front-end allocations across the suite \
+                 (limit {limit}) — front-end buffer recycling regressed"
+            );
+            failed = true;
+        } else {
+            println!("  gate: {got} front-end allocations within limit {limit}");
         }
     }
     if let Some(limit) = max_trace_overhead {

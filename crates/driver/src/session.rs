@@ -39,11 +39,14 @@ use crate::pipeline::{run_pipeline_traced, PipelineConfig, PipelineConfigBuilder
 use analysis::AnalysisLevel;
 use ir::Module;
 use regalloc::AllocOptions;
+use std::sync::Mutex;
 use trace::TraceLog;
 use vm::{Outcome, Vm, VmOptions};
 
 /// A configured compiler instance: pipeline configuration + VM options +
-/// a persistent [`WorkerPool`] reused across every compilation.
+/// a persistent [`WorkerPool`] reused across every compilation, plus a
+/// warm [`minic::Frontend`] whose interner, token buffer, and AST pools
+/// are recycled across every program the session compiles.
 ///
 /// Construct with [`Session::builder()`] (or [`Session::default()`] for
 /// the paper's default arm).
@@ -51,6 +54,10 @@ pub struct Session {
     config: PipelineConfig,
     vm: VmOptions,
     pool: WorkerPool,
+    /// Warm front-end buffers; behind a mutex because compilation entry
+    /// points take `&self`.
+    frontend: Mutex<minic::Frontend>,
+    reuse_frontend: bool,
 }
 
 impl std::fmt::Debug for Session {
@@ -83,7 +90,13 @@ impl Session {
     /// A session over existing configuration and VM options.
     pub fn from_parts(config: PipelineConfig, vm: VmOptions) -> Session {
         let pool = WorkerPool::new(resolve_threads(config.threads));
-        Session { config, vm, pool }
+        Session {
+            config,
+            vm,
+            pool,
+            frontend: Mutex::new(minic::Frontend::new()),
+            reuse_frontend: true,
+        }
     }
 
     /// The pipeline configuration this session runs.
@@ -117,7 +130,16 @@ impl Session {
     /// Returns [`Error::Front`] if the source does not compile, or
     /// [`Error::Validate`] if the pipeline produced invalid IL.
     pub fn compile(&self, src: &str) -> Result<Compilation, Error> {
-        let mut module = minic::compile(src)?;
+        let mut module = if self.reuse_frontend {
+            self.frontend
+                .lock()
+                .expect("front-end mutex poisoned")
+                .compile(src)?
+        } else {
+            // Cold path for A/B measurement: a fresh `Frontend` per
+            // program, exactly what the free function does.
+            minic::compile(src)?
+        };
         let (report, trace) = self.optimize(&mut module)?;
         Ok(Compilation {
             module,
@@ -144,10 +166,21 @@ impl Session {
 
 /// Fluent builder for [`Session`]. Pipeline knobs mirror
 /// [`PipelineConfigBuilder`]; `max_steps`/`max_depth` configure the VM.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SessionBuilder {
     config: PipelineConfigBuilder,
     vm: VmOptions,
+    reuse_frontend: bool,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            config: PipelineConfigBuilder::default(),
+            vm: VmOptions::default(),
+            reuse_frontend: true,
+        }
+    }
 }
 
 impl SessionBuilder {
@@ -218,6 +251,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables or disables reuse of the session's warm front end
+    /// (interner, token buffer, AST pools) across compiles. On by
+    /// default; turning it off makes every [`Session::compile`] build a
+    /// fresh `Frontend`, which is what `--fresh-frontend` benchmarking
+    /// measures against.
+    pub fn reuse_frontend(mut self, on: bool) -> Self {
+        self.reuse_frontend = on;
+        self
+    }
+
     /// Replaces the whole pipeline configuration at once.
     pub fn pipeline_config(mut self, config: PipelineConfig) -> Self {
         self.config = PipelineConfigBuilder::from_config(config);
@@ -238,7 +281,9 @@ impl SessionBuilder {
 
     /// Builds the session (spawning its worker pool).
     pub fn build(self) -> Session {
-        Session::from_parts(self.config.build(), self.vm)
+        let mut session = Session::from_parts(self.config.build(), self.vm);
+        session.reuse_frontend = self.reuse_frontend;
+        session
     }
 }
 

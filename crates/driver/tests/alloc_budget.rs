@@ -27,6 +27,13 @@ use trace::AllocStats;
 /// noise, not a regression.
 const STEADY_STATE_ALLOC_BUDGET: u64 = 2_600;
 
+/// Upper bound on allocator calls for one steady-state *front-end*
+/// compile of the whole suite (lex + parse + lower on a warm
+/// [`minic::Frontend`]). Measured at ~1.6k after the interned front end
+/// landed (vs ~8.7k through `minic::classic`); mirrors the
+/// `--max-frontend-allocs` CI gate.
+const FRONTEND_ALLOC_BUDGET: u64 = 2_500;
+
 #[test]
 fn steady_state_suite_compile_stays_within_alloc_budget() {
     let session = Session::builder()
@@ -67,6 +74,41 @@ fn steady_state_suite_compile_stays_within_alloc_budget() {
         "steady-state suite compile used {} allocs ({} KiB), budget is \
          {STEADY_STATE_ALLOC_BUDGET} — a per-function allocation has crept \
          back into the hot loop",
+        total.count,
+        total.bytes / 1024,
+    );
+}
+
+#[test]
+fn steady_state_frontend_compile_stays_within_alloc_budget() {
+    let mut fe = minic::Frontend::new();
+    // Warm the interner, token buffer, and AST pools on a first compile
+    // of every program.
+    for b in benchsuite::SUITE {
+        fe.compile(b.source).expect("suite program compiles");
+    }
+    // Steady state: a second front-end compile of every program on the
+    // warm buffers.
+    let mut total = AllocStats::default();
+    for b in benchsuite::SUITE {
+        let before = AllocStats::now();
+        let module = fe.compile(b.source).expect("suite program compiles");
+        let used = AllocStats::now().since(&before);
+        drop(module);
+        total.merge(&used);
+        assert!(
+            used.count <= FRONTEND_ALLOC_BUDGET,
+            "steady-state front-end compile of {} alone used {} allocs \
+             (budget for the whole suite is {FRONTEND_ALLOC_BUDGET})",
+            b.name,
+            used.count,
+        );
+    }
+    assert!(
+        total.count <= FRONTEND_ALLOC_BUDGET,
+        "steady-state front-end suite compile used {} allocs ({} KiB), \
+         budget is {FRONTEND_ALLOC_BUDGET} — a per-compile allocation has \
+         crept back into the lexer, parser, or lowerer",
         total.count,
         total.bytes / 1024,
     );

@@ -52,7 +52,7 @@ pub use instr::{
     BinOp, BlockId, Callee, CmpOp, FuncId, Instr, Intrinsic, Reg, Successors, UnaryOp,
 };
 pub use parse::{parse_module, ParseIlError};
-pub use print::{instr_to_string, module_to_string, tagset_to_string};
+pub use print::{instr_to_string, module_to_string, tagset_to_string, write_instr, write_tagset};
 pub use scratch::{DenseMap, DenseSet, RewriteBuf};
 pub use tag::{DenseTagSet, TagId, TagInfo, TagKind, TagSet, TagTable, INLINE_CAP};
 pub use validate::{validate, ValidateError};

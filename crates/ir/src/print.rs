@@ -5,18 +5,23 @@
 //! printed by name in double quotes, `{*}` denotes the conservative
 //! [`TagSet::All`](crate::TagSet::All), functions are `@name`, intrinsics
 //! `$name`, and indirect call targets `*reg`.
+//!
+//! Rendering appends to a caller-owned `String` ([`write_instr`],
+//! [`write_tagset`]) so that printing a whole module reuses one growing
+//! buffer; the `*_to_string` helpers are thin allocating wrappers for
+//! one-off callers.
 
 use crate::function::{Function, Global, GlobalInit, Module};
 use crate::instr::{Callee, Instr};
 use crate::tag::{TagKind, TagSet, TagTable};
 use std::fmt::{self, Write as _};
 
-/// Prints a tag set using tag names from `tags`.
-pub fn tagset_to_string(set: &TagSet, tags: &TagTable) -> String {
+/// Appends a tag set, using tag names from `tags`, to `out`.
+pub fn write_tagset(out: &mut String, set: &TagSet, tags: &TagTable) {
     match set {
-        TagSet::All => "{*}".to_string(),
+        TagSet::All => out.push_str("{*}"),
         TagSet::Set(s) => {
-            let mut out = String::from("{");
+            out.push('{');
             for (i, t) in s.iter().enumerate() {
                 if i > 0 {
                     out.push_str(", ");
@@ -24,49 +29,92 @@ pub fn tagset_to_string(set: &TagSet, tags: &TagTable) -> String {
                 let _ = write!(out, "\"{}\"", tags.info(t).name);
             }
             out.push('}');
-            out
         }
     }
 }
 
-/// Prints one instruction using tag and function names from the module.
-pub fn instr_to_string(instr: &Instr, module: &Module) -> String {
+/// Prints a tag set using tag names from `tags`.
+pub fn tagset_to_string(set: &TagSet, tags: &TagTable) -> String {
+    let mut out = String::new();
+    write_tagset(&mut out, set, tags);
+    out
+}
+
+/// Appends one instruction, using tag and function names from the module,
+/// to `out`.
+pub fn write_instr(out: &mut String, instr: &Instr, module: &Module) {
     let tags = &module.tags;
-    let tn = |t: &crate::tag::TagId| format!("\"{}\"", tags.info(*t).name);
+    macro_rules! w {
+        ($($arg:tt)*) => {
+            let _ = write!(out, $($arg)*);
+        };
+    }
+    macro_rules! tag {
+        ($t:expr) => {
+            w!("\"{}\"", tags.info(*$t).name);
+        };
+    }
     match instr {
-        Instr::IConst { dst, value } => format!("{dst} = iconst {value}"),
-        Instr::FConst { dst, value } => format!("{dst} = fconst {value:?}"),
-        Instr::FuncAddr { dst, func } => {
-            format!("{dst} = funcaddr @{}", module.func(*func).name)
+        Instr::IConst { dst, value } => {
+            w!("{dst} = iconst {value}");
         }
-        Instr::Copy { dst, src } => format!("{dst} = copy {src}"),
-        Instr::Unary { op, dst, src } => format!("{dst} = {} {src}", op.mnemonic()),
+        Instr::FConst { dst, value } => {
+            w!("{dst} = fconst {value:?}");
+        }
+        Instr::FuncAddr { dst, func } => {
+            w!("{dst} = funcaddr @{}", module.func(*func).name);
+        }
+        Instr::Copy { dst, src } => {
+            w!("{dst} = copy {src}");
+        }
+        Instr::Unary { op, dst, src } => {
+            w!("{dst} = {} {src}", op.mnemonic());
+        }
         Instr::Binary { op, dst, lhs, rhs } => {
-            format!("{dst} = {} {lhs}, {rhs}", op.mnemonic())
+            w!("{dst} = {} {lhs}, {rhs}", op.mnemonic());
         }
         Instr::Cmp { op, dst, lhs, rhs } => {
-            format!("{dst} = {} {lhs}, {rhs}", op.mnemonic())
+            w!("{dst} = {} {lhs}, {rhs}", op.mnemonic());
         }
-        Instr::CLoad { dst, tag } => format!("{dst} = cload {}", tn(tag)),
-        Instr::SLoad { dst, tag } => format!("{dst} = sload {}", tn(tag)),
-        Instr::SStore { src, tag } => format!("sstore {src}, {}", tn(tag)),
+        Instr::CLoad { dst, tag } => {
+            w!("{dst} = cload ");
+            tag!(tag);
+        }
+        Instr::SLoad { dst, tag } => {
+            w!("{dst} = sload ");
+            tag!(tag);
+        }
+        Instr::SStore { src, tag } => {
+            w!("sstore {src}, ");
+            tag!(tag);
+        }
         Instr::Load {
             dst,
             addr,
             tags: ts,
         } => {
-            format!("{dst} = load [{addr}] {}", tagset_to_string(ts, tags))
+            w!("{dst} = load [{addr}] ");
+            write_tagset(out, ts, tags);
         }
         Instr::Store {
             src,
             addr,
             tags: ts,
         } => {
-            format!("store {src}, [{addr}] {}", tagset_to_string(ts, tags))
+            w!("store {src}, [{addr}] ");
+            write_tagset(out, ts, tags);
         }
-        Instr::Lea { dst, tag } => format!("{dst} = lea {}", tn(tag)),
-        Instr::PtrAdd { dst, base, offset } => format!("{dst} = ptradd {base}, {offset}"),
-        Instr::Alloc { dst, size, site } => format!("{dst} = alloc {size}, {}", tn(site)),
+        Instr::Lea { dst, tag } => {
+            w!("{dst} = lea ");
+            tag!(tag);
+        }
+        Instr::PtrAdd { dst, base, offset } => {
+            w!("{dst} = ptradd {base}, {offset}");
+        }
+        Instr::Alloc { dst, size, site } => {
+            w!("{dst} = alloc {size}, ");
+            tag!(site);
+        }
         Instr::Call {
             dst,
             callee,
@@ -74,61 +122,67 @@ pub fn instr_to_string(instr: &Instr, module: &Module) -> String {
             mods,
             refs,
         } => {
-            let mut s = String::new();
             if let Some(d) = dst {
-                let _ = write!(s, "{d} = ");
+                w!("{d} = ");
             }
-            s.push_str("call ");
+            out.push_str("call ");
             match callee {
                 Callee::Direct(f) => {
-                    let _ = write!(s, "@{}", module.func(*f).name);
+                    w!("@{}", module.func(*f).name);
                 }
                 Callee::Indirect(r) => {
-                    let _ = write!(s, "*{r}");
+                    w!("*{r}");
                 }
                 Callee::Intrinsic(i) => {
-                    let _ = write!(s, "${}", i.name());
+                    w!("${}", i.name());
                 }
             }
-            s.push('(');
+            out.push('(');
             for (i, a) in args.iter().enumerate() {
                 if i > 0 {
-                    s.push_str(", ");
+                    out.push_str(", ");
                 }
-                let _ = write!(s, "{a}");
+                w!("{a}");
             }
-            s.push(')');
-            let _ = write!(
-                s,
-                " mods{} refs{}",
-                tagset_to_string(mods, tags),
-                tagset_to_string(refs, tags)
-            );
-            s
+            out.push(')');
+            out.push_str(" mods");
+            write_tagset(out, mods, tags);
+            out.push_str(" refs");
+            write_tagset(out, refs, tags);
         }
         Instr::Phi { dst, args } => {
-            let mut s = format!("{dst} = phi [");
+            w!("{dst} = phi [");
             for (i, (b, r)) in args.iter().enumerate() {
                 if i > 0 {
-                    s.push_str(", ");
+                    out.push_str(", ");
                 }
-                let _ = write!(s, "{b}: {r}");
+                w!("{b}: {r}");
             }
-            s.push(']');
-            s
+            out.push(']');
         }
-        Instr::Jump { target } => format!("jump {target}"),
+        Instr::Jump { target } => {
+            w!("jump {target}");
+        }
         Instr::Branch {
             cond,
             then_bb,
             else_bb,
         } => {
-            format!("branch {cond}, {then_bb}, {else_bb}")
+            w!("branch {cond}, {then_bb}, {else_bb}");
         }
-        Instr::Ret { value: Some(r) } => format!("ret {r}"),
-        Instr::Ret { value: None } => "ret".to_string(),
-        Instr::Nop => "nop".to_string(),
+        Instr::Ret { value: Some(r) } => {
+            w!("ret {r}");
+        }
+        Instr::Ret { value: None } => out.push_str("ret"),
+        Instr::Nop => out.push_str("nop"),
     }
+}
+
+/// Prints one instruction using tag and function names from the module.
+pub fn instr_to_string(instr: &Instr, module: &Module) -> String {
+    let mut out = String::new();
+    write_instr(&mut out, instr, module);
+    out
 }
 
 fn write_function(out: &mut String, f: &Function, module: &Module) {
@@ -137,7 +191,9 @@ fn write_function(out: &mut String, f: &Function, module: &Module) {
     for id in f.block_ids() {
         let _ = writeln!(out, "{id}:");
         for instr in &f.block(id).instrs {
-            let _ = writeln!(out, "  {}", instr_to_string(instr, module));
+            out.push_str("  ");
+            write_instr(out, instr, module);
+            out.push('\n');
         }
     }
     let _ = writeln!(out, "}}");
@@ -145,19 +201,26 @@ fn write_function(out: &mut String, f: &Function, module: &Module) {
 
 fn write_tag_decl(out: &mut String, table: &TagTable) {
     for (_, info) in table.iter() {
-        let kind = match info.kind {
-            TagKind::Global => "global".to_string(),
-            TagKind::Local { owner } => format!("local owner={owner}"),
-            TagKind::Param { owner } => format!("param owner={owner}"),
-            TagKind::Heap { site } => format!("heap site={site}"),
-            TagKind::Spill { owner } => format!("spill owner={owner}"),
-        };
+        out.push_str("tag \"");
+        out.push_str(&info.name);
+        out.push_str("\" ");
+        match info.kind {
+            TagKind::Global => out.push_str("global"),
+            TagKind::Local { owner } => {
+                let _ = write!(out, "local owner={owner}");
+            }
+            TagKind::Param { owner } => {
+                let _ = write!(out, "param owner={owner}");
+            }
+            TagKind::Heap { site } => {
+                let _ = write!(out, "heap site={site}");
+            }
+            TagKind::Spill { owner } => {
+                let _ = write!(out, "spill owner={owner}");
+            }
+        }
         let addressed = if info.address_taken { " addressed" } else { "" };
-        let _ = writeln!(
-            out,
-            "tag \"{}\" {} size={}{}",
-            info.name, kind, info.size, addressed
-        );
+        let _ = writeln!(out, " size={}{}", info.size, addressed);
     }
 }
 
@@ -226,5 +289,28 @@ mod tests {
         assert!(text.contains("func @main(0) {"));
         assert!(text.contains("r0 = sload \"g:x\""));
         assert!(text.contains("sstore r2, \"g:x\""));
+    }
+
+    #[test]
+    fn write_forms_match_to_string_forms() {
+        let mut m = Module::new();
+        let g = m.add_global("x", 4, GlobalInit::Ints(vec![1, 2, 3, 4]));
+        let mut b = FunctionBuilder::new("main", 0);
+        let base = b.lea(g);
+        let idx = b.iconst(2);
+        let addr = b.ptr_add(base, idx);
+        let v = b.load(addr, crate::TagSet::single(g));
+        b.ret(Some(v));
+        b.returns_value();
+        m.add_func(b.finish());
+        for f in &m.funcs {
+            for id in f.block_ids() {
+                for instr in &f.block(id).instrs {
+                    let mut buf = String::from("  ");
+                    crate::print::write_instr(&mut buf, instr, &m);
+                    assert_eq!(buf[2..], crate::print::instr_to_string(instr, &m));
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,133 @@
+//! The baseline `Box`-based MiniC AST.
+//!
+//! Types and operators are shared with the live front end (they are
+//! identical value enums); only the tree node representation differs —
+//! every child is a heap allocation here, versus pooled ids in
+//! [`crate::ast`].
+
+pub use crate::ast::{BinaryOp, Type, UnaryOp};
+use crate::token::Pos;
+
+/// An expression with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression.
+    pub kind: ExprKind,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Variable or function name.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Assignment `lhs = rhs` (compound assignments are desugared by the
+    /// parser).
+    Assign(Box<Expr>, Box<Expr>),
+    /// Call; the callee is an expression (an identifier naming a function
+    /// or intrinsic, or a `func`-typed variable).
+    Call(Box<Expr>, Vec<Expr>),
+    /// Indexing `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Dereference `*e`.
+    Deref(Box<Expr>),
+    /// Address-of `&e` (of an identifier or an index expression).
+    AddrOf(Box<Expr>),
+    /// Heap allocation `malloc(n)` of `n` cells.
+    Malloc(Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field names mirror the surface syntax
+pub enum Stmt {
+    /// Local declaration with optional initializer.
+    Decl {
+        name: String,
+        ty: Type,
+        init: Option<Expr>,
+        pos: Pos,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if` with optional `else`.
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    /// `while` loop.
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `do { } while (cond);` loop.
+    DoWhile { body: Vec<Stmt>, cond: Expr },
+    /// `for` loop; all three headers optional.
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+    },
+    /// `return` with optional value.
+    Return { value: Option<Expr>, pos: Pos },
+    /// `break`.
+    Break(Pos),
+    /// `continue`.
+    Continue(Pos),
+    /// Nested block.
+    Block(Vec<Stmt>),
+}
+
+/// Initializer for a global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInitAst {
+    /// A single number.
+    Scalar(Expr),
+    /// `{ a, b, c }` for arrays.
+    List(Vec<Expr>),
+}
+
+/// A global variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional initializer (literals only).
+    pub init: Option<GlobalInitAst>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Name.
+    pub name: String,
+    /// Return type; `None` = `void`.
+    pub ret: Option<Type>,
+    /// Parameters.
+    pub params: Vec<(String, Type)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Global variables, in declaration order.
+    pub globals: Vec<GlobalDecl>,
+    /// Functions, in declaration order.
+    pub funcs: Vec<FuncDecl>,
+}

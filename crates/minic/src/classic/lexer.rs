@@ -1,0 +1,197 @@
+//! The baseline MiniC lexer: allocates a fresh token vector and a
+//! `String` per identifier occurrence.
+
+use crate::classic::token::{Tok, Token};
+use crate::error::{FrontError, Phase};
+use crate::token::Pos;
+
+/// Tokenizes MiniC source.
+///
+/// # Errors
+///
+/// Returns a [`FrontError`] on an unknown character, a malformed number, or
+/// an unterminated block comment.
+pub fn lex(src: &str) -> Result<Vec<Token>, FrontError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    macro_rules! pos {
+        () => {
+            Pos { line, col }
+        };
+    }
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            bump!();
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                let start = pos!();
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(FrontError::new(
+                            Phase::Lex,
+                            start,
+                            "unterminated block comment",
+                        ));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+                continue;
+            }
+        }
+        let p = pos!();
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                bump!();
+            }
+            let mut is_float = false;
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && i + 1 < bytes.len()
+                && bytes[i + 1].is_ascii_digit()
+            {
+                is_float = true;
+                bump!();
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                is_float = true;
+                bump!();
+                if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                    bump!();
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+            }
+            let text = &src[start..i];
+            let tok = if is_float {
+                Tok::Float(text.parse().map_err(|_| {
+                    FrontError::new(Phase::Lex, p, format!("malformed float literal {text}"))
+                })?)
+            } else {
+                Tok::Int(text.parse().map_err(|_| {
+                    FrontError::new(
+                        Phase::Lex,
+                        p,
+                        format!("integer literal {text} out of range"),
+                    )
+                })?)
+            };
+            out.push(Token { tok, pos: p });
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                bump!();
+            }
+            let word = &src[start..i];
+            let tok = Tok::keyword(word).unwrap_or_else(|| Tok::Ident(word.to_string()));
+            out.push(Token { tok, pos: p });
+            continue;
+        }
+        // Operators; longest match first.
+        let two = if i + 1 < bytes.len() {
+            &src[i..i + 2]
+        } else {
+            ""
+        };
+        let tok2 = match two {
+            "+=" => Some(Tok::PlusAssign),
+            "-=" => Some(Tok::MinusAssign),
+            "*=" => Some(Tok::StarAssign),
+            "/=" => Some(Tok::SlashAssign),
+            "%=" => Some(Tok::PercentAssign),
+            "==" => Some(Tok::EqEq),
+            "!=" => Some(Tok::NotEq),
+            "<=" => Some(Tok::Le),
+            ">=" => Some(Tok::Ge),
+            "<<" => Some(Tok::Shl),
+            ">>" => Some(Tok::Shr),
+            "&&" => Some(Tok::AndAnd),
+            "||" => Some(Tok::OrOr),
+            "++" => Some(Tok::PlusPlus),
+            "--" => Some(Tok::MinusMinus),
+            _ => None,
+        };
+        if let Some(t) = tok2 {
+            bump!();
+            bump!();
+            out.push(Token { tok: t, pos: p });
+            continue;
+        }
+        let tok1 = match c {
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'{' => Tok::LBrace,
+            b'}' => Tok::RBrace,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b';' => Tok::Semi,
+            b',' => Tok::Comma,
+            b'=' => Tok::Assign,
+            b'+' => Tok::Plus,
+            b'-' => Tok::Minus,
+            b'*' => Tok::Star,
+            b'/' => Tok::Slash,
+            b'%' => Tok::Percent,
+            b'&' => Tok::Amp,
+            b'|' => Tok::Pipe,
+            b'^' => Tok::Caret,
+            b'!' => Tok::Bang,
+            b'<' => Tok::Lt,
+            b'>' => Tok::Gt,
+            other => {
+                return Err(FrontError::new(
+                    Phase::Lex,
+                    p,
+                    format!("unexpected character {:?}", other as char),
+                ))
+            }
+        };
+        bump!();
+        out.push(Token { tok: tok1, pos: p });
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        pos: pos!(),
+    });
+    Ok(out)
+}

@@ -1,30 +1,16 @@
-//! Semantic analysis and lowering of MiniC to the tagged IL.
-//!
-//! Storage decisions follow the paper's front end: every value the compiler
-//! can prove unaliased lives in a virtual register from the start, while
-//! **globals**, **address-taken locals/parameters**, and **arrays** live in
-//! memory behind tags. Scalar accesses to tagged memory lower to explicit
-//! `sload`/`sstore`; pointer dereferences lower to general `load`/`store`
-//! with the conservative `{*}` tag set (the front end "must behave
-//! conservatively and assume that an operation may reference any memory
-//! location" — the interprocedural analyses shrink these sets later).
-//! Direct array indexing keeps the array's singleton tag set.
-//!
-//! Lowering never compares names as bytes: scope tables, function
-//! signatures, global variables, and the addressed-variable set all key on
-//! interned [`Symbol`]s, and a name is only resolved back to its string at
-//! the IL boundary (tag names, `Function` names, intrinsic lookup, error
-//! messages). The lookup tables themselves live in a [`LowerScratch`]
-//! recycled across compiles by [`crate::Frontend`].
+//! The baseline lowering pass: `String`-keyed scope maps and fresh
+//! `HashMap`/`HashSet` tables per compile. The storage-decision logic is
+//! identical to the live lowering pass; only the data representation
+//! differs.
 
-use crate::ast::*;
+use crate::classic::ast::*;
 use crate::error::{FrontError, Phase};
-use crate::intern::{FxHashMap, FxHashSet, Interner, Symbol};
 use crate::token::Pos;
 use ir::{
     BinOp, CmpOp, FuncId, FunctionBuilder, GlobalInit, Instr, Intrinsic, Module, Reg, TagId,
     TagKind, TagSet, UnaryOp as IrUnary,
 };
+use std::collections::{HashMap, HashSet};
 
 type Result<T> = std::result::Result<T, FrontError>;
 
@@ -63,77 +49,60 @@ impl LValue {
     }
 }
 
-/// Reusable lowering tables, recycled across compiles by
-/// [`crate::Frontend`]: signature and global maps, the per-function
-/// addressed-variable set, and the flat scope stack.
-#[derive(Debug, Default)]
-pub struct LowerScratch {
-    func_sigs: FxHashMap<Symbol, (FuncId, Option<Type>, Vec<Type>)>,
-    global_vars: FxHashMap<Symbol, (TagId, Type)>,
-    addressed: FxHashSet<Symbol>,
-    scope_vars: Vec<(Symbol, VarInfo)>,
-    scope_marks: Vec<usize>,
-    loop_stack: Vec<(ir::BlockId, ir::BlockId)>,
-}
-
 /// Scans a function body for identifiers whose address is taken with `&`.
-fn collect_addressed(program: &Program, body: StmtList, out: &mut FxHashSet<Symbol>) {
-    fn expr(p: &Program, id: ExprId, out: &mut FxHashSet<Symbol>) {
-        match p.expr(id).kind {
+fn collect_addressed(body: &[Stmt], out: &mut HashSet<String>) {
+    fn expr(e: &Expr, out: &mut HashSet<String>) {
+        match &e.kind {
             ExprKind::AddrOf(inner) => {
                 // `&x` forces x into memory; `&a[i]` forces a into memory
                 // (arrays are already there).
                 let mut base = inner;
-                while let ExprKind::Index(b, i) = p.expr(base).kind {
-                    expr(p, i, out);
+                while let ExprKind::Index(b, i) = &base.kind {
+                    expr(i, out);
                     base = b;
                 }
-                if let ExprKind::Ident(name) = p.expr(base).kind {
-                    out.insert(name);
+                if let ExprKind::Ident(name) = &base.kind {
+                    out.insert(name.clone());
                 } else {
-                    expr(p, base, out);
+                    expr(base, out);
                 }
             }
-            ExprKind::Unary(_, a) | ExprKind::Deref(a) | ExprKind::Malloc(a) => expr(p, a, out),
+            ExprKind::Unary(_, a) | ExprKind::Deref(a) | ExprKind::Malloc(a) => expr(a, out),
             ExprKind::Binary(_, a, b) | ExprKind::Assign(a, b) | ExprKind::Index(a, b) => {
-                expr(p, a, out);
-                expr(p, b, out);
+                expr(a, out);
+                expr(b, out);
             }
             ExprKind::Call(f, args) => {
-                expr(p, f, out);
-                for &a in p.expr_list(args) {
-                    expr(p, a, out);
+                expr(f, out);
+                for a in args {
+                    expr(a, out);
                 }
             }
             ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::Ident(_) => {}
         }
     }
-    fn stmt(p: &Program, id: StmtId, out: &mut FxHashSet<Symbol>) {
-        match p.stmt(id) {
+    fn stmt(s: &Stmt, out: &mut HashSet<String>) {
+        match s {
             Stmt::Decl { init, .. } => {
                 if let Some(e) = init {
-                    expr(p, *e, out);
+                    expr(e, out);
                 }
             }
-            Stmt::Expr(e) => expr(p, *e, out),
+            Stmt::Expr(e) => expr(e, out),
             Stmt::If {
                 cond,
                 then_body,
                 else_body,
             } => {
-                expr(p, *cond, out);
-                for &s in p
-                    .stmt_list(*then_body)
-                    .iter()
-                    .chain(p.stmt_list(*else_body))
-                {
-                    stmt(p, s, out);
+                expr(cond, out);
+                for s in then_body.iter().chain(else_body) {
+                    stmt(s, out);
                 }
             }
             Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
-                expr(p, *cond, out);
-                for &s in p.stmt_list(*body) {
-                    stmt(p, s, out);
+                expr(cond, out);
+                for s in body {
+                    stmt(s, out);
                 }
             }
             Stmt::For {
@@ -143,98 +112,71 @@ fn collect_addressed(program: &Program, body: StmtList, out: &mut FxHashSet<Symb
                 body,
             } => {
                 if let Some(s) = init {
-                    stmt(p, *s, out);
+                    stmt(s, out);
                 }
                 if let Some(e) = cond {
-                    expr(p, *e, out);
+                    expr(e, out);
                 }
                 if let Some(e) = step {
-                    expr(p, *e, out);
+                    expr(e, out);
                 }
-                for &s in p.stmt_list(*body) {
-                    stmt(p, s, out);
+                for s in body {
+                    stmt(s, out);
                 }
             }
             Stmt::Return { value, .. } => {
                 if let Some(e) = value {
-                    expr(p, *e, out);
+                    expr(e, out);
                 }
             }
             Stmt::Break(_) | Stmt::Continue(_) => {}
             Stmt::Block(body) => {
-                for &s in p.stmt_list(*body) {
-                    stmt(p, s, out);
+                for s in body {
+                    stmt(s, out);
                 }
             }
         }
     }
-    for &s in program.stmt_list(body) {
-        stmt(program, s, out);
+    for s in body {
+        stmt(s, out);
     }
 }
 
 struct Lowerer<'p> {
     program: &'p Program,
-    interner: &'p Interner,
     module: Module,
-    scratch: &'p mut LowerScratch,
+    /// Function name -> (id, signature).
+    func_sigs: HashMap<String, (FuncId, Option<Type>, Vec<Type>)>,
+    /// Global name -> (tag, type).
+    global_vars: HashMap<String, (TagId, Type)>,
     heap_sites: u32,
 }
 
 struct FuncCtx {
     b: FunctionBuilder,
     func_index: u32,
-    func_name: Symbol,
+    func_name: String,
     ret: Option<Type>,
-    /// Flat scope stack: `scope_marks` records where each scope starts in
-    /// `scope_vars`; lookup scans innermost-first.
-    scope_vars: Vec<(Symbol, VarInfo)>,
-    scope_marks: Vec<usize>,
-    addressed: FxHashSet<Symbol>,
+    scopes: Vec<HashMap<String, VarInfo>>,
+    addressed: HashSet<String>,
     /// (break target, continue target) stack.
     loop_stack: Vec<(ir::BlockId, ir::BlockId)>,
     local_tag_counter: u32,
 }
 
 impl FuncCtx {
-    fn lookup(&self, name: Symbol) -> Option<&VarInfo> {
-        self.scope_vars
-            .iter()
-            .rev()
-            .find(|(n, _)| *n == name)
-            .map(|(_, info)| info)
-    }
-
-    fn enter_scope(&mut self) {
-        self.scope_marks.push(self.scope_vars.len());
-    }
-
-    fn exit_scope(&mut self) {
-        let mark = self.scope_marks.pop().expect("scope underflow");
-        self.scope_vars.truncate(mark);
-    }
-
-    fn declare(&mut self, name: Symbol, info: VarInfo) {
-        self.scope_vars.push((name, info));
+    fn lookup(&self, name: &str) -> Option<&VarInfo> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
     }
 }
 
 impl<'p> Lowerer<'p> {
-    fn run(
-        program: &'p Program,
-        interner: &'p Interner,
-        scratch: &'p mut LowerScratch,
-    ) -> Result<Module> {
-        scratch.func_sigs.clear();
-        scratch.global_vars.clear();
-        scratch.scope_vars.clear();
-        scratch.scope_marks.clear();
-        scratch.loop_stack.clear();
+    fn run(program: &'p Program) -> Result<Module> {
         let mut l = Lowerer {
             program,
-            interner,
             module: Module::new(),
-            scratch,
+            func_sigs: HashMap::new(),
+            global_vars: HashMap::new(),
             heap_sites: 0,
         };
         l.declare_globals()?;
@@ -245,45 +187,28 @@ impl<'p> Lowerer<'p> {
         Ok(l.module)
     }
 
-    fn name(&self, sym: Symbol) -> &'p str {
-        self.interner.name(sym)
-    }
-
-    /// The position of a pooled expression (cold paths: errors,
-    /// conversion diagnostics).
-    fn epos(&self, e: ExprId) -> Pos {
-        self.program.expr(e).pos
-    }
-
     fn declare_globals(&mut self) -> Result<()> {
         for g in &self.program.globals {
-            if self.scratch.global_vars.contains_key(&g.name) {
-                return err(g.pos, format!("duplicate global `{}`", self.name(g.name)));
+            if self.global_vars.contains_key(&g.name) {
+                return err(g.pos, format!("duplicate global `{}`", g.name));
             }
             let size = g.ty.size_cells();
             let init = match (&g.init, &g.ty) {
                 (None, _) => GlobalInit::Zero,
-                (Some(GlobalInitAst::Scalar(e)), ty) if ty.is_scalar() => {
-                    let e = self.program.expr(*e);
-                    match (&e.kind, ty) {
-                        (ExprKind::IntLit(v), Type::Int) => GlobalInit::Ints(vec![*v]),
-                        (ExprKind::IntLit(v), Type::Double) => GlobalInit::Floats(vec![*v as f64]),
-                        (ExprKind::FloatLit(v), Type::Double) => GlobalInit::Floats(vec![*v]),
-                        (ExprKind::Unary(UnaryOp::Neg, inner), _) => {
-                            match (&self.program.expr(*inner).kind, ty) {
-                                (ExprKind::IntLit(v), Type::Int) => GlobalInit::Ints(vec![-*v]),
-                                (ExprKind::IntLit(v), Type::Double) => {
-                                    GlobalInit::Floats(vec![-(*v as f64)])
-                                }
-                                (ExprKind::FloatLit(v), Type::Double) => {
-                                    GlobalInit::Floats(vec![-*v])
-                                }
-                                _ => return err(e.pos, "global initializers must be literals"),
-                            }
+                (Some(GlobalInitAst::Scalar(e)), ty) if ty.is_scalar() => match (&e.kind, ty) {
+                    (ExprKind::IntLit(v), Type::Int) => GlobalInit::Ints(vec![*v]),
+                    (ExprKind::IntLit(v), Type::Double) => GlobalInit::Floats(vec![*v as f64]),
+                    (ExprKind::FloatLit(v), Type::Double) => GlobalInit::Floats(vec![*v]),
+                    (ExprKind::Unary(UnaryOp::Neg, inner), _) => match (&inner.kind, ty) {
+                        (ExprKind::IntLit(v), Type::Int) => GlobalInit::Ints(vec![-*v]),
+                        (ExprKind::IntLit(v), Type::Double) => {
+                            GlobalInit::Floats(vec![-(*v as f64)])
                         }
+                        (ExprKind::FloatLit(v), Type::Double) => GlobalInit::Floats(vec![-*v]),
                         _ => return err(e.pos, "global initializers must be literals"),
-                    }
-                }
+                    },
+                    _ => return err(e.pos, "global initializers must be literals"),
+                },
                 (Some(GlobalInitAst::List(items)), Type::Array(elem, _)) => {
                     let leaf = {
                         let mut t: &Type = elem;
@@ -294,8 +219,7 @@ impl<'p> Lowerer<'p> {
                     };
                     let mut ints = Vec::new();
                     let mut floats = Vec::new();
-                    for &item in self.program.expr_list(*items) {
-                        let item = self.program.expr(item);
+                    for item in items {
                         match (&item.kind, &leaf) {
                             (ExprKind::IntLit(v), Type::Int) => ints.push(*v),
                             (ExprKind::IntLit(v), Type::Double) => floats.push(*v as f64),
@@ -335,89 +259,73 @@ impl<'p> Lowerer<'p> {
                 }
                 _ => init,
             };
-            let tag = self
-                .module
-                .add_global(self.interner.name(g.name), size, init);
-            self.scratch.global_vars.insert(g.name, (tag, g.ty.clone()));
+            let tag = self.module.add_global(&g.name, size, init);
+            self.global_vars.insert(g.name.clone(), (tag, g.ty.clone()));
         }
         Ok(())
     }
 
     fn declare_functions(&mut self) -> Result<()> {
         for (i, f) in self.program.funcs.iter().enumerate() {
-            if self.scratch.func_sigs.contains_key(&f.name) {
-                return err(f.pos, format!("duplicate function `{}`", self.name(f.name)));
+            if self.func_sigs.contains_key(&f.name) {
+                return err(f.pos, format!("duplicate function `{}`", f.name));
             }
-            let name = self.interner.name(f.name);
-            if Intrinsic::from_name(name).is_some() || name == "malloc" {
+            if Intrinsic::from_name(&f.name).is_some() || f.name == "malloc" {
                 return err(
                     f.pos,
-                    format!("`{name}` is a builtin and cannot be redefined"),
+                    format!("`{}` is a builtin and cannot be redefined", f.name),
                 );
             }
-            let params: Vec<Type> = self
-                .program
-                .param_list(f.params)
-                .iter()
-                .map(|(_, t)| t.clone())
-                .collect();
-            self.scratch
-                .func_sigs
-                .insert(f.name, (FuncId(i as u32), f.ret.clone(), params));
+            let params: Vec<Type> = f.params.iter().map(|(_, t)| t.clone()).collect();
+            self.func_sigs
+                .insert(f.name.clone(), (FuncId(i as u32), f.ret.clone(), params));
         }
         Ok(())
     }
 
-    fn lower_function(&mut self, f: &'p FuncDecl) -> Result<()> {
-        let func_index = self.scratch.func_sigs[&f.name].0 .0;
-        let params = self.program.param_list(f.params);
-        let mut b = FunctionBuilder::new(self.interner.name(f.name), params.len());
+    fn lower_function(&mut self, f: &FuncDecl) -> Result<()> {
+        let func_index = self.func_sigs[&f.name].0 .0;
+        let mut b = FunctionBuilder::new(f.name.clone(), f.params.len());
         if f.ret.is_some() {
             b.returns_value();
         }
-        let mut addressed = std::mem::take(&mut self.scratch.addressed);
-        addressed.clear();
-        collect_addressed(self.program, f.body, &mut addressed);
+        let mut addressed = HashSet::new();
+        collect_addressed(&f.body, &mut addressed);
         let mut ctx = FuncCtx {
             b,
             func_index,
-            func_name: f.name,
+            func_name: f.name.clone(),
             ret: f.ret.clone(),
-            scope_vars: std::mem::take(&mut self.scratch.scope_vars),
-            scope_marks: std::mem::take(&mut self.scratch.scope_marks),
+            scopes: vec![HashMap::new()],
             addressed,
-            loop_stack: std::mem::take(&mut self.scratch.loop_stack),
+            loop_stack: Vec::new(),
             local_tag_counter: 0,
         };
-        ctx.enter_scope();
         // Bind parameters.
-        for (i, (name, ty)) in params.iter().enumerate() {
+        for (i, (name, ty)) in f.params.iter().enumerate() {
             if !ty.is_scalar() {
                 return err(
                     f.pos,
-                    format!(
-                        "parameter `{}` has array type; use a pointer",
-                        self.name(*name)
-                    ),
+                    format!("parameter `{name}` has array type; use a pointer"),
                 );
             }
             let incoming = Reg(i as u32);
             let place = if ctx.addressed.contains(name) {
-                let tag = self.new_local_tag(&mut ctx, *name, 1, true);
+                let tag = self.new_local_tag(&mut ctx, name, 1, true);
                 ctx.b.sstore(incoming, tag);
                 Place::Mem(tag)
             } else {
                 Place::Reg(incoming)
             };
-            ctx.declare(
-                *name,
+            ctx.scopes.last_mut().expect("scope").insert(
+                name.clone(),
                 VarInfo {
                     ty: ty.clone(),
                     place,
                 },
             );
         }
-        self.lower_block(&mut ctx, f.body)?;
+        self.lower_block(&mut ctx, &f.body)?;
         // Implicit return if control can fall off the end.
         if !ctx.b.is_terminated() {
             match &ctx.ret {
@@ -433,30 +341,12 @@ impl<'p> Lowerer<'p> {
             }
         }
         self.module.add_func(ctx.b.finish());
-        // Hand the per-function tables back for the next function.
-        ctx.scope_vars.clear();
-        ctx.scope_marks.clear();
-        ctx.loop_stack.clear();
-        self.scratch.scope_vars = ctx.scope_vars;
-        self.scratch.scope_marks = ctx.scope_marks;
-        self.scratch.loop_stack = ctx.loop_stack;
-        self.scratch.addressed = ctx.addressed;
         Ok(())
     }
 
-    fn new_local_tag(
-        &mut self,
-        ctx: &mut FuncCtx,
-        name: Symbol,
-        size: usize,
-        param: bool,
-    ) -> TagId {
+    fn new_local_tag(&mut self, ctx: &mut FuncCtx, name: &str, size: usize, param: bool) -> TagId {
         // Unique tag name even with shadowed declarations.
-        let base = format!(
-            "{}.{}",
-            self.interner.name(ctx.func_name),
-            self.interner.name(name)
-        );
+        let base = format!("{}.{}", ctx.func_name, name);
         let unique = if self.module.tags.lookup(&base).is_none() {
             base
         } else {
@@ -475,23 +365,23 @@ impl<'p> Lowerer<'p> {
         self.module.tags.intern(unique, kind, size)
     }
 
-    fn lower_block(&mut self, ctx: &mut FuncCtx, body: StmtList) -> Result<()> {
-        ctx.enter_scope();
-        for &s in self.program.stmt_list(body) {
+    fn lower_block(&mut self, ctx: &mut FuncCtx, body: &[Stmt]) -> Result<()> {
+        ctx.scopes.push(HashMap::new());
+        for s in body {
             self.lower_stmt(ctx, s)?;
         }
-        ctx.exit_scope();
+        ctx.scopes.pop();
         Ok(())
     }
 
-    fn lower_stmt(&mut self, ctx: &mut FuncCtx, sid: StmtId) -> Result<()> {
+    fn lower_stmt(&mut self, ctx: &mut FuncCtx, s: &Stmt) -> Result<()> {
         // Statements after a terminator are unreachable; park them in a
         // fresh block which `remove_unreachable_blocks` deletes later.
         if ctx.b.is_terminated() {
             let limbo = ctx.b.new_block();
             ctx.b.switch_to(limbo);
         }
-        match self.program.stmt(sid) {
+        match s {
             Stmt::Decl {
                 name,
                 ty,
@@ -500,7 +390,7 @@ impl<'p> Lowerer<'p> {
             } => {
                 let needs_memory = !ty.is_scalar() || ctx.addressed.contains(name);
                 let place = if needs_memory {
-                    let tag = self.new_local_tag(ctx, *name, ty.size_cells(), false);
+                    let tag = self.new_local_tag(ctx, name, ty.size_cells(), false);
                     Place::Mem(tag)
                 } else {
                     Place::Reg(ctx.b.new_reg())
@@ -513,35 +403,38 @@ impl<'p> Lowerer<'p> {
                     if !ty.is_scalar() {
                         return err(*pos, "array locals cannot have initializers");
                     }
-                    let (r, rty) = self.lower_expr(ctx, *e)?;
-                    let r = self.convert(ctx, r, &rty, ty, self.epos(*e))?;
+                    let (r, rty) = self.lower_expr(ctx, e)?;
+                    let r = self.convert(ctx, r, &rty, ty, e.pos)?;
                     match &info.place {
                         Place::Reg(dst) => ctx.b.emit(Instr::Copy { dst: *dst, src: r }),
                         Place::Mem(tag) => ctx.b.sstore(r, *tag),
                     }
                 }
-                ctx.declare(*name, info);
+                ctx.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(name.clone(), info);
             }
             Stmt::Expr(e) => {
-                self.lower_expr_maybe_void(ctx, *e)?;
+                self.lower_expr_maybe_void(ctx, e)?;
             }
             Stmt::If {
                 cond,
                 then_body,
                 else_body,
             } => {
-                let c = self.lower_condition(ctx, *cond)?;
+                let c = self.lower_condition(ctx, cond)?;
                 let then_bb = ctx.b.new_block();
                 let else_bb = ctx.b.new_block();
                 let join = ctx.b.new_block();
                 ctx.b.branch(c, then_bb, else_bb);
                 ctx.b.switch_to(then_bb);
-                self.lower_block(ctx, *then_body)?;
+                self.lower_block(ctx, then_body)?;
                 if !ctx.b.is_terminated() {
                     ctx.b.jump(join);
                 }
                 ctx.b.switch_to(else_bb);
-                self.lower_block(ctx, *else_body)?;
+                self.lower_block(ctx, else_body)?;
                 if !ctx.b.is_terminated() {
                     ctx.b.jump(join);
                 }
@@ -553,11 +446,11 @@ impl<'p> Lowerer<'p> {
                 let exit = ctx.b.new_block();
                 ctx.b.jump(header);
                 ctx.b.switch_to(header);
-                let c = self.lower_condition(ctx, *cond)?;
+                let c = self.lower_condition(ctx, cond)?;
                 ctx.b.branch(c, body_bb, exit);
                 ctx.b.switch_to(body_bb);
                 ctx.loop_stack.push((exit, header));
-                self.lower_block(ctx, *body)?;
+                self.lower_block(ctx, body)?;
                 ctx.loop_stack.pop();
                 if !ctx.b.is_terminated() {
                     ctx.b.jump(header);
@@ -571,13 +464,13 @@ impl<'p> Lowerer<'p> {
                 ctx.b.jump(body_bb);
                 ctx.b.switch_to(body_bb);
                 ctx.loop_stack.push((exit, latch));
-                self.lower_block(ctx, *body)?;
+                self.lower_block(ctx, body)?;
                 ctx.loop_stack.pop();
                 if !ctx.b.is_terminated() {
                     ctx.b.jump(latch);
                 }
                 ctx.b.switch_to(latch);
-                let c = self.lower_condition(ctx, *cond)?;
+                let c = self.lower_condition(ctx, cond)?;
                 ctx.b.branch(c, body_bb, exit);
                 ctx.b.switch_to(exit);
             }
@@ -587,9 +480,9 @@ impl<'p> Lowerer<'p> {
                 step,
                 body,
             } => {
-                ctx.enter_scope();
+                ctx.scopes.push(HashMap::new());
                 if let Some(s) = init {
-                    self.lower_stmt(ctx, *s)?;
+                    self.lower_stmt(ctx, s)?;
                 }
                 let header = ctx.b.new_block();
                 let body_bb = ctx.b.new_block();
@@ -599,25 +492,25 @@ impl<'p> Lowerer<'p> {
                 ctx.b.switch_to(header);
                 match cond {
                     Some(c) => {
-                        let r = self.lower_condition(ctx, *c)?;
+                        let r = self.lower_condition(ctx, c)?;
                         ctx.b.branch(r, body_bb, exit);
                     }
                     None => ctx.b.jump(body_bb),
                 }
                 ctx.b.switch_to(body_bb);
                 ctx.loop_stack.push((exit, step_bb));
-                self.lower_block(ctx, *body)?;
+                self.lower_block(ctx, body)?;
                 ctx.loop_stack.pop();
                 if !ctx.b.is_terminated() {
                     ctx.b.jump(step_bb);
                 }
                 ctx.b.switch_to(step_bb);
                 if let Some(e) = step {
-                    self.lower_expr_maybe_void(ctx, *e)?;
+                    self.lower_expr_maybe_void(ctx, e)?;
                 }
                 ctx.b.jump(header);
                 ctx.b.switch_to(exit);
-                ctx.exit_scope();
+                ctx.scopes.pop();
             }
             Stmt::Return { value, pos } => match (&ctx.ret, value) {
                 (None, None) => ctx.b.ret(None),
@@ -625,8 +518,8 @@ impl<'p> Lowerer<'p> {
                 (Some(_), None) => return err(*pos, "non-void function returns no value"),
                 (Some(rt), Some(e)) => {
                     let rt = rt.clone();
-                    let (r, ty) = self.lower_expr(ctx, *e)?;
-                    let r = self.convert(ctx, r, &ty, &rt, self.epos(*e))?;
+                    let (r, ty) = self.lower_expr(ctx, e)?;
+                    let r = self.convert(ctx, r, &ty, &rt, e.pos)?;
                     ctx.b.ret(Some(r));
                 }
             },
@@ -638,13 +531,13 @@ impl<'p> Lowerer<'p> {
                 Some(&(_, cont)) => ctx.b.jump(cont),
                 None => return err(*pos, "continue outside a loop"),
             },
-            Stmt::Block(body) => self.lower_block(ctx, *body)?,
+            Stmt::Block(body) => self.lower_block(ctx, body)?,
         }
         Ok(())
     }
 
     /// Lowers an expression used only as a condition; the result is an int.
-    fn lower_condition(&mut self, ctx: &mut FuncCtx, e: ExprId) -> Result<Reg> {
+    fn lower_condition(&mut self, ctx: &mut FuncCtx, e: &Expr) -> Result<Reg> {
         let (r, ty) = self.lower_expr(ctx, e)?;
         match ty {
             Type::Int => Ok(r),
@@ -657,15 +550,14 @@ impl<'p> Lowerer<'p> {
                 let z = ctx.b.iconst(0);
                 Ok(ctx.b.cmp(CmpOp::Ne, r, z))
             }
-            Type::Array(..) => err(self.epos(e), "array used as a condition"),
+            Type::Array(..) => err(e.pos, "array used as a condition"),
         }
     }
 
     /// Lowers an expression statement, permitting void calls.
-    fn lower_expr_maybe_void(&mut self, ctx: &mut FuncCtx, e: ExprId) -> Result<()> {
-        let node = self.program.expr(e);
-        if let ExprKind::Call(callee, args) = node.kind {
-            self.lower_call(ctx, callee, args, node.pos, true)?;
+    fn lower_expr_maybe_void(&mut self, ctx: &mut FuncCtx, e: &Expr) -> Result<()> {
+        if let ExprKind::Call(callee, args) = &e.kind {
+            self.lower_call(ctx, callee, args, e.pos, true)?;
             Ok(())
         } else {
             self.lower_expr(ctx, e).map(|_| ())
@@ -673,32 +565,31 @@ impl<'p> Lowerer<'p> {
     }
 
     /// Lowers an rvalue. Arrays decay to pointers.
-    fn lower_expr(&mut self, ctx: &mut FuncCtx, e: ExprId) -> Result<(Reg, Type)> {
-        let Expr { kind, pos } = *self.program.expr(e);
-        match kind {
-            ExprKind::IntLit(v) => Ok((ctx.b.iconst(v), Type::Int)),
-            ExprKind::FloatLit(v) => Ok((ctx.b.fconst(v), Type::Double)),
+    fn lower_expr(&mut self, ctx: &mut FuncCtx, e: &Expr) -> Result<(Reg, Type)> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok((ctx.b.iconst(*v), Type::Int)),
+            ExprKind::FloatLit(v) => Ok((ctx.b.fconst(*v), Type::Double)),
             ExprKind::Ident(name) => {
                 if let Some(info) = ctx.lookup(name).cloned() {
-                    return self.read_place(ctx, &info, pos);
+                    return self.read_place(ctx, &info, e.pos);
                 }
-                if let Some((tag, ty)) = self.scratch.global_vars.get(&name).cloned() {
+                if let Some((tag, ty)) = self.global_vars.get(name).cloned() {
                     let info = VarInfo {
                         ty,
                         place: Place::Mem(tag),
                     };
-                    return self.read_place(ctx, &info, pos);
+                    return self.read_place(ctx, &info, e.pos);
                 }
-                if let Some(&(fid, _, _)) = self.scratch.func_sigs.get(&name) {
+                if let Some(&(fid, _, _)) = self.func_sigs.get(name) {
                     // A bare function name is a function pointer.
                     return Ok((ctx.b.func_addr(fid), Type::Func));
                 }
-                err(pos, format!("unknown identifier `{}`", self.name(name)))
+                err(e.pos, format!("unknown identifier `{name}`"))
             }
             ExprKind::Unary(UnaryOp::Neg, inner) => {
                 let (r, ty) = self.lower_expr(ctx, inner)?;
                 if !ty.is_arith() {
-                    return err(pos, format!("cannot negate `{ty}`"));
+                    return err(e.pos, format!("cannot negate `{ty}`"));
                 }
                 Ok((ctx.b.unary(IrUnary::Neg, r), ty))
             }
@@ -706,12 +597,12 @@ impl<'p> Lowerer<'p> {
                 let r = self.lower_condition(ctx, inner)?;
                 Ok((ctx.b.unary(IrUnary::Not, r), Type::Int))
             }
-            ExprKind::Binary(op, a, bx) => self.lower_binary(ctx, op, a, bx, pos),
+            ExprKind::Binary(op, a, bx) => self.lower_binary(ctx, *op, a, bx, e.pos),
             ExprKind::Assign(lhs, rhs) => {
                 let lv = self.lower_lvalue(ctx, lhs)?;
                 let (r, rty) = self.lower_expr(ctx, rhs)?;
                 let target_ty = lv.ty().clone();
-                let r = self.convert(ctx, r, &rty, &target_ty, self.epos(rhs))?;
+                let r = self.convert(ctx, r, &rty, &target_ty, rhs.pos)?;
                 match lv {
                     LValue::Reg(dst, _) => ctx.b.emit(Instr::Copy { dst, src: r }),
                     LValue::Scalar(tag, _) => ctx.b.sstore(r, tag),
@@ -720,20 +611,20 @@ impl<'p> Lowerer<'p> {
                 Ok((r, target_ty))
             }
             ExprKind::Call(callee, args) => {
-                match self.lower_call(ctx, callee, args, pos, false)? {
+                match self.lower_call(ctx, callee, args, e.pos, false)? {
                     Some(rt) => Ok(rt),
-                    None => err(pos, "void call used as a value"),
+                    None => err(e.pos, "void call used as a value"),
                 }
             }
             ExprKind::Index(..) | ExprKind::Deref(_) => {
                 let lv = self.lower_lvalue(ctx, e)?;
-                self.read_lvalue(ctx, lv, pos)
+                self.read_lvalue(ctx, lv, e.pos)
             }
             ExprKind::AddrOf(inner) => {
                 // `&f` for a function yields a function pointer.
-                if let ExprKind::Ident(name) = self.program.expr(inner).kind {
-                    if ctx.lookup(name).is_none() && !self.scratch.global_vars.contains_key(&name) {
-                        if let Some(&(fid, _, _)) = self.scratch.func_sigs.get(&name) {
+                if let ExprKind::Ident(name) = &inner.kind {
+                    if ctx.lookup(name).is_none() && !self.global_vars.contains_key(name) {
+                        if let Some(&(fid, _, _)) = self.func_sigs.get(name) {
                             return Ok((ctx.b.func_addr(fid), Type::Func));
                         }
                     }
@@ -744,7 +635,7 @@ impl<'p> Lowerer<'p> {
             ExprKind::Malloc(n) => {
                 let (r, ty) = self.lower_expr(ctx, n)?;
                 if ty != Type::Int {
-                    return err(self.epos(n), "malloc size must be int");
+                    return err(n.pos, "malloc size must be int");
                 }
                 let site = self.heap_sites;
                 self.heap_sites += 1;
@@ -788,9 +679,8 @@ impl<'p> Lowerer<'p> {
     }
 
     /// Lowers an lvalue expression.
-    fn lower_lvalue(&mut self, ctx: &mut FuncCtx, e: ExprId) -> Result<LValue> {
-        let Expr { kind, pos } = *self.program.expr(e);
-        match kind {
+    fn lower_lvalue(&mut self, ctx: &mut FuncCtx, e: &Expr) -> Result<LValue> {
+        match &e.kind {
             ExprKind::Ident(name) => {
                 if let Some(info) = ctx.lookup(name).cloned() {
                     return Ok(match (&info.place, &info.ty) {
@@ -798,10 +688,10 @@ impl<'p> Lowerer<'p> {
                         (Place::Mem(tag), ty) => LValue::Scalar(*tag, ty.clone()),
                     });
                 }
-                if let Some((tag, ty)) = self.scratch.global_vars.get(&name).cloned() {
+                if let Some((tag, ty)) = self.global_vars.get(name).cloned() {
                     return Ok(LValue::Scalar(tag, ty));
                 }
-                err(pos, format!("unknown identifier `{}`", self.name(name)))
+                err(e.pos, format!("unknown identifier `{name}`"))
             }
             ExprKind::Deref(inner) => {
                 let (addr, ty) = self.lower_expr(ctx, inner)?;
@@ -811,11 +701,11 @@ impl<'p> Lowerer<'p> {
                         tags: TagSet::All,
                         ty: (*pointee).clone(),
                     }),
-                    other => err(pos, format!("cannot dereference `{other}`")),
+                    other => err(e.pos, format!("cannot dereference `{other}`")),
                 }
             }
             ExprKind::Index(base, idx) => {
-                let (addr, elem, tags) = self.lower_index_addr(ctx, base, idx, pos)?;
+                let (addr, elem, tags) = self.lower_index_addr(ctx, base, idx, e.pos)?;
                 Ok(LValue::Cell {
                     addr,
                     tags,
@@ -823,10 +713,10 @@ impl<'p> Lowerer<'p> {
                 })
             }
             other => err(
-                pos,
+                e.pos,
                 format!(
                     "expression is not assignable: {:?}",
-                    std::mem::discriminant(&other)
+                    std::mem::discriminant(other)
                 ),
             ),
         }
@@ -836,8 +726,8 @@ impl<'p> Lowerer<'p> {
     fn lower_index_addr(
         &mut self,
         ctx: &mut FuncCtx,
-        base: ExprId,
-        idx: ExprId,
+        base: &Expr,
+        idx: &Expr,
         pos: Pos,
     ) -> Result<(Reg, Type, TagSet)> {
         // Direct indexing of a named array keeps the singleton tag set.
@@ -858,16 +748,14 @@ impl<'p> Lowerer<'p> {
     }
 
     /// The address and element type of an indexable base expression.
-    fn lower_base_addr(&mut self, ctx: &mut FuncCtx, base: ExprId) -> Result<(Reg, Type, TagSet)> {
-        let Expr { kind, pos } = *self.program.expr(base);
-        match kind {
+    fn lower_base_addr(&mut self, ctx: &mut FuncCtx, base: &Expr) -> Result<(Reg, Type, TagSet)> {
+        match &base.kind {
             ExprKind::Ident(name) => {
                 let info = if let Some(i) = ctx.lookup(name).cloned() {
                     Some(i)
                 } else {
-                    self.scratch
-                        .global_vars
-                        .get(&name)
+                    self.global_vars
+                        .get(name)
                         .cloned()
                         .map(|(tag, ty)| VarInfo {
                             ty,
@@ -875,7 +763,7 @@ impl<'p> Lowerer<'p> {
                         })
                 };
                 let Some(info) = info else {
-                    return err(pos, format!("unknown identifier `{}`", self.name(name)));
+                    return err(base.pos, format!("unknown identifier `{name}`"));
                 };
                 match (&info.place, &info.ty) {
                     (Place::Mem(tag), Type::Array(elem, _)) => {
@@ -884,16 +772,15 @@ impl<'p> Lowerer<'p> {
                         Ok((addr, (**elem).clone(), TagSet::single(*tag)))
                     }
                     (_, Type::Ptr(pointee)) => {
-                        let pointee = (**pointee).clone();
-                        let (r, _) = self.read_place(ctx, &info, pos)?;
-                        Ok((r, pointee, TagSet::All))
+                        let (r, _) = self.read_place(ctx, &info, base.pos)?;
+                        Ok((r, (**pointee).clone(), TagSet::All))
                     }
-                    (_, other) => err(pos, format!("cannot index `{other}`")),
+                    (_, other) => err(base.pos, format!("cannot index `{other}`")),
                 }
             }
             ExprKind::Index(b2, i2) => {
                 // Multi-dimensional indexing: the inner index yields a row.
-                let (addr, elem, tags) = self.lower_index_addr(ctx, b2, i2, pos)?;
+                let (addr, elem, tags) = self.lower_index_addr(ctx, b2, i2, base.pos)?;
                 match elem {
                     Type::Array(inner, _) => Ok((addr, *inner, tags)),
                     Type::Ptr(inner) => {
@@ -901,30 +788,28 @@ impl<'p> Lowerer<'p> {
                         let p = ctx.b.load(addr, tags);
                         Ok((p, *inner, TagSet::All))
                     }
-                    other => err(pos, format!("cannot index `{other}`")),
+                    other => err(base.pos, format!("cannot index `{other}`")),
                 }
             }
             _ => {
                 let (r, ty) = self.lower_expr(ctx, base)?;
                 match ty {
                     Type::Ptr(pointee) => Ok((r, *pointee, TagSet::All)),
-                    other => err(pos, format!("cannot index `{other}`")),
+                    other => err(base.pos, format!("cannot index `{other}`")),
                 }
             }
         }
     }
 
     /// The address of an lvalue, for `&e`.
-    fn lower_addr(&mut self, ctx: &mut FuncCtx, e: ExprId) -> Result<(Reg, Type)> {
-        let Expr { kind, pos } = *self.program.expr(e);
-        match kind {
+    fn lower_addr(&mut self, ctx: &mut FuncCtx, e: &Expr) -> Result<(Reg, Type)> {
+        match &e.kind {
             ExprKind::Ident(name) => {
                 let info = if let Some(i) = ctx.lookup(name).cloned() {
                     Some(i)
                 } else {
-                    self.scratch
-                        .global_vars
-                        .get(&name)
+                    self.global_vars
+                        .get(name)
                         .cloned()
                         .map(|(tag, ty)| VarInfo {
                             ty,
@@ -932,7 +817,7 @@ impl<'p> Lowerer<'p> {
                         })
                 };
                 let Some(info) = info else {
-                    return err(pos, format!("unknown identifier `{}`", self.name(name)));
+                    return err(e.pos, format!("unknown identifier `{name}`"));
                 };
                 match &info.place {
                     Place::Mem(tag) => {
@@ -944,26 +829,23 @@ impl<'p> Lowerer<'p> {
                         Ok((ctx.b.lea(*tag), ty))
                     }
                     Place::Reg(_) => err(
-                        pos,
-                        format!(
-                            "internal error: `&{}` but variable is in a register",
-                            self.name(name)
-                        ),
+                        e.pos,
+                        format!("internal error: `&{name}` but variable is in a register"),
                     ),
                 }
             }
             ExprKind::Index(base, idx) => {
-                let (addr, elem, _) = self.lower_index_addr(ctx, base, idx, pos)?;
+                let (addr, elem, _) = self.lower_index_addr(ctx, base, idx, e.pos)?;
                 Ok((addr, elem))
             }
             ExprKind::Deref(inner) => {
                 let (r, ty) = self.lower_expr(ctx, inner)?;
                 match ty {
                     Type::Ptr(p) => Ok((r, *p)),
-                    other => err(pos, format!("cannot dereference `{other}`")),
+                    other => err(e.pos, format!("cannot dereference `{other}`")),
                 }
             }
-            _ => err(pos, "cannot take the address of this expression"),
+            _ => err(e.pos, "cannot take the address of this expression"),
         }
     }
 
@@ -971,8 +853,8 @@ impl<'p> Lowerer<'p> {
         &mut self,
         ctx: &mut FuncCtx,
         op: BinaryOp,
-        a: ExprId,
-        b: ExprId,
+        a: &Expr,
+        b: &Expr,
         pos: Pos,
     ) -> Result<(Reg, Type)> {
         // Short-circuit operators get control flow.
@@ -1089,8 +971,8 @@ impl<'p> Lowerer<'p> {
         &mut self,
         ctx: &mut FuncCtx,
         op: BinaryOp,
-        a: ExprId,
-        b: ExprId,
+        a: &Expr,
+        b: &Expr,
     ) -> Result<(Reg, Type)> {
         let result = ctx.b.new_reg();
         let rhs_bb = ctx.b.new_block();
@@ -1128,13 +1010,13 @@ impl<'p> Lowerer<'p> {
     fn lower_call(
         &mut self,
         ctx: &mut FuncCtx,
-        callee: ExprId,
-        args: ExprList,
+        callee: &Expr,
+        args: &[Expr],
         pos: Pos,
         stmt_context: bool,
     ) -> Result<Option<(Reg, Type)>> {
         let _ = stmt_context;
-        let ExprKind::Ident(name) = self.program.expr(callee).kind else {
+        let ExprKind::Ident(name) = &callee.kind else {
             // Calling a computed expression: must be func-typed.
             let (r, ty) = self.lower_expr(ctx, callee)?;
             if ty != Type::Func {
@@ -1144,9 +1026,8 @@ impl<'p> Lowerer<'p> {
         };
         // Local/global variables shadow functions.
         let var_info = ctx.lookup(name).cloned().or_else(|| {
-            self.scratch
-                .global_vars
-                .get(&name)
+            self.global_vars
+                .get(name)
                 .cloned()
                 .map(|(tag, ty)| VarInfo {
                     ty,
@@ -1155,32 +1036,28 @@ impl<'p> Lowerer<'p> {
         });
         if let Some(info) = var_info {
             if info.ty != Type::Func {
-                return err(
-                    pos,
-                    format!("cannot call `{}` of type `{}`", self.name(name), info.ty),
-                );
+                return err(pos, format!("cannot call `{name}` of type `{}`", info.ty));
             }
             let (r, _) = self.read_place(ctx, &info, pos)?;
             return self.lower_indirect_call(ctx, r, args);
         }
-        if let Some(&(fid, ref ret, ref params)) = self.scratch.func_sigs.get(&name) {
+        if let Some(&(fid, ref ret, ref params)) = self.func_sigs.get(name) {
             let ret = ret.clone();
             let params = params.clone();
             if args.len() != params.len() {
                 return err(
                     pos,
                     format!(
-                        "`{}` expects {} arguments, got {}",
-                        self.name(name),
+                        "`{name}` expects {} arguments, got {}",
                         params.len(),
                         args.len()
                     ),
                 );
             }
             let mut argv = Vec::with_capacity(args.len());
-            for (&arg, pty) in self.program.expr_list(args).iter().zip(&params) {
+            for (arg, pty) in args.iter().zip(&params) {
                 let (r, ty) = self.lower_expr(ctx, arg)?;
-                argv.push(self.convert(ctx, r, &ty, pty, self.epos(arg))?);
+                argv.push(self.convert(ctx, r, &ty, pty, arg.pos)?);
             }
             return Ok(match ret {
                 Some(rt) => Some((ctx.b.call(fid, argv), rt)),
@@ -1190,20 +1067,20 @@ impl<'p> Lowerer<'p> {
                 }
             });
         }
-        if let Some(intr) = Intrinsic::from_name(self.name(name)) {
+        if let Some(intr) = Intrinsic::from_name(name) {
             return self.lower_intrinsic(ctx, intr, args, pos);
         }
-        err(pos, format!("unknown function `{}`", self.name(name)))
+        err(pos, format!("unknown function `{name}`"))
     }
 
     fn lower_indirect_call(
         &mut self,
         ctx: &mut FuncCtx,
         target: Reg,
-        args: ExprList,
+        args: &[Expr],
     ) -> Result<Option<(Reg, Type)>> {
         let mut argv = Vec::with_capacity(args.len());
-        for &arg in self.program.expr_list(args) {
+        for arg in args {
             let (r, _) = self.lower_expr(ctx, arg)?;
             argv.push(r);
         }
@@ -1220,7 +1097,7 @@ impl<'p> Lowerer<'p> {
         &mut self,
         ctx: &mut FuncCtx,
         intr: Intrinsic,
-        args: ExprList,
+        args: &[Expr],
         pos: Pos,
     ) -> Result<Option<(Reg, Type)>> {
         if args.len() != intr.arity() {
@@ -1245,9 +1122,9 @@ impl<'p> Lowerer<'p> {
             Intrinsic::Exit => (vec![Type::Int], None),
         };
         let mut argv = Vec::with_capacity(args.len());
-        for (&arg, pty) in self.program.expr_list(args).iter().zip(&param_tys) {
+        for (arg, pty) in args.iter().zip(&param_tys) {
             let (r, ty) = self.lower_expr(ctx, arg)?;
-            argv.push(self.convert(ctx, r, &ty, pty, self.epos(arg))?);
+            argv.push(self.convert(ctx, r, &ty, pty, arg.pos)?);
         }
         let result = ctx.b.call_intrinsic(intr, argv);
         Ok(result.map(|r| (r, ret.expect("intrinsics with results declare them"))))
@@ -1281,18 +1158,14 @@ impl<'p> Lowerer<'p> {
     }
 }
 
-/// Lowers a parsed [`Program`] to an IL module, reusing `scratch`'s
-/// tables.
+/// Compiles a MiniC program to an IL module with the baseline front end.
 ///
 /// # Errors
 ///
-/// Returns the first semantic error.
-pub fn lower_program(
-    program: &Program,
-    interner: &Interner,
-    scratch: &mut LowerScratch,
-) -> Result<Module> {
-    let module = Lowerer::run(program, interner, scratch)?;
+/// Returns the first lexical, syntactic, or semantic error.
+pub fn compile(src: &str) -> Result<Module> {
+    let program = crate::classic::parser::parse(src)?;
+    let module = Lowerer::run(&program)?;
     debug_assert!(
         ir::validate(&module).is_ok(),
         "lowering produced invalid IL"

@@ -1,0 +1,582 @@
+//! The baseline recursive-descent parser: owns its token vector, clones
+//! tokens on peek, and builds the `Box`-based AST (including the lvalue
+//! clone in compound-assignment and `++`/`--` desugaring).
+
+use crate::classic::ast::*;
+use crate::classic::lexer::lex;
+use crate::classic::token::{Tok, Token};
+use crate::error::{FrontError, Phase};
+use crate::token::Pos;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+type Result<T> = std::result::Result<T, FrontError>;
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn here(&self) -> Pos {
+        self.toks[self.pos].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(FrontError::new(Phase::Parse, self.here(), message))
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<()> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{tok}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, tok: Tok) -> bool {
+        if *self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    /// True if the current token begins a type.
+    fn at_type(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::KwInt | Tok::KwDouble | Tok::KwFunc | Tok::KwVoid
+        )
+    }
+
+    /// Parses a base type plus pointer stars. Returns `None` for `void`.
+    fn parse_type(&mut self) -> Result<Option<Type>> {
+        let base = match self.bump() {
+            Tok::KwInt => Some(Type::Int),
+            Tok::KwDouble => Some(Type::Double),
+            Tok::KwFunc => Some(Type::Func),
+            Tok::KwVoid => None,
+            other => return self.err(format!("expected type, found `{other}`")),
+        };
+        let mut ty = base;
+        while self.eat(Tok::Star) {
+            match ty {
+                Some(t) => ty = Some(Type::Ptr(Box::new(t))),
+                None => return self.err("pointer to void is not supported"),
+            }
+        }
+        Ok(ty)
+    }
+
+    /// Parses `[N][M]...` dimensions onto `ty` (innermost dimension last).
+    fn parse_dims(&mut self, mut ty: Type) -> Result<Type> {
+        let mut dims = Vec::new();
+        while self.eat(Tok::LBracket) {
+            match self.bump() {
+                Tok::Int(n) if n > 0 => dims.push(n as usize),
+                other => return self.err(format!("expected array size, found `{other}`")),
+            }
+            self.expect(Tok::RBracket)?;
+        }
+        for &n in dims.iter().rev() {
+            ty = Type::Array(Box::new(ty), n);
+        }
+        Ok(ty)
+    }
+
+    fn parse_program(&mut self) -> Result<Program> {
+        let mut program = Program::default();
+        while *self.peek() != Tok::Eof {
+            let pos = self.here();
+            if !self.at_type() {
+                return self.err(format!("expected a declaration, found `{}`", self.peek()));
+            }
+            let ty = self.parse_type()?;
+            let name = self.ident()?;
+            if *self.peek() == Tok::LParen {
+                program.funcs.push(self.parse_func(ty, name, pos)?);
+            } else {
+                let ty = ty.ok_or_else(|| {
+                    FrontError::new(Phase::Parse, pos, "global variables cannot be void")
+                })?;
+                program.globals.push(self.parse_global(ty, name, pos)?);
+            }
+        }
+        Ok(program)
+    }
+
+    fn parse_global(&mut self, ty: Type, name: String, pos: Pos) -> Result<GlobalDecl> {
+        let ty = self.parse_dims(ty)?;
+        let init = if self.eat(Tok::Assign) {
+            if self.eat(Tok::LBrace) {
+                let mut items = Vec::new();
+                loop {
+                    items.push(self.parse_expr()?);
+                    if !self.eat(Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RBrace)?;
+                Some(GlobalInitAst::List(items))
+            } else {
+                Some(GlobalInitAst::Scalar(self.parse_expr()?))
+            }
+        } else {
+            None
+        };
+        self.expect(Tok::Semi)?;
+        Ok(GlobalDecl {
+            name,
+            ty,
+            init,
+            pos,
+        })
+    }
+
+    fn parse_func(&mut self, ret: Option<Type>, name: String, pos: Pos) -> Result<FuncDecl> {
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(Tok::RParen) {
+            // `void` alone means no parameters.
+            if *self.peek() == Tok::KwVoid && *self.peek2() == Tok::RParen {
+                self.bump();
+                self.expect(Tok::RParen)?;
+            } else {
+                loop {
+                    let pty = self.parse_type()?.ok_or_else(|| {
+                        FrontError::new(Phase::Parse, self.here(), "void parameter")
+                    })?;
+                    let pname = self.ident()?;
+                    // Array parameters decay to pointers: `int a[]`,
+                    // `int m[][20]`.
+                    let mut pty = pty;
+                    if *self.peek() == Tok::LBracket {
+                        self.bump();
+                        // Optional first dimension is ignored.
+                        if let Tok::Int(_) = self.peek() {
+                            self.bump();
+                        }
+                        self.expect(Tok::RBracket)?;
+                        let inner = self.parse_dims(pty)?;
+                        pty = Type::Ptr(Box::new(inner));
+                    }
+                    params.push((pname, pty));
+                    if !self.eat(Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen)?;
+            }
+        }
+        self.expect(Tok::LBrace)?;
+        let body = self.parse_block_body()?;
+        Ok(FuncDecl {
+            name,
+            ret,
+            params,
+            body,
+            pos,
+        })
+    }
+
+    fn parse_block_body(&mut self) -> Result<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        while !self.eat(Tok::RBrace) {
+            if *self.peek() == Tok::Eof {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt> {
+        let pos = self.here();
+        match self.peek().clone() {
+            Tok::KwInt | Tok::KwDouble | Tok::KwFunc => {
+                let ty = self.parse_type()?.expect("non-void here");
+                let name = self.ident()?;
+                let ty = self.parse_dims(ty)?;
+                let init = if self.eat(Tok::Assign) {
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Decl {
+                    name,
+                    ty,
+                    init,
+                    pos,
+                })
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                let then_body = self.parse_stmt_as_block()?;
+                let else_body = if self.eat(Tok::KwElse) {
+                    self.parse_stmt_as_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.parse_stmt_as_block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::KwDo => {
+                self.bump();
+                let body = self.parse_stmt_as_block()?;
+                self.expect(Tok::KwWhile)?;
+                self.expect(Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::DoWhile { body, cond })
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let init = if *self.peek() == Tok::Semi {
+                    self.bump();
+                    None
+                } else if self.at_type() {
+                    // C99-style `for (int i = 0; ...)`.
+                    Some(Box::new(self.parse_stmt()?))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect(Tok::Semi)?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                let step = if *self.peek() == Tok::RParen {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(Tok::RParen)?;
+                let body = self.parse_stmt_as_block()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let value = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return { value, pos })
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Break(pos))
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Continue(pos))
+            }
+            Tok::LBrace => {
+                self.bump();
+                Ok(Stmt::Block(self.parse_block_body()?))
+            }
+            Tok::Semi => {
+                self.bump();
+                Ok(Stmt::Block(Vec::new()))
+            }
+            _ => {
+                let e = self.parse_expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn parse_stmt_as_block(&mut self) -> Result<Vec<Stmt>> {
+        if self.eat(Tok::LBrace) {
+            self.parse_block_body()
+        } else {
+            Ok(vec![self.parse_stmt()?])
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_assign()
+    }
+
+    fn parse_assign(&mut self) -> Result<Expr> {
+        let lhs = self.parse_binary(0)?;
+        let pos = self.here();
+        let compound = |op: BinaryOp| Some(op);
+        let op = match self.peek() {
+            Tok::Assign => None,
+            Tok::PlusAssign => compound(BinaryOp::Add),
+            Tok::MinusAssign => compound(BinaryOp::Sub),
+            Tok::StarAssign => compound(BinaryOp::Mul),
+            Tok::SlashAssign => compound(BinaryOp::Div),
+            Tok::PercentAssign => compound(BinaryOp::Rem),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_assign()?;
+        let rhs = match op {
+            None => rhs,
+            Some(op) => Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs.clone()), Box::new(rhs)),
+                pos,
+            },
+        };
+        Ok(Expr {
+            kind: ExprKind::Assign(Box::new(lhs), Box::new(rhs)),
+            pos,
+        })
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::OrOr => (BinaryOp::LogOr, 1),
+                Tok::AndAnd => (BinaryOp::LogAnd, 2),
+                Tok::Pipe => (BinaryOp::BitOr, 3),
+                Tok::Caret => (BinaryOp::BitXor, 4),
+                Tok::Amp => (BinaryOp::BitAnd, 5),
+                Tok::EqEq => (BinaryOp::Eq, 6),
+                Tok::NotEq => (BinaryOp::Ne, 6),
+                Tok::Lt => (BinaryOp::Lt, 7),
+                Tok::Le => (BinaryOp::Le, 7),
+                Tok::Gt => (BinaryOp::Gt, 7),
+                Tok::Ge => (BinaryOp::Ge, 7),
+                Tok::Shl => (BinaryOp::Shl, 8),
+                Tok::Shr => (BinaryOp::Shr, 8),
+                Tok::Plus => (BinaryOp::Add, 9),
+                Tok::Minus => (BinaryOp::Sub, 9),
+                Tok::Star => (BinaryOp::Mul, 10),
+                Tok::Slash => (BinaryOp::Div, 10),
+                Tok::Percent => (BinaryOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let pos = self.here();
+            self.bump();
+            let rhs = self.parse_binary(prec + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        let pos = self.here();
+        match self.peek().clone() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnaryOp::Neg, Box::new(e)),
+                    pos,
+                })
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnaryOp::Not, Box::new(e)),
+                    pos,
+                })
+            }
+            Tok::Star => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Deref(Box::new(e)),
+                    pos,
+                })
+            }
+            Tok::Amp => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr {
+                    kind: ExprKind::AddrOf(Box::new(e)),
+                    pos,
+                })
+            }
+            Tok::PlusPlus | Tok::MinusMinus => {
+                let op = if self.bump() == Tok::PlusPlus {
+                    BinaryOp::Add
+                } else {
+                    BinaryOp::Sub
+                };
+                let e = self.parse_unary()?;
+                Ok(desugar_incr(e, op, pos))
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let mut e = self.parse_primary()?;
+        loop {
+            let pos = self.here();
+            match self.peek().clone() {
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.parse_expr()?;
+                    self.expect(Tok::RBracket)?;
+                    e = Expr {
+                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                        pos,
+                    };
+                }
+                Tok::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(Tok::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat(Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(Tok::RParen)?;
+                    }
+                    e = Expr {
+                        kind: ExprKind::Call(Box::new(e), args),
+                        pos,
+                    };
+                }
+                Tok::PlusPlus => {
+                    self.bump();
+                    e = desugar_incr(e, BinaryOp::Add, pos);
+                }
+                Tok::MinusMinus => {
+                    self.bump();
+                    e = desugar_incr(e, BinaryOp::Sub, pos);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        let pos = self.here();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr {
+                kind: ExprKind::IntLit(v),
+                pos,
+            }),
+            Tok::Float(v) => Ok(Expr {
+                kind: ExprKind::FloatLit(v),
+                pos,
+            }),
+            Tok::Ident(name) if name == "malloc" && *self.peek() == Tok::LParen => {
+                self.bump();
+                let n = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(Expr {
+                    kind: ExprKind::Malloc(Box::new(n)),
+                    pos,
+                })
+            }
+            Tok::Ident(name) => Ok(Expr {
+                kind: ExprKind::Ident(name),
+                pos,
+            }),
+            Tok::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(FrontError::new(
+                Phase::Parse,
+                pos,
+                format!("expected expression, found `{other}`"),
+            )),
+        }
+    }
+}
+
+/// Desugars `e++`/`++e` to `e = e + 1` (and `--` likewise). MiniC gives
+/// both forms the *new* value, so they should only be used where the value
+/// is discarded.
+fn desugar_incr(e: Expr, op: BinaryOp, pos: Pos) -> Expr {
+    let one = Expr {
+        kind: ExprKind::IntLit(1),
+        pos,
+    };
+    let rhs = Expr {
+        kind: ExprKind::Binary(op, Box::new(e.clone()), Box::new(one)),
+        pos,
+    };
+    Expr {
+        kind: ExprKind::Assign(Box::new(e), Box::new(rhs)),
+        pos,
+    }
+}
+
+/// Parses a MiniC translation unit with the baseline front end.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error with its source position.
+pub fn parse(src: &str) -> Result<Program> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.parse_program()
+}

@@ -1,0 +1,204 @@
+//! Tokens of the baseline front end: identifiers own their `String`.
+
+pub use crate::token::Pos;
+use std::fmt;
+
+/// The kinds of MiniC tokens (baseline, `String`-owning form).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Identifier.
+    Ident(String),
+
+    // Keywords.
+    /// `int`
+    KwInt,
+    /// `double`
+    KwDouble,
+    /// `void`
+    KwVoid,
+    /// `func` (function-pointer type)
+    KwFunc,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `do`
+    KwDo,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `%=`
+    PercentAssign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Resolves keywords, returning `None` for ordinary identifiers.
+    pub fn keyword(word: &str) -> Option<Tok> {
+        Some(match word {
+            "int" => Tok::KwInt,
+            "double" => Tok::KwDouble,
+            "void" => Tok::KwVoid,
+            "func" => Tok::KwFunc,
+            "if" => Tok::KwIf,
+            "else" => Tok::KwElse,
+            "while" => Tok::KwWhile,
+            "for" => Tok::KwFor,
+            "do" => Tok::KwDo,
+            "return" => Tok::KwReturn,
+            "break" => Tok::KwBreak,
+            "continue" => Tok::KwContinue,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::KwInt => write!(f, "int"),
+            Tok::KwDouble => write!(f, "double"),
+            Tok::KwVoid => write!(f, "void"),
+            Tok::KwFunc => write!(f, "func"),
+            Tok::KwIf => write!(f, "if"),
+            Tok::KwElse => write!(f, "else"),
+            Tok::KwWhile => write!(f, "while"),
+            Tok::KwFor => write!(f, "for"),
+            Tok::KwDo => write!(f, "do"),
+            Tok::KwReturn => write!(f, "return"),
+            Tok::KwBreak => write!(f, "break"),
+            Tok::KwContinue => write!(f, "continue"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::Assign => write!(f, "="),
+            Tok::PlusAssign => write!(f, "+="),
+            Tok::MinusAssign => write!(f, "-="),
+            Tok::StarAssign => write!(f, "*="),
+            Tok::SlashAssign => write!(f, "/="),
+            Tok::PercentAssign => write!(f, "%="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Amp => write!(f, "&"),
+            Tok::Pipe => write!(f, "|"),
+            Tok::Caret => write!(f, "^"),
+            Tok::Shl => write!(f, "<<"),
+            Tok::Shr => write!(f, ">>"),
+            Tok::AndAnd => write!(f, "&&"),
+            Tok::OrOr => write!(f, "||"),
+            Tok::Bang => write!(f, "!"),
+            Tok::EqEq => write!(f, "=="),
+            Tok::NotEq => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::PlusPlus => write!(f, "++"),
+            Tok::MinusMinus => write!(f, "--"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token paired with its position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// Its source position.
+    pub pos: Pos,
+}

@@ -1,20 +1,32 @@
 //! The MiniC lexer.
+//!
+//! Zero-copy: the lexer walks the source as raw bytes and emits `Copy`
+//! tokens into a caller-owned buffer. Identifiers are interned — the
+//! keyword check and the interner probe both work on the byte slice, so
+//! a token never owns a `String` and a warm lex of an already-seen
+//! program allocates nothing beyond buffer growth.
 
 use crate::error::{FrontError, Phase};
+use crate::intern::Interner;
 use crate::token::{Pos, Tok, Token};
 
-/// Tokenizes MiniC source.
+/// Tokenizes MiniC source into `out` (cleared first), interning
+/// identifiers into `interner`.
 ///
 /// # Errors
 ///
-/// Returns a [`FrontError`] on an unknown character, a malformed number, or
-/// an unterminated block comment.
-pub fn lex(src: &str) -> Result<Vec<Token>, FrontError> {
-    let mut out = Vec::new();
+/// Returns a [`FrontError`] on an unknown character, a malformed number,
+/// or an unterminated block comment.
+pub fn lex_into(
+    src: &str,
+    interner: &mut Interner,
+    out: &mut Vec<Token>,
+) -> Result<(), FrontError> {
+    out.clear();
     let bytes = src.as_bytes();
     let mut i = 0;
-    let mut line = 1;
-    let mut col = 1;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
     macro_rules! pos {
         () => {
             Pos { line, col }
@@ -120,33 +132,34 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FrontError> {
             while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                 bump!();
             }
-            let word = &src[start..i];
-            let tok = Tok::keyword(word).unwrap_or_else(|| Tok::Ident(word.to_string()));
+            let word = &bytes[start..i];
+            let tok =
+                Tok::keyword(word).unwrap_or_else(|| Tok::Ident(interner.intern(&src[start..i])));
             out.push(Token { tok, pos: p });
             continue;
         }
         // Operators; longest match first.
-        let two = if i + 1 < bytes.len() {
-            &src[i..i + 2]
+        let two: &[u8] = if i + 1 < bytes.len() {
+            &bytes[i..i + 2]
         } else {
-            ""
+            b""
         };
         let tok2 = match two {
-            "+=" => Some(Tok::PlusAssign),
-            "-=" => Some(Tok::MinusAssign),
-            "*=" => Some(Tok::StarAssign),
-            "/=" => Some(Tok::SlashAssign),
-            "%=" => Some(Tok::PercentAssign),
-            "==" => Some(Tok::EqEq),
-            "!=" => Some(Tok::NotEq),
-            "<=" => Some(Tok::Le),
-            ">=" => Some(Tok::Ge),
-            "<<" => Some(Tok::Shl),
-            ">>" => Some(Tok::Shr),
-            "&&" => Some(Tok::AndAnd),
-            "||" => Some(Tok::OrOr),
-            "++" => Some(Tok::PlusPlus),
-            "--" => Some(Tok::MinusMinus),
+            b"+=" => Some(Tok::PlusAssign),
+            b"-=" => Some(Tok::MinusAssign),
+            b"*=" => Some(Tok::StarAssign),
+            b"/=" => Some(Tok::SlashAssign),
+            b"%=" => Some(Tok::PercentAssign),
+            b"==" => Some(Tok::EqEq),
+            b"!=" => Some(Tok::NotEq),
+            b"<=" => Some(Tok::Le),
+            b">=" => Some(Tok::Ge),
+            b"<<" => Some(Tok::Shl),
+            b">>" => Some(Tok::Shr),
+            b"&&" => Some(Tok::AndAnd),
+            b"||" => Some(Tok::OrOr),
+            b"++" => Some(Tok::PlusPlus),
+            b"--" => Some(Tok::MinusMinus),
             _ => None,
         };
         if let Some(t) = tok2 {
@@ -191,29 +204,53 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FrontError> {
         tok: Tok::Eof,
         pos: pos!(),
     });
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn lex(src: &str) -> Result<(Interner, Vec<Token>), FrontError> {
+        let mut interner = Interner::new();
+        let mut out = Vec::new();
+        lex_into(src, &mut interner, &mut out)?;
+        Ok((interner, out))
+    }
+
+    /// Token kinds with identifiers resolved back to names, for easy
+    /// comparison.
+    fn spellings(src: &str) -> Vec<String> {
+        let (interner, toks) = lex(src).unwrap();
+        toks.iter()
+            .map(|t| t.tok.display(&interner).to_string())
+            .collect()
+    }
+
     fn toks(src: &str) -> Vec<Tok> {
-        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+        lex(src).unwrap().1.into_iter().map(|t| t.tok).collect()
     }
 
     #[test]
     fn keywords_and_idents() {
-        assert_eq!(
-            toks("int x while whilex"),
-            vec![
-                Tok::KwInt,
-                Tok::Ident("x".into()),
-                Tok::KwWhile,
-                Tok::Ident("whilex".into()),
-                Tok::Eof
-            ]
-        );
+        let (interner, ts) = lex("int x while whilex").unwrap();
+        assert_eq!(ts[0].tok, Tok::KwInt);
+        assert_eq!(ts[2].tok, Tok::KwWhile);
+        let (Tok::Ident(x), Tok::Ident(wx)) = (ts[1].tok, ts[3].tok) else {
+            panic!("expected identifiers");
+        };
+        assert_eq!(interner.name(x), "x");
+        assert_eq!(interner.name(wx), "whilex");
+        assert_eq!(ts[4].tok, Tok::Eof);
+    }
+
+    #[test]
+    fn repeated_idents_share_a_symbol() {
+        let (_, ts) = lex("abc abc abc").unwrap();
+        let Tok::Ident(first) = ts[0].tok else {
+            panic!()
+        };
+        assert!(ts[..3].iter().all(|t| t.tok == Tok::Ident(first)));
     }
 
     #[test]
@@ -231,41 +268,64 @@ mod tests {
     }
 
     #[test]
+    fn integer_boundaries() {
+        // i64::MAX lexes; one past it overflows with a position.
+        assert_eq!(
+            toks("9223372036854775807"),
+            vec![Tok::Int(i64::MAX), Tok::Eof]
+        );
+        let e = lex("x 9223372036854775808").unwrap_err();
+        assert!(e.message.contains("out of range"));
+        assert_eq!(e.pos, Pos { line: 1, col: 3 });
+        // `i64::MIN` is minus applied to an out-of-range literal, so the
+        // magnitude itself must be rejected at lex time.
+        assert!(lex("-9223372036854775808").is_err());
+        assert_eq!(
+            toks("-9223372036854775807"),
+            vec![Tok::Minus, Tok::Int(i64::MAX), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn malformed_float_errors() {
+        // An exponent with no digits parses as a float literal and fails.
+        let e = lex("1e").unwrap_err();
+        assert!(e.message.contains("malformed float"));
+        assert_eq!(e.pos, Pos { line: 1, col: 1 });
+        let e = lex("  2.5e+").unwrap_err();
+        assert!(e.message.contains("malformed float"));
+        assert_eq!(e.pos, Pos { line: 1, col: 3 });
+        // A bare trailing dot is *not* part of the number.
+        assert!(lex("1.").is_err()); // `.` itself is an unknown character
+    }
+
+    #[test]
     fn operators_longest_match() {
         assert_eq!(
-            toks("a<=b == c = d += e++"),
-            vec![
-                Tok::Ident("a".into()),
-                Tok::Le,
-                Tok::Ident("b".into()),
-                Tok::EqEq,
-                Tok::Ident("c".into()),
-                Tok::Assign,
-                Tok::Ident("d".into()),
-                Tok::PlusAssign,
-                Tok::Ident("e".into()),
-                Tok::PlusPlus,
-                Tok::Eof
-            ]
+            spellings("a<=b == c = d += e++"),
+            vec!["a", "<=", "b", "==", "c", "=", "d", "+=", "e", "++", "<eof>"]
         );
     }
 
     #[test]
     fn comments_skipped() {
         assert_eq!(
-            toks("a // line\n b /* block\n over lines */ c"),
-            vec![
-                Tok::Ident("a".into()),
-                Tok::Ident("b".into()),
-                Tok::Ident("c".into()),
-                Tok::Eof
-            ]
+            spellings("a // line\n b /* block\n over lines */ c"),
+            vec!["a", "b", "c", "<eof>"]
         );
     }
 
     #[test]
+    fn line_comment_at_eof() {
+        // A `//` comment closed by end-of-input (no trailing newline) is
+        // fine; the block form in the same position is an error.
+        assert_eq!(spellings("a // trailing"), vec!["a", "<eof>"]);
+        assert_eq!(spellings("//only"), vec!["<eof>"]);
+    }
+
+    #[test]
     fn positions_tracked() {
-        let ts = lex("x\n  y").unwrap();
+        let (_, ts) = lex("x\n  y").unwrap();
         assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
         assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
     }
@@ -274,12 +334,44 @@ mod tests {
     fn unterminated_comment_errors() {
         let e = lex("/* oops").unwrap_err();
         assert!(e.message.contains("unterminated"));
+        assert_eq!(e.pos, Pos { line: 1, col: 1 });
+        // Even a lone `/*` right at EOF reports the comment's own start.
+        let e = lex("x\n/*").unwrap_err();
+        assert_eq!(e.pos, Pos { line: 2, col: 1 });
     }
 
     #[test]
     fn unknown_character_errors() {
         let e = lex("a $ b").unwrap_err();
         assert!(e.message.contains("unexpected character"));
-        assert_eq!(e.pos.col, 3);
+        assert_eq!(e.pos, Pos { line: 1, col: 3 });
+        // Position reporting survives newlines and tabs.
+        let e = lex("ok\n\tbad @here").unwrap_err();
+        assert_eq!(e.pos, Pos { line: 2, col: 6 });
+    }
+
+    #[test]
+    fn keyword_identifier_boundary_sweep() {
+        // Every keyword with a one-character suffix (and prefix) must lex
+        // as a plain identifier, not as keyword + residue.
+        let keywords = [
+            "int", "double", "void", "func", "if", "else", "while", "for", "do", "return", "break",
+            "continue",
+        ];
+        for kw in keywords {
+            assert_eq!(Tok::keyword(kw.as_bytes()).is_some(), true);
+            for decorated in [format!("{kw}x"), format!("{kw}_"), format!("x{kw}")] {
+                let (interner, ts) = lex(&decorated).unwrap();
+                let Tok::Ident(sym) = ts[0].tok else {
+                    panic!("`{decorated}` lexed as a keyword");
+                };
+                assert_eq!(interner.name(sym), decorated);
+                assert_eq!(ts.len(), 2, "`{decorated}` split into several tokens");
+            }
+        }
+        // An underscore-led name containing a keyword is one identifier.
+        let (interner, ts) = lex("_if").unwrap();
+        let Tok::Ident(sym) = ts[0].tok else { panic!() };
+        assert_eq!(interner.name(sym), "_if");
     }
 }

@@ -8,6 +8,13 @@
 //! that may be aliased (globals, address-taken locals, arrays) live in
 //! memory behind *tags*; everything else lives in virtual registers.
 //!
+//! The front end is built for throughput: identifiers are interned to
+//! `u32` [`Symbol`]s, tokens are `Copy`, and the AST lives in per-module
+//! id pools rather than `Box`es. A [`Frontend`] owns all of those buffers
+//! and recycles them across compiles; the free [`compile`] function is a
+//! one-shot convenience on top of it. The original allocating front end is
+//! preserved verbatim under [`classic`] as the measurement baseline.
+//!
 //! ```
 //! use vm::{Vm, VmOptions};
 //!
@@ -30,14 +37,16 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod classic;
 mod error;
+mod frontend;
+mod intern;
 mod lexer;
 mod lower;
 mod parser;
 mod token;
 
 pub use error::{FrontError, Phase};
-pub use lexer::lex;
-pub use lower::compile;
-pub use parser::parse;
+pub use frontend::{compile, Frontend};
+pub use intern::{Interner, Symbol};
 pub use token::{Pos, Tok, Token};

@@ -8,26 +8,47 @@
 //! left-hand side is therefore evaluated twice, so MiniC forbids
 //! side-effecting lvalues under those forms (as our programs never need
 //! them).
+//!
+//! The parser reads a token slice (tokens are `Copy` — no `clone()` per
+//! `peek`) and builds the arena [`Program`]: nodes go straight into the
+//! pools, child lists are accumulated on reusable stacks in
+//! [`ParseScratch`] and flushed as contiguous ranges when each level
+//! completes. Desugaring *shares* the lvalue's node between the two sides
+//! of the rewritten assignment instead of cloning the subtree.
 
 use crate::ast::*;
 use crate::error::{FrontError, Phase};
-use crate::lexer::lex;
+use crate::intern::{Interner, Symbol};
 use crate::token::{Pos, Tok, Token};
 
-struct Parser {
-    toks: Vec<Token>,
+/// Reusable child-list stacks for the parser; owned by
+/// [`crate::Frontend`] so repeat parses push into warm buffers.
+#[derive(Debug, Default)]
+pub struct ParseScratch {
+    expr_stack: Vec<ExprId>,
+    stmt_stack: Vec<StmtId>,
+    param_stack: Vec<(Symbol, Type)>,
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
     pos: usize,
+    interner: &'a Interner,
+    /// The pre-interned name `malloc`, special-cased in `parse_primary`.
+    malloc: Symbol,
+    program: &'a mut Program,
+    scratch: &'a mut ParseScratch,
 }
 
 type Result<T> = std::result::Result<T, FrontError>;
 
-impl Parser {
-    fn peek(&self) -> &Tok {
-        &self.toks[self.pos].tok
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Tok {
+        self.toks[self.pos].tok
     }
 
-    fn peek2(&self) -> &Tok {
-        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    fn peek2(&self) -> Tok {
+        self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
     }
 
     fn here(&self) -> Pos {
@@ -35,7 +56,7 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Tok {
-        let t = self.toks[self.pos].tok.clone();
+        let t = self.toks[self.pos].tok;
         if self.pos + 1 < self.toks.len() {
             self.pos += 1;
         }
@@ -47,16 +68,20 @@ impl Parser {
     }
 
     fn expect(&mut self, tok: Tok) -> Result<()> {
-        if *self.peek() == tok {
+        if self.peek() == tok {
             self.bump();
             Ok(())
         } else {
-            self.err(format!("expected `{tok}`, found `{}`", self.peek()))
+            self.err(format!(
+                "expected `{}`, found `{}`",
+                tok.display(self.interner),
+                self.peek().display(self.interner)
+            ))
         }
     }
 
     fn eat(&mut self, tok: Tok) -> bool {
-        if *self.peek() == tok {
+        if self.peek() == tok {
             self.bump();
             true
         } else {
@@ -64,13 +89,16 @@ impl Parser {
         }
     }
 
-    fn ident(&mut self) -> Result<String> {
-        match self.peek().clone() {
+    fn ident(&mut self) -> Result<Symbol> {
+        match self.peek() {
             Tok::Ident(s) => {
                 self.bump();
                 Ok(s)
             }
-            other => self.err(format!("expected identifier, found `{other}`")),
+            other => self.err(format!(
+                "expected identifier, found `{}`",
+                other.display(self.interner)
+            )),
         }
     }
 
@@ -89,7 +117,12 @@ impl Parser {
             Tok::KwDouble => Some(Type::Double),
             Tok::KwFunc => Some(Type::Func),
             Tok::KwVoid => None,
-            other => return self.err(format!("expected type, found `{other}`")),
+            other => {
+                return self.err(format!(
+                    "expected type, found `{}`",
+                    other.display(self.interner)
+                ))
+            }
         };
         let mut ty = base;
         while self.eat(Tok::Star) {
@@ -107,7 +140,12 @@ impl Parser {
         while self.eat(Tok::LBracket) {
             match self.bump() {
                 Tok::Int(n) if n > 0 => dims.push(n as usize),
-                other => return self.err(format!("expected array size, found `{other}`")),
+                other => {
+                    return self.err(format!(
+                        "expected array size, found `{}`",
+                        other.display(self.interner)
+                    ))
+                }
             }
             self.expect(Tok::RBracket)?;
         }
@@ -117,39 +155,47 @@ impl Parser {
         Ok(ty)
     }
 
-    fn parse_program(&mut self) -> Result<Program> {
-        let mut program = Program::default();
-        while *self.peek() != Tok::Eof {
+    fn parse_program(&mut self) -> Result<()> {
+        while self.peek() != Tok::Eof {
             let pos = self.here();
             if !self.at_type() {
-                return self.err(format!("expected a declaration, found `{}`", self.peek()));
+                return self.err(format!(
+                    "expected a declaration, found `{}`",
+                    self.peek().display(self.interner)
+                ));
             }
             let ty = self.parse_type()?;
             let name = self.ident()?;
-            if *self.peek() == Tok::LParen {
-                program.funcs.push(self.parse_func(ty, name, pos)?);
+            if self.peek() == Tok::LParen {
+                let f = self.parse_func(ty, name, pos)?;
+                self.program.funcs.push(f);
             } else {
                 let ty = ty.ok_or_else(|| {
                     FrontError::new(Phase::Parse, pos, "global variables cannot be void")
                 })?;
-                program.globals.push(self.parse_global(ty, name, pos)?);
+                let g = self.parse_global(ty, name, pos)?;
+                self.program.globals.push(g);
             }
         }
-        Ok(program)
+        Ok(())
     }
 
-    fn parse_global(&mut self, ty: Type, name: String, pos: Pos) -> Result<GlobalDecl> {
+    fn parse_global(&mut self, ty: Type, name: Symbol, pos: Pos) -> Result<GlobalDecl> {
         let ty = self.parse_dims(ty)?;
         let init = if self.eat(Tok::Assign) {
             if self.eat(Tok::LBrace) {
-                let mut items = Vec::new();
+                let mark = self.scratch.expr_stack.len();
                 loop {
-                    items.push(self.parse_expr()?);
+                    let item = self.parse_expr()?;
+                    self.scratch.expr_stack.push(item);
                     if !self.eat(Tok::Comma) {
                         break;
                     }
                 }
                 self.expect(Tok::RBrace)?;
+                let items = self
+                    .program
+                    .push_expr_list(&mut self.scratch.expr_stack, mark);
                 Some(GlobalInitAst::List(items))
             } else {
                 Some(GlobalInitAst::Scalar(self.parse_expr()?))
@@ -166,12 +212,12 @@ impl Parser {
         })
     }
 
-    fn parse_func(&mut self, ret: Option<Type>, name: String, pos: Pos) -> Result<FuncDecl> {
+    fn parse_func(&mut self, ret: Option<Type>, name: Symbol, pos: Pos) -> Result<FuncDecl> {
         self.expect(Tok::LParen)?;
-        let mut params = Vec::new();
+        let mark = self.scratch.param_stack.len();
         if !self.eat(Tok::RParen) {
             // `void` alone means no parameters.
-            if *self.peek() == Tok::KwVoid && *self.peek2() == Tok::RParen {
+            if self.peek() == Tok::KwVoid && self.peek2() == Tok::RParen {
                 self.bump();
                 self.expect(Tok::RParen)?;
             } else {
@@ -183,7 +229,7 @@ impl Parser {
                     // Array parameters decay to pointers: `int a[]`,
                     // `int m[][20]`.
                     let mut pty = pty;
-                    if *self.peek() == Tok::LBracket {
+                    if self.peek() == Tok::LBracket {
                         self.bump();
                         // Optional first dimension is ignored.
                         if let Tok::Int(_) = self.peek() {
@@ -193,7 +239,7 @@ impl Parser {
                         let inner = self.parse_dims(pty)?;
                         pty = Type::Ptr(Box::new(inner));
                     }
-                    params.push((pname, pty));
+                    self.scratch.param_stack.push((pname, pty));
                     if !self.eat(Tok::Comma) {
                         break;
                     }
@@ -201,6 +247,9 @@ impl Parser {
                 self.expect(Tok::RParen)?;
             }
         }
+        let params = self
+            .program
+            .push_param_list(&mut self.scratch.param_stack, mark);
         self.expect(Tok::LBrace)?;
         let body = self.parse_block_body()?;
         Ok(FuncDecl {
@@ -212,20 +261,23 @@ impl Parser {
         })
     }
 
-    fn parse_block_body(&mut self) -> Result<Vec<Stmt>> {
-        let mut stmts = Vec::new();
+    fn parse_block_body(&mut self) -> Result<StmtList> {
+        let mark = self.scratch.stmt_stack.len();
         while !self.eat(Tok::RBrace) {
-            if *self.peek() == Tok::Eof {
+            if self.peek() == Tok::Eof {
                 return self.err("unterminated block");
             }
-            stmts.push(self.parse_stmt()?);
+            let s = self.parse_stmt()?;
+            self.scratch.stmt_stack.push(s);
         }
-        Ok(stmts)
+        Ok(self
+            .program
+            .push_stmt_list(&mut self.scratch.stmt_stack, mark))
     }
 
-    fn parse_stmt(&mut self) -> Result<Stmt> {
+    fn parse_stmt(&mut self) -> Result<StmtId> {
         let pos = self.here();
-        match self.peek().clone() {
+        let stmt = match self.peek() {
             Tok::KwInt | Tok::KwDouble | Tok::KwFunc => {
                 let ty = self.parse_type()?.expect("non-void here");
                 let name = self.ident()?;
@@ -236,12 +288,12 @@ impl Parser {
                     None
                 };
                 self.expect(Tok::Semi)?;
-                Ok(Stmt::Decl {
+                Stmt::Decl {
                     name,
                     ty,
                     init,
                     pos,
-                })
+                }
             }
             Tok::KwIf => {
                 self.bump();
@@ -252,13 +304,13 @@ impl Parser {
                 let else_body = if self.eat(Tok::KwElse) {
                     self.parse_stmt_as_block()?
                 } else {
-                    Vec::new()
+                    StmtList::empty()
                 };
-                Ok(Stmt::If {
+                Stmt::If {
                     cond,
                     then_body,
                     else_body,
-                })
+                }
             }
             Tok::KwWhile => {
                 self.bump();
@@ -266,7 +318,7 @@ impl Parser {
                 let cond = self.parse_expr()?;
                 self.expect(Tok::RParen)?;
                 let body = self.parse_stmt_as_block()?;
-                Ok(Stmt::While { cond, body })
+                Stmt::While { cond, body }
             }
             Tok::KwDo => {
                 self.bump();
@@ -276,91 +328,97 @@ impl Parser {
                 let cond = self.parse_expr()?;
                 self.expect(Tok::RParen)?;
                 self.expect(Tok::Semi)?;
-                Ok(Stmt::DoWhile { body, cond })
+                Stmt::DoWhile { body, cond }
             }
             Tok::KwFor => {
                 self.bump();
                 self.expect(Tok::LParen)?;
-                let init = if *self.peek() == Tok::Semi {
+                let init = if self.peek() == Tok::Semi {
                     self.bump();
                     None
                 } else if self.at_type() {
                     // C99-style `for (int i = 0; ...)`.
-                    Some(Box::new(self.parse_stmt()?))
+                    Some(self.parse_stmt()?)
                 } else {
                     let e = self.parse_expr()?;
                     self.expect(Tok::Semi)?;
-                    Some(Box::new(Stmt::Expr(e)))
+                    Some(self.program.add_stmt(Stmt::Expr(e)))
                 };
-                let cond = if *self.peek() == Tok::Semi {
+                let cond = if self.peek() == Tok::Semi {
                     None
                 } else {
                     Some(self.parse_expr()?)
                 };
                 self.expect(Tok::Semi)?;
-                let step = if *self.peek() == Tok::RParen {
+                let step = if self.peek() == Tok::RParen {
                     None
                 } else {
                     Some(self.parse_expr()?)
                 };
                 self.expect(Tok::RParen)?;
                 let body = self.parse_stmt_as_block()?;
-                Ok(Stmt::For {
+                Stmt::For {
                     init,
                     cond,
                     step,
                     body,
-                })
+                }
             }
             Tok::KwReturn => {
                 self.bump();
-                let value = if *self.peek() == Tok::Semi {
+                let value = if self.peek() == Tok::Semi {
                     None
                 } else {
                     Some(self.parse_expr()?)
                 };
                 self.expect(Tok::Semi)?;
-                Ok(Stmt::Return { value, pos })
+                Stmt::Return { value, pos }
             }
             Tok::KwBreak => {
                 self.bump();
                 self.expect(Tok::Semi)?;
-                Ok(Stmt::Break(pos))
+                Stmt::Break(pos)
             }
             Tok::KwContinue => {
                 self.bump();
                 self.expect(Tok::Semi)?;
-                Ok(Stmt::Continue(pos))
+                Stmt::Continue(pos)
             }
             Tok::LBrace => {
                 self.bump();
-                Ok(Stmt::Block(self.parse_block_body()?))
+                Stmt::Block(self.parse_block_body()?)
             }
             Tok::Semi => {
                 self.bump();
-                Ok(Stmt::Block(Vec::new()))
+                Stmt::Block(StmtList::empty())
             }
             _ => {
                 let e = self.parse_expr()?;
                 self.expect(Tok::Semi)?;
-                Ok(Stmt::Expr(e))
+                Stmt::Expr(e)
             }
-        }
+        };
+        Ok(self.program.add_stmt(stmt))
     }
 
-    fn parse_stmt_as_block(&mut self) -> Result<Vec<Stmt>> {
+    fn parse_stmt_as_block(&mut self) -> Result<StmtList> {
         if self.eat(Tok::LBrace) {
             self.parse_block_body()
         } else {
-            Ok(vec![self.parse_stmt()?])
+            let mark = self.scratch.stmt_stack.len();
+            let s = self.parse_stmt()?;
+            self.scratch.stmt_stack.push(s);
+            Ok(self
+                .program
+                .push_stmt_list(&mut self.scratch.stmt_stack, mark))
         }
     }
 
-    fn parse_expr(&mut self) -> Result<Expr> {
+    fn parse_expr(&mut self) -> Result<ExprId> {
         self.parse_assign()
     }
 
-    fn parse_assign(&mut self) -> Result<Expr> {
+    fn parse_assign(&mut self) -> Result<ExprId> {
         let lhs = self.parse_binary(0)?;
         let pos = self.here();
         let compound = |op: BinaryOp| Some(op);
@@ -375,21 +433,17 @@ impl Parser {
         };
         self.bump();
         let rhs = self.parse_assign()?;
+        // Compound assignment shares `lhs` between both sides of the
+        // desugared form — an arena id, not a subtree clone.
         let rhs = match op {
             None => rhs,
-            Some(op) => Expr {
-                kind: ExprKind::Binary(op, Box::new(lhs.clone()), Box::new(rhs)),
-                pos,
-            },
+            Some(op) => self.program.add_expr(ExprKind::Binary(op, lhs, rhs), pos),
         };
-        Ok(Expr {
-            kind: ExprKind::Assign(Box::new(lhs), Box::new(rhs)),
-            pos,
-        })
+        Ok(self.program.add_expr(ExprKind::Assign(lhs, rhs), pos))
     }
 
     /// Precedence-climbing binary expression parser.
-    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr> {
+    fn parse_binary(&mut self, min_prec: u8) -> Result<ExprId> {
         let mut lhs = self.parse_unary()?;
         loop {
             let (op, prec) = match self.peek() {
@@ -419,48 +473,33 @@ impl Parser {
             let pos = self.here();
             self.bump();
             let rhs = self.parse_binary(prec + 1)?;
-            lhs = Expr {
-                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
-                pos,
-            };
+            lhs = self.program.add_expr(ExprKind::Binary(op, lhs, rhs), pos);
         }
         Ok(lhs)
     }
 
-    fn parse_unary(&mut self) -> Result<Expr> {
+    fn parse_unary(&mut self) -> Result<ExprId> {
         let pos = self.here();
-        match self.peek().clone() {
+        match self.peek() {
             Tok::Minus => {
                 self.bump();
                 let e = self.parse_unary()?;
-                Ok(Expr {
-                    kind: ExprKind::Unary(UnaryOp::Neg, Box::new(e)),
-                    pos,
-                })
+                Ok(self.program.add_expr(ExprKind::Unary(UnaryOp::Neg, e), pos))
             }
             Tok::Bang => {
                 self.bump();
                 let e = self.parse_unary()?;
-                Ok(Expr {
-                    kind: ExprKind::Unary(UnaryOp::Not, Box::new(e)),
-                    pos,
-                })
+                Ok(self.program.add_expr(ExprKind::Unary(UnaryOp::Not, e), pos))
             }
             Tok::Star => {
                 self.bump();
                 let e = self.parse_unary()?;
-                Ok(Expr {
-                    kind: ExprKind::Deref(Box::new(e)),
-                    pos,
-                })
+                Ok(self.program.add_expr(ExprKind::Deref(e), pos))
             }
             Tok::Amp => {
                 self.bump();
                 let e = self.parse_unary()?;
-                Ok(Expr {
-                    kind: ExprKind::AddrOf(Box::new(e)),
-                    pos,
-                })
+                Ok(self.program.add_expr(ExprKind::AddrOf(e), pos))
             }
             Tok::PlusPlus | Tok::MinusMinus => {
                 let op = if self.bump() == Tok::PlusPlus {
@@ -469,50 +508,48 @@ impl Parser {
                     BinaryOp::Sub
                 };
                 let e = self.parse_unary()?;
-                Ok(desugar_incr(e, op, pos))
+                Ok(self.desugar_incr(e, op, pos))
             }
             _ => self.parse_postfix(),
         }
     }
 
-    fn parse_postfix(&mut self) -> Result<Expr> {
+    fn parse_postfix(&mut self) -> Result<ExprId> {
         let mut e = self.parse_primary()?;
         loop {
             let pos = self.here();
-            match self.peek().clone() {
+            match self.peek() {
                 Tok::LBracket => {
                     self.bump();
                     let idx = self.parse_expr()?;
                     self.expect(Tok::RBracket)?;
-                    e = Expr {
-                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
-                        pos,
-                    };
+                    e = self.program.add_expr(ExprKind::Index(e, idx), pos);
                 }
                 Tok::LParen => {
                     self.bump();
-                    let mut args = Vec::new();
+                    let mark = self.scratch.expr_stack.len();
                     if !self.eat(Tok::RParen) {
                         loop {
-                            args.push(self.parse_expr()?);
+                            let arg = self.parse_expr()?;
+                            self.scratch.expr_stack.push(arg);
                             if !self.eat(Tok::Comma) {
                                 break;
                             }
                         }
                         self.expect(Tok::RParen)?;
                     }
-                    e = Expr {
-                        kind: ExprKind::Call(Box::new(e), args),
-                        pos,
-                    };
+                    let args = self
+                        .program
+                        .push_expr_list(&mut self.scratch.expr_stack, mark);
+                    e = self.program.add_expr(ExprKind::Call(e, args), pos);
                 }
                 Tok::PlusPlus => {
                     self.bump();
-                    e = desugar_incr(e, BinaryOp::Add, pos);
+                    e = self.desugar_incr(e, BinaryOp::Add, pos);
                 }
                 Tok::MinusMinus => {
                     self.bump();
-                    e = desugar_incr(e, BinaryOp::Sub, pos);
+                    e = self.desugar_incr(e, BinaryOp::Sub, pos);
                 }
                 _ => break,
             }
@@ -520,30 +557,18 @@ impl Parser {
         Ok(e)
     }
 
-    fn parse_primary(&mut self) -> Result<Expr> {
+    fn parse_primary(&mut self) -> Result<ExprId> {
         let pos = self.here();
         match self.bump() {
-            Tok::Int(v) => Ok(Expr {
-                kind: ExprKind::IntLit(v),
-                pos,
-            }),
-            Tok::Float(v) => Ok(Expr {
-                kind: ExprKind::FloatLit(v),
-                pos,
-            }),
-            Tok::Ident(name) if name == "malloc" && *self.peek() == Tok::LParen => {
+            Tok::Int(v) => Ok(self.program.add_expr(ExprKind::IntLit(v), pos)),
+            Tok::Float(v) => Ok(self.program.add_expr(ExprKind::FloatLit(v), pos)),
+            Tok::Ident(name) if name == self.malloc && self.peek() == Tok::LParen => {
                 self.bump();
                 let n = self.parse_expr()?;
                 self.expect(Tok::RParen)?;
-                Ok(Expr {
-                    kind: ExprKind::Malloc(Box::new(n)),
-                    pos,
-                })
+                Ok(self.program.add_expr(ExprKind::Malloc(n), pos))
             }
-            Tok::Ident(name) => Ok(Expr {
-                kind: ExprKind::Ident(name),
-                pos,
-            }),
+            Tok::Ident(name) => Ok(self.program.add_expr(ExprKind::Ident(name), pos)),
             Tok::LParen => {
                 let e = self.parse_expr()?;
                 self.expect(Tok::RParen)?;
@@ -552,48 +577,68 @@ impl Parser {
             other => Err(FrontError::new(
                 Phase::Parse,
                 pos,
-                format!("expected expression, found `{other}`"),
+                format!(
+                    "expected expression, found `{}`",
+                    other.display(self.interner)
+                ),
             )),
         }
     }
-}
 
-/// Desugars `e++`/`++e` to `e = e + 1` (and `--` likewise). MiniC gives
-/// both forms the *new* value, so they should only be used where the value
-/// is discarded.
-fn desugar_incr(e: Expr, op: BinaryOp, pos: Pos) -> Expr {
-    let one = Expr {
-        kind: ExprKind::IntLit(1),
-        pos,
-    };
-    let rhs = Expr {
-        kind: ExprKind::Binary(op, Box::new(e.clone()), Box::new(one)),
-        pos,
-    };
-    Expr {
-        kind: ExprKind::Assign(Box::new(e), Box::new(rhs)),
-        pos,
+    /// Desugars `e++`/`++e` to `e = e + 1` (and `--` likewise), sharing
+    /// `e`'s node on both sides. MiniC gives both forms the *new* value,
+    /// so they should only be used where the value is discarded.
+    fn desugar_incr(&mut self, e: ExprId, op: BinaryOp, pos: Pos) -> ExprId {
+        let one = self.program.add_expr(ExprKind::IntLit(1), pos);
+        let rhs = self.program.add_expr(ExprKind::Binary(op, e, one), pos);
+        self.program.add_expr(ExprKind::Assign(e, rhs), pos)
     }
 }
 
-/// Parses a MiniC translation unit.
+/// Parses a lexed token stream into `program` (cleared first).
+///
+/// `malloc` is the interned name `"malloc"`, which the grammar
+/// special-cases as the allocation primitive.
 ///
 /// # Errors
 ///
-/// Returns the first lexical or syntactic error with its source position.
-pub fn parse(src: &str) -> Result<Program> {
-    let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+/// Returns the first syntactic error with its source position.
+pub fn parse_tokens(
+    toks: &[Token],
+    interner: &Interner,
+    malloc: Symbol,
+    program: &mut Program,
+    scratch: &mut ParseScratch,
+) -> std::result::Result<(), FrontError> {
+    program.clear();
+    scratch.expr_stack.clear();
+    scratch.stmt_stack.clear();
+    scratch.param_stack.clear();
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        interner,
+        malloc,
+        program,
+        scratch,
+    };
     p.parse_program()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frontend::Frontend;
+
+    fn parse(src: &str) -> std::result::Result<Frontend, FrontError> {
+        let mut fe = Frontend::new();
+        fe.parse(src)?;
+        Ok(fe)
+    }
 
     #[test]
     fn parses_globals_and_functions() {
-        let p = parse(
+        let fe = parse(
             r#"
 int g = 5;
 int arr[4] = {1, 2, 3, 4};
@@ -605,17 +650,19 @@ void noop() { }
 "#,
         )
         .unwrap();
+        let p = fe.program();
         assert_eq!(p.globals.len(), 4);
         assert_eq!(p.funcs.len(), 2);
         assert_eq!(p.globals[2].ty.size_cells(), 6);
         assert_eq!(p.globals[3].ty, Type::Ptr(Box::new(Type::Int)));
-        assert_eq!(p.funcs[0].params.len(), 2);
+        assert_eq!(fe.interner().name(p.globals[0].name), "g");
+        assert_eq!(p.param_list(p.funcs[0].params).len(), 2);
         assert!(p.funcs[1].ret.is_none());
     }
 
     #[test]
     fn parses_statements() {
-        let p = parse(
+        let fe = parse(
             r#"
 int main() {
   int i;
@@ -630,36 +677,68 @@ int main() {
 "#,
         )
         .unwrap();
+        let p = fe.program();
         assert_eq!(p.funcs.len(), 1);
-        assert!(matches!(p.funcs[0].body[2], Stmt::For { .. }));
+        let body = p.stmt_list(p.funcs[0].body);
+        assert!(matches!(p.stmt(body[2]), Stmt::For { .. }));
     }
 
     #[test]
     fn precedence() {
-        let p = parse("int main() { return 1 + 2 * 3 < 7 && 1; }").unwrap();
-        let Stmt::Return { value: Some(e), .. } = &p.funcs[0].body[0] else {
+        let fe = parse("int main() { return 1 + 2 * 3 < 7 && 1; }").unwrap();
+        let p = fe.program();
+        let body = p.stmt_list(p.funcs[0].body);
+        let Stmt::Return { value: Some(e), .. } = p.stmt(body[0]) else {
             panic!("expected return");
         };
         // Top-level operator must be `&&`.
-        assert!(matches!(e.kind, ExprKind::Binary(BinaryOp::LogAnd, _, _)));
+        assert!(matches!(
+            p.expr(*e).kind,
+            ExprKind::Binary(BinaryOp::LogAnd, _, _)
+        ));
     }
 
     #[test]
-    fn compound_assignment_desugars() {
-        let p = parse("int main() { int x; x += 2; return x; }").unwrap();
-        let Stmt::Expr(e) = &p.funcs[0].body[1] else {
+    fn compound_assignment_desugars_without_cloning() {
+        let fe = parse("int main() { int x; x += 2; return x; }").unwrap();
+        let p = fe.program();
+        let body = p.stmt_list(p.funcs[0].body);
+        let Stmt::Expr(e) = p.stmt(body[1]) else {
             panic!()
         };
-        let ExprKind::Assign(lhs, rhs) = &e.kind else {
+        let ExprKind::Assign(lhs, rhs) = p.expr(*e).kind else {
             panic!("expected assign")
         };
-        assert!(matches!(lhs.kind, ExprKind::Ident(_)));
-        assert!(matches!(rhs.kind, ExprKind::Binary(BinaryOp::Add, _, _)));
+        assert!(matches!(p.expr(lhs).kind, ExprKind::Ident(_)));
+        let ExprKind::Binary(BinaryOp::Add, a, _) = p.expr(rhs).kind else {
+            panic!("expected desugared add")
+        };
+        // The desugared RHS reuses the lvalue's arena node, not a copy.
+        assert_eq!(a, lhs);
+    }
+
+    #[test]
+    fn increment_desugars_without_cloning() {
+        let fe = parse("int main() { int x; x++; --x; return x; }").unwrap();
+        let p = fe.program();
+        let body = p.stmt_list(p.funcs[0].body);
+        for stmt in &body[1..3] {
+            let Stmt::Expr(e) = p.stmt(*stmt) else {
+                panic!()
+            };
+            let ExprKind::Assign(lhs, rhs) = p.expr(*e).kind else {
+                panic!("expected assign")
+            };
+            let ExprKind::Binary(_, a, _) = p.expr(rhs).kind else {
+                panic!("expected binary")
+            };
+            assert_eq!(a, lhs);
+        }
     }
 
     #[test]
     fn pointers_and_indexing() {
-        let p = parse(
+        let fe = parse(
             r#"
 int sum(int *a, int n) {
   int s = 0;
@@ -670,22 +749,28 @@ int sum(int *a, int n) {
 "#,
         )
         .unwrap();
-        assert_eq!(p.funcs[0].params[0].1, Type::Ptr(Box::new(Type::Int)));
+        let p = fe.program();
+        assert_eq!(
+            p.param_list(p.funcs[0].params)[0].1,
+            Type::Ptr(Box::new(Type::Int))
+        );
     }
 
     #[test]
     fn array_params_decay() {
-        let p = parse("void f(int a[], int m[][3]) { }").unwrap();
-        assert_eq!(p.funcs[0].params[0].1, Type::Ptr(Box::new(Type::Int)));
+        let fe = parse("void f(int a[], int m[][3]) { }").unwrap();
+        let p = fe.program();
+        let params = p.param_list(p.funcs[0].params);
+        assert_eq!(params[0].1, Type::Ptr(Box::new(Type::Int)));
         assert_eq!(
-            p.funcs[0].params[1].1,
+            params[1].1,
             Type::Ptr(Box::new(Type::Array(Box::new(Type::Int), 3)))
         );
     }
 
     #[test]
     fn malloc_and_addressof() {
-        let p = parse(
+        let fe = parse(
             r#"
 int main() {
   int *p = malloc(10);
@@ -698,10 +783,12 @@ int main() {
 "#,
         )
         .unwrap();
-        let Stmt::Decl { init: Some(e), .. } = &p.funcs[0].body[0] else {
+        let p = fe.program();
+        let body = p.stmt_list(p.funcs[0].body);
+        let Stmt::Decl { init: Some(e), .. } = p.stmt(body[0]) else {
             panic!()
         };
-        assert!(matches!(e.kind, ExprKind::Malloc(_)));
+        assert!(matches!(p.expr(*e).kind, ExprKind::Malloc(_)));
     }
 
     #[test]

@@ -1,14 +1,20 @@
 //! Tokens of the MiniC language.
+//!
+//! Tokens are `Copy`: identifiers carry an interned [`Symbol`] instead of
+//! an owned `String`, so the parser can match and move tokens by value
+//! without cloning. Rendering a token for an error message needs the
+//! interner that produced it — see [`Tok::display`].
 
+use crate::intern::{Interner, Symbol};
 use std::fmt;
 
 /// A source position (1-based line and column).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Pos {
     /// 1-based line.
-    pub line: usize,
+    pub line: u32,
     /// 1-based column.
-    pub col: usize,
+    pub col: u32,
 }
 
 impl fmt::Display for Pos {
@@ -18,14 +24,14 @@ impl fmt::Display for Pos {
 }
 
 /// The kinds of MiniC tokens.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Tok {
     /// Integer literal.
     Int(i64),
     /// Floating-point literal.
     Float(f64),
-    /// Identifier.
-    Ident(String),
+    /// Identifier (interned).
+    Ident(Symbol),
 
     // Keywords.
     /// `int`
@@ -130,86 +136,113 @@ pub enum Tok {
 }
 
 impl Tok {
-    /// Resolves keywords, returning `None` for ordinary identifiers.
-    pub fn keyword(word: &str) -> Option<Tok> {
+    /// Resolves keywords, returning `None` for ordinary identifiers. The
+    /// argument is raw source bytes — no intermediate `String` on either
+    /// the hit or the miss path.
+    pub fn keyword(word: &[u8]) -> Option<Tok> {
         Some(match word {
-            "int" => Tok::KwInt,
-            "double" => Tok::KwDouble,
-            "void" => Tok::KwVoid,
-            "func" => Tok::KwFunc,
-            "if" => Tok::KwIf,
-            "else" => Tok::KwElse,
-            "while" => Tok::KwWhile,
-            "for" => Tok::KwFor,
-            "do" => Tok::KwDo,
-            "return" => Tok::KwReturn,
-            "break" => Tok::KwBreak,
-            "continue" => Tok::KwContinue,
+            b"int" => Tok::KwInt,
+            b"double" => Tok::KwDouble,
+            b"void" => Tok::KwVoid,
+            b"func" => Tok::KwFunc,
+            b"if" => Tok::KwIf,
+            b"else" => Tok::KwElse,
+            b"while" => Tok::KwWhile,
+            b"for" => Tok::KwFor,
+            b"do" => Tok::KwDo,
+            b"return" => Tok::KwReturn,
+            b"break" => Tok::KwBreak,
+            b"continue" => Tok::KwContinue,
             _ => return None,
         })
     }
-}
 
-impl fmt::Display for Tok {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Tok::Int(v) => write!(f, "{v}"),
-            Tok::Float(v) => write!(f, "{v}"),
-            Tok::Ident(s) => write!(f, "{s}"),
-            Tok::KwInt => write!(f, "int"),
-            Tok::KwDouble => write!(f, "double"),
-            Tok::KwVoid => write!(f, "void"),
-            Tok::KwFunc => write!(f, "func"),
-            Tok::KwIf => write!(f, "if"),
-            Tok::KwElse => write!(f, "else"),
-            Tok::KwWhile => write!(f, "while"),
-            Tok::KwFor => write!(f, "for"),
-            Tok::KwDo => write!(f, "do"),
-            Tok::KwReturn => write!(f, "return"),
-            Tok::KwBreak => write!(f, "break"),
-            Tok::KwContinue => write!(f, "continue"),
-            Tok::LParen => write!(f, "("),
-            Tok::RParen => write!(f, ")"),
-            Tok::LBrace => write!(f, "{{"),
-            Tok::RBrace => write!(f, "}}"),
-            Tok::LBracket => write!(f, "["),
-            Tok::RBracket => write!(f, "]"),
-            Tok::Semi => write!(f, ";"),
-            Tok::Comma => write!(f, ","),
-            Tok::Assign => write!(f, "="),
-            Tok::PlusAssign => write!(f, "+="),
-            Tok::MinusAssign => write!(f, "-="),
-            Tok::StarAssign => write!(f, "*="),
-            Tok::SlashAssign => write!(f, "/="),
-            Tok::PercentAssign => write!(f, "%="),
-            Tok::Plus => write!(f, "+"),
-            Tok::Minus => write!(f, "-"),
-            Tok::Star => write!(f, "*"),
-            Tok::Slash => write!(f, "/"),
-            Tok::Percent => write!(f, "%"),
-            Tok::Amp => write!(f, "&"),
-            Tok::Pipe => write!(f, "|"),
-            Tok::Caret => write!(f, "^"),
-            Tok::Shl => write!(f, "<<"),
-            Tok::Shr => write!(f, ">>"),
-            Tok::AndAnd => write!(f, "&&"),
-            Tok::OrOr => write!(f, "||"),
-            Tok::Bang => write!(f, "!"),
-            Tok::EqEq => write!(f, "=="),
-            Tok::NotEq => write!(f, "!="),
-            Tok::Lt => write!(f, "<"),
-            Tok::Le => write!(f, "<="),
-            Tok::Gt => write!(f, ">"),
-            Tok::Ge => write!(f, ">="),
-            Tok::PlusPlus => write!(f, "++"),
-            Tok::MinusMinus => write!(f, "--"),
-            Tok::Eof => write!(f, "<eof>"),
+    /// A displayable view of the token; identifiers resolve their name
+    /// through `interner`. Cold path — error messages only.
+    pub fn display<'a>(&self, interner: &'a Interner) -> TokDisplay<'a> {
+        TokDisplay {
+            tok: *self,
+            interner,
         }
     }
 }
 
+/// [`Tok`] paired with the interner that can resolve its identifier, for
+/// `Display`. Produced by [`Tok::display`].
+#[derive(Debug, Clone, Copy)]
+pub struct TokDisplay<'a> {
+    tok: Tok,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for TokDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.tok {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{}", self.interner.name(s)),
+            other => write!(f, "{}", fixed_spelling(other)),
+        }
+    }
+}
+
+/// The source spelling of every token without a payload.
+fn fixed_spelling(tok: Tok) -> &'static str {
+    match tok {
+        Tok::Int(_) | Tok::Float(_) | Tok::Ident(_) => unreachable!("payload tokens"),
+        Tok::KwInt => "int",
+        Tok::KwDouble => "double",
+        Tok::KwVoid => "void",
+        Tok::KwFunc => "func",
+        Tok::KwIf => "if",
+        Tok::KwElse => "else",
+        Tok::KwWhile => "while",
+        Tok::KwFor => "for",
+        Tok::KwDo => "do",
+        Tok::KwReturn => "return",
+        Tok::KwBreak => "break",
+        Tok::KwContinue => "continue",
+        Tok::LParen => "(",
+        Tok::RParen => ")",
+        Tok::LBrace => "{",
+        Tok::RBrace => "}",
+        Tok::LBracket => "[",
+        Tok::RBracket => "]",
+        Tok::Semi => ";",
+        Tok::Comma => ",",
+        Tok::Assign => "=",
+        Tok::PlusAssign => "+=",
+        Tok::MinusAssign => "-=",
+        Tok::StarAssign => "*=",
+        Tok::SlashAssign => "/=",
+        Tok::PercentAssign => "%=",
+        Tok::Plus => "+",
+        Tok::Minus => "-",
+        Tok::Star => "*",
+        Tok::Slash => "/",
+        Tok::Percent => "%",
+        Tok::Amp => "&",
+        Tok::Pipe => "|",
+        Tok::Caret => "^",
+        Tok::Shl => "<<",
+        Tok::Shr => ">>",
+        Tok::AndAnd => "&&",
+        Tok::OrOr => "||",
+        Tok::Bang => "!",
+        Tok::EqEq => "==",
+        Tok::NotEq => "!=",
+        Tok::Lt => "<",
+        Tok::Le => "<=",
+        Tok::Gt => ">",
+        Tok::Ge => ">=",
+        Tok::PlusPlus => "++",
+        Tok::MinusMinus => "--",
+        Tok::Eof => "<eof>",
+    }
+}
+
 /// A token paired with its position.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Token {
     /// The token itself.
     pub tok: Tok,
