@@ -11,9 +11,7 @@
 //! Usage: `cargo run --release -p promo-bench --bin pressure_ablation`
 
 use analysis::AnalysisLevel;
-use driver::{compile_and_run, PipelineConfig};
-use regalloc::AllocOptions;
-use vm::VmOptions;
+use driver::prelude::*;
 
 fn run(src: &str, k: usize, promote: bool, cap: Option<usize>) -> u64 {
     let config = PipelineConfig {
@@ -24,8 +22,11 @@ fn run(src: &str, k: usize, promote: bool, cap: Option<usize>) -> u64 {
         promotion_cap: cap,
         ..PipelineConfig::paper_variant(AnalysisLevel::ModRef, promote)
     };
-    let (out, _) = compile_and_run(src, &config, VmOptions::default())
-        .unwrap_or_else(|e| panic!("K={k} cap={cap:?}: {e}"));
+    let out = Session::from_config(config)
+        .compile_and_run(src)
+        .unwrap_or_else(|e| panic!("K={k} cap={cap:?}: {e}"))
+        .outcome
+        .expect("outcome populated");
     out.counts.memory_ops()
 }
 

@@ -14,12 +14,25 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod timing;
 
 use analysis::AnalysisLevel;
-use driver::{compile_and_run, measure_program, MeasurementRow, Metric, PipelineConfig};
-use regalloc::AllocOptions;
-use vm::VmOptions;
+use driver::prelude::*;
+use driver::{measure_program, MeasurementRow, Metric};
+
+/// Compiles and executes one configuration through the Session API.
+///
+/// # Panics
+///
+/// Panics with `context` if the program fails to compile or run.
+fn run_config(src: &str, config: PipelineConfig, context: &str) -> Outcome {
+    Session::from_config(config)
+        .compile_and_run(src)
+        .unwrap_or_else(|e| panic!("{context}: {e}"))
+        .outcome
+        .expect("outcome populated")
+}
 
 /// Runs the paper's 2×2 experiment over the whole suite (or a named
 /// subset), returning rows in suite order. Programs are measured
@@ -72,10 +85,8 @@ pub fn measure_pointer_promotion(only: Option<&str>) -> Vec<PointerPromotionRow>
             pointer_promote: true,
             ..PipelineConfig::paper_variant(AnalysisLevel::PointsTo, true)
         };
-        let (scalar, _) = compile_and_run(b.source, &scalar_cfg, VmOptions::default())
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-        let (both, _) = compile_and_run(b.source, &both_cfg, VmOptions::default())
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let scalar = run_config(b.source, scalar_cfg, b.name);
+        let both = run_config(b.source, both_cfg, b.name);
         assert_eq!(scalar.output, both.output, "{}: outputs diverged", b.name);
         rows.push(PointerPromotionRow {
             program: b.name.to_string(),
@@ -140,8 +151,7 @@ pub fn pressure_sweep(source: &str, ks: &[usize]) -> Vec<PressurePoint> {
                 }),
                 ..PipelineConfig::paper_variant(AnalysisLevel::ModRef, promote)
             };
-            let (out, _) = compile_and_run(source, &config, VmOptions::default())
-                .unwrap_or_else(|e| panic!("K={k} promote={promote}: {e}"));
+            let out = run_config(source, config, &format!("K={k} promote={promote}"));
             counts.push(out.counts);
         }
         points.push(PressurePoint {
@@ -203,8 +213,7 @@ pub fn analysis_ablation(only: Option<&str>) -> String {
             let mut counts = Vec::new();
             for promote in [false, true] {
                 let config = PipelineConfig::paper_variant(level, promote);
-                let (out, _) = compile_and_run(b.source, &config, VmOptions::default())
-                    .unwrap_or_else(|e| panic!("{} {level}: {e}", b.name));
+                let out = run_config(b.source, config, &format!("{} {level}", b.name));
                 counts.push(out.counts.stores);
             }
             cells.push(pct(counts[0], counts[1]));

@@ -34,9 +34,10 @@
 //! # Ok::<(), driver::Error>(())
 //! ```
 //!
-//! The tuple-returning free functions ([`compile_and_run`],
-//! [`compile_with`]) predate [`Session`] and remain as shims; see their
-//! docs.
+//! [`Session`] (plus [`Compilation::run`] for execution) is the *only*
+//! compile entry point since API v1 — the tuple-returning free functions
+//! that predated it are gone. External consumers should import from
+//! [`prelude`], the curated stable surface.
 
 #![warn(missing_docs)]
 
@@ -50,9 +51,36 @@ mod session;
 pub use error::Error;
 pub use parallel::{parallel_map, parallel_map_funcs, resolve_threads, WorkerPool};
 pub use pipeline::{
-    compile_and_run, compile_with, run_pipeline, run_pipeline_in, run_pipeline_traced, PassTiming,
-    PassTimings, PipelineConfig, PipelineConfigBuilder, PipelineReport,
+    run_pipeline, run_pipeline_in, run_pipeline_traced, PassTiming, PassTimings, PipelineConfig,
+    PipelineConfigBuilder, PipelineReport,
 };
 pub use report::{measure_program, render_figure, MeasurementRow, Metric};
 pub use scratch::PassScratch;
 pub use session::{Compilation, Session, SessionBuilder};
+
+/// The curated stable API surface, re-exported in one place.
+///
+/// Everything a driver consumer (the fuzzer, the benchmarks, an external
+/// embedder) needs to compile and execute MiniC programs: the session
+/// API, its error type, the configuration vocabulary, and the VM types
+/// that flow back out of [`Compilation::run`]. Import it wholesale:
+///
+/// ```
+/// use driver::prelude::*;
+///
+/// let session = Session::builder().threads(Some(1)).build();
+/// let out = session
+///     .compile("int main() { print_int(7); return 0; }")?
+///     .run(VmOptions::default())?;
+/// assert_eq!(out.output, vec!["7"]);
+/// # Ok::<(), Error>(())
+/// ```
+pub mod prelude {
+    pub use crate::error::Error;
+    pub use crate::pipeline::{PipelineConfig, PipelineReport};
+    pub use crate::session::{Compilation, Session, SessionBuilder};
+    pub use analysis::AnalysisLevel;
+    pub use regalloc::AllocOptions;
+    pub use trace::{Remark, TraceLog};
+    pub use vm::{ExecCounts, Outcome, VmError, VmOptions};
+}

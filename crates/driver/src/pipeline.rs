@@ -37,24 +37,36 @@ use promote::{PointerReport, PromotionReport, ScalarReport};
 use regalloc::{AllocOptions, AllocReport, PendingSpill};
 use std::time::{Duration, Instant};
 use trace::{AllocStats, FuncTrace, TraceLog};
-use vm::{Outcome, Vm, VmError, VmOptions};
 
 /// A pipeline configuration — one experimental arm.
+///
+/// The fields are an implementation detail of the driver: assemble a
+/// configuration with [`PipelineConfig::builder`] (or go through
+/// [`crate::Session::builder`], which wraps the same knobs), and treat
+/// the struct as opaque. The fields remain `pub` for struct-update
+/// syntax in in-tree experiment code but are hidden from the documented
+/// API surface.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
     /// Interprocedural analysis precision.
+    #[doc(hidden)]
     pub analysis: AnalysisLevel,
     /// Run scalar register promotion (§3.1).
+    #[doc(hidden)]
     pub promote: bool,
     /// Run pointer-based promotion (§3.3) after LICM.
+    #[doc(hidden)]
     pub pointer_promote: bool,
     /// Pressure throttle for scalar promotion (§7 of the paper; see
     /// [`promote::PromotionOptions::max_promoted_per_loop`]).
+    #[doc(hidden)]
     pub promotion_cap: Option<usize>,
     /// Run the scalar optimizer (always on in the paper; off is useful
     /// for debugging).
+    #[doc(hidden)]
     pub optimize: bool,
     /// Register allocation parameters; `None` leaves virtual registers.
+    #[doc(hidden)]
     pub regalloc: Option<AllocOptions>,
     /// Validate the module at every fan-out barrier (on in debug builds):
     /// after normalization, after the interprocedural analysis, and after
@@ -62,11 +74,13 @@ pub struct PipelineConfig {
     /// (Passes inside the fused chain see functions at different stages
     /// concurrently, so whole-module validation between them is no longer
     /// meaningful.)
+    #[doc(hidden)]
     pub validate_each_pass: bool,
     /// Worker threads for the per-function stages. `None` defers to the
     /// `PROMO_THREADS` environment variable, then to
     /// `std::thread::available_parallelism()`; `Some(1)` forces the
     /// sequential path. The compiled output is identical either way.
+    #[doc(hidden)]
     pub threads: Option<usize>,
     /// Share one [`cfg::FunctionAnalyses`] cache per function across the
     /// whole pass chain (the normal mode). `false` gives every stage a
@@ -74,12 +88,14 @@ pub struct PipelineConfig {
     /// before the cache existed — and exists so benchmarks can report an
     /// honest uncached baseline for the analysis-build counters. Output is
     /// identical either way.
+    #[doc(hidden)]
     pub share_analyses: bool,
     /// Use the sparse worklist dataflow solvers (the normal mode). `false`
     /// selects the dense full-resweep solvers everywhere — constprop loses
     /// its conditional (executable-edge) precision and every fixpoint
     /// reverts to whole-function sweeps — and exists so the benchmark can
     /// report the dense baseline's work counters from the same binary.
+    #[doc(hidden)]
     pub sparse_dataflow: bool,
     /// Reuse the pool's per-worker [`PassScratch`] arenas across functions
     /// (the normal mode): every pass's dense side tables, worklists, and
@@ -88,11 +104,13 @@ pub struct PipelineConfig {
     /// the allocation behaviour the pipeline had before the arenas existed —
     /// and exists so the benchmark can report an honest `alloc_stats_fresh`
     /// baseline column. Output is byte-identical either way.
+    #[doc(hidden)]
     pub reuse_scratch: bool,
     /// Collect structured optimization remarks and per-pass deltas into a
     /// [`TraceLog`] (see [`run_pipeline_traced`]). Off by default; when
     /// off, every trace hook is a single enum-discriminant test and no
     /// event is ever constructed.
+    #[doc(hidden)]
     pub trace: bool,
 }
 
@@ -829,50 +847,11 @@ pub fn run_pipeline_traced(
     (report, log)
 }
 
-/// Compiles MiniC source and runs the configured pipeline.
-///
-/// Deprecated in favor of [`crate::Session`]: build one with
-/// [`crate::Session::builder()`] and call
-/// [`compile`](crate::Session::compile) to get a [`crate::Compilation`]
-/// exposing the module, the report, and the trace log together. This shim
-/// remains for tuple-returning callers and will not grow new features.
-///
-/// # Errors
-///
-/// Returns the front end's error if the source does not compile.
-pub fn compile_with(
-    src: &str,
-    config: &PipelineConfig,
-) -> Result<(Module, PipelineReport), minic::FrontError> {
-    let mut module = minic::compile(src)?;
-    let report = run_pipeline(&mut module, config);
-    Ok((module, report))
-}
-
-/// Compiles, optimizes, executes, and returns the execution outcome.
-///
-/// Deprecated in favor of [`crate::Session`]: build one with
-/// [`crate::Session::builder()`] and call
-/// [`compile_and_run`](crate::Session::compile_and_run), which returns a
-/// [`crate::Compilation`] carrying the outcome *and* the module, report,
-/// and remarks, with a typed [`crate::Error`] instead of a boxed one.
-///
-/// # Errors
-///
-/// Returns a boxed error for either a front-end failure or a VM fault.
-pub fn compile_and_run(
-    src: &str,
-    config: &PipelineConfig,
-    vm_options: VmOptions,
-) -> Result<(Outcome, PipelineReport), Box<dyn std::error::Error>> {
-    let (module, report) = compile_with(src, config)?;
-    let outcome = Vm::run_main(&module, vm_options).map_err(Box::<VmError>::new)?;
-    Ok((outcome, report))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
+    use vm::Outcome;
 
     const PROGRAM: &str = r#"
 int g;
@@ -890,12 +869,18 @@ int main() {
 }
 "#;
 
+    fn run(config: PipelineConfig) -> (Outcome, PipelineReport) {
+        let c = Session::from_config(config)
+            .compile_and_run(PROGRAM)
+            .expect("compile and run");
+        (c.outcome.expect("outcome populated"), c.report)
+    }
+
     #[test]
     fn all_four_variants_agree_on_output() {
         let mut outputs = Vec::new();
         for (name, config) in PipelineConfig::figure_variants() {
-            let (out, _) = compile_and_run(PROGRAM, &config, VmOptions::default())
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let (out, _) = run(config);
             outputs.push((name, out.output));
         }
         for w in outputs.windows(2) {
@@ -905,20 +890,8 @@ int main() {
 
     #[test]
     fn promotion_reduces_memory_traffic() {
-        let without = compile_and_run(
-            PROGRAM,
-            &PipelineConfig::paper_variant(AnalysisLevel::ModRef, false),
-            VmOptions::default(),
-        )
-        .unwrap()
-        .0;
-        let with = compile_and_run(
-            PROGRAM,
-            &PipelineConfig::paper_variant(AnalysisLevel::ModRef, true),
-            VmOptions::default(),
-        )
-        .unwrap()
-        .0;
+        let without = run(PipelineConfig::paper_variant(AnalysisLevel::ModRef, false)).0;
+        let with = run(PipelineConfig::paper_variant(AnalysisLevel::ModRef, true)).0;
         // g is promotable; h is pinned by the call.
         assert!(
             with.counts.stores + 400 <= without.counts.stores,
@@ -930,7 +903,10 @@ int main() {
 
     #[test]
     fn pipeline_report_is_populated() {
-        let (_, report) = compile_with(PROGRAM, &PipelineConfig::default()).expect("compiles");
+        let report = Session::default()
+            .compile(PROGRAM)
+            .expect("compiles")
+            .report;
         assert!(report.analysis_stats.is_some());
         assert!(report.alloc.is_some());
         assert!(report.promotion.scalar.promoted_tags >= 1);
@@ -942,28 +918,27 @@ int main() {
 
     #[test]
     fn unoptimized_pipeline_still_runs() {
-        let config = PipelineConfig {
-            optimize: false,
-            promote: false,
-            regalloc: None,
-            ..Default::default()
-        };
-        let (out, _) = compile_and_run(PROGRAM, &config, VmOptions::default()).unwrap();
+        let config = PipelineConfig::builder()
+            .optimize(false)
+            .promote(false)
+            .regalloc(None)
+            .build();
+        let (out, _) = run(config);
         assert_eq!(out.output, vec!["124750", "500"]);
     }
 
     #[test]
     fn thread_count_does_not_change_output() {
-        let one = PipelineConfig {
-            threads: Some(1),
-            ..Default::default()
+        let compile = |threads| {
+            let c = Session::builder()
+                .threads(Some(threads))
+                .build()
+                .compile(PROGRAM)
+                .expect("compiles");
+            (c.module, c.report)
         };
-        let four = PipelineConfig {
-            threads: Some(4),
-            ..Default::default()
-        };
-        let (m1, r1) = compile_with(PROGRAM, &one).expect("compiles");
-        let (m4, r4) = compile_with(PROGRAM, &four).expect("compiles");
+        let (m1, r1) = compile(1);
+        let (m4, r4) = compile(4);
         assert_eq!(
             m1.to_string(),
             m4.to_string(),

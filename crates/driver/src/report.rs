@@ -112,10 +112,9 @@ pub fn measure_program(name: &str, source: &str) -> Vec<MeasurementRow> {
         for promote in [false, true] {
             let session = Session::from_config(PipelineConfig::paper_variant(analysis, promote));
             let outcome = session
-                .compile_and_run(source)
-                .unwrap_or_else(|e| panic!("{name} [{analysis}, promote={promote}]: {e}"))
-                .outcome
-                .expect("compile_and_run populates the outcome");
+                .compile(source)
+                .and_then(|c| c.run(session.vm_options().clone()))
+                .unwrap_or_else(|e| panic!("{name} [{analysis}, promote={promote}]: {e}"));
             match &reference_output {
                 None => reference_output = Some(outcome.output.clone()),
                 Some(r) => assert_eq!(

@@ -3,11 +3,12 @@
 //! back a [`Compilation`] artifact per program.
 //!
 //! This replaces the older pattern of poking [`PipelineConfig`]'s public
-//! fields and calling tuple-returning free functions
-//! ([`crate::compile_and_run`] et al., kept as documented shims): a
-//! session is built once, amortizes its worker pool across every program
+//! fields and calling tuple-returning free functions (deleted in API v1):
+//! a session is built once, amortizes its worker pool across every program
 //! it compiles, and returns module, report, trace, and run outcome as one
-//! value.
+//! value. Execution is part of the same surface — [`Compilation::run`]
+//! executes the compiled module in the instrumented VM and folds any
+//! fault into the unified [`Error`].
 //!
 //! ```
 //! use driver::Session;
@@ -158,7 +159,7 @@ impl Session {
     /// if execution faults.
     pub fn compile_and_run(&self, src: &str) -> Result<Compilation, Error> {
         let mut compilation = self.compile(src)?;
-        let outcome = Vm::run_main(&compilation.module, self.vm.clone())?;
+        let outcome = compilation.run(self.vm.clone())?;
         compilation.outcome = Some(outcome);
         Ok(compilation)
     }
@@ -238,6 +239,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Selects sparse worklist (`true`, the default) or dense resweep
+    /// (`false`) dataflow solvers. The dense arm exists for measurement
+    /// and differential testing; output is identical either way.
+    pub fn sparse_dataflow(mut self, on: bool) -> Self {
+        self.config = self.config.sparse_dataflow(on);
+        self
+    }
+
     /// Enables or disables cross-function reuse of the per-worker pass
     /// scratch arenas.
     pub fn reuse_scratch(mut self, on: bool) -> Self {
@@ -303,6 +312,32 @@ pub struct Compilation {
 }
 
 impl Compilation {
+    /// Executes the compiled module's `main` in the instrumented VM and
+    /// returns the execution outcome (program output, exit code, dynamic
+    /// operation counts). Compile-and-execute in one expression:
+    ///
+    /// ```
+    /// use driver::Session;
+    /// use vm::VmOptions;
+    ///
+    /// let out = Session::default()
+    ///     .compile("int main() { print_int(6 * 7); return 0; }")?
+    ///     .run(VmOptions::default())?;
+    /// assert_eq!(out.output, vec!["42"]);
+    /// # Ok::<(), driver::Error>(())
+    /// ```
+    ///
+    /// Unlike [`Session::compile_and_run`] this does not cache the outcome
+    /// in [`Compilation::outcome`]; it can be called repeatedly (e.g. with
+    /// different step budgets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Vm`] if execution faults.
+    pub fn run(&self, options: VmOptions) -> Result<Outcome, Error> {
+        Ok(Vm::run_main(&self.module, options)?)
+    }
+
     /// The trace rendered as human-readable LLVM-style remark lines.
     pub fn remarks_text(&self) -> String {
         self.trace.render_remarks()

@@ -415,10 +415,14 @@ int main() {
         .threads(Some(1))
         .sparse_dataflow(false)
         .build();
-    let (out_s, rep_s) =
-        driver::compile_and_run(src, &sparse_cfg, vm::VmOptions::default()).expect("sparse runs");
-    let (out_d, rep_d) =
-        driver::compile_and_run(src, &dense_cfg, vm::VmOptions::default()).expect("dense runs");
+    let run = |cfg| {
+        let c = driver::Session::from_config(cfg)
+            .compile_and_run(src)
+            .expect("pipeline runs");
+        (c.outcome.expect("outcome populated"), c.report)
+    };
+    let (out_s, rep_s) = run(sparse_cfg);
+    let (out_d, rep_d) = run(dense_cfg);
     assert_eq!(out_s.output, out_d.output, "pipeline modes diverged");
     assert_eq!(out_s.output, vec!["100", "100"]);
     assert!(

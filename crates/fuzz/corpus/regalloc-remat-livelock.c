@@ -1,0 +1,92 @@
+// Fuzzer-found regression (promo-fuzz seed 0xc10039): under a tight
+// 8-register allocation the rematerializer left dead constant defs in
+// the interference graph, and the allocator livelocked re-spilling
+// the same register until its convergence assert fired.
+// See regalloc::alloc::try_rematerialize.
+int g0 = 9;
+int g1 = -1;
+int g2 = 3;
+int ga0[8];
+int *gp0;
+
+int f0() {
+    int *v0 = &g2;
+    g2++;
+    print_int(((*v0) <= ga0[(g1 & 7)]));
+    return (g0 + (g2 ^ ga0[((0 - 1) & 7)]));
+}
+
+int f1(int h1d, int h1a0, int h1a1) {
+    if (h1d <= 0) {
+        return h1a1;
+    }
+    f0();
+    int *v1 = &g0;
+    int *v2 = &g0;
+    if ((ga0[(g2 & 7)] <= ((*v2) % (h1a0 | 1)))) {
+        g2 = (!(g1 > 11));
+        g0--;
+        f0();
+    }
+    int v3 = 11;
+    return f1(h1d - 1, h1a0, h1a1) + (h1a1);
+}
+
+int f2(int h2d, int h2a0) {
+    if (h2d <= 0) {
+        return ((0 - 31259) <= (ga0[((0 - 2) & 7)] & g0));
+    }
+    int c0 = 0;
+    int c1 = 0;
+    int c2 = 0;
+    for (c0 = 0; c0 < 2; c0++) {
+        f1(5, (h2d >= c0), f0());
+        ga0[(c0 & 7)] -= 2;
+        if ((!(13 * ga0[(14 & 7)]))) {
+            ga0[(h2a0 & 7)] = ((g0 >= ga0[((0 - 5) & 7)]) | (h2a0 << ((0 - 1) & 15)));
+            ga0[(g0 & 7)] = f0();
+            ga0[(g1 & 7)] += g1;
+        } else {
+            int v4 = ((0 - 4) % ((ga0[(g0 & 7)] % (ga0[(g0 & 7)] | 1)) | 1));
+            f1(4, (c0 - c0), 7);
+        }
+    }
+    int *v5 = &g0;
+    f0();
+    for (c1 = 0; c1 < 9; c1++) {
+        print_int((((*v5) + h2d) <= 7));
+        g1 = g2;
+        c2 = 0;
+        while (c2 < 3) {
+            int v6 = (ga0[(g1 & 7)] + ((*v5) >> (ga0[(h2a0 & 7)] & 15)));
+            c2 = c2 + 1;
+        }
+    }
+    int v7 = (*v5);
+    return f2(h2d - 1, h2a0) + (((0 - 31259) <= (ga0[((0 - 2) & 7)] & g0)));
+}
+
+int main() {
+    gp0 = &g2;
+    if ((0 - 4076)) {
+        f1(4, ((*gp0) <= 15), ga0[(g1 & 7)]);
+    }
+    f2(1, (g1 == (*gp0)));
+    *gp0 = f1(3, (ga0[(10 & 7)] << (ga0[(g1 & 7)] & 15)), (g1 << ((*gp0) & 15)));
+    gp0 = &g1;
+    g0 *= f2(2, f0());
+    g1 -= (!f0());
+    int v8 = f1(5, f0(), (!(0 - 8)));
+    f1(5, 4, (ga0[(v8 & 7)] >> ((*gp0) & 15)));
+    if ((f1(1, (0 - 4), (*gp0)) | (!ga0[(16 & 7)]))) {
+        f0();
+    }
+    ga0[(g2 & 7)] = (((*gp0) / (10 | 1)) || f1(4, v8, (*gp0)));
+    print_int(f0());
+    g2 = (((*gp0) * 14) <= f1(5, g1, ga0[((0 - 1) & 7)]));
+    print_int(((12 >= (*gp0)) - ((*gp0) << (v8 & 15))));
+    print_int(g0);
+    print_int(g1);
+    print_int(g2);
+    return 0;
+}

@@ -1,0 +1,77 @@
+//! Failure corpus: JSONL records plus standalone `.c` reproducers.
+//!
+//! Every oracle violation lands in `<out>/failures.jsonl` (one record
+//! per line, written with the bench harness's shared JSON helpers) next
+//! to `seed-<hex>.c` (the generated program) and, when reduction ran,
+//! `seed-<hex>.min.c` (the shrunk reproducer). The `.c` files are
+//! self-contained MiniC programs: replay any of them with
+//! `promo-fuzz --replay <file>`.
+
+use crate::oracle::Failure;
+use crate::reduce::Reduction;
+use bench_harness::json::JsonObject;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Writes one failure (and its optional reduction) into `dir`. Returns
+/// the path of the reproducer written.
+pub fn write_failure(
+    dir: &Path,
+    seed: u64,
+    source: &str,
+    failure: &Failure,
+    reduction: Option<&Reduction>,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let repro = dir.join(format!("seed-{seed:#018x}.c"));
+    fs::write(&repro, source)?;
+    let mut record = JsonObject::new();
+    record.field_str("seed", &format!("{seed:#x}"));
+    record.field_str("arm", failure.arm.label());
+    record.field_str("kind", failure.kind.label());
+    record.field_str("detail", &failure.detail);
+    record.field_str("file", &repro.file_name().unwrap().to_string_lossy());
+    if let Some(r) = reduction {
+        let min = dir.join(format!("seed-{seed:#018x}.min.c"));
+        fs::write(&min, r.program.render())?;
+        record.field_str("reduced_file", &min.file_name().unwrap().to_string_lossy());
+        record.field_u64("statements_before", r.from_statements as u64);
+        record.field_u64("statements_after", r.to_statements as u64);
+        record.field_u64("oracle_runs", r.oracle_runs as u64);
+    }
+    let line = record.finish();
+    let jsonl = dir.join("failures.jsonl");
+    let mut existing = fs::read_to_string(&jsonl).unwrap_or_default();
+    existing.push_str(&line);
+    existing.push('\n');
+    fs::write(&jsonl, existing)?;
+    Ok(repro)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{Arm, FailureKind};
+
+    #[test]
+    fn records_are_one_json_line_each() {
+        let dir = std::env::temp_dir().join(format!("promo-fuzz-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let failure = Failure {
+            arm: Arm::Default,
+            kind: FailureKind::OutputMismatch,
+            detail: "line 0: expected \"1\", got \"2\"".into(),
+        };
+        write_failure(&dir, 0xBEEF, "int main() { return 0; }\n", &failure, None).unwrap();
+        write_failure(&dir, 0xF00D, "int main() { return 1; }\n", &failure, None).unwrap();
+        let jsonl = fs::read_to_string(dir.join("failures.jsonl")).unwrap();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"seed\":\"0xbeef\""));
+        assert!(lines[0].contains("\"kind\":\"output-mismatch\""));
+        assert!(lines[0].contains("\\\"1\\\""), "detail quotes escaped");
+        assert!(dir.join("seed-0x000000000000beef.c").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

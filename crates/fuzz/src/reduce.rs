@@ -1,0 +1,241 @@
+//! Delta-debugging reduction of oracle failures.
+//!
+//! Works on the generator's AST, never on source text, so every
+//! candidate is syntactically well-formed and the oracle budget is spent
+//! on semantics. A candidate is *interesting* when the oracle still
+//! fails with the **same arm and failure kind** as the original — which
+//! automatically rejects candidates whose reduction broke a generator
+//! safety invariant (those skip or fail differently, e.g. with a
+//! reference-arm fault or a compile error).
+//!
+//! Passes, applied to fixpoint in a fixed order (the reducer is fully
+//! deterministic):
+//!
+//! 1. **statement deletion** — ddmin-style chunked removal over every
+//!    block, halving chunk sizes down to single statements;
+//! 2. **block unwrapping** — replace an `if` by its then-branch, a loop
+//!    by its body;
+//! 3. **expression simplification** — replace any subexpression with
+//!    `0`, `1`, or (for binary nodes) one of its operands;
+//! 4. **declaration cleanup** — drop unused globals and helpers.
+
+use crate::ast::{Expr, Program, Stmt};
+use crate::oracle::{Failure, Oracle, Verdict};
+use crate::visit;
+
+/// Outcome of a reduction run.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The smallest interesting program found.
+    pub program: Program,
+    /// The failure it still produces.
+    pub failure: Failure,
+    /// Statement count before reduction.
+    pub from_statements: usize,
+    /// Statement count after.
+    pub to_statements: usize,
+    /// Oracle invocations spent.
+    pub oracle_runs: usize,
+}
+
+struct Reducer<'a> {
+    oracle: &'a Oracle,
+    arm_kind: (crate::oracle::Arm, crate::oracle::FailureKind),
+    runs: usize,
+}
+
+impl<'a> Reducer<'a> {
+    /// Whether this candidate still exhibits the original failure.
+    fn interesting(&mut self, candidate: &Program) -> Option<Failure> {
+        self.runs += 1;
+        match self.oracle.check(&candidate.render()) {
+            Verdict::Fail(f) if (f.arm, f.kind) == self.arm_kind => Some(f),
+            _ => None,
+        }
+    }
+
+    /// ddmin-style chunked statement deletion over every block.
+    fn delete_statements(&mut self, p: &mut Program) -> bool {
+        let mut changed = false;
+        // Block indices shift as statements disappear, so walk by index
+        // and re-query the count every iteration.
+        let mut block = 0;
+        while block < visit::block_count(p) {
+            let len = visit::with_block_mut(p, block, |b| b.len()).unwrap_or(0);
+            let mut chunk = len.max(1);
+            while chunk >= 1 {
+                let mut start = 0;
+                loop {
+                    let len = visit::with_block_mut(p, block, |b| b.len()).unwrap_or(0);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + chunk).min(len);
+                    let mut candidate = p.clone();
+                    visit::with_block_mut(&mut candidate, block, |b| {
+                        b.drain(start..end);
+                    });
+                    if self.interesting(&candidate).is_some() {
+                        *p = candidate;
+                        changed = true;
+                        // Same start index now holds the next chunk.
+                    } else {
+                        start = end;
+                    }
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk /= 2;
+            }
+            block += 1;
+        }
+        changed
+    }
+
+    /// Replace an `if` by its then-branch / a loop by its body.
+    fn unwrap_blocks(&mut self, p: &mut Program) -> bool {
+        let mut changed = false;
+        let mut block = 0;
+        while block < visit::block_count(p) {
+            let mut i = 0;
+            while i < visit::with_block_mut(p, block, |b| b.len()).unwrap_or(0) {
+                let replacement = visit::with_block_mut(p, block, |b| match &b[i] {
+                    Stmt::If { then_s, .. } if !then_s.is_empty() => Some(then_s.clone()),
+                    Stmt::Loop { body, .. } if !body.is_empty() => Some(body.clone()),
+                    _ => None,
+                })
+                .flatten();
+                if let Some(stmts) = replacement {
+                    let mut candidate = p.clone();
+                    visit::with_block_mut(&mut candidate, block, |b| {
+                        b.splice(i..=i, stmts);
+                    });
+                    if self.interesting(&candidate).is_some() {
+                        *p = candidate;
+                        changed = true;
+                        continue; // re-examine index i (now the first unwrapped stmt)
+                    }
+                }
+                i += 1;
+            }
+            block += 1;
+        }
+        changed
+    }
+
+    /// Replace subexpressions with simpler forms.
+    fn simplify_exprs(&mut self, p: &mut Program) -> bool {
+        let mut changed = false;
+        let mut idx = 0;
+        while idx < visit::expr_count(p) {
+            let current = visit::with_expr_mut(p, idx, |e| e.clone()).expect("index in range");
+            let mut candidates: Vec<Expr> = Vec::new();
+            match &current {
+                Expr::Const(0) => {}
+                Expr::Const(1) => candidates.push(Expr::Const(0)),
+                Expr::Bin(_, a, b) => {
+                    candidates.push(Expr::Const(0));
+                    candidates.push(Expr::Const(1));
+                    candidates.push((**a).clone());
+                    candidates.push((**b).clone());
+                }
+                _ => {
+                    candidates.push(Expr::Const(0));
+                    candidates.push(Expr::Const(1));
+                }
+            }
+            let mut replaced = false;
+            for cand in candidates {
+                if cand == current {
+                    continue;
+                }
+                let mut candidate = p.clone();
+                visit::with_expr_mut(&mut candidate, idx, |e| *e = cand);
+                if self.interesting(&candidate).is_some() {
+                    *p = candidate;
+                    changed = true;
+                    replaced = true;
+                    break;
+                }
+            }
+            // A successful replacement changes the tree under `idx`;
+            // re-examining the same index is sound (it now holds the
+            // simpler node) and guarantees progress because candidates
+            // strictly shrink.
+            if !replaced {
+                idx += 1;
+            }
+        }
+        changed
+    }
+
+    /// Drop unused globals and helpers (oracle-gated: dropping a global
+    /// also drops its epilogue print, which may be where the divergence
+    /// shows).
+    fn drop_unused_decls(&mut self, p: &mut Program) -> bool {
+        let mut changed = false;
+        let mut i = 0;
+        while i < p.helpers.len() {
+            if !visit::helper_called(p, i) {
+                let mut candidate = p.clone();
+                candidate.helpers.remove(i);
+                if self.interesting(&candidate).is_some() {
+                    *p = candidate;
+                    changed = true;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        let mut i = 0;
+        while i < p.globals.len() {
+            if !visit::referenced_names(p).contains(p.globals[i].name()) {
+                let mut candidate = p.clone();
+                candidate.globals.remove(i);
+                if self.interesting(&candidate).is_some() {
+                    *p = candidate;
+                    changed = true;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        changed
+    }
+}
+
+/// Shrinks `program` while the oracle keeps failing with the same arm
+/// and kind as `original`. Deterministic: identical inputs yield the
+/// identical reduced program.
+pub fn reduce(program: &Program, original: &Failure, oracle: &Oracle) -> Reduction {
+    let mut r = Reducer {
+        oracle,
+        arm_kind: (original.arm, original.kind),
+        runs: 0,
+    };
+    let mut p = program.clone();
+    let from_statements = p.statement_count();
+    let mut failure = original.clone();
+    loop {
+        let mut changed = false;
+        changed |= r.delete_statements(&mut p);
+        changed |= r.unwrap_blocks(&mut p);
+        changed |= r.simplify_exprs(&mut p);
+        changed |= r.drop_unused_decls(&mut p);
+        if !changed {
+            break;
+        }
+    }
+    if let Some(f) = r.interesting(&p) {
+        failure = f;
+    }
+    let to_statements = p.statement_count();
+    Reduction {
+        program: p,
+        failure,
+        from_statements,
+        to_statements,
+        oracle_runs: r.runs,
+    }
+}

@@ -1,0 +1,386 @@
+//! Deterministic addressing of AST nodes.
+//!
+//! The reducer mutates clones of a [`Program`] one node at a time. To do
+//! that repeatably it needs a stable enumeration of "the i-th block" and
+//! "the i-th expression": these walkers visit nodes in source order
+//! (main body first, then each helper), pre-order within a statement
+//! tree, so index `i` names the same node on every walk of an unchanged
+//! program.
+
+use crate::ast::{Expr, LValue, Program, Stmt};
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------
+// Blocks
+// ---------------------------------------------------------------------
+
+fn walk_blocks(
+    stmts: &mut Vec<Stmt>,
+    n: &mut usize,
+    target: usize,
+    f: &mut dyn FnMut(&mut Vec<Stmt>),
+) -> bool {
+    if *n == target {
+        f(stmts);
+        return true;
+    }
+    *n += 1;
+    for s in stmts.iter_mut() {
+        let hit = match s {
+            Stmt::If { then_s, else_s, .. } => {
+                walk_blocks(then_s, n, target, f) || walk_blocks(else_s, n, target, f)
+            }
+            Stmt::Loop { body, .. } => walk_blocks(body, n, target, f),
+            _ => false,
+        };
+        if hit {
+            return true;
+        }
+    }
+    false
+}
+
+/// Number of statement blocks in the program (every `Vec<Stmt>`: the
+/// main body, helper bodies, and each `if`/loop body).
+pub fn block_count(p: &Program) -> usize {
+    fn count(stmts: &[Stmt]) -> usize {
+        1 + stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::If { then_s, else_s, .. } => count(then_s) + count(else_s),
+                Stmt::Loop { body, .. } => count(body),
+                _ => 0,
+            })
+            .sum::<usize>()
+    }
+    count(&p.main_body) + p.helpers.iter().map(|h| count(&h.body)).sum::<usize>()
+}
+
+/// Applies `f` to the `idx`-th block (source order, pre-order). Returns
+/// `None` (without calling `f`) when `idx` is out of range.
+pub fn with_block_mut<R>(
+    p: &mut Program,
+    idx: usize,
+    f: impl FnOnce(&mut Vec<Stmt>) -> R,
+) -> Option<R> {
+    let mut slot = Some(f);
+    let mut result = None;
+    let mut apply = |b: &mut Vec<Stmt>| {
+        let f = slot.take().expect("visited once");
+        result = Some(f(b));
+    };
+    let mut n = 0;
+    if !walk_blocks(&mut p.main_body, &mut n, idx, &mut apply) {
+        for h in p.helpers.iter_mut() {
+            if walk_blocks(&mut h.body, &mut n, idx, &mut apply) {
+                break;
+            }
+        }
+    }
+    result
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+fn walk_expr(e: &mut Expr, n: &mut usize, target: usize, f: &mut dyn FnMut(&mut Expr)) -> bool {
+    if *n == target {
+        f(e);
+        return true;
+    }
+    *n += 1;
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::Deref(_) => false,
+        Expr::Index(_, i) => walk_expr(i, n, target, f),
+        Expr::Neg(a) | Expr::Not(a) => walk_expr(a, n, target, f),
+        Expr::Bin(_, a, b) => walk_expr(a, n, target, f) || walk_expr(b, n, target, f),
+        Expr::Call(_, args) => args.iter_mut().any(|a| walk_expr(a, n, target, f)),
+    }
+}
+
+fn walk_lvalue(
+    lv: &mut LValue,
+    n: &mut usize,
+    target: usize,
+    f: &mut dyn FnMut(&mut Expr),
+) -> bool {
+    match lv {
+        LValue::Index(_, i) => walk_expr(i, n, target, f),
+        LValue::Var(_) | LValue::Deref(_) => false,
+    }
+}
+
+fn walk_stmt_exprs(
+    stmts: &mut [Stmt],
+    n: &mut usize,
+    target: usize,
+    f: &mut dyn FnMut(&mut Expr),
+) -> bool {
+    for s in stmts.iter_mut() {
+        let hit = match s {
+            Stmt::DeclInt { init, .. } => walk_expr(init, n, target, f),
+            Stmt::Assign { lhs, rhs, .. } => {
+                walk_lvalue(lhs, n, target, f) || walk_expr(rhs, n, target, f)
+            }
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                walk_expr(cond, n, target, f)
+                    || walk_stmt_exprs(then_s, n, target, f)
+                    || walk_stmt_exprs(else_s, n, target, f)
+            }
+            Stmt::Loop { body, .. } => walk_stmt_exprs(body, n, target, f),
+            Stmt::Print(e) | Stmt::ExprStmt(e) => walk_expr(e, n, target, f),
+            Stmt::DeclPtr { .. }
+            | Stmt::DeclMalloc { .. }
+            | Stmt::DeclArr { .. }
+            | Stmt::Incr { .. }
+            | Stmt::PtrAssign { .. }
+            | Stmt::Break
+            | Stmt::Continue => false,
+        };
+        if hit {
+            return true;
+        }
+    }
+    false
+}
+
+fn count_expr(e: &Expr) -> usize {
+    1 + match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::Deref(_) => 0,
+        Expr::Index(_, i) => count_expr(i),
+        Expr::Neg(a) | Expr::Not(a) => count_expr(a),
+        Expr::Bin(_, a, b) => count_expr(a) + count_expr(b),
+        Expr::Call(_, args) => args.iter().map(count_expr).sum(),
+    }
+}
+
+fn count_stmt_exprs(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::DeclInt { init, .. } => count_expr(init),
+            Stmt::Assign { lhs, rhs, .. } => {
+                let lv = match lhs {
+                    LValue::Index(_, i) => count_expr(i),
+                    _ => 0,
+                };
+                lv + count_expr(rhs)
+            }
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => count_expr(cond) + count_stmt_exprs(then_s) + count_stmt_exprs(else_s),
+            Stmt::Loop { body, .. } => count_stmt_exprs(body),
+            Stmt::Print(e) | Stmt::ExprStmt(e) => count_expr(e),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Number of expression nodes in the program (nested subexpressions
+/// included).
+pub fn expr_count(p: &Program) -> usize {
+    count_stmt_exprs(&p.main_body)
+        + p.helpers
+            .iter()
+            .map(|h| count_stmt_exprs(&h.body) + count_expr(&h.ret))
+            .sum::<usize>()
+}
+
+/// Applies `f` to the `idx`-th expression node (source order, pre-order:
+/// a parent precedes its children). Returns `None` when out of range.
+pub fn with_expr_mut<R>(p: &mut Program, idx: usize, f: impl FnOnce(&mut Expr) -> R) -> Option<R> {
+    let mut slot = Some(f);
+    let mut result = None;
+    let mut apply = |e: &mut Expr| {
+        let f = slot.take().expect("visited once");
+        result = Some(f(e));
+    };
+    let mut n = 0;
+    if !walk_stmt_exprs(&mut p.main_body, &mut n, idx, &mut apply) {
+        for h in p.helpers.iter_mut() {
+            if walk_stmt_exprs(&mut h.body, &mut n, idx, &mut apply)
+                || walk_expr(&mut h.ret, &mut n, idx, &mut apply)
+            {
+                break;
+            }
+        }
+    }
+    result
+}
+
+// ---------------------------------------------------------------------
+// Name references (for dead-declaration cleanup)
+// ---------------------------------------------------------------------
+
+fn names_in_expr(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Const(_) => {}
+        Expr::Var(n) | Expr::Deref(n) => {
+            out.insert(n.clone());
+        }
+        Expr::Index(n, i) => {
+            out.insert(n.clone());
+            names_in_expr(i, out);
+        }
+        Expr::Neg(a) | Expr::Not(a) => names_in_expr(a, out),
+        Expr::Bin(_, a, b) => {
+            names_in_expr(a, out);
+            names_in_expr(b, out);
+        }
+        Expr::Call(f, args) => {
+            out.insert(f.clone());
+            for a in args {
+                names_in_expr(a, out);
+            }
+        }
+    }
+}
+
+fn names_in_stmts(stmts: &[Stmt], out: &mut BTreeSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::DeclInt { init, .. } => names_in_expr(init, out),
+            Stmt::DeclPtr { target, .. } | Stmt::PtrAssign { target, .. } => {
+                out.insert(target.clone());
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                match lhs {
+                    LValue::Var(n) | LValue::Deref(n) => {
+                        out.insert(n.clone());
+                    }
+                    LValue::Index(n, i) => {
+                        out.insert(n.clone());
+                        names_in_expr(i, out);
+                    }
+                }
+                names_in_expr(rhs, out);
+            }
+            Stmt::Incr { name, .. } => {
+                out.insert(name.clone());
+            }
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                names_in_expr(cond, out);
+                names_in_stmts(then_s, out);
+                names_in_stmts(else_s, out);
+            }
+            Stmt::Loop { body, .. } => names_in_stmts(body, out),
+            Stmt::Print(e) | Stmt::ExprStmt(e) => names_in_expr(e, out),
+            Stmt::DeclMalloc { .. } | Stmt::DeclArr { .. } | Stmt::Break | Stmt::Continue => {}
+        }
+    }
+}
+
+/// Every variable/function name the program's statements and expressions
+/// mention. Targets of `&x` and pointer reseats count as references;
+/// declarations themselves do not.
+pub fn referenced_names(p: &Program) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    names_in_stmts(&p.main_body, &mut out);
+    for h in &p.helpers {
+        names_in_stmts(&h.body, &mut out);
+        names_in_expr(&h.ret, &mut out);
+    }
+    out
+}
+
+/// Whether any *other* part of the program calls helper `helper_idx` (so
+/// an otherwise-unused self-recursive helper is still droppable).
+pub fn helper_called(p: &Program, helper_idx: usize) -> bool {
+    let name = &p.helpers[helper_idx].name;
+    let mut names = BTreeSet::new();
+    names_in_stmts(&p.main_body, &mut names);
+    for (i, h) in p.helpers.iter().enumerate() {
+        if i != helper_idx {
+            names_in_stmts(&h.body, &mut names);
+            names_in_expr(&h.ret, &mut names);
+        }
+    }
+    names.contains(name.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Helper, LoopKind};
+
+    fn sample() -> Program {
+        Program {
+            globals: vec![],
+            helpers: vec![Helper {
+                name: "f0".into(),
+                params: vec!["a".into()],
+                recursive: false,
+                body: vec![Stmt::Print(Expr::Var("a".into()))],
+                ret: Expr::Const(1),
+            }],
+            main_body: vec![
+                Stmt::DeclInt {
+                    name: "x".into(),
+                    init: Expr::Bin(
+                        BinOp::Add,
+                        Box::new(Expr::Const(1)),
+                        Box::new(Expr::Const(2)),
+                    ),
+                },
+                Stmt::Loop {
+                    kind: LoopKind::For,
+                    counter: "c0".into(),
+                    bound: 3,
+                    body: vec![Stmt::Incr {
+                        name: "x".into(),
+                        down: false,
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn block_enumeration_is_stable() {
+        let mut p = sample();
+        // main body, loop body, helper body.
+        assert_eq!(block_count(&p), 3);
+        assert_eq!(with_block_mut(&mut p, 0, |b| b.len()), Some(2));
+        assert_eq!(with_block_mut(&mut p, 1, |b| b.len()), Some(1));
+        assert_eq!(with_block_mut(&mut p, 2, |b| b.len()), Some(1));
+        assert_eq!(with_block_mut(&mut p, 3, |b| b.len()), None);
+    }
+
+    #[test]
+    fn expr_enumeration_is_preorder() {
+        let mut p = sample();
+        // x init: Bin, 1, 2; helper body print: a; helper ret: 1.
+        assert_eq!(expr_count(&p), 5);
+        assert_eq!(
+            with_expr_mut(&mut p, 0, |e| matches!(e, Expr::Bin(BinOp::Add, _, _))),
+            Some(true)
+        );
+        assert_eq!(
+            with_expr_mut(&mut p, 1, |e| matches!(e, Expr::Const(1))),
+            Some(true)
+        );
+        with_expr_mut(&mut p, 0, |e| *e = Expr::Const(9));
+        assert_eq!(expr_count(&p), 3);
+    }
+
+    #[test]
+    fn referenced_names_cover_all_sites() {
+        let p = sample();
+        let names = referenced_names(&p);
+        assert!(names.contains("x"));
+        assert!(names.contains("a"));
+        assert!(!names.contains("f0"), "f0 is declared, never called");
+        assert!(!helper_called(&p, 0));
+    }
+}

@@ -1,0 +1,27 @@
+//! Regression corpus: every reproducer checked in under `corpus/` once
+//! tripped the oracle (or the compiler itself) and must now pass the full
+//! configuration matrix. `promo-fuzz --replay corpus/<file>.c` runs the
+//! same check from the command line.
+
+use fuzz::{Oracle, OracleOptions, Verdict};
+use std::path::Path;
+
+#[test]
+fn checked_in_reproducers_stay_fixed() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "c"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "corpus must not be empty");
+    let oracle = Oracle::new(OracleOptions::default());
+    for path in entries {
+        let source = std::fs::read_to_string(&path).expect("readable reproducer");
+        match oracle.check(&source) {
+            Verdict::Pass => {}
+            v => panic!("{}: regressed: {v:?}", path.display()),
+        }
+    }
+}

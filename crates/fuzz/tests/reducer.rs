@@ -1,0 +1,53 @@
+//! Reducer guarantees, exercised through a *planted* miscompile: the
+//! sabotage hook bumps the first integer constant in `main` on the default
+//! arm only, so the oracle must fail, and the reducer must shrink the
+//! witness to a handful of statements — deterministically.
+
+use fuzz::{generate, reduce, FailureKind, Oracle, OracleOptions, Verdict};
+
+fn sabotage_oracle() -> Oracle {
+    Oracle::new(OracleOptions {
+        sabotage: true,
+        ..OracleOptions::default()
+    })
+}
+
+#[test]
+fn planted_miscompile_is_caught_and_shrinks() {
+    let oracle = sabotage_oracle();
+    // Seed 1's program prints a constant-derived value early, so the
+    // planted off-by-N is observable on the default arm.
+    let program = generate(1);
+    let failure = match oracle.check(&program.render()) {
+        Verdict::Fail(f) => f,
+        v => panic!("sabotage must trip the oracle, got {v:?}"),
+    };
+    assert_eq!(failure.kind, FailureKind::OutputMismatch);
+    let reduction = reduce(&program, &failure, &oracle);
+    assert!(
+        reduction.to_statements <= 15,
+        "reducer left {} statements (from {})",
+        reduction.to_statements,
+        reduction.from_statements
+    );
+    assert!(reduction.to_statements < reduction.from_statements);
+    // The reduced program still trips the same oracle check.
+    match oracle.check(&reduction.program.render()) {
+        Verdict::Fail(f) => assert_eq!(f.kind, failure.kind, "same failure kind after reduction"),
+        v => panic!("reduced program must still fail, got {v:?}"),
+    }
+}
+
+#[test]
+fn reduction_is_deterministic() {
+    let oracle = sabotage_oracle();
+    let program = generate(1);
+    let failure = match oracle.check(&program.render()) {
+        Verdict::Fail(f) => f,
+        v => panic!("sabotage must trip the oracle, got {v:?}"),
+    };
+    let a = reduce(&program, &failure, &oracle);
+    let b = reduce(&program, &failure, &oracle);
+    assert_eq!(a.program.render(), b.program.render());
+    assert_eq!(a.oracle_runs, b.oracle_runs);
+}

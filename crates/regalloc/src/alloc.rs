@@ -440,6 +440,21 @@ fn try_rematerialize(
             i += 1;
         }
     }
+    // Drop the original definitions: every use now has a fresh
+    // recomputation, so they are dead — and a dead def is not merely
+    // wasteful. It keeps its node (and full degree) in the interference
+    // graph, so select can pick it as the victim again next round, and
+    // rematerialization would "handle" it without touching the body:
+    // allocation livelocks re-spilling the same register forever.
+    for (bi, block) in func.blocks.iter_mut().enumerate() {
+        let before = block.instrs.len();
+        block
+            .instrs
+            .retain(|instr| !matches!(instr.def(), Some(d) if rematable.get(&d.0) == Some(instr)));
+        if block.instrs.len() != before {
+            dirty.insert(bi as u32);
+        }
+    }
     let n = rematable.len();
     for v in rematable.keys() {
         victims.remove(v);

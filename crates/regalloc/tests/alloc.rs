@@ -1,5 +1,6 @@
 //! Behavioural tests for the register allocator.
 
+use ir::{BinOp, FunctionBuilder, Instr, Module};
 use regalloc::{allocate, AllocOptions};
 use vm::{Vm, VmOptions};
 
@@ -162,6 +163,56 @@ int main() {
     };
     let (_, _, report) = check(src, &opts);
     assert!(report.spilled > 0);
+}
+
+#[test]
+fn dead_rematerializable_def_does_not_livelock() {
+    // Found by the differential fuzzer (promo-fuzz seed 0xc10039): a
+    // constant-like def with no remaining uses but full interference
+    // degree. Its spill cost is the lowest on the board, so select picks
+    // it as the victim every round — and rematerialization used to
+    // "handle" it without changing the body (no uses to rewrite), leaving
+    // the node in the graph and the allocator re-spilling it until the
+    // convergence assert fired. Rematerialization must delete the dead
+    // def so every round makes progress.
+    let mut b = FunctionBuilder::new("main", 0);
+    b.returns_value();
+    let c1 = b.iconst(1);
+    let c2 = b.iconst(2);
+    let c3 = b.iconst(3);
+    let c4 = b.iconst(4);
+    let _dead = b.iconst(42); // never used; interferes with c1..c4
+    let s = b.binary(BinOp::Add, c1, c2);
+    let t = b.binary(BinOp::Add, c3, c4);
+    let u = b.binary(BinOp::Add, s, t);
+    b.ret(Some(u));
+    let mut m = Module::new();
+    m.add_func(b.finish());
+    let opts = AllocOptions {
+        num_regs: 4,
+        max_rounds: 8,
+    };
+    let report = allocate(&mut m, &opts);
+    assert!(
+        report.rematerialized >= 1,
+        "the dead constant must be the spill victim (got {report:?})"
+    );
+    assert_eq!(report.spilled, 0, "nothing should reach memory");
+    ir::validate(&m).expect("valid after allocation");
+    // The dead def is gone, not merely recolored.
+    let main = &m.funcs[0];
+    let consts: Vec<i64> = main
+        .blocks
+        .iter()
+        .flat_map(|bl| &bl.instrs)
+        .filter_map(|i| match i {
+            Instr::IConst { value, .. } => Some(*value),
+            _ => None,
+        })
+        .collect();
+    assert!(!consts.contains(&42), "dead def deleted, found {consts:?}");
+    let out = Vm::run_main(&m, VmOptions::default()).expect("runs");
+    assert_eq!(out.exit_code, 10);
 }
 
 #[test]

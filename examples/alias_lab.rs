@@ -9,8 +9,7 @@
 //! Run with: `cargo run --example alias_lab`
 
 use analysis::AnalysisLevel;
-use driver::{compile_and_run, PipelineConfig};
-use vm::VmOptions;
+use driver::prelude::*;
 
 const PROGRAM: &str = r#"
 int hot;       // updated every iteration, also reachable through p
@@ -38,7 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for level in AnalysisLevel::ALL {
         let config = PipelineConfig::paper_variant(level, true);
-        let (outcome, report) = compile_and_run(PROGRAM, &config, VmOptions::default())?;
+        let c = Session::from_config(config).compile_and_run(PROGRAM)?;
+        let (outcome, report) = (c.outcome.expect("outcome populated"), c.report);
         let note = match level {
             AnalysisLevel::AddressTaken => "p may touch anything addressed: hot stays ambiguous",
             AnalysisLevel::ModRef => "address-taken set = {hot, cold}: still ambiguous",

@@ -8,7 +8,6 @@
 //! Run with: `cargo run --example compiler_explorer [file.c]`
 
 use analysis::AnalysisLevel;
-use driver::PipelineConfig;
 
 const DEMO: &str = r#"
 int hits;
@@ -59,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     banner("4. after the full pipeline (optimized + allocated)");
-    let (final_module, _) = driver::compile_with(&source, &PipelineConfig::default())?;
+    let final_module = driver::Session::default().compile(&source)?.module;
     println!("{final_module}");
 
     banner("execution");

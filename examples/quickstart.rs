@@ -5,8 +5,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use analysis::AnalysisLevel;
-use driver::{compile_and_run, PipelineConfig};
-use vm::VmOptions;
+use driver::prelude::*;
 
 const PROGRAM: &str = r#"
 int total;                 // a global: it lives in memory
@@ -27,7 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("source:\n{PROGRAM}");
     for promote in [false, true] {
         let config = PipelineConfig::paper_variant(AnalysisLevel::ModRef, promote);
-        let (outcome, report) = compile_and_run(PROGRAM, &config, VmOptions::default())?;
+        let c = Session::from_config(config).compile_and_run(PROGRAM)?;
+        let (outcome, report) = (c.outcome.expect("outcome populated"), c.report);
         println!(
             "promotion {:<3}  output={:?}  total={:>7}  loads={:>7}  stores={:>7}",
             if promote { "on" } else { "off" },

@@ -28,8 +28,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use register_promotion::driver::{compile_and_run, PipelineConfig};
-//! use register_promotion::analysis::AnalysisLevel;
+//! use register_promotion::driver::prelude::*;
 //!
 //! let source = r#"
 //!     int hits;
@@ -41,10 +40,13 @@
 //!     }
 //! "#;
 //! // The paper's experiment: same program, promotion off vs on.
-//! let off = PipelineConfig::paper_variant(AnalysisLevel::ModRef, false);
-//! let on = PipelineConfig::paper_variant(AnalysisLevel::ModRef, true);
-//! let (base, _) = compile_and_run(source, &off, Default::default())?;
-//! let (promoted, _) = compile_and_run(source, &on, Default::default())?;
+//! let run = |promote| -> Result<Outcome, Error> {
+//!     let config = PipelineConfig::paper_variant(AnalysisLevel::ModRef, promote);
+//!     Session::from_config(config)
+//!         .compile(source)?
+//!         .run(VmOptions::default())
+//! };
+//! let (base, promoted) = (run(false)?, run(true)?);
 //! assert_eq!(base.output, promoted.output);
 //! assert!(promoted.counts.stores < base.counts.stores / 100);
 //! # Ok::<(), Box<dyn std::error::Error>>(())

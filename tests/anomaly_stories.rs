@@ -1,9 +1,7 @@
 //! The paper's three degradation anecdotes, reproduced as assertions.
 
 use analysis::AnalysisLevel;
-use driver::{compile_and_run, PipelineConfig};
-use regalloc::AllocOptions;
-use vm::VmOptions;
+use driver::prelude::*;
 
 fn run_pair(src: &str, k: Option<usize>) -> (vm::ExecCounts, vm::ExecCounts) {
     let mut counts = Vec::new();
@@ -16,7 +14,11 @@ fn run_pair(src: &str, k: Option<usize>) -> (vm::ExecCounts, vm::ExecCounts) {
                 ..Default::default()
             });
         }
-        let (out, _) = compile_and_run(src, &config, VmOptions::default()).expect("run");
+        let out = Session::from_config(config)
+            .compile_and_run(src)
+            .expect("run")
+            .outcome
+            .expect("outcome populated");
         match &output {
             None => output = Some(out.output.clone()),
             Some(r) => assert_eq!(r, &out.output),

@@ -4,8 +4,14 @@
 //! a register `rb` exactly as the figure's transformed code shows.
 
 use analysis::AnalysisLevel;
-use driver::{compile_and_run, PipelineConfig};
-use vm::VmOptions;
+use driver::prelude::*;
+
+/// Compiles and executes through the Session API, returning the outcome
+/// and report pair the old tuple helpers used to.
+fn run_config(src: &str, config: PipelineConfig) -> Result<(Outcome, PipelineReport), Error> {
+    let c = Session::from_config(config).compile_and_run(src)?;
+    Ok((c.outcome.expect("outcome populated"), c.report))
+}
 
 const DIM_X: i64 = 12;
 const DIM_Y: i64 = 16;
@@ -55,8 +61,8 @@ fn pointer_promotion_keeps_b_i_in_a_register() {
         pointer_promote: true,
         ..scalar_only.clone()
     };
-    let (base, _) = compile_and_run(&src, &scalar_only, VmOptions::default()).expect("scalar");
-    let (ptr, report) = compile_and_run(&src, &with_ptr, VmOptions::default()).expect("pointer");
+    let (base, _) = run_config(&src, scalar_only.clone()).expect("scalar");
+    let (ptr, report) = run_config(&src, with_ptr).expect("pointer");
     assert_eq!(base.output, ptr.output);
     assert_eq!(base.output, vec![expected_sum().to_string()]);
     assert!(
@@ -81,11 +87,10 @@ fn scalar_promotion_alone_cannot_do_this() {
     // The paper's point: the loop-based scalar algorithm does not promote
     // array references; only §3.3 catches B[i].
     let src = figure3_source();
-    let (module, report) = driver::compile_with(
-        &src,
-        &PipelineConfig::paper_variant(AnalysisLevel::PointsTo, true),
-    )
-    .expect("compile");
+    let c = Session::from_config(PipelineConfig::paper_variant(AnalysisLevel::PointsTo, true))
+        .compile(&src)
+        .expect("compile");
+    let (module, report) = (c.module, c.report);
     assert_eq!(report.promotion.pointer.promoted_bases, 0);
     // The inner loop still stores through a pointer into B every iteration.
     let b_tag = module.tags.lookup("g:B").expect("B's tag");

@@ -1,8 +1,14 @@
 //! Direct tests of the paper's prose claims, sentence by sentence.
 
 use analysis::AnalysisLevel;
-use driver::{compile_and_run, PipelineConfig};
-use vm::VmOptions;
+use driver::prelude::*;
+
+/// Compiles and executes through the Session API, returning the outcome
+/// and report pair the old tuple helpers used to.
+fn run(src: &str, config: PipelineConfig) -> Result<(Outcome, PipelineReport), Error> {
+    let c = Session::from_config(config).compile_and_run(src)?;
+    Ok((c.outcome.expect("outcome populated"), c.report))
+}
 
 /// §5: "Register promotion's main benefit seems to be transforming
 /// multiple stores of a promoted variable in a loop to a single store at
@@ -24,7 +30,7 @@ int main() {
     // The FULL optimizer without promotion: value numbering, load
     // elimination, constant propagation, LICM, DCE, clean, allocation.
     let no_promo = PipelineConfig::paper_variant(AnalysisLevel::PointsTo, false);
-    let (base, _) = compile_and_run(src, &no_promo, VmOptions::default()).unwrap();
+    let (base, _) = run(src, no_promo).unwrap();
     assert!(
         base.counts.stores >= 1000,
         "no other pass removes the loop stores: {}",
@@ -32,7 +38,7 @@ int main() {
     );
     // Promotion converts them to one store at the loop exit.
     let promo = PipelineConfig::paper_variant(AnalysisLevel::PointsTo, true);
-    let (with, _) = compile_and_run(src, &promo, VmOptions::default()).unwrap();
+    let (with, _) = run(src, promo).unwrap();
     assert_eq!(base.output, with.output);
     assert!(
         with.counts.stores <= 2,
@@ -51,8 +57,7 @@ fn modref_matches_pointer_analysis_where_the_paper_says_so() {
         let mut per_level = Vec::new();
         for level in [AnalysisLevel::ModRef, AnalysisLevel::PointsTo] {
             let config = PipelineConfig::paper_variant(level, true);
-            let (out, _) = compile_and_run(b.source, &config, VmOptions::default())
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let (out, _) = run(b.source, config).unwrap_or_else(|e| panic!("{name}: {e}"));
             per_level.push((out.counts.loads, out.counts.stores));
         }
         assert_eq!(per_level[0], per_level[1], "{name}: modref == pointer");
@@ -113,7 +118,7 @@ int main() {
 }
 "#;
     let config = PipelineConfig::paper_variant(AnalysisLevel::PointsTo, true);
-    let (out, report) = compile_and_run(src, &config, VmOptions::default()).unwrap();
+    let (out, report) = run(src, config).unwrap();
     assert_eq!(out.output, vec!["100", "100"]);
     // Neither x nor y may be enregistered (either may be *p)... but the
     // pointer variable p itself is an unaliased global scalar, and
@@ -153,7 +158,7 @@ int main() {
 }
 "#;
     let config = PipelineConfig::paper_variant(AnalysisLevel::ModRef, true);
-    let (out, _) = compile_and_run(src, &config, VmOptions::default()).unwrap();
+    let (out, _) = run(src, config).unwrap();
     assert_eq!(out.output, vec!["1000"]);
     // One load before the nest, one store after: not 10 or 100.
     assert!(out.counts.loads <= 5, "loads = {}", out.counts.loads);
@@ -181,7 +186,7 @@ int main() {
 "#;
     // Promotion off so the access class is visible in the counts.
     let config = PipelineConfig::paper_variant(AnalysisLevel::PointsTo, false);
-    let (out, _) = compile_and_run(src, &config, VmOptions::default()).unwrap();
+    let (out, _) = run(src, config).unwrap();
     assert_eq!(out.output, vec!["45"]);
     assert_eq!(
         out.counts.ptr_loads, 0,

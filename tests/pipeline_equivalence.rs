@@ -8,8 +8,7 @@
 //! covers the three fastest suite programs plus targeted mini-programs.
 
 use analysis::AnalysisLevel;
-use driver::{compile_and_run, PipelineConfig};
-use vm::VmOptions;
+use driver::prelude::*;
 
 fn all_variants() -> Vec<(String, PipelineConfig)> {
     let mut v: Vec<(String, PipelineConfig)> =
@@ -56,8 +55,11 @@ fn all_variants() -> Vec<(String, PipelineConfig)> {
 fn check_program(name: &str, src: &str) {
     let mut reference: Option<(String, Vec<String>)> = None;
     for (label, config) in all_variants() {
-        let (out, _) = compile_and_run(src, &config, VmOptions::default())
-            .unwrap_or_else(|e| panic!("{name} [{label}]: {e}"));
+        let out = Session::from_config(config)
+            .compile_and_run(src)
+            .unwrap_or_else(|e| panic!("{name} [{label}]: {e}"))
+            .outcome
+            .expect("outcome populated");
         match &reference {
             None => reference = Some((label, out.output)),
             Some((ref_label, ref_out)) => assert_eq!(

@@ -176,8 +176,11 @@ fn pipeline_preserves_behaviour_on_random_programs() {
         let src = random_program(&mut rng);
         let mut reference: Option<Vec<String>> = None;
         for (label, config) in driver::PipelineConfig::figure_variants() {
-            let (out, _) = driver::compile_and_run(&src, &config, vm::VmOptions::default())
-                .unwrap_or_else(|e| panic!("{label} on\n{src}\n: {e}"));
+            let out = driver::Session::from_config(config)
+                .compile_and_run(&src)
+                .unwrap_or_else(|e| panic!("{label} on\n{src}\n: {e}"))
+                .outcome
+                .expect("outcome populated");
             match &reference {
                 None => reference = Some(out.output),
                 Some(r) => {

@@ -5,13 +5,15 @@
 //! program output.
 
 use analysis::AnalysisLevel;
-use driver::{compile_and_run, PipelineConfig};
-use vm::VmOptions;
+use driver::prelude::*;
 
 fn promoted_tags(src: &str, level: AnalysisLevel) -> (usize, Vec<String>) {
     let config = PipelineConfig::paper_variant(level, true);
-    let (out, report) = compile_and_run(src, &config, VmOptions::default()).expect("pipeline");
-    (report.promotion.scalar.promoted_tags, out.output)
+    let c = Session::from_config(config)
+        .compile_and_run(src)
+        .expect("pipeline");
+    let out = c.outcome.expect("outcome populated");
+    (c.report.promotion.scalar.promoted_tags, out.output)
 }
 
 #[test]
