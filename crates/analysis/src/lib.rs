@@ -28,6 +28,7 @@ mod modref;
 mod points_to;
 mod steensgaard;
 mod strength;
+mod summary;
 
 pub use callgraph::{tarjan_sccs, CallGraph, Sccs};
 pub use modref::{
@@ -40,6 +41,7 @@ pub use points_to::{
 };
 pub use steensgaard::{analyze as steensgaard_analyze, apply as steensgaard_apply, Steensgaard};
 pub use strength::singleton_is_unique_cell;
+pub use summary::modref_summary_hashes;
 
 use ir::{Instr, Module, TagSet};
 use std::fmt;

@@ -20,6 +20,7 @@
 //!         [--max-2t-slowdown X] [--max-analysis-builds N]
 //!         [--max-trace-overhead X] [--max-transfer-visits N]
 //!         [--max-allocs N] [--max-frontend-allocs N]
+//!         [--max-recompiled-funcs N] [--min-cache-hit-rate X]
 //!         [--no-scratch] [--fresh-frontend] [--force-sweep]`
 //!
 //! With `--max-2t-slowdown X` the process exits nonzero if the 2-worker
@@ -85,6 +86,25 @@
 //! from silently regressing. `--fresh-frontend` flips the *timed* e2e
 //! runs to the classic front end for A/B experiments (the two front-end
 //! alloc columns are always measured in their own modes regardless).
+//!
+//! The **warm-edit** scenario measures incremental recompilation the way
+//! a developer experiences it: an incremental [`driver::Session`]
+//! compiles [`benchsuite::warm_edit_pair`]'s base program to populate the
+//! per-function fingerprint cache, then recompiles the edited variant —
+//! one function's body changed, signatures and MOD/REF summaries intact —
+//! with the round trip back to the base state kept outside the timed
+//! region. The JSON's `warm_edit` object records `funcs_recompiled`,
+//! `cache_hit_rate`, the warm-edit end-to-end time, and the cold
+//! end-to-end time of the same edited source on a non-incremental
+//! session (same warm front end, so the delta is purely the middle end's
+//! cache). The warm output is asserted byte-identical to the cold one.
+//! With `--max-recompiled-funcs N` the process exits nonzero if the edit
+//! recompiled more than `N` functions — the CI gate against invalidation
+//! going coarse (e.g. a pure body edit spuriously invalidating its
+//! callers). With `--min-cache-hit-rate X` it exits nonzero if the warm
+//! edit's hit rate drops below `X` — the gate against the cache silently
+//! missing (a fingerprint picking up compile-order noise would show up
+//! here long before anyone noticed slow rebuilds).
 
 use bench_harness::timing::measure;
 use driver::{run_pipeline_in, run_pipeline_traced, PipelineConfig, WorkerPool};
@@ -224,6 +244,8 @@ fn main() {
     let mut max_transfer_visits: Option<u64> = None;
     let mut max_allocs: Option<u64> = None;
     let mut max_frontend_allocs: Option<u64> = None;
+    let mut max_recompiled_funcs: Option<usize> = None;
+    let mut min_cache_hit_rate: Option<f64> = None;
     let mut reuse_scratch = true;
     let mut fresh_frontend = false;
     let mut force_sweep = false;
@@ -247,6 +269,12 @@ fn main() {
         } else if a == "--max-frontend-allocs" {
             let v = args.next().expect("--max-frontend-allocs needs a value");
             max_frontend_allocs = Some(v.parse().expect("--max-frontend-allocs value"));
+        } else if a == "--max-recompiled-funcs" {
+            let v = args.next().expect("--max-recompiled-funcs needs a value");
+            max_recompiled_funcs = Some(v.parse().expect("--max-recompiled-funcs value"));
+        } else if a == "--min-cache-hit-rate" {
+            let v = args.next().expect("--min-cache-hit-rate needs a value");
+            min_cache_hit_rate = Some(v.parse().expect("--min-cache-hit-rate value"));
         } else if a == "--no-scratch" {
             reuse_scratch = false;
         } else if a == "--fresh-frontend" {
@@ -487,6 +515,55 @@ fn main() {
         });
     }
 
+    // Warm-edit scenario: one function of `compress` edited on an
+    // incremental session whose cache holds the base program. Each timed
+    // iteration recompiles the edit; the untimed base compile in between
+    // restores the cache to the pre-edit state, so every sample measures
+    // the same one-function miss rather than an all-hit splice.
+    eprintln!("benchmarking warm-edit ...");
+    let pair = benchsuite::warm_edit_pair();
+    let warm_session = driver::Session::builder()
+        .threads(Some(1))
+        .incremental(true)
+        .build();
+    let cold_session = driver::Session::builder().threads(Some(1)).build();
+    warm_session.compile(pair.base).expect("base compiles warm");
+    let cold_edited = cold_session.compile(&pair.edited).expect("edited compiles");
+    let warm_edited = warm_session
+        .compile(&pair.edited)
+        .expect("edited compiles warm");
+    assert_eq!(
+        warm_edited.module.to_string(),
+        cold_edited.module.to_string(),
+        "warm-edit splice diverged from a cold compile"
+    );
+    let mut warm_edit_incr = warm_edited
+        .report
+        .incremental
+        .clone()
+        .expect("incremental session reports cache activity");
+    let mut warm_edit_ms = f64::INFINITY;
+    for _ in 0..FRONT_ITERS {
+        warm_session.compile(pair.base).expect("base compiles warm");
+        let started = std::time::Instant::now();
+        let c = warm_session
+            .compile(&pair.edited)
+            .expect("edited compiles warm");
+        warm_edit_ms = warm_edit_ms.min(ms(started.elapsed()));
+        warm_edit_incr = c
+            .report
+            .incremental
+            .clone()
+            .expect("incremental session reports cache activity");
+    }
+    // The cold side of the comparison: the same edited source through a
+    // non-incremental session. Its front end is just as warm, so the
+    // delta isolates the per-function cache.
+    let cold_edit_timing = measure(FRONT_ITERS, || {
+        cold_session.compile(&pair.edited).expect("edited compiles");
+    });
+    let cold_edit_ms = ms(cold_edit_timing.min);
+
     let total_at = |ti: usize| -> f64 { results.iter().map(|r| r.runs[ti].ms).sum() };
     let totals: Vec<f64> = (0..sweep.len()).map(total_at).collect();
     let total_seq = totals[0];
@@ -579,6 +656,23 @@ fn main() {
         json,
         "  \"frontend_alloc_stats_fresh\": {},",
         alloc_json(&total_front_allocs_fresh)
+    );
+    let _ = writeln!(
+        json,
+        "  \"warm_edit\": {{ \"program\": \"{}\", \"funcs_total\": {}, \
+         \"funcs_recompiled\": {}, \"cache_hits\": {}, \
+         \"summary_invalidated\": {}, \"cache_hit_rate\": {:.3}, \
+         \"warm_edit_e2e_ms\": {:.3}, \"cold_edit_e2e_ms\": {:.3}, \
+         \"speedup\": {:.3} }},",
+        pair.name,
+        warm_edit_incr.funcs_total,
+        warm_edit_incr.funcs_recompiled,
+        warm_edit_incr.cache_hits,
+        warm_edit_incr.summary_invalidated,
+        warm_edit_incr.hit_rate(),
+        warm_edit_ms,
+        cold_edit_ms,
+        cold_edit_ms / warm_edit_ms.max(1e-9)
     );
     json.push_str("  \"totals\": [\n");
     for (i, (&t, total)) in sweep.iter().zip(&totals).enumerate() {
@@ -717,6 +811,15 @@ fn main() {
         "  end-to-end (source -> optimized IL, {} front end): {total_e2e:.1} ms",
         if fresh_frontend { "classic" } else { "warm" }
     );
+    println!(
+        "  warm edit ({}): {}/{} funcs recompiled (hit rate {:.3}), \
+         {warm_edit_ms:.3} ms warm vs {cold_edit_ms:.3} ms cold ({:.2}x)",
+        pair.name,
+        warm_edit_incr.funcs_recompiled,
+        warm_edit_incr.funcs_total,
+        warm_edit_incr.hit_rate(),
+        cold_edit_ms / warm_edit_ms.max(1e-9)
+    );
     println!("  2-thread speedup {speedup_2t:.3}x -> {out_path}");
 
     let mut failed = false;
@@ -778,6 +881,31 @@ fn main() {
             failed = true;
         } else {
             println!("  gate: {got} front-end allocations within limit {limit}");
+        }
+    }
+    if let Some(limit) = max_recompiled_funcs {
+        let got = warm_edit_incr.funcs_recompiled;
+        if got > limit {
+            eprintln!(
+                "FAIL: the warm edit recompiled {got} function(s) (limit {limit}) \
+                 — invalidation went coarse; a one-function edit should not \
+                 ripple past its summary-dependent callers"
+            );
+            failed = true;
+        } else {
+            println!("  gate: warm edit recompiled {got} function(s) within limit {limit}");
+        }
+    }
+    if let Some(limit) = min_cache_hit_rate {
+        let got = warm_edit_incr.hit_rate();
+        if got < limit {
+            eprintln!(
+                "FAIL: warm-edit cache hit rate {got:.3} below floor {limit:.3} \
+                 — fingerprints are missing on unchanged functions"
+            );
+            failed = true;
+        } else {
+            println!("  gate: warm-edit cache hit rate {got:.3} above floor {limit:.3}");
         }
     }
     if let Some(limit) = max_trace_overhead {

@@ -145,6 +145,38 @@ pub fn find(name: &str) -> Option<&'static Benchmark> {
     SUITE.iter().find(|b| b.name == name)
 }
 
+/// A two-version program for the warm-edit (incremental recompilation)
+/// benchmark: `edited` differs from `base` in exactly one function body,
+/// with every signature, global, and MOD/REF summary unchanged — the
+/// canonical "developer tweaks one function and recompiles" scenario.
+/// Kept separate from [`SUITE`] so the paper's 14-program figure stays
+/// exactly 14 entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmEditPair {
+    /// The suite program the pair is based on.
+    pub name: &'static str,
+    /// The unedited source, identical to the suite entry.
+    pub base: &'static str,
+    /// The edited source: one function body changed.
+    pub edited: String,
+}
+
+/// Builds the warm-edit scenario: `compress` with the byte-skew
+/// constants of `next_byte` changed. The edit alters only that
+/// function's arithmetic — `next_byte` still touches exactly the same
+/// globals — so an incremental compiler should recompile `next_byte`
+/// alone and splice every other function from its cache.
+pub fn warm_edit_pair() -> WarmEditPair {
+    let base = find("compress").expect("compress is in the suite").source;
+    let needle = "if (b > 128) b = b % 32;";
+    assert!(base.contains(needle), "compress lost its skew line");
+    WarmEditPair {
+        name: "compress",
+        base,
+        edited: base.replace(needle, "if (b > 120) b = b % 64;"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +200,34 @@ mod tests {
             ir::validate(&module).unwrap_or_else(|e| panic!("{}: invalid IL: {e}", b.name));
             assert!(module.main().is_some(), "{} has a main", b.name);
         }
+    }
+
+    #[test]
+    fn warm_edit_pair_is_a_single_function_edit() {
+        let pair = warm_edit_pair();
+        assert_ne!(pair.base, pair.edited, "the edit changes the text");
+        for (label, src) in [("base", pair.base), ("edited", pair.edited.as_str())] {
+            let module = minic::compile(src).unwrap_or_else(|e| panic!("{label}: {e}"));
+            ir::validate(&module).unwrap_or_else(|e| panic!("{label}: invalid IL: {e}"));
+            let out = vm::Vm::run_main(&module, vm::VmOptions::default())
+                .unwrap_or_else(|e| panic!("{label} failed to run: {e}"));
+            assert_eq!(out.exit_code, 0, "{label} exits cleanly");
+        }
+        // Same function set, same context: the edit lives inside one body.
+        let base_fp = minic::source_fingerprint(pair.base);
+        let edit_fp = minic::source_fingerprint(&pair.edited);
+        assert_eq!(
+            base_fp.context, edit_fp.context,
+            "globals and signatures untouched"
+        );
+        let names = |fp: &minic::SourceFingerprint| -> Vec<String> {
+            fp.funcs.iter().map(|f| f.name.clone()).collect()
+        };
+        assert_eq!(
+            names(&base_fp),
+            names(&edit_fp),
+            "no function added or removed"
+        );
     }
 
     #[test]

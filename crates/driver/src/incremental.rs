@@ -1,0 +1,552 @@
+//! Content-addressed incremental recompilation.
+//!
+//! A [`FuncCache`] memoizes each function's trip through the fused
+//! intra-procedural pass chain across compiles of the *same*
+//! [`crate::Session`]. The key is a 64-bit **fingerprint** of everything
+//! the chain's output can depend on:
+//!
+//! * the function's canonical post-lowering body ([`ir::hash::body_hash`]
+//!   — structural, resolved through tag and function *names*, so arena
+//!   index shifts between compiles do not perturb it),
+//! * the interprocedural facts the analysis barrier wrote into the body
+//!   — call-site MOD/REF lists, refined pointer tag sets, and the
+//!   referenced tags' interned attributes ([`ir::hash::facts_hash`]),
+//! * the function's transitive MOD/REF summary digest
+//!   ([`analysis::modref_summary_hashes`] — this is what propagates a
+//!   *callee's* behaviour change up the call graph, per
+//!   [`analysis::CallGraph::callers`], even when the caller's own body
+//!   is untouched),
+//! * the output-affecting [`crate::PipelineConfig`] fields, and
+//! * whether the function sits on a call-graph cycle.
+//!
+//! On a hit the cached function body is *spliced* back into the module:
+//! tag and function ids are re-resolved by name against the current
+//! module (ids shift when the edit added or removed definitions), the
+//! cached chain counters and remark events are replayed, and the cached
+//! pending spill tags rejoin the sequential function-index-order commit —
+//! so a warm compile's module, report counters, and remark stream are
+//! byte-identical to a cold compile's. Only fingerprint misses go through
+//! the chain, and the worker pool fans out over exactly that residual
+//! set.
+//!
+//! Entries are evicted least-recently-used when the cache exceeds its
+//! byte budget ([`crate::SessionBuilder::cache_budget`]).
+
+use crate::pipeline::{FuncOutcome, PipelineConfig};
+use analysis::AnalysisLevel;
+use ir::hash::{body_hash, fx_mix, FxHasher};
+use ir::{DenseTagSet, Function, Instr, Module, TagId, TagSet};
+use regalloc::PROVISIONAL_SPILL_BASE;
+use std::collections::HashMap;
+use std::hash::Hasher;
+use trace::PassEvent;
+
+/// Default cache byte budget: plenty for every in-tree workload while
+/// still bounding a long-lived compile service.
+pub const DEFAULT_CACHE_BUDGET: usize = 64 << 20;
+
+/// What the incremental layer did during one compile — the per-run view
+/// surfaced as [`crate::PipelineReport::incremental`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IncrementalReport {
+    /// Functions in the module.
+    pub funcs_total: usize,
+    /// Functions that went through the fused pass chain (fingerprint
+    /// misses).
+    pub funcs_recompiled: usize,
+    /// Functions spliced from the cache.
+    pub cache_hits: usize,
+    /// Misses whose own body hash was unchanged — the function was
+    /// recompiled only because an interprocedural fact changed under it
+    /// (a callee's MOD/REF summary, a referenced tag's attributes) or
+    /// the configuration changed.
+    pub summary_invalidated: usize,
+    /// Entries evicted by the byte budget after this compile.
+    pub evictions: usize,
+    /// Cache size in (approximate) bytes after this compile.
+    pub cache_bytes: usize,
+}
+
+impl IncrementalReport {
+    /// Hits over total functions, in `[0, 1]` (1.0 for an empty module).
+    pub fn hit_rate(&self) -> f64 {
+        if self.funcs_total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / self.funcs_total as f64
+        }
+    }
+}
+
+/// One memoized function: the chain's output plus everything needed to
+/// replay it into a later compile of a (possibly edited) module.
+struct CacheEntry {
+    /// Full fingerprint (body + facts + summary + config + recursion).
+    fp: u64,
+    /// The body component alone, kept separate so a miss can be
+    /// classified: same body but different `fp` means an interprocedural
+    /// fact or config change invalidated the function.
+    h_body: u64,
+    /// Raw-text hint from [`minic::source_fingerprint`] at store time;
+    /// when the next compile's hint matches, `h_body` is reused without
+    /// re-walking the lowered IR.
+    text_hint: Option<u64>,
+    /// Post-chain body with provisional spill ids still in place (the
+    /// spill commit is replayed per compile so tag ids come out in
+    /// function-index order, exactly as a cold compile interns them).
+    body: Function,
+    /// Names of every non-provisional tag id the body references, for
+    /// re-resolution against the next compile's tag table.
+    tag_names: Vec<(u32, String)>,
+    /// Names of every function id the body references.
+    func_names: Vec<(u32, String)>,
+    /// Chain counters, allocation report, and pending spills to replay.
+    /// The stored per-pass timing rows are *not* replayed into warm
+    /// reports — a hit spends none of that time — but ride along for
+    /// inspection.
+    outcome: FuncOutcome,
+    /// The chain's trace-event suffix (empty when the config traces
+    /// nothing), replayed verbatim so warm remark streams match cold.
+    events: Vec<PassEvent>,
+    /// Approximate heap footprint, for the eviction budget.
+    approx_bytes: usize,
+    /// Last compile tick that stored or spliced this entry (LRU clock).
+    last_used: u64,
+}
+
+/// The per-session function cache. See the module docs for the
+/// fingerprint definition and splice semantics.
+pub struct FuncCache {
+    entries: HashMap<String, CacheEntry>,
+    byte_budget: usize,
+    bytes: usize,
+    tick: u64,
+}
+
+impl std::fmt::Debug for FuncCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FuncCache")
+            .field("entries", &self.entries.len())
+            .field("bytes", &self.bytes)
+            .field("byte_budget", &self.byte_budget)
+            .finish()
+    }
+}
+
+impl FuncCache {
+    /// An empty cache with the given eviction budget in bytes.
+    pub fn new(byte_budget: usize) -> FuncCache {
+        FuncCache {
+            entries: HashMap::new(),
+            byte_budget,
+            bytes: 0,
+            tick: 0,
+        }
+    }
+
+    /// Number of cached functions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate bytes held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Advances the LRU clock; called once per compile.
+    pub(crate) fn begin_compile(&mut self) {
+        self.tick += 1;
+    }
+
+    /// If `name` is cached and was stored under exactly this raw-text
+    /// hint, returns the memoized body hash — the short-circuit that lets
+    /// unchanged source text skip the canonical IR walk entirely.
+    pub(crate) fn cached_body_hash(&self, name: &str, hint: u64) -> Option<u64> {
+        let e = self.entries.get(name)?;
+        (e.text_hint == Some(hint)).then_some(e.h_body)
+    }
+
+    /// The cached body-hash component for `name`, if any (for miss
+    /// classification).
+    pub(crate) fn peek_body_hash(&self, name: &str) -> Option<u64> {
+        self.entries.get(name).map(|e| e.h_body)
+    }
+
+    /// Attempts a cache hit for function `fi` of `module`: the entry must
+    /// exist under the function's name, carry fingerprint `fp`, and every
+    /// tag and function name it references must resolve in the current
+    /// module. On success the cached body (ids remapped) replaces
+    /// `module.funcs[fi]` and the chain outcome plus trace-event suffix
+    /// are returned; any failure is reported as `None` (a plain miss).
+    pub(crate) fn splice(
+        &mut self,
+        module: &mut Module,
+        fi: usize,
+        fp: u64,
+    ) -> Option<(FuncOutcome, Vec<PassEvent>)> {
+        let tick = self.tick;
+        let entry = self.entries.get_mut(&module.funcs[fi].name)?;
+        if entry.fp != fp {
+            return None;
+        }
+        let body = remap_body(entry, module)?;
+        entry.last_used = tick;
+        let mut outcome = entry.outcome.clone();
+        // A spliced function spends no chain time *this* compile; replaying
+        // the stored rows would overstate the warm run's per-pass cost.
+        outcome.timings.clear();
+        let events = entry.events.clone();
+        module.funcs[fi] = body;
+        Some((outcome, events))
+    }
+
+    /// Memoizes function `fi`'s chain output. Must be called *before* the
+    /// spill commit mutates the body: the stored copy keeps its
+    /// provisional spill ids so the commit can be replayed per compile.
+    pub(crate) fn store(
+        &mut self,
+        module: &Module,
+        fi: usize,
+        fp: u64,
+        h_body: u64,
+        text_hint: Option<u64>,
+        outcome: &FuncOutcome,
+        events: Vec<PassEvent>,
+    ) {
+        let func = &module.funcs[fi];
+        let mut tag_ids: Vec<u32> = Vec::new();
+        let mut func_ids: Vec<u32> = Vec::new();
+        for b in &func.blocks {
+            for instr in &b.instrs {
+                collect_refs(instr, &mut tag_ids, &mut func_ids);
+            }
+        }
+        tag_ids.sort_unstable();
+        tag_ids.dedup();
+        func_ids.sort_unstable();
+        func_ids.dedup();
+        let tag_names: Vec<(u32, String)> = tag_ids
+            .into_iter()
+            .filter(|&id| id < PROVISIONAL_SPILL_BASE)
+            .map(|id| (id, module.tags.info(TagId(id)).name.clone()))
+            .collect();
+        let func_names: Vec<(u32, String)> = func_ids
+            .into_iter()
+            .map(|id| (id, module.funcs[id as usize].name.clone()))
+            .collect();
+        let entry = CacheEntry {
+            fp,
+            h_body,
+            text_hint,
+            body: func.clone(),
+            approx_bytes: approx_entry_bytes(func, &tag_names, &func_names, &events),
+            tag_names,
+            func_names,
+            outcome: outcome.clone(),
+            events,
+            last_used: self.tick,
+        };
+        if let Some(old) = self.entries.insert(func.name.clone(), entry) {
+            self.bytes -= old.approx_bytes;
+        }
+        self.bytes += self.entries[&func.name].approx_bytes;
+    }
+
+    /// Evicts least-recently-used entries until the cache fits its byte
+    /// budget; returns how many were dropped.
+    pub(crate) fn evict_to_budget(&mut self) -> usize {
+        let mut evicted = 0;
+        while self.bytes > self.byte_budget && !self.entries.is_empty() {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(name, e)| (e.last_used, name.as_str()))
+                .map(|(name, _)| name.clone())
+                .expect("non-empty cache has a minimum");
+            let old = self.entries.remove(&victim).expect("victim exists");
+            self.bytes -= old.approx_bytes;
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// Rough per-entry heap footprint: instruction payloads, name tables,
+/// and trace events, plus a fixed overhead for the maps and vectors.
+fn approx_entry_bytes(
+    func: &Function,
+    tag_names: &[(u32, String)],
+    func_names: &[(u32, String)],
+    events: &[PassEvent],
+) -> usize {
+    let instrs: usize = func.blocks.iter().map(|b| b.instrs.len()).sum();
+    let names: usize = tag_names
+        .iter()
+        .chain(func_names)
+        .map(|(_, n)| n.len() + 16)
+        .sum();
+    instrs * std::mem::size_of::<Instr>()
+        + func.blocks.len() * std::mem::size_of::<ir::Block>()
+        + events.len() * std::mem::size_of::<PassEvent>()
+        + names
+        + func.name.len()
+        + 256
+}
+
+/// Every tag and function id an instruction references — the identifiers
+/// a splice must re-resolve by name in the destination module.
+fn collect_refs(instr: &Instr, tags: &mut Vec<u32>, funcs: &mut Vec<u32>) {
+    let mut set = |s: &TagSet| {
+        if let TagSet::Set(d) = s {
+            tags.extend(d.iter().map(|t| t.0));
+        }
+    };
+    match instr {
+        Instr::CLoad { tag, .. }
+        | Instr::SLoad { tag, .. }
+        | Instr::SStore { tag, .. }
+        | Instr::Lea { tag, .. } => tags.push(tag.0),
+        Instr::Alloc { site, .. } => tags.push(site.0),
+        Instr::Load { tags: t, .. } | Instr::Store { tags: t, .. } => set(t),
+        Instr::FuncAddr { func, .. } => funcs.push(func.0),
+        Instr::Call {
+            callee, mods, refs, ..
+        } => {
+            if let ir::Callee::Direct(f) = callee {
+                funcs.push(f.0);
+            }
+            set(mods);
+            set(refs);
+        }
+        _ => {}
+    }
+}
+
+/// Clones the cached body with every tag and function id re-resolved by
+/// name against `module`. Provisional spill ids (>=
+/// [`PROVISIONAL_SPILL_BASE`]) pass through untouched — the per-compile
+/// spill commit rewrites them. `None` if any name fails to resolve.
+fn remap_body(entry: &CacheEntry, module: &Module) -> Option<Function> {
+    let mut tag_map: HashMap<u32, TagId> = HashMap::with_capacity(entry.tag_names.len());
+    for (old, name) in &entry.tag_names {
+        tag_map.insert(*old, module.tags.lookup(name)?);
+    }
+    let mut func_map: HashMap<u32, ir::FuncId> = HashMap::with_capacity(entry.func_names.len());
+    for (old, name) in &entry.func_names {
+        func_map.insert(*old, module.lookup_func(name)?);
+    }
+    let mut body = entry.body.clone();
+    for b in &mut body.blocks {
+        for instr in &mut b.instrs {
+            remap_instr(instr, &tag_map, &func_map)?;
+        }
+    }
+    Some(body)
+}
+
+fn remap_tag(tag: &mut TagId, map: &HashMap<u32, TagId>) -> Option<()> {
+    if tag.0 >= PROVISIONAL_SPILL_BASE {
+        return Some(());
+    }
+    *tag = *map.get(&tag.0)?;
+    Some(())
+}
+
+fn remap_set(set: &mut TagSet, map: &HashMap<u32, TagId>) -> Option<()> {
+    if let TagSet::Set(d) = set {
+        let mut out = DenseTagSet::new();
+        for t in d.iter() {
+            if t.0 >= PROVISIONAL_SPILL_BASE {
+                out.insert(t);
+            } else {
+                out.insert(*map.get(&t.0)?);
+            }
+        }
+        *d = out;
+    }
+    Some(())
+}
+
+fn remap_instr(
+    instr: &mut Instr,
+    tag_map: &HashMap<u32, TagId>,
+    func_map: &HashMap<u32, ir::FuncId>,
+) -> Option<()> {
+    match instr {
+        Instr::CLoad { tag, .. }
+        | Instr::SLoad { tag, .. }
+        | Instr::SStore { tag, .. }
+        | Instr::Lea { tag, .. } => remap_tag(tag, tag_map),
+        Instr::Alloc { site, .. } => remap_tag(site, tag_map),
+        Instr::Load { tags, .. } | Instr::Store { tags, .. } => remap_set(tags, tag_map),
+        Instr::FuncAddr { func, .. } => {
+            *func = *func_map.get(&func.0)?;
+            Some(())
+        }
+        Instr::Call {
+            callee, mods, refs, ..
+        } => {
+            if let ir::Callee::Direct(f) = callee {
+                *f = *func_map.get(&f.0)?;
+            }
+            remap_set(mods, tag_map)?;
+            remap_set(refs, tag_map)
+        }
+        _ => Some(()),
+    }
+}
+
+/// Digest of the [`PipelineConfig`] fields that can change compiled
+/// output or the replayed report/trace. Scheduling and instrumentation
+/// knobs that are documented output-identical (`threads`,
+/// `validate_each_pass`, `share_analyses`, `reuse_scratch`) are
+/// deliberately excluded so flipping them keeps the cache warm.
+pub(crate) fn config_hash(config: &PipelineConfig) -> u64 {
+    let mut h = FxHasher::new();
+    h.write_u8(match config.analysis {
+        AnalysisLevel::AddressTaken => 0,
+        AnalysisLevel::ModRef => 1,
+        AnalysisLevel::Steensgaard => 2,
+        AnalysisLevel::PointsTo => 3,
+        AnalysisLevel::PointsToSsa => 4,
+    });
+    h.write_u8(config.promote as u8);
+    h.write_u8(config.pointer_promote as u8);
+    match config.promotion_cap {
+        Some(cap) => {
+            h.write_u8(1);
+            h.write_usize(cap);
+        }
+        None => h.write_u8(0),
+    }
+    h.write_u8(config.optimize as u8);
+    match &config.regalloc {
+        Some(opts) => {
+            h.write_u8(1);
+            h.write_usize(opts.num_regs);
+            h.write_usize(opts.max_rounds);
+        }
+        None => h.write_u8(0),
+    }
+    // The dense arm solves constprop without executable-edge precision,
+    // so counters (and in principle rewrites) may differ: keep the arms
+    // in separate cache generations.
+    h.write_u8(config.sparse_dataflow as u8);
+    // Entries store the trace-event suffix of the compile that created
+    // them; a trace-off entry replayed into a trace-on compile would
+    // silently drop remarks.
+    h.write_u8(config.trace as u8);
+    h.finish()
+}
+
+/// The full per-function fingerprint. `summary` is the function's own
+/// transitive MOD/REF digest, which folds in every callee's memory
+/// behaviour — the dependency-aware half of invalidation.
+pub(crate) fn fingerprint(
+    h_body: u64,
+    h_facts: u64,
+    summary: u64,
+    h_config: u64,
+    recursive: bool,
+) -> u64 {
+    fx_mix(
+        fx_mix(h_body, h_facts),
+        fx_mix(summary, fx_mix(h_config, 1 + recursive as u64)),
+    )
+}
+
+/// Per-function fingerprint inputs for one compile, computed at the
+/// analysis barrier (facts and summaries are only meaningful after it).
+pub(crate) struct Fingerprints {
+    /// `(fp, h_body)` per function, module index order.
+    pub per_func: Vec<(u64, u64)>,
+    /// Raw-text hints (by function, `None` when no source fingerprint
+    /// was available or the name was ambiguous).
+    pub hints: Vec<Option<u64>>,
+}
+
+/// Computes every function's fingerprint. `hints` (from
+/// [`minic::source_fingerprint`]) short-circuit the canonical body walk
+/// for functions whose raw text — and that of everything lowered before
+/// them — is unchanged since the entry was stored.
+pub(crate) fn compute_fingerprints(
+    module: &Module,
+    cache: &FuncCache,
+    summaries: &[u64],
+    recursive: &[bool],
+    h_config: u64,
+    source: Option<&minic::SourceFingerprint>,
+) -> Fingerprints {
+    let mut per_func = Vec::with_capacity(module.funcs.len());
+    let mut hints = Vec::with_capacity(module.funcs.len());
+    for (i, func) in module.funcs.iter().enumerate() {
+        let hint = source.and_then(|s| s.hint(&func.name));
+        let h_body = hint
+            .and_then(|h| cache.cached_body_hash(&func.name, h))
+            .unwrap_or_else(|| body_hash(module, func));
+        let h_facts = ir::hash::facts_hash(module, func);
+        let fp = fingerprint(h_body, h_facts, summaries[i], h_config, recursive[i]);
+        per_func.push((fp, h_body));
+        hints.push(hint);
+    }
+    Fingerprints { per_func, hints }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_hash_sees_output_knobs_only() {
+        let base = PipelineConfig::default();
+        let h = config_hash(&base);
+        // Scheduling/instrumentation knobs keep the cache warm.
+        let mut c = base.clone();
+        c.threads = Some(7);
+        c.validate_each_pass = !c.validate_each_pass;
+        c.share_analyses = !c.share_analyses;
+        c.reuse_scratch = !c.reuse_scratch;
+        assert_eq!(config_hash(&c), h);
+        // Output-affecting knobs miss.
+        let mut c = base.clone();
+        c.sparse_dataflow = false;
+        assert_ne!(config_hash(&c), h);
+        let mut c = base.clone();
+        c.pointer_promote = true;
+        assert_ne!(config_hash(&c), h);
+        let mut c = base.clone();
+        c.regalloc = Some(regalloc::AllocOptions {
+            num_regs: 8,
+            ..Default::default()
+        });
+        assert_ne!(config_hash(&c), h);
+    }
+
+    #[test]
+    fn eviction_is_lru_under_budget() {
+        let mut cache = FuncCache::new(1);
+        let module = {
+            let mut m = Module::new();
+            m.add_func(Function::new("a", 0));
+            m.add_func(Function::new("b", 0));
+            m
+        };
+        cache.begin_compile();
+        let o = FuncOutcome::default();
+        cache.store(&module, 0, 1, 1, None, &o, Vec::new());
+        cache.begin_compile();
+        cache.store(&module, 1, 2, 2, None, &o, Vec::new());
+        assert_eq!(cache.len(), 2);
+        let evicted = cache.evict_to_budget();
+        // Budget of one byte cannot hold either entry.
+        assert_eq!(evicted, 2);
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+    }
+}

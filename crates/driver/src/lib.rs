@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod incremental;
 mod parallel;
 mod pipeline;
 mod report;
@@ -49,6 +50,7 @@ mod scratch;
 mod session;
 
 pub use error::Error;
+pub use incremental::{FuncCache, IncrementalReport, DEFAULT_CACHE_BUDGET};
 pub use parallel::{parallel_map, parallel_map_funcs, resolve_threads, WorkerPool};
 pub use pipeline::{
     run_pipeline, run_pipeline_in, run_pipeline_traced, PassTiming, PassTimings, PipelineConfig,
@@ -77,6 +79,7 @@ pub use session::{Compilation, Session, SessionBuilder};
 /// ```
 pub mod prelude {
     pub use crate::error::Error;
+    pub use crate::incremental::IncrementalReport;
     pub use crate::pipeline::{PipelineConfig, PipelineReport};
     pub use crate::session::{Compilation, Session, SessionBuilder};
     pub use analysis::AnalysisLevel;

@@ -384,6 +384,10 @@ pub struct PipelineReport {
     /// and dense modes report through the same counters, so the benchmark
     /// can print both from the same binary.
     pub dataflow_stats: cfg::DataflowStats,
+    /// What the incremental cache did this compile — `Some` only when the
+    /// run went through a [`crate::Session`] built with
+    /// [`crate::SessionBuilder::incremental`].
+    pub incremental: Option<crate::incremental::IncrementalReport>,
 }
 
 fn validate_if(module: &Module, enabled: bool, pass: &str) {
@@ -419,20 +423,21 @@ fn recursive_set(graph: &CallGraph, nfuncs: usize) -> Vec<bool> {
 
 /// Everything one function's trip through the fused intra-procedural
 /// chain produced: pass counters, the allocation outcome with its
-/// uncommitted spill tags, and per-pass timings.
-#[derive(Default)]
-struct FuncOutcome {
-    strengthened: usize,
-    scalar: ScalarReport,
-    pointer: PointerReport,
-    lvn_rewrites: usize,
-    loads_eliminated: usize,
-    constants_folded: usize,
-    licm_moved: usize,
-    dce_removed: usize,
-    cleaned: usize,
-    alloc: Option<(AllocReport, Vec<PendingSpill>)>,
-    timings: Vec<(&'static str, Duration, AllocStats)>,
+/// uncommitted spill tags, and per-pass timings. `Clone` so the
+/// incremental cache can memoize it and replay it on later compiles.
+#[derive(Default, Clone)]
+pub(crate) struct FuncOutcome {
+    pub(crate) strengthened: usize,
+    pub(crate) scalar: ScalarReport,
+    pub(crate) pointer: PointerReport,
+    pub(crate) lvn_rewrites: usize,
+    pub(crate) loads_eliminated: usize,
+    pub(crate) constants_folded: usize,
+    pub(crate) licm_moved: usize,
+    pub(crate) dce_removed: usize,
+    pub(crate) cleaned: usize,
+    pub(crate) alloc: Option<(AllocReport, Vec<PendingSpill>)>,
+    pub(crate) timings: Vec<(&'static str, Duration, AllocStats)>,
 }
 
 /// Per-function pass clock used inside the fused worker. Each stage also
@@ -671,6 +676,33 @@ pub fn run_pipeline_traced(
     config: &PipelineConfig,
     pool: &WorkerPool,
 ) -> (PipelineReport, TraceLog) {
+    run_pipeline_core(module, config, pool, None)
+}
+
+/// The incremental context a cache-backed run threads through the core:
+/// the session's function cache plus (when compiling from source) the
+/// raw-text fingerprint that lets unchanged functions skip the canonical
+/// body-hash walk.
+pub(crate) struct IncrementalRun<'a> {
+    /// The session's persistent per-function cache.
+    pub cache: &'a mut crate::incremental::FuncCache,
+    /// Raw-text hints for the module being compiled, if it came from
+    /// MiniC source this compile.
+    pub source: Option<&'a minic::SourceFingerprint>,
+}
+
+/// The one pipeline body behind both the plain and the incremental entry
+/// points. With `incr` set, functions whose fingerprints match the cache
+/// are spliced instead of recompiled and the fused fan-out covers only
+/// the residual set; the sequential epilogue (spill commit, counter and
+/// trace assembly in function-index order) is identical either way, which
+/// is what keeps warm output byte-identical to cold.
+pub(crate) fn run_pipeline_core(
+    module: &mut Module,
+    config: &PipelineConfig,
+    pool: &WorkerPool,
+    mut incr: Option<IncrementalRun<'_>>,
+) -> (PipelineReport, TraceLog) {
     let v = config.validate_each_pass;
     let mut report = PipelineReport::default();
     let mut timings = PassTimings::default();
@@ -752,7 +784,51 @@ pub fn run_pipeline_traced(
     // Whole-module facts the fused chain reads: which functions sit on
     // call-graph cycles, straight off the analysis barrier's call graph.
     let recursive = recursive_set(&outcome.call_graph, module.funcs.len());
-    let outcomes: Vec<FuncOutcome> = {
+    // Incremental layer: fingerprint every function against the cache,
+    // splice the hits (cached body remapped into this module, chain
+    // counters and trace suffix replayed), and leave only the misses for
+    // the fused fan-out.
+    let mut spliced: Vec<Option<FuncOutcome>> = module.funcs.iter().map(|_| None).collect();
+    let mut fingerprints = None;
+    let mut incr_report = None;
+    if let Some(run) = incr.as_mut() {
+        run.cache.begin_compile();
+        let summaries = analysis::modref_summary_hashes(module, &outcome.modref);
+        let h_config = crate::incremental::config_hash(config);
+        let fps = crate::incremental::compute_fingerprints(
+            module, run.cache, &summaries, &recursive, h_config, run.source,
+        );
+        let mut rep = crate::incremental::IncrementalReport {
+            funcs_total: module.funcs.len(),
+            ..Default::default()
+        };
+        for i in 0..module.funcs.len() {
+            let (fp, h_body) = fps.per_func[i];
+            match run.cache.splice(module, i, fp) {
+                Some((o, events)) => {
+                    traces[i].append_events(events);
+                    spliced[i] = Some(o);
+                    rep.cache_hits += 1;
+                }
+                None => {
+                    rep.funcs_recompiled += 1;
+                    if run.cache.peek_body_hash(&module.funcs[i].name) == Some(h_body) {
+                        rep.summary_invalidated += 1;
+                    }
+                }
+            }
+        }
+        fingerprints = Some(fps);
+        incr_report = Some(rep);
+    }
+    // Event counts before the chain runs: the suffix past each mark is
+    // exactly what the chain appends, which is what the cache memoizes.
+    let chain_marks: Vec<usize> = if incr.is_some() {
+        traces.iter().map(|t| t.event_count()).collect()
+    } else {
+        Vec::new()
+    };
+    let chain_outcomes: Vec<(usize, FuncOutcome)> = {
         // `funcs` and `tags` are disjoint fields, so the mutable fan-out
         // and the shared tag-table snapshot coexist.
         let tags = &module.tags;
@@ -761,10 +837,13 @@ pub fn run_pipeline_traced(
             .iter_mut()
             .zip(analyses.iter_mut())
             .zip(traces.iter_mut())
+            .enumerate()
+            .filter(|(i, _)| spliced[*i].is_none())
+            .map(|(i, ((func, fa), tr))| (i, func, fa, tr))
             .collect();
-        pool.run(items, |i, ((func, fa), tr)| {
+        pool.run(items, |_, (i, func, fa, tr)| {
             let fid = FuncId(i as u32);
-            if config.reuse_scratch {
+            let o = if config.reuse_scratch {
                 pool.with_scratch(|scratch| {
                     run_fused_chain(tags, func, fid, recursive[i], config, fa, scratch, tr)
                 })
@@ -773,9 +852,16 @@ pub fn run_pipeline_traced(
                 // allocation cost the arenas exist to avoid.
                 let mut scratch = PassScratch::default();
                 run_fused_chain(tags, func, fid, recursive[i], config, fa, &mut scratch, tr)
-            }
+            };
+            (i, o)
         })
     };
+    let mut outcomes = spliced;
+    let mut hit = vec![true; outcomes.len()];
+    for (i, o) in chain_outcomes {
+        outcomes[i] = Some(o);
+        hit[i] = false;
+    }
     // Sequential epilogue: commit spill tags in function-index order and
     // aggregate counters plus per-pass timings (summed by pass name, in
     // chain order).
@@ -783,6 +869,18 @@ pub fn run_pipeline_traced(
     let mut alloc_total: Option<AllocReport> = None;
     let mut pass_totals: Vec<(&'static str, Duration, AllocStats)> = Vec::new();
     for (fi, o) in outcomes.into_iter().enumerate() {
+        let o = o.expect("every function has a chain or cache outcome");
+        // Memoize fresh chain output before the spill commit rewrites the
+        // provisional tags out of the body.
+        if let Some(run) = incr.as_mut() {
+            if !hit[fi] {
+                let fps = fingerprints.as_ref().expect("fingerprints computed");
+                let (fp, h_body) = fps.per_func[fi];
+                let events = traces[fi].events_from(chain_marks[fi]);
+                run.cache
+                    .store(module, fi, fp, h_body, fps.hints[fi], &o, events);
+            }
+        }
         report.strengthened += o.strengthened;
         report.promotion.scalar.loops += o.scalar.loops;
         report.promotion.scalar.promoted_tags += o.scalar.promoted_tags;
@@ -838,11 +936,22 @@ pub fn run_pipeline_traced(
     }
     validate_if(module, v, "fused per-function chain");
     report.timings = timings;
+    if let Some(run) = incr.as_mut() {
+        let rep = incr_report.as_mut().expect("incremental report started");
+        rep.evictions = run.cache.evict_to_budget();
+        rep.cache_bytes = run.cache.bytes();
+    }
+    report.incremental = incr_report;
     // Assemble the log in function-index order — the determinism
     // guarantee. Empty (and allocation-free) when tracing is off.
     let mut log = TraceLog::new();
     for (fi, tr) in traces.iter_mut().enumerate() {
         log.extend_func(&module.funcs[fi].name, tr.take_events());
+        if hit[fi] {
+            // Out-of-band marker: the rendered/serialized stream is
+            // unchanged, but tests and tools can see the replay happened.
+            log.mark_cached(&module.funcs[fi].name);
+        }
     }
     (report, log)
 }

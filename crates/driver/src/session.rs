@@ -35,8 +35,12 @@
 //! ```
 
 use crate::error::Error;
+use crate::incremental::{FuncCache, DEFAULT_CACHE_BUDGET};
 use crate::parallel::{resolve_threads, WorkerPool};
-use crate::pipeline::{run_pipeline_traced, PipelineConfig, PipelineConfigBuilder, PipelineReport};
+use crate::pipeline::{
+    run_pipeline_core, run_pipeline_traced, IncrementalRun, PipelineConfig, PipelineConfigBuilder,
+    PipelineReport,
+};
 use analysis::AnalysisLevel;
 use ir::Module;
 use regalloc::AllocOptions;
@@ -59,6 +63,11 @@ pub struct Session {
     /// points take `&self`.
     frontend: Mutex<minic::Frontend>,
     reuse_frontend: bool,
+    /// The per-function incremental cache, present when the session was
+    /// built with [`SessionBuilder::incremental`]. Compiles on such a
+    /// session splice fingerprint-matching functions from here instead of
+    /// re-running the fused pass chain.
+    cache: Option<Mutex<FuncCache>>,
 }
 
 impl std::fmt::Debug for Session {
@@ -97,6 +106,7 @@ impl Session {
             pool,
             frontend: Mutex::new(minic::Frontend::new()),
             reuse_frontend: true,
+            cache: None,
         }
     }
 
@@ -113,13 +123,40 @@ impl Session {
     /// Runs the pipeline over an already-built module in place, returning
     /// the report and trace log. The module is validated afterwards; a
     /// validation failure is returned as [`Error::Validate`] rather than
-    /// a panic.
+    /// a panic. On an incremental session the module's functions are
+    /// fingerprinted against the session cache (without raw-text hints —
+    /// those need the source, see [`compile`](Self::compile)).
     ///
     /// # Errors
     ///
     /// Returns [`Error::Validate`] if the pipeline produced invalid IL.
     pub fn optimize(&self, module: &mut Module) -> Result<(PipelineReport, TraceLog), Error> {
-        let (report, log) = run_pipeline_traced(module, &self.config, &self.pool);
+        self.optimize_with_source(module, None)
+    }
+
+    fn optimize_with_source(
+        &self,
+        module: &mut Module,
+        source: Option<&minic::SourceFingerprint>,
+    ) -> Result<(PipelineReport, TraceLog), Error> {
+        let (report, log) = match &self.cache {
+            Some(cache) => {
+                // A poisoned lock only means an earlier compile panicked;
+                // the cache is mutated sequentially in the epilogue, one
+                // whole entry at a time, so whatever it holds is valid.
+                let mut cache = cache.lock().unwrap_or_else(|p| p.into_inner());
+                run_pipeline_core(
+                    module,
+                    &self.config,
+                    &self.pool,
+                    Some(IncrementalRun {
+                        cache: &mut cache,
+                        source,
+                    }),
+                )
+            }
+            None => run_pipeline_traced(module, &self.config, &self.pool),
+        };
         ir::validate(module)?;
         Ok((report, log))
     }
@@ -132,16 +169,24 @@ impl Session {
     /// [`Error::Validate`] if the pipeline produced invalid IL.
     pub fn compile(&self, src: &str) -> Result<Compilation, Error> {
         let mut module = if self.reuse_frontend {
-            self.frontend
-                .lock()
-                .expect("front-end mutex poisoned")
-                .compile(src)?
+            let mut frontend = self.frontend.lock().unwrap_or_else(|poisoned| {
+                // A compile that panicked may have left the warm buffers
+                // mid-rebuild; swap in a fresh front end instead of
+                // wedging every later compile on this session.
+                let mut guard = poisoned.into_inner();
+                *guard = minic::Frontend::new();
+                guard
+            });
+            frontend.compile(src)?
         } else {
             // Cold path for A/B measurement: a fresh `Frontend` per
             // program, exactly what the free function does.
             minic::compile(src)?
         };
-        let (report, trace) = self.optimize(&mut module)?;
+        // Raw-text hints let unchanged functions skip even the canonical
+        // body-hash walk on incremental sessions.
+        let source = self.cache.is_some().then(|| minic::source_fingerprint(src));
+        let (report, trace) = self.optimize_with_source(&mut module, source.as_ref())?;
         Ok(Compilation {
             module,
             report,
@@ -172,6 +217,8 @@ pub struct SessionBuilder {
     config: PipelineConfigBuilder,
     vm: VmOptions,
     reuse_frontend: bool,
+    incremental: bool,
+    cache_budget: usize,
 }
 
 impl Default for SessionBuilder {
@@ -180,6 +227,8 @@ impl Default for SessionBuilder {
             config: PipelineConfigBuilder::default(),
             vm: VmOptions::default(),
             reuse_frontend: true,
+            incremental: false,
+            cache_budget: DEFAULT_CACHE_BUDGET,
         }
     }
 }
@@ -270,6 +319,27 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables or disables content-addressed incremental recompilation.
+    /// When on, the session keeps a per-function [`FuncCache`]: a later
+    /// compile splices every function whose fingerprint (canonical body,
+    /// interprocedural facts, callee summaries, output-affecting config)
+    /// is unchanged, and runs the fused pass chain only over the rest.
+    /// Output, report counters, and remark streams are byte-identical to
+    /// a cold compile. Off by default.
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
+    }
+
+    /// Sets the incremental cache's eviction budget in approximate bytes
+    /// (default [`DEFAULT_CACHE_BUDGET`]). Least-recently-used entries
+    /// are dropped after each compile until the cache fits. Implies
+    /// nothing unless [`incremental`](Self::incremental) is on.
+    pub fn cache_budget(mut self, bytes: usize) -> Self {
+        self.cache_budget = bytes;
+        self
+    }
+
     /// Replaces the whole pipeline configuration at once.
     pub fn pipeline_config(mut self, config: PipelineConfig) -> Self {
         self.config = PipelineConfigBuilder::from_config(config);
@@ -292,6 +362,9 @@ impl SessionBuilder {
     pub fn build(self) -> Session {
         let mut session = Session::from_parts(self.config.build(), self.vm);
         session.reuse_frontend = self.reuse_frontend;
+        if self.incremental {
+            session.cache = Some(Mutex::new(FuncCache::new(self.cache_budget)));
+        }
         session
     }
 }
@@ -347,5 +420,37 @@ impl Compilation {
     /// schema).
     pub fn trace_jsonl(&self) -> String {
         self.trace.to_jsonl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn session_survives_a_poisoned_frontend_mutex() {
+        let session = Arc::new(Session::builder().threads(Some(1)).build());
+        let src = "int main() { print_int(7); return 0; }";
+        let before = session.compile(src).expect("compile before poisoning");
+
+        // Poison the warm front-end mutex the way a panicking compile
+        // would: panic while holding the guard.
+        let poisoner = Arc::clone(&session);
+        std::thread::spawn(move || {
+            let _guard = poisoner.frontend.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join()
+        .unwrap_err();
+        assert!(session.frontend.is_poisoned());
+
+        // The session must recover with a fresh front end, not wedge.
+        let after = session.compile(src).expect("compile after poisoning");
+        assert_eq!(before.module.to_string(), after.module.to_string());
+        // And subsequent compiles keep working on the replaced buffers.
+        session
+            .compile(src)
+            .expect("second compile after poisoning");
     }
 }

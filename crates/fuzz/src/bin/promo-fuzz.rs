@@ -1,8 +1,9 @@
 //! Differential fuzzing CLI.
 //!
 //! ```text
-//! promo-fuzz [--seed N] [--count N] [--time-budget SECS] [--reduce]
-//!            [--out DIR] [--max-steps N] [--replay FILE]... [--sabotage]
+//! promo-fuzz [--seed N] [--count N] [--edit N] [--time-budget SECS]
+//!            [--reduce] [--out DIR] [--max-steps N] [--replay FILE]...
+//!            [--sabotage]
 //! ```
 //!
 //! Checks `count` generated programs (seeds `seed..seed+count`) against
@@ -10,9 +11,12 @@
 //! failure under `--out` (default `results/fuzz/`). Exits nonzero when
 //! any oracle violation was found, so CI can gate on it.
 //!
-//! `--replay FILE` skips generation and runs the oracle on an existing
-//! reproducer (repeatable). `--sabotage` plants a deliberate miscompile
-//! in the default arm — a self-test that must *fail*.
+//! `--edit N` applies N cumulative single-function mutations after each
+//! passing seed and holds every mutant to the oracle matrix plus the
+//! incremental-recompilation differential (a persistent warm session vs
+//! a cold one). `--replay FILE` skips generation and runs the oracle on
+//! an existing reproducer (repeatable). `--sabotage` plants a deliberate
+//! miscompile in the default arm — a self-test that must *fail*.
 
 use fuzz::{run_campaign, CampaignOptions, Oracle, Verdict};
 use std::path::PathBuf;
@@ -29,8 +33,8 @@ fn parse_u64(s: &str) -> Option<u64> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: promo-fuzz [--seed N] [--count N] [--time-budget SECS] [--reduce] \
-         [--out DIR] [--max-steps N] [--replay FILE]... [--sabotage]"
+        "usage: promo-fuzz [--seed N] [--count N] [--edit N] [--time-budget SECS] \
+         [--reduce] [--out DIR] [--max-steps N] [--replay FILE]... [--sabotage]"
     );
     ExitCode::from(2)
 }
@@ -58,6 +62,10 @@ fn main() -> ExitCode {
             },
             "--count" => match value("--count").and_then(|v| parse_u64(&v)) {
                 Some(v) => options.count = v,
+                None => return usage(),
+            },
+            "--edit" => match value("--edit").and_then(|v| parse_u64(&v)) {
+                Some(v) => options.edits = v,
                 None => return usage(),
             },
             "--time-budget" => match value("--time-budget").and_then(|v| parse_u64(&v)) {
@@ -133,11 +141,16 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "promo-fuzz: {} checked ({} passed, {} skipped, {} failed) from seed {:#x}",
+        "promo-fuzz: {} checked ({} passed, {} skipped, {} failed{}) from seed {:#x}",
         summary.checked,
         summary.passed,
         summary.skipped,
         summary.failures.len(),
+        if summary.edits_checked > 0 {
+            format!(", {} edit-mode mutants", summary.edits_checked)
+        } else {
+            String::new()
+        },
         options.seed,
     );
     let s = &summary.stats;

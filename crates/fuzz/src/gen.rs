@@ -590,6 +590,26 @@ impl Gen {
     }
 }
 
+/// The scope every function starts from: scalar and array globals.
+/// Global pointers are excluded — they are null until `main` seats them,
+/// so only `main`'s generator (which emits the seats first) may
+/// dereference them.
+fn base_scope(globals: &[Global]) -> Scope {
+    let mut s = Scope::default();
+    for gl in globals {
+        match gl {
+            Global::Scalar { name, .. } => {
+                s.readable.push(name.clone());
+                s.writable.push(name.clone());
+                s.addressable.push((name.clone(), false));
+            }
+            Global::Array { name, len } => s.arrays.push((name.clone(), *len)),
+            Global::Ptr { .. } => {}
+        }
+    }
+    s
+}
+
 /// Generates the program for one seed. Deterministic: the same seed
 /// always yields the identical program.
 pub fn generate(seed: u64) -> Program {
@@ -621,25 +641,7 @@ pub fn generate(seed: u64) -> Program {
         });
     }
 
-    let base_scope = {
-        let mut s = Scope::default();
-        for gl in &p.globals {
-            match gl {
-                Global::Scalar { name, .. } => {
-                    s.readable.push(name.clone());
-                    s.writable.push(name.clone());
-                    s.addressable.push((name.clone(), false));
-                }
-                Global::Array { name, len } => s.arrays.push((name.clone(), *len)),
-                Global::Ptr { .. } => {
-                    // Not in the shared scope: a global pointer is null
-                    // until `main` seats it, so only `main`'s generator
-                    // (which emits the seats first) may dereference it.
-                }
-            }
-        }
-        s
-    };
+    let base_scope = base_scope(&p.globals);
 
     // Helpers: each may call every earlier helper (and itself when
     // recursive), so the call graph is loop-free apart from bounded
@@ -715,6 +717,74 @@ pub fn generate(seed: u64) -> Program {
     p
 }
 
+/// Applies one single-function edit: regenerates the body (and return
+/// expression) of one helper, or `main`'s suffix after the pointer-seat
+/// prologue, under exactly the invariants [`generate`] guarantees — so a
+/// mutated program is still closed, trap-free, and terminating.
+/// Signatures, globals, and every other function are untouched, which is
+/// what makes mutants useful for exercising incremental recompilation:
+/// only the edited function's fingerprint (plus any caller whose callee
+/// summary changed) should miss the cache. Deterministic in
+/// `(program, seed)`.
+pub fn mutate(program: &Program, seed: u64) -> Program {
+    let mut p = program.clone();
+    let mut g = Gen {
+        rng: Rng::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1)),
+        // A namespace the base generator never reaches, so regenerated
+        // declarations cannot collide with surviving ones.
+        next_local: 10_000,
+        next_counter: 10_000,
+    };
+    let base = base_scope(&p.globals);
+    let target = g.rng.below(p.helpers.len() as u64 + 1) as usize;
+    if target < p.helpers.len() {
+        // Rebuild the helper's scope the way `generate` did: globals,
+        // its own (read-only) parameters, and every *earlier* helper.
+        let mut scope = base;
+        for param in &p.helpers[target].params {
+            scope.readable.push(param.clone());
+        }
+        for h in &p.helpers[..target] {
+            let extra = h.params.len() - usize::from(h.recursive);
+            scope.callables.push((h.name.clone(), extra, h.recursive));
+        }
+        let pre_body = scope.clone();
+        let body_len = 2 + g.rng.below(4) as usize;
+        let body = g.block(&mut scope, LoopCtx::None, 1, body_len);
+        let recursive = p.helpers[target].recursive;
+        let ret = if recursive {
+            // The base case renders above the body, so it may only use
+            // the pre-body scope.
+            g.expr(&pre_body, 2)
+        } else {
+            g.expr(&scope, 2)
+        };
+        let h = &mut p.helpers[target];
+        h.body = body;
+        h.ret = ret;
+    } else {
+        // Regenerate `main` below the seat prologue; the seats stay, so
+        // every global pointer is still seated before any dereference.
+        let mut scope = base;
+        for h in &p.helpers {
+            let extra = h.params.len() - usize::from(h.recursive);
+            scope.callables.push((h.name.clone(), extra, h.recursive));
+        }
+        let mut seats = 0;
+        for gl in &p.globals {
+            if let Global::Ptr { name } = gl {
+                scope.ptrs.push(name.clone());
+                seats += 1;
+            }
+        }
+        p.main_body.truncate(seats);
+        let body_len = 6 + g.rng.below(14) as usize;
+        let body = g.block(&mut scope, LoopCtx::None, 0, body_len);
+        p.main_body.extend(body);
+    }
+    p
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -726,6 +796,56 @@ mod tests {
             assert_eq!(generate(seed).render(), generate(seed).render());
         }
         assert_ne!(generate(1), generate(2));
+    }
+
+    #[test]
+    fn mutation_is_deterministic_and_single_function() {
+        for seed in 0..30u64 {
+            let base = generate(seed);
+            let m1 = mutate(&base, seed ^ 0xABCD);
+            let m2 = mutate(&base, seed ^ 0xABCD);
+            assert_eq!(m1, m2, "seed {seed}");
+            assert_ne!(m1, base, "mutation must change the program: seed {seed}");
+            // Globals and every function signature survive untouched.
+            assert_eq!(m1.globals, base.globals);
+            assert_eq!(m1.helpers.len(), base.helpers.len());
+            for (a, b) in m1.helpers.iter().zip(base.helpers.iter()) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.params, b.params);
+                assert_eq!(a.recursive, b.recursive);
+            }
+            // Exactly one function's code changed.
+            let mut changed = usize::from(m1.main_body != base.main_body);
+            changed += m1
+                .helpers
+                .iter()
+                .zip(base.helpers.iter())
+                .filter(|(a, b)| a.body != b.body || a.ret != b.ret)
+                .count();
+            assert_eq!(changed, 1, "seed {seed}");
+            // The pointer-seat prologue survives a main-body rewrite.
+            let seats = base
+                .globals
+                .iter()
+                .filter(|g| matches!(g, Global::Ptr { .. }))
+                .count();
+            assert_eq!(m1.main_body[..seats], base.main_body[..seats]);
+        }
+    }
+
+    #[test]
+    fn mutants_still_compile_and_terminate() {
+        use driver::Session;
+        let session = Session::builder().threads(Some(1)).build();
+        for seed in 0..10u64 {
+            let mut p = generate(seed);
+            for e in 0..3u64 {
+                p = mutate(&p, seed.wrapping_add(e));
+                session
+                    .compile_and_run(&p.render())
+                    .unwrap_or_else(|err| panic!("seed {seed} edit {e}: {err}"));
+            }
+        }
     }
 
     #[test]

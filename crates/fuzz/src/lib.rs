@@ -30,8 +30,8 @@ pub mod reduce;
 pub mod rng;
 mod visit;
 
-pub use gen::{generate, ConstructStats};
-pub use oracle::{Arm, Failure, FailureKind, Oracle, OracleOptions, Verdict};
+pub use gen::{generate, mutate, ConstructStats};
+pub use oracle::{Arm, EditOracle, Failure, FailureKind, Oracle, OracleOptions, Verdict};
 pub use reduce::{reduce, Reduction};
 
 use std::io;
@@ -54,6 +54,12 @@ pub struct CampaignOptions {
     pub out_dir: Option<PathBuf>,
     /// Oracle knobs (step budget, sabotage test hook).
     pub oracle: OracleOptions,
+    /// Edit mode: after each passing seed, apply this many cumulative
+    /// single-function mutations and hold every mutant to (a) the full
+    /// oracle matrix and (b) the [`EditOracle`] — a persistent
+    /// incremental session whose output must stay byte-identical to a
+    /// cold compile. `0` disables edit mode.
+    pub edits: u64,
 }
 
 impl Default for CampaignOptions {
@@ -65,6 +71,7 @@ impl Default for CampaignOptions {
             reduce: false,
             out_dir: None,
             oracle: OracleOptions::default(),
+            edits: 0,
         }
     }
 }
@@ -93,6 +100,9 @@ pub struct CampaignSummary {
     pub passed: u64,
     /// Programs whose reference arm faulted (not usable witnesses).
     pub skipped: u64,
+    /// Mutated programs checked in edit mode (matrix + incremental
+    /// differential each).
+    pub edits_checked: u64,
     /// Oracle violations.
     pub failures: Vec<CampaignFailure>,
     /// Aggregate construct coverage across all generated programs.
@@ -109,6 +119,7 @@ pub struct CampaignSummary {
 /// reported in the summary, not as errors.
 pub fn run_campaign(options: &CampaignOptions) -> io::Result<CampaignSummary> {
     let oracle = Oracle::new(options.oracle.clone());
+    let edit_oracle = (options.edits > 0).then(|| EditOracle::new(&options.oracle));
     let started = Instant::now();
     let mut summary = CampaignSummary::default();
     for i in 0..options.count {
@@ -123,7 +134,12 @@ pub fn run_campaign(options: &CampaignOptions) -> io::Result<CampaignSummary> {
         let source = program.render();
         summary.checked += 1;
         match oracle.check(&source) {
-            Verdict::Pass => summary.passed += 1,
+            Verdict::Pass => {
+                summary.passed += 1;
+                if let Some(edit_oracle) = &edit_oracle {
+                    run_edits(options, &oracle, edit_oracle, seed, program, &mut summary)?;
+                }
+            }
             Verdict::Skip(_) => summary.skipped += 1,
             Verdict::Fail(failure) => {
                 let reduction = if options.reduce {
@@ -145,4 +161,54 @@ pub fn run_campaign(options: &CampaignOptions) -> io::Result<CampaignSummary> {
         }
     }
     Ok(summary)
+}
+
+/// Edit mode for one passing seed: warm the incremental session's cache
+/// with the base program, then apply `options.edits` cumulative
+/// single-function mutations, holding each mutant to the full oracle
+/// matrix *and* the incremental-vs-cold differential. Mutant failures
+/// are recorded without reduction (the warm cache's state is part of the
+/// reproduction recipe, which the reducer cannot replay).
+fn run_edits(
+    options: &CampaignOptions,
+    oracle: &Oracle,
+    edit_oracle: &EditOracle,
+    seed: u64,
+    program: ast::Program,
+    summary: &mut CampaignSummary,
+) -> io::Result<()> {
+    let record =
+        |summary: &mut CampaignSummary, edit: u64, src: &str, failure: Failure| -> io::Result<()> {
+            if let Some(dir) = &options.out_dir {
+                // A distinct pseudo-seed keyed by the edit index keeps
+                // mutant reproducers from clobbering the base seed's file.
+                corpus::write_failure(dir, seed ^ (0xED17 << 44) ^ edit, src, &failure, None)?;
+            }
+            summary.failures.push(CampaignFailure {
+                seed,
+                failure,
+                source: src.to_string(),
+                reduced_source: None,
+                reduced_statements: None,
+            });
+            Ok(())
+        };
+    if let Verdict::Fail(f) = edit_oracle.check(&program.render()) {
+        record(summary, 0, &program.render(), f)?;
+    }
+    let mut current = program;
+    for e in 1..=options.edits {
+        current = mutate(&current, seed.wrapping_add(e));
+        let src = current.render();
+        summary.edits_checked += 1;
+        match oracle.check(&src) {
+            Verdict::Pass => {}
+            Verdict::Skip(_) => summary.skipped += 1,
+            Verdict::Fail(f) => record(summary, e, &src, f)?,
+        }
+        if let Verdict::Fail(f) = edit_oracle.check(&src) {
+            record(summary, e, &src, f)?;
+        }
+    }
+    Ok(())
 }

@@ -57,6 +57,10 @@ pub enum Arm {
     Workers8,
     /// 8-register allocator (spill-heavy; output equality only).
     TightRegs,
+    /// Persistent `incremental(true)` session (edit mode): IL, remarks,
+    /// and dynamic counts must be byte-identical to a fresh cold session
+    /// on every version of an edited program.
+    Incremental,
 }
 
 impl Arm {
@@ -73,6 +77,7 @@ impl Arm {
             Arm::Workers2 => "workers2",
             Arm::Workers8 => "workers8",
             Arm::TightRegs => "tight-regs",
+            Arm::Incremental => "incremental",
         }
     }
 }
@@ -422,6 +427,119 @@ impl Oracle {
     }
 }
 
+/// The incremental-recompilation differential: one persistent
+/// `incremental(true)` session accumulates its per-function cache across
+/// every program and edit it sees, and each compile is compared — IL
+/// text, rendered remarks, trace JSONL, program output, exit code, and
+/// full dynamic [`ExecCounts`] — against a fresh cold [`Session`] of the
+/// same configuration. Any divergence means cached splicing changed
+/// observable behavior, which the design forbids.
+pub struct EditOracle {
+    warm: Session,
+    max_steps: u64,
+}
+
+impl EditOracle {
+    /// Builds the persistent warm session.
+    pub fn new(options: &OracleOptions) -> EditOracle {
+        EditOracle {
+            warm: Session::builder()
+                .threads(Some(1))
+                .trace(true)
+                .incremental(true)
+                .max_steps(options.max_steps)
+                .build(),
+            max_steps: options.max_steps,
+        }
+    }
+
+    /// Compiles `src` on the warm incremental session and on a fresh cold
+    /// session, and demands byte-identical artifacts and dynamic counts.
+    pub fn check(&self, src: &str) -> Verdict {
+        let fail = |kind, detail: String| {
+            Verdict::Fail(Failure {
+                arm: Arm::Incremental,
+                kind,
+                detail,
+            })
+        };
+        let cold = Session::builder()
+            .threads(Some(1))
+            .trace(true)
+            .max_steps(self.max_steps)
+            .build();
+        let warm = match self.warm.compile(src) {
+            Ok(c) => c,
+            Err(e) => {
+                return fail(
+                    FailureKind::CompileError,
+                    format!("incremental session rejected the program: {e}"),
+                )
+            }
+        };
+        let cold = match cold.compile(src) {
+            Ok(c) => c,
+            Err(e) => {
+                return fail(
+                    FailureKind::CompileError,
+                    format!("cold session rejected what the warm one took: {e}"),
+                )
+            }
+        };
+        if warm.module.to_string() != cold.module.to_string() {
+            return fail(
+                FailureKind::Determinism,
+                "optimized IL differs from a cold compile".into(),
+            );
+        }
+        if warm.remarks_text() != cold.remarks_text() {
+            return fail(
+                FailureKind::Determinism,
+                "rendered remarks differ from a cold compile".into(),
+            );
+        }
+        if warm.trace_jsonl() != cold.trace_jsonl() {
+            return fail(
+                FailureKind::Determinism,
+                "trace JSONL differs from a cold compile".into(),
+            );
+        }
+        let vm = VmOptions {
+            max_steps: self.max_steps,
+            ..VmOptions::default()
+        };
+        let wout = match warm.run(vm.clone()) {
+            Ok(o) => o,
+            Err(e) => return Verdict::Skip(format!("warm arm fault: {e}")),
+        };
+        let cout = match cold.run(vm) {
+            Ok(o) => o,
+            Err(e) => {
+                return fail(
+                    FailureKind::VmFault,
+                    format!("cold run faulted where the warm run finished: {e}"),
+                )
+            }
+        };
+        if let Some(f) = compare_behavior(Arm::Incremental, &cout, &wout) {
+            return Verdict::Fail(f);
+        }
+        // The VM's dynamic operation counts (loads, stores, everything)
+        // must match exactly: splicing a cached body may not change what
+        // the program executes.
+        if wout.counts != cout.counts {
+            return fail(
+                FailureKind::Determinism,
+                format!(
+                    "dynamic counts differ from a cold compile: {:?} vs {:?}",
+                    wout.counts, cout.counts
+                ),
+            );
+        }
+        Verdict::Pass
+    }
+}
+
 /// Output/exit-code equality against the reference arm.
 fn compare_behavior(arm: Arm, reference: &Outcome, out: &Outcome) -> Option<Failure> {
     if out.output != reference.output {
@@ -517,6 +635,40 @@ int main() {
         let failure = verdict.failure().expect("sabotage must be caught");
         assert_eq!(failure.arm, Arm::Default);
         assert_eq!(failure.kind, FailureKind::OutputMismatch);
+    }
+
+    #[test]
+    fn edit_oracle_matches_cold_across_mutation_sequences() {
+        let edit_oracle = EditOracle::new(&OracleOptions::default());
+        for seed in [3u64, 11] {
+            let mut program = crate::generate(seed);
+            assert_eq!(edit_oracle.check(&program.render()), Verdict::Pass);
+            for e in 1..=3u64 {
+                program = crate::mutate(&program, seed.wrapping_add(e));
+                assert_eq!(
+                    edit_oracle.check(&program.render()),
+                    Verdict::Pass,
+                    "seed {seed} edit {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edit_campaign_checks_mutants() {
+        let summary = crate::run_campaign(&crate::CampaignOptions {
+            count: 3,
+            edits: 2,
+            ..crate::CampaignOptions::default()
+        })
+        .unwrap();
+        assert_eq!(summary.checked, 3);
+        assert_eq!(
+            summary.edits_checked,
+            2 * summary.passed,
+            "every passing seed gets its full edit sequence"
+        );
+        assert!(summary.failures.is_empty(), "{:?}", summary.failures);
     }
 
     #[test]

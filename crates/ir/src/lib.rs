@@ -39,6 +39,7 @@
 
 mod builder;
 mod function;
+pub mod hash;
 mod instr;
 mod parse;
 mod print;

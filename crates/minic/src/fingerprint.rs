@@ -1,0 +1,294 @@
+//! Raw-text source fingerprinting for incremental recompilation.
+//!
+//! [`source_fingerprint`] scans MiniC source *without lexing it* and
+//! splits it into a **context** (everything outside function bodies:
+//! global declarations, function signatures, top-level comments... the
+//! text that shapes how every function lowers) and one span per
+//! **function body**. The driver compares fingerprints across compiles:
+//! when the context and a function's own hint are unchanged, that
+//! function's canonical IR hash is provably unchanged too, so the
+//! expensive post-lowering hash walk can be skipped.
+//!
+//! A function's hint folds in the hash of every *earlier* body as well
+//! (the `prefix`), not just its own: lowering state threads through the
+//! module in order — most visibly the module-global heap-site counter
+//! that names `heap@N` tags — so an edit to one function may rename tags
+//! in every *later* function. Under that rule the hint is sound: equal
+//! hints imply byte-equal context, byte-equal earlier bodies, and a
+//! byte-equal own body, which pin down the lowered (and normalized)
+//! function exactly.
+//!
+//! The scanner is comment-aware (`//` and `/* */`; MiniC has no string
+//! literals) and purely structural — it never rejects anything. On
+//! malformed source it simply reports fewer functions, and the driver
+//! falls back to hashing the lowered IR.
+
+use ir::hash::{fx_mix, FxHasher};
+use std::hash::Hasher;
+
+/// One function's raw-text identity within a [`SourceFingerprint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSpan {
+    /// The function's source name (the identifier before the parameter
+    /// list).
+    pub name: String,
+    /// Digest of (context, all earlier bodies, own body) — see the
+    /// module docs for why the prefix is included.
+    pub hint: u64,
+}
+
+/// The raw-text shape of one source file: the context digest plus one
+/// [`FuncSpan`] per function-looking `name(...) { ... }` at top level.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SourceFingerprint {
+    /// Digest of everything outside function bodies (each body
+    /// contributes a fixed marker, so moving an unchanged body does
+    /// change the context).
+    pub context: u64,
+    /// Per-function spans in source order.
+    pub funcs: Vec<FuncSpan>,
+}
+
+impl SourceFingerprint {
+    /// Looks up a function's hint by name (`None` if the scanner did not
+    /// see it, or saw the name twice — duplicates are dropped because a
+    /// hint must identify one body).
+    pub fn hint(&self, name: &str) -> Option<u64> {
+        let mut found = None;
+        for f in &self.funcs {
+            if f.name == name {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(f.hint);
+            }
+        }
+        found
+    }
+}
+
+/// Skips a comment starting at `i` (if any), returning the next index.
+fn skip_comment(bytes: &[u8], i: usize) -> Option<usize> {
+    if bytes[i] != b'/' || i + 1 >= bytes.len() {
+        return None;
+    }
+    match bytes[i + 1] {
+        b'/' => {
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j] != b'\n' {
+                j += 1;
+            }
+            Some(j)
+        }
+        b'*' => {
+            let mut j = i + 2;
+            while j + 1 < bytes.len() {
+                if bytes[j] == b'*' && bytes[j + 1] == b'/' {
+                    return Some(j + 2);
+                }
+                j += 1;
+            }
+            Some(bytes.len())
+        }
+        _ => None,
+    }
+}
+
+/// Scans MiniC source into its incremental fingerprint. Deterministic,
+/// allocation-light, and never fails: structure the scanner cannot
+/// follow is folded into the context digest, which only ever makes the
+/// result more conservative.
+pub fn source_fingerprint(src: &str) -> SourceFingerprint {
+    let bytes = src.as_bytes();
+    let mut context = FxHasher::new();
+    let mut funcs: Vec<FuncSpan> = Vec::new();
+    let mut raw_hints: Vec<(String, u64)> = Vec::new();
+    let mut prefix: u64 = 0;
+    let mut i = 0;
+    // The last identifier completed at top level (candidate function
+    // name when a `(` follows).
+    let mut last_ident: Option<(usize, usize)> = None;
+    while i < bytes.len() {
+        if let Some(j) = skip_comment(bytes, i) {
+            // Comments are context: editing one must not look like a
+            // body edit, but the compare stays byte-honest about text
+            // outside bodies.
+            context.write(&bytes[i..j]);
+            i = j;
+            continue;
+        }
+        let c = bytes[i];
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            last_ident = Some((start, i));
+            context.write(&bytes[start..i]);
+            continue;
+        }
+        if c == b'(' {
+            if let Some((ns, ne)) = last_ident {
+                if let Some((body_start, body_end, after)) = match_header_and_body(bytes, i) {
+                    // Header (params) is context; the body is a span.
+                    context.write(&bytes[i..body_start]);
+                    context.write_u8(0x1B); // body marker
+                    let body = ir::hash::fx_hash_bytes(&bytes[body_start..body_end]);
+                    prefix = fx_mix(prefix, body);
+                    let name = String::from_utf8_lossy(&bytes[ns..ne]).into_owned();
+                    raw_hints.push((name, prefix));
+                    last_ident = None;
+                    i = after;
+                    continue;
+                }
+            }
+        }
+        context.write_u8(c);
+        i += 1;
+    }
+    let context = context.finish();
+    for (name, prefix) in raw_hints {
+        if funcs.iter().any(|f| f.name == name) {
+            // Duplicate names cannot be disambiguated from raw text;
+            // keep both entries so `hint()` reports the ambiguity.
+            funcs.push(FuncSpan { name, hint: 0 });
+            continue;
+        }
+        funcs.push(FuncSpan {
+            name,
+            hint: fx_mix(context, prefix),
+        });
+    }
+    SourceFingerprint { context, funcs }
+}
+
+/// From an opening `(` at `open`, finds the matching `)` and — if the
+/// next meaningful token is `{` — the body's `{`..`}` span. Returns
+/// `(body_start, body_end_exclusive, resume_index)`.
+fn match_header_and_body(bytes: &[u8], open: usize) -> Option<(usize, usize, usize)> {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        if let Some(j) = skip_comment(bytes, i) {
+            i = j;
+            continue;
+        }
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if depth != 0 {
+        return None;
+    }
+    // Skip whitespace/comments to the body's `{`.
+    while i < bytes.len() {
+        if let Some(j) = skip_comment(bytes, i) {
+            i = j;
+            continue;
+        }
+        if bytes[i].is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        break;
+    }
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return None;
+    }
+    let body_start = i;
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        if let Some(j) = skip_comment(bytes, i) {
+            i = j;
+            continue;
+        }
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((body_start, i + 1, i + 1));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "\
+int g = 3;
+int helper(int x) { return x + g; }
+int main() {
+    print_int(helper(4));
+    return 0;
+}
+";
+
+    #[test]
+    fn finds_functions_and_is_deterministic() {
+        let fp = source_fingerprint(SRC);
+        let names: Vec<&str> = fp.funcs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["helper", "main"]);
+        assert_eq!(fp, source_fingerprint(SRC));
+    }
+
+    #[test]
+    fn body_edit_changes_own_and_later_hints_only() {
+        let a = source_fingerprint(SRC);
+        let b = source_fingerprint(&SRC.replace("x + g", "x * g"));
+        assert_eq!(a.context, b.context);
+        assert_ne!(a.hint("helper"), b.hint("helper"));
+        // `main` follows the edited body, so its prefix moved too.
+        assert_ne!(a.hint("main"), b.hint("main"));
+    }
+
+    #[test]
+    fn later_edit_leaves_earlier_hints_alone() {
+        let a = source_fingerprint(SRC);
+        let b = source_fingerprint(&SRC.replace("return 0;", "return 1;"));
+        assert_eq!(a.context, b.context);
+        assert_eq!(a.hint("helper"), b.hint("helper"));
+        assert_ne!(a.hint("main"), b.hint("main"));
+    }
+
+    #[test]
+    fn context_edit_changes_context() {
+        let a = source_fingerprint(SRC);
+        let b = source_fingerprint(&SRC.replace("int g = 3;", "int g = 4;"));
+        assert_ne!(a.context, b.context);
+    }
+
+    #[test]
+    fn comments_and_calls_do_not_confuse_the_scanner() {
+        let src = "\
+// top comment with braces { } and parens ( )
+int /* inline */ f(int a) { if (a) { return 1; } return 2; }
+int main() { return f(0); }
+";
+        let fp = source_fingerprint(src);
+        let names: Vec<&str> = fp.funcs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["f", "main"]);
+    }
+
+    #[test]
+    fn duplicate_names_yield_no_hint() {
+        let src = "int f() { return 1; }\nint f() { return 2; }\n";
+        let fp = source_fingerprint(src);
+        assert_eq!(fp.hint("f"), None);
+    }
+}

@@ -39,6 +39,7 @@
 pub mod ast;
 pub mod classic;
 mod error;
+mod fingerprint;
 mod frontend;
 mod intern;
 mod lexer;
@@ -47,6 +48,7 @@ mod parser;
 mod token;
 
 pub use error::{FrontError, Phase};
+pub use fingerprint::{source_fingerprint, FuncSpan, SourceFingerprint};
 pub use frontend::{compile, Frontend};
 pub use intern::{Interner, Symbol};
 pub use token::{Pos, Tok, Token};

@@ -122,6 +122,34 @@ impl FuncTrace {
             }
         }
     }
+
+    /// Number of events buffered so far. The incremental driver snapshots
+    /// this before the fused chain runs so it can carve out exactly the
+    /// chain's event suffix for caching.
+    pub fn event_count(&self) -> usize {
+        match self {
+            FuncTrace::Off => 0,
+            FuncTrace::On { events, .. } => events.len(),
+        }
+    }
+
+    /// Clones the events from index `from` to the end — the suffix a
+    /// cached function's chain trip appended past an
+    /// [`event_count`](Self::event_count) snapshot.
+    pub fn events_from(&self, from: usize) -> Vec<PassEvent> {
+        match self {
+            FuncTrace::Off => Vec::new(),
+            FuncTrace::On { events, .. } => events.get(from..).unwrap_or_default().to_vec(),
+        }
+    }
+
+    /// Appends pre-recorded events (a cached chain suffix being replayed
+    /// into a live trace). No-op when the trace is off.
+    pub fn append_events(&mut self, replayed: Vec<PassEvent>) {
+        if let FuncTrace::On { events, .. } = self {
+            events.extend(replayed);
+        }
+    }
 }
 
 /// A consumer of aggregated trace records: feed it a [`TraceLog`] through
@@ -162,6 +190,12 @@ impl TraceSink for CollectSink {
 pub struct TraceLog {
     /// Records in deterministic (function-index, then chain) order.
     pub records: Vec<TraceRecord>,
+    /// Functions whose chain events were *replayed* from the incremental
+    /// cache rather than produced by a live pass run, in function-index
+    /// order. Kept out of band — serialization
+    /// ([`to_jsonl`](Self::to_jsonl)) and rendering are unaffected, so a
+    /// cached compile's remark stream stays byte-identical to a cold one.
+    cached: Vec<String>,
 }
 
 impl TraceLog {
@@ -189,6 +223,24 @@ impl TraceLog {
                 event,
             });
         }
+    }
+
+    /// Marks one function's chain events as `Cached` (replayed from the
+    /// incremental cache). Out-of-band metadata: it never changes the
+    /// serialized or rendered remark stream.
+    pub fn mark_cached(&mut self, func: &str) {
+        self.cached.push(func.to_string());
+    }
+
+    /// Functions marked [`mark_cached`](Self::mark_cached), in marking
+    /// order.
+    pub fn cached_funcs(&self) -> &[String] {
+        &self.cached
+    }
+
+    /// True if `func`'s chain events came from the incremental cache.
+    pub fn is_cached(&self, func: &str) -> bool {
+        self.cached.iter().any(|f| f == func)
     }
 
     /// Streams every record into `sink`, in order.

@@ -128,6 +128,14 @@ pub struct Vm<'m> {
     global_map: Vec<Option<ObjRef>>,
     /// Tags owned by each function (locals, addressed params, spill slots).
     owned_tags: Vec<Vec<TagId>>,
+    /// `phi_ends[func][block]` is the block's first non-φ instruction
+    /// index, precomputed once so block dispatch doesn't rescan the
+    /// instruction list every time a loop re-enters its header.
+    phi_ends: Vec<Vec<u32>>,
+    /// Reusable buffer for parallel φ evaluation. Only live within a
+    /// single block entry (φ rows never call back into the interpreter),
+    /// so one buffer serves every frame of the call stack.
+    phi_updates: Vec<(Reg, Value)>,
     counts: ExecCounts,
     output: Vec<String>,
     depth: usize,
@@ -144,6 +152,11 @@ impl<'m> Vm<'m> {
                 }
             }
         }
+        let phi_ends = module
+            .funcs
+            .iter()
+            .map(|f| f.blocks.iter().map(|b| b.first_non_phi() as u32).collect())
+            .collect();
         let mut vm = Vm {
             module,
             options,
@@ -151,6 +164,8 @@ impl<'m> Vm<'m> {
             free_slots: Vec::new(),
             global_map: vec![None; module.tags.len()],
             owned_tags,
+            phi_ends,
+            phi_updates: Vec::new(),
             counts: ExecCounts::new(),
             output: Vec::new(),
             depth: 0,
@@ -369,8 +384,10 @@ impl<'m> Vm<'m> {
         let mut prev: Option<BlockId> = None;
         loop {
             let block = func.block(cur);
-            // φ-nodes evaluate in parallel against the previous block.
-            let phi_end = block.first_non_phi();
+            // φ-nodes evaluate in parallel against the previous block; the
+            // span was precomputed in `Vm::new`, so re-entering a block is
+            // an indexed lookup rather than an instruction rescan.
+            let phi_end = self.phi_ends[func_id.index()][cur.index()] as usize;
             if phi_end > 0 {
                 let pb = prev.ok_or_else(|| {
                     Stop::Error(VmError::Malformed(format!(
@@ -378,7 +395,7 @@ impl<'m> Vm<'m> {
                         func.name
                     )))
                 })?;
-                let mut updates: Vec<(Reg, Value)> = Vec::with_capacity(phi_end);
+                self.phi_updates.clear();
                 for instr in &block.instrs[..phi_end] {
                     if let Instr::Phi { dst, args } = instr {
                         let (_, src) = args.iter().find(|(b, _)| *b == pb).ok_or_else(|| {
@@ -386,10 +403,10 @@ impl<'m> Vm<'m> {
                                 "phi in {cur} lacks entry for predecessor {pb}"
                             )))
                         })?;
-                        updates.push((*dst, frame.regs[src.index()]));
+                        self.phi_updates.push((*dst, frame.regs[src.index()]));
                     }
                 }
-                for (dst, v) in updates {
+                for &(dst, v) in &self.phi_updates {
                     frame.regs[dst.index()] = v;
                 }
             }
